@@ -1,0 +1,284 @@
+(* Benchmark & reproduction harness.
+
+   Running this executable does two things:
+
+   1. regenerates every experiment table of the paper reproduction
+      (E1-E9, see DESIGN.md and EXPERIMENTS.md) and prints the
+      REPRODUCED / MISMATCH verdict per claim;
+
+   2. times the building blocks with bechamel (one Test.make per
+      experiment, plus ablation benches for the engine, the explorer
+      and the graph substrate).
+
+     dune exec bench/main.exe            # tables + benches
+     dune exec bench/main.exe -- tables  # tables only
+     dune exec bench/main.exe -- bench   # benches only *)
+
+open Bechamel
+open Toolkit
+module Sim = Ksa_sim
+module Core = Ksa_core
+module Algo = Ksa_algo
+module Fd = Ksa_fd
+module Rng = Ksa_prim.Rng
+
+(* ------------------------------------------------------------------ *)
+(* benchmark subjects: one per experiment                              *)
+(* ------------------------------------------------------------------ *)
+
+module K2 = Algo.Kset_flp.Make (struct
+  let l = 2
+end)
+
+module K16 = Algo.Kset_flp.Make (struct
+  let l = 16
+end)
+
+module EK16 = Sim.Engine.Make (K16)
+module ExK2 = Sim.Explorer.Make (K2)
+
+module Naive2 = Algo.Naive_min.Make (struct
+  let wait_for = 2
+end)
+
+let bench_e1_screening () =
+  (* E1: Theorem-1 screening at n=6, f=4, k=2 *)
+  let partition = Option.get (Core.Partitioning.theorem2 ~n:6 ~f:4 ~k:2) in
+  ignore (Core.Theorem1.screen (module K2) ~partition)
+
+let bench_e2_protocol_run () =
+  (* E2: one solvable-regime run, n=8, f=3, L=5 *)
+  let module K5 = Algo.Kset_flp.Make (struct
+    let l = 5
+  end) in
+  let module E = Sim.Engine.Make (K5) in
+  let rng = Rng.create ~seed:11 in
+  let pattern = Sim.Failure_pattern.initial_dead ~n:8 ~dead:[ 1; 4; 6 ] in
+  ignore
+    (E.run ~n:8 ~inputs:(Sim.Value.distinct_inputs 8) ~pattern
+       (Sim.Adversary.fair ~rng))
+
+let bench_e2_border_pasting () =
+  (* E2 border: k+1-way pasted run at n=6, k=2 *)
+  ignore (Core.Pasting.lemma12 (module K2) ~groups:[ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ])
+
+let bench_e3_scale_n24 () =
+  (* E3: protocol at n=24, f=8, L=16 *)
+  let rng = Rng.create ~seed:3 in
+  let pattern =
+    Sim.Failure_pattern.initial_dead ~n:24 ~dead:[ 0; 3; 6; 9; 12; 15; 18; 21 ]
+  in
+  ignore
+    (EK16.run ~n:24 ~inputs:(Sim.Value.distinct_inputs 24) ~pattern
+       (Sim.Adversary.fair ~rng))
+
+let bench_e4_source_components () =
+  (* E4: Lemma 6/7 computation on a random 400-vertex digraph *)
+  let rng = Rng.create ~seed:5 in
+  let g = Ksa_dgraph.Gen.min_in_degree rng ~n:400 ~delta:3 in
+  ignore (Ksa_dgraph.Source.source_components g)
+
+let bench_e5_lemma12_synod () =
+  (* E5: the Theorem-10 construction at n=5, k=3 *)
+  ignore
+    (Core.Pasting.lemma12 (module Algo.Synod.A)
+       ~groups:[ [ 0 ]; [ 1 ]; [ 2; 3; 4 ] ])
+
+let bench_e6_coverage () =
+  (* E6: border sweep to n=64 *)
+  let t = ref 0 in
+  for n = 4 to 64 do
+    for k = 2 to n - 2 do
+      if Core.Border.theorem10_impossible ~n ~k then incr t;
+      if Core.Border.bouzid_travers_impossible ~n ~k then decr t
+    done
+  done;
+  ignore !t
+
+let bench_e7_history_validation () =
+  (* E7: generate + validate one partition history (n=6, k=3) *)
+  let pattern = Sim.Failure_pattern.initial_dead ~n:6 ~dead:[ 5 ] in
+  let spec =
+    {
+      Fd.Partition_fd.groups = [ [ 0 ]; [ 1 ]; [ 2; 3; 4; 5 ] ];
+      leaders = [ 0; 1; 2 ];
+      tgst = 4;
+      stab = 3;
+    }
+  in
+  let h = Fd.Partition_fd.gen spec ~pattern ~horizon:10 in
+  ignore (Fd.Partition_fd.validate_partition_property spec ~pattern h);
+  ignore (Fd.Partition_fd.lemma9_check ~k:3 ~pattern h)
+
+let bench_e8_screen_naive () =
+  let partition = Core.Partitioning.make ~n:5 ~groups:[ [ 0; 1 ] ] in
+  ignore (Core.Theorem1.screen (module Naive2) ~partition)
+
+let bench_e9_independence () =
+  let module K3 = Algo.Kset_flp.Make (struct
+    let l = 3
+  end) in
+  ignore
+    (Core.Independence.satisfies
+       (module K3)
+       ~n:5
+       ~family:(Core.Independence.f_resilient_family ~n:5 ~f:2))
+
+(* ablations *)
+
+let bench_ablation_explorer_n3 () =
+  ignore
+    (ExK2.explore ~n:3
+       ~inputs:(Sim.Value.distinct_inputs 3)
+       ~pattern:(Sim.Failure_pattern.none ~n:3)
+       ~check:(fun _ -> None)
+       ())
+
+let bench_ablation_engine_throughput () =
+  (* raw step cost: message-free protocol, round-robin, n=32 *)
+  let module T = Sim.Engine.Make (Algo.Trivial.A) in
+  ignore
+    (T.run ~n:32
+       ~inputs:(Sim.Value.distinct_inputs 32)
+       ~pattern:(Sim.Failure_pattern.none ~n:32)
+       (Sim.Adversary.round_robin ()))
+
+let bench_ablation_scc_50k () =
+  let n = 50_000 in
+  let g =
+    Ksa_dgraph.Digraph.create ~n ~edges:(List.init (n - 1) (fun i -> (i, i + 1)))
+  in
+  ignore (Ksa_dgraph.Scc.compute g)
+
+let bench_e10_ho_uniform_voting () =
+  (* E10: UniformVoting over a partitioned then released HO assignment *)
+  let module EUV = Ksa_ho.Engine.Make (Ksa_ho.Uniform_voting.A) in
+  let a =
+    Ksa_ho.Assignment.partitioned ~n:8
+      ~groups:[ [ 0; 1; 2 ]; [ 3; 4; 5 ]; [ 6; 7 ] ]
+      ~until:6 ()
+  in
+  ignore
+    (EUV.run ~n:8 ~inputs:(Sim.Value.distinct_inputs 8) ~assignment:a ~rounds:12)
+
+let bench_e12_crash_explorer () =
+  (* E12: exhaustive crash-adversarial classification at n=3 *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  ignore
+    (Ex.explore_with_crashes ~n:3
+       ~inputs:(Sim.Value.distinct_inputs 3)
+       ~crash_budget:1
+       ~check:(fun _ -> None)
+       ())
+
+let bench_theorem2_demonstrate () =
+  ignore (Core.Theorem2.demonstrate ~n:6 ~f:4 ~k:2 ())
+
+let bench_e13_abd_torture () =
+  (* E13: one ABD torture run at n=4 with a crash *)
+  let module Torture = Ksa_sm.Abd.Make (struct
+    let script = Ksa_sm.Abd.write_then_read_all
+    let write_back = true
+  end) in
+  let module E = Sim.Engine.Make (Torture) in
+  let rng = Rng.create ~seed:7 in
+  let pattern = Sim.Failure_pattern.initial_dead ~n:4 ~dead:[ 3 ] in
+  let run, config =
+    E.run_full ~max_steps:80_000 ~n:4
+      ~inputs:(Sim.Value.distinct_inputs 4)
+      ~pattern (Sim.Adversary.fair ~rng)
+  in
+  let ops = Torture.ops_of run ~state_of:(E.state_of config) in
+  ignore (Ksa_sm.Register.check_atomic ops)
+
+let bench_ablation_replay () =
+  (* record + replay a run *)
+  let rng = Rng.create ~seed:13 in
+  let pattern = Sim.Failure_pattern.none ~n:6 in
+  let module K4 = Algo.Kset_flp.Make (struct
+    let l = 4
+  end) in
+  let module E = Sim.Engine.Make (K4) in
+  let orig =
+    E.run ~n:6 ~inputs:(Sim.Value.distinct_inputs 6) ~pattern
+      (Sim.Adversary.fair ~rng)
+  in
+  let stream = Sim.Replay.project ~keep:(fun _ -> true) orig in
+  ignore
+    (E.run ~n:6 ~inputs:(Sim.Value.distinct_inputs 6) ~pattern
+       (Sim.Replay.sequential [ stream ]))
+
+let tests =
+  Test.make_grouped ~name:"ksa" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"e1:theorem2-screening" (Staged.stage bench_e1_screening);
+      Test.make ~name:"e2:protocol-run-n8" (Staged.stage bench_e2_protocol_run);
+      Test.make ~name:"e2:border-pasting-n6" (Staged.stage bench_e2_border_pasting);
+      Test.make ~name:"e3:protocol-run-n24" (Staged.stage bench_e3_scale_n24);
+      Test.make ~name:"e4:source-components-n400"
+        (Staged.stage bench_e4_source_components);
+      Test.make ~name:"e5:lemma12-synod-n5" (Staged.stage bench_e5_lemma12_synod);
+      Test.make ~name:"e6:coverage-sweep-n64" (Staged.stage bench_e6_coverage);
+      Test.make ~name:"e7:history-validation"
+        (Staged.stage bench_e7_history_validation);
+      Test.make ~name:"e8:screen-naive-min" (Staged.stage bench_e8_screen_naive);
+      Test.make ~name:"e9:independence-check" (Staged.stage bench_e9_independence);
+      Test.make ~name:"e10:ho-uniform-voting-n8" (Staged.stage bench_e10_ho_uniform_voting);
+      Test.make ~name:"e12:crash-explorer-n3" (Staged.stage bench_e12_crash_explorer);
+      Test.make ~name:"e13:abd-torture-n4" (Staged.stage bench_e13_abd_torture);
+      Test.make ~name:"theorem2:end-to-end-n6" (Staged.stage bench_theorem2_demonstrate);
+      Test.make ~name:"ablation:explorer-exhaustive-n3"
+        (Staged.stage bench_ablation_explorer_n3);
+      Test.make ~name:"ablation:engine-throughput-n32"
+        (Staged.stage bench_ablation_engine_throughput);
+      Test.make ~name:"ablation:scc-path-50k" (Staged.stage bench_ablation_scc_50k);
+      Test.make ~name:"ablation:record-replay-n6"
+        (Staged.stage bench_ablation_replay);
+    ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "@.%-44s %16s@." "benchmark" "time/run";
+  Format.printf "%s@." (String.make 62 '-');
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (t :: _) -> t
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%8.2f  s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Format.printf "%-44s %16s@." name pretty)
+    (List.sort compare rows)
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if mode = "tables" || mode = "all" then begin
+    let verdicts = Core.Experiments.all Format.std_formatter in
+    let bad = List.filter (fun v -> not v.Core.Experiments.holds) verdicts in
+    if bad <> [] then begin
+      Format.printf "@.%d claim(s) failed to reproduce!@." (List.length bad);
+      exit 1
+    end
+  end;
+  if mode = "bench" || mode = "all" then run_benchmarks ()

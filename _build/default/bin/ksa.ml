@@ -1,0 +1,492 @@
+(* ksa — command-line front end to the k-set agreement reproduction.
+
+   Subcommands:
+     experiments    run the E1–E9 reproduction harness
+     border         print the solvability-border tables
+     simulate       run one algorithm under one adversary, print the run
+     screen         Theorem-1 screening of an algorithm
+     paste          execute the Lemma-12 pasting construction
+     independence   T-independence check of an algorithm *)
+
+open Cmdliner
+module Sim = Ksa_sim
+module Core = Ksa_core
+module Algo = Ksa_algo
+module Fd = Ksa_fd
+module Rng = Ksa_prim.Rng
+
+(* ---------- shared argument parsing ---------- *)
+
+let algo_conv ~l ~wait_for = function
+  | "kset-flp" ->
+      let module K = Algo.Kset_flp.Make (struct
+        let l = l
+      end) in
+      Ok (module K : Sim.Algorithm.S)
+  | "naive-min" ->
+      let module N = Algo.Naive_min.Make (struct
+        let wait_for = wait_for
+      end) in
+      Ok (module N : Sim.Algorithm.S)
+  | "trivial" -> Ok (module Algo.Trivial.A : Sim.Algorithm.S)
+  | "synod" -> Ok (module Algo.Synod.A : Sim.Algorithm.S)
+  | other -> Error (Printf.sprintf "unknown algorithm %S" other)
+
+let groups_of_string s =
+  (* "0,1|2,3,4" -> [[0;1];[2;3;4]] *)
+  String.split_on_char '|' s
+  |> List.map (fun part ->
+         String.split_on_char ',' part
+         |> List.filter (fun x -> String.trim x <> "")
+         |> List.map (fun x -> int_of_string (String.trim x)))
+
+let n_arg =
+  Arg.(value & opt int 6 & info [ "n"; "size" ] ~docv:"N" ~doc:"System size.")
+
+let f_arg =
+  Arg.(value & opt int 2 & info [ "f"; "faults" ] ~docv:"F" ~doc:"Failure budget.")
+
+let k_arg =
+  Arg.(value & opt int 2 & info [ "k"; "kset" ] ~docv:"K" ~doc:"Agreement parameter k.")
+
+let l_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "l"; "wait-quorum" ] ~docv:"L" ~doc:"Protocol parameter L (default n-f).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt string "kset-flp"
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"Algorithm: kset-flp, naive-min, trivial, or synod.")
+
+let wait_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "wait-for" ] ~docv:"W" ~doc:"naive-min wait-for parameter.")
+
+let groups_arg ~doc =
+  Arg.(value & opt (some string) None & info [ "groups" ] ~docv:"GROUPS" ~doc)
+
+(* synod needs a (Sigma, Omega) oracle *)
+let synod_oracle ~pattern ~seed =
+  let leader =
+    match Sim.Failure_pattern.correct pattern with
+    | p :: _ -> p
+    | [] -> 0
+  in
+  let sigma = Fd.Sigma.blocks ~k:1 ~pattern ~stab:6 ~horizon:60 () in
+  let omega =
+    Fd.Omega.gen
+      ~chaos:
+        (Fd.Omega.random_chaos
+           ~rng:(Rng.create ~seed:(seed + 99))
+           ~n:(Sim.Failure_pattern.n pattern)
+           ~k:1)
+      ~k:1 ~pattern ~leaders:[ leader ] ~tgst:6 ~horizon:60 ()
+  in
+  Fd.History.oracle (Fd.History.combine sigma omega)
+
+(* ---------- experiments ---------- *)
+
+let experiments only =
+  let ppf = Format.std_formatter in
+  let run1 id f = if only = [] || List.mem id only then ignore (f ppf) in
+  run1 "E1" (Core.Experiments.e1_theorem2 ?n_max:None);
+  run1 "E2" (Core.Experiments.e2_theorem8 ?n_max:None ?seeds:None);
+  run1 "E3" (Core.Experiments.e3_protocol_cost ?sizes:None ?seeds:None);
+  run1 "E4" (Core.Experiments.e4_graph_lemmas ?samples:None ?n:None);
+  run1 "E5" (Core.Experiments.e5_theorem10 ?n_max:None);
+  run1 "E6" (Core.Experiments.e6_coverage ?n_max:None);
+  run1 "E7" (Core.Experiments.e7_lemma9 ?samples:None);
+  run1 "E8" Core.Experiments.e8_screening;
+  run1 "E9" Core.Experiments.e9_independence;
+  run1 "E10" (Core.Experiments.e10_round_models ?seeds:None);
+  run1 "E11" (Core.Experiments.e11_fd_implementation ?seeds:None);
+  run1 "E12" Core.Experiments.e12_flp_gap;
+  run1 "E13" (Core.Experiments.e13_shared_memory ?seeds:None);
+  0
+
+let only_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "only" ] ~docv:"IDS" ~doc:"Comma-separated experiment ids (E1..E9).")
+
+let experiments_cmd =
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run the reproduction harness (E1-E9).")
+    Term.(const experiments $ only_arg)
+
+(* ---------- border ---------- *)
+
+let border n =
+  let ppf = Format.std_formatter in
+  Format.fprintf ppf "Theorem 8 (f initial crashes): solvable iff kn > (k+1)f@.";
+  Format.fprintf ppf "     ";
+  for k = 1 to n - 1 do
+    Format.fprintf ppf "k=%-2d " k
+  done;
+  Format.fprintf ppf "@.";
+  for f = 1 to n - 1 do
+    Format.fprintf ppf "f=%-2d " f;
+    for k = 1 to n - 1 do
+      Format.fprintf ppf " %s   "
+        (if Core.Border.theorem8_solvable ~n ~f ~k then "S" else ".")
+    done;
+    Format.fprintf ppf "@."
+  done;
+  Format.fprintf ppf
+    "@.Theorem 2 (one live crash): impossible iff k(n-f) < n ('X')@.";
+  for f = 1 to n - 1 do
+    Format.fprintf ppf "f=%-2d " f;
+    for k = 1 to n - 1 do
+      Format.fprintf ppf " %s   "
+        (if Core.Border.theorem2_impossible ~n ~f ~k then "X" else ".")
+    done;
+    Format.fprintf ppf "@."
+  done;
+  Format.fprintf ppf
+    "@.(Sigma_k,Omega_k) (Cor. 13): solvable iff k=1 or k=n-1@.     ";
+  for k = 1 to n - 1 do
+    Format.fprintf ppf "%s "
+      (if Core.Border.corollary13_solvable ~n ~k then "S" else "X")
+  done;
+  Format.fprintf ppf "@.";
+  0
+
+let border_cmd =
+  Cmd.v
+    (Cmd.info "border" ~doc:"Print the solvability borders for a given n.")
+    Term.(const border $ n_arg)
+
+(* ---------- simulate ---------- *)
+
+let simulate algo_name n f l wait_for seed adversary dead save_schedule
+    replay verbose check_model =
+  let l = Option.value l ~default:(max 1 (n - f)) in
+  match algo_conv ~l ~wait_for algo_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok (module A) ->
+      let module E = Sim.Engine.Make (A) in
+      let pattern = Sim.Failure_pattern.initial_dead ~n ~dead in
+      let rng = Rng.create ~seed in
+      let adv =
+        match replay with
+        | Some path -> (
+            match Sim.Trace_io.load_schedule ~path with
+            | Ok descs -> Ok (Sim.Replay.sequential [ descs ])
+            | Error e -> Error ("replay: " ^ e))
+        | None -> (
+            match adversary with
+            | "fair" -> Ok (Sim.Adversary.fair ~rng)
+            | "round-robin" -> Ok (Sim.Adversary.round_robin ())
+            | "lossy" -> Ok (Sim.Adversary.fair_lossy ~rng ~p_defer:0.5)
+            | s when String.length s > 10 && String.sub s 0 10 = "partition:" ->
+                let groups =
+                  groups_of_string (String.sub s 10 (String.length s - 10))
+                in
+                Ok (Sim.Adversary.partition ~groups ())
+            | s when String.length s > 5 && String.sub s 0 5 = "solo:" ->
+                let groups =
+                  groups_of_string (String.sub s 5 (String.length s - 5))
+                in
+                Ok (Sim.Adversary.sequential_solo ~groups)
+            | other -> Error ("unknown adversary " ^ other))
+      in
+      (match adv with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok adv ->
+          let fd =
+            if A.uses_fd then Some (synod_oracle ~pattern ~seed) else None
+          in
+          let run =
+            E.run ?fd ~n ~inputs:(Sim.Value.distinct_inputs n) ~pattern adv
+          in
+          Format.printf "%a@." Sim.Run.pp_summary run;
+          if verbose then Sim.Trace_io.pp_events Format.std_formatter run;
+          if check_model then begin
+            let admissible =
+              Sim.Model_check.admissible_models run ~phi:n ~delta:(2 * n)
+            in
+            Format.printf
+              "DDS cube (Φ=%d, Δ=%d): admissible in %d/32 models@." n (2 * n)
+              (List.length admissible);
+            List.iter
+              (fun m -> Format.printf "  %a@." Sim.Model.pp m)
+              admissible
+          end;
+          (match save_schedule with
+          | Some path ->
+              Sim.Trace_io.save_schedule ~path (Sim.Trace_io.schedule_of_run run);
+              Format.printf "schedule saved to %s@." path
+          | None -> ());
+          0)
+
+let adversary_arg =
+  Arg.(
+    value
+    & opt string "fair"
+    & info [ "adversary" ] ~docv:"ADV"
+        ~doc:
+          "Adversary: fair, round-robin, lossy, partition:0,1|2,3 or \
+           solo:0|1|2,3.")
+
+let dead_arg =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "dead" ] ~docv:"PIDS" ~doc:"Initially dead processes.")
+
+let save_schedule_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-schedule" ] ~docv:"FILE"
+        ~doc:"Write the run's schedule (replayable) to FILE.")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:"Replay a schedule saved with --save-schedule instead of using \
+              an adversary.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Dump the full event log.")
+
+let check_model_arg =
+  Arg.(
+    value & flag
+    & info [ "check-model" ]
+        ~doc:
+          "Report which of the 32 Dolev-Dwork-Stockmeyer models admit the \
+           run (with Φ = n and Δ = 2n for the synchronous choices).")
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one algorithm under one adversary.")
+    Term.(
+      const simulate $ algo_arg $ n_arg $ f_arg $ l_arg $ wait_arg $ seed_arg
+      $ adversary_arg $ dead_arg $ save_schedule_arg $ replay_arg
+      $ verbose_arg $ check_model_arg)
+
+(* ---------- screen ---------- *)
+
+let screen algo_name n f k l wait_for =
+  let l = Option.value l ~default:(max 1 (n - f)) in
+  match algo_conv ~l ~wait_for algo_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok (module A) ->
+      let partition =
+        match Core.Partitioning.theorem2 ~n ~f ~k with
+        | Some p -> p
+        | None ->
+            (* outside Theorem 2's region: use k-1 singleton groups *)
+            Core.Partitioning.make ~n
+              ~groups:(List.init (k - 1) (fun i -> [ i ]))
+      in
+      Format.printf "partition: %a@." Core.Partitioning.pp partition;
+      let report =
+        Core.Theorem1.evaluate ~subsystem_crash_budget:1 (module A) ~partition
+      in
+      Format.printf "%a@." Core.Theorem1.pp_report report;
+      (match report.Core.Theorem1.portfolio.Core.Theorem1.witness with
+      | Some w ->
+          Format.printf "witness (%s): %a@." w.Core.Theorem1.adversary
+            Sim.Run.pp_summary w.Core.Theorem1.run
+      | None -> ());
+      if report.Core.Theorem1.verdict = `Not_a_kset_algorithm then 2 else 0
+
+let screen_cmd =
+  Cmd.v
+    (Cmd.info "screen"
+       ~doc:
+         "Theorem-1 screening: search for (dec-D) witnesses.  Exits 2 when \
+          the algorithm is caught.")
+    Term.(const screen $ algo_arg $ n_arg $ f_arg $ k_arg $ l_arg $ wait_arg)
+
+(* ---------- paste ---------- *)
+
+let paste algo_name groups_str l wait_for =
+  let groups =
+    match groups_str with
+    | Some s -> groups_of_string s
+    | None -> [ [ 0 ]; [ 1 ]; [ 2; 3; 4 ] ]
+  in
+  let n = List.length (List.concat groups) in
+  let l = Option.value l ~default:(max 1 (n / List.length groups)) in
+  match algo_conv ~l ~wait_for algo_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok (module A) -> (
+      match Core.Pasting.lemma12 (module A) ~groups with
+      | Error e ->
+          Format.printf "construction failed: %s@." e;
+          1
+      | Ok r ->
+          Format.printf "pasted run: %a@." Sim.Run.pp_summary r.Core.Pasting.pasted;
+          Format.printf "distinct decisions: %d (k = %d groups)@."
+            r.Core.Pasting.distinct_decisions (List.length groups);
+          Format.printf "per-group indistinguishability: %s@."
+            (String.concat " "
+               (List.map string_of_bool r.Core.Pasting.per_group_indistinguishable));
+          (match r.Core.Pasting.definition7 with
+          | Some (Ok ()) -> Format.printf "pasted history: Definition 7 ok@."
+          | Some (Error e) -> Format.printf "pasted history: %s@." e
+          | None -> ());
+          (match r.Core.Pasting.lemma9 with
+          | Some (Ok ()) -> Format.printf "pasted history: Lemma 9 ok@."
+          | Some (Error e) -> Format.printf "lemma 9: %s@." e
+          | None -> ());
+          0)
+
+let paste_cmd =
+  Cmd.v
+    (Cmd.info "paste"
+       ~doc:"Execute the Lemma-12 pasting construction over a partition.")
+    Term.(
+      const paste $ algo_arg
+      $ groups_arg ~doc:"Partition, e.g. '0|1|2,3,4'."
+      $ l_arg $ wait_arg)
+
+(* ---------- independence ---------- *)
+
+let independence algo_name n l wait_for family =
+  match algo_conv ~l:(Option.value l ~default:2) ~wait_for algo_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok (module A) ->
+      let fam =
+        match family with
+        | "wait-free" -> Core.Independence.wait_free_family ~n
+        | "singletons" -> Core.Independence.obstruction_free_family ~n
+        | s when String.length s > 2 && String.sub s 0 2 = "f=" ->
+            let f = int_of_string (String.sub s 2 (String.length s - 2)) in
+            Core.Independence.f_resilient_family ~n ~f
+        | _ -> Core.Independence.wait_free_family ~n
+      in
+      let verdicts =
+        Core.Independence.check_family ~max_steps:20_000 (module A) ~n ~family:fam
+      in
+      List.iter
+        (fun v ->
+          Format.printf "{%s}: %s@."
+            (String.concat " " (List.map string_of_int v.Core.Independence.set))
+            (if v.Core.Independence.independent then "independent" else "dependent"))
+        verdicts;
+      let all = List.for_all (fun v -> v.Core.Independence.independent) verdicts in
+      Format.printf "T-independence %s@." (if all then "holds" else "fails");
+      0
+
+let family_arg =
+  Arg.(
+    value
+    & opt string "wait-free"
+    & info [ "family" ] ~docv:"FAM"
+        ~doc:"Set family: wait-free, singletons, or f=<int>.")
+
+let independence_cmd =
+  Cmd.v
+    (Cmd.info "independence" ~doc:"Check T-independence of an algorithm.")
+    Term.(const independence $ algo_arg $ n_arg $ l_arg $ wait_arg $ family_arg)
+
+(* ---------- ho ---------- *)
+
+let ho algo_name n rounds assignment_str =
+  let module MF = Ksa_ho.Min_flood.Make (struct
+    let rounds = 4
+  end) in
+  let algo =
+    match algo_name with
+    | "min-flood" -> Ok (module MF : Ksa_ho.Ho_algorithm.S)
+    | "uniform-voting" -> Ok (module Ksa_ho.Uniform_voting.A : Ksa_ho.Ho_algorithm.S)
+    | "last-voting" -> Ok (module Ksa_ho.Last_voting.A : Ksa_ho.Ho_algorithm.S)
+    | other -> Error (Printf.sprintf "unknown HO algorithm %S" other)
+  in
+  let assignment =
+    match assignment_str with
+    | "complete" -> Ok (Ksa_ho.Assignment.complete ~n)
+    | s when String.length s > 10 && String.sub s 0 10 = "partition:" ->
+        let groups = groups_of_string (String.sub s 10 (String.length s - 10)) in
+        Ok (Ksa_ho.Assignment.partitioned ~n ~groups ())
+    | s when String.length s > 9 && String.sub s 0 9 = "majority:" -> (
+        match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
+        | Some seed ->
+            Ok
+              (Ksa_ho.Assignment.random ~rng:(Rng.create ~seed) ~n
+                 ~min_size:((n / 2) + 1) ())
+        | None -> Error "majority:<seed> expected")
+    | other -> Error (Printf.sprintf "unknown assignment %S" other)
+  in
+  match (algo, assignment) with
+  | Error e, _ | _, Error e ->
+      prerr_endline e;
+      1
+  | Ok (module A), Ok assignment ->
+      let module E = Ksa_ho.Engine.Make (A) in
+      let o =
+        E.run ~n ~inputs:(Sim.Value.distinct_inputs n) ~assignment ~rounds
+      in
+      Format.printf "%s over %d rounds: decisions={%s} distinct=%d@." A.name
+        o.E.rounds_run
+        (String.concat ", "
+           (List.map
+              (fun (p, v, r) -> Printf.sprintf "p%d=%d@r%d" p v r)
+              o.E.decisions))
+        (E.distinct_decisions o);
+      0
+
+let rounds_arg =
+  Arg.(value & opt int 12 & info [ "rounds" ] ~docv:"R" ~doc:"Rounds to run.")
+
+let assignment_arg =
+  Arg.(
+    value
+    & opt string "complete"
+    & info [ "assignment" ] ~docv:"HO"
+        ~doc:"HO assignment: complete, partition:0,1|2,3, or majority:<seed>.")
+
+let ho_algo_arg =
+  Arg.(
+    value
+    & opt string "uniform-voting"
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"HO algorithm: min-flood, uniform-voting, or last-voting.")
+
+let ho_cmd =
+  Cmd.v
+    (Cmd.info "ho" ~doc:"Run a Heard-Of round-model algorithm.")
+    Term.(const ho $ ho_algo_arg $ n_arg $ rounds_arg $ assignment_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "ksa" ~version:"1.0.0"
+       ~doc:
+         "Executable companion to 'Easy Impossibility Proofs for k-Set \
+          Agreement in Message Passing Systems'.")
+    [
+      experiments_cmd;
+      border_cmd;
+      simulate_cmd;
+      screen_cmd;
+      paste_cmd;
+      independence_cmd;
+      ho_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

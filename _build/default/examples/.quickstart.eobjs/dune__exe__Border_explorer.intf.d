@@ -1,0 +1,1 @@
+examples/border_explorer.mli:

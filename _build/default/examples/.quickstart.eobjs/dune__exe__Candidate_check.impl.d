@@ -1,0 +1,1 @@
+examples/candidate_check.ml: Format Ksa_algo Ksa_core Ksa_sim Option

@@ -1,0 +1,1 @@
+examples/candidate_check.mli:

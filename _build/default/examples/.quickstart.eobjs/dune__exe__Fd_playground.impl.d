@@ -1,0 +1,1 @@
+examples/fd_playground.ml: Format Fun Ksa_algo Ksa_core Ksa_fd Ksa_prim Ksa_sim List Option String

@@ -1,0 +1,1 @@
+examples/fd_playground.mli:

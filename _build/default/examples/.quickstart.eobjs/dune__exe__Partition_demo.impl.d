@@ -1,0 +1,1 @@
+examples/partition_demo.ml: Format Ksa_algo Ksa_core Ksa_prim Ksa_sim List Option String

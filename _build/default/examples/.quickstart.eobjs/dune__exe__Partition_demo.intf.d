@@ -1,0 +1,1 @@
+examples/partition_demo.mli:

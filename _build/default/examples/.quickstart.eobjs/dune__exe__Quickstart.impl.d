@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Ksa_algo Ksa_core Ksa_prim Ksa_sim List

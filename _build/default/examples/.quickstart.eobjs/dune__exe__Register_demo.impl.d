@@ -1,0 +1,1 @@
+examples/register_demo.ml: Format Ksa_prim Ksa_sim Ksa_sm List

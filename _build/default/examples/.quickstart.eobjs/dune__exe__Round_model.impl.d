@@ -1,0 +1,1 @@
+examples/round_model.ml: Format Ksa_ho Ksa_prim Ksa_sim List Printf String

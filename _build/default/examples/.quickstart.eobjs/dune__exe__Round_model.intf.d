@@ -1,0 +1,1 @@
+examples/round_model.mli:

@@ -1,0 +1,66 @@
+(* Prints the solvability borders of the paper as tables.
+
+     dune exec examples/border_explorer.exe *)
+
+module B = Ksa_core.Border
+
+let () =
+  Format.printf
+    "Initial-crash solvability (Theorem 8: k-set agreement with f@.\
+     initially dead processes is solvable iff kn > (k+1)f).@.\
+     Rows f, columns k; 'S' solvable, '.' impossible.  n = 10:@.@.";
+  let n = 10 in
+  Format.printf "      ";
+  for k = 1 to n - 1 do
+    Format.printf "k=%-2d " k
+  done;
+  Format.printf "@.";
+  for f = 1 to n - 1 do
+    Format.printf "f=%-2d  " f;
+    for k = 1 to n - 1 do
+      Format.printf " %s   " (if B.theorem8_solvable ~n ~f ~k then "S" else ".")
+    done;
+    Format.printf "@."
+  done;
+
+  Format.printf
+    "@.One live crash (Theorem 2: impossible when k(n-f) < n, even with@.\
+     synchronous processes and atomic broadcast).  'X' impossible:@.@.";
+  Format.printf "      ";
+  for k = 1 to n - 1 do
+    Format.printf "k=%-2d " k
+  done;
+  Format.printf "@.";
+  for f = 1 to n - 1 do
+    Format.printf "f=%-2d  " f;
+    for k = 1 to n - 1 do
+      Format.printf " %s   "
+        (if B.theorem2_impossible ~n ~f ~k then "X" else " ")
+    done;
+    Format.printf "@."
+  done;
+
+  Format.printf
+    "@.(Sigma_k, Omega_k) border (Theorem 10 + Corollary 13), n = 4..12.@.\
+     'S' solvable (k=1 or k=n-1), 'X' impossible (2<=k<=n-2),@.\
+     'x' the strictly weaker prior bound of Bouzid-Travers (2k^2<=n):@.@.";
+  Format.printf "      ";
+  for k = 1 to 11 do
+    Format.printf "k=%-2d " k
+  done;
+  Format.printf "@.";
+  for n = 4 to 12 do
+    Format.printf "n=%-2d  " n;
+    for k = 1 to n - 1 do
+      let cell =
+        if B.corollary13_solvable ~n ~k then " S  "
+        else if B.bouzid_travers_impossible ~n ~k then " Xx "
+        else if B.theorem10_impossible ~n ~k then " X  "
+        else "    "
+      in
+      Format.printf "%s " cell
+    done;
+    Format.printf "@."
+  done;
+  Format.printf
+    "@.Every X without x is impossibility newly established by Theorem 10.@."

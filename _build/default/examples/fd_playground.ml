@@ -1,0 +1,78 @@
+(* Failure detectors end to end: generate Sigma_k / Omega_k /
+   partition histories, validate them against their definitions,
+   replay Lemma 9, and finally run the Theorem 10 construction: a
+   correct consensus algorithm (Synod) equipped with a perfectly valid
+   (Sigma_3, Omega_3) history is driven to 3 distinct decisions.
+
+     dune exec examples/fd_playground.exe *)
+
+module Sim = Ksa_sim
+module Fd = Ksa_fd
+
+let show what = function
+  | Ok _ -> Format.printf "  %-52s ok@." what
+  | Error e -> Format.printf "  %-52s FAILED: %s@." what e
+
+let () =
+  let n = 6 in
+  let pattern = Sim.Failure_pattern.initial_dead ~n ~dead:[ 5 ] in
+
+  Format.printf "--- Sigma_k (Definition 4) ---@.";
+  let sigma2 = Fd.Sigma.blocks ~k:2 ~pattern ~stab:4 ~horizon:12 () in
+  show "block Sigma_2: intersection + liveness"
+    (Fd.Sigma.validate ~k:2 ~pattern sigma2);
+  let rng = Ksa_prim.Rng.create ~seed:1 in
+  let maj = Fd.Sigma.majority ~pattern ~rng ~stab:4 ~horizon:12 () in
+  show "majority Sigma_1" (Fd.Sigma.validate ~k:1 ~pattern maj);
+
+  Format.printf "@.--- Omega_k (Definition 5) ---@.";
+  let omega2 = Fd.Omega.gen ~k:2 ~pattern ~leaders:[ 0; 3 ] ~tgst:6 ~horizon:12 () in
+  show "Omega_2 with tGST=6" (Fd.Omega.validate ~k:2 ~pattern omega2);
+  (match Fd.Omega.check_eventual_leadership ~pattern omega2 with
+  | Ok (t, ld) ->
+      Format.printf "  stabilizes at t=%d on {%s}@." t
+        (String.concat " " (List.map string_of_int ld))
+  | Error e -> Format.printf "  %s@." e);
+
+  Format.printf "@.--- Partition FD (Definition 7) and Lemma 9 ---@.";
+  let groups = [ [ 0 ]; [ 1 ]; [ 2; 3; 4; 5 ] ] in
+  let spec = { Fd.Partition_fd.groups; leaders = [ 0; 1; 2 ]; tgst = 5; stab = 4 } in
+  let h = Fd.Partition_fd.gen spec ~pattern ~horizon:12 in
+  show "(Sigma'_3, Omega'_3) satisfies Definition 7"
+    (Fd.Partition_fd.validate_partition_property spec ~pattern h);
+  show "Lemma 9: ... and is a valid (Sigma_3, Omega_3)"
+    (Fd.Partition_fd.lemma9_check ~k:3 ~pattern h);
+
+  Format.printf "@.--- Theorem 10's engine: partition + valid FD = k decisions ---@.";
+  (match
+     Ksa_core.Pasting.lemma12 (module Ksa_algo.Synod.A)
+       ~groups:[ [ 0 ]; [ 1 ]; [ 2; 3; 4; 5 ] ]
+   with
+  | Error e -> Format.printf "  construction failed: %s@." e
+  | Ok r ->
+      Format.printf
+        "  Synod (a correct (Sigma,Omega)-consensus algorithm) under a@.\
+        \  valid (Sigma_3, Omega_3) history: %d distinct decisions@."
+        r.Ksa_core.Pasting.distinct_decisions;
+      Format.printf "  groups state-identical to their solo runs: %b@."
+        (List.for_all Fun.id r.Ksa_core.Pasting.per_group_indistinguishable);
+      show "pasted history satisfies Definition 7"
+        (Option.get r.Ksa_core.Pasting.definition7);
+      show "pasted history is a valid (Sigma_3, Omega_3)"
+        (Option.get r.Ksa_core.Pasting.lemma9));
+
+  Format.printf "@.--- Loneliness detector L ---@.";
+  let lonely_pattern = Sim.Failure_pattern.initial_dead ~n:3 ~dead:[ 0; 2 ] in
+  let l = Fd.Loneliness.gen ~witness:0 ~pattern:lonely_pattern ~horizon:8 () in
+  show "L with a sole correct process" (Fd.Loneliness.validate ~pattern:lonely_pattern l);
+
+  Format.printf "@.--- Gamma -> Omega_2 (Theorem 10, condition C) ---@.";
+  let pattern6 = Sim.Failure_pattern.none ~n in
+  let dbar = [ 0; 1; 2; 3 ] in
+  let gamma =
+    Fd.Transform.gamma_gen ~k:3 ~dbar ~chosen:(1, 3) ~pattern:pattern6 ~tgst:6
+      ~horizon:12 ()
+  in
+  let o2 = Fd.Transform.omega2_of_gamma ~dbar gamma in
+  show "transformed Gamma validates as Omega_2 within Dbar"
+    (Fd.Transform.validate_omega_within ~k:2 ~subsystem:dbar ~pattern:pattern6 o2)

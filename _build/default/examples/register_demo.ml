@@ -1,0 +1,51 @@
+(* Shared memory out of message passing: the ABD register emulation
+   (the simulation invoked in the proof of Theorem 10, condition (C),
+   via the paper's reference [9]).
+
+   Every process owns one single-writer register, replicated
+   everywhere as a (timestamp, value) pair.  Quorums are majorities -
+   i.e. Sigma_1 outputs - so any two operations meet at some replica,
+   and the read's write-back phase makes the emulation atomic.  We run
+   a torture script under a lossy schedule with a crash, extract the
+   full operation history, and feed it to the atomicity checker.
+
+     dune exec examples/register_demo.exe *)
+
+module Sim = Ksa_sim
+module Sm = Ksa_sm
+
+module Torture = Sm.Abd.Make (struct
+  let script = Sm.Abd.write_then_read_all
+  let write_back = true
+end)
+
+module E = Sim.Engine.Make (Torture)
+
+let () =
+  let n = 4 in
+  let pattern = Sim.Failure_pattern.initial_dead ~n ~dead:[ 3 ] in
+  let rng = Ksa_prim.Rng.create ~seed:2026 in
+  let run, config =
+    E.run_full ~max_steps:80_000 ~n
+      ~inputs:(Sim.Value.distinct_inputs n)
+      ~pattern
+      (Sim.Adversary.fair_lossy ~rng ~p_defer:0.5)
+  in
+  Format.printf "emulation run: %a@." Sim.Run.pp_summary run;
+  let ops = Torture.ops_of run ~state_of:(E.state_of config) in
+  Format.printf "extracted %d register operations; a few of them:@."
+    (List.length ops);
+  List.iteri
+    (fun i op ->
+      if i < 6 then Format.printf "  %a@." Sm.Register.pp_op op)
+    ops;
+  (match Sm.Register.check_atomic ops with
+  | Ok () -> Format.printf "atomicity: every register history linearizes@."
+  | Error e -> Format.printf "atomicity VIOLATED: %s@." e);
+  (match Sm.Register.check_write_once_timestamps ops with
+  | Ok () -> Format.printf "single-writer discipline: ok@."
+  | Error e -> Format.printf "SWMR violated: %s@." e);
+  Format.printf
+    "@.the moral for Theorem 10: majority quorums are exactly what Σ@.\
+     provides — and what the partition detector (Σ'k, Ω'k) refuses to@.\
+     provide across groups, which is why k-set agreement collapses there.@."

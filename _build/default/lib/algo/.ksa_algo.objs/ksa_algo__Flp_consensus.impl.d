@@ -1,0 +1,1 @@
+lib/algo/flp_consensus.ml: Kset_flp Printf

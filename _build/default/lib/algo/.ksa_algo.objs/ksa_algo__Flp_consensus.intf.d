@@ -1,0 +1,1 @@
+lib/algo/flp_consensus.mli: Ksa_sim

@@ -1,0 +1,1 @@
+lib/algo/kset_flp.ml: Array Format Fun Hashtbl Ksa_dgraph Ksa_sim List Printf

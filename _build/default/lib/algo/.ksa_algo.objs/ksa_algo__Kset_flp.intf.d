@@ -1,0 +1,1 @@
+lib/algo/kset_flp.mli: Ksa_sim

@@ -1,0 +1,1 @@
+lib/algo/naive_min.ml: Format Fun Ksa_sim List Printf

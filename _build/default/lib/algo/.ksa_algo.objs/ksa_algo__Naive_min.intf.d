@@ -1,0 +1,1 @@
+lib/algo/naive_min.mli: Ksa_sim

@@ -1,0 +1,1 @@
+lib/algo/stack.ml: Format Fun Ksa_sim List Printf

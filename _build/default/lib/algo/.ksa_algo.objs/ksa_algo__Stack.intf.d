@@ -1,0 +1,1 @@
+lib/algo/stack.mli: Ksa_sim

@@ -1,0 +1,1 @@
+lib/algo/synod.ml: Format Fun Ksa_sim List

@@ -1,0 +1,1 @@
+lib/algo/synod.mli: Ksa_sim

@@ -1,0 +1,1 @@
+lib/algo/trivial.ml: Format Ksa_sim

@@ -1,0 +1,1 @@
+lib/algo/trivial.mli: Ksa_sim

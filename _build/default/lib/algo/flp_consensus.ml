@@ -1,0 +1,26 @@
+module For (N : sig
+  val n : int
+end) =
+struct
+  module Inner = Kset_flp.Make (struct
+    let l = Kset_flp.consensus_l ~n:N.n
+  end)
+
+  type state = Inner.state
+  type message = Inner.message
+
+  let name = Printf.sprintf "flp-consensus(n=%d)" N.n
+  let uses_fd = Inner.uses_fd
+
+  let init ~n ~me ~input =
+    if n <> N.n then invalid_arg "Flp_consensus: system size mismatch";
+    Inner.init ~n ~me ~input
+
+  let step = Inner.step
+  let pp_state = Inner.pp_state
+  let pp_message = Inner.pp_message
+end
+
+let max_initial_crashes ~n =
+  if n < 1 then invalid_arg "Flp_consensus.max_initial_crashes";
+  ((n + 1) / 2) - 1

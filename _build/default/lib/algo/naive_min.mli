@@ -1,0 +1,20 @@
+(** A plausible-but-flawed k-set agreement candidate, kept on purpose.
+
+    "Broadcast your value, wait until you hold values from [wait_for]
+    distinct processes (your own included), decide the minimum."
+    At first sight this looks reasonable for k-set agreement with
+    [wait_for = n − f]: it terminates despite f crashes and any two
+    processes that hear from each other agree on small values.
+
+    It is wrong, and the paper's Remarks after Theorem 1 describe
+    exactly how to see that cheaply: the algorithm has runs satisfying
+    (dec-D) — partition the system into groups of size [wait_for] with
+    distinct inputs, delay cross-group messages, and each group decides
+    its own minimum, giving ⌈n/wait_for⌉ distinct decisions.  The
+    Theorem-1 screening harness ({!Ksa_core.Theorem1}) finds such a
+    witness automatically; experiment E8 demonstrates it. *)
+
+module Make (P : sig
+  val wait_for : int
+end) : Ksa_sim.Algorithm.S
+(** [init] checks [1 <= wait_for <= n]. *)

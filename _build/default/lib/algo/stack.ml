@@ -1,0 +1,104 @@
+module Pid = Ksa_sim.Pid
+module Fd_view = Ksa_sim.Fd_view
+
+module type FD_IMPL = sig
+  type state
+  type message
+
+  val name : string
+  val init : n:int -> me:Pid.t -> state
+
+  val on_step :
+    state -> received:(Pid.t * message) list -> state * (Pid.t * message) list
+
+  val view : state -> Fd_view.t
+end
+
+module Heartbeat_fd (W : sig
+  val window : int
+end) =
+struct
+  type message = Beat
+
+  type state = {
+    n : int;
+    me : Pid.t;
+    steps : int;
+    last_heard : int Pid.Map.t; (* own-step index of last beat per sender *)
+  }
+
+  let name = Printf.sprintf "heartbeat-fd(w=%d)" W.window
+
+  let init ~n ~me = { n; me; steps = 0; last_heard = Pid.Map.empty }
+
+  let on_step st ~received =
+    let st = { st with steps = st.steps + 1 } in
+    let last_heard =
+      List.fold_left
+        (fun acc (src, Beat) -> Pid.Map.add src st.steps acc)
+        st.last_heard received
+    in
+    let st = { st with last_heard } in
+    let sends =
+      List.filter_map
+        (fun q -> if Pid.equal q st.me then None else Some (q, Beat))
+        (List.init st.n Fun.id)
+    in
+    (st, sends)
+
+  let fresh st =
+    List.filter
+      (fun q ->
+        Pid.equal q st.me
+        ||
+        match Pid.Map.find_opt q st.last_heard with
+        | Some s -> s > st.steps - W.window
+        | None -> false)
+      (List.init st.n Fun.id)
+
+  let view st =
+    let fresh = fresh st in
+    let majority = (st.n / 2) + 1 in
+    let quorum =
+      if List.length fresh >= majority then fresh else List.init st.n Fun.id
+    in
+    let leader = List.fold_left min st.me fresh in
+    Fd_view.Pair (Fd_view.Quorum quorum, Fd_view.Leaders [ leader ])
+end
+
+module Make (F : FD_IMPL) (A : Ksa_sim.Algorithm.S) = struct
+  type state = { f : F.state; a : A.state }
+  type message = Fd of F.message | App of A.message
+
+  let name = A.name ^ "/" ^ F.name
+  let uses_fd = false
+
+  let init ~n ~me ~input = { f = F.init ~n ~me; a = A.init ~n ~me ~input }
+
+  let step st ~received ~fd =
+    ignore fd;
+    let fd_msgs =
+      List.filter_map
+        (fun (src, m) -> match m with Fd m -> Some (src, m) | App _ -> None)
+        received
+    in
+    let app_msgs =
+      List.filter_map
+        (fun (src, m) -> match m with App m -> Some (src, m) | Fd _ -> None)
+        received
+    in
+    let f, f_sends = F.on_step st.f ~received:fd_msgs in
+    let view = F.view f in
+    let a, a_sends, dec = A.step st.a ~received:app_msgs ~fd:(Some view) in
+    let sends =
+      List.map (fun (dst, m) -> (dst, Fd m)) f_sends
+      @ List.map (fun (dst, m) -> (dst, App m)) a_sends
+    in
+    ({ f; a }, sends, dec)
+
+  let pp_state ppf st = A.pp_state ppf st.a
+
+  let pp_message ppf = function
+    | Fd _ -> Format.pp_print_string ppf "fd-beat"
+    | App m -> A.pp_message ppf m
+end

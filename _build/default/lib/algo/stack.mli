@@ -1,0 +1,57 @@
+(** Stacking an in-protocol failure-detector implementation under an
+    oracle-based algorithm.
+
+    The failure-detector results of the paper (Section VII) treat
+    detectors axiomatically; {!Ksa_fd.Impl} shows the axioms are
+    implementable from partial synchrony by {e extracting} histories
+    from a recorded run.  This module closes the remaining gap: the
+    detector runs {e inside} the protocol.  [Make (F) (A)] is a plain
+    oracle-free algorithm whose processes run the detector
+    implementation [F] and the oracle-based algorithm [A] side by
+    side, feeding [A]'s failure-detector queries from [F]'s local
+    state instead of an external history.
+
+    With [F] = {!Heartbeat_fd} (sliding-window majority quorums and a
+    min-id leader) and [A] = {!Synod.A}, the stack is a consensus
+    protocol for partially synchronous systems with {e no oracle
+    whatsoever}: safety is unconditional (quorum outputs are
+    majorities or Π, hence intersecting), and termination holds under
+    any schedule that eventually stabilizes (e.g.
+    {!Ksa_sim.Adversary.eventually_lockstep}) — the concrete form of
+    the paper's closing question (iii): models with just enough
+    synchrony to circumvent the impossibility. *)
+
+(** A failure-detector implementation living inside each process. *)
+module type FD_IMPL = sig
+  type state
+  type message
+
+  val name : string
+  val init : n:int -> me:Ksa_sim.Pid.t -> state
+
+  val on_step :
+    state ->
+    received:(Ksa_sim.Pid.t * message) list ->
+    state * (Ksa_sim.Pid.t * message) list
+  (** Called once per process step with the detector-layer messages
+      delivered in that step; returns the new detector state and the
+      detector-layer messages to send. *)
+
+  val view : state -> Ksa_sim.Fd_view.t
+  (** The current query answer, from local state only. *)
+end
+
+module Heartbeat_fd (W : sig
+  val window : int
+  (** Freshness window, in the process's own steps.  Must cover a
+      post-stabilization gossip lap (≳ 2n) for the leader to
+      stabilize. *)
+end) : FD_IMPL
+(** Broadcasts a beat each step; trusts the processes heard from
+    within the window.  Quorum output: the fresh set when it reaches
+    a majority, Π otherwise (so any two outputs intersect, always).
+    Leader output: the smallest fresh id. *)
+
+module Make (F : FD_IMPL) (A : Ksa_sim.Algorithm.S) : Ksa_sim.Algorithm.S
+(** The stacked algorithm: oracle-free ([uses_fd = false]); decisions
+    are [A]'s. *)

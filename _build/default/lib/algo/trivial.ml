@@ -1,0 +1,22 @@
+module Value = Ksa_sim.Value
+module Pid = Ksa_sim.Pid
+
+module A = struct
+  type state = { me : Pid.t; input : Value.t; decided : bool }
+  type message = |
+
+  let name = "trivial"
+  let uses_fd = false
+  let init ~n ~me ~input = ignore n; { me; input; decided = false }
+
+  let step st ~received ~fd =
+    ignore received;
+    ignore fd;
+    if st.decided then (st, [], None)
+    else ({ st with decided = true }, [], Some st.input)
+
+  let pp_message _ppf (msg : message) = match msg with _ -> .
+
+  let pp_state ppf st =
+    Format.fprintf ppf "{%a input=%a}" Pid.pp st.me Value.pp st.input
+end

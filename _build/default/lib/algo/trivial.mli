@@ -1,0 +1,12 @@
+(** The trivial wait-free algorithm: decide your own proposal
+    immediately, never communicate.
+
+    Solves k-set agreement exactly when at most k distinct values are
+    proposed — in particular n-set agreement wait-free — and is the
+    degenerate endpoint of the solvability border (Section V's opening
+    observation: with wait-freedom the adversary can delay all
+    communication until every process has decided on its own value,
+    which this algorithm simply concedes up front).  It satisfies
+    strong 2{^Π}-independence. *)
+
+module A : Ksa_sim.Algorithm.S

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Border Format Fun Independence Ksa_algo Ksa_dgraph Ksa_fd Ksa_ho Ksa_prim Ksa_sim Ksa_sm Kset_spec List Option Partitioning Pasting Printf String Theorem1 Theorem2

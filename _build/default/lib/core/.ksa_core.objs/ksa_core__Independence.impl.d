@@ -1,0 +1,1 @@
+lib/core/independence.ml: Ksa_prim Ksa_sim List Option

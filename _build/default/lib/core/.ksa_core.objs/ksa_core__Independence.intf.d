@@ -1,0 +1,1 @@
+lib/core/independence.mli: Ksa_sim

@@ -1,0 +1,1 @@
+lib/core/indist.ml: Ksa_prim Ksa_sim List

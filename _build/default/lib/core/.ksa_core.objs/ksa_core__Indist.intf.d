@@ -1,0 +1,1 @@
+lib/core/indist.mli: Ksa_sim

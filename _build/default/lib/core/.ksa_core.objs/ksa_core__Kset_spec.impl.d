@@ -1,0 +1,1 @@
+lib/core/kset_spec.ml: Array Hashtbl Ksa_sim List Option Printf

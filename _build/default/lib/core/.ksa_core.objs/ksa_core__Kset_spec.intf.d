@@ -1,0 +1,1 @@
+lib/core/kset_spec.mli: Ksa_sim

@@ -1,0 +1,1 @@
+lib/core/partitioning.ml: Border Format Ksa_prim Ksa_sim List

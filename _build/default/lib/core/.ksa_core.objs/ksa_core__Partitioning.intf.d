@@ -1,0 +1,1 @@
+lib/core/partitioning.mli: Format Ksa_sim

@@ -1,0 +1,1 @@
+lib/core/pasting.ml: Array Format Indist Ksa_fd Ksa_prim Ksa_sim List Option Stdlib

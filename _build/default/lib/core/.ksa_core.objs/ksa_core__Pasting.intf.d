@@ -1,0 +1,1 @@
+lib/core/pasting.mli: Ksa_fd Ksa_sim Stdlib

@@ -1,0 +1,1 @@
+lib/core/theorem1.ml: Array Border Format Indist Ksa_prim Ksa_sim List Option Partitioning

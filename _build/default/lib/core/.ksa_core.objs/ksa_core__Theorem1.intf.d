@@ -1,0 +1,1 @@
+lib/core/theorem1.mli: Format Ksa_sim Partitioning

@@ -1,0 +1,1 @@
+lib/core/theorem2.ml: Independence Ksa_algo Ksa_sim List Partitioning Printf Stdlib Theorem1

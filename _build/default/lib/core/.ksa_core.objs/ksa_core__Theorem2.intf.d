@@ -1,0 +1,1 @@
+lib/core/theorem2.mli: Ksa_sim Partitioning Stdlib Theorem1

@@ -1,0 +1,30 @@
+(** Indistinguishability of runs (Definitions 2 and 3).
+
+    Two runs are indistinguishable {e until decision} for a process p
+    if p goes through the same sequence of local states in both until
+    it decides.  We compare the MD5 digests of the marshalled states
+    recorded in each event ({!Ksa_sim.Event.t.state_digest}); for the
+    deterministic pure state machines of {!Ksa_sim.Algorithm.S} equal
+    digest sequences mean equal state sequences (up to the
+    astronomically unlikely hash collision). *)
+
+module Run = Ksa_sim.Run
+module Pid = Ksa_sim.Pid
+
+val state_trace_until_decision : Run.t -> Pid.t -> string list
+(** Digest sequence of the process's states up to and including its
+    deciding step (the whole trace if it never decides). *)
+
+val for_process : Run.t -> Run.t -> Pid.t -> bool
+(** α ∼ β for p: equal traces until decision.  If p decides in both
+    runs, only the prefixes up to the decision are compared; if it
+    decides in neither, the full recorded traces must agree up to the
+    shorter one's length (finite-prefix approximation). *)
+
+val for_all : Run.t -> Run.t -> Pid.t list -> bool
+(** α {^D}∼ β (Definition 2): indistinguishable for every process of
+    D. *)
+
+val compatible : Run.t list -> Run.t list -> d:Pid.t list -> bool
+(** R' ≼{_D} R (Definition 3): every run of R' has a D-indistinguishable
+    counterpart in R. *)

@@ -1,0 +1,53 @@
+module Run = Ksa_sim.Run
+module Value = Ksa_sim.Value
+
+let check_k_agreement ~k run =
+  let d = Run.distinct_decisions run in
+  if d <= k then Ok ()
+  else Error (Printf.sprintf "k-agreement: %d distinct decisions > k = %d" d k)
+
+let check_validity run =
+  let proposed = Array.to_list run.Run.inputs in
+  match
+    List.find_opt (fun v -> not (List.mem v proposed)) (Run.decided_values run)
+  with
+  | None -> Ok ()
+  | Some v -> Error (Printf.sprintf "validity: decided value %d was never proposed" v)
+
+let check_termination run =
+  if Run.all_correct_decided run then Ok ()
+  else
+    Error
+      (Printf.sprintf "termination: a correct process never decided (status %s)"
+         (match run.Run.status with
+         | Run.All_correct_decided -> "decided"
+         | Run.Halted_by_adversary -> "halted"
+         | Run.Hit_step_budget -> "step-budget"
+         | Run.No_enabled_process -> "no-enabled-process"))
+
+let check ~k run =
+  match check_validity run with
+  | Error _ as e -> e
+  | Ok () -> (
+      match check_k_agreement ~k run with
+      | Error _ as e -> e
+      | Ok () -> check_termination run)
+
+let check_many ~k runs =
+  let rec go i = function
+    | [] -> Ok ()
+    | run :: rest -> (
+        match check ~k run with
+        | Ok () -> go (i + 1) rest
+        | Error e -> Error (Printf.sprintf "run %d: %s" i e))
+  in
+  go 0 runs
+
+let decision_profile runs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun run ->
+      let d = Run.distinct_decisions run in
+      Hashtbl.replace tbl d (Option.value ~default:0 (Hashtbl.find_opt tbl d) + 1))
+    runs;
+  List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])

@@ -1,0 +1,28 @@
+(** The k-set agreement task (Section II-A) as executable run
+    predicates.
+
+    - {b k-Agreement}: at most k different decision values — over
+      {e all} processes, correct or faulty (the uniform flavour; for
+      k = 1 this is uniform consensus).
+    - {b Validity}: every decided value was proposed by some process.
+    - {b Termination}: every correct process eventually decides —
+      checked on finite prefixes as "the run reached a
+      decision-complete state". *)
+
+module Run = Ksa_sim.Run
+
+val check_k_agreement : k:int -> Run.t -> (unit, string) result
+
+val check_validity : Run.t -> (unit, string) result
+
+val check_termination : Run.t -> (unit, string) result
+
+val check : k:int -> Run.t -> (unit, string) result
+(** All three properties; the first failure is reported. *)
+
+val check_many : k:int -> Run.t list -> (unit, string) result
+(** All runs; the first failing run is reported with its index. *)
+
+val decision_profile : Run.t list -> (int * int) list
+(** Histogram over runs of the number of distinct decisions:
+    [(d, count)] sorted by [d].  Used by the experiment tables. *)

@@ -1,0 +1,73 @@
+module Pid = Ksa_sim.Pid
+module Listx = Ksa_prim.Listx
+
+type t = { n : int; groups : Pid.t list list; dbar : Pid.t list }
+
+let make ~n ~groups =
+  if List.exists (fun g -> g = []) groups then
+    invalid_arg "Partitioning.make: empty group";
+  let all = List.concat groups in
+  if List.exists (fun p -> not (Pid.valid ~n p)) all then
+    invalid_arg "Partitioning.make: invalid pid";
+  if List.length (List.sort_uniq compare all) <> List.length all then
+    invalid_arg "Partitioning.make: overlapping groups";
+  let dbar = List.filter (fun p -> not (List.mem p all)) (Pid.universe n) in
+  { n; groups = List.map (List.sort compare) groups; dbar }
+
+let theorem2 ~n ~f ~k =
+  if not (Border.theorem2_impossible ~n ~f ~k) then None
+  else
+    let l = n - f in
+    let groups =
+      List.init (k - 1) (fun i -> Listx.range (i * l) ((i + 1) * l))
+    in
+    Some (make ~n ~groups)
+
+let border_case ~n ~k =
+  if k < 1 || n mod (k + 1) <> 0 then None
+  else
+    let sz = n / (k + 1) in
+    Some (List.init (k + 1) (fun i -> Listx.range (i * sz) ((i + 1) * sz)))
+
+let theorem10 ~n ~k =
+  if not (Border.theorem10_impossible ~n ~k) then None
+  else
+    let j = n - k + 1 in
+    (* D̄ = {p0..p(j-1)}, singletons Dk-1 of the rest *)
+    let groups = List.init (k - 1) (fun i -> [ j + i ]) in
+    Some (make ~n ~groups)
+
+let d_union t = List.sort compare (List.concat t.groups)
+
+let all_groups t = t.groups @ [ t.dbar ]
+
+let pp ppf t =
+  let pp_group ppf g =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+         Pid.pp)
+      g
+  in
+  Format.fprintf ppf "D=%a D̄=%a"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_group)
+    t.groups pp_group t.dbar
+
+module Restrict (A : Ksa_sim.Algorithm.S) (D : sig
+  val members : Pid.t list
+end) =
+struct
+  type state = A.state
+  type message = A.message
+
+  let name = A.name ^ "|D"
+  let uses_fd = A.uses_fd
+  let init = A.init
+
+  let step st ~received ~fd =
+    let st', sends, dec = A.step st ~received ~fd in
+    (st', List.filter (fun (dst, _) -> List.mem dst D.members) sends, dec)
+
+  let pp_state = A.pp_state
+  let pp_message = A.pp_message
+end

@@ -1,0 +1,54 @@
+(** Partitions of the process set and the restriction of algorithms
+    (Definition 1).
+
+    Theorem 1 is parameterized by nonempty disjoint sets
+    D{_1}, …, D{_(k−1)} and D̄ = Π ∖ ⋃D{_i}; Theorem 2 instantiates
+    them as k−1 blocks of ℓ = n−f consecutive processes, leaving
+    |D̄| ≥ n−f+1 (Lemma 3).  Theorem 8's border case uses k+1 blocks
+    of n/(k+1).  This module builds those partitions and implements
+    the restricted algorithm A|D. *)
+
+module Pid = Ksa_sim.Pid
+
+type t = {
+  n : int;
+  groups : Pid.t list list;  (** D{_1}, …, D{_(k−1)}: disjoint, nonempty. *)
+  dbar : Pid.t list;  (** D̄ = Π ∖ ⋃ D{_i}. *)
+}
+
+val make : n:int -> groups:Pid.t list list -> t
+(** Checks disjointness/nonemptiness/validity and computes D̄.
+    @raise Invalid_argument on a malformed family. *)
+
+val theorem2 : n:int -> f:int -> k:int -> t option
+(** The Theorem 2 witness partition: D{_i} =
+    \{p{_((i−1)ℓ)}, …, p{_(iℓ−1)}\} with ℓ = n−f, for 1 ≤ i < k;
+    [None] if condition (1) fails.  Satisfies Lemma 3:
+    |D̄| ≥ n−f+1. *)
+
+val border_case : n:int -> k:int -> Pid.t list list option
+(** Theorem 8's border-case partition: k+1 disjoint groups of
+    n/(k+1) processes each, defined when (k+1) divides n (so that
+    kn = (k+1)f with f = n − n/(k+1)). *)
+
+val theorem10 : n:int -> k:int -> t option
+(** Theorem 10's partition: D̄ = \{p{_0}, …, p{_(j−1)}\} with
+    j = n−k+1 ≥ 3 and k−1 singleton groups; defined for
+    2 ≤ k ≤ n−2. *)
+
+val d_union : t -> Pid.t list
+(** D = ⋃ D{_i}, sorted. *)
+
+val all_groups : t -> Pid.t list list
+(** D{_1}, …, D{_(k−1)}, D̄ — the full partitioning of Π (the shape
+    Definition 7 consumes). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** The restricted algorithm A|D (Definition 1): identical code, but
+    the message sending function drops every message addressed
+    outside D.  The restricted algorithm still believes the system
+    has size n. *)
+module Restrict (A : Ksa_sim.Algorithm.S) (D : sig
+  val members : Pid.t list
+end) : Ksa_sim.Algorithm.S

@@ -1,0 +1,96 @@
+(** Executable run surgery: Lemma 12 (and the pasting core of
+    Lemma 11).
+
+    Lemma 12 builds, for a partitioning D{_1} … D{_k} of Π, a single
+    admissible run α in which every group takes {e exactly} the steps
+    it takes in a solo run α{_i} (everyone outside D{_i} initially
+    dead), with all cross-group communication delayed until every
+    correct process has decided, and a (Σ'{_k}, Ω'{_k}) history pasted
+    from the solo histories with a common leader set imposed after a
+    late t{_GST}.
+
+    The construction here is literal: each solo run is recorded, its
+    schedule replayed block-sequentially into one pasted run, and the
+    pasted failure-detector history is defined so that group i's
+    queries at pasted times B{_i}+j read the solo history at time j
+    (the per-process time reparametrization that makes the paper's
+    item 1 surgery type-check operationally).  The result record
+    carries every check the lemma asserts:
+
+    - each group is state-for-state indistinguishable (until decision)
+      between its solo run and the pasted run;
+    - the pasted run is decision-complete and exhibits k distinct
+      decisions (one per group, by validity of the solo runs under
+      distinct inputs);
+    - the pasted history satisfies Definition 7, and — Lemma 9 — also
+      validates as a (Σ{_k}, Ω{_k}) history.
+
+    Restriction: solo runs must be failure-free within their group
+    (exactly the Lemma 12 setting, where all failures are the initial
+    deaths of the other groups). *)
+
+module Run = Ksa_sim.Run
+module Pid = Ksa_sim.Pid
+
+type solo = {
+  group : Pid.t list;
+  run : Run.t;
+  history : Ksa_fd.History.t option;
+      (** The solo (Σ'{_k}, Ω'{_k}) history, when A uses an FD. *)
+}
+
+type result = {
+  solos : solo list;
+  pasted : Run.t;
+  pasted_history : Ksa_fd.History.t option;
+  per_group_indistinguishable : bool list;
+      (** Lemma 11/12's core claim, one flag per group. *)
+  distinct_decisions : int;
+  definition7 : (unit, string) Stdlib.result option;
+      (** Definition 7 validation of the pasted history. *)
+  lemma9 : (unit, string) Stdlib.result option;
+      (** The pasted history as a (Σ{_k}, Ω{_k}) history. *)
+}
+
+val lemma12 :
+  ?inputs:Ksa_sim.Value.t array ->
+  ?stab:int ->
+  ?tgst:int ->
+  ?max_steps:int ->
+  (module Ksa_sim.Algorithm.S) ->
+  groups:Pid.t list list ->
+  (result, string) Stdlib.result
+(** Runs the whole construction.  [groups] must partition Π (by
+    convention the last group is D̄).  [Error] reports a solo run that
+    failed to reach decision-completeness (the algorithm is then not
+    \{D{_i}\}-independent and the construction does not apply). *)
+
+type exchange = {
+  beta : result;  (** The base Lemma-12 construction (the run β ∈ R). *)
+  alpha : Run.t;  (** A different run of the D̄ subsystem (α ∈ R(D̄)). *)
+  beta' : Run.t;  (** The exchanged run of Lemma 11. *)
+  dbar_matches_alpha : bool;
+      (** D̄ is state-identical (until decision) to α in β'. *)
+  d_matches_beta : bool;
+      (** Every D{_i} is state-identical to its β behaviour in β'. *)
+  all_decided : bool;
+}
+
+val lemma11 :
+  ?inputs:Ksa_sim.Value.t array ->
+  ?stab:int ->
+  ?tgst:int ->
+  ?max_steps:int ->
+  ?alpha_seed:int ->
+  (module Ksa_sim.Algorithm.S) ->
+  groups:Pid.t list list ->
+  (exchange, string) Stdlib.result
+(** The Lemma 11 exchange, executed: build β by {!lemma12}; produce a
+    {e different} run α of the restricted system ⟨D̄⟩ (same solo
+    confinement, but a fair schedule seeded by [alpha_seed], so D̄
+    generally interleaves differently than in β); then construct β'
+    by replaying α's schedule for the processes of D̄ and β's for the
+    processes of D, under the correspondingly spliced
+    failure-detector history.  The returned flags are the lemma's
+    conclusion: β' is admissible, decision-complete, and
+    indistinguishable from α for D̄ and from β for D. *)

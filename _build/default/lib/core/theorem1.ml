@@ -1,0 +1,173 @@
+module Run = Ksa_sim.Run
+module Pid = Ksa_sim.Pid
+module Value = Ksa_sim.Value
+module Adversary = Ksa_sim.Adversary
+module Failure_pattern = Ksa_sim.Failure_pattern
+module Rng = Ksa_prim.Rng
+
+let dec_d run ~(partition : Partitioning.t) =
+  let d = Partitioning.d_union partition in
+  let proposed_in_d = List.map (fun p -> run.Run.inputs.(p)) d in
+  (* candidate values per group: decided by a member, proposed in D *)
+  let candidates =
+    List.map
+      (fun group ->
+        List.sort_uniq Value.compare
+          (List.filter_map
+             (fun p ->
+               match Run.decision_of run p with
+               | Some v when List.mem v proposed_in_d -> Some v
+               | Some _ | None -> None)
+             group))
+      partition.Partitioning.groups
+  in
+  (* system of distinct representatives by backtracking *)
+  let rec assign chosen = function
+    | [] -> Some (List.rev chosen)
+    | cands :: rest ->
+        List.find_map
+          (fun v ->
+            if List.mem v chosen then None else assign (v :: chosen) rest)
+          cands
+  in
+  assign [] candidates
+
+let dec_dbar run ~(partition : Partitioning.t) =
+  let d = Partitioning.d_union partition in
+  let dbar = partition.Partitioning.dbar in
+  match Run.last_decision_time run dbar with
+  | None -> false
+  | Some deadline ->
+      List.for_all
+        (fun p -> Run.receives_nothing_from_until run p ~from:d ~until:deadline)
+        dbar
+
+type witness = { run : Run.t; values : Value.t list; adversary : string }
+
+type portfolio = {
+  r_d : Run.t list;
+  r_d_dbar : Run.t list;
+  witness : witness option;
+  runs_tried : int;
+}
+
+let screen ?fd ?pattern ?inputs ?(max_steps = 200_000)
+    (module A : Ksa_sim.Algorithm.S) ~(partition : Partitioning.t) =
+  let module E = Ksa_sim.Engine.Make (A) in
+  let n = partition.Partitioning.n in
+  let inputs = Option.value inputs ~default:(Value.distinct_inputs n) in
+  let pattern = Option.value pattern ~default:(Failure_pattern.none ~n) in
+  let groups = partition.Partitioning.groups in
+  let dbar = partition.Partitioning.dbar in
+  let strategies =
+    [
+      (fun () -> Adversary.sequential_solo ~groups:(groups @ [ dbar ]));
+      (fun () -> Adversary.sequential_solo ~groups:((dbar :: groups) @ []));
+      (fun () -> Adversary.partition ~groups:(groups @ [ dbar ]) ());
+    ]
+  in
+  let classify acc mk =
+    let adv = mk () in
+    let run = E.run ~max_steps ?fd ~n ~inputs ~pattern adv in
+    let acc = { acc with runs_tried = acc.runs_tried + 1 } in
+    match dec_d run ~partition with
+    | None -> acc
+    | Some values ->
+        let acc = { acc with r_d = run :: acc.r_d } in
+        if dec_dbar run ~partition then
+          {
+            acc with
+            r_d_dbar = run :: acc.r_d_dbar;
+            witness =
+              (match acc.witness with
+              | Some _ as w -> w
+              | None ->
+                  Some { run; values; adversary = adv.Adversary.describe });
+          }
+        else acc
+  in
+  List.fold_left classify
+    { r_d = []; r_d_dbar = []; witness = None; runs_tried = 0 }
+    strategies
+
+type report = {
+  portfolio : portfolio;
+  condition_a : bool;
+  condition_b : bool;
+  condition_c : bool;
+  condition_d : bool;
+  verdict : [ `Not_a_kset_algorithm | `No_witness ];
+}
+
+(* Condition (D) by construction: run the restricted algorithm A|D̄
+   in the restricted system (everyone else initially dead), run the
+   full algorithm under the same pattern and schedule, and check the
+   two runs are indistinguishable for D̄. *)
+let validate_condition_d ?fd ?inputs ~max_steps ~seeds
+    (module A : Ksa_sim.Algorithm.S) ~(partition : Partitioning.t) =
+  let n = partition.Partitioning.n in
+  let dbar = partition.Partitioning.dbar in
+  let inputs = Option.value inputs ~default:(Value.distinct_inputs n) in
+  let module R =
+    Partitioning.Restrict
+      (A)
+      (struct
+        let members = dbar
+      end)
+  in
+  let module Er = Ksa_sim.Engine.Make (R) in
+  let module Ef = Ksa_sim.Engine.Make (A) in
+  let pattern =
+    Failure_pattern.restrict_to (Failure_pattern.none ~n) dbar
+  in
+  List.for_all
+    (fun seed ->
+      let restricted =
+        Er.run ~max_steps ?fd ~n ~inputs ~pattern
+          (Adversary.fair ~rng:(Rng.create ~seed))
+      in
+      let full =
+        Ef.run ~max_steps ?fd ~n ~inputs ~pattern
+          (Adversary.fair ~rng:(Rng.create ~seed))
+      in
+      Indist.for_all restricted full dbar)
+    seeds
+
+let evaluate ?fd ?pattern ?inputs ?(max_steps = 200_000)
+    ?(seeds = [ 1; 2; 3; 4; 5 ]) ~subsystem_crash_budget
+    (module A : Ksa_sim.Algorithm.S) ~(partition : Partitioning.t) =
+  let portfolio =
+    screen ?fd ?pattern ?inputs ~max_steps (module A) ~partition
+  in
+  let condition_a = portfolio.witness <> None in
+  let condition_b =
+    portfolio.r_d <> []
+    && Indist.compatible portfolio.r_d portfolio.r_d_dbar
+         ~d:partition.Partitioning.dbar
+  in
+  let condition_c =
+    Border.flp_consensus_impossible
+      ~n_subsystem:(List.length partition.Partitioning.dbar)
+      ~crashes:subsystem_crash_budget
+  in
+  let condition_d =
+    validate_condition_d ?fd ?inputs ~max_steps ~seeds (module A) ~partition
+  in
+  let verdict =
+    if condition_a && condition_b && condition_c && condition_d then
+      `Not_a_kset_algorithm
+    else `No_witness
+  in
+  { portfolio; condition_a; condition_b; condition_c; condition_d; verdict }
+
+let pp_report ppf r =
+  let yn ppf b = Format.pp_print_string ppf (if b then "yes" else "no") in
+  Format.fprintf ppf
+    "@[<v>(A) R(D) nonempty: %a@ (B) R(D) compatible with R(D,D̄): %a@ (C) \
+     consensus impossible in ⟨D̄⟩: %a@ (D) restricted runs embed: %a@ verdict: \
+     %s@]"
+    yn r.condition_a yn r.condition_b yn r.condition_c yn r.condition_d
+    (match r.verdict with
+    | `Not_a_kset_algorithm ->
+        "NOT a k-set agreement algorithm (Theorem 1 applies)"
+    | `No_witness -> "no Theorem-1 witness found")

@@ -1,0 +1,1 @@
+lib/dgraph/condensation.ml: Array Digraph List Scc

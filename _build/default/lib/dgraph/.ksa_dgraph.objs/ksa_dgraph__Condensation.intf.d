@@ -1,0 +1,1 @@
+lib/dgraph/condensation.mli: Digraph Scc

@@ -1,0 +1,1 @@
+lib/dgraph/digraph.ml: Array Format Fun Hashtbl List

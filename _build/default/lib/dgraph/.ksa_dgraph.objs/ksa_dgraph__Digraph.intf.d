@@ -1,0 +1,1 @@
+lib/dgraph/digraph.mli: Format

@@ -1,0 +1,1 @@
+lib/dgraph/gen.ml: Array Digraph Ksa_prim List

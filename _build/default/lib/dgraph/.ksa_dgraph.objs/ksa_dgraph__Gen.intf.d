@@ -1,0 +1,1 @@
+lib/dgraph/gen.mli: Digraph Ksa_prim

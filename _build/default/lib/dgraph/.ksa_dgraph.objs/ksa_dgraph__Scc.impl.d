@@ -1,0 +1,1 @@
+lib/dgraph/scc.ml: Array Digraph

@@ -1,0 +1,1 @@
+lib/dgraph/scc.mli: Digraph

@@ -1,0 +1,1 @@
+lib/dgraph/source.ml: Array Condensation Digraph List Weak_components

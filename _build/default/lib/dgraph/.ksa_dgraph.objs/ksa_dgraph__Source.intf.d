@@ -1,0 +1,1 @@
+lib/dgraph/source.mli: Digraph

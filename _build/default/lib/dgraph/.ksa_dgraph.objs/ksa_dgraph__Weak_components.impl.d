@@ -1,0 +1,1 @@
+lib/dgraph/weak_components.ml: Array Digraph Fun Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/dgraph/weak_components.mli: Digraph

@@ -1,0 +1,43 @@
+(** The condensation DAG of a directed graph.
+
+    Contracting every strongly connected component of [g] into a
+    single vertex yields a directed acyclic graph.  Section VI of the
+    paper calls a component whose contracted vertex has in-degree 0 a
+    {e source component}; every process in the knowledge graph has a
+    directed incoming path from all processes of at least one source
+    component (Lemma 7), which is what makes local decision on a
+    common clique value possible. *)
+
+type t = {
+  scc : Scc.result;  (** The underlying component structure. *)
+  dag : Digraph.t;
+      (** The condensation: one vertex per component, an edge
+          [a → b] iff some original edge goes from component [a] to
+          component [b] with [a <> b].  Acyclic by construction. *)
+  members : int list array;
+      (** [members.(c)] are the original vertices of component [c],
+          sorted increasing. *)
+}
+
+val compute : Digraph.t -> t
+
+val component_of : t -> int -> int
+(** Component index of an original vertex. *)
+
+val size_of : t -> int -> int
+(** Number of original vertices in a component. *)
+
+val sources : t -> int list
+(** Indices of source components (in-degree 0 in the DAG), sorted. *)
+
+val sinks : t -> int list
+(** Indices of sink components (out-degree 0 in the DAG), sorted. *)
+
+val is_acyclic : Digraph.t -> bool
+(** [true] iff the graph has no directed cycle (every SCC is a
+    singleton without a self-loop; self-loops are excluded by
+    construction in {!Digraph}). *)
+
+val topological_order : t -> int list
+(** Component indices in a topological order of the DAG (every edge
+    goes from an earlier to a later element). *)

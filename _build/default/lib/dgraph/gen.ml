@@ -1,0 +1,47 @@
+module Rng = Ksa_prim.Rng
+module Listx = Ksa_prim.Listx
+
+let gnp rng ~n ~p =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Rng.float rng < p then edges := (u, v) :: !edges
+    done
+  done;
+  Digraph.create ~n ~edges:!edges
+
+let min_in_degree rng ~n ~delta =
+  if delta < 0 || delta >= n then invalid_arg "Gen.min_in_degree";
+  let others v = List.filter (fun u -> u <> v) (Listx.range 0 n) in
+  let preds = Array.init n (fun v -> Rng.sample rng delta (others v)) in
+  Digraph.of_pred_lists preds
+
+let knowledge_graph rng ~n ~alive ~wait_for =
+  let alive = List.sort_uniq compare alive in
+  if wait_for > List.length alive - 1 || wait_for < 0 then
+    invalid_arg "Gen.knowledge_graph";
+  let preds = Array.make n [] in
+  List.iter
+    (fun v ->
+      let others = List.filter (fun u -> u <> v) alive in
+      preds.(v) <- Rng.sample rng wait_for others)
+    alive;
+  Digraph.of_pred_lists preds
+
+let cycle n =
+  Digraph.create ~n ~edges:(List.init n (fun i -> (i, (i + 1) mod n)))
+
+let union_of_cliques ~sizes =
+  let total = List.fold_left ( + ) 0 sizes in
+  let edges = ref [] in
+  let base = ref 0 in
+  List.iter
+    (fun sz ->
+      for u = !base to !base + sz - 1 do
+        for v = !base to !base + sz - 1 do
+          if u <> v then edges := (u, v) :: !edges
+        done
+      done;
+      base := !base + sz)
+    sizes;
+  Digraph.create ~n:total ~edges:!edges

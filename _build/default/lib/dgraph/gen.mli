@@ -1,0 +1,31 @@
+(** Random digraph generators for tests and benchmarks.
+
+    All generators are deterministic functions of the supplied
+    {!Ksa_prim.Rng.t}. *)
+
+val gnp : Ksa_prim.Rng.t -> n:int -> p:float -> Digraph.t
+(** Erdős–Rényi style digraph: each ordered pair [(u,v)], [u <> v],
+    is an edge independently with probability [p]. *)
+
+val min_in_degree : Ksa_prim.Rng.t -> n:int -> delta:int -> Digraph.t
+(** A digraph in which every vertex has in-degree at least [delta]:
+    each vertex independently picks [delta] distinct in-neighbours
+    uniformly.  This is exactly the shape of a stage-one knowledge
+    graph where every process waited for [delta] messages.
+    @raise Invalid_argument unless [0 <= delta < n]. *)
+
+val knowledge_graph : Ksa_prim.Rng.t -> n:int -> alive:int list -> wait_for:int -> Digraph.t
+(** A stage-one knowledge graph of the Section VI protocol over the
+    process set [0..n-1] of which only [alive] take steps: every alive
+    vertex picks [wait_for] distinct in-neighbours among the other
+    alive vertices.  Crashed (not alive) vertices are isolated.
+    @raise Invalid_argument if [wait_for] exceeds
+    [List.length alive - 1]. *)
+
+val cycle : int -> Digraph.t
+(** The directed cycle 0 → 1 → ... → n-1 → 0 (min in-degree 1,
+    single source component of size n). *)
+
+val union_of_cliques : sizes:int list -> Digraph.t
+(** Disjoint union of complete digraphs of the given sizes: the
+    extreme case with [List.length sizes] source components. *)

@@ -1,0 +1,75 @@
+let source_components g =
+  let t = Condensation.compute g in
+  let comps = List.map (fun c -> t.Condensation.members.(c)) (Condensation.sources t) in
+  List.sort compare comps
+
+let source_component_count g = List.length (source_components g)
+
+(* Components of the condensation DAG from which [c0] is reachable,
+   via BFS on reversed DAG edges. *)
+let dag_ancestors dag c0 =
+  let size = Digraph.n dag in
+  let seen = Array.make size false in
+  let rec bfs frontier =
+    match frontier with
+    | [] -> ()
+    | c :: rest ->
+        let next =
+          List.filter
+            (fun p ->
+              if seen.(p) then false
+              else begin
+                seen.(p) <- true;
+                true
+              end)
+            (Digraph.pred dag c)
+        in
+        bfs (List.rev_append next rest)
+  in
+  seen.(c0) <- true;
+  bfs [ c0 ];
+  seen
+
+let reachable_sources g v =
+  let t = Condensation.compute g in
+  let seen = dag_ancestors t.Condensation.dag (Condensation.component_of t v) in
+  let srcs =
+    List.filter (fun c -> seen.(c)) (Condensation.sources t)
+  in
+  List.sort compare (List.map (fun c -> t.Condensation.members.(c)) srcs)
+
+let decision_source g v =
+  match reachable_sources g v with
+  | [] -> assert false (* Lemma 7: impossible *)
+  | first :: _ -> first (* sorted by smallest member: deterministic rule *)
+
+let max_source_components ~n ~delta =
+  if n < 0 || delta < 0 then invalid_arg "Source.max_source_components";
+  n / (delta + 1)
+
+let lemma6_holds g =
+  let delta = Digraph.min_in_degree g in
+  if delta <= 0 || Digraph.n g = 0 then true
+  else
+    List.exists (fun c -> List.length c >= delta + 1) (source_components g)
+
+let lemma7_holds g =
+  let delta = Digraph.min_in_degree g in
+  if delta <= 0 || Digraph.n g = 0 then true
+  else
+    let weak = Weak_components.compute g in
+    List.for_all
+      (fun wc ->
+        let sub, back = Digraph.induced g wc in
+        (* a source component of g inside this weak component is also a
+           source component of the induced subgraph, and vice versa,
+           because no edges cross weak-component boundaries *)
+        List.exists
+          (fun c -> List.length c >= delta + 1)
+          (List.map (List.map (fun v -> back.(v))) (source_components sub)))
+      weak
+
+let unique_source_if_majority g =
+  let delta = Digraph.min_in_degree g in
+  if delta <= 0 || 2 * delta < Digraph.n g then true
+  else source_component_count g = 1

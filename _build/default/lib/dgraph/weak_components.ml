@@ -1,0 +1,46 @@
+(* Union-find with path compression and union by rank. *)
+
+type uf = { parent : int array; rank : int array }
+
+let uf_create size = { parent = Array.init size Fun.id; rank = Array.make size 0 }
+
+let rec uf_find uf v =
+  let p = uf.parent.(v) in
+  if p = v then v
+  else begin
+    let root = uf_find uf p in
+    uf.parent.(v) <- root;
+    root
+  end
+
+let uf_union uf u v =
+  let ru = uf_find uf u and rv = uf_find uf v in
+  if ru <> rv then
+    if uf.rank.(ru) < uf.rank.(rv) then uf.parent.(ru) <- rv
+    else if uf.rank.(ru) > uf.rank.(rv) then uf.parent.(rv) <- ru
+    else begin
+      uf.parent.(rv) <- ru;
+      uf.rank.(ru) <- uf.rank.(ru) + 1
+    end
+
+let build g =
+  let uf = uf_create (Digraph.n g) in
+  List.iter (fun (u, v) -> uf_union uf u v) (Digraph.edges g);
+  uf
+
+let compute g =
+  let uf = build g in
+  let buckets = Hashtbl.create 16 in
+  for v = Digraph.n g - 1 downto 0 do
+    let r = uf_find uf v in
+    let existing = Option.value ~default:[] (Hashtbl.find_opt buckets r) in
+    Hashtbl.replace buckets r (v :: existing)
+  done;
+  Hashtbl.fold (fun _ vs acc -> vs :: acc) buckets []
+  |> List.sort compare
+
+let count g = List.length (compute g)
+
+let same g u v =
+  let uf = build g in
+  uf_find uf u = uf_find uf v

@@ -1,0 +1,13 @@
+(** Weakly connected components (ignoring edge direction), via
+    union-find.  Needed for Lemma 7, which quantifies over the weakly
+    connected components of the knowledge graph. *)
+
+val compute : Digraph.t -> int list list
+(** The weakly connected components, each a sorted vertex list; the
+    component list is sorted by smallest member.  Isolated vertices
+    form singleton components. *)
+
+val count : Digraph.t -> int
+
+val same : Digraph.t -> int -> int -> bool
+(** Whether two vertices lie in the same weakly connected component. *)

@@ -1,0 +1,1 @@
+lib/fd/history.ml: Array Ksa_sim List

@@ -1,0 +1,1 @@
+lib/fd/history.mli: Ksa_sim

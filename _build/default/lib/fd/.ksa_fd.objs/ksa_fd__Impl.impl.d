@@ -1,0 +1,1 @@
+lib/fd/impl.ml: Array Format Fun History Ksa_sim List

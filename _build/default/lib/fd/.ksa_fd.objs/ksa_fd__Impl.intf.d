@@ -1,0 +1,1 @@
+lib/fd/impl.mli: History Ksa_sim

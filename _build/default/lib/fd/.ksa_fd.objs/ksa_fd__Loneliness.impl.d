@@ -1,0 +1,1 @@
+lib/fd/loneliness.ml: History Ksa_sim List

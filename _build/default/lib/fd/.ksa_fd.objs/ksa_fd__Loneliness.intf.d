@@ -1,0 +1,1 @@
+lib/fd/loneliness.mli: History Ksa_sim

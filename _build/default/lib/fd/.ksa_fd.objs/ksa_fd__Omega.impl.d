@@ -1,0 +1,1 @@
+lib/fd/omega.ml: Hashtbl History Ksa_prim Ksa_sim List Printf

@@ -1,0 +1,1 @@
+lib/fd/omega.mli: History Ksa_prim Ksa_sim

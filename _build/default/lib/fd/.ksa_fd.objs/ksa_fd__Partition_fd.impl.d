@@ -1,0 +1,1 @@
+lib/fd/partition_fd.ml: History Ksa_prim Ksa_sim List Omega Printf Sigma

@@ -1,0 +1,1 @@
+lib/fd/partition_fd.mli: History Ksa_sim

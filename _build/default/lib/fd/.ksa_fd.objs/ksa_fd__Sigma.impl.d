@@ -1,0 +1,1 @@
+lib/fd/sigma.ml: Array Buffer Hashtbl History Ksa_prim Ksa_sim List Printf

@@ -1,0 +1,1 @@
+lib/fd/sigma.mli: History Ksa_prim Ksa_sim

@@ -1,0 +1,1 @@
+lib/fd/transform.ml: History Ksa_prim Ksa_sim List Omega Printf

@@ -1,0 +1,1 @@
+lib/fd/transform.mli: History Ksa_sim

@@ -1,0 +1,47 @@
+module Pid = Ksa_sim.Pid
+module Fd_view = Ksa_sim.Fd_view
+
+type t = {
+  n : int;
+  horizon : int;
+  view : time:int -> me:Pid.t -> Fd_view.t;
+}
+
+let make ~n ~horizon f =
+  let view ~time ~me = f ~time:(min time horizon) ~me in
+  { n; horizon; view }
+
+let oracle t ~time ~me = t.view ~time ~me
+
+let tabulate t =
+  Array.init (t.horizon + 1) (fun time ->
+      let time = max time 1 in
+      Array.init t.n (fun p -> t.view ~time ~me:p))
+
+let map t f = { t with view = (fun ~time ~me -> f (t.view ~time ~me)) }
+
+let combine a b =
+  if a.n <> b.n then invalid_arg "History.combine: size mismatch";
+  {
+    n = a.n;
+    horizon = max a.horizon b.horizon;
+    view =
+      (fun ~time ~me -> Fd_view.Pair (a.view ~time ~me, b.view ~time ~me));
+  }
+
+let splice ~inside ha hb =
+  if ha.n <> hb.n then invalid_arg "History.splice: size mismatch";
+  {
+    n = ha.n;
+    horizon = max ha.horizon hb.horizon;
+    view =
+      (fun ~time ~me ->
+        if List.mem me inside then ha.view ~time ~me else hb.view ~time ~me);
+  }
+
+let override_from ~time:cut h f =
+  {
+    h with
+    horizon = max h.horizon cut;
+    view = (fun ~time ~me -> if time >= cut then f ~me else h.view ~time ~me);
+  }

@@ -1,0 +1,45 @@
+(** Concrete failure-detector histories H(p, t).
+
+    A history assigns every process at every time the value it would
+    obtain by querying the detector (Section II-C).  Histories here
+    carry a [horizon]: all generators produce histories that are
+    constant from the horizon on (stabilization has happened), so
+    clamping queries beyond the horizon is exact, and validators can
+    decide eventual properties by inspecting times [1 .. horizon]. *)
+
+type t = {
+  n : int;
+  horizon : int;  (** Stabilization-complete by this time. *)
+  view : time:int -> me:Ksa_sim.Pid.t -> Ksa_sim.Fd_view.t;
+}
+
+val make :
+  n:int -> horizon:int ->
+  (time:int -> me:Ksa_sim.Pid.t -> Ksa_sim.Fd_view.t) -> t
+(** Wraps the function with clamping: queries at [time > horizon] see
+    the value at [horizon]. *)
+
+val oracle : t -> Ksa_sim.Fd_view.oracle
+(** The history as an engine oracle. *)
+
+val tabulate : t -> Ksa_sim.Fd_view.t array array
+(** [tabulate h] is a [(horizon+1) × n] table; row [t] (for
+    [t ≥ 1]) column [p] is H(p, t).  Row 0 is unused (time is
+    1-based) and repeats row 1. *)
+
+val map : t -> (Ksa_sim.Fd_view.t -> Ksa_sim.Fd_view.t) -> t
+
+val combine : t -> t -> t
+(** Pointwise product history: [Pair (a, b)] at every (p, t).  The
+    horizons must agree on [n]; the horizon is the max of the two. *)
+
+val splice : inside:Ksa_sim.Pid.t list -> t -> t -> t
+(** [splice ~inside ha hb] shows [ha]'s values to processes in
+    [inside] and [hb]'s to all others — the history surgery of
+    Lemma 11, item 1 (replacing H{_β}(p, ·) by H{_α}(p, ·) for
+    p ∈ D̄). *)
+
+val override_from : time:int -> t -> (me:Ksa_sim.Pid.t -> Ksa_sim.Fd_view.t) -> t
+(** [override_from ~time h f]: before [time], as [h]; from [time] on,
+    [f].  Used to impose a common post-t{_GST} leader set (Lemma 11,
+    item 5). *)

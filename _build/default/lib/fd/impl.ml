@@ -1,0 +1,82 @@
+module Sim = Ksa_sim
+module Pid = Sim.Pid
+module Fd_view = Sim.Fd_view
+
+module Heartbeat = struct
+  type state = { n : int; me : Pid.t; beats : int }
+  type message = Beat of int
+
+  let name = "heartbeat"
+  let uses_fd = false
+  let init ~n ~me ~input = ignore input; { n; me; beats = 0 }
+
+  let step st ~received ~fd =
+    ignore received;
+    ignore fd;
+    let st = { st with beats = st.beats + 1 } in
+    let sends =
+      List.filter_map
+        (fun q -> if Pid.equal q st.me then None else Some (q, Beat st.beats))
+        (List.init st.n Fun.id)
+    in
+    (st, sends, None)
+
+  let pp_message ppf (Beat i) = Format.fprintf ppf "beat(%d)" i
+  let pp_state ppf st = Format.fprintf ppf "{%a beats=%d}" Pid.pp st.me st.beats
+end
+
+(* last_heard.(t).(me).(src) = the latest time <= t at which [me]
+   received a message from [src]; 0 if never.  Built once per run. *)
+let last_heard_table run =
+  let n = run.Sim.Run.n in
+  let horizon =
+    List.fold_left (fun acc (ev : Sim.Event.t) -> max acc ev.time) 1
+      run.Sim.Run.events
+  in
+  let table = Array.init (horizon + 1) (fun _ -> Array.make_matrix n n 0) in
+  List.iter
+    (fun (ev : Sim.Event.t) ->
+      List.iter
+        (fun (_, src) -> table.(ev.time).(ev.pid).(src) <- ev.time)
+        ev.delivered)
+    run.Sim.Run.events;
+  (* prefix-max over time *)
+  for t = 1 to horizon do
+    for me = 0 to n - 1 do
+      for src = 0 to n - 1 do
+        table.(t).(me).(src) <- max table.(t).(me).(src) table.(t - 1).(me).(src)
+      done
+    done
+  done;
+  (table, horizon)
+
+let heard_recently table ~window ~time ~me ~src =
+  let t = table.(time).(me).(src) in
+  t > 0 && t > time - window
+
+let omega_of_run run ~window =
+  let n = run.Sim.Run.n in
+  let table, horizon = last_heard_table run in
+  History.make ~n ~horizon (fun ~time ~me ->
+      let candidates =
+        List.filter
+          (fun q ->
+            Pid.equal q me || heard_recently table ~window ~time ~me ~src:q)
+          (Pid.universe n)
+      in
+      (* candidates always contains me, so the min exists *)
+      Fd_view.Leaders [ List.fold_left min me candidates ])
+
+let sigma_of_run run ~window =
+  let n = run.Sim.Run.n in
+  let table, horizon = last_heard_table run in
+  let majority = (n / 2) + 1 in
+  History.make ~n ~horizon (fun ~time ~me ->
+      let heard =
+        List.filter
+          (fun q ->
+            Pid.equal q me || heard_recently table ~window ~time ~me ~src:q)
+          (Pid.universe n)
+      in
+      if List.length heard >= majority then Fd_view.Quorum heard
+      else Fd_view.Quorum (Pid.universe n))

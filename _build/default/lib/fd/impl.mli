@@ -1,0 +1,37 @@
+(** Failure-detector {e implementations} from partial synchrony.
+
+    The paper treats Σ{_k} and Ω{_k} axiomatically; in deployments
+    they are implemented from timing assumptions.  This module closes
+    the loop for the classic k = 1 detectors: run a heartbeat protocol
+    under the {!Ksa_sim.Adversary.eventually_lockstep} schedule (an
+    asynchronous prefix followed by a lock-step, full-delivery
+    suffix — the GST-style partial synchrony of Dwork–Lynch–
+    Stockmeyer), and {e extract} detector histories from the recorded
+    run:
+
+    - Ω: trust the smallest process id heard from within a sliding
+      window (plus yourself);
+    - Σ: output your recently-heard set whenever it reaches a
+      majority, and fall back to the whole system Π otherwise — every
+      output is a majority or Π, so any two outputs intersect by
+      counting, with no timing assumption at all; liveness comes from
+      the post-GST suffix.
+
+    The extracted histories are then checked with the axiomatic
+    validators of {!Omega} and {!Sigma}: the experiments' evidence
+    that "just enough synchrony" (the paper's future-work direction
+    (iii)) does implement the oracles that circumvent Theorem 1. *)
+
+module Heartbeat : Ksa_sim.Algorithm.S
+(** Broadcasts a beat in every step and never decides; drive it with
+    a step budget.  The beat payload carries the sender's step
+    counter (so states differ across steps and runs stay replayable). *)
+
+val omega_of_run : Ksa_sim.Run.t -> window:int -> History.t
+(** The Ω = Ω{_1} extraction with the given sliding window (in global
+    steps).  The horizon is the run's last step time. *)
+
+val sigma_of_run : Ksa_sim.Run.t -> window:int -> History.t
+(** The Σ = Σ{_1} extraction (majority-or-Π rule).  Intersection
+    holds unconditionally; liveness requires a correct majority and a
+    window spanning the post-GST gossip delay (≳ 2n). *)

@@ -1,0 +1,44 @@
+module Pid = Ksa_sim.Pid
+module Fd_view = Ksa_sim.Fd_view
+module Failure_pattern = Ksa_sim.Failure_pattern
+
+let gen ?(liars = []) ?(from = 1) ~witness ~pattern ~horizon () =
+  let n = Failure_pattern.n pattern in
+  if List.mem witness liars then invalid_arg "Loneliness.gen: witness lies";
+  let correct = Failure_pattern.correct pattern in
+  let sole_correct = match correct with [ p ] -> Some p | _ -> None in
+  (match sole_correct with
+  | Some p when Pid.equal p witness ->
+      invalid_arg "Loneliness.gen: the witness cannot be the sole correct process"
+  | Some _ | None -> ());
+  History.make ~n ~horizon (fun ~time ~me ->
+      let lonely =
+        (not (Pid.equal me witness))
+        && time >= from
+        && (List.mem me liars || sole_correct = Some me)
+      in
+      Fd_view.Lonely lonely)
+
+let lonely_exn view =
+  match Fd_view.lonely view with
+  | Some b -> b
+  | None -> invalid_arg "Loneliness: view has no boolean component"
+
+let validate ~pattern h =
+  let n = h.History.n in
+  let horizon = h.History.horizon in
+  let always_false p =
+    let rec go time =
+      time > horizon
+      || ((not (lonely_exn (h.History.view ~time ~me:p))) && go (time + 1))
+    in
+    go 1
+  in
+  if not (List.exists always_false (Pid.universe n)) then
+    Error "safety: every process claims loneliness at some time"
+  else
+    match Failure_pattern.correct pattern with
+    | [ p ] ->
+        if lonely_exn (h.History.view ~time:horizon ~me:p) then Ok ()
+        else Error "liveness: the sole correct process never becomes lonely"
+    | _ -> Ok ()

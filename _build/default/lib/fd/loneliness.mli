@@ -1,0 +1,36 @@
+(** The loneliness failure detector L.
+
+    L is the weakest failure detector for (n−1)-set agreement in
+    message passing (Delporte-Gallet et al., DISC'08); the paper's
+    companion work (reference [2], Biely–Robinson–Schmid OPODIS'09)
+    generalizes it to L(k).  We provide the classic L as a
+    complement to the (Σ{_k}, Ω{_k}) family studied in Section VII:
+
+    - {b Safety}: at least one process outputs [false] forever;
+    - {b Liveness}: if exactly one process is correct, L eventually
+      outputs [true] forever at that process.
+
+    Note that L may output [true] {e spuriously} at up to n−1
+    processes; an algorithm using L must stay safe under such lies,
+    which is exactly what makes the detector weak. *)
+
+module Pid = Ksa_sim.Pid
+
+val gen :
+  ?liars:Pid.t list ->
+  ?from:int ->
+  witness:Pid.t ->
+  pattern:Ksa_sim.Failure_pattern.t ->
+  horizon:int ->
+  unit ->
+  History.t
+(** A valid L history: [witness] outputs [false] forever; processes in
+    [liars] (which must not contain [witness]) output [true] from time
+    [from] (default 1) on; if exactly one process is correct it
+    outputs [true] from [from] on (it is then automatically treated as
+    a liar-or-truthful true).  Everyone else outputs [false].
+    @raise Invalid_argument if [witness ∈ liars], or if exactly one
+    process is correct and it is the [witness]. *)
+
+val validate :
+  pattern:Ksa_sim.Failure_pattern.t -> History.t -> (unit, string) result

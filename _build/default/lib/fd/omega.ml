@@ -1,0 +1,103 @@
+module Pid = Ksa_sim.Pid
+module Fd_view = Ksa_sim.Fd_view
+module Failure_pattern = Ksa_sim.Failure_pattern
+module Rng = Ksa_prim.Rng
+module Listx = Ksa_prim.Listx
+
+let default_chaos ~n ~k ~time ~me =
+  ignore me;
+  List.init k (fun i -> (time + i) mod n)
+
+let gen ?chaos ~k ~pattern ~leaders ~tgst ~horizon () =
+  let n = Failure_pattern.n pattern in
+  let leaders = List.sort_uniq compare leaders in
+  if List.length leaders <> k then
+    invalid_arg "Omega.gen: leaders must be exactly k distinct ids";
+  if not (List.for_all (fun p -> Pid.valid ~n p) leaders) then
+    invalid_arg "Omega.gen: invalid leader id";
+  let correct = Failure_pattern.correct pattern in
+  if Listx.disjoint leaders correct then
+    invalid_arg "Omega.gen: leader set must contain a correct process";
+  let chaos =
+    match chaos with Some f -> f | None -> fun ~time ~me -> default_chaos ~n ~k ~time ~me
+  in
+  History.make ~n ~horizon (fun ~time ~me ->
+      if time >= tgst then Fd_view.Leaders leaders
+      else
+        let out = chaos ~time ~me in
+        if List.length (List.sort_uniq compare out) <> k then
+          invalid_arg "Omega.gen: chaos output must have exactly k ids";
+        Fd_view.Leaders out)
+
+let random_chaos ~rng ~n ~k =
+  let cache : (int * int, Pid.t list) Hashtbl.t = Hashtbl.create 64 in
+  fun ~time ~me ->
+    match Hashtbl.find_opt cache (time, me) with
+    | Some out -> out
+    | None ->
+        let out = List.sort compare (Rng.sample rng k (Pid.universe n)) in
+        Hashtbl.add cache (time, me) out;
+        out
+
+let leaders_exn view =
+  match Fd_view.leaders view with
+  | Some l -> l
+  | None -> invalid_arg "Omega: history view has no leader component"
+
+let check_validity ~k h =
+  let n = h.History.n in
+  let horizon = h.History.horizon in
+  let rec go time =
+    if time > horizon then Ok ()
+    else
+      let rec per_pid p =
+        if p >= n then go (time + 1)
+        else
+          let l = leaders_exn (h.History.view ~time ~me:p) in
+          if List.length (List.sort_uniq compare l) <> k then
+            Error
+              (Printf.sprintf "validity: |H(p%d,%d)| = %d, expected %d" p time
+                 (List.length (List.sort_uniq compare l))
+                 k)
+          else per_pid (p + 1)
+      in
+      per_pid 0
+  in
+  go 1
+
+let check_eventual_leadership ~pattern h =
+  let n = h.History.n in
+  let horizon = h.History.horizon in
+  let correct = Failure_pattern.correct pattern in
+  if correct = [] then Error "no correct process"
+  else
+    let view_at time p = leaders_exn (h.History.view ~time ~me:p) in
+    let ld = List.sort_uniq compare (view_at horizon (List.hd correct)) in
+    if Listx.disjoint ld correct then
+      Error "eventual leadership: final leader set contains no correct process"
+    else
+      (* find the least tgst from which every not-yet-crashed process
+         sees exactly ld *)
+      let agrees time =
+        List.for_all
+          (fun p ->
+            Failure_pattern.is_crashed pattern p ~time
+            || List.sort_uniq compare (view_at time p) = ld)
+          (Pid.universe n)
+      in
+      let rec scan time last_bad =
+        if time > horizon then last_bad
+        else scan (time + 1) (if agrees time then last_bad else time)
+      in
+      let last_bad = scan 1 0 in
+      if last_bad >= horizon then
+        Error "eventual leadership: no stabilization within the horizon"
+      else Ok (last_bad + 1, ld)
+
+let validate ~k ~pattern h =
+  match check_validity ~k h with
+  | Error e -> Error e
+  | Ok () -> (
+      match check_eventual_leadership ~pattern h with
+      | Error e -> Error e
+      | Ok _ -> Ok ())

@@ -1,0 +1,43 @@
+(** The generalized leader oracle Ω{_k} (Definition 5).
+
+    Outputs are always sets of exactly k process ids ({b Validity});
+    there is a time t{_GST} and a set LD intersecting the correct
+    processes such that every query from t{_GST} on returns LD
+    ({b Eventual Leadership}). *)
+
+module Pid = Ksa_sim.Pid
+
+val gen :
+  ?chaos:(time:int -> me:Pid.t -> Pid.t list) ->
+  k:int ->
+  pattern:Ksa_sim.Failure_pattern.t ->
+  leaders:Pid.t list ->
+  tgst:int ->
+  horizon:int ->
+  unit ->
+  History.t
+(** A valid Ω{_k} history: before [tgst] processes see [chaos]
+    (default: the rotating window \{t mod n, …, (t+k-1) mod n\} of
+    size k, different at different times — maximally unstable); from
+    [tgst] on everyone sees [leaders].  @raise Invalid_argument
+    unless [leaders] has exactly [k] distinct ids, at least one of
+    them correct, and every [chaos] output has size [k]
+    (checked lazily at query time). *)
+
+val random_chaos : rng:Ksa_prim.Rng.t -> n:int -> k:int -> time:int -> me:Pid.t -> Pid.t list
+(** A [chaos] function drawing a fresh uniform k-subset per query
+    (deterministic per (time, me) pair thanks to internal caching). *)
+
+val check_validity : k:int -> History.t -> (unit, string) result
+(** Every view over the horizon has a leader component of exactly [k]
+    distinct ids. *)
+
+val check_eventual_leadership :
+  pattern:Ksa_sim.Failure_pattern.t -> History.t -> (int * Pid.t list, string) result
+(** [Ok (tgst, ld)]: from [tgst] on every process sees the constant
+    set [ld], which intersects the correct set.  Processes crashed
+    before a time are exempt from the agreement requirement at that
+    time (they no longer query). *)
+
+val validate :
+  k:int -> pattern:Ksa_sim.Failure_pattern.t -> History.t -> (unit, string) result

@@ -1,0 +1,131 @@
+module Pid = Ksa_sim.Pid
+module Fd_view = Ksa_sim.Fd_view
+module Failure_pattern = Ksa_sim.Failure_pattern
+module Listx = Ksa_prim.Listx
+
+type spec = {
+  groups : Pid.t list list;
+  leaders : Pid.t list;
+  tgst : int;
+  stab : int;
+}
+
+let check_spec spec ~pattern =
+  let n = Failure_pattern.n pattern in
+  let k = List.length spec.groups in
+  if k = 0 then invalid_arg "Partition_fd: no groups";
+  if List.exists (fun g -> g = []) spec.groups then
+    invalid_arg "Partition_fd: empty group";
+  if not (Listx.pairwise_disjoint spec.groups) then
+    invalid_arg "Partition_fd: overlapping groups";
+  if List.sort_uniq compare (List.concat spec.groups) <> Pid.universe n then
+    invalid_arg "Partition_fd: groups must partition the process set";
+  if List.length (List.sort_uniq compare spec.leaders) <> k then
+    invalid_arg "Partition_fd: leaders must be exactly k distinct ids";
+  if Listx.disjoint spec.leaders (Failure_pattern.correct pattern) then
+    invalid_arg "Partition_fd: leader set must contain a correct process";
+  k
+
+let gen spec ~pattern ~horizon =
+  let k = check_spec spec ~pattern in
+  let sigma =
+    Sigma.blocks ~groups:spec.groups ~k ~pattern ~stab:spec.stab ~horizon ()
+  in
+  let omega =
+    Omega.gen ~k ~pattern ~leaders:spec.leaders ~tgst:spec.tgst ~horizon ()
+  in
+  History.combine sigma omega
+
+let quorum_exn view =
+  match Fd_view.quorum view with
+  | Some q -> q
+  | None -> invalid_arg "Partition_fd: view has no quorum component"
+
+let validate_partition_property spec ~pattern h =
+  let k = check_spec spec ~pattern in
+  let horizon = h.History.horizon in
+  let n = h.History.n in
+  let universe = Pid.universe n in
+  let faulty = Failure_pattern.faulty pattern in
+  let exception Bad of string in
+  try
+    (* per-group Σ = Σ1 conditions *)
+    List.iteri
+      (fun gi group ->
+        (* confinement + crashed-outputs-Π *)
+        List.iter
+          (fun p ->
+            for time = 1 to horizon do
+              let q =
+                List.sort_uniq compare (quorum_exn (h.History.view ~time ~me:p))
+              in
+              if Failure_pattern.is_crashed pattern p ~time then begin
+                if q <> universe then
+                  raise
+                    (Bad
+                       (Printf.sprintf
+                          "crashed p%d must output the whole system at t%d" p
+                          time))
+              end
+              else if not (Listx.subset q group) then
+                raise
+                  (Bad
+                     (Printf.sprintf
+                        "quorum of p%d at t%d leaves its group D%d" p time
+                        (gi + 1)))
+            done)
+          group;
+        (* pairwise intersection inside the group *)
+        List.iter
+          (fun p1 ->
+            List.iter
+              (fun p2 ->
+                for t1 = 1 to horizon do
+                  for t2 = t1 to horizon do
+                    let q1 = quorum_exn (h.History.view ~time:t1 ~me:p1)
+                    and q2 = quorum_exn (h.History.view ~time:t2 ~me:p2) in
+                    if Listx.intersect q1 q2 = [] then
+                      raise
+                        (Bad
+                           (Printf.sprintf
+                              "Σ' intersection violated in D%d by (p%d,t%d) \
+                               and (p%d,t%d)"
+                              (gi + 1) p1 t1 p2 t2))
+                  done
+                done)
+              group)
+          group;
+        (* liveness inside the group: eventually alive quorums avoid F *)
+        let alive = List.filter (fun p -> not (List.mem p faulty)) group in
+        if alive <> [] then begin
+          let clean time =
+            List.for_all
+              (fun p ->
+                Listx.disjoint (quorum_exn (h.History.view ~time ~me:p)) faulty)
+              alive
+          in
+          let rec last_bad time acc =
+            if time > horizon then acc
+            else last_bad (time + 1) (if clean time then acc else time)
+          in
+          if last_bad 1 0 >= horizon then
+            raise
+              (Bad
+                 (Printf.sprintf "Σ' liveness fails in D%d within the horizon"
+                    (gi + 1)))
+        end)
+      spec.groups;
+    (* Ω side *)
+    (match Omega.validate ~k ~pattern h with
+    | Ok () -> ()
+    | Error e -> raise (Bad ("Ω' side: " ^ e)));
+    Ok ()
+  with Bad msg -> Error msg
+
+let lemma9_check ~k ~pattern h =
+  match Sigma.validate ~k ~pattern h with
+  | Error e -> Error ("as Σk: " ^ e)
+  | Ok () -> (
+      match Omega.validate ~k ~pattern h with
+      | Error e -> Error ("as Ωk: " ^ e)
+      | Ok () -> Ok ())

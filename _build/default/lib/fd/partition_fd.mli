@@ -1,0 +1,50 @@
+(** The partition failure detector (Σ'{_k}, Ω'{_k}) of Definition 7.
+
+    Given a partitioning \{D{_1}, …, D{_(k-1)}, D{_k} = D̄\} of Π, the
+    detector outputs pairs [(quorum, leaders)] such that:
+
+    1. the Σ'{_k} output at every process of D{_i} is a valid Σ = Σ{_1}
+       history of the {e restricted} system ⟨D{_i}⟩ — only members of
+       D{_i} are ever trusted — except that a crashed process outputs
+       Π from its crash time on;
+    2. Ω'{_k} = Ω{_k}: a common leader set LD of size k appears at all
+       processes from some t{_GST} on, with LD ∩ correct ≠ ∅.
+
+    Lemma 9 shows every such history is also a valid (Σ{_k}, Ω{_k})
+    history; experiment E7 replays that lemma through the validators
+    of {!Sigma} and {!Omega}.  The point of the construction
+    (Theorem 10) is that Σ'{_k} quorums never cross partition
+    boundaries, so the detector cannot prevent the k groups from
+    deciding independently. *)
+
+module Pid = Ksa_sim.Pid
+
+type spec = {
+  groups : Pid.t list list;
+      (** The partitioning D{_1}, …, D{_k}; must be disjoint, nonempty,
+          and cover Π.  By the paper's convention the last group is
+          D̄. *)
+  leaders : Pid.t list;  (** LD: exactly k ids, at least one correct. *)
+  tgst : int;
+  stab : int;  (** Σ-side stabilization time within each group. *)
+}
+
+val gen :
+  spec -> pattern:Ksa_sim.Failure_pattern.t -> horizon:int -> History.t
+(** A valid (Σ'{_k}, Ω'{_k}) history: process p ∈ D{_i} sees
+    [Pair (Quorum q, Leaders l)] with [q] = D{_i} before [stab] and
+    D{_i} ∩ correct afterwards (Π if p has crashed), and [l] as in
+    {!Omega.gen} with the rotating-window chaos before [tgst].
+    @raise Invalid_argument on a malformed spec. *)
+
+val validate_partition_property :
+  spec -> pattern:Ksa_sim.Failure_pattern.t -> History.t -> (unit, string) result
+(** Checks Definition 7 itself on a history: every alive quorum at
+    p ∈ D{_i} is a subset of D{_i}, quorums within each group satisfy
+    Σ = Σ{_1} intersection and liveness relative to ⟨D{_i}⟩, crashed
+    processes output Π, and the Ω component satisfies Ω{_k}. *)
+
+val lemma9_check :
+  k:int -> pattern:Ksa_sim.Failure_pattern.t -> History.t -> (unit, string) result
+(** The executable Lemma 9: the history validates as a Σ{_k} history
+    (intersection + liveness) {e and} as an Ω{_k} history. *)

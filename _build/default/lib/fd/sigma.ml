@@ -1,0 +1,127 @@
+module Pid = Ksa_sim.Pid
+module Fd_view = Ksa_sim.Fd_view
+module Failure_pattern = Ksa_sim.Failure_pattern
+module Listx = Ksa_prim.Listx
+module Rng = Ksa_prim.Rng
+
+let default_groups ~n ~k =
+  let base = n / k and extra = n mod k in
+  let rec build start gi =
+    if gi >= k || start >= n then []
+    else
+      let size = base + if gi < extra then 1 else 0 in
+      let size = min size (n - start) in
+      if size = 0 then []
+      else Listx.range start (start + size) :: build (start + size) (gi + 1)
+  in
+  build 0 0
+
+let blocks ?groups ~k ~pattern ~stab ~horizon () =
+  let n = Failure_pattern.n pattern in
+  let groups = match groups with Some g -> g | None -> default_groups ~n ~k in
+  if List.length groups > k then invalid_arg "Sigma.blocks: more than k groups";
+  if List.exists (fun g -> g = []) groups then
+    invalid_arg "Sigma.blocks: empty group";
+  if not (Listx.pairwise_disjoint groups) then
+    invalid_arg "Sigma.blocks: overlapping groups";
+  let covered = List.concat groups in
+  if List.sort_uniq compare covered <> Pid.universe n then
+    invalid_arg "Sigma.blocks: groups must cover the process set";
+  let group_of = Array.make n [] in
+  List.iter (fun g -> List.iter (fun p -> group_of.(p) <- g) g) groups;
+  let correct = Failure_pattern.correct pattern in
+  let universe = Pid.universe n in
+  History.make ~n ~horizon (fun ~time ~me ->
+      if Failure_pattern.is_crashed pattern me ~time then Fd_view.Quorum universe
+      else if time < stab then Fd_view.Quorum group_of.(me)
+      else Fd_view.Quorum (List.filter (fun p -> List.mem p correct) group_of.(me)))
+
+let majority ~pattern ~rng ~stab ~horizon () =
+  let n = Failure_pattern.n pattern in
+  let correct = Failure_pattern.correct pattern in
+  let m = (n / 2) + 1 in
+  if List.length correct < m then
+    invalid_arg "Sigma.majority: needs a correct majority";
+  let universe = Pid.universe n in
+  (* precompute one random majority per time step, shared by all alive
+     processes at that time (outputs at different processes may differ
+     in general; sharing keeps the generator simple and valid) *)
+  let quorums =
+    Array.init (horizon + 1) (fun t ->
+        if t >= stab then correct
+        else List.sort compare (Rng.sample rng m universe))
+  in
+  History.make ~n ~horizon (fun ~time ~me ->
+      if Failure_pattern.is_crashed pattern me ~time then Fd_view.Quorum universe
+      else Fd_view.Quorum quorums.(min time horizon))
+
+let quorum_exn view =
+  match Fd_view.quorum view with
+  | Some q -> q
+  | None -> invalid_arg "Sigma: history view has no quorum component"
+
+let check_liveness ~pattern h =
+  let faulty = Failure_pattern.faulty pattern in
+  let correct = Failure_pattern.correct pattern in
+  let horizon = h.History.horizon in
+  if horizon < 1 then Error "horizon must be at least 1"
+  else
+    let clean_at time =
+      List.for_all
+        (fun p ->
+          Listx.disjoint (quorum_exn (h.History.view ~time ~me:p)) faulty)
+        correct
+    in
+    let rec last_bad time acc =
+      if time > horizon then acc
+      else last_bad (time + 1) (if clean_at time then acc else time)
+    in
+    match last_bad 1 0 with
+    | bad when bad >= horizon ->
+        Error "liveness: no stabilization time within the horizon"
+    | bad -> Ok (bad + 1)
+
+(* Exhaustive refutation search for the intersection property.  For
+   each process we collect its distinct quorums over the horizon (with
+   a witness time each), then look for k+1 processes and one quorum
+   each, pairwise disjoint. *)
+let find_intersection_violation ~k ~pattern h =
+  ignore pattern;
+  let n = h.History.n in
+  let horizon = h.History.horizon in
+  let candidates =
+    Array.init n (fun p ->
+        let tbl = Hashtbl.create 8 in
+        for time = 1 to horizon do
+          let q = List.sort_uniq compare (quorum_exn (h.History.view ~time ~me:p)) in
+          if not (Hashtbl.mem tbl q) then Hashtbl.add tbl q time
+        done;
+        Hashtbl.fold (fun q time acc -> (Pid.set_of_list q, time) :: acc) tbl [])
+  in
+  let disjoint_sets a b = Pid.Set.is_empty (Pid.Set.inter a b) in
+  let rec search chosen = function
+    | [] -> Some (List.rev_map (fun (p, (_, t)) -> (p, t)) chosen)
+    | p :: rest ->
+        List.find_map
+          (fun (q, t) ->
+            if List.for_all (fun (_, (q', _)) -> disjoint_sets q q') chosen
+            then search ((p, (q, t)) :: chosen) rest
+            else None)
+          candidates.(p)
+  in
+  List.find_map
+    (fun combo -> search [] combo)
+    (Listx.combinations (k + 1) (Pid.universe n))
+
+let validate ~k ~pattern h =
+  match check_liveness ~pattern h with
+  | Error e -> Error e
+  | Ok _ -> (
+      match find_intersection_violation ~k ~pattern h with
+      | None -> Ok ()
+      | Some witness ->
+          let buf = Buffer.create 64 in
+          List.iter
+            (fun (p, t) -> Buffer.add_string buf (Printf.sprintf " (p%d,t%d)" p t))
+            witness;
+          Error ("intersection violated by" ^ Buffer.contents buf))

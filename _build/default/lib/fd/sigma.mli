@@ -1,0 +1,76 @@
+(** The generalized quorum failure detector Σ{_k} (Definition 4).
+
+    Σ{_k} outputs a set of trusted process ids such that:
+
+    - {b Intersection}: for every k+1 processes p{_1} … p{_(k+1)} and
+      times t{_1} … t{_(k+1)}, some two outputs H(p{_i}, t{_i}) and
+      H(p{_j}, t{_j}) intersect;
+    - {b Liveness}: from some time on, outputs at correct processes
+      contain only correct processes.
+
+    A crashed process outputs Π from its crash time on (the paper's
+    convention, which makes crashed processes harmless for
+    intersection).
+
+    This module provides canonical {e generators} of valid Σ{_k}
+    histories and {e validators} that check the two properties on any
+    history — the executable form of Definition 4, which is what
+    Lemma 9 and experiment E7 need. *)
+
+module Pid = Ksa_sim.Pid
+
+(** {1 Generators} *)
+
+val blocks :
+  ?groups:Pid.t list list ->
+  k:int ->
+  pattern:Ksa_sim.Failure_pattern.t ->
+  stab:int ->
+  horizon:int ->
+  unit ->
+  History.t
+(** The block construction: partition Π into at most [k] groups
+    ([groups] defaults to [k] contiguous chunks); a process in group B
+    outputs B before time [stab] and B ∩ correct afterwards.  Any
+    k+1 processes include two in a common group whose outputs
+    intersect (both contain the correct ones of that pair, or one is
+    crashed and outputs Π), so the history is a valid Σ{_k} history
+    for {e any} failure pattern.  For [k = 1] with one group = Π this
+    is the trivial Σ.  @raise Invalid_argument if more than [k]
+    groups are supplied or a group is empty. *)
+
+val majority :
+  pattern:Ksa_sim.Failure_pattern.t ->
+  rng:Ksa_prim.Rng.t ->
+  stab:int ->
+  horizon:int ->
+  unit ->
+  History.t
+(** A Σ = Σ{_1} history made of rotating majority quorums (any two
+    majorities intersect); after [stab], the quorum is a majority of
+    correct processes.  Valid only when a majority is correct:
+    @raise Invalid_argument otherwise. *)
+
+(** {1 Validators} *)
+
+val check_liveness :
+  pattern:Ksa_sim.Failure_pattern.t -> History.t -> (int, string) result
+(** [Ok t]: from time [t] on (within the horizon), every correct
+    process's quorum avoids the faulty set.  [Error _] if no such
+    time exists by the horizon, or a view lacks a quorum component. *)
+
+val find_intersection_violation :
+  k:int -> pattern:Ksa_sim.Failure_pattern.t -> History.t ->
+  (Pid.t * int) list option
+(** Exhaustive search for k+1 (process, time) pairs whose quorums are
+    pairwise disjoint — a witness that the history is {e not} a
+    Σ{_k} history.  Exploits that generated histories have few
+    distinct quorums per process: per-process quorum sets are
+    deduplicated before the search.  [None] means the intersection
+    property holds (this is a complete decision procedure over the
+    horizon). *)
+
+val validate :
+  k:int -> pattern:Ksa_sim.Failure_pattern.t -> History.t ->
+  (unit, string) result
+(** Both properties. *)

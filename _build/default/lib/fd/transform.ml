@@ -1,0 +1,79 @@
+module Pid = Ksa_sim.Pid
+module Fd_view = Ksa_sim.Fd_view
+module Failure_pattern = Ksa_sim.Failure_pattern
+module Listx = Ksa_prim.Listx
+
+let gamma_gen ~k ~dbar ~chosen:(ps, pt) ~pattern ~tgst ~horizon () =
+  if k < 2 then invalid_arg "Transform.gamma_gen: k must be at least 2";
+  if Pid.equal ps pt || (not (List.mem ps dbar)) || not (List.mem pt dbar) then
+    invalid_arg "Transform.gamma_gen: chosen pair must be two distinct members of dbar";
+  let n = Failure_pattern.n pattern in
+  let outside = List.filter (fun p -> not (List.mem p dbar)) (Pid.universe n) in
+  if List.length outside < k - 2 then
+    invalid_arg "Transform.gamma_gen: not enough processes outside dbar";
+  let leaders = List.sort compare (ps :: pt :: Listx.take (k - 2) outside) in
+  Omega.gen ~k ~pattern ~leaders ~tgst ~horizon ()
+
+let omega2_of_gamma ~dbar h =
+  let default =
+    match List.sort_uniq compare dbar with
+    | a :: b :: _ -> [ a; b ]
+    | _ -> invalid_arg "Transform.omega2_of_gamma: dbar needs two members"
+  in
+  History.map h (fun view ->
+      match Fd_view.leaders view with
+      | None -> invalid_arg "Transform.omega2_of_gamma: no leader component"
+      | Some l -> (
+          match Listx.intersect l dbar with
+          | [ a; b ] -> Fd_view.Leaders [ a; b ]
+          | _ -> Fd_view.Leaders default))
+
+let leaders_exn view =
+  match Fd_view.leaders view with
+  | Some l -> List.sort_uniq compare l
+  | None -> invalid_arg "Transform: view has no leader component"
+
+let validate_omega_within ~k ~subsystem ~pattern h =
+  let horizon = h.History.horizon in
+  let correct_members =
+    List.filter (fun p -> not (Failure_pattern.is_faulty pattern p)) subsystem
+  in
+  let exception Bad of string in
+  try
+    (* validity relative to the subsystem *)
+    List.iter
+      (fun p ->
+        for time = 1 to horizon do
+          let l = leaders_exn (h.History.view ~time ~me:p) in
+          if List.length l <> k then
+            raise
+              (Bad (Printf.sprintf "validity: |H(p%d,%d)| <> %d" p time k));
+          if not (Listx.subset l subsystem) then
+            raise
+              (Bad
+                 (Printf.sprintf "validity: H(p%d,%d) leaves the subsystem" p
+                    time))
+        done)
+      subsystem;
+    (* eventual leadership relative to the subsystem *)
+    (match correct_members with
+    | [] -> raise (Bad "no correct process in the subsystem")
+    | w :: _ ->
+        let ld = leaders_exn (h.History.view ~time:horizon ~me:w) in
+        if Listx.disjoint ld correct_members then
+          raise (Bad "final leader set has no correct subsystem member");
+        let agrees time =
+          List.for_all
+            (fun p ->
+              Failure_pattern.is_crashed pattern p ~time
+              || leaders_exn (h.History.view ~time ~me:p) = ld)
+            subsystem
+        in
+        let rec scan time last_bad =
+          if time > horizon then last_bad
+          else scan (time + 1) (if agrees time then last_bad else time)
+        in
+        if scan 1 0 >= horizon then
+          raise (Bad "no stabilization within the horizon"));
+    Ok ()
+  with Bad msg -> Error msg

@@ -1,0 +1,49 @@
+(** Failure-detector transformations used in the proof of Theorem 10.
+
+    Condition (C) of Theorem 10 equips the restricted system
+    M' = ⟨D̄⟩ with a detector (Σ, Γ) where Γ is Ω'{_k} constrained to
+    stabilize on a leader set LD intersecting D̄ in {e exactly two}
+    processes p{_s}, p{_t}.  From Γ one can implement Ω{_2} for ⟨D̄⟩
+    (output the two stabilized members of D̄), and since (Σ, Ω{_2})
+    is strictly weaker than (Σ, Ω) — the weakest detector for
+    consensus — the restricted system cannot solve consensus.
+
+    This module implements the Γ generator, the Γ → Ω{_2}
+    transformation, and the relativized Ω{_k} validator used to check
+    the transformation's output. *)
+
+module Pid = Ksa_sim.Pid
+
+val gamma_gen :
+  k:int ->
+  dbar:Pid.t list ->
+  chosen:Pid.t * Pid.t ->
+  pattern:Ksa_sim.Failure_pattern.t ->
+  tgst:int ->
+  horizon:int ->
+  unit ->
+  History.t
+(** An Ω{_k} history whose stabilized leader set intersects [dbar] in
+    exactly the two processes [chosen] (filled up to size [k] with
+    processes outside [dbar]).  At least one of the two must be
+    correct.  @raise Invalid_argument if the two chosen ids are not
+    distinct members of [dbar], if k < 2, or if
+    [k - 2] processes outside [dbar] cannot be found. *)
+
+val omega2_of_gamma : dbar:Pid.t list -> History.t -> History.t
+(** The transformation A{_Γ→Ω₂}: each leader output [l] becomes
+    [l ∩ dbar] when that intersection has exactly two members, and a
+    fixed default pair from [dbar] otherwise.  After Γ stabilizes the
+    output is constantly the chosen pair, so the result satisfies
+    Ω{_2} relative to ⟨D̄⟩. *)
+
+val validate_omega_within :
+  k:int ->
+  subsystem:Pid.t list ->
+  pattern:Ksa_sim.Failure_pattern.t ->
+  History.t ->
+  (unit, string) result
+(** Ω{_k} validity and eventual leadership relativized to a
+    subsystem: every output (at subsystem members) is a k-subset of
+    the subsystem, and eventually constant across alive subsystem
+    members with a correct subsystem member inside. *)

@@ -1,0 +1,1 @@
+lib/ho/assignment.ml: Array Hashtbl Ksa_prim Ksa_sim List

@@ -1,0 +1,1 @@
+lib/ho/assignment.mli: Ksa_prim Ksa_sim

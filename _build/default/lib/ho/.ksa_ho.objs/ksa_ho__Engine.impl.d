@@ -1,0 +1,1 @@
+lib/ho/engine.ml: Array Assignment Digest Fun Ho_algorithm Ksa_sim List Marshal Option

@@ -1,0 +1,1 @@
+lib/ho/engine.mli: Assignment Ho_algorithm Ksa_sim

@@ -1,0 +1,1 @@
+lib/ho/ho_algorithm.ml: Format Ksa_sim

@@ -1,0 +1,1 @@
+lib/ho/last_voting.ml: Format Ksa_sim List

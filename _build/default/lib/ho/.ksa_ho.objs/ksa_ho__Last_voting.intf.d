@@ -1,0 +1,1 @@
+lib/ho/last_voting.mli: Ho_algorithm Ksa_sim

@@ -1,0 +1,1 @@
+lib/ho/min_flood.ml: Format Ksa_sim List Printf

@@ -1,0 +1,1 @@
+lib/ho/min_flood.mli: Ho_algorithm

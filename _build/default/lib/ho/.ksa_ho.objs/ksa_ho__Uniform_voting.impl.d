@@ -1,0 +1,1 @@
+lib/ho/uniform_voting.ml: Format Ksa_sim List

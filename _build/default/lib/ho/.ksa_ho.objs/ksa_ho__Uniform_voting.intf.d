@@ -1,0 +1,1 @@
+lib/ho/uniform_voting.mli: Ho_algorithm

@@ -1,0 +1,81 @@
+module Pid = Ksa_sim.Pid
+module Value = Ksa_sim.Value
+
+module Make (A : Ho_algorithm.S) = struct
+  type outcome = {
+    n : int;
+    inputs : Value.t array;
+    rounds_run : int;
+    decisions : (Pid.t * Value.t * int) list;
+    digests : string array array;
+  }
+
+  exception Double_decision of Pid.t
+
+  let digest state = Digest.string (Marshal.to_string state [])
+
+  let run ~n ~inputs ~assignment ~rounds =
+    if Array.length inputs <> n then invalid_arg "Ho.Engine.run: inputs length";
+    let states =
+      Array.init n (fun p -> A.init ~n ~me:p ~input:inputs.(p))
+    in
+    let decisions = Array.make n None in
+    let digests =
+      Array.init (rounds + 1) (fun _ -> Array.make n "")
+    in
+    Array.iteri (fun p st -> digests.(0).(p) <- digest st) states;
+    for round = 1 to rounds do
+      let messages = Array.map (fun st -> A.send st ~round) states in
+      let new_states =
+        Array.init n (fun p ->
+            let received =
+              List.map
+                (fun q -> (q, messages.(q)))
+                (assignment.Assignment.ho ~round ~me:p)
+            in
+            let st', dec = A.transition states.(p) ~round ~received in
+            (match dec with
+            | None -> ()
+            | Some v -> (
+                match decisions.(p) with
+                | None -> decisions.(p) <- Some (v, round)
+                | Some (v0, _) ->
+                    if not (Value.equal v v0) then raise (Double_decision p)));
+            st')
+      in
+      Array.blit new_states 0 states 0 n;
+      Array.iteri (fun p st -> digests.(round).(p) <- digest st) states
+    done;
+    let decisions =
+      List.filter_map
+        (fun p ->
+          Option.map (fun (v, r) -> (p, v, r)) decisions.(p))
+        (Pid.universe n)
+    in
+    { n; inputs = Array.copy inputs; rounds_run = rounds; decisions; digests }
+
+  let decided_values o =
+    List.sort_uniq Value.compare (List.map (fun (_, v, _) -> v) o.decisions)
+
+  let distinct_decisions o = List.length (decided_values o)
+
+  let all_decided o = List.length o.decisions = o.n
+
+  let decision_round o p =
+    List.find_map
+      (fun (q, _, r) -> if Pid.equal p q then Some r else None)
+      o.decisions
+
+  let states_equal_until_decision oa ob p =
+    let limit r = function Some d -> min r d | None -> r in
+    let ra = limit oa.rounds_run (decision_round oa p)
+    and rb = limit ob.rounds_run (decision_round ob p) in
+    let upto = min ra rb in
+    (* if p decides in both, the deciding rounds must agree *)
+    (match (decision_round oa p, decision_round ob p) with
+    | Some da, Some db -> da = db
+    | _ -> true)
+    && List.for_all
+         (fun r -> oa.digests.(r).(p) = ob.digests.(r).(p))
+         (List.init (upto + 1) Fun.id)
+end

@@ -1,0 +1,43 @@
+(** Executing a Heard-Of algorithm under an HO assignment.
+
+    The engine is round-synchronous by construction: round r consists
+    of every process producing its message from its round-(r−1) state,
+    then every process transitioning on the messages of its HO set.
+    Determinism is total — an outcome is a pure function of
+    (algorithm, n, inputs, assignment, rounds). *)
+
+module Make (A : Ho_algorithm.S) : sig
+  type outcome = {
+    n : int;
+    inputs : Ksa_sim.Value.t array;
+    rounds_run : int;
+    decisions : (Ksa_sim.Pid.t * Ksa_sim.Value.t * int) list;
+        (** (process, value, deciding round), sorted by pid. *)
+    digests : string array array;
+        (** [digests.(r).(p)]: MD5 of p's marshalled state after round
+            r (row 0 = initial states) — the indistinguishability
+            instrument, as in the asynchronous engine. *)
+  }
+
+  exception Double_decision of Ksa_sim.Pid.t
+
+  val run :
+    n:int ->
+    inputs:Ksa_sim.Value.t array ->
+    assignment:Assignment.t ->
+    rounds:int ->
+    outcome
+
+  val decided_values : outcome -> Ksa_sim.Value.t list
+  (** Distinct, sorted. *)
+
+  val distinct_decisions : outcome -> int
+
+  val all_decided : outcome -> bool
+
+  val states_equal_until_decision :
+    outcome -> outcome -> Ksa_sim.Pid.t -> bool
+  (** The HO rendering of Definition 2: the process traverses the same
+      state sequence in both outcomes up to (and including) its
+      deciding round. *)
+end

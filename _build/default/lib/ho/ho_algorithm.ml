@@ -1,0 +1,43 @@
+(** Algorithms for the Heard-Of model (Charron-Bost & Schiper, the
+    paper's reference [8]).
+
+    Computation proceeds in communication-closed rounds: in round r
+    every process computes one message from its state and (logically)
+    sends it to everyone; it then receives exactly the messages of the
+    processes in its {e heard-of set} HO(p, r) and transitions.  There
+    are no explicit failures — crashes, omissions and asynchrony are
+    all absorbed into the HO sets, and system assumptions become
+    {e communication predicates} over the HO assignment
+    ({!Assignment}).
+
+    The paper's Discussion conjectures that Theorem 1 applies to round
+    models; the [ksa_ho] library substantiates it: a partitioned HO
+    assignment (HO sets never crossing a group boundary until
+    decision) plays exactly the role of the partition adversary, and
+    drives the algorithms below to one decision value per group. *)
+
+module type S = sig
+  type state
+  type message
+
+  val name : string
+
+  val init : n:int -> me:Ksa_sim.Pid.t -> input:Ksa_sim.Value.t -> state
+
+  val send : state -> round:int -> message
+  (** The round-r message; the HO model sends the same message to
+      everyone (point-to-point variation is not needed by the
+      algorithms here). *)
+
+  val transition :
+    state ->
+    round:int ->
+    received:(Ksa_sim.Pid.t * message) list ->
+    state * Ksa_sim.Value.t option
+  (** End-of-round transition with the messages of HO(p, r), in
+      sender order.  [Some v] decides (write-once; the engine treats
+      conflicting re-decision as an algorithm bug). *)
+
+  val pp_state : Format.formatter -> state -> unit
+  val pp_message : Format.formatter -> message -> unit
+end

@@ -1,0 +1,116 @@
+module Pid = Ksa_sim.Pid
+module Value = Ksa_sim.Value
+
+let coordinator ~n ~phase = phase mod n
+
+module A = struct
+  type state = {
+    n : int;
+    me : Pid.t;
+    x : Value.t;
+    ts : int;  (* phase in which x was last adopted; 0 initially *)
+    vote : Value.t option;  (* coordinator only *)
+    ready : bool;  (* coordinator only *)
+    decided : bool;
+  }
+
+  type message =
+    | Estimate of Value.t * int  (** round 4φ−3: (x, ts) *)
+    | Vote of Value.t option  (** round 4φ−2 *)
+    | Ack of bool  (** round 4φ−1: true iff ts = current phase *)
+    | Decide of Value.t option  (** round 4φ *)
+
+  let name = "ho-last-voting"
+
+  let init ~n ~me ~input =
+    { n; me; x = input; ts = 0; vote = None; ready = false; decided = false }
+
+  let phase_of ~round = ((round - 1) / 4) + 1
+  let subround ~round = ((round - 1) mod 4) + 1
+
+  let is_coord st ~round =
+    Pid.equal st.me (coordinator ~n:st.n ~phase:(phase_of ~round))
+
+  let send st ~round =
+    match subround ~round with
+    | 1 -> Estimate (st.x, st.ts)
+    | 2 -> Vote (if is_coord st ~round then st.vote else None)
+    | 3 -> Ack (st.ts = phase_of ~round)
+    | _ ->
+        Decide
+          (if is_coord st ~round && st.ready then st.vote else None)
+
+  let transition st ~round ~received =
+    let phase = phase_of ~round in
+    let coord = coordinator ~n:st.n ~phase in
+    match subround ~round with
+    | 1 ->
+        (* coordinator gathers (x, ts) pairs from a majority *)
+        if is_coord st ~round then begin
+          let pairs =
+            List.filter_map
+              (fun (_, m) ->
+                match m with Estimate (x, ts) -> Some (x, ts) | _ -> None)
+              received
+          in
+          if 2 * List.length pairs > st.n then
+            let best =
+              List.fold_left
+                (fun (bx, bts) (x, ts) ->
+                  if ts > bts || (ts = bts && x < bx) then (x, ts) else (bx, bts))
+                (List.hd pairs) (List.tl pairs)
+            in
+            ({ st with vote = Some (fst best) }, None)
+          else ({ st with vote = None }, None)
+        end
+        else (st, None)
+    | 2 -> (
+        (* adopt the coordinator's vote if heard *)
+        let coord_vote =
+          List.find_map
+            (fun (src, m) ->
+              match m with
+              | Vote (Some v) when Pid.equal src coord -> Some v
+              | _ -> None)
+            received
+        in
+        match coord_vote with
+        | Some v -> ({ st with x = v; ts = phase }, None)
+        | None -> (st, None))
+    | 3 ->
+        if is_coord st ~round then begin
+          let acks =
+            List.length
+              (List.filter
+                 (fun (_, m) -> match m with Ack true -> true | _ -> false)
+                 received)
+          in
+          ({ st with ready = 2 * acks > st.n }, None)
+        end
+        else (st, None)
+    | _ -> (
+        (* decision round; coordinator state resets for the next phase *)
+        let reset st = { st with vote = None; ready = false } in
+        let decision =
+          List.find_map
+            (fun (src, m) ->
+              match m with
+              | Decide (Some v) when Pid.equal src coord -> Some v
+              | _ -> None)
+            received
+        in
+        match decision with
+        | Some v when not st.decided ->
+            ({ (reset st) with x = v; ts = phase; decided = true }, Some v)
+        | Some _ | None -> (reset st, None))
+
+  let pp_state ppf st =
+    Format.fprintf ppf "{%a x=%a ts=%d%s}" Pid.pp st.me Value.pp st.x st.ts
+      (if st.decided then " dec" else "")
+
+  let pp_message ppf = function
+    | Estimate (x, ts) -> Format.fprintf ppf "est(%a,%d)" Value.pp x ts
+    | Vote v -> Format.fprintf ppf "vote(%a)" (Format.pp_print_option Value.pp) v
+    | Ack b -> Format.fprintf ppf "ack(%b)" b
+    | Decide v -> Format.fprintf ppf "dec(%a)" (Format.pp_print_option Value.pp) v
+end

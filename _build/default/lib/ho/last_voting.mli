@@ -1,0 +1,36 @@
+(** LastVoting: Paxos in the HO model (Charron-Bost & Schiper).
+
+    Phases of four rounds with a rotating coordinator
+    c(φ) = φ mod n:
+
+    - round 4φ−3: everyone sends (x, ts); if the coordinator hears
+      more than n/2 pairs it picks the estimate with the highest
+      timestamp as its {e vote};
+    - round 4φ−2: the coordinator sends its vote; a process hearing it
+      adopts it and timestamps it with φ;
+    - round 4φ−1: processes with ts = φ send an ack; if the
+      coordinator hears more than n/2 acks it becomes ready;
+    - round 4φ: a ready coordinator sends its vote; any process
+      hearing it decides.
+
+    Safety is {e unconditional} — it holds for every HO assignment,
+    including splits and partitions, by the classic Paxos argument:
+    a decision requires a majority of processes locked on (v, φ), and
+    any later coordinator's majority intersects that set, so the
+    highest-timestamp rule re-selects v.  Liveness needs a phase in
+    which the coordinator hears a majority and everyone hears the
+    coordinator (e.g. any phase of complete rounds).
+
+    The instructive contrast with {!Uniform_voting}: LastVoting's
+    majorities are exactly Σ-style intersecting quorums, so a
+    partitioned assignment does not produce k decisions — it produces
+    {e none} in every group smaller than a majority.  This is the
+    round-model shadow of the paper's Section VII moral: what must be
+    added to Σ{_k} is the ability to reach consensus inside each
+    partition; quorums that never span a majority block instead of
+    splitting. *)
+
+module A : Ho_algorithm.S
+
+val coordinator : n:int -> phase:int -> Ksa_sim.Pid.t
+(** The rotating coordinator (exposed for tests). *)

@@ -1,0 +1,29 @@
+module Pid = Ksa_sim.Pid
+module Value = Ksa_sim.Value
+
+module Make (P : sig
+  val rounds : int
+end) =
+struct
+  type state = { me : Pid.t; est : Value.t }
+  type message = Est of Value.t
+
+  let name = Printf.sprintf "ho-min-flood(%d)" P.rounds
+
+  let init ~n ~me ~input =
+    ignore n;
+    if P.rounds < 1 then invalid_arg "Min_flood: rounds >= 1";
+    { me; est = input }
+
+  let send st ~round:_ = Est st.est
+
+  let transition st ~round ~received =
+    let est =
+      List.fold_left (fun acc (_, Est v) -> min acc v) st.est received
+    in
+    let st = { st with est } in
+    if round = P.rounds then (st, Some est) else (st, None)
+
+  let pp_state ppf st = Format.fprintf ppf "{%a est=%a}" Pid.pp st.me Value.pp st.est
+  let pp_message ppf (Est v) = Format.fprintf ppf "est(%a)" Value.pp v
+end

@@ -1,0 +1,20 @@
+(** Min-flooding in the HO model.
+
+    Every round, send your current estimate and adopt the minimum of
+    what you hear; decide after a fixed number of rounds.  The HO
+    analogue of the FloodSet family:
+
+    - under the complete assignment it is one-round consensus on the
+      global minimum;
+    - under a crash-like assignment with at most f disappearances it
+      reaches consensus within f+1 rounds (each round either nobody
+      disappears — and estimates converge — or the disappearance
+      budget shrinks);
+    - under a partitioned assignment it decides one value per group —
+      the round-model rendering of the paper's partitioning argument
+      (Discussion, application to round models). *)
+
+module Make (P : sig
+  val rounds : int
+  (** Decide at the end of this round (≥ 1). *)
+end) : Ho_algorithm.S

@@ -1,0 +1,74 @@
+module Pid = Ksa_sim.Pid
+module Value = Ksa_sim.Value
+
+module A = struct
+  type state = { me : Pid.t; x : Value.t; vote : Value.t option; decided : bool }
+
+  type message =
+    | X of Value.t  (** odd rounds *)
+    | V of Value.t option * Value.t  (** even rounds: (vote, x) *)
+
+  let name = "ho-uniform-voting"
+
+  let init ~n ~me ~input =
+    ignore n;
+    { me; x = input; vote = None; decided = false }
+
+  let send st ~round =
+    if round mod 2 = 1 then X st.x else V (st.vote, st.x)
+
+  let xs_of received =
+    List.filter_map (fun (_, m) -> match m with X v -> Some v | V _ -> None) received
+
+  let votes_of received =
+    List.filter_map
+      (fun (_, m) -> match m with V (vote, x) -> Some (vote, x) | X _ -> None)
+      received
+
+  let transition st ~round ~received =
+    if round mod 2 = 1 then begin
+      (* voting round: vote for v iff every estimate heard equals v *)
+      let xs = List.sort_uniq Value.compare (xs_of received) in
+      let vote = match xs with [ v ] -> Some v | [] | _ :: _ :: _ -> None in
+      ({ st with vote }, None)
+    end
+    else begin
+      let pairs = votes_of received in
+      let non_bot =
+        List.sort_uniq Value.compare
+          (List.filter_map (fun (vote, _) -> vote) pairs)
+      in
+      let st =
+        match non_bot with
+        | v :: _ -> { st with x = v } (* smallest non-? vote *)
+        | [] -> (
+            match List.sort_uniq Value.compare (List.map snd pairs) with
+            | v :: _ -> { st with x = v }
+            | [] -> st)
+      in
+      let unanimous =
+        pairs <> []
+        && match non_bot with
+           | [ v ] -> List.for_all (fun (vote, _) -> vote = Some v) pairs
+           | [] | _ :: _ :: _ -> false
+      in
+      (* the output is write-once: a process decides at most once,
+         even if unanimity recurs later with a different estimate
+         (e.g. after a partition is released) *)
+      if unanimous && not st.decided then
+        ({ st with decided = true }, Some st.x)
+      else (st, None)
+    end
+
+  let pp_state ppf st =
+    Format.fprintf ppf "{%a x=%a vote=%a}" Pid.pp st.me Value.pp st.x
+      (Format.pp_print_option Value.pp)
+      st.vote
+
+  let pp_message ppf = function
+    | X v -> Format.fprintf ppf "x(%a)" Value.pp v
+    | V (vote, x) ->
+        Format.fprintf ppf "v(%a,%a)"
+          (Format.pp_print_option Value.pp)
+          vote Value.pp x
+end

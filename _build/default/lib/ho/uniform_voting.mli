@@ -1,0 +1,26 @@
+(** UniformVoting: consensus in the HO model (after Charron-Bost &
+    Schiper, the paper's reference [8]).
+
+    Phases of two rounds.  In round 2φ−1 every process sends its
+    estimate x; a process that hears only one distinct value v votes
+    for v, otherwise it votes ?.  In round 2φ every process sends
+    (vote, x); a process that hears a non-? vote adopts the smallest
+    such value as its new x, and {e decides} it if every vote heard
+    was that same non-? vote; a process that hears only ? votes adopts
+    the smallest x heard.
+
+    Safety requires only the {e no-split} predicate (any two HO sets
+    of a round intersect): two non-? votes of one round are equal
+    because both voters heard a common process's x, and a decision in
+    round 2φ forces every process to adopt the decided value through
+    the same intersection, so later votes and decisions cannot
+    diverge.  Liveness follows from two consecutive uniform rounds
+    (everyone hears the same set): the even round equalizes x, the
+    next phase votes and decides.
+
+    Under a {e partitioned} assignment (no-split violated across
+    groups, satisfied within each group) every group runs its own
+    correct consensus and decides its own value: the paper's
+    partitioning argument transplanted to round models. *)
+
+module A : Ho_algorithm.S

@@ -1,0 +1,1 @@
+lib/prim/listx.ml: List

@@ -1,0 +1,1 @@
+lib/prim/rng.ml: Array Int64 List

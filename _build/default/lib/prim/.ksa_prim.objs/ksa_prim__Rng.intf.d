@@ -1,0 +1,1 @@
+lib/prim/rng.mli:

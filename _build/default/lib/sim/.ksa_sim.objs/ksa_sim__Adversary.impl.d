@@ -1,0 +1,1 @@
+lib/sim/adversary.ml: Array Failure_pattern Ksa_prim List Option Pid Printf Value

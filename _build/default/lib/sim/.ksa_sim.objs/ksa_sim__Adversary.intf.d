@@ -1,0 +1,1 @@
+lib/sim/adversary.mli: Failure_pattern Ksa_prim Pid Value

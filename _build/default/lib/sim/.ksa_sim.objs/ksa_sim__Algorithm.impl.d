@@ -1,0 +1,1 @@
+lib/sim/algorithm.ml: Fd_view Format Pid Value

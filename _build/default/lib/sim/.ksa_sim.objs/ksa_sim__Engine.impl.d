@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Adversary Algorithm Array Digest Envelope Event Failure_pattern Int List Map Marshal Option Pid Printf Run Value

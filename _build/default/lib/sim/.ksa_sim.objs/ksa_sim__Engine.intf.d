@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Adversary Algorithm Envelope Event Failure_pattern Fd_view Pid Run Value

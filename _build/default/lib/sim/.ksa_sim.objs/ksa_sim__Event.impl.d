@@ -1,0 +1,1 @@
+lib/sim/event.ml: Format Pid Value

@@ -1,0 +1,1 @@
+lib/sim/event.mli: Format Pid Value

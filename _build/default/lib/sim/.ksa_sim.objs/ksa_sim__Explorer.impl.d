@@ -1,0 +1,1 @@
+lib/sim/explorer.ml: Adversary Algorithm Engine Failure_pattern Hashtbl List Marshal Pid Value

@@ -1,0 +1,1 @@
+lib/sim/explorer.mli: Algorithm Failure_pattern Pid Value

@@ -1,0 +1,1 @@
+lib/sim/fd_view.ml: Format Pid

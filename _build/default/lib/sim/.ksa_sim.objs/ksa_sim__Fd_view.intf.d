@@ -1,0 +1,1 @@
+lib/sim/fd_view.mli: Format Pid

@@ -1,0 +1,1 @@
+lib/sim/model.mli: Format

@@ -1,0 +1,1 @@
+lib/sim/model_check.ml: Array Event Failure_pattern Hashtbl Ksa_prim List Model Option Pid Printf Run

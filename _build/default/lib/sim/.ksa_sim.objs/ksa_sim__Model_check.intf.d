@@ -1,0 +1,1 @@
+lib/sim/model_check.mli: Model Run

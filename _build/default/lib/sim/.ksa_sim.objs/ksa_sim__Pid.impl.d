@@ -1,0 +1,1 @@
+lib/sim/pid.ml: Format Fun Int List Map Set

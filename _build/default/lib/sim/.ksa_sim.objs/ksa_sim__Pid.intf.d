@@ -1,0 +1,1 @@
+lib/sim/pid.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/sim/replay.ml: Adversary Array Event Hashtbl List Option Pid Run

@@ -1,0 +1,1 @@
+lib/sim/replay.mli: Adversary Pid Run

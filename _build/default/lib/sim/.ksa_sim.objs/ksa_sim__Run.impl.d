@@ -1,0 +1,1 @@
+lib/sim/run.ml: Event Failure_pattern Format List Option Pid Value

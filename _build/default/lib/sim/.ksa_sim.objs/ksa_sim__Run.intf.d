@@ -1,0 +1,1 @@
+lib/sim/run.mli: Event Failure_pattern Format Pid Value

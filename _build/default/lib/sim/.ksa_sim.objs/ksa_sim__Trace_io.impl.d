@@ -1,0 +1,1 @@
+lib/sim/trace_io.ml: Buffer Event Format Fun List Printf Replay Run String

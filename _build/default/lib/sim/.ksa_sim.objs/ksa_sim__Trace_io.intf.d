@@ -1,0 +1,1 @@
+lib/sim/trace_io.mli: Format Replay Run

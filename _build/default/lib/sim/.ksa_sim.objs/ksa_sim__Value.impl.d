@@ -1,0 +1,1 @@
+lib/sim/value.ml: Array Format Fun Int List

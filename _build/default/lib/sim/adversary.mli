@@ -1,0 +1,110 @@
+(** Adversaries: the scheduler side of the model.
+
+    In the paper, asynchrony is quantified adversarially — an
+    impossibility proof exhibits a scheduler that delays messages and
+    orders steps so as to produce a bad run.  Here an adversary is a
+    (possibly stateful) function from an observation of the current
+    configuration to the next scheduling action.  The engine validates
+    every action against the failure pattern and the buffer contents,
+    so adversaries cannot cheat (schedule crashed processes, deliver
+    non-existent messages, or drop messages whose sender is still
+    alive).
+
+    The strategies below are exactly the constructions the paper's
+    proofs use: fair schedules for possibility results, partition /
+    solo-order schedules for Theorem 2, Theorem 8's border case and
+    Lemma 12. *)
+
+type pending = { id : int; src : Pid.t; dst : Pid.t; sent_at : int }
+(** Metadata of an undelivered message (payload hidden). *)
+
+type obs = {
+  time : int;  (** Time of the last executed step (0 initially). *)
+  n : int;
+  pending : pending list;  (** Undelivered messages, in sending order. *)
+  decided : (Pid.t * Value.t) list;  (** Decisions so far, sorted by pid. *)
+  pattern : Failure_pattern.t;
+  steps_taken : Pid.t -> int;
+}
+
+type action =
+  | Step of { pid : Pid.t; deliver : int list }
+      (** Process [pid] takes a step, receiving exactly the pending
+          messages with the given ids (each must be addressed to
+          [pid]). *)
+  | Drop of int list
+      (** Remove pending messages whose senders have already crashed:
+          the "omit sending to a subset of receivers in the very last
+          step" allowance of the model, realized as a retroactive
+          drop. *)
+  | Halt  (** End the run (the adversary stops scheduling). *)
+
+type t = { describe : string; next : obs -> action }
+(** A (stateful) adversary.  [next] is called repeatedly until it
+    returns [Halt], the engine's step budget runs out, or no process
+    can be scheduled. *)
+
+val alive : obs -> Pid.t list
+(** Processes allowed to take the next step (not yet crashed at time
+    [obs.time + 1]). *)
+
+val undecided_alive : obs -> Pid.t list
+
+val all_correct_decided : obs -> bool
+
+val pending_for : ?allow:(Pid.t -> Pid.t -> bool) -> obs -> Pid.t -> int list
+(** Ids of pending messages addressed to a process, optionally
+    filtered by an [allow src dst] predicate. *)
+
+(** {1 Fair strategies (possibility side)} *)
+
+val fair : rng:Ksa_prim.Rng.t -> t
+(** Uniformly random alive process each step; delivers {e all} its
+    pending messages.  Keeps stepping decided processes (they may
+    help others), halts once every correct process has decided and no
+    message remains for an alive process. *)
+
+val round_robin : unit -> t
+(** Cycles through alive processes in id order, delivering all
+    pending messages — the canonical "synchronous processes" schedule
+    of Section V (lock-step speeds, asynchronous communication). *)
+
+val fair_lossy : rng:Ksa_prim.Rng.t -> p_defer:float -> t
+(** Like [fair] but each pending message is independently withheld
+    with probability [p_defer] at each delivery opportunity
+    (still delivered eventually with probability 1): exercises
+    out-of-order, delayed communication. *)
+
+(** {1 Partitioning strategies (impossibility side)} *)
+
+val partition : groups:Pid.t list list -> ?release:(obs -> bool) -> unit -> t
+(** Round-robin over alive processes, but a message crossing between
+    two (disjoint) groups is withheld while [release obs] is false
+    (default: while some alive group member is undecided — i.e.
+    "until every correct process has decided", the run shape used
+    throughout Sections V and VII).  Processes not in any group are
+    treated as one implicit extra group.  After release, behaves like
+    [round_robin]. *)
+
+val sequential_solo : groups:Pid.t list list -> t
+(** Lemma 12's construction: run group 1 in isolation (its members
+    receive only from group 1) until all its alive members decide,
+    then group 2, etc.  After the last group, all withheld cross-group
+    messages are released and scheduling becomes round-robin.
+    With singleton groups this realizes the Section V observation
+    that wait-freedom lets every process decide solo. *)
+
+val eventually_lockstep : rng:Ksa_prim.Rng.t -> gst:int -> p_defer:float -> t
+(** Partial synchrony with a global stabilization time: before step
+    [gst] behaves like {!fair_lossy} (arbitrary speeds and delays);
+    from [gst] on, round-robin with full delivery — i.e. the run's
+    suffix is admissible for synchronous processes (Φ = n) and
+    Δ-bounded communication.  The schedule never halts on its own
+    before all correct processes decide, so it also drives
+    non-terminating protocols (e.g. heartbeat-based failure-detector
+    implementations) under a step budget. *)
+
+val crash_after_decision : inner:t -> victims:Pid.t list -> t
+(** Wraps [inner], but drops all undelivered messages {e from} each
+    victim as soon as that victim is crashed per the pattern — the
+    standard way to make a crashed partition invisible. *)

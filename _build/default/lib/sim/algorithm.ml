@@ -1,0 +1,49 @@
+(** The interface a distributed algorithm presents to the engine.
+
+    This is the paper's "deterministic state machine" with its
+    transition relation and message sending function (Section II),
+    fused into a single [step]: one atomic step receives a (possibly
+    empty) set of messages, optionally queries the failure detector,
+    updates the local state, sends messages, and may irrevocably
+    decide.  Atomic receive+send and one-step broadcast are the
+    {e favourable} choices of the Dolev–Dwork–Stockmeyer parameters,
+    which only strengthens impossibility results run against this
+    interface (Corollary 5).
+
+    Implementations must be pure: the engine replays and splices runs
+    under the assumption that [init] and [step] are functions of their
+    arguments. *)
+
+module type S = sig
+  type state
+  type message
+
+  val name : string
+
+  val uses_fd : bool
+  (** Whether the algorithm queries a failure detector; the engine
+      requires an oracle iff this is set. *)
+
+  val init : n:int -> me:Pid.t -> input:Value.t -> state
+  (** Initial state of process [me] in a system of [n] processes with
+      proposal value [input].  Like the paper's restricted algorithm
+      A|D (Definition 1), code always sees the {e full} system size
+      [n], even when run in a restricted system. *)
+
+  val step :
+    state ->
+    received:(Pid.t * message) list ->
+    fd:Fd_view.t option ->
+    state * (Pid.t * message) list * Value.t option
+  (** One atomic step.  [received] are the messages delivered in this
+      step (sender, payload), in sending order.  [fd] is the failure
+      detector's answer for this step, present iff the model provides
+      one.  Returns the new state, messages to send (recipient,
+      payload) — a broadcast is simply [n] sends — and [Some v] to
+      decide [v].  The output variable is write-once: the engine
+      treats a second, different decision as an algorithm bug and
+      raises. *)
+
+  val pp_state : Format.formatter -> state -> unit
+  val pp_message : Format.formatter -> message -> unit
+end

@@ -1,0 +1,233 @@
+module Int_map = Map.Make (Int)
+
+module Make (A : Algorithm.S) = struct
+  type config = {
+    n : int;
+    inputs : Value.t array;
+    time : int;
+    states : A.state Pid.Map.t;
+    decided : (Value.t * int) Pid.Map.t;
+    pending : A.message Envelope.t Int_map.t;
+    next_id : int;
+    events : Event.t list; (* reversed *)
+  }
+
+  exception Invalid_action of string
+  exception Double_decision of Pid.t
+
+  let init ~n ~inputs =
+    if Array.length inputs <> n then invalid_arg "Engine.init: inputs length";
+    let states =
+      List.fold_left
+        (fun acc p -> Pid.Map.add p (A.init ~n ~me:p ~input:inputs.(p)) acc)
+        Pid.Map.empty (Pid.universe n)
+    in
+    {
+      n;
+      inputs = Array.copy inputs;
+      time = 0;
+      states;
+      decided = Pid.Map.empty;
+      pending = Int_map.empty;
+      next_id = 0;
+      events = [];
+    }
+
+  let time c = c.time
+  let n c = c.n
+  let state_of c p = Pid.Map.find p c.states
+  let decision_of c p = Option.map fst (Pid.Map.find_opt p c.decided)
+
+  let decisions c =
+    Pid.Map.fold (fun p (v, t) acc -> (p, v, t) :: acc) c.decided []
+    |> List.sort compare
+
+  let pending c = List.map snd (Int_map.bindings c.pending)
+  let events c = List.rev c.events
+
+  let observe ~pattern c =
+    {
+      Adversary.time = c.time;
+      n = c.n;
+      pending =
+        List.map
+          (fun (e : A.message Envelope.t) ->
+            { Adversary.id = e.id; src = e.src; dst = e.dst; sent_at = e.sent_at })
+          (pending c);
+      decided = List.map (fun (p, v, _) -> (p, v)) (decisions c);
+      pattern;
+      steps_taken =
+        (fun p ->
+          List.length
+            (List.filter (fun (ev : Event.t) -> Pid.equal ev.pid p) c.events));
+    }
+
+  let check_deliverable c pid ids =
+    List.map
+      (fun id ->
+        match Int_map.find_opt id c.pending with
+        | None ->
+            raise (Invalid_action (Printf.sprintf "message #%d not pending" id))
+        | Some e ->
+            if not (Pid.equal e.dst pid) then
+              raise
+                (Invalid_action
+                   (Printf.sprintf "message #%d not addressed to p%d" id pid));
+            e)
+      (List.sort_uniq compare ids)
+
+  let exec_step ?fd ~pattern c pid ids =
+    let next_time = c.time + 1 in
+    if not (Pid.valid ~n:c.n pid) then
+      raise (Invalid_action (Printf.sprintf "invalid pid p%d" pid));
+    (match Failure_pattern.crash_time pattern pid with
+    | Some ct when next_time > ct ->
+        raise
+          (Invalid_action
+             (Printf.sprintf "p%d crashed at %d, cannot step at %d" pid ct
+                next_time))
+    | Some _ | None -> ());
+    let envs = check_deliverable c pid ids in
+    let received =
+      List.map (fun (e : A.message Envelope.t) -> (e.src, e.payload)) envs
+    in
+    let fd_view =
+      if A.uses_fd then
+        match fd with
+        | None ->
+            raise (Invalid_action (A.name ^ " queries a failure detector but none was supplied"))
+        | Some oracle -> Some (oracle ~time:next_time ~me:pid)
+      else None
+    in
+    let state = Pid.Map.find pid c.states in
+    let state', sends, dec = A.step state ~received ~fd:fd_view in
+    let pending =
+      List.fold_left
+        (fun acc (e : A.message Envelope.t) -> Int_map.remove e.id acc)
+        c.pending envs
+    in
+    let pending, next_id, sent_refs =
+      List.fold_left
+        (fun (pend, id, refs) (dst, payload) ->
+          if not (Pid.valid ~n:c.n dst) then
+            raise (Invalid_action (Printf.sprintf "send to invalid pid p%d" dst));
+          let e =
+            { Envelope.id; src = pid; dst; sent_at = next_time; payload }
+          in
+          (Int_map.add id e pend, id + 1, (id, dst) :: refs))
+        (pending, c.next_id, [])
+        sends
+    in
+    let decided =
+      match dec with
+      | None -> c.decided
+      | Some v -> (
+          match Pid.Map.find_opt pid c.decided with
+          | None -> Pid.Map.add pid (v, next_time) c.decided
+          | Some (v0, _) ->
+              if Value.equal v v0 then c.decided else raise (Double_decision pid))
+    in
+    let event =
+      {
+        Event.time = next_time;
+        pid;
+        delivered =
+          List.map (fun (e : A.message Envelope.t) -> (e.id, e.src)) envs;
+        sent = List.rev sent_refs;
+        decision =
+          (match dec with
+          | Some v when not (Pid.Map.mem pid c.decided) -> Some v
+          | Some _ | None -> None);
+        state_digest = Digest.string (Marshal.to_string state' []);
+      }
+    in
+    {
+      c with
+      time = next_time;
+      states = Pid.Map.add pid state' c.states;
+      decided;
+      pending;
+      next_id;
+      events = event :: c.events;
+    }
+
+  let exec_drop ~pattern c ids =
+    if ids = [] then raise (Invalid_action "empty drop");
+    let pending =
+      List.fold_left
+        (fun acc id ->
+          match Int_map.find_opt id acc with
+          | None ->
+              raise (Invalid_action (Printf.sprintf "drop: message #%d not pending" id))
+          | Some (e : A.message Envelope.t) ->
+              if not (Failure_pattern.is_crashed pattern e.src ~time:c.time)
+              then
+                raise
+                  (Invalid_action
+                     (Printf.sprintf
+                        "drop: sender p%d of message #%d has not crashed" e.src
+                        id))
+              else Int_map.remove id acc)
+        c.pending ids
+    in
+    { c with pending }
+
+  let apply ?fd ~pattern c = function
+    | Adversary.Halt -> None
+    | Adversary.Step { pid; deliver } -> Some (exec_step ?fd ~pattern c pid deliver)
+    | Adversary.Drop ids -> Some (exec_drop ~pattern c ids)
+
+  let finish c ~pattern status =
+    {
+      Run.status;
+      n = c.n;
+      inputs = Array.copy c.inputs;
+      pattern;
+      events = events c;
+      decisions = decisions c;
+    }
+
+  let run_full ?(max_steps = 100_000) ?fd ~n ~inputs ~pattern
+      (adv : Adversary.t) =
+    let all_correct_decided c =
+      List.for_all
+        (fun p -> Pid.Map.mem p c.decided)
+        (Failure_pattern.correct pattern)
+    in
+    let rec loop c steps_left =
+      if steps_left <= 0 then (finish c ~pattern Run.Hit_step_budget, c)
+      else
+        match adv.Adversary.next (observe ~pattern c) with
+        | Adversary.Halt ->
+            let status =
+              if all_correct_decided c then Run.All_correct_decided
+              else Run.Halted_by_adversary
+            in
+            (finish c ~pattern status, c)
+        | action -> (
+            match apply ?fd ~pattern c action with
+            | None -> assert false
+            | Some c' ->
+                let consumed =
+                  match action with
+                  | Adversary.Step _ -> 1
+                  | Adversary.Drop _ | Adversary.Halt -> 0
+                in
+                loop c' (steps_left - consumed))
+    in
+    loop (init ~n ~inputs) max_steps
+
+  let run ?max_steps ?fd ~n ~inputs ~pattern adv =
+    fst (run_full ?max_steps ?fd ~n ~inputs ~pattern adv)
+
+  let fingerprint c =
+    let states = Pid.Map.bindings c.states in
+    let decided = List.map (fun (p, (v, _)) -> (p, v)) (Pid.Map.bindings c.decided) in
+    let msgs =
+      List.sort compare
+        (List.map
+           (fun (e : A.message Envelope.t) -> (e.src, e.dst, e.payload))
+           (pending c))
+    in
+    Marshal.to_string (states, decided, msgs) []
+end

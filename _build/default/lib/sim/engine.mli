@@ -1,0 +1,82 @@
+(** The run executor: drives an algorithm under an adversary and a
+    failure pattern, producing a {!Run.t}.
+
+    The engine owns the paper's system-level objects — configurations
+    (local states + message buffers), the step relation, time as step
+    index — and enforces the model's rules:
+
+    - a step atomically receives a chosen subset of the process's
+      buffer, queries the failure detector (if the model has one),
+      transitions, and sends messages;
+    - a process takes no step with index greater than its crash time;
+    - messages can only be dropped if their sender has crashed
+      (the last-step-omission allowance);
+    - output values are write-once.
+
+    Configurations are immutable, so run prefixes can be forked —
+    which is how the exhaustive {!Explorer} and the Lemma 11/12 run
+    surgery work. *)
+
+module Make (A : Algorithm.S) : sig
+  type config
+
+  exception Invalid_action of string
+  (** The adversary proposed an action the model forbids. *)
+
+  exception Double_decision of Pid.t
+  (** The algorithm tried to overwrite a decided output with a
+      different value — an algorithm bug, not a model condition. *)
+
+  val init : n:int -> inputs:Value.t array -> config
+  (** Initial configuration C{_0}: every process in its initial state,
+      all buffers empty.  @raise Invalid_argument if the input vector
+      length differs from [n]. *)
+
+  val time : config -> int
+  val n : config -> int
+  val state_of : config -> Pid.t -> A.state
+  val decision_of : config -> Pid.t -> Value.t option
+  val decisions : config -> (Pid.t * Value.t * int) list
+  val pending : config -> A.message Envelope.t list
+  val events : config -> Event.t list
+  (** Chronological event log of the prefix executed so far. *)
+
+  val observe : pattern:Failure_pattern.t -> config -> Adversary.obs
+
+  val apply :
+    ?fd:Fd_view.oracle -> pattern:Failure_pattern.t -> config ->
+    Adversary.action -> config option
+  (** Execute one adversary action.  [None] on [Halt].
+      @raise Invalid_action if the action violates the model,
+      @raise Double_decision on a write-once violation. *)
+
+  val run :
+    ?max_steps:int -> ?fd:Fd_view.oracle ->
+    n:int -> inputs:Value.t array -> pattern:Failure_pattern.t ->
+    Adversary.t -> Run.t
+  (** Drive the adversary from C{_0} until it halts or [max_steps]
+      steps (default 100_000) have executed. *)
+
+  val run_full :
+    ?max_steps:int -> ?fd:Fd_view.oracle ->
+    n:int -> inputs:Value.t array -> pattern:Failure_pattern.t ->
+    Adversary.t -> Run.t * config
+  (** Like {!run} but also returns the final configuration, so that
+      callers can inspect final local states (e.g. extract the
+      operation logs of a register emulation). *)
+
+  val finish : config -> pattern:Failure_pattern.t -> Run.status -> Run.t
+  (** Package an explicitly driven prefix as a {!Run.t} (used by the
+      explorer and by run-surgery code that calls {!apply} itself);
+      inputs are recovered from the initial configuration. *)
+
+  val fingerprint : config -> string
+  (** Canonical digest of the semantic core of a configuration: local
+      states, decided outputs and the multiset of undelivered
+      (src, dst, payload) triples — deliberately excluding time and
+      message ids, so that schedule-permuted but behaviourally
+      identical configurations collide.  Sound for state-space
+      deduplication only when future behaviour is time-independent:
+      no failure detector and no crash times later than 0.  The
+      {!Explorer} checks these conditions. *)
+end

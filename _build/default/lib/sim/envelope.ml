@@ -1,0 +1,11 @@
+type 'payload t = {
+  id : int;
+  src : Pid.t;
+  dst : Pid.t;
+  sent_at : int;
+  payload : 'payload;
+}
+
+let pp pp_payload ppf e =
+  Format.fprintf ppf "#%d %a→%a@%d: %a" e.id Pid.pp e.src Pid.pp e.dst e.sent_at
+    pp_payload e.payload

@@ -1,0 +1,20 @@
+type t = {
+  time : int;
+  pid : Pid.t;
+  delivered : (int * Pid.t) list;
+  sent : (int * Pid.t) list;
+  decision : Value.t option;
+  state_digest : string;
+}
+
+let pp ppf e =
+  let pp_ref ppf (id, q) = Format.fprintf ppf "#%d(%a)" id Pid.pp q in
+  Format.fprintf ppf "t%d %a rcv[%a] snd[%a]%a" e.time Pid.pp e.pid
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_ref)
+    e.delivered
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_ref)
+    e.sent
+    (fun ppf -> function
+      | None -> ()
+      | Some v -> Format.fprintf ppf " DECIDE %a" Value.pp v)
+    e.decision

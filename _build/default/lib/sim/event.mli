@@ -1,0 +1,23 @@
+(** One step of a run, as recorded in a trace.
+
+    Payloads are not stored here — events reference messages by id, so
+    a trace is payload-agnostic and two runs of different algorithms
+    can be compared structurally (who heard from whom, who decided
+    when).  This is all the information the paper's run-level
+    predicates ((dec-D), (dec-D̄), indistinguishability-until-decision)
+    need. *)
+
+type t = {
+  time : int;  (** Step index; the i-th step of the run occurs at time i (1-based). *)
+  pid : Pid.t;  (** The process that took the step. *)
+  delivered : (int * Pid.t) list;  (** (message id, sender) received in this step. *)
+  sent : (int * Pid.t) list;  (** (message id, recipient) sent in this step. *)
+  decision : Value.t option;  (** [Some v] if the process decided in this step. *)
+  state_digest : string;
+      (** MD5 of the marshalled post-step local state.  Two processes
+          with equal digest sequences went through the same states —
+          the operational form of the paper's indistinguishability
+          (until decision) of runs (Definition 2). *)
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,313 @@
+type delivery_policy = Empty_or_all | Per_sender | All_subsets
+
+type stats = {
+  configs_visited : int;
+  terminal_runs : int;
+  budget_exhausted : bool;
+}
+
+type outcome =
+  | Safe of stats
+  | Violation of { decisions : (Pid.t * Value.t * int) list; reason : string; depth : int }
+
+type resilient_outcome =
+  | All_paths_decide of stats
+  | Safety_violation of {
+      decisions : (Pid.t * Value.t * int) list;
+      reason : string;
+    }
+  | Stuck of {
+      crashed : Pid.t list;
+      undecided_correct : Pid.t list;
+      stats : stats;
+    }
+
+module Make (A : Algorithm.S) = struct
+  module E = Engine.Make (A)
+
+  exception Found of (Pid.t * Value.t * int) list * string * int
+
+  let subsets xs =
+    List.fold_left
+      (fun acc x -> acc @ List.map (fun s -> x :: s) acc)
+      [ [] ] xs
+
+  (* Delivery choices for [pid]: lists of message ids. *)
+  let choices policy (obs : Adversary.obs) pid =
+    let mine = List.filter (fun (m : Adversary.pending) -> m.dst = pid) obs.pending in
+    let ids = List.map (fun (m : Adversary.pending) -> m.id) mine in
+    match policy with
+    | Empty_or_all -> if ids = [] then [ [] ] else [ []; ids ]
+    | Per_sender ->
+        let senders =
+          List.sort_uniq compare
+            (List.map (fun (m : Adversary.pending) -> m.src) mine)
+        in
+        let per_sender =
+          List.map
+            (fun s ->
+              List.filter_map
+                (fun (m : Adversary.pending) ->
+                  if m.src = s then Some m.id else None)
+                mine)
+            senders
+        in
+        let all = if List.length senders > 1 then [ ids ] else [] in
+        ([] :: per_sender) @ all
+    | All_subsets -> subsets ids
+
+  let explore ?(max_depth = 200) ?(max_configs = 2_000_000)
+      ?(policy = Per_sender) ?(on_terminal = fun _ -> ()) ~n ~inputs ~pattern
+      ~check () =
+    if A.uses_fd then
+      invalid_arg "Explorer: algorithms with failure detectors are unsupported";
+    if
+      List.exists
+        (fun p ->
+          match Failure_pattern.crash_time pattern p with
+          | Some t when t > 0 -> true
+          | Some _ | None -> false)
+        (Pid.universe n)
+    then invalid_arg "Explorer: only initial crashes are supported";
+    let seen = Hashtbl.create 65_536 in
+    let visited = ref 0 in
+    let terminals = ref 0 in
+    let exhausted = ref false in
+    let correct = Failure_pattern.correct pattern in
+    let rec dfs config depth =
+      let key = E.fingerprint config in
+      if Hashtbl.mem seen key then ()
+      else begin
+        Hashtbl.add seen key ();
+        incr visited;
+        if !visited >= max_configs then exhausted := true;
+        let decisions = E.decisions config in
+        (match check decisions with
+        | Some reason -> raise (Found (decisions, reason, depth))
+        | None -> ());
+        let done_ =
+          List.for_all (fun p -> E.decision_of config p <> None) correct
+        in
+        if done_ then begin
+          incr terminals;
+          on_terminal decisions
+        end
+        else if depth >= max_depth || !visited >= max_configs then
+          exhausted := true
+        else
+          let obs = E.observe ~pattern config in
+          let steppers = Adversary.alive obs in
+          List.iter
+            (fun pid ->
+              List.iter
+                (fun deliver ->
+                  match
+                    E.apply ~pattern config (Adversary.Step { pid; deliver })
+                  with
+                  | Some config' -> dfs config' (depth + 1)
+                  | None -> assert false)
+                (choices policy obs pid))
+            steppers
+      end
+    in
+    match dfs (E.init ~n ~inputs) 0 with
+    | () ->
+        Safe
+          {
+            configs_visited = !visited;
+            terminal_runs = !terminals;
+            budget_exhausted = !exhausted;
+          }
+    | exception Found (decisions, reason, depth) ->
+        Violation { decisions; reason; depth }
+
+  (* ---- crash-adversarial exploration ---- *)
+
+  type node = {
+    config : E.config;
+    crashed : Pid.t list; (* sorted *)
+    key : string;
+  }
+
+  exception Unsafe of (Pid.t * Value.t * int) list * string
+
+  let node_of config crashed =
+    { config; crashed; key = E.fingerprint config ^ Marshal.to_string crashed [] }
+
+  let explore_with_crashes ?(max_configs = 300_000) ?(policy = Per_sender)
+      ?(drop_on_crash = true) ~n ~inputs ~crash_budget ~check () =
+    if A.uses_fd then
+      invalid_arg "Explorer: algorithms with failure detectors are unsupported";
+    let pattern_of crashed = Failure_pattern.initial_dead ~n ~dead:crashed in
+    let complete node =
+      List.for_all
+        (fun p ->
+          List.mem p node.crashed || E.decision_of node.config p <> None)
+        (Pid.universe n)
+    in
+    (* phase 1: enumerate the reachable node graph *)
+    let info :
+        (string, string list (* succs *) * bool (* complete *) * Pid.t list * Pid.t list)
+        Hashtbl.t =
+      Hashtbl.create 65_536
+    in
+    let exhausted = ref false in
+    let terminals = ref 0 in
+    let worklist = ref [] in
+    let enumerate_one node =
+      if Hashtbl.mem info node.key then ()
+      else if Hashtbl.length info >= max_configs then exhausted := true
+      else begin
+        let decisions = E.decisions node.config in
+        (match check decisions with
+        | Some reason -> raise (Unsafe (decisions, reason))
+        | None -> ());
+        let is_complete = complete node in
+        if is_complete then incr terminals;
+        let pattern = pattern_of node.crashed in
+        let succs = ref [] in
+        if not is_complete then begin
+          let obs = E.observe ~pattern node.config in
+          let alive =
+            List.filter (fun p -> not (List.mem p node.crashed)) (Pid.universe n)
+          in
+          (* scheduling/delivery successors *)
+          List.iter
+            (fun pid ->
+              List.iter
+                (fun deliver ->
+                  match
+                    E.apply ~pattern node.config (Adversary.Step { pid; deliver })
+                  with
+                  | Some config' -> succs := node_of config' node.crashed :: !succs
+                  | None -> assert false)
+                (choices policy obs pid))
+            alive;
+          (* crash successors *)
+          if List.length node.crashed < crash_budget then
+            List.iter
+              (fun victim ->
+                let crashed' = List.sort compare (victim :: node.crashed) in
+                succs := node_of node.config crashed' :: !succs;
+                if drop_on_crash then begin
+                  let pending_from =
+                    List.filter_map
+                      (fun (m : Adversary.pending) ->
+                        if m.src = victim then Some m.id else None)
+                      obs.pending
+                  in
+                  if pending_from <> [] then
+                    match
+                      E.apply ~pattern:(pattern_of crashed') node.config
+                        (Adversary.Drop pending_from)
+                    with
+                    | Some config' -> succs := node_of config' crashed' :: !succs
+                    | None -> assert false
+                end)
+              alive
+        end;
+        let succ_nodes = !succs in
+        Hashtbl.replace info node.key
+          ( List.map (fun s -> s.key) succ_nodes,
+            is_complete,
+            node.crashed,
+            List.filter
+              (fun p ->
+                (not (List.mem p node.crashed))
+                && E.decision_of node.config p = None)
+              (Pid.universe n) );
+        worklist := List.rev_append succ_nodes !worklist
+      end
+    in
+    let enumerate root =
+      worklist := [ root ];
+      let rec drain () =
+        match !worklist with
+        | [] -> ()
+        | node :: rest ->
+            worklist := rest;
+            enumerate_one node;
+            drain ()
+      in
+      drain ()
+    in
+    let root = node_of (E.init ~n ~inputs) [] in
+    match enumerate root with
+    | exception Unsafe (decisions, reason) -> Safety_violation { decisions; reason }
+    | () ->
+        let stats =
+          {
+            configs_visited = Hashtbl.length info;
+            terminal_runs = !terminals;
+            budget_exhausted = !exhausted;
+          }
+        in
+        (* phase 2: backwards reachability from complete nodes *)
+        let preds : (string, string list ref) Hashtbl.t =
+          Hashtbl.create (Hashtbl.length info)
+        in
+        let completes = ref [] in
+        Hashtbl.iter
+          (fun key (succs, is_complete, _, _) ->
+            if is_complete then completes := key :: !completes;
+            List.iter
+              (fun s ->
+                match Hashtbl.find_opt preds s with
+                | Some l -> l := key :: !l
+                | None -> Hashtbl.add preds s (ref [ key ]))
+              succs)
+          info;
+        let can_decide = Hashtbl.create (Hashtbl.length info) in
+        let rec mark_all = function
+          | [] -> ()
+          | key :: rest ->
+              if Hashtbl.mem can_decide key then mark_all rest
+              else begin
+                Hashtbl.add can_decide key ();
+                let more =
+                  match Hashtbl.find_opt preds key with
+                  | Some l -> !l
+                  | None -> []
+                in
+                mark_all (List.rev_append more rest)
+              end
+        in
+        mark_all !completes;
+        (* any enumerated node that cannot reach completion?  (only a
+           sound verdict when enumeration was not truncated) *)
+        let stuck =
+          if !exhausted then None
+          else
+            Hashtbl.fold
+              (fun key (_, _, crashed, undecided) acc ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    if Hashtbl.mem can_decide key then None
+                    else Some (crashed, undecided))
+              info None
+        in
+        (match stuck with
+        | Some (crashed, undecided_correct) ->
+            Stuck { crashed; undecided_correct; stats }
+        | None -> All_paths_decide stats)
+
+  let reachable_decision_values ?(max_configs = 300_000) ?(policy = Per_sender)
+      ~n ~inputs ~crash_budget () =
+    let seen = ref [] in
+    let note decisions =
+      List.iter
+        (fun (_, v, _) -> if not (List.mem v !seen) then seen := v :: !seen)
+        decisions
+    in
+    (match
+       explore_with_crashes ~max_configs ~policy ~n ~inputs ~crash_budget
+         ~check:(fun decisions ->
+           note decisions;
+           None)
+         ()
+     with
+    | All_paths_decide _ | Stuck _ -> ()
+    | Safety_violation _ -> ());
+    List.sort compare !seen
+end

@@ -1,0 +1,118 @@
+(** Bounded exhaustive exploration of the schedule space (a small
+    model checker).
+
+    For small systems this enumerates {e every} run prefix an
+    asynchronous adversary can produce — every interleaving of process
+    steps and every admissible delivery choice — and checks a safety
+    predicate on the decision set of every reachable configuration.
+    Possibility claims (e.g. "the Section VI protocol never produces
+    more than k distinct decisions when kn > (k+1)f") are validated
+    against this space rather than against sampled schedules.
+
+    Soundness of the state-space deduplication requires future
+    behaviour to be determined by the semantic configuration alone, so
+    exploration is restricted to failure-detector-free algorithms and
+    failure patterns whose crashes are all initial ([explore] raises
+    [Invalid_argument] otherwise). *)
+
+type delivery_policy =
+  | Empty_or_all
+      (** At each step a process receives nothing or its whole
+          buffer.  Coarsest; misses reorderings within a buffer. *)
+  | Per_sender
+      (** Nothing, the whole buffer, or exactly the messages of one
+          sender.  Captures the distinctions FLP-style protocols can
+          make; default. *)
+  | All_subsets
+      (** Every subset of the buffer (exponential; tiny runs only). *)
+
+type stats = {
+  configs_visited : int;
+  terminal_runs : int;  (** Deduplicated configs where every correct process has decided. *)
+  budget_exhausted : bool;
+      (** True if [max_configs] or [max_depth] pruned the search — the
+          verdict then covers only the explored portion. *)
+}
+
+type outcome =
+  | Safe of stats  (** No reachable explored configuration violates the check. *)
+  | Violation of { decisions : (Pid.t * Value.t * int) list; reason : string; depth : int }
+
+type resilient_outcome =
+  | All_paths_decide of stats
+      (** From every reachable configuration, a decision-complete
+          configuration remains reachable — the algorithm cannot be
+          trapped. *)
+  | Safety_violation of {
+      decisions : (Pid.t * Value.t * int) list;
+      reason : string;
+    }
+  | Stuck of {
+      crashed : Pid.t list;
+      undecided_correct : Pid.t list;
+      stats : stats;
+    }
+      (** A reachable configuration from which {e no} continuation
+          reaches decision-completeness: the crash pattern listed has
+          trapped the undecided correct processes — an FLP-style
+          non-termination witness.  (In the infinite-run view, every
+          fair extension of this configuration violates
+          Termination.) *)
+
+module Make (A : Algorithm.S) : sig
+  val explore :
+    ?max_depth:int ->
+    ?max_configs:int ->
+    ?policy:delivery_policy ->
+    ?on_terminal:((Pid.t * Value.t * int) list -> unit) ->
+    n:int ->
+    inputs:Value.t array ->
+    pattern:Failure_pattern.t ->
+    check:((Pid.t * Value.t * int) list -> string option) ->
+    unit ->
+    outcome
+  (** DFS over all schedules.  [check decisions] returns
+      [Some reason] to report a safety violation of the current
+      decision set ((process, value, time) triples).  [on_terminal]
+      fires once per deduplicated decision-complete configuration.
+      Defaults: [max_depth] 200, [max_configs] 2_000_000, [policy]
+      [Per_sender]. *)
+
+  val explore_with_crashes :
+    ?max_configs:int ->
+    ?policy:delivery_policy ->
+    ?drop_on_crash:bool ->
+    n:int ->
+    inputs:Value.t array ->
+    crash_budget:int ->
+    check:((Pid.t * Value.t * int) list -> string option) ->
+    unit ->
+    resilient_outcome
+  (** Exhaustive exploration where, in addition to scheduling and
+      delivery choices, the adversary may crash up to [crash_budget]
+      processes at {e any} point (a crashed process takes no further
+      steps; with [drop_on_crash], for each crash both the
+      keep-messages and the drop-all-its-pending-messages variants are
+      explored — the last-step-omission allowance).  Classifies the
+      whole reachable space: either every configuration can still
+      reach decision-completeness, or a {e stuck} configuration is
+      reported — the exhaustive form of the FLP/[11] facts behind
+      condition (C), and of the Theorem 2 vs Theorem 8 gap (one
+      non-initial crash defeats protocols that tolerate initial
+      crashes).  State-space deduplication includes the crashed set,
+      so the search is sound for crash-anytime patterns (algorithms
+      with failure detectors remain unsupported). *)
+
+  val reachable_decision_values :
+    ?max_configs:int ->
+    ?policy:delivery_policy ->
+    n:int ->
+    inputs:Value.t array ->
+    crash_budget:int ->
+    unit ->
+    Value.t list
+  (** The set of values decided in some reachable configuration under
+      the crash-adversarial exploration: the {e valency} of the
+      initial configuration.  Two or more values = bivalent/
+      multivalent in FLP's sense. *)
+end

@@ -1,0 +1,32 @@
+type t =
+  | Quorum of Pid.t list
+  | Leaders of Pid.t list
+  | Lonely of bool
+  | Pair of t * t
+
+let rec quorum = function
+  | Quorum q -> Some q
+  | Leaders _ | Lonely _ -> None
+  | Pair (a, b) -> ( match quorum a with Some q -> Some q | None -> quorum b)
+
+let rec leaders = function
+  | Leaders l -> Some l
+  | Quorum _ | Lonely _ -> None
+  | Pair (a, b) -> ( match leaders a with Some l -> Some l | None -> leaders b)
+
+let rec lonely = function
+  | Lonely b -> Some b
+  | Quorum _ | Leaders _ -> None
+  | Pair (a, b) -> ( match lonely a with Some x -> Some x | None -> lonely b)
+
+let equal a b = a = b
+
+let rec pp ppf = function
+  | Quorum q ->
+      Format.fprintf ppf "Σ{%a}" (Format.pp_print_list ~pp_sep:Format.pp_print_space Pid.pp) q
+  | Leaders l ->
+      Format.fprintf ppf "Ω{%a}" (Format.pp_print_list ~pp_sep:Format.pp_print_space Pid.pp) l
+  | Lonely b -> Format.fprintf ppf "L=%b" b
+  | Pair (a, b) -> Format.fprintf ppf "(%a, %a)" pp a pp b
+
+type oracle = time:int -> me:Pid.t -> t

@@ -1,0 +1,34 @@
+(** The value a process obtains when querying a failure detector at
+    the beginning of a step (the paper's 6th model dimension,
+    Section II).
+
+    Failure-detector {e semantics} (which histories are admissible for
+    a failure pattern) live in the [ksa_fd] library; this module only
+    fixes the shape of a single query result so that algorithms can be
+    written against it without depending on any concrete detector. *)
+
+type t =
+  | Quorum of Pid.t list
+      (** A Σ-style trusted set (Definition 4's output). *)
+  | Leaders of Pid.t list
+      (** An Ω{_k}-style set of k leader candidates (Definition 5). *)
+  | Lonely of bool
+      (** A loneliness-style boolean oracle. *)
+  | Pair of t * t
+      (** Product detector, e.g. (Σ{_k}, Ω{_k}). *)
+
+val quorum : t -> Pid.t list option
+(** The Σ component, searching through [Pair] nesting (leftmost
+    match). *)
+
+val leaders : t -> Pid.t list option
+(** The Ω component, searching through [Pair] nesting. *)
+
+val lonely : t -> bool option
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+type oracle = time:int -> me:Pid.t -> t
+(** A full history H: what process [me] sees when querying at step
+    index [time].  The paper's H(p, t). *)

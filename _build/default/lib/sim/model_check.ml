@@ -1,0 +1,195 @@
+let check_process_sync phi run =
+  let events = Array.of_list run.Run.events in
+  let total = Array.length events in
+  let pattern = run.Run.pattern in
+  let violations = ref [] in
+  for start = 0 to total - phi do
+    let window_end_time = events.(start + phi - 1).Event.time in
+    let steppers =
+      List.sort_uniq compare
+        (List.map
+           (fun i -> events.(i).Event.pid)
+           (List.init phi (fun i -> start + i)))
+    in
+    let required =
+      List.filter
+        (fun p ->
+          match Failure_pattern.crash_time pattern p with
+          | None -> true
+          | Some ct -> ct >= window_end_time)
+        (Pid.universe run.Run.n)
+    in
+    List.iter
+      (fun p ->
+        if not (List.mem p steppers) then
+          violations :=
+            Printf.sprintf
+              "processes: p%d takes no step in the Φ=%d window ending at t%d" p
+              phi window_end_time
+            :: !violations)
+      required
+  done;
+  List.rev !violations
+
+let check_comm_sync delta run =
+  let end_time =
+    match run.Run.events with
+    | [] -> 0
+    | evs -> (List.nth evs (List.length evs - 1)).Event.time
+  in
+  let delivered_at = Hashtbl.create 64 in
+  List.iter
+    (fun (ev : Event.t) ->
+      List.iter (fun (id, _src) -> Hashtbl.replace delivered_at id ev.time) ev.delivered)
+    run.Run.events;
+  let violations = ref [] in
+  List.iter
+    (fun (ev : Event.t) ->
+      List.iter
+        (fun (id, dst) ->
+          match Hashtbl.find_opt delivered_at id with
+          | Some t when t > ev.time + delta ->
+              violations :=
+                Printf.sprintf
+                  "communication: message #%d took %d > Δ=%d steps" id
+                  (t - ev.time) delta
+                :: !violations
+          | Some _ -> ()
+          | None ->
+              let deadline = ev.time + delta in
+              if
+                deadline <= end_time
+                && not (Failure_pattern.is_crashed run.Run.pattern dst ~time:deadline)
+              then
+                violations :=
+                  Printf.sprintf
+                    "communication: message #%d to live p%d still undelivered \
+                     at its Δ-deadline t%d"
+                    id dst deadline
+                  :: !violations)
+        ev.sent)
+    run.Run.events;
+  List.rev !violations
+
+let check_fifo run =
+  (* per channel: the chronological delivery sequence must be a prefix
+     of the send sequence (ids are assigned in send order) *)
+  let sends = Hashtbl.create 64 in
+  let deliveries = Hashtbl.create 64 in
+  let push tbl key v =
+    let l = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key (v :: l)
+  in
+  List.iter
+    (fun (ev : Event.t) ->
+      List.iter (fun (id, dst) -> push sends (ev.pid, dst) id) ev.sent;
+      List.iter (fun (id, src) -> push deliveries (src, ev.pid) id) ev.delivered)
+    run.Run.events;
+  Hashtbl.fold
+    (fun (src, dst) rev_delivered acc ->
+      let delivered = List.rev rev_delivered in
+      let sent =
+        List.sort compare
+          (Option.value ~default:[] (Hashtbl.find_opt sends (src, dst)))
+      in
+      let prefix = Ksa_prim.Listx.take (List.length delivered) sent in
+      if delivered <> prefix then
+        Printf.sprintf "order: channel p%d→p%d delivered out of FIFO order" src
+          dst
+        :: acc
+      else acc)
+    deliveries []
+
+let check_transmission t run =
+  let violations = ref [] in
+  List.iter
+    (fun (ev : Event.t) ->
+      match t with
+      | Model.Unicast ->
+          if List.length ev.sent > 1 then
+            violations :=
+              Printf.sprintf "transmission: p%d sent %d messages in one step at t%d"
+                ev.pid (List.length ev.sent) ev.time
+              :: !violations
+      | Model.Broadcast ->
+          if ev.sent <> [] then begin
+            let recipients = List.sort_uniq compare (List.map snd ev.sent) in
+            let others =
+              List.filter (fun p -> p <> ev.pid) (Pid.universe run.Run.n)
+            in
+            if recipients <> others then
+              violations :=
+                Printf.sprintf
+                  "transmission: p%d's sends at t%d are not a broadcast" ev.pid
+                  ev.time
+                :: !violations
+          end)
+    run.Run.events;
+  List.rev !violations
+
+let check_atomicity run =
+  List.filter_map
+    (fun (ev : Event.t) ->
+      if ev.delivered <> [] && ev.sent <> [] then
+        Some
+          (Printf.sprintf
+             "atomicity: p%d both received and sent in the step at t%d" ev.pid
+             ev.time)
+      else None)
+    run.Run.events
+
+let violations (m : Model.t) run =
+  let v1 =
+    match m.Model.processes with
+    | Model.Async_processes -> []
+    | Model.Sync_processes phi -> check_process_sync phi run
+  in
+  let v2 =
+    match m.Model.communication with
+    | Model.Async_comm -> []
+    | Model.Sync_comm delta -> check_comm_sync delta run
+  in
+  let v3 = match m.Model.order with Model.Unordered -> [] | Model.Fifo -> check_fifo run in
+  let v4 = check_transmission m.Model.transmission run in
+  let v5 =
+    match m.Model.atomicity with
+    | Model.Atomic_receive_send -> []
+    | Model.Separate -> check_atomicity run
+  in
+  v1 @ v2 @ v3 @ v4 @ v5
+
+let check m run =
+  match violations m run with [] -> Ok () | v :: _ -> Error v
+
+let admissible_models run ~phi ~delta =
+  let opts_p = [ Model.Async_processes; Model.Sync_processes phi ] in
+  let opts_c = [ Model.Async_comm; Model.Sync_comm delta ] in
+  let opts_o = [ Model.Unordered; Model.Fifo ] in
+  let opts_t = [ Model.Unicast; Model.Broadcast ] in
+  let opts_a = [ Model.Separate; Model.Atomic_receive_send ] in
+  List.concat_map
+    (fun processes ->
+      List.concat_map
+        (fun communication ->
+          List.concat_map
+            (fun order ->
+              List.concat_map
+                (fun transmission ->
+                  List.filter_map
+                    (fun atomicity ->
+                      let m =
+                        {
+                          Model.processes;
+                          communication;
+                          order;
+                          transmission;
+                          atomicity;
+                          fd = Model.No_fd;
+                        }
+                      in
+                      if violations m run = [] then Some m else None)
+                    opts_a)
+                opts_t)
+            opts_o)
+        opts_c)
+    opts_p

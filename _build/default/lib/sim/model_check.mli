@@ -1,0 +1,31 @@
+(** Deciding admissibility of a concrete run in a DDS model instance.
+
+    A {!Model.t} is a predicate on runs; this module evaluates it on
+    the finite prefixes produced by the engine.  The checks are the
+    standard ones:
+
+    - synchronous processes: every Φ-window of steps contains a step
+      of every process able to step throughout the window;
+    - synchronous communication: every message is delivered within Δ
+      steps (or its receiver crashed, or the run ended first for
+      messages sent near the end);
+    - FIFO: per channel, the delivery sequence is exactly a prefix of
+      the send sequence;
+    - unicast/broadcast and receive/send atomicity: per-step shape of
+      the event's [sent]/[delivered] lists.
+
+    The failure-detector dimension is enforced by the engine itself
+    (an algorithm with [uses_fd] requires an oracle) and is not
+    re-checked here. *)
+
+val violations : Model.t -> Run.t -> string list
+(** All violations found, human-readable; empty iff admissible. *)
+
+val check : Model.t -> Run.t -> (unit, string) result
+(** [Ok ()] iff the run is admissible in the model; otherwise the
+    first violation. *)
+
+val admissible_models : Run.t -> phi:int -> delta:int -> Model.t list
+(** Of the 32 parameter combinations (with the given Φ and Δ for the
+    synchronous choices, fd fixed to [No_fd]), those admitting the
+    run — the run's position in the DDS cube. *)

@@ -1,0 +1,12 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf p = Format.fprintf ppf "p%d" p
+let universe n = List.init n Fun.id
+let valid ~n p = p >= 0 && p < n
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+let set_of_list = Set.of_list

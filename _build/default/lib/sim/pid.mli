@@ -1,0 +1,23 @@
+(** Process identifiers.
+
+    The paper's system is Π = \{p{_1}, …, p{_n}\} with unique ids
+    1 … n; we use 0-based ids [0 … n-1] throughout and render them as
+    [p0 … p(n-1)].  A pid is meaningful only relative to a system
+    size [n]; functions that need the universe take [n] explicitly. *)
+
+type t = int
+(** 0-based process id. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val universe : int -> t list
+(** [universe n] is Π = [0; …; n-1]. *)
+
+val valid : n:int -> t -> bool
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : t list -> Set.t

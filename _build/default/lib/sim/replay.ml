@@ -1,0 +1,114 @@
+type delivery = { src : Pid.t; seq : int }
+type step_desc = { pid : Pid.t; deliver : delivery list }
+
+let project ~keep run =
+  (* per-channel delivered counters, keyed by (src, dst) *)
+  let counts = Hashtbl.create 64 in
+  let bump src dst =
+    let key = (src, dst) in
+    let c = Option.value ~default:0 (Hashtbl.find_opt counts key) + 1 in
+    Hashtbl.replace counts key c;
+    c
+  in
+  List.filter_map
+    (fun (ev : Event.t) ->
+      let deliveries =
+        List.map (fun (_, src) -> (src, bump src ev.pid)) ev.delivered
+      in
+      if keep ev.pid then
+        Some
+          {
+            pid = ev.pid;
+            deliver = List.map (fun (src, seq) -> { src; seq }) deliveries;
+          }
+      else None)
+    run.Run.events
+
+(* Tracks, per channel, the ids of all messages ever seen pending, in
+   id (= send) order: the seq-th element is the seq-th sent message of
+   the channel.  Ids are only appended (a message enters pending once). *)
+module Channel_log = struct
+  type t = (Pid.t * Pid.t, int list ref) Hashtbl.t (* ids, reversed *)
+
+  let create () : t = Hashtbl.create 64
+
+  let note (t : t) (obs : Adversary.obs) =
+    List.iter
+      (fun (m : Adversary.pending) ->
+        let key = (m.src, m.dst) in
+        let log =
+          match Hashtbl.find_opt t key with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.add t key l;
+              l
+        in
+        if not (List.mem m.id !log) then log := m.id :: !log)
+      obs.pending
+
+  let nth_id (t : t) ~src ~dst ~seq =
+    match Hashtbl.find_opt t (src, dst) with
+    | None -> None
+    | Some l -> List.nth_opt (List.rev !l) (seq - 1)
+end
+
+let executable log (obs : Adversary.obs) desc =
+  let pending_ids =
+    List.map (fun (m : Adversary.pending) -> m.id) obs.pending
+  in
+  let resolve { src; seq } =
+    match Channel_log.nth_id log ~src ~dst:desc.pid ~seq with
+    | Some id when List.mem id pending_ids -> Some id
+    | Some _ | None -> None
+  in
+  let ids = List.map resolve desc.deliver in
+  if List.for_all Option.is_some ids then Some (List.map Option.get ids)
+  else None
+
+let make_adversary ~describe pick =
+  let log = Channel_log.create () in
+  let next obs =
+    Channel_log.note log obs;
+    pick log obs
+  in
+  { Adversary.describe; next }
+
+let interleave streams =
+  let queues = Array.of_list (List.map ref streams) in
+  let pick log obs =
+    let rec try_from i =
+      if i >= Array.length queues then Adversary.Halt
+      else
+        match !(queues.(i)) with
+        | [] -> try_from (i + 1)
+        | desc :: rest -> (
+            match executable log obs desc with
+            | Some ids ->
+                queues.(i) := rest;
+                Adversary.Step { pid = desc.pid; deliver = ids }
+            | None -> try_from (i + 1))
+    in
+    try_from 0
+  in
+  make_adversary ~describe:"replay-interleave" pick
+
+let sequential streams =
+  let queues = ref streams in
+  let pick log obs =
+    let rec advance () =
+      match !queues with
+      | [] -> Adversary.Halt
+      | [] :: rest ->
+          queues := rest;
+          advance ()
+      | (desc :: rest_stream) :: rest -> (
+          match executable log obs desc with
+          | Some ids ->
+              queues := rest_stream :: rest;
+              Adversary.Step { pid = desc.pid; deliver = ids }
+          | None -> Adversary.Halt)
+    in
+    advance ()
+  in
+  make_adversary ~describe:"replay-sequential" pick

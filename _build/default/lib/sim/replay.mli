@@ -1,0 +1,37 @@
+(** Replaying and splicing recorded runs.
+
+    The proofs of Lemmas 11 and 12 build new runs by surgery: take the
+    steps of the processes in D̄ from one run and the steps of the
+    processes in D from another, delay all cross-partition messages,
+    and argue the result is admissible.  To execute that surgery we
+    re-run the algorithm under a {e replay adversary} that reproduces
+    each process's recorded step sequence.
+
+    Message identity across runs: recorded deliveries are stored as
+    (sender, per-channel sequence number) rather than message ids.
+    All adversaries in this library deliver each channel (src → dst)
+    in send order, so the seq-th delivered message of a channel is the
+    seq-th sent, and the descriptor transfers between runs as long as
+    the sender goes through the same states — which is exactly the
+    induction the lemmas perform. *)
+
+type delivery = { src : Pid.t; seq : int }
+(** The [seq]-th (1-based, in send order) message from [src] to the
+    stepping process. *)
+
+type step_desc = { pid : Pid.t; deliver : delivery list }
+
+val project : keep:(Pid.t -> bool) -> Run.t -> step_desc list
+(** The step descriptors of the kept processes, in run order. *)
+
+val interleave : step_desc list list -> Adversary.t
+(** An adversary that replays several descriptor streams
+    concurrently: at each point it executes the head of the first
+    stream whose required messages are all available.  Halts when all
+    streams are exhausted, or when no head is executable (splice
+    mismatch — the resulting run will then not be decision-complete,
+    which callers should treat as surgery failure). *)
+
+val sequential : step_desc list list -> Adversary.t
+(** Replays the streams one after the other (stream 2 starts when
+    stream 1 is exhausted): the Lemma 12 pasting order. *)

@@ -1,0 +1,85 @@
+let header = "# ksa schedule v1"
+
+let schedule_to_string descs =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (d : Replay.step_desc) ->
+      Buffer.add_string buf (string_of_int d.pid);
+      Buffer.add_char buf ':';
+      List.iter
+        (fun (dl : Replay.delivery) ->
+          Buffer.add_string buf (Printf.sprintf " %d.%d" dl.src dl.seq))
+        d.deliver;
+      Buffer.add_char buf '\n')
+    descs;
+  Buffer.contents buf
+
+let parse_delivery token =
+  match String.split_on_char '.' token with
+  | [ src; seq ] -> (
+      match (int_of_string_opt src, int_of_string_opt seq) with
+      | Some src, Some seq when src >= 0 && seq >= 1 ->
+          Ok { Replay.src; seq }
+      | _, _ -> Error (Printf.sprintf "bad delivery %S" token))
+  | _ -> Error (Printf.sprintf "bad delivery %S" token)
+
+let parse_line lineno line =
+  match String.index_opt line ':' with
+  | None -> Error (Printf.sprintf "line %d: missing ':'" lineno)
+  | Some i -> (
+      let pid_str = String.trim (String.sub line 0 i) in
+      let rest = String.sub line (i + 1) (String.length line - i - 1) in
+      match int_of_string_opt pid_str with
+      | None -> Error (Printf.sprintf "line %d: bad pid %S" lineno pid_str)
+      | Some pid ->
+          let tokens =
+            List.filter
+              (fun t -> t <> "")
+              (String.split_on_char ' ' (String.trim rest))
+          in
+          let rec parse acc = function
+            | [] -> Ok { Replay.pid; deliver = List.rev acc }
+            | t :: rest -> (
+                match parse_delivery t with
+                | Ok d -> parse (d :: acc) rest
+                | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+          in
+          parse [] tokens)
+
+let schedule_of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || String.length trimmed > 0 && trimmed.[0] = '#' then
+          go (lineno + 1) acc rest
+        else (
+          match parse_line lineno trimmed with
+          | Ok d -> go (lineno + 1) (d :: acc) rest
+          | Error _ as e -> e)
+  in
+  go 1 [] lines
+
+let save_schedule ~path descs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (schedule_to_string descs))
+
+let load_schedule ~path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          schedule_of_string (really_input_string ic len))
+
+let schedule_of_run run = Replay.project ~keep:(fun _ -> true) run
+
+let pp_events ppf run =
+  List.iter (fun ev -> Format.fprintf ppf "%a@." Event.pp ev) run.Run.events

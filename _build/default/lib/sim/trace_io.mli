@@ -1,0 +1,29 @@
+(** Textual serialization of schedules and traces.
+
+    A schedule (the {!Replay.step_desc} list of a run) is the
+    portable, replayable artifact of an execution: together with the
+    algorithm, the inputs and the failure pattern it reproduces the
+    run exactly.  The format is line-oriented and stable:
+
+    {v
+    # ksa schedule v1
+    2: 0.1 1.1
+    0:
+    v}
+
+    — process p2 steps receiving the 1st message of channel p0→p2 and
+    the 1st of p1→p2, then p0 steps receiving nothing. *)
+
+val schedule_to_string : Replay.step_desc list -> string
+
+val schedule_of_string : string -> (Replay.step_desc list, string) result
+(** Parses the format above; tolerates blank lines and [#] comments. *)
+
+val save_schedule : path:string -> Replay.step_desc list -> unit
+val load_schedule : path:string -> (Replay.step_desc list, string) result
+
+val schedule_of_run : Run.t -> Replay.step_desc list
+(** The full schedule ([project ~keep:(fun _ -> true)]). *)
+
+val pp_events : Format.formatter -> Run.t -> unit
+(** Human-readable event-by-event dump of a run. *)

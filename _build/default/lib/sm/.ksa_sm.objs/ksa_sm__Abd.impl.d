@@ -1,0 +1,1 @@
+lib/sm/abd.ml: Array Format Fun Ksa_sim List Register

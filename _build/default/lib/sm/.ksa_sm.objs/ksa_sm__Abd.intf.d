@@ -1,0 +1,1 @@
+lib/sm/abd.mli: Ksa_sim Register

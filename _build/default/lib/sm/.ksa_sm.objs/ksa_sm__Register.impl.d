@@ -1,0 +1,1 @@
+lib/sm/register.ml: Format Hashtbl Ksa_sim List Option

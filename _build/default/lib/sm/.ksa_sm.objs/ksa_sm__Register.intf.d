@@ -1,0 +1,1 @@
+lib/sm/register.mli: Format Ksa_sim

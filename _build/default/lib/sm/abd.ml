@@ -1,0 +1,303 @@
+module Pid = Ksa_sim.Pid
+module Value = Ksa_sim.Value
+
+type op_spec = Write_input | Write_value of Value.t | Read_of of Pid.t
+
+let write_then_read_all ~n ~me =
+  ignore me;
+  [ Write_input ]
+  @ List.init n (fun q -> Read_of q)
+  @ [ Write_value (1000 + me) ]
+  @ List.init n (fun q -> Read_of q)
+
+module Make (S : sig
+  val script : n:int -> me:Pid.t -> op_spec list
+  val write_back : bool
+end) =
+struct
+  type message =
+    | WReq of int * int * Value.t  (** opid, ts, value; register = sender's *)
+    | WAck of int
+    | RReq of int * Pid.t  (** opid, owner *)
+    | RResp of int * int * Value.t
+    | WBReq of int * Pid.t * int * Value.t
+    | WBAck of int
+
+  type logged = {
+    kind : Register.kind;
+    owner : Pid.t;
+    ts : int;
+    value : Value.t;
+    invoked_step : int;
+    responded_step : int;
+  }
+
+  type phase =
+    | Idle
+    | WWait of { opid : int; acks : int; ts : int; value : Value.t; invoked : int }
+    | RWait of {
+        opid : int;
+        owner : Pid.t;
+        resps : (int * Value.t) list;
+        invoked : int;
+      }
+    | WBWait of {
+        opid : int;
+        owner : Pid.t;
+        ts : int;
+        value : Value.t;
+        acks : int;
+        invoked : int;
+      }
+
+  type state = {
+    n : int;
+    me : Pid.t;
+    input : Value.t;
+    store : (int * Value.t) Pid.Map.t;
+    script : op_spec list;
+    phase : phase;
+    own_ts : int;
+    steps : int;
+    next_opid : int;
+    log : logged list; (* reversed *)
+    decided : bool;
+  }
+
+  let name = if S.write_back then "abd" else "abd-weak"
+  let uses_fd = false
+
+  let init ~n ~me ~input =
+    let store =
+      List.fold_left
+        (fun acc q -> Pid.Map.add q (0, -1) acc)
+        Pid.Map.empty (Pid.universe n)
+    in
+    {
+      n;
+      me;
+      input;
+      store;
+      script = S.script ~n ~me;
+      phase = Idle;
+      own_ts = 0;
+      steps = 0;
+      next_opid = 0;
+      log = [];
+      decided = false;
+    }
+
+  let majority st = (st.n / 2) + 1
+  let others st = List.filter (fun q -> not (Pid.equal q st.me)) (List.init st.n Fun.id)
+  let broadcast st msg = List.map (fun q -> (q, msg)) (others st)
+
+  let update_store st owner (ts, v) =
+    let cur_ts, _ = Pid.Map.find owner st.store in
+    if ts > cur_ts then { st with store = Pid.Map.add owner (ts, v) st.store }
+    else st
+
+  (* replica side: react to one message, maybe producing a reply *)
+  let replica st (src, msg) =
+    match msg with
+    | WReq (opid, ts, v) -> (update_store st src (ts, v), [ (src, WAck opid) ])
+    | RReq (opid, owner) ->
+        let ts, v = Pid.Map.find owner st.store in
+        (st, [ (src, RResp (opid, ts, v)) ])
+    | WBReq (opid, owner, ts, v) ->
+        (update_store st owner (ts, v), [ (src, WBAck opid) ])
+    | WAck opid -> (
+        match st.phase with
+        | WWait w when w.opid = opid ->
+            ({ st with phase = WWait { w with acks = w.acks + 1 } }, [])
+        | _ -> (st, []))
+    | RResp (opid, ts, v) -> (
+        match st.phase with
+        | RWait r when r.opid = opid ->
+            ({ st with phase = RWait { r with resps = (ts, v) :: r.resps } }, [])
+        | _ -> (st, []))
+    | WBAck opid -> (
+        match st.phase with
+        | WBWait w when w.opid = opid ->
+            ({ st with phase = WBWait { w with acks = w.acks + 1 } }, [])
+        | _ -> (st, []))
+
+  (* client side: complete the current phase if its quorum is in *)
+  let complete st =
+    match st.phase with
+    | WWait w when w.acks >= majority st ->
+        let entry =
+          {
+            kind = Register.Write;
+            owner = st.me;
+            ts = w.ts;
+            value = w.value;
+            invoked_step = w.invoked;
+            responded_step = st.steps;
+          }
+        in
+        ({ st with phase = Idle; log = entry :: st.log }, [])
+    | RWait r when List.length r.resps >= majority st ->
+        let ts, v =
+          List.fold_left
+            (fun (bts, bv) (ts, v) -> if ts > bts then (ts, v) else (bts, bv))
+            (List.hd r.resps) (List.tl r.resps)
+        in
+        let st = update_store st r.owner (ts, v) in
+        if S.write_back then
+          (* write-back phase: install the chosen pair at a majority *)
+          let st =
+            {
+              st with
+              phase =
+                WBWait
+                  { opid = r.opid; owner = r.owner; ts; value = v; acks = 1; invoked = r.invoked };
+            }
+          in
+          (st, broadcast st (WBReq (r.opid, r.owner, ts, v)))
+        else
+          (* weak variant: return immediately — regular, not atomic *)
+          let entry =
+            {
+              kind = Register.Read;
+              owner = r.owner;
+              ts;
+              value = v;
+              invoked_step = r.invoked;
+              responded_step = st.steps;
+            }
+          in
+          ({ st with phase = Idle; log = entry :: st.log }, [])
+    | WBWait w when w.acks >= majority st ->
+        let entry =
+          {
+            kind = Register.Read;
+            owner = w.owner;
+            ts = w.ts;
+            value = w.value;
+            invoked_step = w.invoked;
+            responded_step = st.steps;
+          }
+        in
+        ({ st with phase = Idle; log = entry :: st.log }, [])
+    | WWait _ | RWait _ | WBWait _ | Idle -> (st, [])
+
+  (* client side: start the next scripted operation *)
+  let start st =
+    match (st.phase, st.script) with
+    | Idle, spec :: rest -> (
+        let st = { st with script = rest; next_opid = st.next_opid + 1 } in
+        let opid = st.next_opid in
+        match spec with
+        | Write_input | Write_value _ ->
+            let v =
+              match spec with
+              | Write_value v -> v
+              | Write_input | Read_of _ -> st.input
+            in
+            let ts = st.own_ts + 1 in
+            let st = { st with own_ts = ts } in
+            let st = update_store st st.me (ts, v) in
+            let st =
+              { st with phase = WWait { opid; acks = 1; ts; value = v; invoked = st.steps } }
+            in
+            (st, broadcast st (WReq (opid, ts, v)))
+        | Read_of owner ->
+            let own_pair = Pid.Map.find owner st.store in
+            let st =
+              {
+                st with
+                phase = RWait { opid; owner; resps = [ own_pair ]; invoked = st.steps };
+              }
+            in
+            (st, broadcast st (RReq (opid, owner))))
+    | (Idle | WWait _ | RWait _ | WBWait _), _ -> (st, [])
+
+  let step st ~received ~fd =
+    ignore fd;
+    let st = { st with steps = st.steps + 1 } in
+    let st, replies =
+      List.fold_left
+        (fun (st, acc) incoming ->
+          let st, out = replica st incoming in
+          (st, acc @ out))
+        (st, []) received
+    in
+    let st, wb_sends = complete st in
+    let st, op_sends = start st in
+    let decision =
+      if st.phase = Idle && st.script = [] && not st.decided then Some st.input
+      else None
+    in
+    let st =
+      match decision with Some _ -> { st with decided = true } | None -> st
+    in
+    (st, replies @ wb_sends @ op_sends, decision)
+
+  let completed_ops st = List.length st.log
+
+  let ops_of run ~state_of =
+    let n = run.Ksa_sim.Run.n in
+    List.concat_map
+      (fun p ->
+        let events = Array.of_list (Ksa_sim.Run.steps_of run p) in
+        let time_of_step i =
+          if i >= 1 && i <= Array.length events then
+            (events.(i - 1) : Ksa_sim.Event.t).time
+          else -1
+        in
+        let st = state_of p in
+        let completed =
+          List.rev_map
+            (fun l ->
+              {
+                Register.kind = l.kind;
+                client = p;
+                owner = l.owner;
+                ts = l.ts;
+                value = l.value;
+                invoked = time_of_step l.invoked_step;
+                responded = time_of_step l.responded_step;
+              })
+            st.log
+        in
+        (* a write still in flight (writer slow or crashed mid-write)
+           may already be visible to readers: emit it as a pending
+           operation that never responds *)
+        let pending =
+          match st.phase with
+          | WWait w ->
+              [
+                {
+                  Register.kind = Register.Write;
+                  client = p;
+                  owner = p;
+                  ts = w.ts;
+                  value = w.value;
+                  invoked = time_of_step w.invoked;
+                  responded = max_int;
+                };
+              ]
+          | Idle | RWait _ | WBWait _ -> []
+        in
+        completed @ pending)
+      (Pid.universe n)
+
+  let pp_phase ppf = function
+    | Idle -> Format.pp_print_string ppf "idle"
+    | WWait w -> Format.fprintf ppf "w%d(%d acks)" w.opid w.acks
+    | RWait r -> Format.fprintf ppf "r%d(%d resps)" r.opid (List.length r.resps)
+    | WBWait w -> Format.fprintf ppf "wb%d(%d acks)" w.opid w.acks
+
+  let pp_state ppf st =
+    Format.fprintf ppf "{%a %a ops=%d}" Pid.pp st.me pp_phase st.phase
+      (completed_ops st)
+
+  let pp_message ppf = function
+    | WReq (o, ts, v) -> Format.fprintf ppf "wreq(%d,%d,%a)" o ts Value.pp v
+    | WAck o -> Format.fprintf ppf "wack(%d)" o
+    | RReq (o, owner) -> Format.fprintf ppf "rreq(%d,%a)" o Pid.pp owner
+    | RResp (o, ts, v) -> Format.fprintf ppf "rresp(%d,%d,%a)" o ts Value.pp v
+    | WBReq (o, owner, ts, v) ->
+        Format.fprintf ppf "wbreq(%d,%a,%d,%a)" o Pid.pp owner ts Value.pp v
+    | WBAck o -> Format.fprintf ppf "wback(%d)" o
+end

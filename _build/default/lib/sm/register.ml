@@ -1,0 +1,124 @@
+module Pid = Ksa_sim.Pid
+module Value = Ksa_sim.Value
+
+type kind = Write | Read
+
+type op = {
+  kind : kind;
+  client : Pid.t;
+  owner : Pid.t;
+  ts : int;
+  value : Value.t;
+  invoked : int;
+  responded : int;
+}
+
+let pp_op ppf o =
+  Format.fprintf ppf "%s(%a→reg[%a], ts=%d, v=%a)@[%d,%d@]"
+    (match o.kind with Write -> "write" | Read -> "read")
+    Pid.pp o.client Pid.pp o.owner o.ts Value.pp o.value o.invoked o.responded
+
+let by_register ops =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt tbl o.owner) in
+      Hashtbl.replace tbl o.owner (o :: l))
+    ops;
+  Hashtbl.fold (fun owner l acc -> (owner, List.rev l) :: acc) tbl []
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let check_register (owner, ops) =
+  let writes = List.filter (fun o -> o.kind = Write) ops in
+  let reads = List.filter (fun o -> o.kind = Read) ops in
+  (* read validity *)
+  let valid_read r =
+    r.ts = 0
+    || List.exists (fun w -> w.ts = r.ts && Value.equal w.value r.value) writes
+  in
+  match List.find_opt (fun r -> not (valid_read r)) reads with
+  | Some r -> err "reg[p%d]: read of never-written pair %a" owner pp_op r
+  | None -> (
+      (* read monotonicity *)
+      let inversion =
+        List.find_map
+          (fun r1 ->
+            List.find_map
+              (fun r2 ->
+                if r1.responded < r2.invoked && r1.ts > r2.ts then
+                  Some (r1, r2)
+                else None)
+              reads)
+          reads
+      in
+      match inversion with
+      | Some (r1, r2) ->
+          err "reg[p%d]: new/old inversion between %a and %a" owner pp_op r1
+            pp_op r2
+      | None -> (
+          (* write visibility *)
+          let missed =
+            List.find_map
+              (fun w ->
+                List.find_map
+                  (fun r ->
+                    if w.responded < r.invoked && r.ts < w.ts then Some (w, r)
+                    else None)
+                  reads)
+              writes
+          in
+          match missed with
+          | Some (w, r) ->
+              err "reg[p%d]: read %a misses completed write %a" owner pp_op r
+                pp_op w
+          | None -> (
+              (* no reading from the future *)
+              let future =
+                List.find_map
+                  (fun r ->
+                    List.find_map
+                      (fun w ->
+                        if r.responded < w.invoked && r.ts >= w.ts then
+                          Some (r, w)
+                        else None)
+                      writes)
+                  reads
+              in
+              match future with
+              | Some (r, w) ->
+                  err "reg[p%d]: read %a returns the future write %a" owner
+                    pp_op r pp_op w
+              | None -> Ok ())))
+
+let check_atomic ops =
+  let rec go = function
+    | [] -> Ok ()
+    | reg :: rest -> (
+        match check_register reg with Ok () -> go rest | Error _ as e -> e)
+  in
+  go (by_register ops)
+
+let check_write_once_timestamps ops =
+  let rec go = function
+    | [] -> Ok ()
+    | (owner, reg_ops) :: rest -> (
+        let writes =
+          List.sort
+            (fun a b -> compare a.invoked b.invoked)
+            (List.filter (fun o -> o.kind = Write) reg_ops)
+        in
+        let bad_owner = List.find_opt (fun w -> not (Pid.equal w.client owner)) writes in
+        match bad_owner with
+        | Some w -> err "reg[p%d]: non-owner write %a" owner pp_op w
+        | None ->
+            let rec increasing = function
+              | a :: (b :: _ as rest) ->
+                  if a.ts >= b.ts then
+                    err "reg[p%d]: non-increasing write timestamps" owner
+                  else increasing rest
+              | [ _ ] | [] -> go rest
+            in
+            increasing writes)
+  in
+  go (by_register ops)

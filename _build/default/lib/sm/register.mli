@@ -1,0 +1,50 @@
+(** Single-writer registers: operation histories and the atomicity
+    checker.
+
+    The proof of Theorem 10, condition (C), leans on the classic
+    equivalence between asynchronous message passing with Σ and
+    shared memory (the paper's reference [9]).  The [ksa_sm] library
+    realizes the message-passing → shared-memory direction: {!Abd}
+    emulates one single-writer multi-reader register per process over
+    the [ksa_sim] substrate, and this module checks the emulation's
+    output for {e atomicity} (linearizability of register histories).
+
+    Histories use the timestamp formulation: every completed operation
+    carries the register's timestamp it wrote or read, plus its
+    real-time interval (global step times).  For a single-writer
+    register whose writes carry strictly increasing timestamps,
+    atomicity is equivalent to:
+
+    - {b read validity}: a read's (timestamp, value) pair was actually
+      written (or is the initial pair);
+    - {b read monotonicity}: if read r₁ responds before read r₂ is
+      invoked, then ts(r₁) ≤ ts(r₂) (no new/old inversion);
+    - {b write visibility}: a read invoked after a write's response
+      returns a timestamp ≥ the write's;
+    - {b no reading from the future}: a read that responds before a
+      write is invoked returns a timestamp < the write's. *)
+
+module Pid = Ksa_sim.Pid
+module Value = Ksa_sim.Value
+
+type kind = Write | Read
+
+type op = {
+  kind : kind;
+  client : Pid.t;  (** The process performing the operation. *)
+  owner : Pid.t;  (** Whose register ([client = owner] for writes). *)
+  ts : int;  (** Timestamp written / read; 0 is the initial value. *)
+  value : Value.t;
+  invoked : int;  (** Global step time of the invocation. *)
+  responded : int;  (** Global step time of the response. *)
+}
+
+val pp_op : Format.formatter -> op -> unit
+
+val check_atomic : op list -> (unit, string) result
+(** The four conditions above, per register. *)
+
+val check_write_once_timestamps : op list -> (unit, string) result
+(** Sanity of the single-writer discipline: per register, writes have
+    distinct, strictly increasing timestamps in real-time order and
+    are performed by the owner. *)

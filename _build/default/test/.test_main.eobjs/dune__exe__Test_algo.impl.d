@@ -1,0 +1,1 @@
+test/test_algo.ml: Alcotest Fun Ksa_algo Ksa_core Ksa_fd Ksa_prim Ksa_sim List Printf String

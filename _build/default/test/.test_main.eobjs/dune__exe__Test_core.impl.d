@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fun Ksa_algo Ksa_core Ksa_fd Ksa_prim Ksa_sim List Option Printf QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_dgraph.ml: Alcotest Array Fun Int Ksa_dgraph Ksa_prim List Option QCheck Test_util

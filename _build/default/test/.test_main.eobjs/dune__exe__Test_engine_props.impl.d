@@ -1,0 +1,1 @@
+test/test_engine_props.ml: Fun Hashtbl Ksa_algo Ksa_prim Ksa_sim List Option QCheck String Test_util

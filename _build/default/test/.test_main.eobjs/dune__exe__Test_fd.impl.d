@@ -1,0 +1,1 @@
+test/test_fd.ml: Alcotest Fun Ksa_fd Ksa_prim Ksa_sim List Printf QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_ho.ml: Alcotest Array Int Ksa_ho Ksa_prim Ksa_sim List Printf QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_impl.ml: Alcotest Ksa_algo Ksa_core Ksa_fd Ksa_prim Ksa_sim List

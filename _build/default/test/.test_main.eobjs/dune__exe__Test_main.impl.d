@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_algo Test_core Test_dgraph Test_engine_props Test_fd Test_ho Test_impl Test_misc Test_model Test_prim Test_sim Test_sm Test_smoke Test_trace_io

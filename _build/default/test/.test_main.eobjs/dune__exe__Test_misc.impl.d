@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Format Ksa_algo Ksa_core Ksa_fd Ksa_prim Ksa_sim List String Test_util

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Ksa_algo Ksa_core Ksa_prim Ksa_sim List Test_util

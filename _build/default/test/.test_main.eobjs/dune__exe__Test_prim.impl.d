@@ -1,0 +1,1 @@
+test/test_prim.ml: Alcotest Fun Ksa_prim List QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Format Ksa_algo Ksa_prim Ksa_sim List Option Printf Test_util

@@ -1,0 +1,1 @@
+test/test_sm.ml: Alcotest Array Fun Ksa_prim Ksa_sim Ksa_sm List QCheck String Test_util

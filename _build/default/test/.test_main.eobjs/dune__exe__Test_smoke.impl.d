@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Ksa_algo Ksa_prim Ksa_sim

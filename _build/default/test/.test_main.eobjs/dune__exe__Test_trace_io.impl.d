@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Filename Fun Ksa_algo Ksa_core Ksa_prim Ksa_sim List Sys

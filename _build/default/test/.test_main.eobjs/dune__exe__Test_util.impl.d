@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Format Fun Ksa_prim Ksa_sim List QCheck_alcotest

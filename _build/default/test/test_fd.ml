@@ -1,0 +1,328 @@
+module Sim = Ksa_sim
+module Fd = Ksa_fd
+module FP = Sim.Failure_pattern
+module View = Sim.Fd_view
+module Rng = Ksa_prim.Rng
+module H = Fd.History
+
+let check_ok = Test_util.check_ok
+let check_err = Test_util.check_err
+
+(* ---------- History combinators ---------- *)
+
+let const_history ~n ~horizon view = H.make ~n ~horizon (fun ~time:_ ~me:_ -> view)
+
+let test_history_clamp () =
+  let h =
+    H.make ~n:1 ~horizon:5 (fun ~time ~me:_ -> View.Lonely (time >= 5))
+  in
+  Alcotest.(check bool) "beyond horizon clamps" true
+    (H.oracle h ~time:100 ~me:0 = View.Lonely true)
+
+let test_history_splice () =
+  let ha = const_history ~n:2 ~horizon:3 (View.Lonely true) in
+  let hb = const_history ~n:2 ~horizon:3 (View.Lonely false) in
+  let s = H.splice ~inside:[ 0 ] ha hb in
+  Alcotest.(check bool) "inside sees ha" true (s.H.view ~time:1 ~me:0 = View.Lonely true);
+  Alcotest.(check bool) "outside sees hb" true (s.H.view ~time:1 ~me:1 = View.Lonely false)
+
+let test_history_combine () =
+  let ha = const_history ~n:1 ~horizon:2 (View.Quorum [ 0 ]) in
+  let hb = const_history ~n:1 ~horizon:2 (View.Leaders [ 0 ]) in
+  let c = H.combine ha hb in
+  match c.H.view ~time:1 ~me:0 with
+  | View.Pair (View.Quorum _, View.Leaders _) -> ()
+  | v -> Alcotest.failf "unexpected %a" View.pp v
+
+let test_history_override () =
+  let h = const_history ~n:1 ~horizon:2 (View.Lonely false) in
+  let h' = H.override_from ~time:5 h (fun ~me:_ -> View.Lonely true) in
+  Alcotest.(check bool) "before" true (h'.H.view ~time:4 ~me:0 = View.Lonely false);
+  Alcotest.(check bool) "after" true (h'.H.view ~time:5 ~me:0 = View.Lonely true)
+
+let test_fd_view_accessors () =
+  let v = View.Pair (View.Quorum [ 1 ], View.Pair (View.Leaders [ 2 ], View.Lonely true)) in
+  Alcotest.(check (option (list int))) "quorum" (Some [ 1 ]) (View.quorum v);
+  Alcotest.(check (option (list int))) "leaders" (Some [ 2 ]) (View.leaders v);
+  Alcotest.(check (option bool)) "lonely" (Some true) (View.lonely v)
+
+(* ---------- Sigma ---------- *)
+
+let test_sigma_blocks_valid () =
+  List.iter
+    (fun (n, k, dead) ->
+      let pattern = FP.initial_dead ~n ~dead in
+      let h = Fd.Sigma.blocks ~k ~pattern ~stab:3 ~horizon:8 () in
+      check_ok
+        (Printf.sprintf "blocks n=%d k=%d" n k)
+        (Fd.Sigma.validate ~k ~pattern h))
+    [ (4, 1, []); (4, 2, [ 3 ]); (6, 3, [ 0; 5 ]); (5, 4, [ 1 ]); (3, 1, [ 2 ]) ]
+
+let test_sigma_majority_valid () =
+  let pattern = FP.initial_dead ~n:5 ~dead:[ 4 ] in
+  let rng = Rng.create ~seed:1 in
+  let h = Fd.Sigma.majority ~pattern ~rng ~stab:4 ~horizon:10 () in
+  check_ok "majority sigma" (Fd.Sigma.validate ~k:1 ~pattern h)
+
+let test_sigma_majority_requires_majority () =
+  let pattern = FP.initial_dead ~n:4 ~dead:[ 0; 1 ] in
+  Alcotest.(check bool) "invalid_arg" true
+    (match
+       Fd.Sigma.majority ~pattern ~rng:(Rng.create ~seed:1) ~stab:1 ~horizon:4 ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_sigma_intersection_violation_detected () =
+  (* k=1 but two disjoint constant quorums: must be caught *)
+  let pattern = FP.none ~n:4 in
+  let h =
+    H.make ~n:4 ~horizon:4 (fun ~time:_ ~me ->
+        View.Quorum (if me < 2 then [ 0; 1 ] else [ 2; 3 ]))
+  in
+  (match Fd.Sigma.find_intersection_violation ~k:1 ~pattern h with
+  | Some [ (_, _); (_, _) ] -> ()
+  | Some w -> Alcotest.failf "wrong witness size %d" (List.length w)
+  | None -> Alcotest.fail "violation missed");
+  (* the same history is a fine Sigma_2 *)
+  Alcotest.(check bool) "valid as sigma_2" true
+    (Fd.Sigma.find_intersection_violation ~k:2 ~pattern h = None)
+
+let test_sigma_liveness_failure_detected () =
+  let pattern = FP.initial_dead ~n:3 ~dead:[ 2 ] in
+  (* quorums always include the dead process: liveness must fail *)
+  let h = const_history ~n:3 ~horizon:6 (View.Quorum [ 0; 1; 2 ]) in
+  check_err "liveness" (Fd.Sigma.check_liveness ~pattern h)
+
+let test_sigma_crashed_output_whole_system () =
+  let pattern = FP.initial_dead ~n:4 ~dead:[ 1 ] in
+  let h = Fd.Sigma.blocks ~k:2 ~pattern ~stab:2 ~horizon:6 () in
+  Alcotest.(check (option (list int)))
+    "crashed outputs Pi" (Some [ 0; 1; 2; 3 ])
+    (View.quorum (h.H.view ~time:3 ~me:1))
+
+(* ---------- Omega ---------- *)
+
+let test_omega_valid () =
+  let pattern = FP.initial_dead ~n:5 ~dead:[ 0 ] in
+  let h = Fd.Omega.gen ~k:2 ~pattern ~leaders:[ 0; 3 ] ~tgst:4 ~horizon:10 () in
+  check_ok "omega k=2" (Fd.Omega.validate ~k:2 ~pattern h)
+
+let test_omega_needs_correct_leader () =
+  let pattern = FP.initial_dead ~n:3 ~dead:[ 0; 1 ] in
+  Alcotest.(check bool) "invalid_arg" true
+    (match Fd.Omega.gen ~k:2 ~pattern ~leaders:[ 0; 1 ] ~tgst:1 ~horizon:4 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_omega_validity_violation () =
+  let h = const_history ~n:3 ~horizon:4 (View.Leaders [ 0; 1 ]) in
+  check_err "k=1 but output size 2" (Fd.Omega.check_validity ~k:1 h)
+
+let test_omega_no_stabilization () =
+  let pattern = FP.none ~n:3 in
+  (* different processes disagree forever *)
+  let h =
+    H.make ~n:3 ~horizon:6 (fun ~time:_ ~me -> View.Leaders [ me ])
+  in
+  check_err "no common LD" (Fd.Omega.check_eventual_leadership ~pattern h)
+
+let test_omega_eventual_leadership_time () =
+  let pattern = FP.none ~n:4 in
+  let h = Fd.Omega.gen ~k:1 ~pattern ~leaders:[ 2 ] ~tgst:5 ~horizon:12 () in
+  match Fd.Omega.check_eventual_leadership ~pattern h with
+  | Ok (tgst, ld) ->
+      Alcotest.(check (list int)) "LD" [ 2 ] ld;
+      Alcotest.(check bool) "tgst <= 5" true (tgst <= 5)
+  | Error e -> Alcotest.fail e
+
+let test_omega_random_chaos () =
+  let pattern = FP.none ~n:6 in
+  let chaos = Fd.Omega.random_chaos ~rng:(Rng.create ~seed:3) ~n:6 ~k:3 in
+  let h = Fd.Omega.gen ~chaos ~k:3 ~pattern ~leaders:[ 0; 1; 2 ] ~tgst:6 ~horizon:12 () in
+  check_ok "random chaos omega" (Fd.Omega.validate ~k:3 ~pattern h)
+
+(* ---------- Partition FD and Lemma 9 ---------- *)
+
+let spec_of groups leaders = { Fd.Partition_fd.groups; leaders; tgst = 4; stab = 3 }
+
+let test_partition_fd_valid_and_lemma9 () =
+  List.iter
+    (fun (n, groups, dead) ->
+      let pattern = FP.initial_dead ~n ~dead in
+      let k = List.length groups in
+      let leaders = List.map List.hd groups in
+      let spec = spec_of groups leaders in
+      let h = Fd.Partition_fd.gen spec ~pattern ~horizon:10 in
+      check_ok "definition 7"
+        (Fd.Partition_fd.validate_partition_property spec ~pattern h);
+      check_ok "lemma 9" (Fd.Partition_fd.lemma9_check ~k ~pattern h))
+    [
+      (4, [ [ 0 ]; [ 1 ]; [ 2; 3 ] ], []);
+      (5, [ [ 0; 1 ]; [ 2; 3; 4 ] ], [ 1 ]);
+      (6, [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3; 4; 5 ] ], [ 0; 2 ]);
+    ]
+
+let test_partition_fd_rejects_bad_spec () =
+  let pattern = FP.none ~n:4 in
+  Alcotest.(check bool) "overlap rejected" true
+    (match
+       Fd.Partition_fd.gen (spec_of [ [ 0; 1 ]; [ 1; 2; 3 ] ] [ 0; 1 ]) ~pattern
+         ~horizon:5
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "not covering rejected" true
+    (match
+       Fd.Partition_fd.gen (spec_of [ [ 0 ]; [ 1 ] ] [ 0; 1 ]) ~pattern ~horizon:5
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_partition_confinement_catches_escape () =
+  (* a history whose quorums cross group boundaries must fail Def. 7 *)
+  let pattern = FP.none ~n:4 in
+  let spec = spec_of [ [ 0; 1 ]; [ 2; 3 ] ] [ 0; 2 ] in
+  let h =
+    H.combine
+      (const_history ~n:4 ~horizon:10 (View.Quorum [ 0; 1; 2; 3 ]))
+      (const_history ~n:4 ~horizon:10 (View.Leaders [ 0; 2 ]))
+  in
+  check_err "escape caught"
+    (Fd.Partition_fd.validate_partition_property spec ~pattern h)
+
+let prop_lemma9_random_partitions =
+  QCheck.Test.make ~name:"Lemma 9 over random partitions/patterns" ~count:40
+    QCheck.(triple small_int (int_range 3 7) (int_range 2 4))
+    (fun (seed, n, k) ->
+      QCheck.assume (k <= n - 1);
+      let rng = Rng.create ~seed in
+      (* random partition into k nonempty groups *)
+      let pids = Rng.shuffle rng (List.init n Fun.id) in
+      let cuts = List.sort compare (Rng.sample rng (k - 1) (Ksa_prim.Listx.range 1 n)) in
+      let groups =
+        let rec slice start = function
+          | [] -> [ Ksa_prim.Listx.drop start pids ]
+          | c :: rest ->
+              List.filteri (fun i _ -> i >= start && i < c) pids :: slice c rest
+        in
+        slice 0 cuts
+      in
+      (* random correct member per run; kill some others *)
+      let dead = List.filter (fun p -> Rng.bool rng && p <> List.hd pids) pids in
+      let pattern = FP.initial_dead ~n ~dead in
+      let leaders =
+        List.map
+          (fun g ->
+            match List.filter (fun p -> not (List.mem p dead)) g with
+            | p :: _ -> p
+            | [] -> List.hd g)
+          groups
+      in
+      QCheck.assume (not (Ksa_prim.Listx.disjoint leaders (FP.correct pattern)));
+      let spec = spec_of groups leaders in
+      let h = Fd.Partition_fd.gen spec ~pattern ~horizon:9 in
+      Fd.Partition_fd.validate_partition_property spec ~pattern h = Ok ()
+      && Fd.Partition_fd.lemma9_check ~k ~pattern h = Ok ())
+
+(* ---------- Loneliness ---------- *)
+
+let test_loneliness_valid () =
+  let pattern = FP.initial_dead ~n:3 ~dead:[ 0; 2 ] in
+  (* p1 is sole correct; witness is p0 *)
+  let h = Fd.Loneliness.gen ~witness:0 ~pattern ~horizon:6 () in
+  check_ok "L" (Fd.Loneliness.validate ~pattern h);
+  Alcotest.(check (option bool)) "p1 lonely" (Some true)
+    (View.lonely (h.H.view ~time:6 ~me:1))
+
+let test_loneliness_liars_allowed () =
+  let pattern = FP.none ~n:4 in
+  let h = Fd.Loneliness.gen ~liars:[ 1; 2 ] ~witness:0 ~pattern ~horizon:6 () in
+  check_ok "spurious trues are legal" (Fd.Loneliness.validate ~pattern h)
+
+let test_loneliness_safety_violation () =
+  let pattern = FP.none ~n:2 in
+  let h = const_history ~n:2 ~horizon:4 (View.Lonely true) in
+  check_err "everyone lonely" (Fd.Loneliness.validate ~pattern h)
+
+let test_loneliness_witness_cannot_be_sole () =
+  let pattern = FP.initial_dead ~n:2 ~dead:[ 1 ] in
+  Alcotest.(check bool) "invalid_arg" true
+    (match Fd.Loneliness.gen ~witness:0 ~pattern ~horizon:4 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- Transform (Theorem 10, condition C) ---------- *)
+
+let test_gamma_to_omega2 () =
+  let pattern = FP.none ~n:6 in
+  let dbar = [ 0; 1; 2; 3 ] in
+  let h =
+    Fd.Transform.gamma_gen ~k:3 ~dbar ~chosen:(1, 3) ~pattern ~tgst:5 ~horizon:12 ()
+  in
+  check_ok "gamma is an omega_3" (Fd.Omega.validate ~k:3 ~pattern h);
+  let o2 = Fd.Transform.omega2_of_gamma ~dbar h in
+  check_ok "transformed output is omega_2 within dbar"
+    (Fd.Transform.validate_omega_within ~k:2 ~subsystem:dbar ~pattern o2);
+  (* stabilized pair is exactly the chosen one *)
+  Alcotest.(check (option (list int))) "chosen pair" (Some [ 1; 3 ])
+    (View.leaders (o2.H.view ~time:12 ~me:0))
+
+let test_gamma_rejects_bad_choice () =
+  let pattern = FP.none ~n:5 in
+  Alcotest.(check bool) "pair outside dbar" true
+    (match
+       Fd.Transform.gamma_gen ~k:2 ~dbar:[ 0; 1 ] ~chosen:(0, 4) ~pattern ~tgst:2
+         ~horizon:6 ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suites =
+  [
+    ( "fd.history",
+      [
+        Alcotest.test_case "clamp" `Quick test_history_clamp;
+        Alcotest.test_case "splice" `Quick test_history_splice;
+        Alcotest.test_case "combine" `Quick test_history_combine;
+        Alcotest.test_case "override_from" `Quick test_history_override;
+        Alcotest.test_case "view accessors" `Quick test_fd_view_accessors;
+      ] );
+    ( "fd.sigma",
+      [
+        Alcotest.test_case "blocks valid" `Quick test_sigma_blocks_valid;
+        Alcotest.test_case "majority valid" `Quick test_sigma_majority_valid;
+        Alcotest.test_case "majority needs majority" `Quick test_sigma_majority_requires_majority;
+        Alcotest.test_case "intersection violation" `Quick test_sigma_intersection_violation_detected;
+        Alcotest.test_case "liveness violation" `Quick test_sigma_liveness_failure_detected;
+        Alcotest.test_case "crashed outputs Pi" `Quick test_sigma_crashed_output_whole_system;
+      ] );
+    ( "fd.omega",
+      [
+        Alcotest.test_case "valid" `Quick test_omega_valid;
+        Alcotest.test_case "needs correct leader" `Quick test_omega_needs_correct_leader;
+        Alcotest.test_case "validity violation" `Quick test_omega_validity_violation;
+        Alcotest.test_case "no stabilization" `Quick test_omega_no_stabilization;
+        Alcotest.test_case "eventual leadership time" `Quick test_omega_eventual_leadership_time;
+        Alcotest.test_case "random chaos" `Quick test_omega_random_chaos;
+      ] );
+    ( "fd.partition",
+      [
+        Alcotest.test_case "valid + lemma 9" `Quick test_partition_fd_valid_and_lemma9;
+        Alcotest.test_case "bad specs rejected" `Quick test_partition_fd_rejects_bad_spec;
+        Alcotest.test_case "confinement enforced" `Quick test_partition_confinement_catches_escape;
+      ] );
+    ( "fd.loneliness",
+      [
+        Alcotest.test_case "valid" `Quick test_loneliness_valid;
+        Alcotest.test_case "liars allowed" `Quick test_loneliness_liars_allowed;
+        Alcotest.test_case "safety violation" `Quick test_loneliness_safety_violation;
+        Alcotest.test_case "witness constraint" `Quick test_loneliness_witness_cannot_be_sole;
+      ] );
+    ( "fd.transform",
+      [
+        Alcotest.test_case "gamma -> omega2" `Quick test_gamma_to_omega2;
+        Alcotest.test_case "bad chosen pair" `Quick test_gamma_rejects_bad_choice;
+      ] );
+    Test_util.qsuite "fd.properties" [ prop_lemma9_random_partitions ];
+  ]

@@ -1,0 +1,286 @@
+module Ho = Ksa_ho
+module Sim = Ksa_sim
+module Rng = Ksa_prim.Rng
+
+let distinct = Sim.Value.distinct_inputs
+
+module MF1 = Ho.Min_flood.Make (struct
+  let rounds = 1
+end)
+
+module MF4 = Ho.Min_flood.Make (struct
+  let rounds = 4
+end)
+
+module EMF1 = Ho.Engine.Make (MF1)
+module EMF4 = Ho.Engine.Make (MF4)
+module EUV = Ho.Engine.Make (Ho.Uniform_voting.A)
+module ELV = Ho.Engine.Make (Ho.Last_voting.A)
+
+(* ---------- assignments and predicates ---------- *)
+
+let test_complete_predicates () =
+  let a = Ho.Assignment.complete ~n:5 in
+  Alcotest.(check bool) "self in" true (Ho.Assignment.self_in a ~horizon:5);
+  Alcotest.(check bool) "nonempty" true (Ho.Assignment.nonempty a ~horizon:5);
+  Alcotest.(check bool) "no split" true (Ho.Assignment.no_split a ~horizon:5);
+  Alcotest.(check bool) "majority" true (Ho.Assignment.majority a ~horizon:5);
+  Alcotest.(check bool) "uniform" true (Ho.Assignment.uniform_round a ~round:1);
+  Alcotest.(check (list int)) "kernel = all" [ 0; 1; 2; 3; 4 ]
+    (Ho.Assignment.kernel a ~round:3)
+
+let test_partitioned_predicates () =
+  let groups = [ [ 0; 1 ]; [ 2; 3; 4 ] ] in
+  let a = Ho.Assignment.partitioned ~n:5 ~groups () in
+  Alcotest.(check bool) "confined" true
+    (Ho.Assignment.confined_to a ~groups ~horizon:6);
+  Alcotest.(check bool) "split across groups" false
+    (Ho.Assignment.no_split a ~horizon:6);
+  Alcotest.(check (list int)) "empty kernel" [] (Ho.Assignment.kernel a ~round:1);
+  (* with release, the suffix is complete *)
+  let a = Ho.Assignment.partitioned ~n:5 ~groups ~until:3 () in
+  Alcotest.(check (list int)) "kernel after release" [ 0; 1; 2; 3; 4 ]
+    (Ho.Assignment.kernel a ~round:4)
+
+let test_crash_like () =
+  let a = Ho.Assignment.crash_like ~n:4 ~silent_from:[ (2, 3) ] in
+  Alcotest.(check bool) "heard before" true
+    (List.mem 2 (a.Ho.Assignment.ho ~round:2 ~me:0));
+  Alcotest.(check bool) "silent after" false
+    (List.mem 2 (a.Ho.Assignment.ho ~round:3 ~me:0))
+
+let test_random_majority_no_split () =
+  for seed = 1 to 20 do
+    let rng = Rng.create ~seed in
+    let a = Ho.Assignment.random ~rng ~n:5 ~min_size:3 () in
+    if not (Ho.Assignment.no_split a ~horizon:8) then
+      Alcotest.failf "seed %d: majorities must pairwise intersect" seed
+  done
+
+(* ---------- min-flood ---------- *)
+
+let test_min_flood_complete_one_round () =
+  let o =
+    EMF1.run ~n:5 ~inputs:[| 7; 3; 9; 5; 4 |]
+      ~assignment:(Ho.Assignment.complete ~n:5) ~rounds:1
+  in
+  Alcotest.(check bool) "all decided" true (EMF1.all_decided o);
+  Alcotest.(check (list int)) "global min" [ 3 ] (EMF1.decided_values o)
+
+let test_min_flood_crash_like_consensus () =
+  (* one disappearance: f+1 = 2 rounds suffice; run 4 for slack *)
+  let a = Ho.Assignment.crash_like ~n:5 ~silent_from:[ (0, 2) ] in
+  let o = EMF4.run ~n:5 ~inputs:(distinct 5) ~assignment:a ~rounds:4 in
+  Alcotest.(check bool) "all decided" true (EMF4.all_decided o);
+  Alcotest.(check int) "consensus" 1 (EMF4.distinct_decisions o)
+
+let test_min_flood_partitioned_k_decisions () =
+  let groups = [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
+  let a = Ho.Assignment.partitioned ~n:6 ~groups () in
+  let o = EMF4.run ~n:6 ~inputs:(distinct 6) ~assignment:a ~rounds:4 in
+  Alcotest.(check (list int)) "group minima" [ 0; 2; 4 ] (EMF4.decided_values o)
+
+let prop_min_flood_validity_and_termination =
+  QCheck.Test.make ~name:"min-flood: validity + round-R termination" ~count:60
+    QCheck.(pair small_int (int_range 2 7))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let a = Ho.Assignment.random ~rng ~n ~min_size:1 () in
+      let inputs = distinct n in
+      let o = EMF4.run ~n ~inputs ~assignment:a ~rounds:4 in
+      EMF4.all_decided o
+      && List.for_all
+           (fun v -> Array.exists (Int.equal v) inputs)
+           (EMF4.decided_values o))
+
+let prop_min_flood_estimates_monotone =
+  QCheck.Test.make ~name:"min-flood: decisions bounded by own input" ~count:60
+    QCheck.(pair small_int (int_range 2 7))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let a = Ho.Assignment.random ~rng ~n ~min_size:1 () in
+      let o = EMF4.run ~n ~inputs:(distinct n) ~assignment:a ~rounds:4 in
+      (* with self in HO, a decision can only be <= the proposer's input *)
+      List.for_all (fun (p, v, _) -> v <= p) o.EMF4.decisions)
+
+(* ---------- uniform voting ---------- *)
+
+let test_uv_complete_consensus () =
+  let o =
+    EUV.run ~n:5 ~inputs:[| 4; 2; 9; 6; 5 |]
+      ~assignment:(Ho.Assignment.complete ~n:5) ~rounds:6
+  in
+  Alcotest.(check bool) "all decided" true (EUV.all_decided o);
+  Alcotest.(check (list int)) "global min" [ 2 ] (EUV.decided_values o)
+
+let test_uv_partitioned_k_decisions () =
+  let groups = [ [ 0; 1 ]; [ 2; 3; 4 ] ] in
+  let a = Ho.Assignment.partitioned ~n:5 ~groups () in
+  let o = EUV.run ~n:5 ~inputs:(distinct 5) ~assignment:a ~rounds:8 in
+  Alcotest.(check (list int)) "one value per group" [ 0; 2 ]
+    (EUV.decided_values o);
+  Alcotest.(check bool) "all decided" true (EUV.all_decided o)
+
+let test_uv_crash_like () =
+  let a = Ho.Assignment.crash_like ~n:4 ~silent_from:[ (1, 2); (3, 5) ] in
+  let o = EUV.run ~n:4 ~inputs:(distinct 4) ~assignment:a ~rounds:10 in
+  Alcotest.(check bool) "agreement" true (EUV.distinct_decisions o <= 1)
+
+let prop_uv_safe_under_no_split =
+  QCheck.Test.make
+    ~name:"uniform-voting: agreement under random majority assignments"
+    ~count:80
+    QCheck.(pair small_int (int_range 2 7))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let maj = (n / 2) + 1 in
+      let a = Ho.Assignment.random ~rng ~n ~min_size:maj () in
+      let o = EUV.run ~n ~inputs:(distinct n) ~assignment:a ~rounds:12 in
+      EUV.distinct_decisions o <= 1
+      && List.for_all (fun (_, v, _) -> v >= 0 && v < n) o.EUV.decisions)
+
+let prop_uv_live_after_stabilization =
+  QCheck.Test.make
+    ~name:"uniform-voting: termination once rounds become complete" ~count:60
+    QCheck.(pair small_int (int_range 2 7))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let maj = (n / 2) + 1 in
+      let noisy = Ho.Assignment.random ~rng ~n ~min_size:maj () in
+      let a =
+        Ho.Assignment.make ~n (fun ~round ~me ->
+            if round <= 5 then noisy.Ho.Assignment.ho ~round ~me
+            else Sim.Pid.universe n)
+      in
+      let o = EUV.run ~n ~inputs:(distinct n) ~assignment:a ~rounds:12 in
+      EUV.all_decided o && EUV.distinct_decisions o = 1)
+
+let test_uv_group_indistinguishability () =
+  (* Theorem-1 flavour in HO: group {0,1} behaves identically whether
+     the other processes exist (partitioned run) or the system is just
+     that group (restricted run of the same size with the others'
+     HO sets empty) *)
+  let groups = [ [ 0; 1 ]; [ 2; 3; 4 ] ] in
+  let part = Ho.Assignment.partitioned ~n:5 ~groups () in
+  let solo =
+    Ho.Assignment.make ~n:5 (fun ~round ~me ->
+        if List.mem me [ 0; 1 ] then part.Ho.Assignment.ho ~round ~me else [])
+  in
+  let inputs = distinct 5 in
+  let o1 = EUV.run ~n:5 ~inputs ~assignment:part ~rounds:8 in
+  let o2 = EUV.run ~n:5 ~inputs ~assignment:solo ~rounds:8 in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p%d same states" p)
+        true
+        (EUV.states_equal_until_decision o1 o2 p))
+    [ 0; 1 ]
+
+(* ---------- last voting (HO Paxos) ---------- *)
+
+let test_lv_complete_consensus () =
+  let o =
+    ELV.run ~n:5 ~inputs:[| 6; 3; 8; 1; 9 |]
+      ~assignment:(Ho.Assignment.complete ~n:5) ~rounds:8
+  in
+  Alcotest.(check bool) "all decided" true (ELV.all_decided o);
+  Alcotest.(check int) "consensus" 1 (ELV.distinct_decisions o)
+
+let test_lv_partition_blocks_small_groups () =
+  (* the Sigma-style contrast: quorums are majorities, so a partition
+     into minorities produces NO decisions instead of k decisions *)
+  let groups = [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
+  let a = Ho.Assignment.partitioned ~n:6 ~groups () in
+  let o = ELV.run ~n:6 ~inputs:(distinct 6) ~assignment:a ~rounds:24 in
+  Alcotest.(check int) "nobody decides" 0 (List.length o.ELV.decisions)
+
+let test_lv_majority_group_decides_alone () =
+  let big = [ 0; 1; 2; 3 ] and small = [ 4; 5 ] in
+  let a = Ho.Assignment.partitioned ~n:6 ~groups:[ big; small ] () in
+  let o = ELV.run ~n:6 ~inputs:(distinct 6) ~assignment:a ~rounds:24 in
+  Alcotest.(check bool) "some decisions" true (o.ELV.decisions <> []);
+  Alcotest.(check int) "one value" 1 (ELV.distinct_decisions o);
+  List.iter
+    (fun (p, _, _) ->
+      Alcotest.(check bool) "only the majority group decides" true (List.mem p big))
+    o.ELV.decisions
+
+let test_lv_crash_like_consensus () =
+  let a = Ho.Assignment.crash_like ~n:5 ~silent_from:[ (0, 4); (3, 9) ] in
+  let o = ELV.run ~n:5 ~inputs:(distinct 5) ~assignment:a ~rounds:30 in
+  Alcotest.(check bool) "survivors decide" true (List.length o.ELV.decisions >= 3);
+  Alcotest.(check int) "consensus" 1 (ELV.distinct_decisions o)
+
+let prop_lv_unconditionally_safe =
+  QCheck.Test.make
+    ~name:"last-voting: agreement under ARBITRARY assignments" ~count:120
+    QCheck.(triple small_int (int_range 2 7) (int_range 1 4))
+    (fun (seed, n, min_size) ->
+      QCheck.assume (min_size <= n);
+      let rng = Rng.create ~seed in
+      let a = Ho.Assignment.random ~rng ~n ~min_size ~self_in:false () in
+      let o = ELV.run ~n ~inputs:(distinct n) ~assignment:a ~rounds:20 in
+      ELV.distinct_decisions o <= 1
+      && List.for_all (fun (_, v, _) -> v >= 0 && v < n) o.ELV.decisions)
+
+let prop_lv_live_after_stabilization =
+  QCheck.Test.make ~name:"last-voting: termination after complete suffix"
+    ~count:40
+    QCheck.(pair small_int (int_range 2 6))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let noisy = Ho.Assignment.random ~rng ~n ~min_size:1 () in
+      let a =
+        Ho.Assignment.make ~n (fun ~round ~me ->
+            if round <= 7 then noisy.Ho.Assignment.ho ~round ~me
+            else Sim.Pid.universe n)
+      in
+      (* a full phase of complete rounds fits within rounds 8..19 *)
+      let o = ELV.run ~n ~inputs:(distinct n) ~assignment:a ~rounds:19 in
+      ELV.all_decided o && ELV.distinct_decisions o = 1)
+
+let suites =
+  [
+    ( "ho.assignment",
+      [
+        Alcotest.test_case "complete predicates" `Quick test_complete_predicates;
+        Alcotest.test_case "partitioned predicates" `Quick test_partitioned_predicates;
+        Alcotest.test_case "crash-like" `Quick test_crash_like;
+        Alcotest.test_case "majority implies no-split" `Quick
+          test_random_majority_no_split;
+      ] );
+    ( "ho.min_flood",
+      [
+        Alcotest.test_case "complete, one round" `Quick test_min_flood_complete_one_round;
+        Alcotest.test_case "crash-like consensus" `Quick test_min_flood_crash_like_consensus;
+        Alcotest.test_case "partitioned k decisions" `Quick
+          test_min_flood_partitioned_k_decisions;
+      ] );
+    ( "ho.last_voting",
+      [
+        Alcotest.test_case "complete consensus" `Quick test_lv_complete_consensus;
+        Alcotest.test_case "partition blocks minorities" `Quick
+          test_lv_partition_blocks_small_groups;
+        Alcotest.test_case "majority group decides alone" `Quick
+          test_lv_majority_group_decides_alone;
+        Alcotest.test_case "crash-like consensus" `Quick test_lv_crash_like_consensus;
+      ] );
+    ( "ho.uniform_voting",
+      [
+        Alcotest.test_case "complete consensus" `Quick test_uv_complete_consensus;
+        Alcotest.test_case "partitioned k decisions" `Quick test_uv_partitioned_k_decisions;
+        Alcotest.test_case "crash-like" `Quick test_uv_crash_like;
+        Alcotest.test_case "group indistinguishability" `Quick
+          test_uv_group_indistinguishability;
+      ] );
+    Test_util.qsuite "ho.properties"
+      [
+        prop_min_flood_validity_and_termination;
+        prop_min_flood_estimates_monotone;
+        prop_uv_safe_under_no_split;
+        prop_uv_live_after_stabilization;
+        prop_lv_unconditionally_safe;
+        prop_lv_live_after_stabilization;
+      ];
+  ]

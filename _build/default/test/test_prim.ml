@@ -1,0 +1,162 @@
+module Rng = Ksa_prim.Rng
+module Listx = Ksa_prim.Listx
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next64 a) (Rng.next64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" false (Rng.next64 a = Rng.next64 b)
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:7 in
+  ignore (Rng.next64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next64 a) (Rng.next64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split differs" false (Rng.next64 a = Rng.next64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:99 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 7 in
+    if x < 0 || x >= 7 then Alcotest.failf "out of bounds: %d" x
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: nonpositive bound")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_unit_interval () =
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of [0,1): %f" x
+  done
+
+let test_rng_sample_distinct () =
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 100 do
+    let s = Rng.sample rng 5 (Listx.range 0 10) in
+    Alcotest.(check int) "size" 5 (List.length s);
+    Alcotest.(check int) "distinct" 5 (Listx.distinct_count s)
+  done
+
+let test_rng_pick_member () =
+  let rng = Rng.create ~seed:3 in
+  let xs = [ 2; 4; 8 ] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "member" true (List.mem (Rng.pick rng xs) xs)
+  done
+
+let test_listx_range () =
+  Alcotest.(check (list int)) "range" [ 2; 3; 4 ] (Listx.range 2 5);
+  Alcotest.(check (list int)) "empty" [] (Listx.range 5 5);
+  Alcotest.(check (list int)) "reversed empty" [] (Listx.range 7 3)
+
+let test_listx_take_drop () =
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take over" [ 1 ] (Listx.take 5 [ 1 ]);
+  Alcotest.(check (list int)) "drop" [ 3 ] (Listx.drop 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop all" [] (Listx.drop 9 [ 1; 2 ])
+
+let test_listx_chunks () =
+  Alcotest.(check (list (list int)))
+    "chunks" [ [ 1; 2 ]; [ 3; 4 ]; [ 5 ] ]
+    (Listx.chunks 2 [ 1; 2; 3; 4; 5 ]);
+  Alcotest.check_raises "bad size" (Invalid_argument "Listx.chunks") (fun () ->
+      ignore (Listx.chunks 0 [ 1 ]))
+
+let test_listx_sets () =
+  Alcotest.(check bool) "disjoint" true (Listx.disjoint [ 1; 2 ] [ 3 ]);
+  Alcotest.(check bool) "not disjoint" false (Listx.disjoint [ 1; 2 ] [ 2 ]);
+  Alcotest.(check bool) "subset" true (Listx.subset [ 1 ] [ 1; 2 ]);
+  Alcotest.(check bool) "not subset" false (Listx.subset [ 3 ] [ 1; 2 ]);
+  Alcotest.(check (list int)) "intersect" [ 2 ] (Listx.intersect [ 1; 2 ] [ 2; 3 ]);
+  Alcotest.(check bool)
+    "pairwise disjoint" true
+    (Listx.pairwise_disjoint [ [ 1 ]; [ 2 ]; [ 3 ] ]);
+  Alcotest.(check bool)
+    "pairwise overlap" false
+    (Listx.pairwise_disjoint [ [ 1 ]; [ 2; 1 ] ])
+
+let test_listx_combinations () =
+  Alcotest.(check (list (list int)))
+    "C(3,2)"
+    [ [ 1; 2 ]; [ 1; 3 ]; [ 2; 3 ] ]
+    (Listx.combinations 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list (list int))) "C(2,3) empty" [] (Listx.combinations 3 [ 1; 2 ]);
+  Alcotest.(check (list (list int))) "C(n,0)" [ [] ] (Listx.combinations 0 [ 1 ])
+
+let test_listx_min_max_by () =
+  Alcotest.(check int) "min_by" 3 (Listx.min_by (fun x -> -x) [ 1; 3; 2 ]);
+  Alcotest.(check int) "max_by" 3 (Listx.max_by Fun.id [ 1; 3; 2 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Listx.min_by: empty list")
+    (fun () -> ignore (Listx.min_by Fun.id []))
+
+(* property tests *)
+
+let binomial n k =
+  let rec go acc i = if i > k then acc else go (acc * (n - i + 1) / i) (i + 1) in
+  if k < 0 || k > n then 0 else go 1 1
+
+let prop_combinations_count =
+  QCheck.Test.make ~name:"combinations count = C(n,k)" ~count:100
+    QCheck.(pair (int_range 0 8) (int_range 0 10))
+    (fun (k, n) ->
+      List.length (Listx.combinations k (Listx.range 0 n)) = binomial n k)
+
+let prop_combinations_distinct_sorted =
+  QCheck.Test.make ~name:"combinations are distinct sublists" ~count:50
+    QCheck.(pair (int_range 0 5) (int_range 0 8))
+    (fun (k, n) ->
+      let cs = Listx.combinations k (Listx.range 0 n) in
+      List.length (List.sort_uniq compare cs) = List.length cs
+      && List.for_all (fun c -> List.sort compare c = c) cs)
+
+let prop_shuffle_permutes =
+  QCheck.Test.make ~name:"shuffle preserves the multiset" ~count:100
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, xs) ->
+      let rng = Rng.create ~seed in
+      List.sort compare (Rng.shuffle rng xs) = List.sort compare xs)
+
+let prop_chunks_flatten =
+  QCheck.Test.make ~name:"chunks flatten back" ~count:100
+    QCheck.(pair (int_range 1 5) (small_list int))
+    (fun (k, xs) -> List.concat (Listx.chunks k xs) = xs)
+
+let suites =
+  [
+    ( "prim.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "copy" `Quick test_rng_copy;
+        Alcotest.test_case "split" `Quick test_rng_split_independent;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "float range" `Quick test_rng_float_unit_interval;
+        Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
+        Alcotest.test_case "pick member" `Quick test_rng_pick_member;
+      ] );
+    ( "prim.listx",
+      [
+        Alcotest.test_case "range" `Quick test_listx_range;
+        Alcotest.test_case "take/drop" `Quick test_listx_take_drop;
+        Alcotest.test_case "chunks" `Quick test_listx_chunks;
+        Alcotest.test_case "set ops" `Quick test_listx_sets;
+        Alcotest.test_case "combinations" `Quick test_listx_combinations;
+        Alcotest.test_case "min/max by" `Quick test_listx_min_max_by;
+      ] );
+    Test_util.qsuite "prim.properties"
+      [
+        prop_combinations_count;
+        prop_combinations_distinct_sorted;
+        prop_shuffle_permutes;
+        prop_chunks_flatten;
+      ];
+  ]

@@ -1,0 +1,439 @@
+module Sim = Ksa_sim
+module Rng = Ksa_prim.Rng
+module FP = Sim.Failure_pattern
+module Adv = Sim.Adversary
+module E = Test_util.Echo_engine
+
+let distinct = Sim.Value.distinct_inputs
+
+(* ---------- Failure patterns ---------- *)
+
+let test_pattern_none () =
+  let p = FP.none ~n:4 in
+  Alcotest.(check (list int)) "all correct" [ 0; 1; 2; 3 ] (FP.correct p);
+  Alcotest.(check (list int)) "none faulty" [] (FP.faulty p);
+  Alcotest.(check int) "f=0" 0 (FP.f_count p)
+
+let test_pattern_initial_dead () =
+  let p = FP.initial_dead ~n:4 ~dead:[ 1; 3 ] in
+  Alcotest.(check (list int)) "faulty" [ 1; 3 ] (FP.faulty p);
+  Alcotest.(check (list int)) "F(0)" [ 1; 3 ] (FP.crashed_at p ~time:0);
+  Alcotest.(check bool) "crashed now" true (FP.is_crashed p 1 ~time:0)
+
+let test_pattern_crash_times () =
+  let p = FP.of_crash_times ~n:3 [ (2, 5) ] in
+  Alcotest.(check bool) "not crashed at 4" false (FP.is_crashed p 2 ~time:4);
+  Alcotest.(check bool) "crashed at 5" true (FP.is_crashed p 2 ~time:5);
+  Alcotest.(check (option int)) "crash time" (Some 5) (FP.crash_time p 2);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Failure_pattern: duplicate pid") (fun () ->
+      ignore (FP.of_crash_times ~n:3 [ (1, 2); (1, 3) ]))
+
+let test_pattern_restrict () =
+  let p = FP.restrict_to (FP.none ~n:5) [ 1; 2 ] in
+  Alcotest.(check (list int)) "outside dead" [ 0; 3; 4 ] (FP.faulty p);
+  Alcotest.(check (list int)) "inside correct" [ 1; 2 ] (FP.correct p)
+
+let test_pattern_merge () =
+  let fa = FP.of_crash_times ~n:4 [ (0, 3) ] in
+  let fb = FP.of_crash_times ~n:4 [ (1, 7); (0, 9) ] in
+  let m = FP.merge ~inside:[ 0 ] fa fb in
+  Alcotest.(check (option int)) "inside from fa" (Some 3) (FP.crash_time m 0);
+  Alcotest.(check (option int)) "outside from fb" (Some 7) (FP.crash_time m 1);
+  Alcotest.(check (option int)) "correct elsewhere" None (FP.crash_time m 2)
+
+(* ---------- Engine semantics ---------- *)
+
+let test_initial_dead_never_step () =
+  let pattern = FP.initial_dead ~n:3 ~dead:[ 0 ] in
+  let run =
+    E.run ~n:3 ~inputs:(distinct 3) ~pattern (Adv.round_robin ())
+  in
+  Alcotest.(check bool) "p0 took no step" true
+    (Sim.Run.steps_of run 0 = []);
+  Alcotest.(check bool) "all correct decided" true (Sim.Run.all_correct_decided run)
+
+let test_invalid_step_of_crashed () =
+  let pattern = FP.initial_dead ~n:2 ~dead:[ 0 ] in
+  let c = E.init ~n:2 ~inputs:(distinct 2) in
+  Alcotest.(check bool) "raises" true
+    (match E.apply ~pattern c (Adv.Step { pid = 0; deliver = [] }) with
+    | exception E.Invalid_action _ -> true
+    | _ -> false)
+
+let test_invalid_delivery () =
+  let pattern = FP.none ~n:2 in
+  let c = E.init ~n:2 ~inputs:(distinct 2) in
+  Alcotest.(check bool) "unknown message id" true
+    (match E.apply ~pattern c (Adv.Step { pid = 0; deliver = [ 42 ] }) with
+    | exception E.Invalid_action _ -> true
+    | _ -> false)
+
+let test_wrong_addressee () =
+  let pattern = FP.none ~n:3 in
+  let c = E.init ~n:3 ~inputs:(distinct 3) in
+  (* p0 steps and broadcasts pings: ids 0 (to p1), 1 (to p2) *)
+  let c =
+    Option.get (E.apply ~pattern c (Adv.Step { pid = 0; deliver = [] }))
+  in
+  Alcotest.(check bool) "deliver p2's message to p1 fails" true
+    (match E.apply ~pattern c (Adv.Step { pid = 1; deliver = [ 1 ] }) with
+    | exception E.Invalid_action _ -> true
+    | _ -> false)
+
+let test_drop_requires_crashed_sender () =
+  let pattern = FP.none ~n:2 in
+  let c = E.init ~n:2 ~inputs:(distinct 2) in
+  let c = Option.get (E.apply ~pattern c (Adv.Step { pid = 0; deliver = [] })) in
+  Alcotest.(check bool) "drop from live sender fails" true
+    (match E.apply ~pattern c (Adv.Drop [ 0 ]) with
+    | exception E.Invalid_action _ -> true
+    | _ -> false)
+
+let test_drop_from_crashed_sender () =
+  let pattern = FP.of_crash_times ~n:2 [ (0, 1) ] in
+  let c = E.init ~n:2 ~inputs:(distinct 2) in
+  (* p0's single allowed step at time 1 broadcasts its ping *)
+  let c = Option.get (E.apply ~pattern c (Adv.Step { pid = 0; deliver = [] })) in
+  Alcotest.(check int) "one pending" 1 (List.length (E.pending c));
+  let c = Option.get (E.apply ~pattern c (Adv.Drop [ 0 ])) in
+  Alcotest.(check int) "dropped" 0 (List.length (E.pending c))
+
+let test_write_once_decision () =
+  (* a deliberately buggy algorithm that decides twice differently *)
+  let module Bad = struct
+    type state = int
+    type message = unit
+
+    let name = "bad"
+    let uses_fd = false
+    let init ~n:_ ~me:_ ~input:_ = 0
+
+    let step st ~received:_ ~fd:_ = (st + 1, [], Some st)
+    (* decides 0, then 1, then 2... *)
+
+    let pp_state ppf st = Format.pp_print_int ppf st
+    let pp_message _ () = ()
+  end in
+  let module Eb = Sim.Engine.Make (Bad) in
+  let pattern = FP.none ~n:1 in
+  let c = Eb.init ~n:1 ~inputs:[| 0 |] in
+  let c = Option.get (Eb.apply ~pattern c (Adv.Step { pid = 0; deliver = [] })) in
+  Alcotest.(check bool) "second different decision raises" true
+    (match Eb.apply ~pattern c (Adv.Step { pid = 0; deliver = [] }) with
+    | exception Eb.Double_decision 0 -> true
+    | _ -> false)
+
+let test_event_log_chronological () =
+  let pattern = FP.none ~n:2 in
+  let run = E.run ~n:2 ~inputs:(distinct 2) ~pattern (Adv.round_robin ()) in
+  let times = List.map (fun (ev : Sim.Event.t) -> ev.time) run.Sim.Run.events in
+  Alcotest.(check (list int)) "times 1..k" (List.init (List.length times) (fun i -> i + 1)) times
+
+let test_fd_required () =
+  let module NeedsFd = struct
+    type state = unit
+    type message = unit
+
+    let name = "needs-fd"
+    let uses_fd = true
+    let init ~n:_ ~me:_ ~input:_ = ()
+    let step () ~received:_ ~fd:_ = ((), [], Some 0)
+    let pp_state _ () = ()
+    let pp_message _ () = ()
+  end in
+  let module En = Sim.Engine.Make (NeedsFd) in
+  let pattern = FP.none ~n:1 in
+  let c = En.init ~n:1 ~inputs:[| 0 |] in
+  Alcotest.(check bool) "missing oracle raises" true
+    (match En.apply ~pattern c (Adv.Step { pid = 0; deliver = [] }) with
+    | exception En.Invalid_action _ -> true
+    | _ -> false)
+
+(* ---------- Run analyses ---------- *)
+
+let test_received_before_decision () =
+  let pattern = FP.none ~n:3 in
+  let run = E.run ~n:3 ~inputs:(distinct 3) ~pattern (Adv.round_robin ()) in
+  (* round-robin: p0 steps (no messages yet, doesn't decide), p1 and
+     p2 receive pings and decide; p0 decides on its next step *)
+  List.iter
+    (fun p ->
+      let senders = Sim.Run.received_before_decision run p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%d heard someone before deciding" p)
+        true
+        (not (Sim.Pid.Set.is_empty senders)))
+    [ 0; 1; 2 ]
+
+let test_receives_nothing_from_until () =
+  let pattern = FP.initial_dead ~n:3 ~dead:[ 2 ] in
+  let run = E.run ~n:3 ~inputs:(distinct 3) ~pattern (Adv.round_robin ()) in
+  Alcotest.(check bool) "nothing from the dead" true
+    (Sim.Run.receives_nothing_from_until run 0 ~from:[ 2 ] ~until:max_int)
+
+(* ---------- Adversaries ---------- *)
+
+let test_partition_withholds () =
+  let pattern = FP.none ~n:4 in
+  let adv = Adv.partition ~groups:[ [ 0; 1 ]; [ 2; 3 ] ] () in
+  let run = E.run ~n:4 ~inputs:(distinct 4) ~pattern adv in
+  Alcotest.(check bool) "all decided" true (Sim.Run.all_correct_decided run);
+  (* within the prefix up to each side's decisions, no cross messages *)
+  let t01 = Option.get (Sim.Run.last_decision_time run [ 0; 1 ]) in
+  let t23 = Option.get (Sim.Run.last_decision_time run [ 2; 3 ]) in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "left hears only left" true
+        (Sim.Run.receives_nothing_from_until run p ~from:[ 2; 3 ] ~until:t01))
+    [ 0; 1 ];
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "right hears only right" true
+        (Sim.Run.receives_nothing_from_until run p ~from:[ 0; 1 ] ~until:t23))
+    [ 2; 3 ]
+
+let test_sequential_solo_order () =
+  let pattern = FP.none ~n:4 in
+  let adv = Adv.sequential_solo ~groups:[ [ 0; 1 ]; [ 2; 3 ] ] in
+  let run = E.run ~n:4 ~inputs:(distinct 4) ~pattern adv in
+  Alcotest.(check bool) "all decided" true (Sim.Run.all_correct_decided run);
+  let t01 = Option.get (Sim.Run.last_decision_time run [ 0; 1 ]) in
+  let t2 = Option.get (Sim.Run.decision_time run 2) in
+  Alcotest.(check bool) "group 1 first" true (t01 < t2)
+
+let test_fair_terminates_many_seeds () =
+  for seed = 1 to 30 do
+    let rng = Rng.create ~seed in
+    let pattern = FP.none ~n:5 in
+    let run = E.run ~n:5 ~inputs:(distinct 5) ~pattern (Adv.fair ~rng) in
+    if not (Sim.Run.all_correct_decided run) then
+      Alcotest.failf "seed %d: %a" seed Sim.Run.pp_summary run
+  done
+
+let test_fair_lossy_terminates () =
+  for seed = 1 to 10 do
+    let rng = Rng.create ~seed in
+    let pattern = FP.none ~n:4 in
+    let run =
+      E.run ~n:4 ~inputs:(distinct 4) ~pattern (Adv.fair_lossy ~rng ~p_defer:0.5)
+    in
+    if not (Sim.Run.all_correct_decided run) then
+      Alcotest.failf "seed %d not decided" seed
+  done
+
+let test_crash_after_decision_drops () =
+  let pattern = FP.of_crash_times ~n:3 [ (0, 1) ] in
+  let inner = Adv.round_robin () in
+  let adv = Adv.crash_after_decision ~inner ~victims:[ 0 ] in
+  let run = E.run ~n:3 ~inputs:(distinct 3) ~pattern adv in
+  (* p0's only step broadcast pings; they must all have been dropped:
+     nobody ever receives from p0 *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "no message from the victim" true
+        (Sim.Run.receives_nothing_from_until run p ~from:[ 0 ] ~until:max_int))
+    [ 1; 2 ]
+
+(* ---------- Determinism / replay ---------- *)
+
+let test_runs_deterministic () =
+  let go seed =
+    let rng = Rng.create ~seed in
+    E.run ~n:4 ~inputs:(distinct 4) ~pattern:(FP.none ~n:4) (Adv.fair ~rng)
+  in
+  let r1 = go 5 and r2 = go 5 in
+  Alcotest.(check int) "same length" (Sim.Run.step_count r1) (Sim.Run.step_count r2);
+  Alcotest.(check bool) "same events" true (r1.Sim.Run.events = r2.Sim.Run.events)
+
+let test_replay_reproduces_run () =
+  let rng = Rng.create ~seed:9 in
+  let pattern = FP.none ~n:4 in
+  let orig = E.run ~n:4 ~inputs:(distinct 4) ~pattern (Adv.fair ~rng) in
+  let stream = Sim.Replay.project ~keep:(fun _ -> true) orig in
+  let replayed =
+    E.run ~n:4 ~inputs:(distinct 4) ~pattern (Sim.Replay.sequential [ stream ])
+  in
+  Alcotest.(check bool) "same decisions" true
+    (orig.Sim.Run.decisions = replayed.Sim.Run.decisions);
+  Alcotest.(check bool) "same state digests" true
+    (List.map (fun (e : Sim.Event.t) -> (e.pid, e.state_digest)) orig.Sim.Run.events
+    = List.map (fun (e : Sim.Event.t) -> (e.pid, e.state_digest)) replayed.Sim.Run.events)
+
+(* ---------- Explorer ---------- *)
+
+let test_explorer_trivial_safe () =
+  let module Ex = Sim.Explorer.Make (Ksa_algo.Trivial.A) in
+  match
+    Ex.explore ~n:3 ~inputs:(distinct 3) ~pattern:(FP.none ~n:3)
+      ~check:(fun _ -> None)
+      ()
+  with
+  | Sim.Explorer.Safe stats ->
+      Alcotest.(check bool) "complete" false stats.Sim.Explorer.budget_exhausted;
+      Alcotest.(check bool) "some terminals" true (stats.Sim.Explorer.terminal_runs > 0)
+  | Sim.Explorer.Violation _ -> Alcotest.fail "trivial cannot violate"
+
+let test_explorer_finds_violation () =
+  let module Ex = Sim.Explorer.Make (Ksa_algo.Trivial.A) in
+  (* claim "consensus" about the trivial algorithm: must be refuted *)
+  match
+    Ex.explore ~n:2 ~inputs:(distinct 2) ~pattern:(FP.none ~n:2)
+      ~check:(fun decisions ->
+        let values = List.sort_uniq compare (List.map (fun (_, v, _) -> v) decisions) in
+        if List.length values > 1 then Some "two values decided" else None)
+      ()
+  with
+  | Sim.Explorer.Safe _ -> Alcotest.fail "should find a violation"
+  | Sim.Explorer.Violation v ->
+      Alcotest.(check string) "reason" "two values decided" v.reason
+
+let test_explorer_rejects_fd_algorithms () =
+  let module Ex = Sim.Explorer.Make (Ksa_algo.Synod.A) in
+  Alcotest.(check bool) "invalid_arg" true
+    (match
+       Ex.explore ~n:2 ~inputs:(distinct 2) ~pattern:(FP.none ~n:2)
+         ~check:(fun _ -> None)
+         ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_explorer_rejects_late_crashes () =
+  let module Ex = Sim.Explorer.Make (Ksa_algo.Trivial.A) in
+  Alcotest.(check bool) "invalid_arg" true
+    (match
+       Ex.explore ~n:2 ~inputs:(distinct 2)
+         ~pattern:(FP.of_crash_times ~n:2 [ (0, 3) ])
+         ~check:(fun _ -> None)
+         ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- crash-adversarial exploration ---------- *)
+
+let test_crash_explorer_flp_gap () =
+  let module K = Ksa_algo.Kset_flp.Make (struct
+    let l = 2
+  end) in
+  let module Ex = Sim.Explorer.Make (K) in
+  (* budget 0: nothing can trap the protocol *)
+  (match
+     Ex.explore_with_crashes ~n:3 ~inputs:(distinct 3) ~crash_budget:0
+       ~check:(fun _ -> None)
+       ()
+   with
+  | Sim.Explorer.All_paths_decide stats ->
+      Alcotest.(check bool) "complete" false stats.Sim.Explorer.budget_exhausted
+  | Sim.Explorer.Stuck _ -> Alcotest.fail "no crash, no trap"
+  | Sim.Explorer.Safety_violation { reason; _ } -> Alcotest.fail reason);
+  (* budget 1: the FLP trap must be found *)
+  match
+    Ex.explore_with_crashes ~n:3 ~inputs:(distinct 3) ~crash_budget:1
+      ~check:(fun _ -> None)
+      ()
+  with
+  | Sim.Explorer.Stuck { crashed; undecided_correct; _ } ->
+      Alcotest.(check int) "one crash suffices" 1 (List.length crashed);
+      Alcotest.(check bool) "someone is trapped" true (undecided_correct <> [])
+  | Sim.Explorer.All_paths_decide _ -> Alcotest.fail "FLP trap missed"
+  | Sim.Explorer.Safety_violation { reason; _ } -> Alcotest.fail reason
+
+let test_crash_explorer_trivial_untrappable () =
+  let module Ex = Sim.Explorer.Make (Ksa_algo.Trivial.A) in
+  match
+    Ex.explore_with_crashes ~n:3 ~inputs:(distinct 3) ~crash_budget:2
+      ~check:(fun _ -> None)
+      ()
+  with
+  | Sim.Explorer.All_paths_decide _ -> ()
+  | Sim.Explorer.Stuck _ -> Alcotest.fail "wait-free algorithms cannot be trapped"
+  | Sim.Explorer.Safety_violation { reason; _ } -> Alcotest.fail reason
+
+let test_crash_explorer_safety_violation () =
+  (* claiming consensus about the trivial algorithm: the crash
+     explorer reports the safety violation, not a stuck state *)
+  let module Ex = Sim.Explorer.Make (Ksa_algo.Trivial.A) in
+  match
+    Ex.explore_with_crashes ~n:2 ~inputs:(distinct 2) ~crash_budget:1
+      ~check:(fun decisions ->
+        let values =
+          List.sort_uniq compare (List.map (fun (_, v, _) -> v) decisions)
+        in
+        if List.length values > 1 then Some "two values" else None)
+      ()
+  with
+  | Sim.Explorer.Safety_violation { reason; _ } ->
+      Alcotest.(check string) "reason" "two values" reason
+  | Sim.Explorer.All_paths_decide _ | Sim.Explorer.Stuck _ ->
+      Alcotest.fail "violation expected"
+
+let test_crash_explorer_valency () =
+  let module K = Ksa_algo.Kset_flp.Make (struct
+    let l = 2
+  end) in
+  let module Ex = Sim.Explorer.Make (K) in
+  let vals =
+    Ex.reachable_decision_values ~n:3 ~inputs:(distinct 3) ~crash_budget:1 ()
+  in
+  Alcotest.(check bool) "multivalent under 1 crash" true (List.length vals >= 2);
+  let vals0 =
+    Ex.reachable_decision_values ~n:3 ~inputs:[| 7; 7; 7 |] ~crash_budget:1 ()
+  in
+  Alcotest.(check (list int)) "univalent with equal inputs" [ 7 ] vals0
+
+let suites =
+  [
+    ( "sim.failure_pattern",
+      [
+        Alcotest.test_case "none" `Quick test_pattern_none;
+        Alcotest.test_case "initial dead" `Quick test_pattern_initial_dead;
+        Alcotest.test_case "crash times" `Quick test_pattern_crash_times;
+        Alcotest.test_case "restrict" `Quick test_pattern_restrict;
+        Alcotest.test_case "merge (Lemma 11.2)" `Quick test_pattern_merge;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "initially dead never step" `Quick test_initial_dead_never_step;
+        Alcotest.test_case "crashed cannot step" `Quick test_invalid_step_of_crashed;
+        Alcotest.test_case "invalid delivery" `Quick test_invalid_delivery;
+        Alcotest.test_case "wrong addressee" `Quick test_wrong_addressee;
+        Alcotest.test_case "drop needs crashed sender" `Quick test_drop_requires_crashed_sender;
+        Alcotest.test_case "drop from crashed ok" `Quick test_drop_from_crashed_sender;
+        Alcotest.test_case "write-once decision" `Quick test_write_once_decision;
+        Alcotest.test_case "event log chronological" `Quick test_event_log_chronological;
+        Alcotest.test_case "fd required" `Quick test_fd_required;
+      ] );
+    ( "sim.run",
+      [
+        Alcotest.test_case "received before decision" `Quick test_received_before_decision;
+        Alcotest.test_case "receives nothing from dead" `Quick test_receives_nothing_from_until;
+      ] );
+    ( "sim.adversary",
+      [
+        Alcotest.test_case "partition withholds" `Quick test_partition_withholds;
+        Alcotest.test_case "sequential solo order" `Quick test_sequential_solo_order;
+        Alcotest.test_case "fair terminates (30 seeds)" `Quick test_fair_terminates_many_seeds;
+        Alcotest.test_case "fair lossy terminates" `Quick test_fair_lossy_terminates;
+        Alcotest.test_case "crash drops" `Quick test_crash_after_decision_drops;
+      ] );
+    ( "sim.replay",
+      [
+        Alcotest.test_case "deterministic" `Quick test_runs_deterministic;
+        Alcotest.test_case "replay reproduces" `Quick test_replay_reproduces_run;
+      ] );
+    ( "sim.explorer",
+      [
+        Alcotest.test_case "trivial safe" `Quick test_explorer_trivial_safe;
+        Alcotest.test_case "finds violation" `Quick test_explorer_finds_violation;
+        Alcotest.test_case "rejects fd algorithms" `Quick test_explorer_rejects_fd_algorithms;
+        Alcotest.test_case "rejects late crashes" `Quick test_explorer_rejects_late_crashes;
+        Alcotest.test_case "crash explorer: FLP gap" `Slow test_crash_explorer_flp_gap;
+        Alcotest.test_case "crash explorer: wait-free untrappable" `Quick
+          test_crash_explorer_trivial_untrappable;
+        Alcotest.test_case "crash explorer: safety violation" `Quick
+          test_crash_explorer_safety_violation;
+        Alcotest.test_case "crash explorer: valency" `Slow test_crash_explorer_valency;
+      ] );
+  ]

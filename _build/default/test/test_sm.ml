@@ -1,0 +1,294 @@
+(* The ABD register emulation (the paper's [9] substrate) and its
+   atomicity checker. *)
+
+module Sim = Ksa_sim
+module Sm = Ksa_sm
+module FP = Sim.Failure_pattern
+module Adv = Sim.Adversary
+module Rng = Ksa_prim.Rng
+module Reg = Sm.Register
+
+let distinct = Sim.Value.distinct_inputs
+
+module Torture = Sm.Abd.Make (struct
+  let script = Sm.Abd.write_then_read_all
+  let write_back = true
+end)
+
+module E = Sim.Engine.Make (Torture)
+
+let run_torture ~seed ~n ~dead ~adv_kind =
+  let pattern = FP.initial_dead ~n ~dead in
+  let rng = Rng.create ~seed in
+  let adv =
+    match adv_kind with
+    | `Fair -> Adv.fair ~rng
+    | `Lossy -> Adv.fair_lossy ~rng ~p_defer:0.5
+    | `Round_robin -> Adv.round_robin ()
+  in
+  let run, config =
+    E.run_full ~max_steps:60_000 ~n ~inputs:(distinct n) ~pattern adv
+  in
+  (run, Torture.ops_of run ~state_of:(E.state_of config))
+
+(* ---------- checker unit tests on synthetic histories ---------- *)
+
+let w ~client ~ts ~value ~invoked ~responded =
+  { Reg.kind = Reg.Write; client; owner = client; ts; value; invoked; responded }
+
+let r ~client ~owner ~ts ~value ~invoked ~responded =
+  { Reg.kind = Reg.Read; client; owner; ts; value; invoked; responded }
+
+let test_checker_accepts_serial () =
+  let h =
+    [
+      w ~client:0 ~ts:1 ~value:5 ~invoked:1 ~responded:2;
+      r ~client:1 ~owner:0 ~ts:1 ~value:5 ~invoked:3 ~responded:4;
+      w ~client:0 ~ts:2 ~value:6 ~invoked:5 ~responded:6;
+      r ~client:2 ~owner:0 ~ts:2 ~value:6 ~invoked:7 ~responded:8;
+    ]
+  in
+  Test_util.check_ok "serial" (Reg.check_atomic h);
+  Test_util.check_ok "swmr" (Reg.check_write_once_timestamps h)
+
+let test_checker_detects_new_old_inversion () =
+  let h =
+    [
+      w ~client:0 ~ts:1 ~value:5 ~invoked:1 ~responded:2;
+      w ~client:0 ~ts:2 ~value:6 ~invoked:3 ~responded:4;
+      r ~client:1 ~owner:0 ~ts:2 ~value:6 ~invoked:5 ~responded:6;
+      r ~client:2 ~owner:0 ~ts:1 ~value:5 ~invoked:7 ~responded:8;
+    ]
+  in
+  Test_util.check_err "inversion" (Reg.check_atomic h)
+
+let test_checker_detects_stale_read () =
+  let h =
+    [
+      w ~client:0 ~ts:1 ~value:5 ~invoked:1 ~responded:2;
+      r ~client:1 ~owner:0 ~ts:0 ~value:(-1) ~invoked:3 ~responded:4;
+    ]
+  in
+  Test_util.check_err "missed completed write" (Reg.check_atomic h)
+
+let test_checker_detects_future_read () =
+  let h =
+    [
+      r ~client:1 ~owner:0 ~ts:1 ~value:5 ~invoked:1 ~responded:2;
+      w ~client:0 ~ts:1 ~value:5 ~invoked:3 ~responded:4;
+    ]
+  in
+  Test_util.check_err "read from the future" (Reg.check_atomic h)
+
+let test_checker_detects_phantom_value () =
+  let h = [ r ~client:1 ~owner:0 ~ts:3 ~value:9 ~invoked:1 ~responded:2 ] in
+  Test_util.check_err "never written" (Reg.check_atomic h)
+
+let test_checker_accepts_pending_write_visibility () =
+  (* a read may return a write that never completes *)
+  let h =
+    [
+      w ~client:0 ~ts:1 ~value:5 ~invoked:1 ~responded:max_int;
+      r ~client:1 ~owner:0 ~ts:1 ~value:5 ~invoked:3 ~responded:4;
+    ]
+  in
+  Test_util.check_ok "pending write readable" (Reg.check_atomic h)
+
+let test_checker_detects_non_owner_write () =
+  let h = [ { (w ~client:1 ~ts:1 ~value:5 ~invoked:1 ~responded:2) with Reg.owner = 0 } ] in
+  Test_util.check_err "non-owner" (Reg.check_write_once_timestamps h)
+
+(* ---------- the emulation end to end ---------- *)
+
+let expected_ops n = 2 + (2 * n) (* two writes, two read sweeps *)
+
+let test_abd_failure_free () =
+  for seed = 1 to 10 do
+    let n = 4 in
+    let run, ops = run_torture ~seed ~n ~dead:[] ~adv_kind:`Fair in
+    Alcotest.(check bool) "all decided" true (Sim.Run.all_correct_decided run);
+    let completed =
+      List.length (List.filter (fun (o : Reg.op) -> o.responded <> max_int) ops)
+    in
+    Alcotest.(check int) "all ops completed" (n * expected_ops n) completed;
+    Test_util.check_ok "atomic" (Reg.check_atomic ops);
+    Test_util.check_ok "swmr" (Reg.check_write_once_timestamps ops)
+  done
+
+let test_abd_minority_crashes () =
+  List.iter
+    (fun (n, dead) ->
+      for seed = 1 to 8 do
+        let run, ops = run_torture ~seed ~n ~dead ~adv_kind:`Fair in
+        Alcotest.(check bool) "correct processes finish" true
+          (Sim.Run.all_correct_decided run);
+        Test_util.check_ok "atomic" (Reg.check_atomic ops)
+      done)
+    [ (5, [ 1 ]); (5, [ 0; 3 ]); (4, [ 2 ]); (3, [ 1 ]) ]
+
+let test_abd_lossy () =
+  for seed = 1 to 8 do
+    let run, ops = run_torture ~seed ~n:4 ~dead:[ 3 ] ~adv_kind:`Lossy in
+    Alcotest.(check bool) "finishes despite deferrals" true
+      (Sim.Run.all_correct_decided run);
+    Test_util.check_ok "atomic" (Reg.check_atomic ops)
+  done
+
+let test_abd_read_your_writes () =
+  (* deterministic round-robin: every read of your own register after
+     your write returns your latest value *)
+  let n = 4 in
+  let run, ops = run_torture ~seed:1 ~n ~dead:[] ~adv_kind:`Round_robin in
+  ignore run;
+  List.iter
+    (fun (o : Reg.op) ->
+      if o.kind = Reg.Read && Sim.Pid.equal o.client o.owner then begin
+        (* the second self-read must see the second write *)
+        let own_writes =
+          List.filter
+            (fun (x : Reg.op) ->
+              x.kind = Reg.Write && Sim.Pid.equal x.client o.client
+              && x.responded < o.invoked)
+            ops
+        in
+        let latest = List.fold_left (fun acc (x : Reg.op) -> max acc x.ts) 0 own_writes in
+        if o.ts < latest then
+          Alcotest.failf "p%d self-read ts %d < own write ts %d" o.client o.ts latest
+      end)
+    ops
+
+let test_abd_values_traceable () =
+  let n = 5 in
+  let _, ops = run_torture ~seed:9 ~n ~dead:[ 4 ] ~adv_kind:`Fair in
+  (* every read value of ts >= 1 equals the input or the second-round
+     constant of its register owner *)
+  List.iter
+    (fun (o : Reg.op) ->
+      if o.kind = Reg.Read && o.ts >= 1 then
+        Alcotest.(check bool) "traceable value" true
+          (o.value = o.owner || o.value = 1000 + o.owner))
+    ops
+
+(* ---------- the write-back ablation ---------- *)
+
+(* an adversary that executes a fixed list of (pid, allowed senders)
+   steps, delivering exactly the pending messages from those senders *)
+let scripted steps =
+  let remaining = ref steps in
+  let next (obs : Adv.obs) =
+    match !remaining with
+    | [] -> Adv.Halt
+    | (pid, allowed) :: rest ->
+        remaining := rest;
+        let deliver =
+          Adv.pending_for ~allow:(fun src _ -> List.mem src allowed) obs pid
+        in
+        Adv.Step { pid; deliver }
+  in
+  { Adv.describe = "scripted"; next }
+
+(* n = 5: p0 writes; p1 reads via a quorum that saw the write; p2 then
+   reads via a quorum that did not.  Without the write-back this is a
+   new/old inversion; with it, p1's read cannot complete on this
+   schedule, so atomicity survives. *)
+let inversion_schedule =
+  [
+    (0, []);        (* p0 starts its write *)
+    (1, [ 0 ]);     (* p1 sees the write, starts its read *)
+    (0, [ 1 ]);     (* p0 answers p1's read request *)
+    (3, [ 1 ]);     (* p3 answers it too (with the old pair) *)
+    (1, [ 0; 3 ]);  (* p1 has 3 responses: max ts wins *)
+    (2, []);        (* p2 starts its read — after p1's response *)
+    (3, [ 2 ]);     (* p3 and p4 answer with the old pair *)
+    (4, [ 2 ]);
+    (2, [ 3; 4 ]);  (* p2 returns the OLD timestamp *)
+  ]
+
+let run_ablation ~write_back =
+  let wb = write_back in
+  let module T = Sm.Abd.Make (struct
+    let script ~n:_ ~me =
+      if me = 0 then [ Sm.Abd.Write_value 7 ]
+      else if me <= 2 then [ Sm.Abd.Read_of 0 ]
+      else []
+
+    let write_back = wb
+  end) in
+  let module ET = Sim.Engine.Make (T) in
+  let run, config =
+    ET.run_full ~n:5 ~inputs:(distinct 5)
+      ~pattern:(FP.none ~n:5)
+      (scripted inversion_schedule)
+  in
+  T.ops_of run ~state_of:(ET.state_of config)
+
+let test_write_back_ablation () =
+  (* weak variant: the checker catches a genuine new/old inversion *)
+  (match Sm.Register.check_atomic (run_ablation ~write_back:false) with
+  | Ok () -> Alcotest.fail "weak ABD should exhibit an inversion"
+  | Error e ->
+      Alcotest.(check bool) "it is the inversion" true
+        (String.length e > 0));
+  (* full ABD: the same adversarial schedule is harmless *)
+  Test_util.check_ok "write-back saves atomicity"
+    (Sm.Register.check_atomic (run_ablation ~write_back:true))
+
+(* randomized scripts: atomicity must hold for ANY script under ANY
+   sampled schedule with a minority of initial crashes *)
+let prop_abd_random_scripts_atomic =
+  QCheck.Test.make ~name:"abd: atomicity under random scripts/schedules"
+    ~count:40
+    QCheck.(triple small_int (int_range 3 5) (int_range 0 1))
+    (fun (seed, n, crashes) ->
+      let rng = Rng.create ~seed:(seed + 1) in
+      let scripts =
+        Array.init n (fun _ ->
+            List.init
+              (2 + Rng.int rng 4)
+              (fun _ ->
+                if Rng.bool rng then Sm.Abd.Write_value (Rng.int rng 50)
+                else Sm.Abd.Read_of (Rng.int rng n)))
+      in
+      let module T = Sm.Abd.Make (struct
+        let script ~n:_ ~me = scripts.(me)
+        let write_back = true
+      end) in
+      let module ET = Sim.Engine.Make (T) in
+      let dead = Rng.sample rng crashes (List.init n Fun.id) in
+      let pattern = FP.initial_dead ~n ~dead in
+      let adv =
+        if seed mod 2 = 0 then Adv.fair ~rng
+        else Adv.fair_lossy ~rng ~p_defer:0.4
+      in
+      let run, config =
+        ET.run_full ~max_steps:80_000 ~n ~inputs:(distinct n) ~pattern adv
+      in
+      let ops = T.ops_of run ~state_of:(ET.state_of config) in
+      Sim.Run.all_correct_decided run
+      && Reg.check_atomic ops = Ok ()
+      && Reg.check_write_once_timestamps ops = Ok ())
+
+let suites =
+  [
+    ( "sm.checker",
+      [
+        Alcotest.test_case "accepts serial" `Quick test_checker_accepts_serial;
+        Alcotest.test_case "new/old inversion" `Quick test_checker_detects_new_old_inversion;
+        Alcotest.test_case "stale read" `Quick test_checker_detects_stale_read;
+        Alcotest.test_case "future read" `Quick test_checker_detects_future_read;
+        Alcotest.test_case "phantom value" `Quick test_checker_detects_phantom_value;
+        Alcotest.test_case "pending write readable" `Quick
+          test_checker_accepts_pending_write_visibility;
+        Alcotest.test_case "non-owner write" `Quick test_checker_detects_non_owner_write;
+      ] );
+    ( "sm.abd",
+      [
+        Alcotest.test_case "failure-free torture" `Quick test_abd_failure_free;
+        Alcotest.test_case "minority crashes" `Quick test_abd_minority_crashes;
+        Alcotest.test_case "lossy schedules" `Quick test_abd_lossy;
+        Alcotest.test_case "read your writes" `Quick test_abd_read_your_writes;
+        Alcotest.test_case "values traceable" `Quick test_abd_values_traceable;
+        Alcotest.test_case "write-back ablation" `Quick test_write_back_ablation;
+      ] );
+    Test_util.qsuite "sm.properties" [ prop_abd_random_scripts_atomic ];
+  ]

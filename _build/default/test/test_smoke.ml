@@ -1,0 +1,53 @@
+(* Early end-to-end smoke tests: engine + Section VI protocol. *)
+
+module Rng = Ksa_prim.Rng
+module Sim = Ksa_sim
+
+module Kset5 = Ksa_algo.Kset_flp.Make (struct
+  let l = 3
+end)
+
+module E5 = Sim.Engine.Make (Kset5)
+
+let run_fair ~seed ~n ~dead =
+  let rng = Rng.create ~seed in
+  let pattern = Sim.Failure_pattern.initial_dead ~n ~dead in
+  E5.run ~n
+    ~inputs:(Sim.Value.distinct_inputs n)
+    ~pattern
+    (Sim.Adversary.fair ~rng)
+
+let test_failure_free () =
+  (* n=5, L=3, f=0: everyone decides; at most floor(5/3)=1 value *)
+  let run = run_fair ~seed:42 ~n:5 ~dead:[] in
+  Alcotest.(check bool) "all correct decided" true (Sim.Run.all_correct_decided run);
+  Alcotest.(check bool)
+    "at most 1 distinct decision" true
+    (Sim.Run.distinct_decisions run <= 1)
+
+let test_two_dead () =
+  (* n=5, L=3 = n-f with f=2: k-set for k >= floor(5/3) = 1 *)
+  let run = run_fair ~seed:7 ~n:5 ~dead:[ 0; 3 ] in
+  Alcotest.(check bool) "all correct decided" true (Sim.Run.all_correct_decided run);
+  Alcotest.(check bool)
+    "at most 1 distinct decision" true
+    (Sim.Run.distinct_decisions run <= 1)
+
+let test_many_seeds () =
+  for seed = 1 to 50 do
+    let run = run_fair ~seed ~n:5 ~dead:[ 1 ] in
+    if not (Sim.Run.all_correct_decided run) then
+      Alcotest.failf "seed %d: %a" seed Sim.Run.pp_summary run;
+    if Sim.Run.distinct_decisions run > 1 then
+      Alcotest.failf "seed %d: too many decisions %a" seed Sim.Run.pp_summary run
+  done
+
+let suites =
+  [
+    ( "smoke",
+      [
+        Alcotest.test_case "kset-flp failure-free" `Quick test_failure_free;
+        Alcotest.test_case "kset-flp two initially dead" `Quick test_two_dead;
+        Alcotest.test_case "kset-flp 50 seeds" `Quick test_many_seeds;
+      ] );
+  ]

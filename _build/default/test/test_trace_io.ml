@@ -1,0 +1,154 @@
+module Sim = Ksa_sim
+module Rng = Ksa_prim.Rng
+
+let distinct = Sim.Value.distinct_inputs
+
+let sample_run seed =
+  let module K = Ksa_algo.Kset_flp.Make (struct
+    let l = 3
+  end) in
+  let module E = Sim.Engine.Make (K) in
+  let rng = Rng.create ~seed in
+  E.run ~n:5 ~inputs:(distinct 5)
+    ~pattern:(Sim.Failure_pattern.none ~n:5)
+    (Sim.Adversary.fair ~rng)
+
+let test_schedule_roundtrip () =
+  let run = sample_run 21 in
+  let sched = Sim.Trace_io.schedule_of_run run in
+  let text = Sim.Trace_io.schedule_to_string sched in
+  match Sim.Trace_io.schedule_of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+      Alcotest.(check bool) "roundtrip" true (parsed = sched)
+
+let test_schedule_replay_equivalence () =
+  let run = sample_run 33 in
+  let text = Sim.Trace_io.schedule_to_string (Sim.Trace_io.schedule_of_run run) in
+  let sched =
+    match Sim.Trace_io.schedule_of_string text with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let module K = Ksa_algo.Kset_flp.Make (struct
+    let l = 3
+  end) in
+  let module E = Sim.Engine.Make (K) in
+  let replayed =
+    E.run ~n:5 ~inputs:(distinct 5)
+      ~pattern:(Sim.Failure_pattern.none ~n:5)
+      (Sim.Replay.sequential [ sched ])
+  in
+  Alcotest.(check bool) "identical decisions" true
+    (run.Sim.Run.decisions = replayed.Sim.Run.decisions);
+  Alcotest.(check bool) "identical digests" true
+    (List.map (fun (e : Sim.Event.t) -> e.state_digest) run.Sim.Run.events
+    = List.map (fun (e : Sim.Event.t) -> e.state_digest) replayed.Sim.Run.events)
+
+let test_schedule_parse_errors () =
+  let bad = [ "nonsense"; "x: 1.2"; "1: 0.0"; "1: 0,1"; "1 0.1" ] in
+  List.iter
+    (fun line ->
+      match Sim.Trace_io.schedule_of_string line with
+      | Ok _ -> Alcotest.failf "accepted %S" line
+      | Error _ -> ())
+    bad
+
+let test_schedule_comments_and_blanks () =
+  let text = "# a comment\n\n2: 0.1\n\n# another\n1:\n" in
+  match Sim.Trace_io.schedule_of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok [ d1; d2 ] ->
+      Alcotest.(check int) "pid 2" 2 d1.Sim.Replay.pid;
+      Alcotest.(check int) "one delivery" 1 (List.length d1.Sim.Replay.deliver);
+      Alcotest.(check int) "pid 1" 1 d2.Sim.Replay.pid;
+      Alcotest.(check (list int)) "no deliveries" []
+        (List.map (fun (d : Sim.Replay.delivery) -> d.src) d2.Sim.Replay.deliver)
+  | Ok l -> Alcotest.failf "expected 2 entries, got %d" (List.length l)
+
+let test_file_roundtrip () =
+  let run = sample_run 5 in
+  let sched = Sim.Trace_io.schedule_of_run run in
+  let path = Filename.temp_file "ksa_sched" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sim.Trace_io.save_schedule ~path sched;
+      match Sim.Trace_io.load_schedule ~path with
+      | Ok loaded -> Alcotest.(check bool) "file roundtrip" true (loaded = sched)
+      | Error e -> Alcotest.fail e)
+
+(* strong T-independence (Definition 6, second clause) *)
+
+let test_strong_independence_taxonomy () =
+  (* wait-freedom gives strong 2^Pi-independence (taxonomy after
+     Definition 6) *)
+  let v =
+    Ksa_core.Independence.check_set_strong
+      (module Ksa_algo.Trivial.A)
+      ~n:4 ~set:[ 2 ]
+  in
+  Alcotest.(check bool) "trivial is strongly independent" true
+    v.Ksa_core.Independence.independent;
+  let module K = Ksa_algo.Kset_flp.Make (struct
+    let l = 3
+  end) in
+  (* the Section VI protocol with |S| = L: plain holds, and the
+     existential strong check is also witnessed — after a benign
+     full-delivery prefix, either S is uncontaminated or the outside
+     reports already arrived, so the confined run still decides *)
+  let plain = Ksa_core.Independence.check_set (module K) ~n:5 ~set:[ 0; 1; 2 ] in
+  Alcotest.(check bool) "plain for |S| = L" true
+    plain.Ksa_core.Independence.independent;
+  let strong =
+    Ksa_core.Independence.check_set_strong ~max_steps:3_000 (module K) ~n:5
+      ~set:[ 0; 1; 2 ]
+  in
+  Alcotest.(check bool) "strong witnessed for |S| = L" true
+    strong.Ksa_core.Independence.independent;
+  (* singletons are dependent in both senses *)
+  let v =
+    Ksa_core.Independence.check_set_strong ~max_steps:3_000 (module K) ~n:5
+      ~set:[ 4 ]
+  in
+  Alcotest.(check bool) "singleton dependent" false
+    v.Ksa_core.Independence.independent
+
+let test_observation_1a () =
+  (* strong T-independence implies plain T-independence (Observation
+     1(a)): with prefix 0 included in the strong check, any strong
+     verdict subsumes the plain one; verified over the wait-free
+     family for the trivial algorithm and a sample for naive-min *)
+  let module Naive = Ksa_algo.Naive_min.Make (struct
+    let wait_for = 2
+  end) in
+  List.iter
+    (fun set ->
+      let strong =
+        Ksa_core.Independence.check_set_strong ~max_steps:3_000 (module Naive)
+          ~n:4 ~set
+      in
+      let plain =
+        Ksa_core.Independence.check_set ~max_steps:3_000 (module Naive) ~n:4 ~set
+      in
+      if strong.Ksa_core.Independence.independent then
+        Alcotest.(check bool) "strong => plain" true
+          plain.Ksa_core.Independence.independent)
+    (Ksa_core.Independence.wait_free_family ~n:4)
+
+let suites =
+  [
+    ( "sim.trace_io",
+      [
+        Alcotest.test_case "schedule roundtrip" `Quick test_schedule_roundtrip;
+        Alcotest.test_case "replay equivalence" `Quick test_schedule_replay_equivalence;
+        Alcotest.test_case "parse errors" `Quick test_schedule_parse_errors;
+        Alcotest.test_case "comments and blanks" `Quick test_schedule_comments_and_blanks;
+        Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+      ] );
+    ( "core.independence_strong",
+      [
+        Alcotest.test_case "strong-vs-plain taxonomy" `Quick test_strong_independence_taxonomy;
+        Alcotest.test_case "observation 1(a)" `Quick test_observation_1a;
+      ] );
+  ]

@@ -1,0 +1,66 @@
+(* Shared helpers for the test suite. *)
+
+module Sim = Ksa_sim
+module Rng = Ksa_prim.Rng
+
+(* A tiny echo algorithm used to observe the engine's message
+   plumbing: every process broadcasts one Ping, replies Pong to every
+   Ping, and decides its own input once it has received at least one
+   message of any kind (or immediately if [eager]). *)
+module Echo = struct
+  type message = Ping | Pong
+
+  type state = {
+    n : int;
+    me : Sim.Pid.t;
+    input : Sim.Value.t;
+    started : bool;
+    got : (Sim.Pid.t * message) list;
+    decided : bool;
+  }
+
+  let name = "echo"
+  let uses_fd = false
+
+  let init ~n ~me ~input =
+    { n; me; input; started = false; got = []; decided = false }
+
+  let step st ~received ~fd =
+    ignore fd;
+    let st = { st with got = st.got @ received } in
+    let pings =
+      List.filter_map
+        (fun (src, m) -> match m with Ping -> Some (src, Pong) | Pong -> None)
+        received
+    in
+    let st, hello =
+      if st.started then (st, [])
+      else
+        ( { st with started = true },
+          List.filter_map
+            (fun q -> if q = st.me then None else Some (q, Ping))
+            (List.init st.n Fun.id) )
+    in
+    if (not st.decided) && st.got <> [] then
+      ({ st with decided = true }, hello @ pings, Some st.input)
+    else (st, hello @ pings, None)
+
+  let pp_message ppf = function
+    | Ping -> Format.pp_print_string ppf "ping"
+    | Pong -> Format.pp_print_string ppf "pong"
+
+  let pp_state ppf st = Format.fprintf ppf "{%a}" Sim.Pid.pp st.me
+end
+
+module Echo_engine = Sim.Engine.Make (Echo)
+
+let check_ok what = function
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+let check_err what = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" what
+  | Error _ -> ()
+
+let qsuite name props =
+  (name, List.map QCheck_alcotest.to_alcotest props)
