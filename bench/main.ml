@@ -171,6 +171,37 @@ let bench_e12_crash_explorer () =
        ~check:(fun _ -> None)
        ())
 
+let bench_e12_crash_explorer_par () =
+  (* multicore crash explorer, same space as e12:crash-explorer-n3 *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  ignore
+    (Ex.explore_with_crashes_par ~domains:4 ~n:3
+       ~inputs:(Sim.Value.distinct_inputs 3)
+       ~crash_budget:1
+       ~check:(fun _ -> None)
+       ())
+
+let bench_ablation_explorer_n4 () =
+  (* n=4 exhaustive under the coarse delivery policy (full space,
+     fewer delivery choices — Per_sender at n=4 is ~27 s/run) *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  ignore
+    (Ex.explore ~policy:Sim.Explorer.Empty_or_all ~n:4
+       ~inputs:(Sim.Value.distinct_inputs 4)
+       ~pattern:(Sim.Failure_pattern.none ~n:4)
+       ~check:(fun _ -> None)
+       ())
+
+let bench_ablation_explorer_par_n4 () =
+  (* the same n=4 space fanned over 4 domains *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  ignore
+    (Ex.explore_par ~domains:4 ~policy:Sim.Explorer.Empty_or_all ~n:4
+       ~inputs:(Sim.Value.distinct_inputs 4)
+       ~pattern:(Sim.Failure_pattern.none ~n:4)
+       ~check:(fun _ -> None)
+       ())
+
 let bench_theorem2_demonstrate () =
   ignore (Core.Theorem2.demonstrate ~n:6 ~f:4 ~k:2 ())
 
@@ -225,10 +256,16 @@ let tests =
       Test.make ~name:"e9:independence-check" (Staged.stage bench_e9_independence);
       Test.make ~name:"e10:ho-uniform-voting-n8" (Staged.stage bench_e10_ho_uniform_voting);
       Test.make ~name:"e12:crash-explorer-n3" (Staged.stage bench_e12_crash_explorer);
+      Test.make ~name:"e12:crash-explorer-par-n3"
+        (Staged.stage bench_e12_crash_explorer_par);
       Test.make ~name:"e13:abd-torture-n4" (Staged.stage bench_e13_abd_torture);
       Test.make ~name:"theorem2:end-to-end-n6" (Staged.stage bench_theorem2_demonstrate);
       Test.make ~name:"ablation:explorer-exhaustive-n3"
         (Staged.stage bench_ablation_explorer_n3);
+      Test.make ~name:"ablation:explorer-exhaustive-n4"
+        (Staged.stage bench_ablation_explorer_n4);
+      Test.make ~name:"ablation:explorer-par-n4"
+        (Staged.stage bench_ablation_explorer_par_n4);
       Test.make ~name:"ablation:engine-throughput-n32"
         (Staged.stage bench_ablation_engine_throughput);
       Test.make ~name:"ablation:scc-path-50k" (Staged.stage bench_ablation_scc_50k);
@@ -236,7 +273,23 @@ let tests =
         (Staged.stage bench_ablation_replay);
     ]
 
-let run_benchmarks () =
+(* Machine-readable perf trajectory: benchmark name -> ns/run, one
+   JSON object, written next to the cwd so successive PRs can diff it. *)
+let write_bench_json ~path rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  let total = List.length rows in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: %s%s\n" name
+        (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
+        (if i = total - 1 then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc;
+  Format.printf "wrote %s (%d subjects)@." path total
+
+let run_benchmarks ~json () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -259,6 +312,7 @@ let run_benchmarks () =
         (name, ns) :: acc)
       results []
   in
+  let rows = List.sort compare rows in
   List.iter
     (fun (name, ns) ->
       let pretty =
@@ -269,10 +323,21 @@ let run_benchmarks () =
         else Printf.sprintf "%8.0f ns" ns
       in
       Format.printf "%-44s %16s@." name pretty)
-    (List.sort compare rows)
+    rows;
+  if json then write_bench_json ~path:"BENCH_explore.json" rows
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let mode =
+    match List.filter (fun a -> a <> "--json" && a <> "--") args with
+    | [] -> "all"
+    | [ ("tables" | "bench" | "all") as m ] -> m
+    | m :: _ ->
+        Format.eprintf "usage: main.exe [tables|bench|all] [--json]@.";
+        Format.eprintf "unknown mode %S@." m;
+        exit 2
+  in
   if mode = "tables" || mode = "all" then begin
     let verdicts = Core.Experiments.all Format.std_formatter in
     let bad = List.filter (fun v -> not v.Core.Experiments.holds) verdicts in
@@ -281,4 +346,4 @@ let () =
       exit 1
     end
   end;
-  if mode = "bench" || mode = "all" then run_benchmarks ()
+  if mode = "bench" || mode = "all" then run_benchmarks ~json ()

@@ -4,6 +4,7 @@
      experiments    run the E1–E9 reproduction harness
      border         print the solvability-border tables
      simulate       run one algorithm under one adversary, print the run
+     explore        exhaustive schedule-space search (optionally multicore)
      screen         Theorem-1 screening of an algorithm
      paste          execute the Lemma-12 pasting construction
      independence   T-independence check of an algorithm *)
@@ -281,9 +282,155 @@ let simulate_cmd =
       $ adversary_arg $ dead_arg $ save_schedule_arg $ replay_arg
       $ verbose_arg $ check_model_arg)
 
+(* ---------- explore ---------- *)
+
+let explore algo_name n k l wait_for dead crash_budget policy domains
+    max_configs drop_on_crash =
+  let l = Option.value l ~default:(max 1 (n - 1)) in
+  match algo_conv ~l ~wait_for algo_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok (module A) -> (
+      let module Ex = Sim.Explorer.Make (A) in
+      let policy =
+        match policy with
+        | "per-sender" -> Sim.Explorer.Per_sender
+        | "empty-or-all" -> Sim.Explorer.Empty_or_all
+        | "all-subsets" -> Sim.Explorer.All_subsets
+        | p ->
+            Printf.eprintf
+              "unknown policy %S (expected per-sender, empty-or-all, or \
+               all-subsets)\n"
+              p;
+            exit 1
+      in
+      let inputs = Sim.Value.distinct_inputs n in
+      (* safety predicate: at most k distinct decision values *)
+      let check decisions =
+        let distinct =
+          List.sort_uniq Sim.Value.compare
+            (List.map (fun (_, v, _) -> v) decisions)
+        in
+        if List.length distinct > k then
+          Some
+            (Printf.sprintf "%d distinct decisions exceed k=%d"
+               (List.length distinct) k)
+        else None
+      in
+      let domains =
+        match domains with
+        | Some d -> d
+        | None -> Sim.Explorer.default_domains ()
+      in
+      let pp_stats ppf (s : Sim.Explorer.stats) =
+        Format.fprintf ppf "%d configs visited, %d terminal runs%s"
+          s.Sim.Explorer.configs_visited s.Sim.Explorer.terminal_runs
+          (if s.Sim.Explorer.budget_exhausted then " (budget exhausted)"
+           else "")
+      in
+      try
+        if crash_budget = 0 then begin
+          let pattern = Sim.Failure_pattern.initial_dead ~n ~dead in
+          let outcome =
+            if domains > 1 then
+              Ex.explore_par ~domains ?max_configs ~policy ~n ~inputs ~pattern
+                ~check ()
+            else Ex.explore ?max_configs ~policy ~n ~inputs ~pattern ~check ()
+          in
+          match outcome with
+          | Sim.Explorer.Safe stats ->
+              Format.printf "SAFE: %a@." pp_stats stats;
+              0
+          | Sim.Explorer.Violation { reason; depth; _ } ->
+              Format.printf "VIOLATION at depth %d: %s@." depth reason;
+              2
+        end
+        else begin
+          let outcome =
+            if domains > 1 then
+              Ex.explore_with_crashes_par ~domains ?max_configs ~policy
+                ~drop_on_crash ~initially_dead:dead ~n ~inputs
+                ~crash_budget ~check ()
+            else
+              Ex.explore_with_crashes ?max_configs ~policy ~drop_on_crash
+                ~initially_dead:dead ~n ~inputs ~crash_budget ~check ()
+          in
+          match outcome with
+          | Sim.Explorer.All_paths_decide stats ->
+              Format.printf "ALL PATHS DECIDE: %a@." pp_stats stats;
+              0
+          | Sim.Explorer.Safety_violation { reason; _ } ->
+              Format.printf "VIOLATION: %s@." reason;
+              2
+          | Sim.Explorer.Stuck { crashed; undecided_correct; stats } ->
+              Format.printf
+                "STUCK: crashes {%s} strand {%s} undecided — %a@."
+                (String.concat ","
+                   (List.map (Printf.sprintf "p%d") crashed))
+                (String.concat ","
+                   (List.map (Printf.sprintf "p%d") undecided_correct))
+                pp_stats stats;
+              3
+        end
+      with Invalid_argument msg ->
+        prerr_endline ("not explorable: " ^ msg);
+        1)
+
+let crash_budget_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "crash-budget" ] ~docv:"B"
+        ~doc:
+          "Adversarial crashes at any point (0 = schedule/delivery \
+           nondeterminism only).")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt string "per-sender"
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Delivery policy: per-sender, empty-or-all, or all-subsets.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Worker domains for the parallel driver (default: KSA_DOMAINS or \
+           the recommended domain count; 1 = sequential).")
+
+let max_configs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-configs" ] ~docv:"M"
+        ~doc:"Stop after exploring M configurations.")
+
+let drop_on_crash_arg =
+  Arg.(
+    value & flag
+    & info [ "drop-on-crash" ]
+        ~doc:
+          "Also explore dropping each crashed process's pending messages \
+           (last-step omission).")
+
+let explore_cmd =
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively explore the schedule space, checking k-agreement on \
+          every reachable configuration.  Exits 2 on a safety violation, 3 \
+          on an FLP-style stuck configuration.")
+    Term.(
+      const explore $ algo_arg $ n_arg $ k_arg $ l_arg $ wait_arg $ dead_arg
+      $ crash_budget_arg $ policy_arg $ domains_arg $ max_configs_arg
+      $ drop_on_crash_arg)
+
 (* ---------- screen ---------- *)
 
-let screen algo_name n f k l wait_for =
+let screen algo_name n f k l wait_for exhaustive_c =
   let l = Option.value l ~default:(max 1 (n - f)) in
   match algo_conv ~l ~wait_for algo_name with
   | Error e ->
@@ -300,7 +447,8 @@ let screen algo_name n f k l wait_for =
       in
       Format.printf "partition: %a@." Core.Partitioning.pp partition;
       let report =
-        Core.Theorem1.evaluate ~subsystem_crash_budget:1 (module A) ~partition
+        Core.Theorem1.evaluate ~exhaustive_c ~subsystem_crash_budget:1
+          (module A) ~partition
       in
       Format.printf "%a@." Core.Theorem1.pp_report report;
       (match report.Core.Theorem1.portfolio.Core.Theorem1.witness with
@@ -310,13 +458,23 @@ let screen algo_name n f k l wait_for =
       | None -> ());
       if report.Core.Theorem1.verdict = `Not_a_kset_algorithm then 2 else 0
 
+let exhaustive_c_arg =
+  Arg.(
+    value & flag
+    & info [ "exhaustive-c" ]
+        ~doc:
+          "Corroborate condition (C) constructively: exhaustively search \
+           the restricted subsystem \xe2\x9f\xa8D\xcc\x84\xe2\x9f\xa9 for an FLP-style trap.")
+
 let screen_cmd =
   Cmd.v
     (Cmd.info "screen"
        ~doc:
          "Theorem-1 screening: search for (dec-D) witnesses.  Exits 2 when \
           the algorithm is caught.")
-    Term.(const screen $ algo_arg $ n_arg $ f_arg $ k_arg $ l_arg $ wait_arg)
+    Term.(
+      const screen $ algo_arg $ n_arg $ f_arg $ k_arg $ l_arg $ wait_arg
+      $ exhaustive_c_arg)
 
 (* ---------- paste ---------- *)
 
@@ -483,6 +641,7 @@ let main_cmd =
       experiments_cmd;
       border_cmd;
       simulate_cmd;
+      explore_cmd;
       screen_cmd;
       paste_cmd;
       independence_cmd;

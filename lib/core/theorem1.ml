@@ -90,14 +90,51 @@ let screen ?fd ?pattern ?inputs ?(max_steps = 200_000)
     { r_d = []; r_d_dbar = []; witness = None; runs_tried = 0 }
     strategies
 
+type c_witness =
+  [ `Trapped of Pid.t list * Pid.t list
+  | `Subsystem_decides
+  | `Inconclusive of string ]
+
 type report = {
   portfolio : portfolio;
   condition_a : bool;
   condition_b : bool;
   condition_c : bool;
+  condition_c_witness : c_witness option;
   condition_d : bool;
   verdict : [ `Not_a_kset_algorithm | `No_witness ];
 }
+
+(* Condition (C) constructively: condition (C) itself is the border
+   arithmetic ("consensus is unsolvable in ⟨D̄⟩"), but with the
+   crash-adversarial explorer we can now corroborate it for the
+   concrete algorithm — exhaustively search the subsystem in which
+   Π∖D̄ is initially dead and the adversary may crash up to the
+   subsystem budget more processes, and exhibit a configuration from
+   which no continuation decides (the FLP-style trap the arithmetic
+   predicts). *)
+let validate_condition_c_exhaustive ?(max_configs = 500_000) ?inputs
+    (module A : Ksa_sim.Algorithm.S) ~(partition : Partitioning.t)
+    ~subsystem_crash_budget : c_witness =
+  let module Ex = Ksa_sim.Explorer.Make (A) in
+  let n = partition.Partitioning.n in
+  let d = Partitioning.d_union partition in
+  let inputs = Option.value inputs ~default:(Value.distinct_inputs n) in
+  match
+    Ex.explore_with_crashes ~max_configs ~n ~inputs ~initially_dead:d
+      ~crash_budget:subsystem_crash_budget
+      ~check:(fun _ -> None)
+      ()
+  with
+  | Ksa_sim.Explorer.Stuck { crashed; undecided_correct; _ } ->
+      `Trapped
+        (List.filter (fun p -> not (List.mem p d)) crashed, undecided_correct)
+  | Ksa_sim.Explorer.All_paths_decide stats ->
+      if stats.Ksa_sim.Explorer.budget_exhausted then
+        `Inconclusive "exploration budget exhausted"
+      else `Subsystem_decides
+  | Ksa_sim.Explorer.Safety_violation { reason; _ } ->
+      `Inconclusive ("safety violation during subsystem search: " ^ reason)
 
 (* Condition (D) by construction: run the restricted algorithm A|D̄
    in the restricted system (everyone else initially dead), run the
@@ -134,7 +171,8 @@ let validate_condition_d ?fd ?inputs ~max_steps ~seeds
     seeds
 
 let evaluate ?fd ?pattern ?inputs ?(max_steps = 200_000)
-    ?(seeds = [ 1; 2; 3; 4; 5 ]) ~subsystem_crash_budget
+    ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(exhaustive_c = false)
+    ?exhaustive_c_configs ~subsystem_crash_budget
     (module A : Ksa_sim.Algorithm.S) ~(partition : Partitioning.t) =
   let portfolio =
     screen ?fd ?pattern ?inputs ~max_steps (module A) ~partition
@@ -150,6 +188,13 @@ let evaluate ?fd ?pattern ?inputs ?(max_steps = 200_000)
       ~n_subsystem:(List.length partition.Partitioning.dbar)
       ~crashes:subsystem_crash_budget
   in
+  let condition_c_witness =
+    if not (exhaustive_c && A.uses_fd = false) then None
+    else
+      Some
+        (validate_condition_c_exhaustive ?max_configs:exhaustive_c_configs
+           ?inputs (module A) ~partition ~subsystem_crash_budget)
+  in
   let condition_d =
     validate_condition_d ?fd ?inputs ~max_steps ~seeds (module A) ~partition
   in
@@ -158,7 +203,15 @@ let evaluate ?fd ?pattern ?inputs ?(max_steps = 200_000)
       `Not_a_kset_algorithm
     else `No_witness
   in
-  { portfolio; condition_a; condition_b; condition_c; condition_d; verdict }
+  {
+    portfolio;
+    condition_a;
+    condition_b;
+    condition_c;
+    condition_c_witness;
+    condition_d;
+    verdict;
+  }
 
 let pp_report ppf r =
   let yn ppf b = Format.pp_print_string ppf (if b then "yes" else "no") in
@@ -170,4 +223,19 @@ let pp_report ppf r =
     (match r.verdict with
     | `Not_a_kset_algorithm ->
         "NOT a k-set agreement algorithm (Theorem 1 applies)"
-    | `No_witness -> "no Theorem-1 witness found")
+    | `No_witness -> "no Theorem-1 witness found");
+  match r.condition_c_witness with
+  | None -> ()
+  | Some `Subsystem_decides ->
+      Format.fprintf ppf
+        "@.(C, exhaustive) subsystem search: all paths decide — no trap found"
+  | Some (`Inconclusive reason) ->
+      Format.fprintf ppf "@.(C, exhaustive) inconclusive: %s" reason
+  | Some (`Trapped (crashes, undecided)) ->
+      Format.fprintf ppf
+        "@.(C, exhaustive) ⟨D̄⟩ trap witness: crashes {%s} strand {%s} \
+         undecided"
+        (String.concat ","
+           (List.map (fun p -> Printf.sprintf "p%d" p) crashes))
+        (String.concat ","
+           (List.map (fun p -> Printf.sprintf "p%d" p) undecided))

@@ -56,6 +56,17 @@ val screen :
     orders, partition-with-delays) on the given algorithm with
     distinct inputs by default, classifying every produced run. *)
 
+type c_witness =
+  [ `Trapped of Pid.t list * Pid.t list
+    (** (extra crashes beyond the initially-dead D, stranded undecided
+        processes of D̄): a reachable configuration of the restricted
+        subsystem from which no continuation decides — the FLP-style
+        trap condition (C)'s arithmetic predicts, found exhaustively. *)
+  | `Subsystem_decides
+    (** The exhaustive subsystem search found no trap: every reachable
+        configuration can still reach decision-completeness. *)
+  | `Inconclusive of string ]
+
 type report = {
   portfolio : portfolio;
   condition_a : bool;  (** R(D) ≠ ∅ (some run satisfies (dec-D)). *)
@@ -65,6 +76,10 @@ type report = {
   condition_c : bool;
       (** Consensus unsolvable in M' = ⟨D̄⟩, from the border
           arithmetic given the subsystem crash budget. *)
+  condition_c_witness : c_witness option;
+      (** Constructive corroboration of (C) by the crash-adversarial
+          explorer run on the subsystem (Π∖D̄ initially dead);
+          [None] unless [evaluate ~exhaustive_c:true]. *)
   condition_d : bool;
       (** Validated by construction: the restricted algorithm A|D̄
           run in ⟨D̄⟩ is reproduced, state-for-state for D̄, by a
@@ -75,15 +90,34 @@ type report = {
           any model admitting these runs. *)
 }
 
+val validate_condition_c_exhaustive :
+  ?max_configs:int ->
+  ?inputs:Value.t array ->
+  (module Ksa_sim.Algorithm.S) ->
+  partition:Partitioning.t ->
+  subsystem_crash_budget:int ->
+  c_witness
+(** Exhaustive constructive check behind [~exhaustive_c]: explore the
+    system with D initially dead and up to [subsystem_crash_budget]
+    adversarial crashes in D̄, classifying whether the algorithm can
+    be trapped ([`Trapped]) — requires a failure-detector-free
+    algorithm.  [max_configs] defaults to 500_000. *)
+
 val evaluate :
   ?fd:Ksa_sim.Fd_view.oracle ->
   ?pattern:Ksa_sim.Failure_pattern.t ->
   ?inputs:Value.t array ->
   ?max_steps:int ->
   ?seeds:int list ->
+  ?exhaustive_c:bool ->
+  ?exhaustive_c_configs:int ->
   subsystem_crash_budget:int ->
   (module Ksa_sim.Algorithm.S) ->
   partition:Partitioning.t ->
   report
+(** [~exhaustive_c] (default false) additionally runs
+    {!validate_condition_c_exhaustive} (skipped for failure-detector
+    algorithms, which the explorer cannot soundly deduplicate) and
+    records the result in [condition_c_witness]. *)
 
 val pp_report : Format.formatter -> report -> unit

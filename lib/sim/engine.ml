@@ -1,49 +1,135 @@
 module Int_map = Map.Make (Int)
 
 module Make (A : Algorithm.S) = struct
+  (* Per-pid data lives in plain arrays under a copy-on-write
+     discipline: every step copies the (tiny) array before writing, so
+     configurations remain immutable and forkable while per-step
+     access is O(1) with no balanced-tree overhead. *)
   type config = {
     n : int;
     inputs : Value.t array;
     time : int;
-    states : A.state Pid.Map.t;
-    decided : (Value.t * int) Pid.Map.t;
-    pending : A.message Envelope.t Int_map.t;
+    states : A.state array; (* copy-on-write *)
+    decided : (Value.t * int) option array; (* copy-on-write *)
+    pending : (A.message Envelope.t * int) Int_map.t;
+        (* envelope, paired in exploration mode with the packed
+           (src, dst, payload id) triple the key builder needs —
+           precomputed once at send time (0 when not exploring) *)
+    inbox : A.message Envelope.t list array;
+        (* per-destination index over [pending], newest first;
+           copy-on-write.  Kept in lockstep with [pending] so the
+           explorer's per-process delivery choices are O(|buffer(p)|)
+           instead of O(|pending|). *)
+    steps : int array; (* per-pid step counts; copy-on-write *)
     next_id : int;
-    events : Event.t list; (* reversed *)
+    state_ids : int array option;
+        (* [Some] iff exploration mode: per-pid interned state ids
+           (copy-on-write), maintained incrementally — only the
+           stepping pid's state is re-interned.  Also the flag that
+           disables the event log and per-step state digests. *)
+    events : Event.t list; (* reversed; empty in exploration mode *)
   }
 
   exception Invalid_action of string
   exception Double_decision of Pid.t
 
-  let init ~n ~inputs =
+  (* Structurally distinct states and payloads are interned to dense
+     integers, so a configuration key is an exact sequence of small
+     ints — no hash collision can conflate distinct configurations
+     (the tables resolve generic-hash collisions with structural
+     equality, exactly the equality [Marshal]-blob keys provided).
+     The registry is shared by every domain running on this functor
+     instance; the mutex keeps it coherent under [Explorer.explore_par]
+     and keeps interned ids comparable across domains. *)
+  let intern_lock = Mutex.create ()
+  let state_tbl : (A.state, int) Hashtbl.t = Hashtbl.create 4096
+  let payload_tbl : (A.message, int) Hashtbl.t = Hashtbl.create 4096
+
+  let intern (tbl : ('a, int) Hashtbl.t) (v : 'a) =
+    Mutex.lock intern_lock;
+    let id =
+      match Hashtbl.find_opt tbl v with
+      | Some id -> id
+      | None ->
+          let id = Hashtbl.length tbl in
+          Hashtbl.add tbl v id;
+          id
+    in
+    Mutex.unlock intern_lock;
+    id
+
+  (* A pending message packs into a single int: src in bits 51..61,
+     dst in bits 40..50, payload id in bits 0..39.  The widths are far
+     beyond any explorable system (n < 2048; 2^40 distinct payloads
+     would not fit in memory), and packed triples sort and compare as
+     plain ints. *)
+  let pack_triple src dst pl = (src lsl 51) lor (dst lsl 40) lor pl
+  let payload_mask = (1 lsl 40) - 1
+
+  (* Transition memo.  In exploration mode a step is a pure function
+     of (local state, received sequence) — the algorithm is a
+     deterministic automaton and failure-detector algorithms are not
+     explorable — and the DFS re-executes the same local transition
+     under thousands of different global configurations.  Keyed by
+     interned ids, so hits skip [A.step] and every intern call.  One
+     table per domain (domain-local storage): no synchronisation. *)
+  type memo_entry = {
+    m_state : A.state;
+    m_state_id : int;
+    m_sends : (Pid.t * A.message * int) list; (* dst, payload, payload id *)
+    m_dec : Value.t option;
+  }
+
+  let memo_dls : (int * (int * int) list, memo_entry) Hashtbl.t Domain.DLS.key
+      =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
+  let make_init ~explore ~n ~inputs =
     if Array.length inputs <> n then invalid_arg "Engine.init: inputs length";
-    let states =
-      List.fold_left
-        (fun acc p -> Pid.Map.add p (A.init ~n ~me:p ~input:inputs.(p)) acc)
-        Pid.Map.empty (Pid.universe n)
+    let states = Array.init n (fun p -> A.init ~n ~me:p ~input:inputs.(p)) in
+    let state_ids =
+      if explore then Some (Array.map (intern state_tbl) states) else None
     in
     {
       n;
       inputs = Array.copy inputs;
       time = 0;
       states;
-      decided = Pid.Map.empty;
+      decided = Array.make n None;
       pending = Int_map.empty;
+      inbox = Array.make n [];
+      steps = Array.make n 0;
       next_id = 0;
+      state_ids;
       events = [];
     }
 
+  let init ~n ~inputs = make_init ~explore:false ~n ~inputs
+
+  let init_explore ~n ~inputs = make_init ~explore:true ~n ~inputs
+  (* Exploration mode: skip the event log and per-step state digests —
+     configurations stay small and forkable by the million. *)
+
   let time c = c.time
   let n c = c.n
-  let state_of c p = Pid.Map.find p c.states
-  let decision_of c p = Option.map fst (Pid.Map.find_opt p c.decided)
+  let state_of c p = c.states.(p)
+  let decision_of c p = Option.map fst c.decided.(p)
 
   let decisions c =
-    Pid.Map.fold (fun p (v, t) acc -> (p, v, t) :: acc) c.decided []
-    |> List.sort compare
+    let acc = ref [] in
+    for p = c.n - 1 downto 0 do
+      match c.decided.(p) with
+      | Some (v, t) -> acc := (p, v, t) :: !acc
+      | None -> ()
+    done;
+    !acc
 
-  let pending c = List.map snd (Int_map.bindings c.pending)
+  let pending c = List.map (fun (_, (e, _)) -> e) (Int_map.bindings c.pending)
   let events c = List.rev c.events
+  let steps_taken c p = c.steps.(p)
+
+  let inbox c p =
+    List.rev_map (fun (e : A.message Envelope.t) -> (e.id, e.src)) c.inbox.(p)
 
   let observe ~pattern c =
     {
@@ -56,10 +142,7 @@ module Make (A : Algorithm.S) = struct
           (pending c);
       decided = List.map (fun (p, v, _) -> (p, v)) (decisions c);
       pattern;
-      steps_taken =
-        (fun p ->
-          List.length
-            (List.filter (fun (ev : Event.t) -> Pid.equal ev.pid p) c.events));
+      steps_taken = (fun p -> c.steps.(p));
     }
 
   let check_deliverable c pid ids =
@@ -68,12 +151,12 @@ module Make (A : Algorithm.S) = struct
         match Int_map.find_opt id c.pending with
         | None ->
             raise (Invalid_action (Printf.sprintf "message #%d not pending" id))
-        | Some e ->
+        | Some ((e : A.message Envelope.t), _) as pair ->
             if not (Pid.equal e.dst pid) then
               raise
                 (Invalid_action
                    (Printf.sprintf "message #%d not addressed to p%d" id pid));
-            e)
+            Option.get pair)
       (List.sort_uniq compare ids)
 
   let exec_step ?fd ~pattern c pid ids =
@@ -87,9 +170,28 @@ module Make (A : Algorithm.S) = struct
              (Printf.sprintf "p%d crashed at %d, cannot step at %d" pid ct
                 next_time))
     | Some _ | None -> ());
-    let envs = check_deliverable c pid ids in
-    let received =
-      List.map (fun (e : A.message Envelope.t) -> (e.src, e.payload)) envs
+    let env_pairs = check_deliverable c pid ids in
+    (* Exploration mode folds a delivered batch in canonical
+       (sender, payload) order rather than message-id order.  Ids
+       encode one particular send interleaving; two configurations
+       that agree on the content key can carry the same pending
+       multiset under different id orders, and an id-order fold would
+       give them diverging successors — the visited set would then
+       depend on which representative the search expands first, and
+       sequential and parallel drivers would disagree.  With a
+       canonical fold the successor keys are a function of the
+       configuration key alone, so every search order computes the
+       same closure.  Recorded (non-exploration) runs keep the
+       id-order fold. *)
+    let env_pairs =
+      match c.state_ids with
+      | Some _ when not A.uses_fd ->
+          List.sort
+            (fun ((a : A.message Envelope.t), _)
+                 ((b : A.message Envelope.t), _) ->
+              compare (a.src, a.payload) (b.src, b.payload))
+            env_pairs
+      | _ -> env_pairs
     in
     let fd_view =
       if A.uses_fd then
@@ -99,67 +201,157 @@ module Make (A : Algorithm.S) = struct
         | Some oracle -> Some (oracle ~time:next_time ~me:pid)
       else None
     in
-    let state = Pid.Map.find pid c.states in
-    let state', sends, dec = A.step state ~received ~fd:fd_view in
+    let state = c.states.(pid) in
+    (* [sends3] carries the interned payload id per send (from the
+       memo or a fresh intern); -1 when unknown (non-exploration or
+       failure-detector paths). *)
+    let state', sends3, dec, state_id' =
+      match c.state_ids with
+      | Some sids when not A.uses_fd -> (
+          let mkey =
+            ( sids.(pid),
+              List.map
+                (fun ((e : A.message Envelope.t), t) ->
+                  (e.src, t land payload_mask))
+                env_pairs )
+          in
+          let memo = Domain.DLS.get memo_dls in
+          match Hashtbl.find_opt memo mkey with
+          | Some m -> (m.m_state, m.m_sends, m.m_dec, m.m_state_id)
+          | None ->
+              let received =
+                List.map
+                  (fun ((e : A.message Envelope.t), _) -> (e.src, e.payload))
+                  env_pairs
+              in
+              let state', sends, dec = A.step state ~received ~fd:None in
+              let sends3 =
+                List.map
+                  (fun (dst, payload) ->
+                    (dst, payload, intern payload_tbl payload))
+                  sends
+              in
+              let sid = intern state_tbl state' in
+              Hashtbl.add memo mkey
+                { m_state = state'; m_state_id = sid; m_sends = sends3;
+                  m_dec = dec };
+              (state', sends3, dec, sid))
+      | _ ->
+          let received =
+            List.map
+              (fun ((e : A.message Envelope.t), _) -> (e.src, e.payload))
+              env_pairs
+          in
+          let state', sends, dec = A.step state ~received ~fd:fd_view in
+          (state', List.map (fun (dst, p) -> (dst, p, -1)) sends, dec, -1)
+    in
     let pending =
       List.fold_left
-        (fun acc (e : A.message Envelope.t) -> Int_map.remove e.id acc)
-        c.pending envs
+        (fun acc ((e : A.message Envelope.t), _) -> Int_map.remove e.id acc)
+        c.pending env_pairs
     in
+    let inbox = Array.copy c.inbox in
+    (* delivered messages were all addressed to [pid]: one filter of
+       its buffer keeps the inbox index in sync *)
+    (match env_pairs with
+    | [] -> ()
+    | _ ->
+        inbox.(pid) <-
+          List.filter
+            (fun (e : A.message Envelope.t) ->
+              not
+                (List.exists
+                   (fun ((d : A.message Envelope.t), _) -> d.id = e.id)
+                   env_pairs))
+            inbox.(pid));
+    let exploring = c.state_ids <> None in
     let pending, next_id, sent_refs =
       List.fold_left
-        (fun (pend, id, refs) (dst, payload) ->
+        (fun (pend, id, refs) (dst, payload, plid) ->
           if not (Pid.valid ~n:c.n dst) then
             raise (Invalid_action (Printf.sprintf "send to invalid pid p%d" dst));
           let e =
             { Envelope.id; src = pid; dst; sent_at = next_time; payload }
           in
-          (Int_map.add id e pend, id + 1, (id, dst) :: refs))
+          inbox.(dst) <- e :: inbox.(dst);
+          let triple =
+            if not exploring then 0
+            else
+              pack_triple pid dst
+                (if plid >= 0 then plid else intern payload_tbl payload)
+          in
+          (Int_map.add id (e, triple) pend, id + 1, (id, dst) :: refs))
         (pending, c.next_id, [])
-        sends
+        sends3
     in
     let decided =
       match dec with
       | None -> c.decided
       | Some v -> (
-          match Pid.Map.find_opt pid c.decided with
-          | None -> Pid.Map.add pid (v, next_time) c.decided
+          match c.decided.(pid) with
+          | None ->
+              let d = Array.copy c.decided in
+              d.(pid) <- Some (v, next_time);
+              d
           | Some (v0, _) ->
               if Value.equal v v0 then c.decided else raise (Double_decision pid))
     in
-    let event =
-      {
-        Event.time = next_time;
-        pid;
-        delivered =
-          List.map (fun (e : A.message Envelope.t) -> (e.id, e.src)) envs;
-        sent = List.rev sent_refs;
-        decision =
-          (match dec with
-          | Some v when not (Pid.Map.mem pid c.decided) -> Some v
-          | Some _ | None -> None);
-        state_digest = Digest.string (Marshal.to_string state' []);
-      }
+    let events =
+      if exploring then []
+      else
+        {
+          Event.time = next_time;
+          pid;
+          delivered =
+            List.map
+              (fun ((e : A.message Envelope.t), _) -> (e.id, e.src))
+              env_pairs;
+          sent = List.rev sent_refs;
+          decision =
+            (match dec with
+            | Some v when c.decided.(pid) = None -> Some v
+            | Some _ | None -> None);
+          state_digest = Digest.string (Marshal.to_string state' []);
+        }
+        :: c.events
     in
+    let state_ids =
+      match c.state_ids with
+      | None -> None
+      | Some sids ->
+          (* only [pid]'s state changed: one intern per step (memo
+             hits skip even that), not one per process per key *)
+          let sids = Array.copy sids in
+          sids.(pid) <-
+            (if state_id' >= 0 then state_id' else intern state_tbl state');
+          Some sids
+    in
+    let states = Array.copy c.states in
+    states.(pid) <- state';
+    let steps = Array.copy c.steps in
+    steps.(pid) <- steps.(pid) + 1;
     {
       c with
       time = next_time;
-      states = Pid.Map.add pid state' c.states;
+      states;
       decided;
       pending;
+      inbox;
+      steps;
       next_id;
-      events = event :: c.events;
+      state_ids;
+      events;
     }
 
   let exec_drop ~pattern c ids =
     if ids = [] then raise (Invalid_action "empty drop");
-    let pending =
+    let pending, dropped =
       List.fold_left
-        (fun acc id ->
+        (fun (acc, dropped) id ->
           match Int_map.find_opt id acc with
           | None ->
               raise (Invalid_action (Printf.sprintf "drop: message #%d not pending" id))
-          | Some (e : A.message Envelope.t) ->
+          | Some ((e : A.message Envelope.t), _) ->
               if not (Failure_pattern.is_crashed pattern e.src ~time:c.time)
               then
                 raise
@@ -167,10 +359,18 @@ module Make (A : Algorithm.S) = struct
                      (Printf.sprintf
                         "drop: sender p%d of message #%d has not crashed" e.src
                         id))
-              else Int_map.remove id acc)
-        c.pending ids
+              else (Int_map.remove id acc, e :: dropped))
+        (c.pending, []) ids
     in
-    { c with pending }
+    let inbox = Array.copy c.inbox in
+    List.iter
+      (fun (e : A.message Envelope.t) ->
+        inbox.(e.dst) <-
+          List.filter
+            (fun (m : A.message Envelope.t) -> m.id <> e.id)
+            inbox.(e.dst))
+      dropped;
+    { c with pending; inbox }
 
   let apply ?fd ~pattern c = function
     | Adversary.Halt -> None
@@ -191,7 +391,7 @@ module Make (A : Algorithm.S) = struct
       (adv : Adversary.t) =
     let all_correct_decided c =
       List.for_all
-        (fun p -> Pid.Map.mem p c.decided)
+        (fun p -> c.decided.(p) <> None)
         (Failure_pattern.correct pattern)
     in
     let rec loop c steps_left =
@@ -220,14 +420,68 @@ module Make (A : Algorithm.S) = struct
   let run ?max_steps ?fd ~n ~inputs ~pattern adv =
     fst (run_full ?max_steps ?fd ~n ~inputs ~pattern adv)
 
-  let fingerprint c =
-    let states = Pid.Map.bindings c.states in
-    let decided = List.map (fun (p, (v, _)) -> (p, v)) (Pid.Map.bindings c.decided) in
-    let msgs =
-      List.sort compare
-        (List.map
-           (fun (e : A.message Envelope.t) -> (e.src, e.dst, e.payload))
-           (pending c))
+  (* ---- canonical configuration keys ---- *)
+
+  type key = string
+
+  let key ?(extra = 0) c =
+    let n = c.n in
+    let m = Int_map.cardinal c.pending in
+    let triples = Array.make m 0 in
+    let sids =
+      match c.state_ids with
+      | Some sids ->
+          let i = ref 0 in
+          Int_map.iter
+            (fun _ (_, t) ->
+              triples.(!i) <- t;
+              incr i)
+            c.pending;
+          sids
+      | None ->
+          (* non-exploration configs (e.g. fingerprinting a recorded
+             run): intern on the fly *)
+          let i = ref 0 in
+          Int_map.iter
+            (fun _ ((e : A.message Envelope.t), _) ->
+              triples.(!i) <-
+                pack_triple e.src e.dst (intern payload_tbl e.payload);
+              incr i)
+            c.pending;
+          Array.map (intern state_tbl) c.states
     in
-    Marshal.to_string (states, decided, msgs) []
+    Array.sort (fun (a : int) b -> compare a b) triples;
+    let m = Array.length triples in
+    let d = ref 0 in
+    for p = 0 to n - 1 do
+      if c.decided.(p) <> None then incr d
+    done;
+    (* exact little-endian int sequence: extra; per-pid state ids;
+       |decided|; (pid, value) pairs; |pending|; sorted triples —
+       key equality iff semantic cores are structurally equal *)
+    let b = Bytes.create (8 * (3 + n + (2 * !d) + m)) in
+    let pos = ref 0 in
+    let add i =
+      Bytes.set_int64_le b !pos (Int64.of_int i);
+      pos := !pos + 8
+    in
+    add extra;
+    for p = 0 to n - 1 do
+      add sids.(p)
+    done;
+    add !d;
+    for p = 0 to n - 1 do
+      match c.decided.(p) with
+      | Some (v, _) ->
+          add p;
+          add v
+      | None -> ()
+    done;
+    add m;
+    Array.iter add triples;
+    Bytes.unsafe_to_string b
+
+  let key_equal = String.equal
+  let key_hash = Hashtbl.hash
+  let fingerprint c = key c
 end

@@ -32,6 +32,24 @@ module Make (A : Algorithm.S) : sig
       all buffers empty.  @raise Invalid_argument if the input vector
       length differs from [n]. *)
 
+  val init_explore : n:int -> inputs:Value.t array -> config
+  (** Like {!init} but in exploration mode: the configuration does not
+      accumulate an event log (and skips the per-step state digest), so
+      forked configurations stay small.  {!events} returns [[]] and
+      {!finish} produces a run with an empty event list; everything
+      else behaves identically except for one semantic choice: a batch
+      of deliveries in a single step is folded into [A.step] in
+      canonical (sender, payload) order rather than message-id order.
+      Message ids encode one particular send interleaving, so under
+      an id-order fold two configurations equal under {!key} could
+      step to configurations that are not — the visited set of a
+      keyed search would then depend on traversal order.  With the
+      canonical fold, successor keys are a function of the
+      configuration key alone, which is what makes {!Explorer}'s
+      deduplication sound and its sequential and parallel drivers
+      agree exactly.  This is what the {!Explorer} forks by the
+      million. *)
+
   val time : config -> int
   val n : config -> int
   val state_of : config -> Pid.t -> A.state
@@ -39,7 +57,17 @@ module Make (A : Algorithm.S) : sig
   val decisions : config -> (Pid.t * Value.t * int) list
   val pending : config -> A.message Envelope.t list
   val events : config -> Event.t list
-  (** Chronological event log of the prefix executed so far. *)
+  (** Chronological event log of the prefix executed so far
+      (empty in exploration mode). *)
+
+  val steps_taken : config -> Pid.t -> int
+  (** Number of steps the process has executed, maintained
+      incrementally — O(1), never a rescan of the event log. *)
+
+  val inbox : config -> Pid.t -> (int * Pid.t) list
+  (** [(id, src)] of the pending messages addressed to a process, in
+      sending order — served from a per-destination index maintained
+      by {!apply}, O(|buffer(p)|) rather than O(|pending|). *)
 
   val observe : pattern:Failure_pattern.t -> config -> Adversary.obs
 
@@ -70,13 +98,31 @@ module Make (A : Algorithm.S) : sig
       explorer and by run-surgery code that calls {!apply} itself);
       inputs are recovered from the initial configuration. *)
 
-  val fingerprint : config -> string
-  (** Canonical digest of the semantic core of a configuration: local
+  type key = string
+  (** Compact canonical key of a configuration: local states and
+      message payloads are interned to dense integers in a registry
+      shared across the functor instance (and across domains — the
+      registry is mutex-protected), and the key is the exact packed
+      sequence of those integers.  Equality of keys therefore holds
+      {e iff} the semantic cores are structurally equal: no hash
+      collision can conflate two distinct configurations, unlike a
+      truncated digest. *)
+
+  val key : ?extra:int -> config -> key
+  (** Canonical key of the semantic core of a configuration: local
       states, decided outputs and the multiset of undelivered
       (src, dst, payload) triples — deliberately excluding time and
       message ids, so that schedule-permuted but behaviourally
-      identical configurations collide.  Sound for state-space
-      deduplication only when future behaviour is time-independent:
-      no failure detector and no crash times later than 0.  The
-      {!Explorer} checks these conditions. *)
+      identical configurations collide.  [extra] is folded into the
+      key (the crash explorer passes its crashed-set bitmask).  Sound
+      for state-space deduplication only when future behaviour is
+      time-independent: no failure detector and no crash times later
+      than 0.  The {!Explorer} checks these conditions. *)
+
+  val key_equal : key -> key -> bool
+  val key_hash : key -> int
+
+  val fingerprint : config -> string
+  (** [fingerprint c = key c]; kept for callers that want an opaque
+      string digest. *)
 end

@@ -22,43 +22,57 @@ type resilient_outcome =
       stats : stats;
     }
 
+let default_domains () =
+  match Sys.getenv_opt "KSA_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | Some _ | None -> 1)
+  | None -> Domain.recommended_domain_count ()
+
 module Make (A : Algorithm.S) = struct
   module E = Engine.Make (A)
 
   exception Found of (Pid.t * Value.t * int) list * string * int
 
+  (* All 2^|xs| sublists, built with rev_append/rev_map only: linear
+     in the size of the output, no quadratic [acc @ ...] rebuilding. *)
   let subsets xs =
     List.fold_left
-      (fun acc x -> acc @ List.map (fun s -> x :: s) acc)
+      (fun acc x -> List.rev_append (List.rev_map (fun s -> x :: s) acc) acc)
       [ [] ] xs
 
-  (* Delivery choices for [pid]: lists of message ids. *)
-  let choices policy (obs : Adversary.obs) pid =
-    let mine = List.filter (fun (m : Adversary.pending) -> m.dst = pid) obs.pending in
-    let ids = List.map (fun (m : Adversary.pending) -> m.id) mine in
+  (* Delivery choices for a process whose buffer holds [mine]
+     ((id, src) pairs in sending order): lists of message ids.
+     Single pass over the buffer for every policy. *)
+  let choices policy mine =
     match policy with
-    | Empty_or_all -> if ids = [] then [ [] ] else [ []; ids ]
+    | Empty_or_all -> (
+        match mine with [] -> [ [] ] | _ -> [ []; List.map fst mine ])
     | Per_sender ->
-        let senders =
-          List.sort_uniq compare
-            (List.map (fun (m : Adversary.pending) -> m.src) mine)
-        in
+        let buckets : (Pid.t, int list ref) Hashtbl.t = Hashtbl.create 8 in
+        let senders = ref [] in
+        List.iter
+          (fun (id, src) ->
+            match Hashtbl.find_opt buckets src with
+            | Some l -> l := id :: !l
+            | None ->
+                Hashtbl.add buckets src (ref [ id ]);
+                senders := src :: !senders)
+          mine;
+        let senders = List.rev !senders in
         let per_sender =
-          List.map
-            (fun s ->
-              List.filter_map
-                (fun (m : Adversary.pending) ->
-                  if m.src = s then Some m.id else None)
-                mine)
-            senders
+          List.map (fun s -> List.rev !(Hashtbl.find buckets s)) senders
         in
-        let all = if List.length senders > 1 then [ ids ] else [] in
+        let all =
+          match senders with
+          | _ :: _ :: _ -> [ List.map fst mine ]
+          | _ -> []
+        in
         ([] :: per_sender) @ all
-    | All_subsets -> subsets ids
+    | All_subsets -> subsets (List.map fst mine)
 
-  let explore ?(max_depth = 200) ?(max_configs = 2_000_000)
-      ?(policy = Per_sender) ?(on_terminal = fun _ -> ()) ~n ~inputs ~pattern
-      ~check () =
+  let require_explorable ~n ~pattern =
     if A.uses_fd then
       invalid_arg "Explorer: algorithms with failure detectors are unsupported";
     if
@@ -68,16 +82,37 @@ module Make (A : Algorithm.S) = struct
           | Some t when t > 0 -> true
           | Some _ | None -> false)
         (Pid.universe n)
-    then invalid_arg "Explorer: only initial crashes are supported";
-    let seen = Hashtbl.create 65_536 in
+    then invalid_arg "Explorer: only initial crashes are supported"
+
+  (* Successors of a non-terminal configuration under [policy]: every
+     (stepper, delivery-choice) pair.  [steppers] is constant over the
+     whole search because only initial crashes are admitted. *)
+  let schedule_successors ~policy ~pattern ~steppers config k =
+    List.iter
+      (fun pid ->
+        let mine = E.inbox config pid in
+        List.iter
+          (fun deliver ->
+            match E.apply ~pattern config (Adversary.Step { pid; deliver }) with
+            | Some config' -> k config'
+            | None -> assert false)
+          (choices policy mine))
+      steppers
+
+  (* ---- sequential exhaustive exploration ---- *)
+
+  let explore ?(max_depth = 200) ?(max_configs = 2_000_000)
+      ?(policy = Per_sender) ?(on_terminal = fun _ -> ()) ~n ~inputs ~pattern
+      ~check () =
+    require_explorable ~n ~pattern;
+    let seen : (E.key, unit) Hashtbl.t = Hashtbl.create 65_536 in
     let visited = ref 0 in
     let terminals = ref 0 in
     let exhausted = ref false in
     let correct = Failure_pattern.correct pattern in
     let rec dfs config depth =
-      let key = E.fingerprint config in
-      if Hashtbl.mem seen key then ()
-      else begin
+      let key = E.key config in
+      if not (Hashtbl.mem seen key) then begin
         Hashtbl.add seen key ();
         incr visited;
         if !visited >= max_configs then exhausted := true;
@@ -95,22 +130,11 @@ module Make (A : Algorithm.S) = struct
         else if depth >= max_depth || !visited >= max_configs then
           exhausted := true
         else
-          let obs = E.observe ~pattern config in
-          let steppers = Adversary.alive obs in
-          List.iter
-            (fun pid ->
-              List.iter
-                (fun deliver ->
-                  match
-                    E.apply ~pattern config (Adversary.Step { pid; deliver })
-                  with
-                  | Some config' -> dfs config' (depth + 1)
-                  | None -> assert false)
-                (choices policy obs pid))
-            steppers
+          schedule_successors ~policy ~pattern ~steppers:correct config
+            (fun config' -> dfs config' (depth + 1))
       end
     in
-    match dfs (E.init ~n ~inputs) 0 with
+    match dfs (E.init_explore ~n ~inputs) 0 with
     | () ->
         Safe
           {
@@ -121,176 +145,584 @@ module Make (A : Algorithm.S) = struct
     | exception Found (decisions, reason, depth) ->
         Violation { decisions; reason; depth }
 
-  (* ---- crash-adversarial exploration ---- *)
+  (* ---- parallel exhaustive exploration ---- *)
 
-  type node = {
-    config : E.config;
-    crashed : Pid.t list; (* sorted *)
-    key : string;
-  }
+  (* Fans the first levels of the DFS across domains.  The visited set
+     of a complete DFS is exactly the set of reachable configurations,
+     so per-domain searches with private seen-tables merged by key
+     union return the same stats and verdict as [explore] whenever no
+     budget truncates the search (configuration keys are content-based
+     and therefore comparable across domains).  [check] runs
+     concurrently and must be thread-safe. *)
+  let explore_par ?domains ?(max_depth = 200) ?(max_configs = 2_000_000)
+      ?(policy = Per_sender) ?(on_terminal = fun _ -> ()) ~n ~inputs ~pattern
+      ~check () =
+    require_explorable ~n ~pattern;
+    let domains =
+      max 1 (match domains with Some d -> d | None -> default_domains ())
+    in
+    let correct = Failure_pattern.correct pattern in
+    let steppers = correct in
+    (* breadth-first prefix: expand until the frontier is wide enough
+       to keep every domain busy *)
+    let target_frontier = domains * 8 in
+    let seen0 : (E.key, unit) Hashtbl.t = Hashtbl.create 1024 in
+    let terminals0 : (E.key, (Pid.t * Value.t * int) list) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let exhausted0 = ref false in
+    let frontier = Queue.create () in
+    Queue.add (E.init_explore ~n ~inputs, 0) frontier;
+    let prefix_violation = ref None in
+    (* expand BFS nodes until wide enough (or done, or a violation) *)
+    (try
+       while
+         !prefix_violation = None
+         && Queue.length frontier < target_frontier
+         && not (Queue.is_empty frontier)
+       do
+         let config, depth = Queue.pop frontier in
+         let key = E.key config in
+         if not (Hashtbl.mem seen0 key) then begin
+           Hashtbl.add seen0 key ();
+           let decisions = E.decisions config in
+           (match check decisions with
+           | Some reason -> raise (Found (decisions, reason, depth))
+           | None -> ());
+           let done_ =
+             List.for_all (fun p -> E.decision_of config p <> None) correct
+           in
+           if done_ then Hashtbl.replace terminals0 key decisions
+           else if depth >= max_depth || Hashtbl.length seen0 >= max_configs
+           then exhausted0 := true
+           else
+             schedule_successors ~policy ~pattern ~steppers config
+               (fun config' -> Queue.add (config', depth + 1) frontier)
+         end
+       done
+     with Found (decisions, reason, depth) ->
+       prefix_violation := Some (decisions, reason, depth));
+    match !prefix_violation with
+    | Some (decisions, reason, depth) -> Violation { decisions; reason; depth }
+    | None ->
+        let frontier_items = List.of_seq (Queue.to_seq frontier) in
+        let visited0 = Hashtbl.length seen0 in
+        let buckets = Array.make domains [] in
+        List.iteri
+          (fun i item ->
+            buckets.(i mod domains) <- item :: buckets.(i mod domains))
+          frontier_items;
+        let global_count = Atomic.make visited0 in
+        let stop = Atomic.make false in
+        let worker bucket () =
+          let seen : (E.key, unit) Hashtbl.t = Hashtbl.create 65_536 in
+          let terminals : (E.key, (Pid.t * Value.t * int) list) Hashtbl.t =
+            Hashtbl.create 1024
+          in
+          let exhausted = ref false in
+          let violation = ref None in
+          let rec dfs config depth =
+            if not (Atomic.get stop) then begin
+              let key = E.key config in
+              if not (Hashtbl.mem seen key || Hashtbl.mem seen0 key) then begin
+                Hashtbl.add seen key ();
+                Atomic.incr global_count;
+                let decisions = E.decisions config in
+                (match check decisions with
+                | Some reason -> raise (Found (decisions, reason, depth))
+                | None -> ());
+                let done_ =
+                  List.for_all
+                    (fun p -> E.decision_of config p <> None)
+                    correct
+                in
+                if done_ then Hashtbl.replace terminals key decisions
+                else if
+                  depth >= max_depth || Atomic.get global_count >= max_configs
+                then exhausted := true
+                else
+                  schedule_successors ~policy ~pattern ~steppers config
+                    (fun config' -> dfs config' (depth + 1))
+              end
+            end
+          in
+          (try List.iter (fun (config, depth) -> dfs config depth) bucket
+           with Found (decisions, reason, depth) ->
+             violation := Some (decisions, reason, depth);
+             Atomic.set stop true);
+          (seen, terminals, !exhausted, !violation)
+        in
+        let handles =
+          Array.to_list
+            (Array.map (fun bucket -> Domain.spawn (worker bucket)) buckets)
+        in
+        let results = List.map Domain.join handles in
+        let violation =
+          List.fold_left
+            (fun best (_, _, _, v) ->
+              match (best, v) with
+              | None, v -> v
+              | Some _, None -> best
+              | Some (_, _, db), Some (_, _, dv) ->
+                  if dv < db then v else best)
+            None results
+        in
+        (match violation with
+        | Some (decisions, reason, depth) ->
+            Violation { decisions; reason; depth }
+        | None ->
+            let union : (E.key, unit) Hashtbl.t =
+              Hashtbl.create (max 1024 (2 * visited0))
+            in
+            let all_terminals :
+                (E.key, (Pid.t * Value.t * int) list) Hashtbl.t =
+              Hashtbl.create 1024
+            in
+            Hashtbl.iter (fun k ds -> Hashtbl.replace all_terminals k ds)
+              terminals0;
+            let exhausted = ref !exhausted0 in
+            List.iter
+              (fun (seen, terminals, ex, _) ->
+                if ex then exhausted := true;
+                Hashtbl.iter (fun k () -> Hashtbl.replace union k ()) seen;
+                Hashtbl.iter
+                  (fun k ds -> Hashtbl.replace all_terminals k ds)
+                  terminals)
+              results;
+            Hashtbl.iter (fun _ ds -> on_terminal ds) all_terminals;
+            Safe
+              {
+                configs_visited = visited0 + Hashtbl.length union;
+                terminal_runs = Hashtbl.length all_terminals;
+                budget_exhausted = !exhausted;
+              })
+
+  (* ---- crash-adversarial exploration ---- *)
 
   exception Unsafe of (Pid.t * Value.t * int) list * string
 
-  let node_of config crashed =
-    { config; crashed; key = E.fingerprint config ^ Marshal.to_string crashed [] }
+  (* The crashed set travels as a bitmask folded into the node key;
+     node identities and graph edges are dense ints, never strings. *)
+  let mask_mem mask p = mask land (1 lsl p) <> 0
+  let mask_add mask p = mask lor (1 lsl p)
+  let mask_to_list ~n mask = List.filter (mask_mem mask) (Pid.universe n)
+  let popcount mask = List.length (mask_to_list ~n:Sys.int_size mask)
 
-  let explore_with_crashes ?(max_configs = 300_000) ?(policy = Per_sender)
-      ?(drop_on_crash = true) ~n ~inputs ~crash_budget ~check () =
+  type node_rec = {
+    succs : int list;
+    complete : bool;
+    mask : int;
+    undecided : Pid.t list;
+  }
+
+  (* Per-node expansion, shared by the sequential and parallel
+     drivers: decisions check, completeness, and the successor
+     (config, mask) pairs. *)
+  let expand_crash_node ~n ~policy ~drop_on_crash ~base_mask ~crash_budget
+      ~pattern_of ~check config mask =
+    let decisions = E.decisions config in
+    (match check decisions with
+    | Some reason -> raise (Unsafe (decisions, reason))
+    | None -> ());
+    let alive = List.filter (fun p -> not (mask_mem mask p)) (Pid.universe n) in
+    let is_complete =
+      List.for_all (fun p -> E.decision_of config p <> None) alive
+    in
+    let undecided =
+      List.filter (fun p -> E.decision_of config p = None) alive
+    in
+    let succs = ref [] in
+    if not is_complete then begin
+      let pattern = pattern_of mask in
+      List.iter
+        (fun pid ->
+          let mine = E.inbox config pid in
+          List.iter
+            (fun deliver ->
+              match
+                E.apply ~pattern config (Adversary.Step { pid; deliver })
+              with
+              | Some config' -> succs := (config', mask) :: !succs
+              | None -> assert false)
+            (choices policy mine))
+        alive;
+      if popcount mask - popcount base_mask < crash_budget then begin
+        (* one pass over the pending multiset buckets messages by
+           sender for the drop-on-crash successors *)
+        let by_src =
+          if drop_on_crash then begin
+            let a = Array.make n [] in
+            List.iter
+              (fun (e : A.message Envelope.t) -> a.(e.src) <- e.id :: a.(e.src))
+              (E.pending config);
+            a
+          end
+          else [||]
+        in
+        List.iter
+          (fun victim ->
+            let mask' = mask_add mask victim in
+            succs := (config, mask') :: !succs;
+            if drop_on_crash && by_src.(victim) <> [] then
+              match
+                E.apply ~pattern:(pattern_of mask') config
+                  (Adversary.Drop by_src.(victim))
+              with
+              | Some config' -> succs := (config', mask') :: !succs
+              | None -> assert false)
+          alive
+      end
+    end;
+    (is_complete, mask, undecided, !succs)
+
+  (* Backwards reachability from the complete nodes over the int-id
+     graph; [None] when every node can still reach completion.  The
+     reported witness is the minimum over (mask, undecided) of all
+     stuck nodes, so sequential and parallel drivers — which discover
+     nodes in different orders — return the same one. *)
+  let classify_graph ~count ~(recs : node_rec array) =
+    let preds = Array.make count [] in
+    let completes = ref [] in
+    for id = 0 to count - 1 do
+      if recs.(id).complete then completes := id :: !completes;
+      List.iter (fun s -> preds.(s) <- id :: preds.(s)) recs.(id).succs
+    done;
+    let can_decide = Array.make count false in
+    let rec mark_all = function
+      | [] -> ()
+      | id :: rest ->
+          if can_decide.(id) then mark_all rest
+          else begin
+            can_decide.(id) <- true;
+            mark_all (List.rev_append preds.(id) rest)
+          end
+    in
+    mark_all !completes;
+    let stuck = ref None in
+    for id = 0 to count - 1 do
+      if not can_decide.(id) then begin
+        let w = (recs.(id).mask, recs.(id).undecided) in
+        match !stuck with
+        | Some best when compare best w <= 0 -> ()
+        | Some _ | None -> stuck := Some w
+      end
+    done;
+    !stuck
+
+  let check_crash_explorable ~n ~initially_dead =
     if A.uses_fd then
       invalid_arg "Explorer: algorithms with failure detectors are unsupported";
-    let pattern_of crashed = Failure_pattern.initial_dead ~n ~dead:crashed in
-    let complete node =
-      List.for_all
-        (fun p ->
-          List.mem p node.crashed || E.decision_of node.config p <> None)
-        (Pid.universe n)
-    in
-    (* phase 1: enumerate the reachable node graph *)
-    let info :
-        (string, string list (* succs *) * bool (* complete *) * Pid.t list * Pid.t list)
-        Hashtbl.t =
-      Hashtbl.create 65_536
-    in
-    let exhausted = ref false in
-    let terminals = ref 0 in
-    let worklist = ref [] in
-    let enumerate_one node =
-      if Hashtbl.mem info node.key then ()
-      else if Hashtbl.length info >= max_configs then exhausted := true
-      else begin
-        let decisions = E.decisions node.config in
-        (match check decisions with
-        | Some reason -> raise (Unsafe (decisions, reason))
-        | None -> ());
-        let is_complete = complete node in
-        if is_complete then incr terminals;
-        let pattern = pattern_of node.crashed in
-        let succs = ref [] in
-        if not is_complete then begin
-          let obs = E.observe ~pattern node.config in
-          let alive =
-            List.filter (fun p -> not (List.mem p node.crashed)) (Pid.universe n)
+    if n > Sys.int_size - 2 then
+      invalid_arg "Explorer: system too large for crash-set bitmasks";
+    List.iter
+      (fun p ->
+        if not (Pid.valid ~n p) then
+          invalid_arg "Explorer: initially_dead pid out of range")
+      initially_dead
+
+  let base_mask_of initially_dead =
+    List.fold_left mask_add 0 initially_dead
+
+  (* memoised initial-dead failure patterns, one per crashed-set mask *)
+  let make_pattern_of ~n =
+    let patterns : (int, Failure_pattern.t) Hashtbl.t = Hashtbl.create 64 in
+    fun mask ->
+      match Hashtbl.find_opt patterns mask with
+      | Some p -> p
+      | None ->
+          let p =
+            Failure_pattern.initial_dead ~n ~dead:(mask_to_list ~n mask)
           in
-          (* scheduling/delivery successors *)
-          List.iter
-            (fun pid ->
-              List.iter
-                (fun deliver ->
-                  match
-                    E.apply ~pattern node.config (Adversary.Step { pid; deliver })
-                  with
-                  | Some config' -> succs := node_of config' node.crashed :: !succs
-                  | None -> assert false)
-                (choices policy obs pid))
-            alive;
-          (* crash successors *)
-          if List.length node.crashed < crash_budget then
-            List.iter
-              (fun victim ->
-                let crashed' = List.sort compare (victim :: node.crashed) in
-                succs := node_of node.config crashed' :: !succs;
-                if drop_on_crash then begin
-                  let pending_from =
-                    List.filter_map
-                      (fun (m : Adversary.pending) ->
-                        if m.src = victim then Some m.id else None)
-                      obs.pending
-                  in
-                  if pending_from <> [] then
-                    match
-                      E.apply ~pattern:(pattern_of crashed') node.config
-                        (Adversary.Drop pending_from)
-                    with
-                    | Some config' -> succs := node_of config' crashed' :: !succs
-                    | None -> assert false
-                end)
-              alive
-        end;
-        let succ_nodes = !succs in
-        Hashtbl.replace info node.key
-          ( List.map (fun s -> s.key) succ_nodes,
-            is_complete,
-            node.crashed,
-            List.filter
-              (fun p ->
-                (not (List.mem p node.crashed))
-                && E.decision_of node.config p = None)
-              (Pid.universe n) );
-        worklist := List.rev_append succ_nodes !worklist
-      end
+          Hashtbl.add patterns mask p;
+          p
+
+  let explore_with_crashes ?(max_configs = 300_000) ?(policy = Per_sender)
+      ?(drop_on_crash = true) ?(initially_dead = []) ~n ~inputs ~crash_budget
+      ~check () =
+    check_crash_explorable ~n ~initially_dead;
+    let base_mask = base_mask_of initially_dead in
+    let pattern_of = make_pattern_of ~n in
+    let ids : (E.key, int) Hashtbl.t = Hashtbl.create 65_536 in
+    let recs =
+      ref
+        (Array.make 1024
+           { succs = []; complete = false; mask = 0; undecided = [] })
     in
-    let enumerate root =
-      worklist := [ root ];
+    let count = ref 0 in
+    let terminals = ref 0 in
+    let exhausted = ref false in
+    let worklist = ref [] in
+    (* discovery: assign a dense id the first time a node is seen and
+       queue it for expansion; [None] once the budget is exhausted *)
+    let visit config mask =
+      let key = E.key ~extra:mask config in
+      match Hashtbl.find_opt ids key with
+      | Some id -> Some id
+      | None ->
+          if !count >= max_configs then begin
+            exhausted := true;
+            None
+          end
+          else begin
+            let id = !count in
+            incr count;
+            Hashtbl.add ids key id;
+            if id >= Array.length !recs then begin
+              let bigger =
+                Array.make (2 * Array.length !recs)
+                  { succs = []; complete = false; mask = 0; undecided = [] }
+              in
+              Array.blit !recs 0 bigger 0 (Array.length !recs);
+              recs := bigger
+            end;
+            worklist := (id, config, mask) :: !worklist;
+            Some id
+          end
+    in
+    let expand (id, config, mask) =
+      let is_complete, mask, undecided, succ_pairs =
+        expand_crash_node ~n ~policy ~drop_on_crash ~base_mask ~crash_budget
+          ~pattern_of ~check config mask
+      in
+      if is_complete then incr terminals;
+      let succs =
+        List.filter_map (fun (c, m) -> visit c m) succ_pairs
+      in
+      !recs.(id) <- { succs; complete = is_complete; mask; undecided }
+    in
+    let enumerate () =
+      ignore (visit (E.init_explore ~n ~inputs) base_mask);
       let rec drain () =
         match !worklist with
         | [] -> ()
         | node :: rest ->
             worklist := rest;
-            enumerate_one node;
+            expand node;
             drain ()
       in
       drain ()
     in
-    let root = node_of (E.init ~n ~inputs) [] in
-    match enumerate root with
-    | exception Unsafe (decisions, reason) -> Safety_violation { decisions; reason }
+    match enumerate () with
+    | exception Unsafe (decisions, reason) ->
+        Safety_violation { decisions; reason }
     | () ->
         let stats =
           {
-            configs_visited = Hashtbl.length info;
+            configs_visited = !count;
             terminal_runs = !terminals;
             budget_exhausted = !exhausted;
           }
         in
-        (* phase 2: backwards reachability from complete nodes *)
-        let preds : (string, string list ref) Hashtbl.t =
-          Hashtbl.create (Hashtbl.length info)
-        in
-        let completes = ref [] in
-        Hashtbl.iter
-          (fun key (succs, is_complete, _, _) ->
-            if is_complete then completes := key :: !completes;
-            List.iter
-              (fun s ->
-                match Hashtbl.find_opt preds s with
-                | Some l -> l := key :: !l
-                | None -> Hashtbl.add preds s (ref [ key ]))
-              succs)
-          info;
-        let can_decide = Hashtbl.create (Hashtbl.length info) in
-        let rec mark_all = function
-          | [] -> ()
-          | key :: rest ->
-              if Hashtbl.mem can_decide key then mark_all rest
-              else begin
-                Hashtbl.add can_decide key ();
-                let more =
-                  match Hashtbl.find_opt preds key with
-                  | Some l -> !l
-                  | None -> []
-                in
-                mark_all (List.rev_append more rest)
-              end
-        in
-        mark_all !completes;
-        (* any enumerated node that cannot reach completion?  (only a
-           sound verdict when enumeration was not truncated) *)
         let stuck =
           if !exhausted then None
-          else
-            Hashtbl.fold
-              (fun key (_, _, crashed, undecided) acc ->
-                match acc with
-                | Some _ -> acc
-                | None ->
-                    if Hashtbl.mem can_decide key then None
-                    else Some (crashed, undecided))
-              info None
+          else classify_graph ~count:!count ~recs:!recs
         in
         (match stuck with
-        | Some (crashed, undecided_correct) ->
-            Stuck { crashed; undecided_correct; stats }
+        | Some (mask, undecided_correct) ->
+            Stuck
+              {
+                crashed = mask_to_list ~n mask;
+                undecided_correct;
+                stats;
+              }
         | None -> All_paths_decide stats)
+
+  (* Parallel crash-adversarial exploration: the root's successors —
+     in particular the distinct crash-pattern subtrees — are fanned
+     across domains, each enumerating with a private table; the merged
+     graph (dense global ids, identical expansion determinism) is then
+     classified exactly like the sequential one.  Outcomes match
+     [explore_with_crashes] whenever the budget does not truncate. *)
+  let explore_with_crashes_par ?domains ?(max_configs = 300_000)
+      ?(policy = Per_sender) ?(drop_on_crash = true) ?(initially_dead = [])
+      ~n ~inputs ~crash_budget ~check () =
+    check_crash_explorable ~n ~initially_dead;
+    let domains =
+      max 1 (match domains with Some d -> d | None -> default_domains ())
+    in
+    let base_mask = base_mask_of initially_dead in
+    let root = E.init_explore ~n ~inputs in
+    let pattern_of0 = make_pattern_of ~n in
+    match
+      expand_crash_node ~n ~policy ~drop_on_crash ~base_mask ~crash_budget
+        ~pattern_of:pattern_of0 ~check root base_mask
+    with
+    | exception Unsafe (decisions, reason) ->
+        Safety_violation { decisions; reason }
+    | root_complete, root_mask, root_undecided, root_succs ->
+        let buckets = Array.make domains [] in
+        List.iteri
+          (fun i s -> buckets.(i mod domains) <- s :: buckets.(i mod domains))
+          root_succs;
+        let global_count = Atomic.make 1 in
+        let stop = Atomic.make false in
+        let worker bucket () =
+          (* per-domain enumeration: local dense ids, merged later *)
+          let pattern_of = make_pattern_of ~n in
+          let ids : (E.key, int) Hashtbl.t = Hashtbl.create 65_536 in
+          let keys = ref (Array.make 1024 "") in
+          let recs =
+            ref
+              (Array.make 1024
+                 { succs = []; complete = false; mask = 0; undecided = [] })
+          in
+          let count = ref 0 in
+          let exhausted = ref false in
+          let worklist = ref [] in
+          let visit config mask =
+            let key = E.key ~extra:mask config in
+            match Hashtbl.find_opt ids key with
+            | Some id -> Some id
+            | None ->
+                if Atomic.get global_count >= max_configs then begin
+                  exhausted := true;
+                  None
+                end
+                else begin
+                  Atomic.incr global_count;
+                  let id = !count in
+                  incr count;
+                  Hashtbl.add ids key id;
+                  if id >= Array.length !recs then begin
+                    let bigger =
+                      Array.make (2 * Array.length !recs)
+                        { succs = []; complete = false; mask = 0; undecided = [] }
+                    in
+                    Array.blit !recs 0 bigger 0 (Array.length !recs);
+                    recs := bigger;
+                    let bigger_k = Array.make (2 * Array.length !keys) "" in
+                    Array.blit !keys 0 bigger_k 0 (Array.length !keys);
+                    keys := bigger_k
+                  end;
+                  !keys.(id) <- key;
+                  worklist := (id, config, mask) :: !worklist;
+                  Some id
+                end
+          in
+          let violation = ref None in
+          (try
+             List.iter (fun (c, m) -> ignore (visit c m)) bucket;
+             let rec drain () =
+               if not (Atomic.get stop) then
+                 match !worklist with
+                 | [] -> ()
+                 | (id, config, mask) :: rest ->
+                     worklist := rest;
+                     let is_complete, mask, undecided, succ_pairs =
+                       expand_crash_node ~n ~policy ~drop_on_crash ~base_mask
+                         ~crash_budget ~pattern_of ~check config mask
+                     in
+                     let succs =
+                       List.filter_map (fun (c, m) -> visit c m) succ_pairs
+                     in
+                     !recs.(id) <-
+                       { succs; complete = is_complete; mask; undecided };
+                     drain ()
+             in
+             drain ()
+           with Unsafe (decisions, reason) ->
+             violation := Some (decisions, reason);
+             Atomic.set stop true);
+          ( Array.sub !keys 0 !count,
+            Array.sub !recs 0 !count,
+            !exhausted,
+            !violation )
+        in
+        let handles =
+          Array.to_list
+            (Array.map (fun bucket -> Domain.spawn (worker bucket)) buckets)
+        in
+        let results = List.map Domain.join handles in
+        let violation =
+          List.find_map (fun (_, _, _, v) -> v) results
+        in
+        (match violation with
+        | Some (decisions, reason) -> Safety_violation { decisions; reason }
+        | None ->
+            (* merge: global dense ids over the union of per-domain
+               graphs; duplicated nodes expand identically, so the
+               first copy wins *)
+            let gids : (E.key, int) Hashtbl.t = Hashtbl.create 65_536 in
+            let gcount = ref 0 in
+            let exhausted = ref false in
+            let root_key = E.key ~extra:root_mask root in
+            Hashtbl.add gids root_key 0;
+            incr gcount;
+            List.iter
+              (fun ((keys : E.key array), _, ex, _) ->
+                if ex then exhausted := true;
+                Array.iter
+                  (fun key ->
+                    if not (Hashtbl.mem gids key) then begin
+                      Hashtbl.add gids key !gcount;
+                      incr gcount
+                    end)
+                  keys)
+              results;
+            let count = !gcount in
+            let recs =
+              Array.make count
+                { succs = []; complete = false; mask = 0; undecided = [] }
+            in
+            let filled = Array.make count false in
+            let terminals = ref 0 in
+            List.iter
+              (fun ((keys : E.key array), (local : node_rec array), _, _) ->
+                Array.iteri
+                  (fun lid key ->
+                    let gid = Hashtbl.find gids key in
+                    if not filled.(gid) then begin
+                      filled.(gid) <- true;
+                      let r = local.(lid) in
+                      recs.(gid) <-
+                        {
+                          r with
+                          succs =
+                            List.map
+                              (fun s ->
+                                (* succ ids are local to the same domain *)
+                                Hashtbl.find gids keys.(s))
+                              r.succs;
+                        };
+                      if r.complete then incr terminals
+                    end)
+                  keys)
+              results;
+            (* the root, expanded inline above *)
+            let root_succ_ids =
+              List.filter_map
+                (fun (c, m) ->
+                  Hashtbl.find_opt gids (E.key ~extra:m c))
+                root_succs
+            in
+            filled.(0) <- true;
+            recs.(0) <-
+              {
+                succs = root_succ_ids;
+                complete = root_complete;
+                mask = root_mask;
+                undecided = root_undecided;
+              };
+            if root_complete then incr terminals;
+            let stats =
+              {
+                configs_visited = count;
+                terminal_runs = !terminals;
+                budget_exhausted = !exhausted;
+              }
+            in
+            let stuck =
+              if !exhausted then None else classify_graph ~count ~recs
+            in
+            (match stuck with
+            | Some (mask, undecided_correct) ->
+                Stuck
+                  {
+                    crashed = mask_to_list ~n mask;
+                    undecided_correct;
+                    stats;
+                  }
+            | None -> All_paths_decide stats))
 
   let reachable_decision_values ?(max_configs = 300_000) ?(policy = Per_sender)
       ~n ~inputs ~crash_budget () =

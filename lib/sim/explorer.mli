@@ -13,7 +13,13 @@
     behaviour to be determined by the semantic configuration alone, so
     exploration is restricted to failure-detector-free algorithms and
     failure patterns whose crashes are all initial ([explore] raises
-    [Invalid_argument] otherwise). *)
+    [Invalid_argument] otherwise); in exploration mode the engine
+    additionally folds each delivered batch in canonical
+    (sender, payload) order — see {!Engine.Make.init_explore} — which
+    makes the set of reachable configuration keys independent of the
+    traversal order.  The sequential and parallel drivers therefore
+    report identical statistics and verdicts whenever no budget
+    truncates the search. *)
 
 type delivery_policy =
   | Empty_or_all
@@ -37,6 +43,11 @@ type stats = {
 type outcome =
   | Safe of stats  (** No reachable explored configuration violates the check. *)
   | Violation of { decisions : (Pid.t * Value.t * int) list; reason : string; depth : int }
+
+val default_domains : unit -> int
+(** Domain count used by the parallel drivers when [?domains] is not
+    given: the [KSA_DOMAINS] environment variable if set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. *)
 
 type resilient_outcome =
   | All_paths_decide of stats
@@ -78,10 +89,35 @@ module Make (A : Algorithm.S) : sig
       Defaults: [max_depth] 200, [max_configs] 2_000_000, [policy]
       [Per_sender]. *)
 
+  val explore_par :
+    ?domains:int ->
+    ?max_depth:int ->
+    ?max_configs:int ->
+    ?policy:delivery_policy ->
+    ?on_terminal:((Pid.t * Value.t * int) list -> unit) ->
+    n:int ->
+    inputs:Value.t array ->
+    pattern:Failure_pattern.t ->
+    check:((Pid.t * Value.t * int) list -> string option) ->
+    unit ->
+    outcome
+  (** Multicore {!explore}: a breadth-first prefix widens the search
+      frontier, which is then fanned across [domains] OCaml domains
+      (default {!default_domains}), each searching with a private
+      seen-table; results are merged by key union.  Whenever neither
+      [max_depth] nor [max_configs] truncates the search, the visited
+      set equals the reachable set and the outcome — verdict,
+      [configs_visited], [terminal_runs] — is identical to the
+      sequential one.  [check] and [on_terminal] caveats: [check] runs
+      concurrently on several domains and must be thread-safe;
+      [on_terminal] is invoked from the calling domain after the merge
+      (and not at all when a violation is found). *)
+
   val explore_with_crashes :
     ?max_configs:int ->
     ?policy:delivery_policy ->
     ?drop_on_crash:bool ->
+    ?initially_dead:Pid.t list ->
     n:int ->
     inputs:Value.t array ->
     crash_budget:int ->
@@ -99,9 +135,35 @@ module Make (A : Algorithm.S) : sig
       reported — the exhaustive form of the FLP/[11] facts behind
       condition (C), and of the Theorem 2 vs Theorem 8 gap (one
       non-initial crash defeats protocols that tolerate initial
-      crashes).  State-space deduplication includes the crashed set,
-      so the search is sound for crash-anytime patterns (algorithms
-      with failure detectors remain unsupported). *)
+      crashes).  State-space deduplication includes the crashed set
+      (as a bitmask folded into the hashed node key), so the search is
+      sound for crash-anytime patterns (algorithms with failure
+      detectors remain unsupported).  [initially_dead] seeds the
+      search with processes dead from time 0 that do {e not} count
+      against [crash_budget] — the restricted-subsystem form used by
+      the Theorem-1 condition (C) validation; the [crashed] list of a
+      {!Stuck} verdict includes them. *)
+
+  val explore_with_crashes_par :
+    ?domains:int ->
+    ?max_configs:int ->
+    ?policy:delivery_policy ->
+    ?drop_on_crash:bool ->
+    ?initially_dead:Pid.t list ->
+    n:int ->
+    inputs:Value.t array ->
+    crash_budget:int ->
+    check:((Pid.t * Value.t * int) list -> string option) ->
+    unit ->
+    resilient_outcome
+  (** Multicore {!explore_with_crashes}: the root's successor subtrees
+      — in particular the distinct crash-pattern subtrees — are fanned
+      across [domains] domains, each enumerating its share of the node
+      graph with a private table; the per-domain graphs are merged
+      onto dense global ids and classified exactly like the
+      sequential one.  Outcomes (verdict and stats) are identical to
+      {!explore_with_crashes} whenever [max_configs] does not truncate
+      the enumeration.  [check] must be thread-safe. *)
 
   val reachable_decision_values :
     ?max_configs:int ->

@@ -1,41 +1,41 @@
 let check_process_sync phi run =
   let events = Array.of_list run.Run.events in
   let total = Array.length events in
+  let n = run.Run.n in
   let pattern = run.Run.pattern in
   let violations = ref [] in
+  (* sliding window: per-pid occurrence counts maintained
+     incrementally, O(total·n) instead of O(total·phi·n) rescans *)
+  let counts = Array.make n 0 in
+  if total >= phi then
+    for i = 0 to phi - 2 do
+      counts.(events.(i).Event.pid) <- counts.(events.(i).Event.pid) + 1
+    done;
   for start = 0 to total - phi do
+    let last = events.(start + phi - 1).Event.pid in
+    counts.(last) <- counts.(last) + 1;
     let window_end_time = events.(start + phi - 1).Event.time in
-    let steppers =
-      List.sort_uniq compare
-        (List.map
-           (fun i -> events.(i).Event.pid)
-           (List.init phi (fun i -> start + i)))
-    in
-    let required =
-      List.filter
-        (fun p ->
-          match Failure_pattern.crash_time pattern p with
-          | None -> true
-          | Some ct -> ct >= window_end_time)
-        (Pid.universe run.Run.n)
-    in
-    List.iter
-      (fun p ->
-        if not (List.mem p steppers) then
-          violations :=
-            Printf.sprintf
-              "processes: p%d takes no step in the Φ=%d window ending at t%d" p
-              phi window_end_time
-            :: !violations)
-      required
+    for p = 0 to n - 1 do
+      let required =
+        match Failure_pattern.crash_time pattern p with
+        | None -> true
+        | Some ct -> ct >= window_end_time
+      in
+      if required && counts.(p) = 0 then
+        violations :=
+          Printf.sprintf
+            "processes: p%d takes no step in the Φ=%d window ending at t%d" p
+            phi window_end_time
+          :: !violations
+    done;
+    let first = events.(start).Event.pid in
+    counts.(first) <- counts.(first) - 1
   done;
   List.rev !violations
 
 let check_comm_sync delta run =
   let end_time =
-    match run.Run.events with
-    | [] -> 0
-    | evs -> (List.nth evs (List.length evs - 1)).Event.time
+    List.fold_left (fun _ (ev : Event.t) -> ev.time) 0 run.Run.events
   in
   let delivered_at = Hashtbl.create 64 in
   List.iter

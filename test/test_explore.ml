@@ -1,0 +1,276 @@
+(* Parity between the sequential and multicore explorers, and
+   soundness of the packed configuration keys.
+
+   The parallel drivers fan subtrees across domains with private
+   seen-tables merged by key union; because exploration folds
+   delivered batches in canonical (sender, payload) order, the
+   reachable key-set is a function of the initial configuration alone
+   and every search order — sequential DFS, BFS-prefix + per-domain
+   DFS with any domain count — must report exactly the same
+   [configs_visited], [terminal_runs], and verdict whenever no budget
+   truncates the search. *)
+
+module Sim = Ksa_sim
+module FP = Sim.Failure_pattern
+module K2 = Ksa_algo.Kset_flp.Make (struct
+  let l = 2
+end)
+
+let distinct = Sim.Value.distinct_inputs
+let no_check _ = None
+
+(* ---------- explore vs explore_par ---------- *)
+
+let stats_of name = function
+  | Sim.Explorer.Safe s -> s
+  | Sim.Explorer.Violation _ -> Alcotest.fail (name ^ ": unexpected violation")
+
+let check_stats_equal name (a : Sim.Explorer.stats) (b : Sim.Explorer.stats) =
+  Alcotest.(check int)
+    (name ^ ": configs_visited")
+    a.Sim.Explorer.configs_visited b.Sim.Explorer.configs_visited;
+  Alcotest.(check int)
+    (name ^ ": terminal_runs")
+    a.Sim.Explorer.terminal_runs b.Sim.Explorer.terminal_runs;
+  Alcotest.(check bool)
+    (name ^ ": budget_exhausted")
+    a.Sim.Explorer.budget_exhausted b.Sim.Explorer.budget_exhausted
+
+let test_parity_explore_n3 () =
+  let module Ex = Sim.Explorer.Make (K2) in
+  let seq =
+    stats_of "seq"
+      (Ex.explore ~max_depth:100_000 ~n:3 ~inputs:(distinct 3)
+         ~pattern:(FP.none ~n:3) ~check:no_check ())
+  in
+  Alcotest.(check bool) "untruncated" false seq.Sim.Explorer.budget_exhausted;
+  List.iter
+    (fun domains ->
+      let par =
+        stats_of "par"
+          (Ex.explore_par ~domains ~max_depth:100_000 ~n:3
+             ~inputs:(distinct 3) ~pattern:(FP.none ~n:3) ~check:no_check ())
+      in
+      check_stats_equal (Printf.sprintf "n3 domains=%d" domains) seq par)
+    [ 1; 2; 4 ]
+
+let test_parity_explore_n4 () =
+  (* Per-sender delivery on n=4 is a multi-minute search; the
+     empty-or-all policy keeps the parity check exhaustive yet quick *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  let policy = Sim.Explorer.Empty_or_all in
+  let seq =
+    stats_of "seq"
+      (Ex.explore ~max_depth:100_000 ~policy ~n:4 ~inputs:(distinct 4)
+         ~pattern:(FP.none ~n:4) ~check:no_check ())
+  in
+  Alcotest.(check bool) "untruncated" false seq.Sim.Explorer.budget_exhausted;
+  let par =
+    stats_of "par"
+      (Ex.explore_par ~domains:3 ~max_depth:100_000 ~policy ~n:4
+         ~inputs:(distinct 4) ~pattern:(FP.none ~n:4) ~check:no_check ())
+  in
+  check_stats_equal "n4 empty-or-all" seq par
+
+let test_parity_terminal_sets () =
+  (* beyond the counts: the parallel driver must surface exactly the
+     sequential terminal decision sets through [on_terminal].
+     Decision timestamps are path-dependent (terminal configurations
+     are deduplicated on content, not on the route taken), so only
+     the (pid, value) sets are compared. *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  let collect f =
+    let acc = ref [] in
+    (match f (fun ds -> acc := List.map (fun (p, v, _) -> (p, v)) ds :: !acc) with
+    | Sim.Explorer.Safe _ -> ()
+    | Sim.Explorer.Violation _ -> Alcotest.fail "unexpected violation");
+    List.sort_uniq compare !acc
+  in
+  let seq =
+    collect (fun on_terminal ->
+        Ex.explore ~on_terminal ~max_depth:100_000 ~n:3 ~inputs:(distinct 3)
+          ~pattern:(FP.none ~n:3) ~check:no_check ())
+  in
+  let par =
+    collect (fun on_terminal ->
+        Ex.explore_par ~domains:2 ~on_terminal ~max_depth:100_000 ~n:3
+          ~inputs:(distinct 3) ~pattern:(FP.none ~n:3) ~check:no_check ())
+  in
+  Alcotest.(check bool) "same terminal decision sets" true (seq = par)
+
+let test_parity_violation () =
+  (* a false claim about the trivial algorithm: every driver must
+     refute it (no lost violations) *)
+  let module Ex = Sim.Explorer.Make (Ksa_algo.Trivial.A) in
+  let consensus_check decisions =
+    let values =
+      List.sort_uniq compare (List.map (fun (_, v, _) -> v) decisions)
+    in
+    if List.length values > 1 then Some "two values decided" else None
+  in
+  (match
+     Ex.explore ~n:2 ~inputs:(distinct 2) ~pattern:(FP.none ~n:2)
+       ~check:consensus_check ()
+   with
+  | Sim.Explorer.Violation v ->
+      Alcotest.(check string) "seq reason" "two values decided" v.reason
+  | Sim.Explorer.Safe _ -> Alcotest.fail "sequential driver lost the violation");
+  match
+    Ex.explore_par ~domains:2 ~n:2 ~inputs:(distinct 2)
+      ~pattern:(FP.none ~n:2) ~check:consensus_check ()
+  with
+  | Sim.Explorer.Violation v ->
+      Alcotest.(check string) "par reason" "two values decided" v.reason
+  | Sim.Explorer.Safe _ -> Alcotest.fail "parallel driver lost the violation"
+
+(* ---------- explore_with_crashes vs explore_with_crashes_par ---------- *)
+
+let r_stats = function
+  | Sim.Explorer.All_paths_decide s -> ("all_paths_decide", [], [], s)
+  | Sim.Explorer.Stuck { crashed; undecided_correct; stats } ->
+      ("stuck", crashed, undecided_correct, stats)
+  | Sim.Explorer.Safety_violation _ ->
+      Alcotest.fail "unexpected safety violation"
+
+let check_resilient_equal name a b =
+  let va, ca, ua, sa = r_stats a and vb, cb, ub, sb = r_stats b in
+  Alcotest.(check string) (name ^ ": verdict") va vb;
+  Alcotest.(check (list int)) (name ^ ": crashed witness") ca cb;
+  Alcotest.(check (list int)) (name ^ ": undecided witness") ua ub;
+  check_stats_equal name sa sb
+
+let test_parity_crashes_n3 () =
+  let module Ex = Sim.Explorer.Make (K2) in
+  let seq =
+    Ex.explore_with_crashes ~n:3 ~inputs:(distinct 3) ~crash_budget:1
+      ~check:no_check ()
+  in
+  List.iter
+    (fun domains ->
+      let par =
+        Ex.explore_with_crashes_par ~domains ~n:3 ~inputs:(distinct 3)
+          ~crash_budget:1 ~check:no_check ()
+      in
+      check_resilient_equal
+        (Printf.sprintf "crash n3 domains=%d" domains)
+        seq par)
+    [ 2; 4 ]
+
+let test_parity_crashes_budget0 () =
+  let module Ex = Sim.Explorer.Make (K2) in
+  check_resilient_equal "crash n3 budget=0"
+    (Ex.explore_with_crashes ~n:3 ~inputs:(distinct 3) ~crash_budget:0
+       ~check:no_check ())
+    (Ex.explore_with_crashes_par ~domains:2 ~n:3 ~inputs:(distinct 3)
+       ~crash_budget:0 ~check:no_check ())
+
+let test_parity_crashes_initially_dead () =
+  (* L=3 on a 3-process system with one process already dead and one
+     adversarial crash allowed: the subsystem can be trapped, and both
+     drivers must exhibit the same canonical witness *)
+  let module K3 = Ksa_algo.Kset_flp.Make (struct
+    let l = 3
+  end) in
+  let module Ex = Sim.Explorer.Make (K3) in
+  let seq =
+    Ex.explore_with_crashes ~initially_dead:[ 0 ] ~n:3 ~inputs:(distinct 3)
+      ~crash_budget:1 ~check:no_check ()
+  in
+  let par =
+    Ex.explore_with_crashes_par ~domains:2 ~initially_dead:[ 0 ] ~n:3
+      ~inputs:(distinct 3) ~crash_budget:1 ~check:no_check ()
+  in
+  (match seq with
+  | Sim.Explorer.Stuck _ -> ()
+  | _ -> Alcotest.fail "expected a stuck subsystem");
+  check_resilient_equal "crash n3 initially-dead" seq par
+
+(* ---------- key soundness ---------- *)
+
+module E2 = Sim.Engine.Make (K2)
+
+let step c pid deliver =
+  match
+    E2.apply ~pattern:(FP.none ~n:3) c (Sim.Adversary.Step { pid; deliver })
+  with
+  | Some c' -> c'
+  | None -> Alcotest.fail "step refused"
+
+let test_key_ignores_send_interleaving () =
+  (* the same pending multiset assembled under two different send
+     interleavings (hence different message ids) must collide *)
+  let init () = E2.init_explore ~n:3 ~inputs:(distinct 3) in
+  let c01 = step (step (init ()) 0 []) 1 [] in
+  let c10 = step (step (init ()) 1 []) 0 [] in
+  Alcotest.(check bool) "keys collide" true
+    (E2.key_equal (E2.key c01) (E2.key c10));
+  Alcotest.(check bool) "fingerprints collide" true
+    (E2.fingerprint c01 = E2.fingerprint c10)
+
+let test_key_separates_distinct_configs () =
+  let init = E2.init_explore ~n:3 ~inputs:(distinct 3) in
+  let c0 = step init 0 [] in
+  let c1 = step init 1 [] in
+  Alcotest.(check bool) "initial vs stepped" false
+    (E2.key_equal (E2.key init) (E2.key c0));
+  Alcotest.(check bool) "different steppers" false
+    (E2.key_equal (E2.key c0) (E2.key c1));
+  (* delivering a message changes the pending multiset and the state *)
+  let c01 = step (step init 0 []) 1 [] in
+  let inbox2 = List.map fst (E2.inbox c01 2) in
+  Alcotest.(check bool) "inbox non-empty" true (inbox2 <> []);
+  let delivered = step c01 2 inbox2 in
+  let undelivered = step c01 2 [] in
+  Alcotest.(check bool) "delivery distinguishes" false
+    (E2.key_equal (E2.key delivered) (E2.key undelivered))
+
+let test_key_extra_discriminates () =
+  (* the crash explorers fold the crashed-set mask into the key *)
+  let c = E2.init_explore ~n:3 ~inputs:(distinct 3) in
+  Alcotest.(check bool) "masks separate" false
+    (E2.key_equal (E2.key ~extra:0 c) (E2.key ~extra:1 c));
+  Alcotest.(check bool) "same mask collides" true
+    (E2.key_equal (E2.key ~extra:5 c) (E2.key ~extra:5 c))
+
+let test_key_exploration_agnostic () =
+  (* the interning fallback for recorded configurations produces the
+     same key as the incremental exploration path *)
+  let ce = E2.init_explore ~n:3 ~inputs:(distinct 3) in
+  let cr = E2.init ~n:3 ~inputs:(distinct 3) in
+  Alcotest.(check bool) "init keys agree" true
+    (E2.key_equal (E2.key ce) (E2.key cr));
+  let ce' = step ce 0 [] in
+  let cr' = step cr 0 [] in
+  Alcotest.(check bool) "stepped keys agree" true
+    (E2.key_equal (E2.key ce') (E2.key cr'))
+
+let suites =
+  [
+    ( "explore.parity",
+      [
+        Alcotest.test_case "n3 per-sender, 1/2/4 domains" `Quick
+          test_parity_explore_n3;
+        Alcotest.test_case "n4 empty-or-all" `Slow test_parity_explore_n4;
+        Alcotest.test_case "terminal decision sets" `Quick
+          test_parity_terminal_sets;
+        Alcotest.test_case "violations are never lost" `Quick
+          test_parity_violation;
+        Alcotest.test_case "crash explorer, budget 1" `Slow
+          test_parity_crashes_n3;
+        Alcotest.test_case "crash explorer, budget 0" `Quick
+          test_parity_crashes_budget0;
+        Alcotest.test_case "crash explorer, initially dead" `Quick
+          test_parity_crashes_initially_dead;
+      ] );
+    ( "explore.keys",
+      [
+        Alcotest.test_case "send interleaving collides" `Quick
+          test_key_ignores_send_interleaving;
+        Alcotest.test_case "distinct configs separate" `Quick
+          test_key_separates_distinct_configs;
+        Alcotest.test_case "crash mask discriminates" `Quick
+          test_key_extra_discriminates;
+        Alcotest.test_case "recorded and exploration keys agree" `Quick
+          test_key_exploration_agnostic;
+      ] );
+  ]
