@@ -239,6 +239,37 @@ let bench_ablation_replay () =
     (E.run ~n:6 ~inputs:(Sim.Value.distinct_inputs 6) ~pattern
        (Sim.Replay.sequential [ stream ]))
 
+(* trace-layer subjects: the Theorem-1 screen is dominated by recorded
+   runs (every step used to Marshal+MD5 the stepped state; now one
+   interned id, memoized per (state, received) pair), and the Indist
+   comparisons are exact integer-sequence equalities over traces *)
+
+let bench_screen_section6_n4 () =
+  let partition = Core.Partitioning.make ~n:4 ~groups:[ [ 0; 1 ] ] in
+  ignore (Core.Theorem1.screen (module K2) ~partition)
+
+let indist_runs =
+  (* precomputed outside the staged closure: the subject is the
+     Definition 2/3 comparison itself, not run recording *)
+  lazy
+    (let module K4 = Algo.Kset_flp.Make (struct
+       let l = 4
+     end) in
+    let module E = Sim.Engine.Make (K4) in
+    let go seed =
+      let rng = Rng.create ~seed in
+      E.run ~n:6
+        ~inputs:(Sim.Value.distinct_inputs 6)
+        ~pattern:(Sim.Failure_pattern.none ~n:6)
+        (Sim.Adversary.fair ~rng)
+    in
+    (go 21, go 22))
+
+let bench_indist_for_all_n6 () =
+  let ra, rb = Lazy.force indist_runs in
+  ignore (Core.Indist.for_all ra rb [ 0; 1; 2; 3; 4; 5 ]);
+  ignore (Core.Indist.for_all ra ra [ 0; 1; 2; 3; 4; 5 ])
+
 let tests =
   Test.make_grouped ~name:"ksa" ~fmt:"%s/%s"
     [
@@ -271,6 +302,8 @@ let tests =
       Test.make ~name:"ablation:scc-path-50k" (Staged.stage bench_ablation_scc_50k);
       Test.make ~name:"ablation:record-replay-n6"
         (Staged.stage bench_ablation_replay);
+      Test.make ~name:"screen:section6-n4" (Staged.stage bench_screen_section6_n4);
+      Test.make ~name:"indist:for-all-n6" (Staged.stage bench_indist_for_all_n6);
     ]
 
 (* Machine-readable perf trajectory: benchmark name -> ns/run, one
@@ -324,7 +357,19 @@ let run_benchmarks ~json () =
       in
       Format.printf "%-44s %16s@." name pretty)
     rows;
-  if json then write_bench_json ~path:"BENCH_explore.json" rows
+  if json then begin
+    let is_trace_subject (name, _) =
+      let has sub =
+        let ls = String.length sub and ln = String.length name in
+        let rec at i = i + ls <= ln && (String.sub name i ls = sub || at (i + 1)) in
+        at 0
+      in
+      has "screen:" || has "indist:"
+    in
+    let screen_rows, explore_rows = List.partition is_trace_subject rows in
+    write_bench_json ~path:"BENCH_explore.json" explore_rows;
+    write_bench_json ~path:"BENCH_screen.json" screen_rows
+  end
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

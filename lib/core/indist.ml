@@ -1,32 +1,11 @@
 module Run = Ksa_sim.Run
 module Pid = Ksa_sim.Pid
-module Event = Ksa_sim.Event
+module Trace = Ksa_sim.Trace
 
 let state_trace_until_decision run p =
-  let rec collect acc = function
-    | [] -> List.rev acc
-    | (ev : Event.t) :: rest ->
-        if Pid.equal ev.pid p then
-          let acc = ev.state_digest :: acc in
-          match ev.decision with
-          | Some _ -> List.rev acc
-          | None -> collect acc rest
-        else collect acc rest
-  in
-  collect [] run.Run.events
+  Trace.states_until_decision run.Run.trace p
 
-let decided_in run p = Run.decision_of run p <> None
-
-let for_process ra rb p =
-  let ta = state_trace_until_decision ra p
-  and tb = state_trace_until_decision rb p in
-  match (decided_in ra p, decided_in rb p) with
-  | true, true -> ta = tb
-  | true, false -> List.length tb >= List.length ta && Ksa_prim.Listx.take (List.length ta) tb = ta
-  | false, true -> List.length ta >= List.length tb && Ksa_prim.Listx.take (List.length tb) ta = tb
-  | false, false ->
-      let k = min (List.length ta) (List.length tb) in
-      Ksa_prim.Listx.take k ta = Ksa_prim.Listx.take k tb
+let for_process ra rb p = Trace.indistinguishable_for ra.Run.trace rb.Run.trace p
 
 let for_all ra rb ds = List.for_all (for_process ra rb) ds
 

@@ -2,24 +2,30 @@
 
     Two runs are indistinguishable {e until decision} for a process p
     if p goes through the same sequence of local states in both until
-    it decides.  We compare the MD5 digests of the marshalled states
-    recorded in each event ({!Ksa_sim.Event.t.state_digest}); for the
-    deterministic pure state machines of {!Ksa_sim.Algorithm.S} equal
-    digest sequences mean equal state sequences (up to the
-    astronomically unlikely hash collision). *)
+    it decides.  Both engines record runs as a {!Ksa_sim.Trace.t} —
+    per-process sequences of state ids interned in the shared
+    {!Ksa_prim.Intern.states} registry — and the comparison here is
+    exact: the registry resolves hash collisions with structural
+    equality, so equal id sequences hold {e iff} the underlying state
+    sequences are structurally equal.  There is no collision caveat,
+    and the predicate is substrate-neutral (asynchronous runs and
+    Heard-Of runs of the same algorithm compare directly). *)
 
 module Run = Ksa_sim.Run
 module Pid = Ksa_sim.Pid
 
-val state_trace_until_decision : Run.t -> Pid.t -> string list
-(** Digest sequence of the process's states up to and including its
-    deciding step (the whole trace if it never decides). *)
+val state_trace_until_decision : Run.t -> Pid.t -> int list
+(** Interned-id sequence of the process's states — initial state
+    first, then one per step — up to and including its deciding step
+    (the whole recorded trace if it never decides). *)
 
 val for_process : Run.t -> Run.t -> Pid.t -> bool
-(** α ∼ β for p: equal traces until decision.  If p decides in both
-    runs, only the prefixes up to the decision are compared; if it
-    decides in neither, the full recorded traces must agree up to the
-    shorter one's length (finite-prefix approximation). *)
+(** α ∼ β for p: equal state traces until decision (exact interned-id
+    equality, delegating to {!Ksa_sim.Trace.indistinguishable_for}).
+    If p decides in both runs, the prefixes up to and including the
+    deciding step must coincide; if it decides in neither, the
+    recorded traces must agree up to the shorter one's length
+    (finite-prefix approximation). *)
 
 val for_all : Run.t -> Run.t -> Pid.t list -> bool
 (** α {^D}∼ β (Definition 2): indistinguishable for every process of

@@ -72,7 +72,7 @@ type report = {
   condition_a : bool;  (** R(D) ≠ ∅ (some run satisfies (dec-D)). *)
   condition_b : bool;
       (** R(D) ≼{_D̄} R(D,D̄) over the collected runs (Definition 3
-          via state-digest indistinguishability). *)
+          via exact interned state-trace indistinguishability). *)
   condition_c : bool;
       (** Consensus unsolvable in M' = ⟨D̄⟩, from the border
           arithmetic given the subsystem crash budget. *)

@@ -1,5 +1,7 @@
 module Pid = Ksa_sim.Pid
 module Value = Ksa_sim.Value
+module Trace = Ksa_sim.Trace
+module Intern = Ksa_prim.Intern
 
 module Make (A : Ho_algorithm.S) = struct
   type outcome = {
@@ -7,12 +9,12 @@ module Make (A : Ho_algorithm.S) = struct
     inputs : Value.t array;
     rounds_run : int;
     decisions : (Pid.t * Value.t * int) list;
-    digests : string array array;
+    trace : Trace.t;
   }
 
   exception Double_decision of Pid.t
 
-  let digest state = Digest.string (Marshal.to_string state [])
+  let intern st = Intern.id Intern.states st
 
   let run ~n ~inputs ~assignment ~rounds =
     if Array.length inputs <> n then invalid_arg "Ho.Engine.run: inputs length";
@@ -20,10 +22,8 @@ module Make (A : Ho_algorithm.S) = struct
       Array.init n (fun p -> A.init ~n ~me:p ~input:inputs.(p))
     in
     let decisions = Array.make n None in
-    let digests =
-      Array.init (rounds + 1) (fun _ -> Array.make n "")
-    in
-    Array.iteri (fun p st -> digests.(0).(p) <- digest st) states;
+    let init_ids = Array.map intern states in
+    let rev_rows = Array.make n [] in
     for round = 1 to rounds do
       let messages = Array.map (fun st -> A.send st ~round) states in
       let new_states =
@@ -44,15 +44,24 @@ module Make (A : Ho_algorithm.S) = struct
             st')
       in
       Array.blit new_states 0 states 0 n;
-      Array.iteri (fun p st -> digests.(round).(p) <- digest st) states
+      Array.iteri
+        (fun p st ->
+          let decision =
+            match decisions.(p) with
+            | Some (v, r) when r = round -> Some v
+            | Some _ | None -> None
+          in
+          rev_rows.(p) <- { Trace.state_id = intern st; decision } :: rev_rows.(p))
+        states
     done;
+    let trace = Trace.make ~init_ids ~steps:(Array.map List.rev rev_rows) in
     let decisions =
       List.filter_map
         (fun p ->
           Option.map (fun (v, r) -> (p, v, r)) decisions.(p))
         (Pid.universe n)
     in
-    { n; inputs = Array.copy inputs; rounds_run = rounds; decisions; digests }
+    { n; inputs = Array.copy inputs; rounds_run = rounds; decisions; trace }
 
   let decided_values o =
     List.sort_uniq Value.compare (List.map (fun (_, v, _) -> v) o.decisions)
@@ -67,15 +76,5 @@ module Make (A : Ho_algorithm.S) = struct
       o.decisions
 
   let states_equal_until_decision oa ob p =
-    let limit r = function Some d -> min r d | None -> r in
-    let ra = limit oa.rounds_run (decision_round oa p)
-    and rb = limit ob.rounds_run (decision_round ob p) in
-    let upto = min ra rb in
-    (* if p decides in both, the deciding rounds must agree *)
-    (match (decision_round oa p, decision_round ob p) with
-    | Some da, Some db -> da = db
-    | _ -> true)
-    && List.for_all
-         (fun r -> oa.digests.(r).(p) = ob.digests.(r).(p))
-         (List.init (upto + 1) Fun.id)
+    Trace.indistinguishable_for oa.trace ob.trace p
 end

@@ -13,10 +13,15 @@ module Make (A : Ho_algorithm.S) : sig
     rounds_run : int;
     decisions : (Ksa_sim.Pid.t * Ksa_sim.Value.t * int) list;
         (** (process, value, deciding round), sorted by pid. *)
-    digests : string array array;
-        (** [digests.(r).(p)]: MD5 of p's marshalled state after round
-            r (row 0 = initial states) — the indistinguishability
-            instrument, as in the asynchronous engine. *)
+    trace : Ksa_sim.Trace.t;
+        (** Per-process interned state-id sequences: [init_ids] are
+            the initial states, step row entry r−1 is the state after
+            round r (with the decision, if made in that round).  Ids
+            come from the same {!Ksa_prim.Intern.states} registry the
+            asynchronous engine uses, so HO outcomes and asynchronous
+            runs of the same algorithm compare exactly — the
+            indistinguishability instrument, shared across
+            substrates. *)
   }
 
   exception Double_decision of Ksa_sim.Pid.t
@@ -35,9 +40,12 @@ module Make (A : Ho_algorithm.S) : sig
 
   val all_decided : outcome -> bool
 
+  val decision_round : outcome -> Ksa_sim.Pid.t -> int option
+
   val states_equal_until_decision :
     outcome -> outcome -> Ksa_sim.Pid.t -> bool
   (** The HO rendering of Definition 2: the process traverses the same
       state sequence in both outcomes up to (and including) its
-      deciding round. *)
+      deciding round — exact interned-id comparison, delegating to
+      {!Ksa_sim.Trace.indistinguishable_for}. *)
 end

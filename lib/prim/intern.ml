@@ -1,0 +1,31 @@
+type t = { lock : Mutex.t; tbl : (Obj.t, int) Hashtbl.t }
+
+let create ?(size = 4096) () =
+  { lock = Mutex.create (); tbl = Hashtbl.create size }
+
+(* The table is keyed by the runtime representation; [Hashtbl]'s
+   generic hash and structural equality on [Obj.t] behave exactly as
+   they would on the original typed values, so lookups are structural
+   and collisions are resolved exactly. *)
+let id t v =
+  let r = Obj.repr v in
+  Mutex.lock t.lock;
+  let id =
+    match Hashtbl.find_opt t.tbl r with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length t.tbl in
+        Hashtbl.add t.tbl r id;
+        id
+  in
+  Mutex.unlock t.lock;
+  id
+
+let count t =
+  Mutex.lock t.lock;
+  let c = Hashtbl.length t.tbl in
+  Mutex.unlock t.lock;
+  c
+
+let states = create ()
+let payloads = create ()

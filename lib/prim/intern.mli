@@ -1,0 +1,47 @@
+(** Global structural interning of values to dense integer ids.
+
+    A registry maps values to small integers such that two values
+    receive the same id {e iff} they are structurally equal — the
+    table resolves generic-hash collisions with structural equality,
+    so id equality is exact, never "up to hash collision".  Interned
+    ids are the currency of the unified trace layer: every substrate
+    (the asynchronous engine, the Heard-Of engine) interns local
+    states into the same registry, which makes ids comparable across
+    engine functor instances, across substrates, and across domains
+    (the registry is mutex-protected).
+
+    The registry is intentionally type-agnostic: values of different
+    types that happen to share a runtime representation receive the
+    same id.  This mirrors the equality that [Marshal]-based
+    fingerprints used to provide, and is harmless for the trace
+    layer, which only ever compares ids of values produced by the
+    same (or structurally compatible) state machines.
+
+    Requirements on interned values (the same ones [Marshal] imposed):
+    they must be immutable, acyclic, closure-free data.  Interning
+    retains one representative per distinct value for the lifetime of
+    the program. *)
+
+type t
+(** An interning registry. *)
+
+val create : ?size:int -> unit -> t
+(** A fresh registry ([size] is the initial table capacity). *)
+
+val id : t -> 'a -> int
+(** [id t v] is the dense id of [v] in [t], allocating the next id on
+    first sight.  Ids count up from 0 in first-interning order.
+    Thread-safe. *)
+
+val count : t -> int
+(** Number of distinct values interned so far. *)
+
+val states : t
+(** The shared registry for local {e states} of simulated processes —
+    used by {!Ksa_sim.Engine}, {!Ksa_ho.Engine} and anything else
+    producing {!Ksa_sim.Trace.t} values, so that state ids agree
+    across substrates. *)
+
+val payloads : t
+(** The shared registry for message {e payloads} (kept separate from
+    {!states} so both id spaces stay dense). *)

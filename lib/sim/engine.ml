@@ -1,4 +1,5 @@
 module Int_map = Map.Make (Int)
+module Intern = Ksa_prim.Intern
 
 module Make (A : Algorithm.S) = struct
   (* Per-pid data lives in plain arrays under a copy-on-write
@@ -12,9 +13,9 @@ module Make (A : Algorithm.S) = struct
     states : A.state array; (* copy-on-write *)
     decided : (Value.t * int) option array; (* copy-on-write *)
     pending : (A.message Envelope.t * int) Int_map.t;
-        (* envelope, paired in exploration mode with the packed
-           (src, dst, payload id) triple the key builder needs —
-           precomputed once at send time (0 when not exploring) *)
+        (* envelope, paired with the packed (src, dst, payload id)
+           triple the key builder needs — precomputed once at send
+           time *)
     inbox : A.message Envelope.t list array;
         (* per-destination index over [pending], newest first;
            copy-on-write.  Kept in lockstep with [pending] so the
@@ -22,11 +23,13 @@ module Make (A : Algorithm.S) = struct
            instead of O(|pending|). *)
     steps : int array; (* per-pid step counts; copy-on-write *)
     next_id : int;
-    state_ids : int array option;
-        (* [Some] iff exploration mode: per-pid interned state ids
-           (copy-on-write), maintained incrementally — only the
-           stepping pid's state is re-interned.  Also the flag that
-           disables the event log and per-step state digests. *)
+    init_ids : int array; (* interned initial states; never mutated *)
+    state_ids : int array;
+        (* per-pid interned state ids (copy-on-write), maintained
+           incrementally — only the stepping pid's state is
+           re-interned *)
+    explore : bool;
+        (* exploration mode: no event log, canonical delivery fold *)
     events : Event.t list; (* reversed; empty in exploration mode *)
   }
 
@@ -36,27 +39,16 @@ module Make (A : Algorithm.S) = struct
   (* Structurally distinct states and payloads are interned to dense
      integers, so a configuration key is an exact sequence of small
      ints — no hash collision can conflate distinct configurations
-     (the tables resolve generic-hash collisions with structural
+     (the registries resolve generic-hash collisions with structural
      equality, exactly the equality [Marshal]-blob keys provided).
-     The registry is shared by every domain running on this functor
-     instance; the mutex keeps it coherent under [Explorer.explore_par]
-     and keeps interned ids comparable across domains. *)
-  let intern_lock = Mutex.create ()
-  let state_tbl : (A.state, int) Hashtbl.t = Hashtbl.create 4096
-  let payload_tbl : (A.message, int) Hashtbl.t = Hashtbl.create 4096
-
-  let intern (tbl : ('a, int) Hashtbl.t) (v : 'a) =
-    Mutex.lock intern_lock;
-    let id =
-      match Hashtbl.find_opt tbl v with
-      | Some id -> id
-      | None ->
-          let id = Hashtbl.length tbl in
-          Hashtbl.add tbl v id;
-          id
-    in
-    Mutex.unlock intern_lock;
-    id
+     The registries live in {!Ksa_prim.Intern} and are shared by
+     every engine functor instance, every substrate and every domain:
+     state ids are therefore comparable across [Engine.Make (A)] and
+     [Engine.Make (Restrict (A))], and across this engine and the
+     Heard-Of engine — which is what lets {!Trace.t} be the one
+     currency of indistinguishability. *)
+  let intern_state (s : A.state) = Intern.id Intern.states s
+  let intern_payload (m : A.message) = Intern.id Intern.payloads m
 
   (* A pending message packs into a single int: src in bits 51..61,
      dst in bits 40..50, payload id in bits 0..39.  The widths are far
@@ -66,13 +58,14 @@ module Make (A : Algorithm.S) = struct
   let pack_triple src dst pl = (src lsl 51) lor (dst lsl 40) lor pl
   let payload_mask = (1 lsl 40) - 1
 
-  (* Transition memo.  In exploration mode a step is a pure function
-     of (local state, received sequence) — the algorithm is a
-     deterministic automaton and failure-detector algorithms are not
-     explorable — and the DFS re-executes the same local transition
-     under thousands of different global configurations.  Keyed by
-     interned ids, so hits skip [A.step] and every intern call.  One
-     table per domain (domain-local storage): no synchronisation. *)
+  (* Transition memo.  For a failure-detector-free algorithm a step is
+     a pure function of (local state, received sequence) — and both
+     the DFS explorer and the recorded-mode portfolios (the Theorem 1
+     screen runs the same algorithm under several adversaries)
+     re-execute the same local transition under thousands of different
+     global configurations.  Keyed by interned ids, so hits skip
+     [A.step] and every intern call.  One table per domain
+     (domain-local storage): no synchronisation. *)
   type memo_entry = {
     m_state : A.state;
     m_state_id : int;
@@ -87,9 +80,7 @@ module Make (A : Algorithm.S) = struct
   let make_init ~explore ~n ~inputs =
     if Array.length inputs <> n then invalid_arg "Engine.init: inputs length";
     let states = Array.init n (fun p -> A.init ~n ~me:p ~input:inputs.(p)) in
-    let state_ids =
-      if explore then Some (Array.map (intern state_tbl) states) else None
-    in
+    let init_ids = Array.map intern_state states in
     {
       n;
       inputs = Array.copy inputs;
@@ -100,15 +91,17 @@ module Make (A : Algorithm.S) = struct
       inbox = Array.make n [];
       steps = Array.make n 0;
       next_id = 0;
-      state_ids;
+      init_ids;
+      state_ids = init_ids;
+      explore;
       events = [];
     }
 
   let init ~n ~inputs = make_init ~explore:false ~n ~inputs
 
   let init_explore ~n ~inputs = make_init ~explore:true ~n ~inputs
-  (* Exploration mode: skip the event log and per-step state digests —
-     configurations stay small and forkable by the million. *)
+  (* Exploration mode: skip the event log — configurations stay small
+     and forkable by the million. *)
 
   let time c = c.time
   let n c = c.n
@@ -184,14 +177,13 @@ module Make (A : Algorithm.S) = struct
        same closure.  Recorded (non-exploration) runs keep the
        id-order fold. *)
     let env_pairs =
-      match c.state_ids with
-      | Some _ when not A.uses_fd ->
-          List.sort
-            (fun ((a : A.message Envelope.t), _)
-                 ((b : A.message Envelope.t), _) ->
-              compare (a.src, a.payload) (b.src, b.payload))
-            env_pairs
-      | _ -> env_pairs
+      if c.explore && not A.uses_fd then
+        List.sort
+          (fun ((a : A.message Envelope.t), _)
+               ((b : A.message Envelope.t), _) ->
+            compare (a.src, a.payload) (b.src, b.payload))
+          env_pairs
+      else env_pairs
     in
     let fd_view =
       if A.uses_fd then
@@ -203,47 +195,48 @@ module Make (A : Algorithm.S) = struct
     in
     let state = c.states.(pid) in
     (* [sends3] carries the interned payload id per send (from the
-       memo or a fresh intern); -1 when unknown (non-exploration or
-       failure-detector paths). *)
+       memo or a fresh intern); -1 when not yet known (the
+       failure-detector path interns at send time instead). *)
     let state', sends3, dec, state_id' =
-      match c.state_ids with
-      | Some sids when not A.uses_fd -> (
-          let mkey =
-            ( sids.(pid),
-              List.map
-                (fun ((e : A.message Envelope.t), t) ->
-                  (e.src, t land payload_mask))
-                env_pairs )
-          in
-          let memo = Domain.DLS.get memo_dls in
-          match Hashtbl.find_opt memo mkey with
-          | Some m -> (m.m_state, m.m_sends, m.m_dec, m.m_state_id)
-          | None ->
-              let received =
-                List.map
-                  (fun ((e : A.message Envelope.t), _) -> (e.src, e.payload))
-                  env_pairs
-              in
-              let state', sends, dec = A.step state ~received ~fd:None in
-              let sends3 =
-                List.map
-                  (fun (dst, payload) ->
-                    (dst, payload, intern payload_tbl payload))
-                  sends
-              in
-              let sid = intern state_tbl state' in
-              Hashtbl.add memo mkey
-                { m_state = state'; m_state_id = sid; m_sends = sends3;
-                  m_dec = dec };
-              (state', sends3, dec, sid))
-      | _ ->
-          let received =
+      if not A.uses_fd then (
+        let mkey =
+          ( c.state_ids.(pid),
             List.map
-              (fun ((e : A.message Envelope.t), _) -> (e.src, e.payload))
-              env_pairs
-          in
-          let state', sends, dec = A.step state ~received ~fd:fd_view in
-          (state', List.map (fun (dst, p) -> (dst, p, -1)) sends, dec, -1)
+              (fun ((e : A.message Envelope.t), t) ->
+                (e.src, t land payload_mask))
+              env_pairs )
+        in
+        let memo = Domain.DLS.get memo_dls in
+        match Hashtbl.find_opt memo mkey with
+        | Some m -> (m.m_state, m.m_sends, m.m_dec, m.m_state_id)
+        | None ->
+            let received =
+              List.map
+                (fun ((e : A.message Envelope.t), _) -> (e.src, e.payload))
+                env_pairs
+            in
+            let state', sends, dec = A.step state ~received ~fd:None in
+            let sends3 =
+              List.map
+                (fun (dst, payload) -> (dst, payload, intern_payload payload))
+                sends
+            in
+            let sid = intern_state state' in
+            Hashtbl.add memo mkey
+              { m_state = state'; m_state_id = sid; m_sends = sends3;
+                m_dec = dec };
+            (state', sends3, dec, sid))
+      else
+        let received =
+          List.map
+            (fun ((e : A.message Envelope.t), _) -> (e.src, e.payload))
+            env_pairs
+        in
+        let state', sends, dec = A.step state ~received ~fd:fd_view in
+        ( state',
+          List.map (fun (dst, p) -> (dst, p, -1)) sends,
+          dec,
+          intern_state state' )
     in
     let pending =
       List.fold_left
@@ -264,7 +257,6 @@ module Make (A : Algorithm.S) = struct
                    (fun ((d : A.message Envelope.t), _) -> d.id = e.id)
                    env_pairs))
             inbox.(pid));
-    let exploring = c.state_ids <> None in
     let pending, next_id, sent_refs =
       List.fold_left
         (fun (pend, id, refs) (dst, payload, plid) ->
@@ -275,10 +267,8 @@ module Make (A : Algorithm.S) = struct
           in
           inbox.(dst) <- e :: inbox.(dst);
           let triple =
-            if not exploring then 0
-            else
-              pack_triple pid dst
-                (if plid >= 0 then plid else intern payload_tbl payload)
+            pack_triple pid dst
+              (if plid >= 0 then plid else intern_payload payload)
           in
           (Int_map.add id (e, triple) pend, id + 1, (id, dst) :: refs))
         (pending, c.next_id, [])
@@ -297,7 +287,7 @@ module Make (A : Algorithm.S) = struct
               if Value.equal v v0 then c.decided else raise (Double_decision pid))
     in
     let events =
-      if exploring then []
+      if c.explore then []
       else
         {
           Event.time = next_time;
@@ -311,20 +301,16 @@ module Make (A : Algorithm.S) = struct
             (match dec with
             | Some v when c.decided.(pid) = None -> Some v
             | Some _ | None -> None);
-          state_digest = Digest.string (Marshal.to_string state' []);
+          state_id = state_id';
         }
         :: c.events
     in
     let state_ids =
-      match c.state_ids with
-      | None -> None
-      | Some sids ->
-          (* only [pid]'s state changed: one intern per step (memo
-             hits skip even that), not one per process per key *)
-          let sids = Array.copy sids in
-          sids.(pid) <-
-            (if state_id' >= 0 then state_id' else intern state_tbl state');
-          Some sids
+      (* only [pid]'s state changed: one intern per step (memo hits
+         skip even that), not one per process per key *)
+      let sids = Array.copy c.state_ids in
+      sids.(pid) <- state_id';
+      sids
     in
     let states = Array.copy c.states in
     states.(pid) <- state';
@@ -377,6 +363,18 @@ module Make (A : Algorithm.S) = struct
     | Adversary.Step { pid; deliver } -> Some (exec_step ?fd ~pattern c pid deliver)
     | Adversary.Drop ids -> Some (exec_drop ~pattern c ids)
 
+  let trace_of c =
+    (* c.events is newest-first: prepending while iterating it yields
+       chronological per-pid rows *)
+    let rev_rows = Array.make c.n [] in
+    List.iter
+      (fun (ev : Event.t) ->
+        rev_rows.(ev.pid) <-
+          { Trace.state_id = ev.state_id; decision = ev.decision }
+          :: rev_rows.(ev.pid))
+      c.events;
+    Trace.make ~init_ids:c.init_ids ~steps:rev_rows
+
   let finish c ~pattern status =
     {
       Run.status;
@@ -384,6 +382,7 @@ module Make (A : Algorithm.S) = struct
       inputs = Array.copy c.inputs;
       pattern;
       events = events c;
+      trace = trace_of c;
       decisions = decisions c;
     }
 
@@ -428,30 +427,14 @@ module Make (A : Algorithm.S) = struct
     let n = c.n in
     let m = Int_map.cardinal c.pending in
     let triples = Array.make m 0 in
-    let sids =
-      match c.state_ids with
-      | Some sids ->
-          let i = ref 0 in
-          Int_map.iter
-            (fun _ (_, t) ->
-              triples.(!i) <- t;
-              incr i)
-            c.pending;
-          sids
-      | None ->
-          (* non-exploration configs (e.g. fingerprinting a recorded
-             run): intern on the fly *)
-          let i = ref 0 in
-          Int_map.iter
-            (fun _ ((e : A.message Envelope.t), _) ->
-              triples.(!i) <-
-                pack_triple e.src e.dst (intern payload_tbl e.payload);
-              incr i)
-            c.pending;
-          Array.map (intern state_tbl) c.states
-    in
+    let i = ref 0 in
+    Int_map.iter
+      (fun _ (_, t) ->
+        triples.(!i) <- t;
+        incr i)
+      c.pending;
+    let sids = c.state_ids in
     Array.sort (fun (a : int) b -> compare a b) triples;
-    let m = Array.length triples in
     let d = ref 0 in
     for p = 0 to n - 1 do
       if c.decided.(p) <> None then incr d

@@ -34,8 +34,9 @@ module Make (A : Algorithm.S) : sig
 
   val init_explore : n:int -> inputs:Value.t array -> config
   (** Like {!init} but in exploration mode: the configuration does not
-      accumulate an event log (and skips the per-step state digest), so
-      forked configurations stay small.  {!events} returns [[]] and
+      accumulate an event log ({!finish} then produces a run whose
+      {!Trace.t} has empty step rows), so forked configurations stay
+      small.  {!events} returns [[]] and
       {!finish} produces a run with an empty event list; everything
       else behaves identically except for one semantic choice: a batch
       of deliveries in a single step is folded into [A.step] in
@@ -100,13 +101,13 @@ module Make (A : Algorithm.S) : sig
 
   type key = string
   (** Compact canonical key of a configuration: local states and
-      message payloads are interned to dense integers in a registry
-      shared across the functor instance (and across domains — the
-      registry is mutex-protected), and the key is the exact packed
-      sequence of those integers.  Equality of keys therefore holds
-      {e iff} the semantic cores are structurally equal: no hash
-      collision can conflate two distinct configurations, unlike a
-      truncated digest. *)
+      message payloads are interned to dense integers in the global
+      {!Ksa_prim.Intern} registries (shared across functor instances,
+      substrates and domains — the registries are mutex-protected),
+      and the key is the exact packed sequence of those integers.
+      Equality of keys therefore holds {e iff} the semantic cores are
+      structurally equal: no hash collision can conflate two distinct
+      configurations, unlike a truncated digest. *)
 
   val key : ?extra:int -> config -> key
   (** Canonical key of the semantic core of a configuration: local

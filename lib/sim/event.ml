@@ -4,7 +4,7 @@ type t = {
   delivered : (int * Pid.t) list;
   sent : (int * Pid.t) list;
   decision : Value.t option;
-  state_digest : string;
+  state_id : int;
 }
 
 let pp ppf e =

@@ -13,11 +13,15 @@ type t = {
   delivered : (int * Pid.t) list;  (** (message id, sender) received in this step. *)
   sent : (int * Pid.t) list;  (** (message id, recipient) sent in this step. *)
   decision : Value.t option;  (** [Some v] if the process decided in this step. *)
-  state_digest : string;
-      (** MD5 of the marshalled post-step local state.  Two processes
-          with equal digest sequences went through the same states —
-          the operational form of the paper's indistinguishability
-          (until decision) of runs (Definition 2). *)
+  state_id : int;
+      (** Interned id of the post-step local state (from the shared
+          {!Ksa_prim.Intern.states} registry).  Id equality holds iff
+          the states are structurally equal — the registry resolves
+          hash collisions with structural equality — so equal id
+          sequences mean {e exactly} equal state sequences: the
+          operational form of the paper's indistinguishability (until
+          decision) of runs (Definition 2), with no collision
+          caveat. *)
 }
 
 val pp : Format.formatter -> t -> unit

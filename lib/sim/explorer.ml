@@ -742,4 +742,31 @@ module Make (A : Algorithm.S) = struct
     | All_paths_decide _ | Stuck _ -> ()
     | Safety_violation _ -> ());
     List.sort compare !seen
+
+  let reachable_decision_values_par ?domains ?(max_configs = 300_000)
+      ?(policy = Per_sender) ~n ~inputs ~crash_budget () =
+    (* [check] runs concurrently on several domains: the accumulator
+       is mutex-protected.  Parity with the sequential driver follows
+       from [explore_with_crashes_par] enumerating the same reachable
+       node set (asserted in test/test_explore.ml). *)
+    let lock = Mutex.create () in
+    let seen = ref [] in
+    let note decisions =
+      Mutex.lock lock;
+      List.iter
+        (fun (_, v, _) -> if not (List.mem v !seen) then seen := v :: !seen)
+        decisions;
+      Mutex.unlock lock
+    in
+    (match
+       explore_with_crashes_par ?domains ~max_configs ~policy ~n ~inputs
+         ~crash_budget
+         ~check:(fun decisions ->
+           note decisions;
+           None)
+         ()
+     with
+    | All_paths_decide _ | Stuck _ -> ()
+    | Safety_violation _ -> ());
+    List.sort compare !seen
 end

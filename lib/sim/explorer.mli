@@ -177,4 +177,19 @@ module Make (A : Algorithm.S) : sig
       the crash-adversarial exploration: the {e valency} of the
       initial configuration.  Two or more values = bivalent/
       multivalent in FLP's sense. *)
+
+  val reachable_decision_values_par :
+    ?domains:int ->
+    ?max_configs:int ->
+    ?policy:delivery_policy ->
+    n:int ->
+    inputs:Value.t array ->
+    crash_budget:int ->
+    unit ->
+    Value.t list
+  (** Multicore {!reachable_decision_values}, routed through
+      {!explore_with_crashes_par} with a mutex-protected accumulator.
+      Returns exactly the same value set as the sequential driver
+      whenever [max_configs] does not truncate the enumeration (the
+      parallel search visits the same reachable node set). *)
 end

@@ -10,6 +10,7 @@ type t = {
   inputs : Value.t array;
   pattern : Failure_pattern.t;
   events : Event.t list;
+  trace : Trace.t;
   decisions : (Pid.t * Value.t * int) list;
 }
 

@@ -22,6 +22,11 @@ type t = {
   inputs : Value.t array;
   pattern : Failure_pattern.t;
   events : Event.t list;  (** Chronological. *)
+  trace : Trace.t;
+      (** The per-process interned state-id sequences of the run —
+          the substrate-neutral object Definitions 2 and 3 evaluate
+          over (see {!Ksa_core.Indist}).  Step rows are empty for
+          runs produced in exploration mode, which skips the log. *)
   decisions : (Pid.t * Value.t * int) list;
       (** (process, value, decision time), sorted by pid; includes
           decisions of processes that later crashed — k-agreement is

@@ -105,11 +105,26 @@ let check_invariants (run : Sim.Run.t) =
   let pids = List.map (fun (p, _, _) -> p) run.Sim.Run.decisions in
   if List.length (List.sort_uniq compare pids) <> List.length pids then
     failwith "process decided twice";
-  (* 6. state digests are nonempty *)
+  (* 6. state ids are valid registry ids, and the trace mirrors the
+     event log: per pid, the event state-id sequence equals the trace
+     step row *)
   List.iter
     (fun (ev : Sim.Event.t) ->
-      if String.length ev.state_digest <> 16 then failwith "bad digest")
-    events
+      if ev.state_id < 0 then failwith "bad state id")
+    events;
+  let trace = run.Sim.Run.trace in
+  for p = 0 to run.Sim.Run.n - 1 do
+    let from_events =
+      List.filter_map
+        (fun (ev : Sim.Event.t) ->
+          if ev.pid = p then Some ev.state_id else None)
+        events
+    in
+    let from_trace =
+      Array.to_list (Array.map (fun (s : Sim.Trace.step) -> s.state_id) trace.Sim.Trace.steps.(p))
+    in
+    if from_events <> from_trace then failwith "trace diverges from event log"
+  done
 
 let prop_engine_invariants =
   QCheck.Test.make ~name:"engine invariants over fuzzed runs" ~count:150

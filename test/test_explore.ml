@@ -185,6 +185,25 @@ let test_parity_crashes_initially_dead () =
   | _ -> Alcotest.fail "expected a stuck subsystem");
   check_resilient_equal "crash n3 initially-dead" seq par
 
+let test_parity_reachable_values () =
+  (* the valency probe: sequential and multicore drivers must report
+     exactly the same reachable decision-value set *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  let seq =
+    Ex.reachable_decision_values ~n:3 ~inputs:(distinct 3) ~crash_budget:1 ()
+  in
+  Alcotest.(check bool) "multivalent" true (List.length seq > 1);
+  List.iter
+    (fun domains ->
+      let par =
+        Ex.reachable_decision_values_par ~domains ~n:3 ~inputs:(distinct 3)
+          ~crash_budget:1 ()
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "reachable values domains=%d" domains)
+        seq par)
+    [ 1; 2; 4 ]
+
 (* ---------- key soundness ---------- *)
 
 module E2 = Sim.Engine.Make (K2)
@@ -261,6 +280,8 @@ let suites =
           test_parity_crashes_budget0;
         Alcotest.test_case "crash explorer, initially dead" `Quick
           test_parity_crashes_initially_dead;
+        Alcotest.test_case "reachable decision values" `Quick
+          test_parity_reachable_values;
       ] );
     ( "explore.keys",
       [

@@ -256,9 +256,11 @@ let test_replay_reproduces_run () =
   in
   Alcotest.(check bool) "same decisions" true
     (orig.Sim.Run.decisions = replayed.Sim.Run.decisions);
-  Alcotest.(check bool) "same state digests" true
-    (List.map (fun (e : Sim.Event.t) -> (e.pid, e.state_digest)) orig.Sim.Run.events
-    = List.map (fun (e : Sim.Event.t) -> (e.pid, e.state_digest)) replayed.Sim.Run.events)
+  Alcotest.(check bool) "same state ids" true
+    (List.map (fun (e : Sim.Event.t) -> (e.pid, e.state_id)) orig.Sim.Run.events
+    = List.map (fun (e : Sim.Event.t) -> (e.pid, e.state_id)) replayed.Sim.Run.events);
+  Alcotest.(check bool) "same traces" true
+    (Sim.Trace.equal orig.Sim.Run.trace replayed.Sim.Run.trace)
 
 (* ---------- Explorer ---------- *)
 

@@ -1,0 +1,248 @@
+(* The unified trace layer.
+
+   Unit tests of the four-case Definition 2 semantics over hand-built
+   traces, plus the cross-substrate theorem the layer exists for: the
+   same algorithm run lock-step in the asynchronous engine and under a
+   full (complete-HO) assignment in the Heard-Of engine produces
+   literally identical interned traces — same init ids, same state-id
+   rows, same decision marks — because both substrates intern into the
+   one shared registry. *)
+
+module Sim = Ksa_sim
+module Trace = Sim.Trace
+
+let distinct = Sim.Value.distinct_inputs
+
+(* ---------- Definition 2 semantics over hand-built traces ---------- *)
+
+let mk ~init rows =
+  Trace.make ~init_ids:(Array.of_list init)
+    ~steps:
+      (Array.of_list
+         (List.map
+            (fun row ->
+              List.map
+                (fun (state_id, decision) -> { Trace.state_id; decision })
+                row)
+            rows))
+
+let test_both_decided () =
+  let a = mk ~init:[ 7 ] [ [ (1, None); (2, Some 0); (3, None) ] ] in
+  let b = mk ~init:[ 7 ] [ [ (1, None); (2, Some 0) ] ] in
+  (* equal prefixes up to and including the deciding step; the tail
+     beyond the decision is irrelevant *)
+  Alcotest.(check bool) "same deciding prefix" true
+    (Trace.indistinguishable_for a b 0);
+  let c = mk ~init:[ 7 ] [ [ (1, None); (9, Some 0) ] ] in
+  Alcotest.(check bool) "different deciding state" false
+    (Trace.indistinguishable_for a c 0);
+  let d = mk ~init:[ 7 ] [ [ (1, None); (2, None); (3, Some 0) ] ] in
+  (* both decided but at different step counts: distinguishable even
+     though the state sequences agree on the common prefix *)
+  Alcotest.(check bool) "different deciding step" false
+    (Trace.indistinguishable_for a d 0)
+
+let test_one_decided () =
+  let dec = mk ~init:[ 7 ] [ [ (1, None); (2, Some 0) ] ] in
+  let longer = mk ~init:[ 7 ] [ [ (1, None); (2, None); (5, None) ] ] in
+  (* the decided prefix must be a prefix of the undecided trace *)
+  Alcotest.(check bool) "decided vs longer undecided" true
+    (Trace.indistinguishable_for dec longer 0);
+  Alcotest.(check bool) "symmetric" true
+    (Trace.indistinguishable_for longer dec 0);
+  let shorter = mk ~init:[ 7 ] [ [ (1, None) ] ] in
+  (* the undecided trace is too short to contain the deciding prefix *)
+  Alcotest.(check bool) "decided vs shorter undecided" false
+    (Trace.indistinguishable_for dec shorter 0)
+
+let test_neither_decided () =
+  let a = mk ~init:[ 7 ] [ [ (1, None); (2, None) ] ] in
+  let b = mk ~init:[ 7 ] [ [ (1, None); (2, None); (3, None) ] ] in
+  Alcotest.(check bool) "agree up to min length" true
+    (Trace.indistinguishable_for a b 0);
+  let c = mk ~init:[ 7 ] [ [ (1, None); (9, None); (3, None) ] ] in
+  Alcotest.(check bool) "diverge within min length" false
+    (Trace.indistinguishable_for a c 0)
+
+let test_init_states_compared () =
+  let a = mk ~init:[ 7 ] [ [ (1, None) ] ] in
+  let b = mk ~init:[ 8 ] [ [ (1, None) ] ] in
+  Alcotest.(check bool) "different initial states" false
+    (Trace.indistinguishable_for a b 0)
+
+let test_states_until_decision () =
+  let t = mk ~init:[ 7 ] [ [ (1, None); (2, Some 0); (3, None) ] ] in
+  Alcotest.(check (list int)) "cut at decision" [ 7; 1; 2 ]
+    (Trace.states_until_decision t 0);
+  let u = mk ~init:[ 7 ] [ [ (1, None); (2, None) ] ] in
+  Alcotest.(check (list int)) "whole row when undecided" [ 7; 1; 2 ]
+    (Trace.states_until_decision u 0)
+
+(* ---------- cross-substrate lock-step equality ---------- *)
+
+(* A deterministic R-round min-flooding agreement protocol, written
+   once against shared state/message types and wrapped for both
+   substrates.  Round 1 is a content-free Hello round (its messages
+   are ignored), so that the asynchronous rendering — where the first
+   step of a process has nothing to deliver — traverses exactly the
+   HO state sequence. *)
+
+let rounds_total = 3
+
+type fl_state = { n : int; est : int; round : int }
+type fl_msg = Hello | Est of int
+
+let fl_init ~n ~input = { n; est = input; round = 0 }
+
+let fl_payload st ~round = if round = 1 then Hello else Est st.est
+
+let fl_transition st ~round ~received =
+  let est =
+    if round = 1 then st.est
+    else
+      List.fold_left
+        (fun acc (_, m) -> match m with Est e -> min acc e | Hello -> acc)
+        st.est received
+  in
+  let st' = { st with est; round } in
+  let dec = if round = rounds_total then Some est else None in
+  (st', dec)
+
+module Ho_flood : Ksa_ho.Ho_algorithm.S
+  with type state = fl_state and type message = fl_msg = struct
+  type state = fl_state
+  type message = fl_msg
+
+  let name = "ho-min-flood"
+  let init ~n ~me:_ ~input = fl_init ~n ~input
+  let send st ~round = fl_payload st ~round
+  let transition = fl_transition
+  let pp_state ppf st = Format.fprintf ppf "est=%d@r%d" st.est st.round
+  let pp_message ppf = function
+    | Hello -> Format.pp_print_string ppf "hello"
+    | Est e -> Format.fprintf ppf "est(%d)" e
+end
+
+module Async_flood : Sim.Algorithm.S
+  with type state = fl_state and type message = fl_msg = struct
+  type state = fl_state
+  type message = fl_msg
+
+  let name = "async-min-flood"
+  let uses_fd = false
+  let init ~n ~me:_ ~input = fl_init ~n ~input
+
+  let step st ~received ~fd:_ =
+    let round = st.round + 1 in
+    let st', dec = fl_transition st ~round ~received in
+    (* the round-(r+1) broadcast is computed from the post-round state,
+       exactly as the HO engine computes round-(r+1) messages from the
+       state after round r *)
+    let sends =
+      if round < rounds_total then
+        List.init st.n (fun q -> (q, fl_payload st' ~round:(round + 1)))
+      else []
+    in
+    (st', sends, dec)
+
+  let pp_state ppf st = Format.fprintf ppf "est=%d@r%d" st.est st.round
+  let pp_message ppf = function
+    | Hello -> Format.pp_print_string ppf "hello"
+    | Est e -> Format.fprintf ppf "est(%d)" e
+end
+
+(* Round-synchronous schedule for the asynchronous engine: in block r
+   (steps (r−1)·n+1 … r·n) each process takes one step in pid order,
+   delivering exactly the messages sent in earlier blocks — i.e. its
+   round-r messages.  Ascending message-id order coincides with
+   ascending sender order, matching the HO engine's sender-ordered
+   delivery. *)
+let lockstep ~n ~rounds =
+  {
+    Sim.Adversary.describe = "lockstep round-synchronous";
+    next =
+      (fun obs ->
+        if obs.Sim.Adversary.time >= n * rounds then Sim.Adversary.Halt
+        else
+          let pid = obs.time mod n in
+          let block_start = obs.time / n * n in
+          let deliver =
+            List.filter_map
+              (fun (m : Sim.Adversary.pending) ->
+                if m.dst = pid && m.sent_at <= block_start then Some m.id
+                else None)
+              obs.pending
+          in
+          Sim.Adversary.Step { pid; deliver });
+  }
+
+let test_cross_substrate_traces () =
+  let n = 4 in
+  let inputs = distinct n in
+  let module HE = Ksa_ho.Engine.Make (Ho_flood) in
+  let module AE = Sim.Engine.Make (Async_flood) in
+  let ho =
+    HE.run ~n ~inputs ~assignment:(Ksa_ho.Assignment.complete ~n)
+      ~rounds:rounds_total
+  in
+  let async =
+    AE.run ~n ~inputs
+      ~pattern:(Sim.Failure_pattern.none ~n)
+      (lockstep ~n ~rounds:rounds_total)
+  in
+  Alcotest.(check bool) "async run decision-complete" true
+    (Sim.Run.all_correct_decided async);
+  Alcotest.(check bool) "ho outcome decision-complete" true
+    (HE.all_decided ho);
+  (* the min of all inputs wins everywhere, on both substrates *)
+  let lo = Array.fold_left min max_int inputs in
+  Alcotest.(check (list int)) "same decisions" [ lo ] (HE.decided_values ho);
+  Alcotest.(check (list int)) "async agrees" [ lo ]
+    (Sim.Run.decided_values async);
+  (* the payoff: literally the same trace object, interned ids and
+     all, out of two different execution substrates *)
+  Alcotest.(check bool) "identical interned traces" true
+    (Trace.equal ho.HE.trace async.Sim.Run.trace);
+  Alcotest.(check bool) "indistinguishable for every process" true
+    (Trace.indistinguishable_for_all ho.HE.trace async.Sim.Run.trace
+       (List.init n Fun.id))
+
+let test_cross_substrate_divergence_detected () =
+  (* sanity check that the equality above is not vacuous: a partitioned
+     HO assignment diverges from the complete one, and the traces must
+     differ for processes outside the largest group *)
+  let n = 4 in
+  let inputs = distinct n in
+  let module HE = Ksa_ho.Engine.Make (Ho_flood) in
+  let full =
+    HE.run ~n ~inputs ~assignment:(Ksa_ho.Assignment.complete ~n)
+      ~rounds:rounds_total
+  in
+  let split =
+    HE.run ~n ~inputs
+      ~assignment:
+        (Ksa_ho.Assignment.partitioned ~n ~groups:[ [ 0; 1 ]; [ 2; 3 ] ] ())
+      ~rounds:rounds_total
+  in
+  Alcotest.(check bool) "partitioned trace differs" false
+    (Trace.equal full.HE.trace split.HE.trace);
+  Alcotest.(check bool) "distinguishable for p3" false
+    (Sim.Trace.indistinguishable_for full.HE.trace split.HE.trace 3)
+
+let suites =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "both decided" `Quick test_both_decided;
+        Alcotest.test_case "one decided" `Quick test_one_decided;
+        Alcotest.test_case "neither decided" `Quick test_neither_decided;
+        Alcotest.test_case "initial states compared" `Quick
+          test_init_states_compared;
+        Alcotest.test_case "states until decision" `Quick
+          test_states_until_decision;
+        Alcotest.test_case "cross-substrate lock-step equality" `Quick
+          test_cross_substrate_traces;
+        Alcotest.test_case "cross-substrate divergence detected" `Quick
+          test_cross_substrate_divergence_detected;
+      ] );
+  ]

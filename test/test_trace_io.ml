@@ -41,9 +41,9 @@ let test_schedule_replay_equivalence () =
   in
   Alcotest.(check bool) "identical decisions" true
     (run.Sim.Run.decisions = replayed.Sim.Run.decisions);
-  Alcotest.(check bool) "identical digests" true
-    (List.map (fun (e : Sim.Event.t) -> e.state_digest) run.Sim.Run.events
-    = List.map (fun (e : Sim.Event.t) -> e.state_digest) replayed.Sim.Run.events)
+  Alcotest.(check bool) "identical state ids" true
+    (List.map (fun (e : Sim.Event.t) -> e.state_id) run.Sim.Run.events
+    = List.map (fun (e : Sim.Event.t) -> e.state_id) replayed.Sim.Run.events)
 
 let test_schedule_parse_errors () =
   let bad = [ "nonsense"; "x: 1.2"; "1: 0.0"; "1: 0,1"; "1 0.1" ] in
