@@ -21,6 +21,7 @@ module Core = Ksa_core
 module Algo = Ksa_algo
 module Fd = Ksa_fd
 module Rng = Ksa_prim.Rng
+module Metrics = Ksa_prim.Metrics
 
 (* ------------------------------------------------------------------ *)
 (* benchmark subjects: one per experiment                              *)
@@ -270,53 +271,83 @@ let bench_indist_for_all_n6 () =
   ignore (Core.Indist.for_all ra rb [ 0; 1; 2; 3; 4; 5 ]);
   ignore (Core.Indist.for_all ra ra [ 0; 1; 2; 3; 4; 5 ])
 
+(* One (name, thunk) pair per subject: bechamel times the thunk, and
+   in [--json] mode a single extra invocation between two
+   Metrics.snapshot calls yields the per-run counter deltas that go
+   into BENCH_*.json next to the timing. *)
+let subjects =
+  [
+    ("e1:theorem2-screening", bench_e1_screening);
+    ("e2:protocol-run-n8", bench_e2_protocol_run);
+    ("e2:border-pasting-n6", bench_e2_border_pasting);
+    ("e3:protocol-run-n24", bench_e3_scale_n24);
+    ("e4:source-components-n400", bench_e4_source_components);
+    ("e5:lemma12-synod-n5", bench_e5_lemma12_synod);
+    ("e6:coverage-sweep-n64", bench_e6_coverage);
+    ("e7:history-validation", bench_e7_history_validation);
+    ("e8:screen-naive-min", bench_e8_screen_naive);
+    ("e9:independence-check", bench_e9_independence);
+    ("e10:ho-uniform-voting-n8", bench_e10_ho_uniform_voting);
+    ("e12:crash-explorer-n3", bench_e12_crash_explorer);
+    ("e12:crash-explorer-par-n3", bench_e12_crash_explorer_par);
+    ("e13:abd-torture-n4", bench_e13_abd_torture);
+    ("theorem2:end-to-end-n6", bench_theorem2_demonstrate);
+    ("ablation:explorer-exhaustive-n3", bench_ablation_explorer_n3);
+    ("ablation:explorer-exhaustive-n4", bench_ablation_explorer_n4);
+    ("ablation:explorer-par-n4", bench_ablation_explorer_par_n4);
+    ("ablation:engine-throughput-n32", bench_ablation_engine_throughput);
+    ("ablation:scc-path-50k", bench_ablation_scc_50k);
+    ("ablation:record-replay-n6", bench_ablation_replay);
+    ("screen:section6-n4", bench_screen_section6_n4);
+    ("indist:for-all-n6", bench_indist_for_all_n6);
+  ]
+
 let tests =
   Test.make_grouped ~name:"ksa" ~fmt:"%s/%s"
-    [
-      Test.make ~name:"e1:theorem2-screening" (Staged.stage bench_e1_screening);
-      Test.make ~name:"e2:protocol-run-n8" (Staged.stage bench_e2_protocol_run);
-      Test.make ~name:"e2:border-pasting-n6" (Staged.stage bench_e2_border_pasting);
-      Test.make ~name:"e3:protocol-run-n24" (Staged.stage bench_e3_scale_n24);
-      Test.make ~name:"e4:source-components-n400"
-        (Staged.stage bench_e4_source_components);
-      Test.make ~name:"e5:lemma12-synod-n5" (Staged.stage bench_e5_lemma12_synod);
-      Test.make ~name:"e6:coverage-sweep-n64" (Staged.stage bench_e6_coverage);
-      Test.make ~name:"e7:history-validation"
-        (Staged.stage bench_e7_history_validation);
-      Test.make ~name:"e8:screen-naive-min" (Staged.stage bench_e8_screen_naive);
-      Test.make ~name:"e9:independence-check" (Staged.stage bench_e9_independence);
-      Test.make ~name:"e10:ho-uniform-voting-n8" (Staged.stage bench_e10_ho_uniform_voting);
-      Test.make ~name:"e12:crash-explorer-n3" (Staged.stage bench_e12_crash_explorer);
-      Test.make ~name:"e12:crash-explorer-par-n3"
-        (Staged.stage bench_e12_crash_explorer_par);
-      Test.make ~name:"e13:abd-torture-n4" (Staged.stage bench_e13_abd_torture);
-      Test.make ~name:"theorem2:end-to-end-n6" (Staged.stage bench_theorem2_demonstrate);
-      Test.make ~name:"ablation:explorer-exhaustive-n3"
-        (Staged.stage bench_ablation_explorer_n3);
-      Test.make ~name:"ablation:explorer-exhaustive-n4"
-        (Staged.stage bench_ablation_explorer_n4);
-      Test.make ~name:"ablation:explorer-par-n4"
-        (Staged.stage bench_ablation_explorer_par_n4);
-      Test.make ~name:"ablation:engine-throughput-n32"
-        (Staged.stage bench_ablation_engine_throughput);
-      Test.make ~name:"ablation:scc-path-50k" (Staged.stage bench_ablation_scc_50k);
-      Test.make ~name:"ablation:record-replay-n6"
-        (Staged.stage bench_ablation_replay);
-      Test.make ~name:"screen:section6-n4" (Staged.stage bench_screen_section6_n4);
-      Test.make ~name:"indist:for-all-n6" (Staged.stage bench_indist_for_all_n6);
-    ]
+    (List.map
+       (fun (name, fn) -> Test.make ~name (Staged.stage fn))
+       subjects)
 
-(* Machine-readable perf trajectory: benchmark name -> ns/run, one
-   JSON object, written next to the cwd so successive PRs can diff it. *)
+(* One extra run per subject, bracketed by metric snapshots: the
+   non-zero deltas are what one invocation of the subject costs in
+   events (configs admitted, memo hits, sim steps, ...).  Gauge
+   entries subtract like everything else; a zero delta (an already
+   saturated high-watermark, an unchanged interner) is dropped. *)
+let counter_deltas () =
+  List.map
+    (fun (name, fn) ->
+      let before = Metrics.snapshot () in
+      fn ();
+      let after = Metrics.snapshot () in
+      let delta =
+        List.filter (fun (_, v) -> v <> 0) (Metrics.delta ~before ~after)
+      in
+      ("ksa/" ^ name, delta))
+    subjects
+
+(* Machine-readable perf trajectory: benchmark name -> ns/run plus
+   the counter deltas of one run, one JSON object, written next to
+   the cwd so successive PRs can diff it. *)
 let write_bench_json ~path rows =
   let oc = open_out path in
   output_string oc "{\n";
   let total = List.length rows in
   List.iteri
-    (fun i (name, ns) ->
-      Printf.fprintf oc "  %S: %s%s\n" name
-        (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
-        (if i = total - 1 then "" else ","))
+    (fun i (name, ns, counters) ->
+      Printf.fprintf oc "  %S: {\n    \"ns_per_run\": %s" name
+        (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns);
+      (match counters with
+      | [] -> ()
+      | counters ->
+          output_string oc ",\n    \"counters\": {";
+          let nc = List.length counters in
+          List.iteri
+            (fun j (k, v) ->
+              Printf.fprintf oc "\n      %S: %d%s" k v
+                (if j = nc - 1 then "" else ","))
+            counters;
+          output_string oc "\n    }");
+      Printf.fprintf oc "\n  }%s\n" (if i = total - 1 then "" else ","))
     rows;
   output_string oc "}\n";
   close_out oc;
@@ -358,7 +389,17 @@ let run_benchmarks ~json () =
       Format.printf "%-44s %16s@." name pretty)
     rows;
   if json then begin
-    let is_trace_subject (name, _) =
+    let deltas = counter_deltas () in
+    let rows =
+      List.map
+        (fun (name, ns) ->
+          let counters =
+            Option.value ~default:[] (List.assoc_opt name deltas)
+          in
+          (name, ns, counters))
+        rows
+    in
+    let is_trace_subject (name, _, _) =
       let has sub =
         let ls = String.length sub and ln = String.length name in
         let rec at i = i + ls <= ln && (String.sub name i ls = sub || at (i + 1)) in

@@ -15,6 +15,7 @@ module Core = Ksa_core
 module Algo = Ksa_algo
 module Fd = Ksa_fd
 module Rng = Ksa_prim.Rng
+module Metrics = Ksa_prim.Metrics
 
 (* ---------- shared argument parsing ---------- *)
 
@@ -284,8 +285,55 @@ let simulate_cmd =
 
 (* ---------- explore ---------- *)
 
+(* [--progress]: a sampler domain prints a throughput line on stderr
+   roughly once a second until the search returns.  It only reads the
+   process-global metrics counters — no coupling to the explorer. *)
+let with_progress enabled f =
+  if not enabled then f ()
+  else begin
+    let stop = Atomic.make false in
+    let sampler =
+      Domain.spawn (fun () ->
+          let admitted = Metrics.counter "explore.admitted" in
+          let dedup = Metrics.counter "explore.dedup.hits" in
+          let terminals = Metrics.counter "explore.terminals" in
+          let hits = Metrics.counter "sim.memo.hits" in
+          let misses = Metrics.counter "sim.memo.misses" in
+          let rec loop last_n last_t =
+            if Atomic.get stop then ()
+            else begin
+              Unix.sleepf 0.1;
+              let now = Unix.gettimeofday () in
+              if now -. last_t < 1.0 then loop last_n last_t
+              else begin
+                let n = Metrics.value admitted in
+                let h = Metrics.value hits and m = Metrics.value misses in
+                let memo_pct =
+                  if h + m = 0 then 0.
+                  else 100. *. float_of_int h /. float_of_int (h + m)
+                in
+                Printf.eprintf
+                  "progress: %d configs (%.0f/s), %d dedup hits, %d \
+                   terminals, memo %.0f%% hit\n\
+                   %!"
+                  n
+                  (float_of_int (n - last_n) /. (now -. last_t))
+                  (Metrics.value dedup) (Metrics.value terminals) memo_pct;
+                loop n now
+              end
+            end
+          in
+          loop (Metrics.value admitted) (Unix.gettimeofday ()))
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop true;
+        Domain.join sampler)
+      f
+  end
+
 let explore algo_name n k l wait_for dead crash_budget policy domains
-    max_configs drop_on_crash =
+    max_configs drop_on_crash stats_json progress =
   let l = Option.value l ~default:(max 1 (n - 1)) in
   match algo_conv ~l ~wait_for algo_name with
   | Error e ->
@@ -329,53 +377,84 @@ let explore algo_name n k l wait_for dead crash_budget policy domains
           (if s.Sim.Explorer.budget_exhausted then " (budget exhausted)"
            else "")
       in
-      try
-        if crash_budget = 0 then begin
-          let pattern = Sim.Failure_pattern.initial_dead ~n ~dead in
-          let outcome =
-            if domains > 1 then
-              Ex.explore_par ~domains ?max_configs ~policy ~n ~inputs ~pattern
-                ~check ()
-            else Ex.explore ?max_configs ~policy ~n ~inputs ~pattern ~check ()
-          in
-          match outcome with
-          | Sim.Explorer.Safe stats ->
-              Format.printf "SAFE: %a@." pp_stats stats;
-              0
-          | Sim.Explorer.Violation { reason; depth; _ } ->
-              Format.printf "VIOLATION at depth %d: %s@." depth reason;
-              2
-        end
-        else begin
-          let outcome =
-            if domains > 1 then
-              Ex.explore_with_crashes_par ~domains ?max_configs ~policy
-                ~drop_on_crash ~initially_dead:dead ~n ~inputs
-                ~crash_budget ~check ()
-            else
-              Ex.explore_with_crashes ?max_configs ~policy ~drop_on_crash
-                ~initially_dead:dead ~n ~inputs ~crash_budget ~check ()
-          in
-          match outcome with
-          | Sim.Explorer.All_paths_decide stats ->
-              Format.printf "ALL PATHS DECIDE: %a@." pp_stats stats;
-              0
-          | Sim.Explorer.Safety_violation { reason; _ } ->
-              Format.printf "VIOLATION: %s@." reason;
-              2
-          | Sim.Explorer.Stuck { crashed; undecided_correct; stats } ->
-              Format.printf
-                "STUCK: crashes {%s} strand {%s} undecided — %a@."
-                (String.concat ","
-                   (List.map (Printf.sprintf "p%d") crashed))
-                (String.concat ","
-                   (List.map (Printf.sprintf "p%d") undecided_correct))
-                pp_stats stats;
-              3
-        end
-      with Invalid_argument msg ->
-        prerr_endline ("not explorable: " ^ msg);
-        1)
+      let write_stats () =
+        match stats_json with
+        | None -> ()
+        | Some path ->
+            Metrics.write_json ~path (Metrics.snapshot ());
+            Format.eprintf "stats written to %s@." path
+      in
+      let code =
+        try
+          with_progress progress (fun () ->
+              if crash_budget = 0 then begin
+                let pattern = Sim.Failure_pattern.initial_dead ~n ~dead in
+                let outcome =
+                  if domains > 1 then
+                    Ex.explore_par ~domains ?max_configs ~policy ~n ~inputs
+                      ~pattern ~check ()
+                  else
+                    Ex.explore ?max_configs ~policy ~n ~inputs ~pattern ~check
+                      ()
+                in
+                match outcome with
+                | Sim.Explorer.Safe stats
+                  when stats.Sim.Explorer.budget_exhausted ->
+                    (* no violation in the explored prefix, but the
+                       prefix is not the space: refuse the optimistic
+                       verdict *)
+                    Format.printf
+                      "INDETERMINATE: no violation in the explored prefix, \
+                       but the budget truncated the search — %a@."
+                      pp_stats stats;
+                    4
+                | Sim.Explorer.Safe stats ->
+                    Format.printf "SAFE: %a@." pp_stats stats;
+                    0
+                | Sim.Explorer.Violation { reason; depth; _ } ->
+                    Format.printf "VIOLATION at depth %d: %s@." depth reason;
+                    2
+              end
+              else begin
+                let outcome =
+                  if domains > 1 then
+                    Ex.explore_with_crashes_par ~domains ?max_configs ~policy
+                      ~drop_on_crash ~initially_dead:dead ~n ~inputs
+                      ~crash_budget ~check ()
+                  else
+                    Ex.explore_with_crashes ?max_configs ~policy
+                      ~drop_on_crash ~initially_dead:dead ~n ~inputs
+                      ~crash_budget ~check ()
+                in
+                match outcome with
+                | Sim.Explorer.All_paths_decide stats ->
+                    Format.printf "ALL PATHS DECIDE: %a@." pp_stats stats;
+                    0
+                | Sim.Explorer.Safety_violation { reason; _ } ->
+                    Format.printf "VIOLATION: %s@." reason;
+                    2
+                | Sim.Explorer.Stuck { crashed; undecided_correct; stats } ->
+                    Format.printf
+                      "STUCK: crashes {%s} strand {%s} undecided — %a@."
+                      (String.concat ","
+                         (List.map (Printf.sprintf "p%d") crashed))
+                      (String.concat ","
+                         (List.map (Printf.sprintf "p%d") undecided_correct))
+                      pp_stats stats;
+                    3
+                | Sim.Explorer.Indeterminate stats ->
+                    Format.printf
+                      "INDETERMINATE: the budget truncated the search before \
+                       the reachable graph closed — %a@."
+                      pp_stats stats;
+                    4
+              end)
+        with Invalid_argument msg ->
+          prerr_endline ("not explorable: " ^ msg);
+          1
+      in
+      write_stats ();
+      code)
 
 let crash_budget_arg =
   Arg.(
@@ -416,17 +495,37 @@ let drop_on_crash_arg =
           "Also explore dropping each crashed process's pending messages \
            (last-step omission).")
 
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON snapshot of the instrumentation counters (configs \
+           visited, terminals, memo hits, interner occupancy, ...) to FILE \
+           after the search.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Print a configs/sec progress line to stderr about once a second \
+           while the search runs.")
+
 let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
        ~doc:
          "Exhaustively explore the schedule space, checking k-agreement on \
           every reachable configuration.  Exits 2 on a safety violation, 3 \
-          on an FLP-style stuck configuration.")
+          on an FLP-style stuck configuration, and 4 when the configuration \
+          budget truncated the search (the verdict is then indeterminate: \
+          nothing is claimed about unexplored configurations).")
     Term.(
       const explore $ algo_arg $ n_arg $ k_arg $ l_arg $ wait_arg $ dead_arg
       $ crash_budget_arg $ policy_arg $ domains_arg $ max_configs_arg
-      $ drop_on_crash_arg)
+      $ drop_on_crash_arg $ stats_json_arg $ progress_arg)
 
 (* ---------- screen ---------- *)
 

@@ -700,6 +700,12 @@ let e12_flp_gap ppf =
     | Sim.Explorer.All_paths_decide _ ->
         Format.fprintf ppf "anytime crash: unexpectedly, all paths decide@.";
         false
+    | Sim.Explorer.Indeterminate stats ->
+        Format.fprintf ppf
+          "anytime crash: INDETERMINATE — budget exhausted after %d \
+           configurations@."
+          stats.Sim.Explorer.configs_visited;
+        false
     | Sim.Explorer.Safety_violation { reason; _ } ->
         Format.fprintf ppf "anytime crash: safety violation %s@." reason;
         false

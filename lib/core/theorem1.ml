@@ -4,6 +4,12 @@ module Value = Ksa_sim.Value
 module Adversary = Ksa_sim.Adversary
 module Failure_pattern = Ksa_sim.Failure_pattern
 module Rng = Ksa_prim.Rng
+module Metrics = Ksa_prim.Metrics
+
+let m_screen_runs = Metrics.counter "screen.runs"
+let m_screen_witnesses = Metrics.counter "screen.witnesses"
+let t_screen = Metrics.timer "screen.portfolio"
+let t_exhaustive_c = Metrics.timer "screen.exhaustive_c"
 
 let dec_d run ~(partition : Partitioning.t) =
   let d = Partitioning.d_union partition in
@@ -69,6 +75,7 @@ let screen ?fd ?pattern ?inputs ?(max_steps = 200_000)
   let classify acc mk =
     let adv = mk () in
     let run = E.run ~max_steps ?fd ~n ~inputs ~pattern adv in
+    Metrics.incr m_screen_runs;
     let acc = { acc with runs_tried = acc.runs_tried + 1 } in
     match dec_d run ~partition with
     | None -> acc
@@ -82,13 +89,15 @@ let screen ?fd ?pattern ?inputs ?(max_steps = 200_000)
               (match acc.witness with
               | Some _ as w -> w
               | None ->
+                  Metrics.incr m_screen_witnesses;
                   Some { run; values; adversary = adv.Adversary.describe });
           }
         else acc
   in
-  List.fold_left classify
-    { r_d = []; r_d_dbar = []; witness = None; runs_tried = 0 }
-    strategies
+  Metrics.time t_screen (fun () ->
+      List.fold_left classify
+        { r_d = []; r_d_dbar = []; witness = None; runs_tried = 0 }
+        strategies)
 
 type c_witness =
   [ `Trapped of Pid.t list * Pid.t list
@@ -121,18 +130,21 @@ let validate_condition_c_exhaustive ?(max_configs = 500_000) ?inputs
   let d = Partitioning.d_union partition in
   let inputs = Option.value inputs ~default:(Value.distinct_inputs n) in
   match
-    Ex.explore_with_crashes ~max_configs ~n ~inputs ~initially_dead:d
-      ~crash_budget:subsystem_crash_budget
-      ~check:(fun _ -> None)
-      ()
+    Metrics.time t_exhaustive_c (fun () ->
+        Ex.explore_with_crashes ~max_configs ~n ~inputs ~initially_dead:d
+          ~crash_budget:subsystem_crash_budget
+          ~check:(fun _ -> None)
+          ())
   with
   | Ksa_sim.Explorer.Stuck { crashed; undecided_correct; _ } ->
       `Trapped
         (List.filter (fun p -> not (List.mem p d)) crashed, undecided_correct)
-  | Ksa_sim.Explorer.All_paths_decide stats ->
-      if stats.Ksa_sim.Explorer.budget_exhausted then
-        `Inconclusive "exploration budget exhausted"
-      else `Subsystem_decides
+  | Ksa_sim.Explorer.All_paths_decide _ -> `Subsystem_decides
+  | Ksa_sim.Explorer.Indeterminate stats ->
+      `Inconclusive
+        (Printf.sprintf
+           "exploration budget exhausted after %d configurations"
+           stats.Ksa_sim.Explorer.configs_visited)
   | Ksa_sim.Explorer.Safety_violation { reason; _ } ->
       `Inconclusive ("safety violation during subsystem search: " ^ reason)
 

@@ -2,6 +2,11 @@ module Pid = Ksa_sim.Pid
 module Value = Ksa_sim.Value
 module Trace = Ksa_sim.Trace
 module Intern = Ksa_prim.Intern
+module Metrics = Ksa_prim.Metrics
+
+let m_rounds = Metrics.counter "ho.rounds"
+let m_transitions = Metrics.counter "ho.transitions"
+let m_decisions = Metrics.counter "ho.decisions"
 
 module Make (A : Ho_algorithm.S) = struct
   type outcome = {
@@ -25,6 +30,7 @@ module Make (A : Ho_algorithm.S) = struct
     let init_ids = Array.map intern states in
     let rev_rows = Array.make n [] in
     for round = 1 to rounds do
+      Metrics.incr m_rounds;
       let messages = Array.map (fun st -> A.send st ~round) states in
       let new_states =
         Array.init n (fun p ->
@@ -34,11 +40,14 @@ module Make (A : Ho_algorithm.S) = struct
                 (assignment.Assignment.ho ~round ~me:p)
             in
             let st', dec = A.transition states.(p) ~round ~received in
+            Metrics.incr m_transitions;
             (match dec with
             | None -> ()
             | Some v -> (
                 match decisions.(p) with
-                | None -> decisions.(p) <- Some (v, round)
+                | None ->
+                    decisions.(p) <- Some (v, round);
+                    Metrics.incr m_decisions
                 | Some (v0, _) ->
                     if not (Value.equal v v0) then raise (Double_decision p)));
             st')

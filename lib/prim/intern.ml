@@ -1,7 +1,19 @@
 type t = { lock : Mutex.t; tbl : (Obj.t, int) Hashtbl.t }
 
-let create ?(size = 4096) () =
-  { lock = Mutex.create (); tbl = Hashtbl.create size }
+let create ?name ?(size = 4096) () =
+  let t = { lock = Mutex.create (); tbl = Hashtbl.create size } in
+  (match name with
+  | Some name -> Metrics.probe (name ^ ".size") (fun () -> Hashtbl.length t.tbl)
+  | None -> ());
+  t
+
+(* Every table access runs under the mutex with [Fun.protect]: the
+   registries are process-global, so an exception escaping with the
+   lock held (an out-of-memory allocation inside [Hashtbl.add], an
+   async exception) would deadlock every other domain forever. *)
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* The table is keyed by the runtime representation; [Hashtbl]'s
    generic hash and structural equality on [Obj.t] behave exactly as
@@ -9,23 +21,15 @@ let create ?(size = 4096) () =
    and collisions are resolved exactly. *)
 let id t v =
   let r = Obj.repr v in
-  Mutex.lock t.lock;
-  let id =
-    match Hashtbl.find_opt t.tbl r with
-    | Some id -> id
-    | None ->
-        let id = Hashtbl.length t.tbl in
-        Hashtbl.add t.tbl r id;
-        id
-  in
-  Mutex.unlock t.lock;
-  id
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl r with
+      | Some id -> id
+      | None ->
+          let id = Hashtbl.length t.tbl in
+          Hashtbl.add t.tbl r id;
+          id)
 
-let count t =
-  Mutex.lock t.lock;
-  let c = Hashtbl.length t.tbl in
-  Mutex.unlock t.lock;
-  c
+let count t = with_lock t (fun () -> Hashtbl.length t.tbl)
 
-let states = create ()
-let payloads = create ()
+let states = create ~name:"intern.states" ()
+let payloads = create ~name:"intern.payloads" ()

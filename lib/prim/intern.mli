@@ -25,8 +25,11 @@
 type t
 (** An interning registry. *)
 
-val create : ?size:int -> unit -> t
-(** A fresh registry ([size] is the initial table capacity). *)
+val create : ?name:string -> ?size:int -> unit -> t
+(** A fresh registry ([size] is the initial table capacity).  When
+    [name] is given, the registry's occupancy is published as the
+    {!Metrics} probe ["<name>.size"], so snapshots report table
+    growth without touching the interning hot path. *)
 
 val id : t -> 'a -> int
 (** [id t v] is the dense id of [v] in [t], allocating the next id on

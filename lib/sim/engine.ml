@@ -1,5 +1,12 @@
 module Int_map = Map.Make (Int)
 module Intern = Ksa_prim.Intern
+module Metrics = Ksa_prim.Metrics
+
+(* Shared by every functor instance and domain: the memo ratio is a
+   property of the workload, not of one algorithm module. *)
+let m_steps = Metrics.counter "sim.steps"
+let m_memo_hits = Metrics.counter "sim.memo.hits"
+let m_memo_misses = Metrics.counter "sim.memo.misses"
 
 module Make (A : Algorithm.S) = struct
   (* Per-pid data lives in plain arrays under a copy-on-write
@@ -163,6 +170,7 @@ module Make (A : Algorithm.S) = struct
              (Printf.sprintf "p%d crashed at %d, cannot step at %d" pid ct
                 next_time))
     | Some _ | None -> ());
+    Metrics.incr m_steps;
     let env_pairs = check_deliverable c pid ids in
     (* Exploration mode folds a delivered batch in canonical
        (sender, payload) order rather than message-id order.  Ids
@@ -208,8 +216,11 @@ module Make (A : Algorithm.S) = struct
         in
         let memo = Domain.DLS.get memo_dls in
         match Hashtbl.find_opt memo mkey with
-        | Some m -> (m.m_state, m.m_sends, m.m_dec, m.m_state_id)
+        | Some m ->
+            Metrics.incr m_memo_hits;
+            (m.m_state, m.m_sends, m.m_dec, m.m_state_id)
         | None ->
+            Metrics.incr m_memo_misses;
             let received =
               List.map
                 (fun ((e : A.message Envelope.t), _) -> (e.src, e.payload))

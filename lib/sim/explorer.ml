@@ -1,3 +1,5 @@
+module Metrics = Ksa_prim.Metrics
+
 type delivery_policy = Empty_or_all | Per_sender | All_subsets
 
 type stats = {
@@ -21,6 +23,47 @@ type resilient_outcome =
       undecided_correct : Pid.t list;
       stats : stats;
     }
+  | Indeterminate of stats
+
+(* Crashed sets travel as int bitmasks.  Top level (not per functor
+   instance): pure bit arithmetic, also exercised directly by the
+   test suite. *)
+module Mask = struct
+  let mem mask p = mask land (1 lsl p) <> 0
+  let add mask p = mask lor (1 lsl p)
+  let to_list ~n mask = List.filter (mem mask) (Pid.universe n)
+
+  (* Kernighan's loop: one iteration per set bit, no allocation —
+     this sits on the crash-successor hot path. *)
+  let popcount mask =
+    let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+    go mask 0
+end
+
+(* ---- instrumentation (process-global, shared by all drivers) ----
+
+   Live counters tick during the search and feed progress reporting;
+   in the parallel drivers [explore.admitted] includes configurations
+   admitted by two domains before the merge deduplicates them, so the
+   authoritative per-run figures are published as gauges from the
+   final [stats] record at completion. *)
+let m_admitted = Metrics.counter "explore.admitted"
+let m_dedup = Metrics.counter "explore.dedup.hits"
+let m_terminals = Metrics.counter "explore.terminals"
+let m_domains = Metrics.counter "explore.domains.spawned"
+let m_truncations = Metrics.counter "explore.budget.truncations"
+let g_frontier_peak = Metrics.gauge "explore.frontier.peak"
+let g_depth_peak = Metrics.gauge "explore.depth.peak"
+let g_max_configs = Metrics.gauge "explore.budget.max_configs"
+let g_visited = Metrics.gauge "explore.configs_visited"
+let g_terminal_runs = Metrics.gauge "explore.terminal_runs"
+let g_exhausted = Metrics.gauge "explore.budget_exhausted"
+let t_worker = Metrics.timer "explore.worker"
+
+let record_run_stats (s : stats) =
+  Metrics.gauge_set g_visited s.configs_visited;
+  Metrics.gauge_set g_terminal_runs s.terminal_runs;
+  Metrics.gauge_set g_exhausted (if s.budget_exhausted then 1 else 0)
 
 let default_domains () =
   match Sys.getenv_opt "KSA_DOMAINS" with
@@ -105,17 +148,29 @@ module Make (A : Algorithm.S) = struct
       ?(policy = Per_sender) ?(on_terminal = fun _ -> ()) ~n ~inputs ~pattern
       ~check () =
     require_explorable ~n ~pattern;
+    Metrics.gauge_set g_max_configs max_configs;
     let seen : (E.key, unit) Hashtbl.t = Hashtbl.create 65_536 in
     let visited = ref 0 in
     let terminals = ref 0 in
     let exhausted = ref false in
     let correct = Failure_pattern.correct pattern in
+    (* Admission is clamped at the budget {e before} a configuration
+       is counted (matching the dense-id [visit] of the crash
+       drivers): [configs_visited] never overshoots [max_configs],
+       and [budget_exhausted] is set only when an unseen reachable
+       configuration was actually turned away. *)
     let rec dfs config depth =
       let key = E.key config in
-      if not (Hashtbl.mem seen key) then begin
+      if Hashtbl.mem seen key then Metrics.incr m_dedup
+      else if !visited >= max_configs then begin
+        exhausted := true;
+        Metrics.incr m_truncations
+      end
+      else begin
         Hashtbl.add seen key ();
         incr visited;
-        if !visited >= max_configs then exhausted := true;
+        Metrics.incr m_admitted;
+        Metrics.gauge_max g_depth_peak depth;
         let decisions = E.decisions config in
         (match check decisions with
         | Some reason -> raise (Found (decisions, reason, depth))
@@ -125,10 +180,10 @@ module Make (A : Algorithm.S) = struct
         in
         if done_ then begin
           incr terminals;
+          Metrics.incr m_terminals;
           on_terminal decisions
         end
-        else if depth >= max_depth || !visited >= max_configs then
-          exhausted := true
+        else if depth >= max_depth then exhausted := true
         else
           schedule_successors ~policy ~pattern ~steppers:correct config
             (fun config' -> dfs config' (depth + 1))
@@ -136,12 +191,15 @@ module Make (A : Algorithm.S) = struct
     in
     match dfs (E.init_explore ~n ~inputs) 0 with
     | () ->
-        Safe
+        let stats =
           {
             configs_visited = !visited;
             terminal_runs = !terminals;
             budget_exhausted = !exhausted;
           }
+        in
+        record_run_stats stats;
+        Safe stats
     | exception Found (decisions, reason, depth) ->
         Violation { decisions; reason; depth }
 
@@ -158,6 +216,7 @@ module Make (A : Algorithm.S) = struct
       ?(policy = Per_sender) ?(on_terminal = fun _ -> ()) ~n ~inputs ~pattern
       ~check () =
     require_explorable ~n ~pattern;
+    Metrics.gauge_set g_max_configs max_configs;
     let domains =
       max 1 (match domains with Some d -> d | None -> default_domains ())
     in
@@ -183,8 +242,18 @@ module Make (A : Algorithm.S) = struct
        do
          let config, depth = Queue.pop frontier in
          let key = E.key config in
-         if not (Hashtbl.mem seen0 key) then begin
+         if Hashtbl.mem seen0 key then Metrics.incr m_dedup
+         else if Hashtbl.length seen0 >= max_configs then begin
+           (* budget spent inside the prefix: drop the remaining
+              frontier — everything from here on is truncated *)
+           exhausted0 := true;
+           Metrics.incr m_truncations;
+           Queue.clear frontier
+         end
+         else begin
            Hashtbl.add seen0 key ();
+           Metrics.incr m_admitted;
+           Metrics.gauge_max g_depth_peak depth;
            let decisions = E.decisions config in
            (match check decisions with
            | Some reason -> raise (Found (decisions, reason, depth))
@@ -192,12 +261,15 @@ module Make (A : Algorithm.S) = struct
            let done_ =
              List.for_all (fun p -> E.decision_of config p <> None) correct
            in
-           if done_ then Hashtbl.replace terminals0 key decisions
-           else if depth >= max_depth || Hashtbl.length seen0 >= max_configs
-           then exhausted0 := true
+           if done_ then begin
+             Hashtbl.replace terminals0 key decisions;
+             Metrics.incr m_terminals
+           end
+           else if depth >= max_depth then exhausted0 := true
            else
              schedule_successors ~policy ~pattern ~steppers config
-               (fun config' -> Queue.add (config', depth + 1) frontier)
+               (fun config' -> Queue.add (config', depth + 1) frontier);
+           Metrics.gauge_max g_frontier_peak (Queue.length frontier)
          end
        done
      with Found (decisions, reason, depth) ->
@@ -215,6 +287,7 @@ module Make (A : Algorithm.S) = struct
         let global_count = Atomic.make visited0 in
         let stop = Atomic.make false in
         let worker bucket () =
+          Metrics.incr m_domains;
           let seen : (E.key, unit) Hashtbl.t = Hashtbl.create 65_536 in
           let terminals : (E.key, (Pid.t * Value.t * int) list) Hashtbl.t =
             Hashtbl.create 1024
@@ -224,29 +297,46 @@ module Make (A : Algorithm.S) = struct
           let rec dfs config depth =
             if not (Atomic.get stop) then begin
               let key = E.key config in
-              if not (Hashtbl.mem seen key || Hashtbl.mem seen0 key) then begin
-                Hashtbl.add seen key ();
-                Atomic.incr global_count;
-                let decisions = E.decisions config in
-                (match check decisions with
-                | Some reason -> raise (Found (decisions, reason, depth))
-                | None -> ());
-                let done_ =
-                  List.for_all
-                    (fun p -> E.decision_of config p <> None)
-                    correct
-                in
-                if done_ then Hashtbl.replace terminals key decisions
-                else if
-                  depth >= max_depth || Atomic.get global_count >= max_configs
-                then exhausted := true
-                else
-                  schedule_successors ~policy ~pattern ~steppers config
-                    (fun config' -> dfs config' (depth + 1))
+              if Hashtbl.mem seen key || Hashtbl.mem seen0 key then
+                Metrics.incr m_dedup
+              else begin
+                (* a fetch-and-add ticket clamps the global admission
+                   count at the budget even under domain races (losers
+                   hand their ticket back) *)
+                let ticket = Atomic.fetch_and_add global_count 1 in
+                if ticket >= max_configs then begin
+                  Atomic.decr global_count;
+                  exhausted := true;
+                  Metrics.incr m_truncations
+                end
+                else begin
+                  Hashtbl.add seen key ();
+                  Metrics.incr m_admitted;
+                  Metrics.gauge_max g_depth_peak depth;
+                  let decisions = E.decisions config in
+                  (match check decisions with
+                  | Some reason -> raise (Found (decisions, reason, depth))
+                  | None -> ());
+                  let done_ =
+                    List.for_all
+                      (fun p -> E.decision_of config p <> None)
+                      correct
+                  in
+                  if done_ then begin
+                    Hashtbl.replace terminals key decisions;
+                    Metrics.incr m_terminals
+                  end
+                  else if depth >= max_depth then exhausted := true
+                  else
+                    schedule_successors ~policy ~pattern ~steppers config
+                      (fun config' -> dfs config' (depth + 1))
+                end
               end
             end
           in
-          (try List.iter (fun (config, depth) -> dfs config depth) bucket
+          (try
+             Metrics.time t_worker (fun () ->
+                 List.iter (fun (config, depth) -> dfs config depth) bucket)
            with Found (decisions, reason, depth) ->
              violation := Some (decisions, reason, depth);
              Atomic.set stop true);
@@ -290,12 +380,15 @@ module Make (A : Algorithm.S) = struct
                   terminals)
               results;
             Hashtbl.iter (fun _ ds -> on_terminal ds) all_terminals;
-            Safe
+            let stats =
               {
                 configs_visited = visited0 + Hashtbl.length union;
                 terminal_runs = Hashtbl.length all_terminals;
                 budget_exhausted = !exhausted;
-              })
+              }
+            in
+            record_run_stats stats;
+            Safe stats)
 
   (* ---- crash-adversarial exploration ---- *)
 
@@ -303,10 +396,10 @@ module Make (A : Algorithm.S) = struct
 
   (* The crashed set travels as a bitmask folded into the node key;
      node identities and graph edges are dense ints, never strings. *)
-  let mask_mem mask p = mask land (1 lsl p) <> 0
-  let mask_add mask p = mask lor (1 lsl p)
-  let mask_to_list ~n mask = List.filter (mask_mem mask) (Pid.universe n)
-  let popcount mask = List.length (mask_to_list ~n:Sys.int_size mask)
+  let mask_mem = Mask.mem
+  let mask_add = Mask.add
+  let mask_to_list = Mask.to_list
+  let popcount = Mask.popcount
 
   type node_rec = {
     succs : int list;
@@ -440,6 +533,7 @@ module Make (A : Algorithm.S) = struct
       ?(drop_on_crash = true) ?(initially_dead = []) ~n ~inputs ~crash_budget
       ~check () =
     check_crash_explorable ~n ~initially_dead;
+    Metrics.gauge_set g_max_configs max_configs;
     let base_mask = base_mask_of initially_dead in
     let pattern_of = make_pattern_of ~n in
     let ids : (E.key, int) Hashtbl.t = Hashtbl.create 65_536 in
@@ -452,20 +546,25 @@ module Make (A : Algorithm.S) = struct
     let terminals = ref 0 in
     let exhausted = ref false in
     let worklist = ref [] in
+    let wl_len = ref 0 in
     (* discovery: assign a dense id the first time a node is seen and
        queue it for expansion; [None] once the budget is exhausted *)
     let visit config mask =
       let key = E.key ~extra:mask config in
       match Hashtbl.find_opt ids key with
-      | Some id -> Some id
+      | Some id ->
+          Metrics.incr m_dedup;
+          Some id
       | None ->
           if !count >= max_configs then begin
             exhausted := true;
+            Metrics.incr m_truncations;
             None
           end
           else begin
             let id = !count in
             incr count;
+            Metrics.incr m_admitted;
             Hashtbl.add ids key id;
             if id >= Array.length !recs then begin
               let bigger =
@@ -476,6 +575,8 @@ module Make (A : Algorithm.S) = struct
               recs := bigger
             end;
             worklist := (id, config, mask) :: !worklist;
+            incr wl_len;
+            Metrics.gauge_max g_frontier_peak !wl_len;
             Some id
           end
     in
@@ -484,7 +585,10 @@ module Make (A : Algorithm.S) = struct
         expand_crash_node ~n ~policy ~drop_on_crash ~base_mask ~crash_budget
           ~pattern_of ~check config mask
       in
-      if is_complete then incr terminals;
+      if is_complete then begin
+        incr terminals;
+        Metrics.incr m_terminals
+      end;
       let succs =
         List.filter_map (fun (c, m) -> visit c m) succ_pairs
       in
@@ -497,6 +601,7 @@ module Make (A : Algorithm.S) = struct
         | [] -> ()
         | node :: rest ->
             worklist := rest;
+            decr wl_len;
             expand node;
             drain ()
       in
@@ -513,19 +618,23 @@ module Make (A : Algorithm.S) = struct
             budget_exhausted = !exhausted;
           }
         in
-        let stuck =
-          if !exhausted then None
-          else classify_graph ~count:!count ~recs:!recs
-        in
-        (match stuck with
-        | Some (mask, undecided_correct) ->
-            Stuck
-              {
-                crashed = mask_to_list ~n mask;
-                undecided_correct;
-                stats;
-              }
-        | None -> All_paths_decide stats)
+        record_run_stats stats;
+        (* A truncated graph cannot be classified: stuck-ness is a
+           property of {e all} continuations, and unexpanded frontier
+           nodes would read as stuck while truly-stuck nodes may hide
+           beyond the cut.  Say so instead of claiming the optimistic
+           verdict. *)
+        if !exhausted then Indeterminate stats
+        else
+          match classify_graph ~count:!count ~recs:!recs with
+          | Some (mask, undecided_correct) ->
+              Stuck
+                {
+                  crashed = mask_to_list ~n mask;
+                  undecided_correct;
+                  stats;
+                }
+          | None -> All_paths_decide stats
 
   (* Parallel crash-adversarial exploration: the root's successors —
      in particular the distinct crash-pattern subtrees — are fanned
@@ -537,6 +646,7 @@ module Make (A : Algorithm.S) = struct
       ?(policy = Per_sender) ?(drop_on_crash = true) ?(initially_dead = [])
       ~n ~inputs ~crash_budget ~check () =
     check_crash_explorable ~n ~initially_dead;
+    Metrics.gauge_set g_max_configs max_configs;
     let domains =
       max 1 (match domains with Some d -> d | None -> default_domains ())
     in
@@ -555,8 +665,10 @@ module Make (A : Algorithm.S) = struct
           (fun i s -> buckets.(i mod domains) <- s :: buckets.(i mod domains))
           root_succs;
         let global_count = Atomic.make 1 in
+        Metrics.incr m_admitted (* the root, expanded inline *);
         let stop = Atomic.make false in
         let worker bucket () =
+          Metrics.incr m_domains;
           (* per-domain enumeration: local dense ids, merged later *)
           let pattern_of = make_pattern_of ~n in
           let ids : (E.key, int) Hashtbl.t = Hashtbl.create 65_536 in
@@ -569,17 +681,25 @@ module Make (A : Algorithm.S) = struct
           let count = ref 0 in
           let exhausted = ref false in
           let worklist = ref [] in
+          let wl_len = ref 0 in
           let visit config mask =
             let key = E.key ~extra:mask config in
             match Hashtbl.find_opt ids key with
-            | Some id -> Some id
+            | Some id ->
+                Metrics.incr m_dedup;
+                Some id
             | None ->
-                if Atomic.get global_count >= max_configs then begin
+                (* ticket clamp: the global admission count never
+                   exceeds [max_configs], even under domain races *)
+                let ticket = Atomic.fetch_and_add global_count 1 in
+                if ticket >= max_configs then begin
+                  Atomic.decr global_count;
                   exhausted := true;
+                  Metrics.incr m_truncations;
                   None
                 end
                 else begin
-                  Atomic.incr global_count;
+                  Metrics.incr m_admitted;
                   let id = !count in
                   incr count;
                   Hashtbl.add ids key id;
@@ -596,30 +716,36 @@ module Make (A : Algorithm.S) = struct
                   end;
                   !keys.(id) <- key;
                   worklist := (id, config, mask) :: !worklist;
+                  incr wl_len;
+                  Metrics.gauge_max g_frontier_peak !wl_len;
                   Some id
                 end
           in
           let violation = ref None in
           (try
-             List.iter (fun (c, m) -> ignore (visit c m)) bucket;
-             let rec drain () =
-               if not (Atomic.get stop) then
-                 match !worklist with
-                 | [] -> ()
-                 | (id, config, mask) :: rest ->
-                     worklist := rest;
-                     let is_complete, mask, undecided, succ_pairs =
-                       expand_crash_node ~n ~policy ~drop_on_crash ~base_mask
-                         ~crash_budget ~pattern_of ~check config mask
-                     in
-                     let succs =
-                       List.filter_map (fun (c, m) -> visit c m) succ_pairs
-                     in
-                     !recs.(id) <-
-                       { succs; complete = is_complete; mask; undecided };
-                     drain ()
-             in
-             drain ()
+             Metrics.time t_worker (fun () ->
+                 List.iter (fun (c, m) -> ignore (visit c m)) bucket;
+                 let rec drain () =
+                   if not (Atomic.get stop) then
+                     match !worklist with
+                     | [] -> ()
+                     | (id, config, mask) :: rest ->
+                         worklist := rest;
+                         decr wl_len;
+                         let is_complete, mask, undecided, succ_pairs =
+                           expand_crash_node ~n ~policy ~drop_on_crash
+                             ~base_mask ~crash_budget ~pattern_of ~check config
+                             mask
+                         in
+                         if is_complete then Metrics.incr m_terminals;
+                         let succs =
+                           List.filter_map (fun (c, m) -> visit c m) succ_pairs
+                         in
+                         !recs.(id) <-
+                           { succs; complete = is_complete; mask; undecided };
+                         drain ()
+                 in
+                 drain ())
            with Unsafe (decisions, reason) ->
              violation := Some (decisions, reason);
              Atomic.set stop true);
@@ -711,18 +837,20 @@ module Make (A : Algorithm.S) = struct
                 budget_exhausted = !exhausted;
               }
             in
-            let stuck =
-              if !exhausted then None else classify_graph ~count ~recs
-            in
-            (match stuck with
-            | Some (mask, undecided_correct) ->
-                Stuck
-                  {
-                    crashed = mask_to_list ~n mask;
-                    undecided_correct;
-                    stats;
-                  }
-            | None -> All_paths_decide stats))
+            record_run_stats stats;
+            (* same honesty rule as the sequential driver: a truncated
+               graph admits no all-paths-decide claim *)
+            if !exhausted then Indeterminate stats
+            else
+              match classify_graph ~count ~recs with
+              | Some (mask, undecided_correct) ->
+                  Stuck
+                    {
+                      crashed = mask_to_list ~n mask;
+                      undecided_correct;
+                      stats;
+                    }
+              | None -> All_paths_decide stats)
 
   let reachable_decision_values ?(max_configs = 300_000) ?(policy = Per_sender)
       ~n ~inputs ~crash_budget () =
@@ -739,7 +867,7 @@ module Make (A : Algorithm.S) = struct
            None)
          ()
      with
-    | All_paths_decide _ | Stuck _ -> ()
+    | All_paths_decide _ | Stuck _ | Indeterminate _ -> ()
     | Safety_violation _ -> ());
     List.sort compare !seen
 
@@ -766,7 +894,7 @@ module Make (A : Algorithm.S) = struct
            None)
          ()
      with
-    | All_paths_decide _ | Stuck _ -> ()
+    | All_paths_decide _ | Stuck _ | Indeterminate _ -> ()
     | Safety_violation _ -> ());
     List.sort compare !seen
 end

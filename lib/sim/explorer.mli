@@ -37,12 +37,33 @@ type stats = {
   terminal_runs : int;  (** Deduplicated configs where every correct process has decided. *)
   budget_exhausted : bool;
       (** True if [max_configs] or [max_depth] pruned the search — the
-          verdict then covers only the explored portion. *)
+          verdict then covers only the explored portion.  Admission is
+          clamped {e at} the budget in every driver, so
+          [configs_visited] never exceeds [max_configs], and the flag
+          is set only when an unseen reachable configuration was
+          actually turned away (or a depth cutoff fired). *)
 }
 
 type outcome =
-  | Safe of stats  (** No reachable explored configuration violates the check. *)
+  | Safe of stats
+      (** No reachable explored configuration violates the check.
+          When [stats.budget_exhausted] is set this is a statement
+          about the explored prefix only — treat it as indeterminate
+          for the full space. *)
   | Violation of { decisions : (Pid.t * Value.t * int) list; reason : string; depth : int }
+
+module Mask : sig
+  (** Crashed-set bitmasks (pure bit arithmetic, no allocation). *)
+
+  val mem : int -> Pid.t -> bool
+  val add : int -> Pid.t -> int
+  val to_list : n:int -> int -> Pid.t list
+  (** Set pids below [n], ascending. *)
+
+  val popcount : int -> int
+  (** Number of set bits (Kernighan's loop — one iteration per set
+      bit; correct for any [int], including negative masks). *)
+end
 
 val default_domains : unit -> int
 (** Domain count used by the parallel drivers when [?domains] is not
@@ -69,6 +90,15 @@ type resilient_outcome =
           non-termination witness.  (In the infinite-run view, every
           fair extension of this configuration violates
           Termination.) *)
+  | Indeterminate of stats
+      (** The config budget truncated the enumeration before the
+          reachable graph was closed, so neither [All_paths_decide]
+          nor [Stuck] can be claimed: unexpanded frontier nodes would
+          read as stuck, and truly-stuck nodes may lie beyond the
+          cut.  [stats.budget_exhausted] is always [true] here; the
+          [All_paths_decide] and [Stuck] verdicts conversely imply a
+          complete enumeration.  Raise [max_configs] (or shrink the
+          system) to get a classified verdict. *)
 
 module Make (A : Algorithm.S) : sig
   val explore :

@@ -129,6 +129,8 @@ let r_stats = function
   | Sim.Explorer.All_paths_decide s -> ("all_paths_decide", [], [], s)
   | Sim.Explorer.Stuck { crashed; undecided_correct; stats } ->
       ("stuck", crashed, undecided_correct, stats)
+  | Sim.Explorer.Indeterminate _ ->
+      Alcotest.fail "unexpected budget truncation"
   | Sim.Explorer.Safety_violation _ ->
       Alcotest.fail "unexpected safety violation"
 
@@ -203,6 +205,130 @@ let test_parity_reachable_values () =
         (Printf.sprintf "reachable values domains=%d" domains)
         seq par)
     [ 1; 2; 4 ]
+
+(* ---------- budget truncation ---------- *)
+
+let test_truncated_crashes_indeterminate () =
+  (* a 10-configuration budget cannot close the n=3 crash-adversarial
+     graph: the explorer must refuse to classify rather than claim
+     All_paths_decide over an unexpanded frontier *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  (match
+     Ex.explore_with_crashes ~max_configs:10 ~n:3 ~inputs:(distinct 3)
+       ~crash_budget:1 ~check:no_check ()
+   with
+  | Sim.Explorer.Indeterminate s ->
+      Alcotest.(check bool)
+        "seq exhausted" true s.Sim.Explorer.budget_exhausted;
+      (* the admission clamp is exact: the sequential driver visits
+         precisely the budget, never budget + frontier-width *)
+      Alcotest.(check int)
+        "seq visits exactly the budget" 10 s.Sim.Explorer.configs_visited
+  | _ -> Alcotest.fail "sequential: expected Indeterminate under truncation");
+  match
+    Ex.explore_with_crashes_par ~domains:2 ~max_configs:10 ~n:3
+      ~inputs:(distinct 3) ~crash_budget:1 ~check:no_check ()
+  with
+  | Sim.Explorer.Indeterminate s ->
+      Alcotest.(check bool)
+        "par exhausted" true s.Sim.Explorer.budget_exhausted;
+      Alcotest.(check bool)
+        "par stays within the budget" true
+        (s.Sim.Explorer.configs_visited > 0
+        && s.Sim.Explorer.configs_visited <= 10)
+  | _ -> Alcotest.fail "parallel: expected Indeterminate under truncation"
+
+let test_truncated_explore_parity () =
+  (* with the budget below the parallel driver's BFS-prefix target
+     (domains * 8) both drivers exhaust it during a breadth-first
+     prefix of the same graph, so the clamp must agree exactly *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  let max_configs = 5 in
+  let seq =
+    stats_of "seq"
+      (Ex.explore ~max_configs ~n:3 ~inputs:(distinct 3)
+         ~pattern:(FP.none ~n:3) ~check:no_check ())
+  in
+  Alcotest.(check bool)
+    "seq exhausted" true seq.Sim.Explorer.budget_exhausted;
+  Alcotest.(check int)
+    "seq visits exactly the budget" max_configs
+    seq.Sim.Explorer.configs_visited;
+  let par =
+    stats_of "par"
+      (Ex.explore_par ~domains:2 ~max_configs ~n:3 ~inputs:(distinct 3)
+         ~pattern:(FP.none ~n:3) ~check:no_check ())
+  in
+  Alcotest.(check bool)
+    "par exhausted" true par.Sim.Explorer.budget_exhausted;
+  Alcotest.(check int)
+    "par visits exactly the budget" max_configs
+    par.Sim.Explorer.configs_visited
+
+let test_exact_budget_is_not_truncation () =
+  (* a budget exactly the size of the reachable space must complete
+     with budget_exhausted = false: exhaustion means an unseen
+     configuration was turned away, not that the budget was reached *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  let full =
+    stats_of "full"
+      (Ex.explore ~n:3 ~inputs:(distinct 3) ~pattern:(FP.none ~n:3)
+         ~check:no_check ())
+  in
+  let again =
+    stats_of "again"
+      (Ex.explore ~max_configs:full.Sim.Explorer.configs_visited ~n:3
+         ~inputs:(distinct 3) ~pattern:(FP.none ~n:3) ~check:no_check ())
+  in
+  Alcotest.(check int)
+    "same space" full.Sim.Explorer.configs_visited
+    again.Sim.Explorer.configs_visited;
+  Alcotest.(check bool)
+    "exact budget completes" false again.Sim.Explorer.budget_exhausted
+
+(* ---------- crash-mask arithmetic ---------- *)
+
+module Mask = Sim.Explorer.Mask
+
+let naive_popcount m =
+  let rec go i acc =
+    if i >= Sys.int_size then acc else go (i + 1) (acc + ((m lsr i) land 1))
+  in
+  go 0 0
+
+let test_mask_edges () =
+  Alcotest.(check int) "popcount 0" 0 (Mask.popcount 0);
+  Alcotest.(check int) "popcount 1" 1 (Mask.popcount 1);
+  Alcotest.(check int)
+    "popcount max_int" (Sys.int_size - 1)
+    (Mask.popcount max_int);
+  Alcotest.(check int) "popcount -1" Sys.int_size (Mask.popcount (-1));
+  Alcotest.(check int) "popcount min_int" 1 (Mask.popcount min_int);
+  Alcotest.(check (list int))
+    "to_list" [ 0; 2 ]
+    (Mask.to_list ~n:3 (Mask.add (Mask.add 0 2) 0));
+  Alcotest.(check bool) "mem empty" false (Mask.mem 0 0)
+
+let prop_popcount_matches_naive =
+  QCheck.Test.make ~name:"Mask.popcount = naive bit fold" ~count:500 QCheck.int
+    (fun m -> Mask.popcount m = naive_popcount m)
+
+let prop_mask_add_mem =
+  QCheck.Test.make ~name:"add/mem/popcount agree" ~count:200
+    QCheck.(pair int (int_range 0 (Sys.int_size - 2)))
+    (fun (m, p) ->
+      let m' = Mask.add m p in
+      Mask.mem m' p
+      && Mask.popcount m'
+         = Mask.popcount m + (if Mask.mem m p then 0 else 1)
+      && Mask.add m' p = m')
+
+let prop_mask_to_list_sound =
+  QCheck.Test.make ~name:"to_list = members below n" ~count:200
+    QCheck.(pair (int_range 0 255) (int_range 0 8))
+    (fun (m, n) ->
+      Mask.to_list ~n m
+      = List.filter (fun p -> Mask.mem m p) (List.init n Fun.id))
 
 (* ---------- key soundness ---------- *)
 
@@ -283,6 +409,23 @@ let suites =
         Alcotest.test_case "reachable decision values" `Quick
           test_parity_reachable_values;
       ] );
+    ( "explore.truncation",
+      [
+        Alcotest.test_case "crash explorer is indeterminate" `Quick
+          test_truncated_crashes_indeterminate;
+        Alcotest.test_case "seq/par clamp parity" `Quick
+          test_truncated_explore_parity;
+        Alcotest.test_case "exact budget completes" `Quick
+          test_exact_budget_is_not_truncation;
+      ] );
+    ( "explore.mask",
+      [ Alcotest.test_case "edge cases" `Quick test_mask_edges ] );
+    Test_util.qsuite "explore.mask.properties"
+      [
+        prop_popcount_matches_naive;
+        prop_mask_add_mem;
+        prop_mask_to_list_sound;
+      ];
     ( "explore.keys",
       [
         Alcotest.test_case "send interleaving collides" `Quick

@@ -1,5 +1,6 @@
 module Rng = Ksa_prim.Rng
 module Listx = Ksa_prim.Listx
+module Metrics = Ksa_prim.Metrics
 
 let test_rng_deterministic () =
   let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
@@ -98,6 +99,87 @@ let test_listx_min_max_by () =
   Alcotest.check_raises "empty" (Invalid_argument "Listx.min_by: empty list")
     (fun () -> ignore (Listx.min_by Fun.id []))
 
+(* metrics: the registry is process-global, so every test uses its own
+   "test.prim.*" names and asserts deltas, never absolute values *)
+
+let test_metrics_counter () =
+  let c = Metrics.counter "test.prim.counter" in
+  let base = Metrics.value c in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "incr + add" (base + 42) (Metrics.value c);
+  (* same name, same instrument: the second lookup sees the increments *)
+  Alcotest.(check int)
+    "registration is idempotent" (base + 42)
+    (Metrics.value (Metrics.counter "test.prim.counter"))
+
+let test_metrics_kind_mismatch () =
+  ignore (Metrics.counter "test.prim.kind");
+  match Metrics.gauge "test.prim.kind" with
+  | _ -> Alcotest.fail "expected Invalid_argument on kind mismatch"
+  | exception Invalid_argument _ -> ()
+
+let test_metrics_gauge () =
+  let g = Metrics.gauge "test.prim.gauge" in
+  Metrics.gauge_set g 5;
+  Metrics.gauge_max g 3;
+  Alcotest.(check int) "watermark holds" 5 (Metrics.gauge_value g);
+  Metrics.gauge_max g 9;
+  Alcotest.(check int) "watermark rises" 9 (Metrics.gauge_value g)
+
+let test_metrics_timer () =
+  let t = Metrics.timer "test.prim.timer" in
+  let calls = Metrics.timer_calls t in
+  Alcotest.(check int) "result threads through" 42
+    (Metrics.time t (fun () -> 42));
+  Alcotest.(check int) "call counted" (calls + 1) (Metrics.timer_calls t);
+  Alcotest.(check bool) "ns non-negative" true (Metrics.timer_ns t >= 0);
+  (try Metrics.time t (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int)
+    "raising call still counted" (calls + 2)
+    (Metrics.timer_calls t)
+
+let test_metrics_snapshot_delta () =
+  let c = Metrics.counter "test.prim.delta" in
+  let before = Metrics.snapshot () in
+  Metrics.incr c;
+  Metrics.incr c;
+  let d = Metrics.delta ~before ~after:(Metrics.snapshot ()) in
+  Alcotest.(check (option int))
+    "delta isolates the two increments" (Some 2)
+    (List.assoc_opt "test.prim.delta" d)
+
+let test_metrics_probe () =
+  let cell = ref 7 in
+  Metrics.probe "test.prim.probe" (fun () -> !cell);
+  Alcotest.(check (option int))
+    "probe read at snapshot" (Some 7)
+    (List.assoc_opt "test.prim.probe" (Metrics.snapshot ()));
+  cell := 9;
+  Alcotest.(check (option int))
+    "probe is lazy" (Some 9)
+    (List.assoc_opt "test.prim.probe" (Metrics.snapshot ()))
+
+let test_metrics_json () =
+  Alcotest.(check string)
+    "flat object" "{\n  \"a.b\": 1,\n  \"c\": -2\n}\n"
+    (Metrics.to_json [ ("a.b", 1); ("c", -2) ])
+
+let test_metrics_concurrent_increments () =
+  (* the whole point of the sharded counters: concurrent domains must
+     never lose an increment *)
+  let c = Metrics.counter "test.prim.mt" in
+  let base = Metrics.value c in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Metrics.incr c
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost increments" (base + 40_000) (Metrics.value c)
+
 (* property tests *)
 
 let binomial n k =
@@ -151,6 +233,18 @@ let suites =
         Alcotest.test_case "set ops" `Quick test_listx_sets;
         Alcotest.test_case "combinations" `Quick test_listx_combinations;
         Alcotest.test_case "min/max by" `Quick test_listx_min_max_by;
+      ] );
+    ( "prim.metrics",
+      [
+        Alcotest.test_case "counter" `Quick test_metrics_counter;
+        Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
+        Alcotest.test_case "gauge watermark" `Quick test_metrics_gauge;
+        Alcotest.test_case "timer" `Quick test_metrics_timer;
+        Alcotest.test_case "snapshot delta" `Quick test_metrics_snapshot_delta;
+        Alcotest.test_case "probe" `Quick test_metrics_probe;
+        Alcotest.test_case "json" `Quick test_metrics_json;
+        Alcotest.test_case "concurrent increments" `Quick
+          test_metrics_concurrent_increments;
       ] );
     Test_util.qsuite "prim.properties"
       [

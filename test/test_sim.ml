@@ -329,6 +329,7 @@ let test_crash_explorer_flp_gap () =
   | Sim.Explorer.All_paths_decide stats ->
       Alcotest.(check bool) "complete" false stats.Sim.Explorer.budget_exhausted
   | Sim.Explorer.Stuck _ -> Alcotest.fail "no crash, no trap"
+  | Sim.Explorer.Indeterminate _ -> Alcotest.fail "unexpected truncation"
   | Sim.Explorer.Safety_violation { reason; _ } -> Alcotest.fail reason);
   (* budget 1: the FLP trap must be found *)
   match
@@ -340,6 +341,7 @@ let test_crash_explorer_flp_gap () =
       Alcotest.(check int) "one crash suffices" 1 (List.length crashed);
       Alcotest.(check bool) "someone is trapped" true (undecided_correct <> [])
   | Sim.Explorer.All_paths_decide _ -> Alcotest.fail "FLP trap missed"
+  | Sim.Explorer.Indeterminate _ -> Alcotest.fail "unexpected truncation"
   | Sim.Explorer.Safety_violation { reason; _ } -> Alcotest.fail reason
 
 let test_crash_explorer_trivial_untrappable () =
@@ -351,6 +353,7 @@ let test_crash_explorer_trivial_untrappable () =
   with
   | Sim.Explorer.All_paths_decide _ -> ()
   | Sim.Explorer.Stuck _ -> Alcotest.fail "wait-free algorithms cannot be trapped"
+  | Sim.Explorer.Indeterminate _ -> Alcotest.fail "unexpected truncation"
   | Sim.Explorer.Safety_violation { reason; _ } -> Alcotest.fail reason
 
 let test_crash_explorer_safety_violation () =
@@ -368,7 +371,8 @@ let test_crash_explorer_safety_violation () =
   with
   | Sim.Explorer.Safety_violation { reason; _ } ->
       Alcotest.(check string) "reason" "two values" reason
-  | Sim.Explorer.All_paths_decide _ | Sim.Explorer.Stuck _ ->
+  | Sim.Explorer.All_paths_decide _ | Sim.Explorer.Stuck _
+  | Sim.Explorer.Indeterminate _ ->
       Alcotest.fail "violation expected"
 
 let test_crash_explorer_valency () =
