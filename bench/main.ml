@@ -271,6 +271,24 @@ let bench_indist_for_all_n6 () =
   ignore (Core.Indist.for_all ra rb [ 0; 1; 2; 3; 4; 5 ]);
   ignore (Core.Indist.for_all ra ra [ 0; 1; 2; 3; 4; 5 ])
 
+(* fuzz-layer subjects: one campaign that finds a violation and shrinks
+   it (trivial decides its own input, so any two steps by distinct pids
+   break 1-agreement), and one clean campaign over the Section VI
+   protocol where the decision bound keeps every trial within k *)
+
+module FuzzTrivial = Sim.Fuzz.Make (Algo.Trivial.A)
+module FuzzK2 = Sim.Fuzz.Make (K2)
+
+let bench_fuzz_trivial_shrink () =
+  let cfg = Sim.Fuzz.default_config ~k:1 ~n:3 () in
+  ignore (FuzzTrivial.run cfg ~seed:7 ~trials:50)
+
+let bench_fuzz_kset_clean () =
+  let cfg =
+    { (Sim.Fuzz.default_config ~k:1 ~n:3 ()) with Sim.Fuzz.max_crashes = 1 }
+  in
+  ignore (FuzzK2.run cfg ~seed:7 ~trials:25)
+
 (* One (name, thunk) pair per subject: bechamel times the thunk, and
    in [--json] mode a single extra invocation between two
    Metrics.snapshot calls yields the per-run counter deltas that go
@@ -298,6 +316,8 @@ let subjects =
     ("ablation:engine-throughput-n32", bench_ablation_engine_throughput);
     ("ablation:scc-path-50k", bench_ablation_scc_50k);
     ("ablation:record-replay-n6", bench_ablation_replay);
+    ("fuzz:trivial-shrink-n3", bench_fuzz_trivial_shrink);
+    ("fuzz:kset-flp-clean-n3", bench_fuzz_kset_clean);
     ("screen:section6-n4", bench_screen_section6_n4);
     ("indist:for-all-n6", bench_indist_for_all_n6);
   ]

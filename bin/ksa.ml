@@ -5,6 +5,7 @@
      border         print the solvability-border tables
      simulate       run one algorithm under one adversary, print the run
      explore        exhaustive schedule-space search (optionally multicore)
+     fuzz           random schedule search with counterexample shrinking
      screen         Theorem-1 screening of an algorithm
      paste          execute the Lemma-12 pasting construction
      independence   T-independence check of an algorithm *)
@@ -527,6 +528,173 @@ let explore_cmd =
       $ crash_budget_arg $ policy_arg $ domains_arg $ max_configs_arg
       $ drop_on_crash_arg $ stats_json_arg $ progress_arg)
 
+(* ---------- fuzz ---------- *)
+
+let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
+    weights_name require_termination domains stats_json save_schedule
+    replay_path max_seconds =
+  let l = Option.value l ~default:(max 1 (n - 1)) in
+  match algo_conv ~l ~wait_for algo_name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok (module A) -> (
+      let module F = Sim.Fuzz.Make (A) in
+      let weights =
+        match weights_name with
+        | "fair" -> Sim.Fuzz.fair_weights
+        | "mixed" -> Sim.Fuzz.default_weights
+        | w ->
+            Printf.eprintf "unknown weights %S (expected fair or mixed)\n" w;
+            exit 1
+      in
+      let stop =
+        match max_seconds with
+        | None -> None
+        | Some s ->
+            let deadline = Unix.gettimeofday () +. s in
+            Some (fun () -> Unix.gettimeofday () > deadline)
+      in
+      let cfg =
+        {
+          (Sim.Fuzz.default_config ~k ~n ()) with
+          Sim.Fuzz.pattern = Sim.Failure_pattern.initial_dead ~n ~dead;
+          weights;
+          max_crashes;
+          max_steps;
+          properties =
+            ([ Sim.Fuzz.K_agreement k; Sim.Fuzz.Validity ]
+            @ if require_termination then [ Sim.Fuzz.Termination ] else []);
+          stop;
+        }
+      in
+      let write_stats () =
+        match stats_json with
+        | None -> ()
+        | Some path ->
+            Metrics.write_json ~path (Metrics.snapshot ());
+            Format.eprintf "stats written to %s@." path
+      in
+      let code =
+        match replay_path with
+        | Some path -> (
+            match Sim.Trace_io.load_schedule ~path with
+            | Error e ->
+                prerr_endline e;
+                1
+            | Ok sched -> (
+                let run = F.replay_schedule cfg sched in
+                match F.check_run cfg run with
+                | Some (prop, reason) ->
+                    Format.printf "VIOLATION (%s): %s@."
+                      (Sim.Fuzz.property_name prop)
+                      reason;
+                    2
+                | None ->
+                    Format.printf "CLEAN: replaying %d steps violates nothing@."
+                      (List.length sched);
+                    0))
+        | None -> (
+            let domains =
+              match domains with
+              | Some d -> d
+              | None -> Sim.Explorer.default_domains ()
+            in
+            let outcome =
+              if domains > 1 then F.run_par ~domains cfg ~seed ~trials
+              else F.run cfg ~seed ~trials
+            in
+            match outcome with
+            | Sim.Fuzz.Violation_found v ->
+                Format.printf "VIOLATION at trial %d (%s): %s@."
+                  v.Sim.Fuzz.trial v.Sim.Fuzz.property v.Sim.Fuzz.reason;
+                Format.printf
+                  "schedule: %d steps, shrunk to %d (1-minimal, %d candidate \
+                   replays)@."
+                  (List.length v.Sim.Fuzz.schedule)
+                  (List.length v.Sim.Fuzz.shrunk)
+                  v.Sim.Fuzz.shrink_candidates;
+                (match save_schedule with
+                | Some path ->
+                    Sim.Trace_io.save_schedule ~path v.Sim.Fuzz.shrunk;
+                    Format.printf "shrunk schedule written to %s@." path
+                | None -> ());
+                2
+            | Sim.Fuzz.Clean { trials } ->
+                Format.printf "CLEAN: %d trials, no violation@." trials;
+                0
+            | Sim.Fuzz.Budget_exhausted { trials } ->
+                Format.printf
+                  "BUDGET EXHAUSTED: no violation in the %d trials that ran \
+                   before the time budget@."
+                  trials;
+                4)
+      in
+      write_stats ();
+      code)
+
+let trials_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "trials" ] ~docv:"T" ~doc:"Number of random schedules to try.")
+
+let max_steps_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "max-steps" ] ~docv:"S" ~doc:"Per-trial step budget.")
+
+let max_crashes_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-crashes" ] ~docv:"C"
+        ~doc:
+          "Per trial, draw up to C random crash times on top of the base \
+           failure pattern.")
+
+let weights_arg =
+  Arg.(
+    value
+    & opt string "mixed"
+    & info [ "weights" ] ~docv:"W"
+        ~doc:
+          "Action weighting: 'mixed' (partial/empty deliveries and \
+           crash-drops) or 'fair' (deliver-all steps only).")
+
+let require_termination_arg =
+  Arg.(
+    value & flag
+    & info [ "require-termination" ]
+        ~doc:
+          "Also flag runs that exhaust the step budget with a correct \
+           process undecided (use with fair weights).")
+
+let max_seconds_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-seconds" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock budget; ends the campaign early with exit 4 (note: \
+           which trials ran is then timing-dependent).")
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Random schedule search with counterexample shrinking: drive the \
+          algorithm through seeded random adversary actions, check \
+          k-agreement/validity (and optionally termination), and on \
+          violation shrink the schedule to a 1-minimal replayable \
+          counterexample.  Exits 2 on a violation, 0 when all trials are \
+          clean, and 4 when --max-seconds cut the campaign short.  With \
+          --replay FILE, re-runs a saved schedule and reports its verdict \
+          instead of fuzzing.")
+    Term.(
+      const fuzz $ algo_arg $ n_arg $ k_arg $ l_arg $ wait_arg $ seed_arg
+      $ trials_arg $ max_steps_arg $ max_crashes_arg $ dead_arg $ weights_arg
+      $ require_termination_arg $ domains_arg $ stats_json_arg
+      $ save_schedule_arg $ replay_arg $ max_seconds_arg)
+
 (* ---------- screen ---------- *)
 
 let screen algo_name n f k l wait_for exhaustive_c =
@@ -741,6 +909,7 @@ let main_cmd =
       border_cmd;
       simulate_cmd;
       explore_cmd;
+      fuzz_cmd;
       screen_cmd;
       paste_cmd;
       independence_cmd;

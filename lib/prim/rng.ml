@@ -19,6 +19,11 @@ let split t =
   let s = next64 t in
   { state = mix s }
 
+let split_at t i =
+  if i < 0 then invalid_arg "Rng.split_at: negative index";
+  let s = Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1))) in
+  { state = mix (mix s) }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: nonpositive bound";
   let mask = Int64.shift_right_logical (next64 t) 1 in

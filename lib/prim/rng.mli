@@ -19,6 +19,14 @@ val copy : t -> t
 val split : t -> t
 (** Derive an independent generator; advances the parent. *)
 
+val split_at : t -> int -> t
+(** [split_at t i] is the [i]-th child of [t]'s current state, without
+    advancing [t]: the generator [split] would return on its [i+1]-th
+    consecutive call.  Children at distinct indices are mutually
+    independent, so workers can derive the stream for any trial index
+    directly — the key to exact sequential/parallel fuzzing parity.
+    @raise Invalid_argument if [i] is negative. *)
+
 val next64 : t -> int64
 (** Next raw 64-bit output. *)
 

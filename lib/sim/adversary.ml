@@ -39,6 +39,16 @@ let pending_for ?(allow = fun _ _ -> true) obs p =
     (fun m -> if m.dst = p && allow m.src m.dst then Some m.id else None)
     obs.pending
 
+let droppable ?(victims = fun _ -> true) obs =
+  List.filter_map
+    (fun m ->
+      if
+        victims m.src
+        && Failure_pattern.is_crashed obs.pattern m.src ~time:obs.time
+      then Some m.id
+      else None)
+    obs.pending
+
 (* Prefer scheduling processes that still have work (pending messages
    or no decision yet); halt when every correct process has decided. *)
 let fair ~rng =
@@ -190,16 +200,8 @@ let eventually_lockstep ~rng ~gst ~p_defer =
 
 let crash_after_decision ~inner ~victims =
   let next obs =
-    let droppable =
-      List.filter_map
-        (fun m ->
-          if
-            List.mem m.src victims
-            && Failure_pattern.is_crashed obs.pattern m.src ~time:obs.time
-          then Some m.id
-          else None)
-        obs.pending
-    in
-    match droppable with [] -> inner.next obs | ids -> Drop ids
+    match droppable ~victims:(fun src -> List.mem src victims) obs with
+    | [] -> inner.next obs
+    | ids -> Drop ids
   in
   { describe = inner.describe ^ "+crash-drops"; next }

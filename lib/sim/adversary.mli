@@ -56,6 +56,11 @@ val pending_for : ?allow:(Pid.t -> Pid.t -> bool) -> obs -> Pid.t -> int list
 (** Ids of pending messages addressed to a process, optionally
     filtered by an [allow src dst] predicate. *)
 
+val droppable : ?victims:(Pid.t -> bool) -> obs -> int list
+(** Ids of pending messages the engine would accept in a {!Drop}:
+    those whose sender is already crashed at [obs.time], optionally
+    restricted to senders satisfying [victims]. *)
+
 (** {1 Fair strategies (possibility side)} *)
 
 val fair : rng:Ksa_prim.Rng.t -> t

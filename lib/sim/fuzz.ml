@@ -1,0 +1,334 @@
+module Rng = Ksa_prim.Rng
+module Metrics = Ksa_prim.Metrics
+module Listx = Ksa_prim.Listx
+
+type weights = {
+  deliver_all : int;
+  deliver_some : int;
+  deliver_none : int;
+  drop : int;
+  undecided_bias : int;
+}
+
+let fair_weights =
+  { deliver_all = 1; deliver_some = 0; deliver_none = 0; drop = 0; undecided_bias = 3 }
+
+let default_weights =
+  { deliver_all = 5; deliver_some = 3; deliver_none = 2; drop = 2; undecided_bias = 3 }
+
+let check_weights w =
+  if w.deliver_all < 0 || w.deliver_some < 0 || w.deliver_none < 0 || w.drop < 0
+     || w.undecided_bias < 0
+  then invalid_arg "Fuzz: negative weight";
+  if w.deliver_all + w.deliver_some + w.deliver_none <= 0 then
+    invalid_arg "Fuzz: at least one step weight must be positive"
+
+type property =
+  | K_agreement of int
+  | Validity
+  | Termination
+  | Custom of string * (Run.t -> string option)
+
+let property_name = function
+  | K_agreement k -> Printf.sprintf "%d-agreement" k
+  | Validity -> "validity"
+  | Termination -> "termination"
+  | Custom (name, _) -> name
+
+type config = {
+  n : int;
+  inputs : Value.t array;
+  pattern : Failure_pattern.t;
+  weights : weights;
+  max_crashes : int;
+  max_steps : int;
+  properties : property list;
+  stop : (unit -> bool) option;
+}
+
+let default_config ?(k = 1) ~n () =
+  {
+    n;
+    inputs = Value.distinct_inputs n;
+    pattern = Failure_pattern.none ~n;
+    weights = default_weights;
+    max_crashes = 0;
+    max_steps = 200;
+    properties = [ K_agreement k; Validity ];
+    stop = None;
+  }
+
+type violation = {
+  trial : int;
+  property : string;
+  reason : string;
+  pattern : Failure_pattern.t;
+  run : Run.t;
+  schedule : Replay.step_desc list;
+  shrunk : Replay.step_desc list;
+  shrink_candidates : int;
+}
+
+type outcome =
+  | Violation_found of violation
+  | Clean of { trials : int }
+  | Budget_exhausted of { trials : int }
+
+(* live counters; the authoritative per-campaign figures are in the
+   returned outcome (the parallel driver may run trials beyond the
+   first violation, so raw counters can exceed the canonical count) *)
+let m_trials = Metrics.counter "fuzz.trials"
+let m_violations = Metrics.counter "fuzz.violations"
+let m_shrink_candidates = Metrics.counter "fuzz.shrink.candidates"
+let m_domains = Metrics.counter "fuzz.domains.spawned"
+let t_trial = Metrics.timer "fuzz.trial"
+let t_shrink = Metrics.timer "fuzz.shrink"
+let g_first = Metrics.gauge "fuzz.first_violation.trial"
+let g_schedule_len = Metrics.gauge "fuzz.schedule.len"
+let g_shrunk_len = Metrics.gauge "fuzz.shrunk.len"
+
+let () =
+  Metrics.probe "fuzz.schedules_per_sec" (fun () ->
+      let ns = Metrics.timer_ns t_trial in
+      if ns <= 0 then 0 else Metrics.value m_trials * 1_000_000_000 / ns)
+
+(* Delta debugging (Zeller & Hildebrandt's ddmin) over a step list:
+   returns a subsequence on which [test] still holds and from which no
+   single element can be removed without losing it (1-minimality). *)
+let ddmin ~test xs =
+  let rec go xs n =
+    let len = List.length xs in
+    if len <= 1 then xs
+    else
+      let n = min n len in
+      let size = max 1 ((len + n - 1) / n) in
+      let chunks = Listx.chunks size xs in
+      let rec try_subsets = function
+        | [] -> None
+        | c :: rest -> if test c then Some c else try_subsets rest
+      in
+      let rec try_complements i =
+        if i >= List.length chunks then None
+        else
+          let comp =
+            List.concat (List.filteri (fun j _ -> j <> i) chunks)
+          in
+          if test comp then Some comp else try_complements (i + 1)
+      in
+      match try_subsets chunks with
+      | Some c -> go c 2
+      | None -> (
+          match try_complements 0 with
+          | Some comp -> go comp (max (n - 1) 2)
+          | None -> if size > 1 then go xs (min len (2 * n)) else xs)
+  in
+  if test [] then [] else go xs 2
+
+module Make (A : Algorithm.S) = struct
+  module E = Engine.Make (A)
+
+  (* the base pattern plus up to [max_crashes] randomly drawn crash
+     times among the processes it leaves correct *)
+  let trial_pattern (cfg : config) rng =
+    if cfg.max_crashes <= 0 then cfg.pattern
+    else
+      let base =
+        List.filter_map
+          (fun p ->
+            Option.map (fun t -> (p, t)) (Failure_pattern.crash_time cfg.pattern p))
+          (Pid.universe cfg.n)
+      in
+      let correct = Failure_pattern.correct cfg.pattern in
+      let c = min (Rng.int rng (cfg.max_crashes + 1)) (List.length correct) in
+      let victims = Rng.sample rng c correct in
+      let extra =
+        List.map (fun p -> (p, Rng.int rng (cfg.max_steps + 1))) victims
+      in
+      Failure_pattern.of_crash_times ~n:cfg.n (base @ extra)
+
+  let nonempty_subset rng = function
+    | [] -> invalid_arg "Fuzz.nonempty_subset"
+    | xs -> (
+        match List.filter (fun _ -> Rng.bool rng) xs with
+        | [] -> [ List.nth xs (Rng.int rng (List.length xs)) ]
+        | some -> some)
+
+  let fuzz_adversary w rng =
+    let next obs =
+      if Adversary.all_correct_decided obs then Adversary.Halt
+      else
+        match Adversary.alive obs with
+        | [] -> Adversary.Halt
+        | candidates ->
+            let droppable = Adversary.droppable obs in
+            let w_step = w.deliver_all + w.deliver_some + w.deliver_none in
+            let w_drop = if droppable = [] then 0 else w.drop in
+            let roll = Rng.int rng (w_step + w_drop) in
+            if roll < w_drop then Adversary.Drop (nonempty_subset rng droppable)
+            else
+              let pid =
+                match Adversary.undecided_alive obs with
+                | [] -> Rng.pick rng candidates
+                | undecided ->
+                    if
+                      w.undecided_bias > 0
+                      && Rng.int rng (w.undecided_bias + 1) <> 0
+                    then Rng.pick rng undecided
+                    else Rng.pick rng candidates
+              in
+              let buffer = Adversary.pending_for obs pid in
+              let roll = roll - w_drop in
+              let deliver =
+                if roll < w.deliver_all then buffer
+                else if roll < w.deliver_all + w.deliver_some then
+                  List.filter (fun _ -> Rng.bool rng) buffer
+                else []
+              in
+              Adversary.Step { pid; deliver }
+    in
+    { Adversary.describe = "fuzz"; next }
+
+  let trial (cfg : config) ~seed i =
+    check_weights cfg.weights;
+    let rng = Rng.split_at (Rng.create ~seed) i in
+    let pattern = trial_pattern cfg rng in
+    let adv = fuzz_adversary cfg.weights rng in
+    let run =
+      Metrics.time t_trial (fun () ->
+          E.run ~max_steps:cfg.max_steps ~n:cfg.n ~inputs:cfg.inputs ~pattern adv)
+    in
+    Metrics.incr m_trials;
+    (pattern, run)
+
+  let check_property (cfg : config) run = function
+    | K_agreement k ->
+        let d = Run.distinct_decisions run in
+        if d > k then
+          Some (Printf.sprintf "%d distinct decided values, k = %d" d k)
+        else None
+    | Validity -> (
+        let proposed v = Array.exists (Value.equal v) run.Run.inputs in
+        match List.find_opt (fun v -> not (proposed v)) (Run.decided_values run) with
+        | Some v ->
+            Some
+              (Format.asprintf "decided value %a was never proposed" Value.pp v)
+        | None -> None)
+    | Termination ->
+        if run.Run.status = Run.Hit_step_budget && not (Run.all_correct_decided run)
+        then
+          Some
+            (Printf.sprintf "correct process undecided after %d steps"
+               cfg.max_steps)
+        else None
+    | Custom (_, f) -> f run
+
+  let check_run (cfg : config) run =
+    List.find_map
+      (fun p ->
+        Option.map (fun reason -> (p, reason)) (check_property cfg run p))
+      cfg.properties
+
+  let replay_schedule ?pattern (cfg : config) sched =
+    let pattern = Option.value pattern ~default:cfg.pattern in
+    E.run ~max_steps:cfg.max_steps ~n:cfg.n ~inputs:cfg.inputs ~pattern
+      (Replay.sequential [ sched ])
+
+  let shrink (cfg : config) ~pattern prop sched =
+    let candidates = ref 0 in
+    let test s =
+      incr candidates;
+      Metrics.incr m_shrink_candidates;
+      Option.is_some (check_property cfg (replay_schedule ~pattern cfg s) prop)
+    in
+    let shrunk =
+      Metrics.time t_shrink (fun () ->
+          if not (test sched) then sched else ddmin ~test sched)
+    in
+    (shrunk, !candidates)
+
+  let violation_of (cfg : config) i pattern run prop reason =
+    Metrics.incr m_violations;
+    let schedule = Trace_io.schedule_of_run run in
+    let shrunk, shrink_candidates = shrink cfg ~pattern prop schedule in
+    Metrics.gauge_set g_first i;
+    Metrics.gauge_set g_schedule_len (List.length schedule);
+    Metrics.gauge_set g_shrunk_len (List.length shrunk);
+    {
+      trial = i;
+      property = property_name prop;
+      reason;
+      pattern;
+      run;
+      schedule;
+      shrunk;
+      shrink_candidates;
+    }
+
+  let run ?on_trial (cfg : config) ~seed ~trials =
+    let stopped () = match cfg.stop with Some f -> f () | None -> false in
+    let rec go i =
+      if i >= trials then Clean { trials }
+      else if stopped () then Budget_exhausted { trials = i }
+      else
+        let pattern, r = trial cfg ~seed i in
+        let () = Option.iter (fun f -> f i r) on_trial in
+        match check_run cfg r with
+        | None -> go (i + 1)
+        | Some (prop, reason) ->
+            Violation_found (violation_of cfg i pattern r prop reason)
+    in
+    go 0
+
+  let run_par ?domains (cfg : config) ~seed ~trials =
+    let domains =
+      match domains with Some d -> max 1 d | None -> Explorer.default_domains ()
+    in
+    if domains <= 1 then run cfg ~seed ~trials
+    else begin
+      check_weights cfg.weights;
+      let stop () = match cfg.stop with Some f -> f () | None -> false in
+      let stopped_early = Atomic.make false in
+      let next_ticket = Atomic.make 0 in
+      (* lowest violating trial index found so far: workers stop
+         claiming tickets above it, but every ticket below it is still
+         executed by someone, so the minimum over all reported
+         violations is exactly the sequential first violation *)
+      let best = Atomic.make max_int in
+      let worker () =
+        Metrics.incr m_domains;
+        let rec loop acc =
+          if stop () then (
+            Atomic.set stopped_early true;
+            acc)
+          else
+            let i = Atomic.fetch_and_add next_ticket 1 in
+            if i >= trials || i > Atomic.get best then acc
+            else
+              let pattern, r = trial cfg ~seed i in
+              match check_run cfg r with
+              | None -> loop acc
+              | Some (prop, reason) ->
+                  let rec lower () =
+                    let b = Atomic.get best in
+                    if i < b && not (Atomic.compare_and_set best b i) then
+                      lower ()
+                  in
+                  lower ();
+                  loop ((i, pattern, r, prop, reason) :: acc)
+        in
+        loop []
+      in
+      let found =
+        List.init domains (fun _ -> Domain.spawn worker)
+        |> List.concat_map Domain.join
+      in
+      let by_trial (a, _, _, _, _) (b, _, _, _, _) = compare a b in
+      match List.sort by_trial found with
+      | (i, pattern, r, prop, reason) :: _ ->
+          Violation_found (violation_of cfg i pattern r prop reason)
+      | [] ->
+          if Atomic.get stopped_early then
+            Budget_exhausted { trials = min trials (Atomic.get next_ticket) }
+          else Clean { trials }
+    end
+end

@@ -1,0 +1,160 @@
+(** Randomized schedule search with counterexample shrinking.
+
+    Exhaustive exploration ({!Explorer}) certifies small systems but
+    cannot reach the sizes the paper's adversary constructions
+    quantify over.  The fuzzer fills that gap: it drives an algorithm
+    through random engine-validated adversary actions — weighted
+    step/deliver/drop choices plus randomly drawn crash times — checks
+    run-level properties, and on violation delta-debugs the offending
+    schedule down to a 1-minimal counterexample that round-trips
+    through {!Trace_io} for replay.
+
+    Determinism is load-bearing, exactly as for {!Ksa_prim.Rng}: trial
+    [i] of a campaign is a pure function of the root seed and [i]
+    (each trial's generator is derived with {!Ksa_prim.Rng.split_at},
+    never by consuming a shared stream), so the sequential and
+    parallel drivers fuzz the identical trial corpus and report the
+    identical first violation, and a saved counterexample replays to
+    the same verdict on any machine. *)
+
+type weights = {
+  deliver_all : int;  (** Step a process, delivering its whole buffer. *)
+  deliver_some : int;
+      (** Step a process, delivering a uniformly random subset. *)
+  deliver_none : int;  (** Step a process, delivering nothing. *)
+  drop : int;
+      (** Drop a random nonempty subset of the pending messages whose
+          sender has crashed (weight ignored while none exist). *)
+  undecided_bias : int;
+      (** Odds of preferring an undecided stepper: the chosen process
+          is drawn from the undecided alive ones with probability
+          [bias/(bias+1)], from all alive ones otherwise.  [3]
+          reproduces {!Adversary.fair}'s 3/4 bias; [0] is uniform. *)
+}
+(** Relative odds of each action class.  At least one of the step
+    weights must be positive; all weights must be non-negative. *)
+
+val fair_weights : weights
+(** Deliver-all steps only, no drops, bias 3 — the randomized fair
+    schedules of the possibility side, matching {!Adversary.fair}. *)
+
+val default_weights : weights
+(** A mixed profile (full, partial and empty deliveries plus
+    crash-drops) that exercises out-of-order delivery and message
+    loss. *)
+
+type property =
+  | K_agreement of int
+      (** At most [k] distinct decided values (uniform: decisions of
+          later-crashed processes count). *)
+  | Validity  (** Every decided value was some process's input. *)
+  | Termination
+      (** The run must not exhaust the step budget with a correct
+          process undecided.  Only meaningful under weightings that
+          keep the schedule fair ({!fair_weights}); an unfair random
+          schedule may legitimately starve a process. *)
+  | Custom of string * (Run.t -> string option)
+      (** Named user predicate: return [Some reason] on violation. *)
+
+val property_name : property -> string
+
+type config = {
+  n : int;
+  inputs : Value.t array;
+  pattern : Failure_pattern.t;
+      (** Base failure pattern; random crashes are drawn on top. *)
+  weights : weights;
+  max_crashes : int;
+      (** Per trial, up to this many additional crash times are drawn
+          uniformly (victim and time both random) among the processes
+          the base pattern leaves correct. *)
+  max_steps : int;  (** Per-trial step budget. *)
+  properties : property list;  (** Checked in order after each trial. *)
+  stop : (unit -> bool) option;
+      (** Polled between trials; when it returns [true] the campaign
+          ends with {!Budget_exhausted}.  Wall-clock budgets live here
+          (the library itself never reads a clock), and only here can
+          determinism be lost: with [stop = None] a campaign is a pure
+          function of its seed. *)
+}
+
+val default_config : ?k:int -> n:int -> unit -> config
+(** Distinct inputs, failure-free base pattern, {!default_weights},
+    no extra crashes, 200-step budget, properties
+    [[K_agreement k; Validity]] (default [k = 1]), no stop. *)
+
+type violation = {
+  trial : int;  (** Trial index of the first violating run. *)
+  property : string;
+  reason : string;
+  pattern : Failure_pattern.t;  (** The trial's full failure pattern. *)
+  run : Run.t;
+  schedule : Replay.step_desc list;  (** Full offending schedule. *)
+  shrunk : Replay.step_desc list;
+      (** 1-minimal: replaying it still violates [property], and
+          removing any single step no longer does. *)
+  shrink_candidates : int;  (** Candidate schedules replayed by ddmin. *)
+}
+
+type outcome =
+  | Violation_found of violation
+  | Clean of { trials : int }  (** All trials ran; none violated. *)
+  | Budget_exhausted of { trials : int }
+      (** [config.stop] ended the campaign after [trials] trials with
+          no violation found. *)
+
+module Make (A : Algorithm.S) : sig
+  val trial : config -> seed:int -> int -> Failure_pattern.t * Run.t
+  (** The [i]-th trial of campaign [seed], as a pure function of
+      [(config, seed, i)] — the unit of sequential/parallel parity:
+      both drivers execute exactly this run for trial [i]. *)
+
+  val check_run : config -> Run.t -> (property * string) option
+  (** First violated property of [config.properties], with reason. *)
+
+  val replay_schedule :
+    ?pattern:Failure_pattern.t ->
+    config ->
+    Replay.step_desc list ->
+    Run.t
+  (** Replay a schedule under [Replay.sequential] with the config's
+      inputs and step budget ([pattern] defaults to [config.pattern]).
+      Safety verdicts transfer from the fuzzed run even though drops
+      are not part of the schedule: dropped messages were never
+      delivered, so replay feeds every process the same receive
+      sequence. *)
+
+  val shrink :
+    config ->
+    pattern:Failure_pattern.t ->
+    property ->
+    Replay.step_desc list ->
+    Replay.step_desc list * int
+  (** [shrink config ~pattern prop schedule] delta-debugs (ddmin) the
+      schedule to a 1-minimal one whose replay still violates [prop];
+      also returns the number of candidate replays.  If the input
+      schedule itself does not re-violate under replay (which the
+      drivers never produce), it is returned unshrunk. *)
+
+  val run :
+    ?on_trial:(int -> Run.t -> unit) ->
+    config ->
+    seed:int ->
+    trials:int ->
+    outcome
+  (** Sequential campaign: trials [0 .. trials-1] in order, stopping
+      at the first violation (which is then shrunk).  [on_trial] sees
+      every executed run — e.g. to collect the decision corpus. *)
+
+  val run_par : ?domains:int -> config -> seed:int -> trials:int -> outcome
+  (** Multicore campaign ([domains] defaults to
+      {!Explorer.default_domains}): workers claim trial indices from a
+      shared ticket counter (the explorer's clamp idiom) and stop
+      claiming tickets above the lowest violating index found so far.
+      Every trial below that index is still executed, so the reported
+      violation is exactly the sequential driver's first violation,
+      and shrinking (performed once, after join) is deterministic:
+      for a fixed seed the outcome is bit-identical to {!run}'s.  With
+      [config.stop] set, which trials ran is timing-dependent; only
+      then can the two drivers differ. *)
+end

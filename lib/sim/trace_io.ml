@@ -69,15 +69,35 @@ let save_schedule ~path descs =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (schedule_to_string descs))
 
+(* a Sys_error usually already names the file ("…: No such file or
+   directory"); prepend the path only when the system message omits it,
+   so callers can always tell which file failed *)
+let sys_error_with_path path msg =
+  let contains_path =
+    path <> ""
+    && String.length msg >= String.length path
+    &&
+    let rec scan i =
+      i + String.length path <= String.length msg
+      && (String.sub msg i (String.length path) = path || scan (i + 1))
+    in
+    scan 0
+  in
+  Error (if contains_path then msg else Printf.sprintf "%s: %s" path msg)
+
 let load_schedule ~path =
-  match open_in path with
-  | exception Sys_error e -> Error e
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          let len = in_channel_length ic in
-          schedule_of_string (really_input_string ic len))
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> sys_error_with_path path e
+  | exception End_of_file -> sys_error_with_path path "truncated read"
+  | contents -> (
+      match schedule_of_string contents with
+      | Ok _ as ok -> ok
+      | Error e -> sys_error_with_path path e)
 
 let schedule_of_run run = Replay.project ~keep:(fun _ -> true) run
 

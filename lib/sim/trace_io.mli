@@ -20,7 +20,11 @@ val schedule_of_string : string -> (Replay.step_desc list, string) result
 (** Parses the format above; tolerates blank lines and [#] comments. *)
 
 val save_schedule : path:string -> Replay.step_desc list -> unit
+
 val load_schedule : path:string -> (Replay.step_desc list, string) result
+(** Never raises: I/O failures (nonexistent path included) and parse
+    failures are returned as [Error] with the offending path in the
+    message. *)
 
 val schedule_of_run : Run.t -> Replay.step_desc list
 (** The full schedule ([project ~keep:(fun _ -> true)]). *)

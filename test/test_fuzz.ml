@@ -1,0 +1,278 @@
+(* The schedule fuzzer.
+
+   Determinism is the contract under test: trial i is a pure function
+   of (config, root seed, i), so a campaign must be bit-reproducible,
+   the sequential and parallel drivers must report the identical first
+   violation and shrunk schedule, and every shrunk counterexample must
+   re-violate under Replay after a Trace_io save/load round-trip.
+   The differential suite checks the fuzzer is sound against the
+   exhaustive explorer: a fair-weighted fuzz campaign never decides a
+   value exploration cannot reach. *)
+
+module Sim = Ksa_sim
+module Fuzz = Sim.Fuzz
+
+let distinct = Sim.Value.distinct_inputs
+
+module FT = Fuzz.Make (Ksa_algo.Trivial.A)
+
+module K2 = Ksa_algo.Kset_flp.Make (struct
+  let l = 2
+end)
+
+module FK2 = Fuzz.Make (K2)
+
+module K3 = Ksa_algo.Kset_flp.Make (struct
+  let l = 3
+end)
+
+module FK3 = Fuzz.Make (K3)
+
+let expect_violation = function
+  | Fuzz.Violation_found v -> v
+  | Fuzz.Clean _ -> Alcotest.fail "expected a violation, got clean"
+  | Fuzz.Budget_exhausted _ ->
+      Alcotest.fail "expected a violation, got budget-exhausted"
+
+let check_violation_equal msg (a : Fuzz.violation) (b : Fuzz.violation) =
+  Alcotest.(check int) (msg ^ ": trial") a.Fuzz.trial b.Fuzz.trial;
+  Alcotest.(check string) (msg ^ ": property") a.Fuzz.property b.Fuzz.property;
+  Alcotest.(check string) (msg ^ ": reason") a.Fuzz.reason b.Fuzz.reason;
+  Alcotest.(check bool)
+    (msg ^ ": pattern") true
+    (Sim.Failure_pattern.equal a.Fuzz.pattern b.Fuzz.pattern);
+  Alcotest.(check bool)
+    (msg ^ ": schedule") true
+    (a.Fuzz.schedule = b.Fuzz.schedule);
+  Alcotest.(check bool) (msg ^ ": shrunk") true (a.Fuzz.shrunk = b.Fuzz.shrunk)
+
+(* trivial decides its own input immediately: any two steps by
+   distinct processes violate 1-agreement with distinct inputs *)
+let trivial_cfg = Fuzz.default_config ~k:1 ~n:3 ()
+
+let test_bit_reproducible () =
+  let a = expect_violation (FT.run trivial_cfg ~seed:42 ~trials:50) in
+  let b = expect_violation (FT.run trivial_cfg ~seed:42 ~trials:50) in
+  check_violation_equal "same seed" a b;
+  let c = expect_violation (FT.run trivial_cfg ~seed:43 ~trials:50) in
+  (* different seed must at least give a different run object; the
+     trial index may coincide *)
+  Alcotest.(check bool) "different seed, different campaign" false
+    (a.Fuzz.schedule = c.Fuzz.schedule && a.Fuzz.trial = c.Fuzz.trial
+    && Sim.Failure_pattern.equal a.Fuzz.pattern c.Fuzz.pattern
+    && a.Fuzz.run.Sim.Run.events = c.Fuzz.run.Sim.Run.events)
+
+let test_seq_par_violation_parity () =
+  let seq = expect_violation (FT.run trivial_cfg ~seed:42 ~trials:50) in
+  let par = expect_violation (FT.run_par ~domains:2 trivial_cfg ~seed:42 ~trials:50) in
+  check_violation_equal "seq vs par" seq par
+
+let test_seq_par_clean_parity () =
+  (* kset-flp with L=2 at n=3 can reach at most n/L = 1 decision:
+     1-agreement and validity hold on every schedule *)
+  let cfg =
+    { (Fuzz.default_config ~k:1 ~n:3 ()) with Fuzz.max_crashes = 1 }
+  in
+  let seq = FK2.run cfg ~seed:7 ~trials:40 in
+  let par = FK2.run_par ~domains:2 cfg ~seed:7 ~trials:40 in
+  (match seq with
+  | Fuzz.Clean { trials } -> Alcotest.(check int) "seq clean trials" 40 trials
+  | _ -> Alcotest.fail "expected clean sequential campaign");
+  match par with
+  | Fuzz.Clean { trials } -> Alcotest.(check int) "par clean trials" 40 trials
+  | _ -> Alcotest.fail "expected clean parallel campaign"
+
+let test_trial_is_pure () =
+  let cfg = { trivial_cfg with Fuzz.max_crashes = 1 } in
+  let p1, r1 = FT.trial cfg ~seed:9 5 in
+  let p2, r2 = FT.trial cfg ~seed:9 5 in
+  Alcotest.(check bool) "same pattern" true (Sim.Failure_pattern.equal p1 p2);
+  Alcotest.(check bool) "same events" true
+    (r1.Sim.Run.events = r2.Sim.Run.events);
+  Alcotest.(check bool) "same decisions" true
+    (r1.Sim.Run.decisions = r2.Sim.Run.decisions)
+
+let test_shrunk_one_minimal_and_roundtrips () =
+  let cfg = Fuzz.default_config ~k:1 ~n:4 () in
+  let module F = Fuzz.Make (Ksa_algo.Trivial.A) in
+  let v = expect_violation (F.run cfg ~seed:3 ~trials:20) in
+  (* for trivial, the minimal 1-agreement counterexample is exactly
+     two steps by distinct processes *)
+  Alcotest.(check int) "two steps" 2 (List.length v.Fuzz.shrunk);
+  let pids = List.map (fun (d : Sim.Replay.step_desc) -> d.pid) v.Fuzz.shrunk in
+  Alcotest.(check int) "distinct pids" 2
+    (List.length (List.sort_uniq compare pids));
+  (* the acceptance criterion: save/load round-trip, then replay, and
+     the verdict must survive *)
+  let path = Filename.temp_file "ksa_fuzz_cex" ".sched" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sim.Trace_io.save_schedule ~path v.Fuzz.shrunk;
+      let loaded =
+        match Sim.Trace_io.load_schedule ~path with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check bool) "round-trip preserves schedule" true
+        (loaded = v.Fuzz.shrunk);
+      let replayed = F.replay_schedule ~pattern:v.Fuzz.pattern cfg loaded in
+      (match F.check_run cfg replayed with
+      | Some (p, _) ->
+          Alcotest.(check string) "same property violated"
+            v.Fuzz.property (Fuzz.property_name p)
+      | None -> Alcotest.fail "shrunk schedule no longer violates");
+      (* 1-minimality: dropping any single step loses the violation *)
+      List.iteri
+        (fun i _ ->
+          let without = List.filteri (fun j _ -> j <> i) v.Fuzz.shrunk in
+          let run = F.replay_schedule ~pattern:v.Fuzz.pattern cfg without in
+          match F.check_run cfg run with
+          | Some _ ->
+              Alcotest.failf "removing step %d still violates: not 1-minimal" i
+          | None -> ())
+        v.Fuzz.shrunk)
+
+let test_full_schedule_also_reviolates () =
+  let v = expect_violation (FT.run trivial_cfg ~seed:42 ~trials:50) in
+  let run = FT.replay_schedule ~pattern:v.Fuzz.pattern trivial_cfg v.Fuzz.schedule in
+  match FT.check_run trivial_cfg run with
+  | Some (p, _) ->
+      Alcotest.(check string) "same property" v.Fuzz.property
+        (Fuzz.property_name p)
+  | None -> Alcotest.fail "full schedule does not re-violate under replay"
+
+(* fuzz soundness against exhaustive exploration: with fair-only
+   weights on kset-flp at n=3, every value a fuzzed run decides must be
+   reachable in the crash-adversarial exploration of the same space *)
+let test_differential_against_explorer () =
+  let n = 3 in
+  let module Ex = Sim.Explorer.Make (K2) in
+  let reachable =
+    Ex.reachable_decision_values ~n ~inputs:(distinct n) ~crash_budget:1 ()
+  in
+  Alcotest.(check bool) "explorer reaches something" true (reachable <> []);
+  let cfg =
+    {
+      (Fuzz.default_config ~k:n ~n ()) with
+      Fuzz.weights = Fuzz.fair_weights;
+      max_crashes = 1;
+      properties = [];
+    }
+  in
+  List.iter
+    (fun seed ->
+      let decided = ref [] in
+      (match
+         FK2.run
+           ~on_trial:(fun _ run ->
+             decided := Sim.Run.decided_values run @ !decided)
+           cfg ~seed ~trials:60
+       with
+      | Fuzz.Clean { trials } -> Alcotest.(check int) "all trials ran" 60 trials
+      | _ -> Alcotest.fail "property-free campaign cannot violate");
+      List.iter
+        (fun v ->
+          if not (List.mem v reachable) then
+            Alcotest.failf
+              "seed %d: fuzzer decided %d, unreachable for the explorer" seed v)
+        (List.sort_uniq compare !decided))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_termination_violation_budget_shaped () =
+  (* kset-flp with L=3 at n=3 and p0 initially dead: the two survivors
+     wait forever for a second hello — every fair schedule exhausts the
+     budget undecided.  The counterexample is budget-shaped: no step
+     can be removed without losing budget exhaustion, so shrinking
+     must return the full schedule. *)
+  let n = 3 in
+  let cfg =
+    {
+      (Fuzz.default_config ~k:1 ~n ()) with
+      Fuzz.pattern = Sim.Failure_pattern.initial_dead ~n ~dead:[ 0 ];
+      weights = Fuzz.fair_weights;
+      max_steps = 40;
+      properties = [ Fuzz.Termination ];
+    }
+  in
+  let v = expect_violation (FK3.run cfg ~seed:11 ~trials:5) in
+  Alcotest.(check int) "violates immediately" 0 v.Fuzz.trial;
+  Alcotest.(check string) "termination" "termination" v.Fuzz.property;
+  Alcotest.(check int) "full budget schedule" 40 (List.length v.Fuzz.schedule);
+  Alcotest.(check bool) "unshrinkable: budget-shaped" true
+    (v.Fuzz.shrunk = v.Fuzz.schedule)
+
+let test_validity_custom_property () =
+  (* a custom predicate violated by construction: flag any decision at
+     all; the shrunk schedule is then the single deciding step *)
+  let cfg =
+    {
+      trivial_cfg with
+      Fuzz.properties =
+        [
+          Fuzz.Custom
+            ( "no-decision",
+              fun run ->
+                if Sim.Run.decided_values run <> [] then
+                  Some "a process decided"
+                else None );
+        ];
+    }
+  in
+  let v = expect_violation (FT.run cfg ~seed:1 ~trials:10) in
+  Alcotest.(check string) "custom name" "no-decision" v.Fuzz.property;
+  Alcotest.(check int) "single-step counterexample" 1
+    (List.length v.Fuzz.shrunk)
+
+let test_stop_budget_exhausted () =
+  let cfg = { trivial_cfg with Fuzz.stop = Some (fun () -> true) } in
+  (match FT.run cfg ~seed:1 ~trials:100 with
+  | Fuzz.Budget_exhausted { trials } ->
+      Alcotest.(check int) "no trial ran" 0 trials
+  | _ -> Alcotest.fail "expected budget-exhausted (seq)");
+  match FT.run_par ~domains:2 cfg ~seed:1 ~trials:100 with
+  | Fuzz.Budget_exhausted _ -> ()
+  | _ -> Alcotest.fail "expected budget-exhausted (par)"
+
+let test_weights_validated () =
+  let cfg =
+    {
+      trivial_cfg with
+      Fuzz.weights =
+        {
+          Fuzz.deliver_all = 0;
+          deliver_some = 0;
+          deliver_none = 0;
+          drop = 1;
+          undecided_bias = 0;
+        };
+    }
+  in
+  Alcotest.check_raises "no step weight"
+    (Invalid_argument "Fuzz: at least one step weight must be positive")
+    (fun () -> ignore (FT.run cfg ~seed:1 ~trials:1))
+
+let suites =
+  [
+    ( "sim.fuzz",
+      [
+        Alcotest.test_case "bit-reproducible" `Quick test_bit_reproducible;
+        Alcotest.test_case "seq/par violation parity" `Quick
+          test_seq_par_violation_parity;
+        Alcotest.test_case "seq/par clean parity" `Quick
+          test_seq_par_clean_parity;
+        Alcotest.test_case "trial is pure" `Quick test_trial_is_pure;
+        Alcotest.test_case "shrunk 1-minimal + round-trip replay" `Quick
+          test_shrunk_one_minimal_and_roundtrips;
+        Alcotest.test_case "full schedule re-violates" `Quick
+          test_full_schedule_also_reviolates;
+        Alcotest.test_case "differential vs explorer" `Quick
+          test_differential_against_explorer;
+        Alcotest.test_case "termination counterexample is budget-shaped"
+          `Quick test_termination_violation_budget_shaped;
+        Alcotest.test_case "custom property" `Quick test_validity_custom_property;
+        Alcotest.test_case "stop => budget exhausted" `Quick
+          test_stop_budget_exhausted;
+        Alcotest.test_case "weights validated" `Quick test_weights_validated;
+      ] );
+  ]

@@ -23,6 +23,32 @@ let test_rng_split_independent () =
   let b = Rng.split a in
   Alcotest.(check bool) "split differs" false (Rng.next64 a = Rng.next64 b)
 
+let test_rng_split_at_indexed () =
+  (* split_at t i is the (i+1)-th consecutive split, computable
+     without advancing the parent *)
+  let t = Rng.create ~seed:5 in
+  let child = Rng.split_at t 2 in
+  let t' = Rng.create ~seed:5 in
+  ignore (Rng.split t');
+  ignore (Rng.split t');
+  let child' = Rng.split t' in
+  Alcotest.(check int64) "matches the 3rd split" (Rng.next64 child')
+    (Rng.next64 child);
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.split_at: negative index") (fun () ->
+      ignore (Rng.split_at t (-1)))
+
+let test_rng_split_at_pure () =
+  let t = Rng.create ~seed:9 in
+  let before = Rng.next64 (Rng.copy t) in
+  let a = Rng.split_at t 7 in
+  let b = Rng.split_at t 7 in
+  Alcotest.(check int64) "deterministic per index" (Rng.next64 a) (Rng.next64 b);
+  Alcotest.(check int64) "parent not advanced" before (Rng.next64 t);
+  let c = Rng.split_at t 8 in
+  Alcotest.(check bool) "distinct indices, distinct streams" false
+    (Rng.next64 (Rng.split_at t 7) = Rng.next64 c)
+
 let test_rng_int_bounds () =
   let rng = Rng.create ~seed:99 in
   for _ = 1 to 1000 do
@@ -220,6 +246,8 @@ let suites =
         Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
         Alcotest.test_case "copy" `Quick test_rng_copy;
         Alcotest.test_case "split" `Quick test_rng_split_independent;
+        Alcotest.test_case "split_at indexed" `Quick test_rng_split_at_indexed;
+        Alcotest.test_case "split_at pure" `Quick test_rng_split_at_pure;
         Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
         Alcotest.test_case "float range" `Quick test_rng_float_unit_interval;
         Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;

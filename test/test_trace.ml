@@ -229,8 +229,135 @@ let test_cross_substrate_divergence_detected () =
   Alcotest.(check bool) "distinguishable for p3" false
     (Sim.Trace.indistinguishable_for full.HE.trace split.HE.trace 3)
 
+(* ---------- Definition 2 property suite over random traces ---------- *)
+
+(* A single-process trace described by plain data, so that an
+   independent oracle for Definition 2 can be computed from the
+   description without going through the library.  [dec] is the index
+   of the deciding step, if any (at most one decision per row, which
+   is all the engines ever produce). *)
+type raw = { init : int; ids : int list; dec : int option }
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+
+let raw_to_trace r =
+  mk ~init:[ r.init ]
+    [ List.mapi (fun i id -> (id, if r.dec = Some i then Some 0 else None)) r.ids ]
+
+let truncate_raw r m =
+  {
+    r with
+    ids = take m r.ids;
+    dec = (match r.dec with Some i when i < m -> Some i | _ -> None);
+  }
+
+(* the four cases of Definition 2, written directly over the decided
+   state prefixes — an independent formulation the library must agree
+   with on every generated pair *)
+let ref_indistinguishable a b =
+  let states r =
+    let cut = match r.dec with Some i -> i + 1 | None -> List.length r.ids in
+    r.init :: take cut r.ids
+  in
+  let rec is_prefix xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> x = y && is_prefix xs ys
+  in
+  let sa = states a and sb = states b in
+  match (a.dec <> None, b.dec <> None) with
+  | true, true -> sa = sb
+  | true, false -> is_prefix sa sb
+  | false, true -> is_prefix sb sa
+  | false, false ->
+      let m = min (List.length sa) (List.length sb) in
+      take m sa = take m sb
+
+let pp_raw r =
+  Printf.sprintf "{init=%d; ids=[%s]; dec=%s}" r.init
+    (String.concat ";" (List.map string_of_int r.ids))
+    (match r.dec with None -> "-" | Some i -> string_of_int i)
+
+let gen_raw =
+  QCheck.Gen.(
+    int_bound 3 >>= fun init ->
+    list_size (int_bound 6) (int_bound 3) >>= fun ids ->
+    (match ids with
+    | [] -> return None
+    | _ -> opt (int_bound (List.length ids - 1)))
+    >>= fun dec -> return { init; ids; dec })
+
+let arb_raw = QCheck.make ~print:pp_raw gen_raw
+
+(* pairs that share structure often enough to exercise the [true]
+   branches of all four cases, not just the easy mismatches *)
+let gen_raw_pair =
+  QCheck.Gen.(
+    gen_raw >>= fun a ->
+    oneof
+      [
+        return (a, a);
+        (int_bound (List.length a.ids) >>= fun m -> return (a, truncate_raw a m));
+        ( gen_raw >>= fun b ->
+          return (a, { b with init = a.init; ids = take (List.length b.ids) (a.ids @ b.ids) }) );
+        (gen_raw >>= fun b -> return (a, b));
+      ])
+
+let arb_raw_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> pp_raw a ^ " vs " ^ pp_raw b)
+    gen_raw_pair
+
+let prop_indist_reflexive =
+  QCheck.Test.make ~name:"indistinguishable_for is reflexive" ~count:200
+    arb_raw (fun r ->
+      let t = raw_to_trace r in
+      Trace.indistinguishable_for t t 0)
+
+let prop_indist_symmetric =
+  QCheck.Test.make ~name:"indistinguishable_for is symmetric" ~count:500
+    arb_raw_pair (fun (a, b) ->
+      let ta = raw_to_trace a and tb = raw_to_trace b in
+      Trace.indistinguishable_for ta tb 0 = Trace.indistinguishable_for tb ta 0)
+
+let prop_indist_matches_oracle =
+  QCheck.Test.make
+    ~name:"indistinguishable_for matches the Definition 2 oracle" ~count:500
+    arb_raw_pair (fun (a, b) ->
+      Trace.indistinguishable_for (raw_to_trace a) (raw_to_trace b) 0
+      = ref_indistinguishable a b)
+
+let prop_indist_prefix_closure =
+  (* truncating an UNDECIDED process's row never distinguishes (the
+     runs agree up to the shorter prefix); once the row contains the
+     deciding step, truncating strictly below it always does — the
+     quantitative content of the one-decided case *)
+  QCheck.Test.make ~name:"prefix truncation: closed iff decision survives"
+    ~count:500
+    (QCheck.make
+       ~print:(fun (r, m) -> Printf.sprintf "%s cut at %d" (pp_raw r) m)
+       QCheck.Gen.(
+         gen_raw >>= fun r ->
+         int_bound (List.length r.ids) >>= fun m -> return (r, m)))
+    (fun (r, m) ->
+      let expected =
+        match r.dec with None -> true | Some i -> m >= i + 1
+      in
+      Trace.indistinguishable_for (raw_to_trace r)
+        (raw_to_trace (truncate_raw r m))
+        0
+      = expected)
+
 let suites =
   [
+    Test_util.qsuite "trace.properties"
+      [
+        prop_indist_reflexive;
+        prop_indist_symmetric;
+        prop_indist_matches_oracle;
+        prop_indist_prefix_closure;
+      ];
     ( "trace",
       [
         Alcotest.test_case "both decided" `Quick test_both_decided;

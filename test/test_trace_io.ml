@@ -78,6 +78,102 @@ let test_file_roundtrip () =
       | Ok loaded -> Alcotest.(check bool) "file roundtrip" true (loaded = sched)
       | Error e -> Alcotest.fail e)
 
+let test_load_schedule_missing_path () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "ksa_no_such_file.sched" in
+  (match Sim.Trace_io.load_schedule ~path with
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+  | Error e ->
+      let contains_path =
+        let lp = String.length path and le = String.length e in
+        let rec scan i =
+          i + lp <= le && (String.sub e i lp = path || scan (i + 1))
+        in
+        lp <= le && scan 0
+      in
+      if not contains_path then
+        Alcotest.failf "error %S does not mention the path %S" e path);
+  (* parse failures through load_schedule also name the file *)
+  let bad = Filename.temp_file "ksa_bad" ".sched" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove bad)
+    (fun () ->
+      let oc = open_out bad in
+      output_string oc "not a schedule\n";
+      close_out oc;
+      match Sim.Trace_io.load_schedule ~path:bad with
+      | Ok _ -> Alcotest.fail "parsed garbage"
+      | Error e ->
+          Alcotest.(check bool) "names the file" true
+            (String.length e >= String.length bad))
+
+let test_malformed_error_messages () =
+  let expect_error_containing input fragment =
+    match Sim.Trace_io.schedule_of_string input with
+    | Ok _ -> Alcotest.failf "accepted %S" input
+    | Error e ->
+        let lf = String.length fragment and le = String.length e in
+        let rec scan i =
+          i + lf <= le && (String.sub e i lf = fragment || scan (i + 1))
+        in
+        if not (lf <= le && scan 0) then
+          Alcotest.failf "error %S for %S lacks %S" e input fragment
+  in
+  expect_error_containing "x: 1.1" "bad pid";
+  expect_error_containing "0: 1.0" "bad delivery";
+  expect_error_containing "0 1.1" "missing ':'";
+  (* the reported line number counts comments and blanks *)
+  expect_error_containing "# header\n\n1: 0.1\nx: 1.1\n" "line 4"
+
+(* ---------- round-trip properties over random schedules ---------- *)
+
+let gen_schedule =
+  QCheck.Gen.(
+    list_size (int_bound 10)
+      ( pair (int_bound 9)
+          (list_size (int_bound 4) (pair (int_bound 9) (int_range 1 5)))
+      >>= fun (pid, dels) ->
+        return
+          {
+            Sim.Replay.pid;
+            deliver =
+              List.map (fun (src, seq) -> { Sim.Replay.src; seq }) dels;
+          } ))
+
+let pp_schedule s = Sim.Trace_io.schedule_to_string s
+
+let arb_schedule = QCheck.make ~print:pp_schedule gen_schedule
+
+let prop_schedule_roundtrip =
+  QCheck.Test.make ~name:"schedule_of_string ∘ schedule_to_string = Ok"
+    ~count:300 arb_schedule (fun sched ->
+      Sim.Trace_io.schedule_of_string (Sim.Trace_io.schedule_to_string sched)
+      = Ok sched)
+
+let prop_schedule_roundtrip_with_noise =
+  (* comment and blank lines inserted anywhere must not change the
+     parse result *)
+  QCheck.Test.make ~name:"round-trip tolerates comments and blanks" ~count:300
+    (QCheck.make
+       ~print:(fun (s, seed) -> Printf.sprintf "seed %d\n%s" seed (pp_schedule s))
+       QCheck.Gen.(pair gen_schedule (int_bound 1000)))
+    (fun (sched, seed) ->
+      let rng = Rng.create ~seed in
+      let noisy =
+        Sim.Trace_io.schedule_to_string sched
+        |> String.split_on_char '\n'
+        |> List.concat_map (fun line ->
+               let noise =
+                 match Rng.int rng 4 with
+                 | 0 -> [ "# noise" ]
+                 | 1 -> [ "" ]
+                 | 2 -> [ "  # indented comment"; "" ]
+                 | _ -> []
+               in
+               noise @ [ line ])
+        |> String.concat "\n"
+      in
+      Sim.Trace_io.schedule_of_string noisy = Ok sched)
+
 (* strong T-independence (Definition 6, second clause) *)
 
 let test_strong_independence_taxonomy () =
@@ -145,7 +241,13 @@ let suites =
         Alcotest.test_case "parse errors" `Quick test_schedule_parse_errors;
         Alcotest.test_case "comments and blanks" `Quick test_schedule_comments_and_blanks;
         Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+        Alcotest.test_case "missing path is an Error with the path" `Quick
+          test_load_schedule_missing_path;
+        Alcotest.test_case "malformed inputs name line and token" `Quick
+          test_malformed_error_messages;
       ] );
+    Test_util.qsuite "sim.trace_io.properties"
+      [ prop_schedule_roundtrip; prop_schedule_roundtrip_with_noise ];
     ( "core.independence_strong",
       [
         Alcotest.test_case "strong-vs-plain taxonomy" `Quick test_strong_independence_taxonomy;
