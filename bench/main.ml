@@ -172,6 +172,36 @@ let bench_e12_crash_explorer () =
        ~check:(fun _ -> None)
        ())
 
+let bench_e12_crash_explorer_checkpointed () =
+  (* the e12:crash-explorer-n3 space with a live checkpoint sink at
+     the default 5s cadence: measures the steady-state overhead of
+     the interrupt polls and due-checks (the campaign finishes before
+     a periodic write fires, so this is the common-case tax a
+     --checkpoint flag adds — target: within 5% of the bare run) *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  let path = Filename.temp_file "ksa_bench" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let ckpt =
+        Sim.Checkpoint.ctl
+          ~sink:
+            {
+              Sim.Checkpoint.path;
+              kind = "explore-crash";
+              fingerprint = "bench";
+              policy = Sim.Checkpoint.default_policy;
+            }
+          ~interrupt:(fun () -> false)
+          ()
+      in
+      ignore
+        (Ex.explore_with_crashes ~ckpt ~n:3
+           ~inputs:(Sim.Value.distinct_inputs 3)
+           ~crash_budget:1
+           ~check:(fun _ -> None)
+           ()))
+
 let bench_e12_crash_explorer_par () =
   (* multicore crash explorer, same space as e12:crash-explorer-n3 *)
   let module Ex = Sim.Explorer.Make (K2) in
@@ -307,6 +337,7 @@ let subjects =
     ("e9:independence-check", bench_e9_independence);
     ("e10:ho-uniform-voting-n8", bench_e10_ho_uniform_voting);
     ("e12:crash-explorer-n3", bench_e12_crash_explorer);
+    ("explore:crash-n3-checkpointed", bench_e12_crash_explorer_checkpointed);
     ("e12:crash-explorer-par-n3", bench_e12_crash_explorer_par);
     ("e13:abd-torture-n4", bench_e13_abd_torture);
     ("theorem2:end-to-end-n6", bench_theorem2_demonstrate);

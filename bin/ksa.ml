@@ -17,6 +17,82 @@ module Algo = Ksa_algo
 module Fd = Ksa_fd
 module Rng = Ksa_prim.Rng
 module Metrics = Ksa_prim.Metrics
+module Clock = Ksa_prim.Clock
+module Checkpoint = Ksa_sim.Checkpoint
+
+(* ---------- graceful shutdown ---------- *)
+
+(* SIGINT/SIGTERM raise this flag; the campaign drivers poll it
+   through their Checkpoint controller, flush a final checkpoint, and
+   return a truncated verdict — at which point the command notices the
+   flag, writes --stats-json, prints the resume command and exits
+   130.  Nothing happens inside the handler itself beyond the atomic
+   store. *)
+let shutdown = Atomic.make false
+
+let install_signal_handlers () =
+  let handle _ = Atomic.set shutdown true in
+  List.iter
+    (fun s -> try Sys.set_signal s (Sys.Signal_handle handle) with _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
+let resume_hint ~checkpoint =
+  match checkpoint with
+  | None -> ()
+  | Some path ->
+      let argv = Array.to_list Sys.argv in
+      let has_resume =
+        List.exists
+          (fun a ->
+            a = "--resume"
+            || (String.length a > 9 && String.sub a 0 9 = "--resume="))
+          argv
+      in
+      let cmd =
+        String.concat " "
+          (if has_resume then argv else argv @ [ "--resume"; path ])
+      in
+      Printf.eprintf "ksa: interrupted — resume with:\n  %s\n%!" cmd
+
+(* --checkpoint-every SPEC: "2s"/"0.5s" = seconds, a plain integer =
+   work items (configs or trials) between writes *)
+let parse_every s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n > 1 && (s.[n - 1] = 's' || s.[n - 1] = 'S') then
+    match float_of_string_opt (String.sub s 0 (n - 1)) with
+    | Some sec when sec > 0. ->
+        Ok { Checkpoint.default_policy with Checkpoint.every_seconds = sec }
+    | _ -> Error (Printf.sprintf "bad --checkpoint-every %S" s)
+  else
+    match int_of_string_opt s with
+    | Some k when k > 0 ->
+        Ok { Checkpoint.every_items = k; every_seconds = infinity }
+    | _ -> Error (Printf.sprintf "bad --checkpoint-every %S" s)
+
+(* Load and validate a checkpoint for --resume.  Any problem — the
+   file is corrupt, belongs to another campaign kind, was written
+   under different parameters, or its interner dump conflicts — is a
+   warning followed by a fresh campaign, never a crash. *)
+let load_resume ~path ~kind ~fingerprint =
+  let fresh fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "ksa: %s — starting a fresh campaign\n%!" m;
+        None)
+      fmt
+  in
+  match Checkpoint.load ~path with
+  | Error e -> fresh "cannot resume: %s" e
+  | Ok t ->
+      if Checkpoint.kind t <> kind then
+        fresh "%s is a %S checkpoint, not %S" path (Checkpoint.kind t) kind
+      else if Checkpoint.fingerprint t <> fingerprint then
+        fresh "%s was written under different campaign parameters" path
+      else (
+        match Checkpoint.restore_interners t with
+        | Error e -> fresh "cannot resume: %s" e
+        | Ok () -> Some t)
 
 (* ---------- shared argument parsing ---------- *)
 
@@ -229,11 +305,18 @@ let simulate algo_name n f l wait_for seed adversary dead save_schedule
               admissible
           end;
           (match save_schedule with
-          | Some path ->
-              Sim.Trace_io.save_schedule ~path (Sim.Trace_io.schedule_of_run run);
-              Format.printf "schedule saved to %s@." path
-          | None -> ());
-          0)
+          | Some path -> (
+              match
+                Sim.Trace_io.save_schedule ~path
+                  (Sim.Trace_io.schedule_of_run run)
+              with
+              | Ok () ->
+                  Format.printf "schedule saved to %s@." path;
+                  0
+              | Error e ->
+                  Printf.eprintf "ksa: %s\n%!" e;
+                  1)
+          | None -> 0))
 
 let adversary_arg =
   Arg.(
@@ -304,8 +387,8 @@ let with_progress enabled f =
             if Atomic.get stop then ()
             else begin
               Unix.sleepf 0.1;
-              let now = Unix.gettimeofday () in
-              if now -. last_t < 1.0 then loop last_n last_t
+              let elapsed = Clock.elapsed_s ~since:last_t in
+              if elapsed < 1.0 then loop last_n last_t
               else begin
                 let n = Metrics.value admitted in
                 let h = Metrics.value hits and m = Metrics.value misses in
@@ -318,13 +401,13 @@ let with_progress enabled f =
                    terminals, memo %.0f%% hit\n\
                    %!"
                   n
-                  (float_of_int (n - last_n) /. (now -. last_t))
+                  (float_of_int (n - last_n) /. elapsed)
                   (Metrics.value dedup) (Metrics.value terminals) memo_pct;
-                loop n now
+                loop n (Clock.now_ns ())
               end
             end
           in
-          loop (Metrics.value admitted) (Unix.gettimeofday ()))
+          loop (Metrics.value admitted) (Clock.now_ns ()))
     in
     Fun.protect
       ~finally:(fun () ->
@@ -334,7 +417,8 @@ let with_progress enabled f =
   end
 
 let explore algo_name n k l wait_for dead crash_budget policy domains
-    max_configs drop_on_crash stats_json progress =
+    max_configs drop_on_crash stats_json progress checkpoint checkpoint_every
+    resume =
   let l = Option.value l ~default:(max 1 (n - 1)) in
   match algo_conv ~l ~wait_for algo_name with
   | Error e ->
@@ -342,6 +426,7 @@ let explore algo_name n k l wait_for dead crash_budget policy domains
       1
   | Ok (module A) -> (
       let module Ex = Sim.Explorer.Make (A) in
+      let policy_name = policy in
       let policy =
         match policy with
         | "per-sender" -> Sim.Explorer.Per_sender
@@ -372,18 +457,74 @@ let explore algo_name n k l wait_for dead crash_budget policy domains
         | Some d -> d
         | None -> Sim.Explorer.default_domains ()
       in
+      let kind = if crash_budget = 0 then "explore" else "explore-crash" in
+      (* everything that shapes the search (but not [domains]: the
+         drivers are verdict-identical, and resume is sequential) *)
+      let fingerprint =
+        Printf.sprintf
+          "algo=%s n=%d k=%d l=%d wait=%d dead=%s crash-budget=%d policy=%s \
+           max-configs=%s drop=%b"
+          algo_name n k l wait_for
+          (String.concat "," (List.map string_of_int dead))
+          crash_budget policy_name
+          (match max_configs with None -> "-" | Some m -> string_of_int m)
+          drop_on_crash
+      in
+      let ck_policy =
+        match checkpoint_every with
+        | None -> Checkpoint.default_policy
+        | Some s -> (
+            match parse_every s with
+            | Ok p -> p
+            | Error e ->
+                prerr_endline e;
+                exit 1)
+      in
+      let sink =
+        Option.map
+          (fun path -> { Checkpoint.path; kind; fingerprint; policy = ck_policy })
+          checkpoint
+      in
+      let resumed =
+        Option.bind resume (fun path -> load_resume ~path ~kind ~fingerprint)
+      in
+      install_signal_handlers ();
+      let ckpt =
+        Checkpoint.ctl ?sink
+          ~interrupt:(fun () -> Atomic.get shutdown)
+          ~ledger:
+            (match resumed with Some t -> Checkpoint.ledger t | None -> [])
+          ()
+      in
+      let resume = Option.map Checkpoint.payload resumed in
+      let domains =
+        if resume <> None && domains > 1 then begin
+          Printf.eprintf
+            "ksa: resuming on the sequential driver (checkpoints are \
+             sequential-format; verdicts are driver-independent)\n\
+             %!";
+          1
+        end
+        else domains
+      in
       let pp_stats ppf (s : Sim.Explorer.stats) =
         Format.fprintf ppf "%d configs visited, %d terminal runs%s"
           s.Sim.Explorer.configs_visited s.Sim.Explorer.terminal_runs
           (if s.Sim.Explorer.budget_exhausted then " (budget exhausted)"
            else "")
       in
+      (* returns 1 when the stats file could not be written *)
       let write_stats () =
         match stats_json with
-        | None -> ()
-        | Some path ->
-            Metrics.write_json ~path (Metrics.snapshot ());
-            Format.eprintf "stats written to %s@." path
+        | None -> 0
+        | Some path -> (
+            match Metrics.write_json ~path (Metrics.snapshot ()) with
+            | Ok () ->
+                Format.eprintf "stats written to %s@." path;
+                0
+            | Error e ->
+                Printf.eprintf "ksa: %s\n%!" e;
+                1)
       in
       let code =
         try
@@ -392,11 +533,11 @@ let explore algo_name n k l wait_for dead crash_budget policy domains
                 let pattern = Sim.Failure_pattern.initial_dead ~n ~dead in
                 let outcome =
                   if domains > 1 then
-                    Ex.explore_par ~domains ?max_configs ~policy ~n ~inputs
-                      ~pattern ~check ()
+                    Ex.explore_par ~domains ?max_configs ~policy ~ckpt ~n
+                      ~inputs ~pattern ~check ()
                   else
-                    Ex.explore ?max_configs ~policy ~n ~inputs ~pattern ~check
-                      ()
+                    Ex.explore ?max_configs ~policy ~ckpt ?resume ~n ~inputs
+                      ~pattern ~check ()
                 in
                 match outcome with
                 | Sim.Explorer.Safe stats
@@ -420,12 +561,12 @@ let explore algo_name n k l wait_for dead crash_budget policy domains
                 let outcome =
                   if domains > 1 then
                     Ex.explore_with_crashes_par ~domains ?max_configs ~policy
-                      ~drop_on_crash ~initially_dead:dead ~n ~inputs
+                      ~drop_on_crash ~initially_dead:dead ~ckpt ~n ~inputs
                       ~crash_budget ~check ()
                   else
                     Ex.explore_with_crashes ?max_configs ~policy
-                      ~drop_on_crash ~initially_dead:dead ~n ~inputs
-                      ~crash_budget ~check ()
+                      ~drop_on_crash ~initially_dead:dead ~ckpt ?resume ~n
+                      ~inputs ~crash_budget ~check ()
                 in
                 match outcome with
                 | Sim.Explorer.All_paths_decide stats ->
@@ -454,8 +595,13 @@ let explore algo_name n k l wait_for dead crash_budget policy domains
           prerr_endline ("not explorable: " ^ msg);
           1
       in
-      write_stats ();
-      code)
+      let stats_code = write_stats () in
+      if Atomic.get shutdown then begin
+        resume_hint ~checkpoint;
+        130
+      end
+      else if stats_code <> 0 then stats_code
+      else code)
 
 let crash_budget_arg =
   Arg.(
@@ -514,6 +660,37 @@ let progress_arg =
           "Print a configs/sec progress line to stderr about once a second \
            while the search runs.")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Periodically write a crash-safe campaign checkpoint to FILE \
+           (atomic rename, CRC-framed).  On SIGINT/SIGTERM a final \
+           checkpoint is flushed and the exit code is 130; resume with \
+           --resume FILE.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-every" ] ~docv:"SPEC"
+        ~doc:
+          "Checkpoint cadence: '2s' or '0.5s' for seconds, a plain integer \
+           for work items (configs or trials) between writes.  Default: 5s.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume the campaign from a checkpoint written by --checkpoint.  \
+           The resumed campaign reports verdict and stats identical to an \
+           uninterrupted run.  A corrupt or mismatched checkpoint falls \
+           back to a fresh campaign with a warning.")
+
 let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
@@ -526,13 +703,14 @@ let explore_cmd =
     Term.(
       const explore $ algo_arg $ n_arg $ k_arg $ l_arg $ wait_arg $ dead_arg
       $ crash_budget_arg $ policy_arg $ domains_arg $ max_configs_arg
-      $ drop_on_crash_arg $ stats_json_arg $ progress_arg)
+      $ drop_on_crash_arg $ stats_json_arg $ progress_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_arg)
 
 (* ---------- fuzz ---------- *)
 
 let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
     weights_name require_termination domains stats_json save_schedule
-    replay_path max_seconds =
+    replay_path max_seconds checkpoint checkpoint_every resume =
   let l = Option.value l ~default:(max 1 (n - 1)) in
   match algo_conv ~l ~wait_for algo_name with
   | Error e ->
@@ -552,8 +730,10 @@ let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
         match max_seconds with
         | None -> None
         | Some s ->
-            let deadline = Unix.gettimeofday () +. s in
-            Some (fun () -> Unix.gettimeofday () > deadline)
+            (* monotonic: a wall-clock step (NTP, DST) must not end or
+               extend the campaign *)
+            let start = Clock.now_ns () in
+            Some (fun () -> Clock.elapsed_s ~since:start > s)
       in
       let cfg =
         {
@@ -568,12 +748,18 @@ let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
           stop;
         }
       in
+      (* returns 1 when the stats file could not be written *)
       let write_stats () =
         match stats_json with
-        | None -> ()
-        | Some path ->
-            Metrics.write_json ~path (Metrics.snapshot ());
-            Format.eprintf "stats written to %s@." path
+        | None -> 0
+        | Some path -> (
+            match Metrics.write_json ~path (Metrics.snapshot ()) with
+            | Ok () ->
+                Format.eprintf "stats written to %s@." path;
+                0
+            | Error e ->
+                Printf.eprintf "ksa: %s\n%!" e;
+                1)
       in
       let code =
         match replay_path with
@@ -600,12 +786,58 @@ let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
               | Some d -> d
               | None -> Sim.Explorer.default_domains ()
             in
+            let fingerprint =
+              Printf.sprintf
+                "algo=%s n=%d k=%d l=%d wait=%d dead=%s seed=%d trials=%d \
+                 max-steps=%d max-crashes=%d weights=%s termination=%b"
+                algo_name n k l wait_for
+                (String.concat "," (List.map string_of_int dead))
+                seed trials max_steps max_crashes weights_name
+                require_termination
+            in
+            let ck_policy =
+              match checkpoint_every with
+              | None -> Checkpoint.default_policy
+              | Some s -> (
+                  match parse_every s with
+                  | Ok p -> p
+                  | Error e ->
+                      prerr_endline e;
+                      exit 1)
+            in
+            let sink =
+              Option.map
+                (fun path ->
+                  { Checkpoint.path; kind = "fuzz"; fingerprint;
+                    policy = ck_policy })
+                checkpoint
+            in
+            let resumed =
+              Option.bind resume (fun path ->
+                  load_resume ~path ~kind:"fuzz" ~fingerprint)
+            in
+            install_signal_handlers ();
+            let ckpt =
+              Checkpoint.ctl ?sink
+                ~interrupt:(fun () -> Atomic.get shutdown)
+                ~ledger:
+                  (match resumed with
+                  | Some t -> Checkpoint.ledger t
+                  | None -> [])
+                ()
+            in
+            let resume_from =
+              match resumed with
+              | Some t -> F.resume_trial (Checkpoint.payload t)
+              | None -> 0
+            in
             let outcome =
-              if domains > 1 then F.run_par ~domains cfg ~seed ~trials
-              else F.run cfg ~seed ~trials
+              if domains > 1 then
+                F.run_par ~domains ~ckpt ~resume_from cfg ~seed ~trials
+              else F.run ~ckpt ~resume_from cfg ~seed ~trials
             in
             match outcome with
-            | Sim.Fuzz.Violation_found v ->
+            | Sim.Fuzz.Violation_found v -> (
                 Format.printf "VIOLATION at trial %d (%s): %s@."
                   v.Sim.Fuzz.trial v.Sim.Fuzz.property v.Sim.Fuzz.reason;
                 Format.printf
@@ -614,24 +846,33 @@ let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
                   (List.length v.Sim.Fuzz.schedule)
                   (List.length v.Sim.Fuzz.shrunk)
                   v.Sim.Fuzz.shrink_candidates;
-                (match save_schedule with
-                | Some path ->
-                    Sim.Trace_io.save_schedule ~path v.Sim.Fuzz.shrunk;
-                    Format.printf "shrunk schedule written to %s@." path
-                | None -> ());
-                2
+                match save_schedule with
+                | Some path -> (
+                    match Sim.Trace_io.save_schedule ~path v.Sim.Fuzz.shrunk with
+                    | Ok () ->
+                        Format.printf "shrunk schedule written to %s@." path;
+                        2
+                    | Error e ->
+                        Printf.eprintf "ksa: %s\n%!" e;
+                        1)
+                | None -> 2)
             | Sim.Fuzz.Clean { trials } ->
                 Format.printf "CLEAN: %d trials, no violation@." trials;
                 0
             | Sim.Fuzz.Budget_exhausted { trials } ->
                 Format.printf
                   "BUDGET EXHAUSTED: no violation in the %d trials that ran \
-                   before the time budget@."
+                   before the budget@."
                   trials;
                 4)
       in
-      write_stats ();
-      code)
+      let stats_code = write_stats () in
+      if Atomic.get shutdown then begin
+        resume_hint ~checkpoint;
+        130
+      end
+      else if stats_code <> 0 then stats_code
+      else code)
 
 let trials_arg =
   Arg.(
@@ -693,7 +934,8 @@ let fuzz_cmd =
       const fuzz $ algo_arg $ n_arg $ k_arg $ l_arg $ wait_arg $ seed_arg
       $ trials_arg $ max_steps_arg $ max_crashes_arg $ dead_arg $ weights_arg
       $ require_termination_arg $ domains_arg $ stats_json_arg
-      $ save_schedule_arg $ replay_arg $ max_seconds_arg)
+      $ save_schedule_arg $ replay_arg $ max_seconds_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_arg)
 
 (* ---------- screen ---------- *)
 

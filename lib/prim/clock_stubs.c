@@ -1,0 +1,19 @@
+/* Monotonic clock for deadlines and phase timers.
+
+   OCaml 5.1's Unix library exposes gettimeofday but not
+   clock_gettime, and wall time is the wrong instrument for budgets:
+   an NTP step mid-campaign would stretch or collapse every
+   --max-seconds deadline.  CLOCK_MONOTONIC is immune to clock
+   slews and steps (it only pauses across suspend, which is fine for
+   a batch campaign). */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value ksa_clock_monotonic_ns(value unit)
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return caml_copy_int64((int64_t) ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -1,0 +1,139 @@
+(* Crash-safe file writes and self-validating record framing.
+
+   Campaign state must survive SIGKILL at any instant, so every write
+   goes through the classic atomic dance: write a sibling temp file,
+   fsync it, rename over the target, then fsync the directory so the
+   rename itself is durable.  A reader therefore sees either the old
+   complete file or the new complete file, never a torn one.
+
+   Framing adds a second line of defence for the cases rename cannot
+   help with (a checkpoint from a different build, a file damaged at
+   rest, a partial copy): a fixed magic, a format version, the payload
+   length and a CRC-32 of the payload.  Every reader-side anomaly is a
+   clean [Error] naming the path — never an exception, never a
+   silently half-read state. *)
+
+(* ---------- CRC-32 (IEEE 802.3, reflected, table-driven) ---------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(init = 0) s =
+  let table = Lazy.force crc_table in
+  let c = ref (init lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ---------- atomic writes ---------- *)
+
+let with_errors ~path f =
+  try Ok (f ()) with
+  | Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+  | Sys_error msg -> Error msg
+  | Out_of_memory -> raise Out_of_memory
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+(* fsync on a directory fd is how POSIX makes a rename durable; some
+   filesystems refuse it (EINVAL), which at worst re-opens the small
+   window the fsync was closing, so the refusal is not an error. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let write_atomic ~path data =
+  let tmp = path ^ ".tmp" in
+  let res =
+    with_errors ~path (fun () ->
+        let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            write_all fd data;
+            Unix.fsync fd);
+        Unix.rename tmp path;
+        fsync_dir (Filename.dirname path))
+  in
+  (match res with
+  | Ok () -> ()
+  | Error _ -> ( try Sys.remove tmp with Sys_error _ -> ()));
+  res
+
+let read_file ~path =
+  with_errors ~path (fun () ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
+
+(* ---------- framed records ---------- *)
+
+(* magic[8] | version u32 LE | payload length u64 LE | crc32 u32 LE
+   | payload bytes *)
+
+let header_len = 24
+let magic_len = 8
+
+let write_framed ~path ~magic ~version payload =
+  if String.length magic <> magic_len then
+    invalid_arg "Durable.write_framed: magic must be exactly 8 bytes";
+  let b = Buffer.create (header_len + String.length payload) in
+  Buffer.add_string b magic;
+  Buffer.add_int32_le b (Int32.of_int version);
+  Buffer.add_int64_le b (Int64.of_int (String.length payload));
+  Buffer.add_int32_le b (Int32.of_int (crc32 payload));
+  Buffer.add_string b payload;
+  write_atomic ~path (Buffer.contents b)
+
+let read_framed ~path ~magic =
+  if String.length magic <> magic_len then
+    invalid_arg "Durable.read_framed: magic must be exactly 8 bytes";
+  match read_file ~path with
+  | Error _ as e -> e
+  | Ok raw ->
+      let fail fmt = Printf.ksprintf (fun m -> Error (path ^ ": " ^ m)) fmt in
+      if String.length raw < header_len then
+        fail "truncated record (%d bytes, need a %d-byte header)"
+          (String.length raw) header_len
+      else if String.sub raw 0 magic_len <> magic then
+        fail "bad magic (not a %s file)" (String.trim magic)
+      else
+        let version =
+          Int32.to_int (String.get_int32_le raw magic_len) land 0xFFFFFFFF
+        in
+        let len = Int64.to_int (String.get_int64_le raw (magic_len + 4)) in
+        let crc =
+          Int32.to_int (String.get_int32_le raw (magic_len + 12))
+          land 0xFFFFFFFF
+        in
+        if len < 0 || String.length raw - header_len < len then
+          fail "truncated record (payload says %d bytes, %d present)" len
+            (String.length raw - header_len)
+        else if String.length raw - header_len > len then
+          fail "trailing garbage after %d-byte payload" len
+        else
+          let payload = String.sub raw header_len len in
+          let actual = crc32 payload in
+          if actual <> crc then
+            fail "CRC mismatch (stored %08x, computed %08x)" crc actual
+          else Ok (version, payload)

@@ -1,0 +1,41 @@
+(** Crash-safe file writes and self-validating record framing.
+
+    The write side guarantees atomic replacement: data lands in a
+    sibling temp file, is fsynced, renamed over the target, and the
+    directory is fsynced, so a reader — including one starting after
+    a SIGKILL or power loss mid-write — sees either the previous
+    complete file or the new complete file, never a torn mixture.
+
+    The framed-record layer adds integrity to content: an 8-byte
+    magic, a format version, the payload length, and a CRC-32 of the
+    payload.  Truncation, bit rot and format drift all surface as a
+    clean [Error] naming the offending path; no function here raises
+    on I/O or corruption. *)
+
+val crc32 : ?init:int -> string -> int
+(** CRC-32 (IEEE 802.3, the zlib polynomial) of a string, as an
+    unsigned 32-bit value in an [int].  [init] chains checksums
+    across chunks. *)
+
+val write_atomic : path:string -> string -> (unit, string) result
+(** [write_atomic ~path data] atomically replaces [path] with [data]
+    (temp file + fsync + rename + directory fsync).  On failure the
+    temp file is removed and the [Error] message names the path;
+    [path] itself is never left half-written. *)
+
+val read_file : path:string -> (string, string) result
+(** The whole contents of [path], or an [Error] naming it. *)
+
+val write_framed :
+  path:string -> magic:string -> version:int -> string -> (unit, string) result
+(** Atomically write a framed record: [magic] (exactly 8 bytes —
+    anything else is an [Invalid_argument]), [version], payload
+    length and payload CRC-32, then the payload. *)
+
+val read_framed :
+  path:string -> magic:string -> (int * string, string) result
+(** Read a framed record back as [(version, payload)].  Missing
+    file, short header, wrong magic, truncated or over-long payload,
+    and CRC mismatch each yield a descriptive [Error] naming the
+    path.  Version interpretation is the caller's job: an
+    unsupported version must be rejected there. *)

@@ -31,5 +31,49 @@ let id t v =
 
 let count t = with_lock t (fun () -> Hashtbl.length t.tbl)
 
+(* Checkpointing support.  Interned ids are embedded in engine
+   configurations and dedup keys, so a campaign snapshot is only
+   meaningful together with the id assignment that produced it.
+   [dump] captures the assignment as an id-ordered array; [restore]
+   re-establishes it, either into a fresh registry (cross-process
+   resume: ids are re-assigned in dump order, reproducing them
+   exactly) or into the registry that produced the dump (in-process
+   resume: every value is already present under its dumped id).  Any
+   other overlap means the checkpoint and this process interned
+   values in different orders — ids in the snapshot would silently
+   alias different values, so it is rejected. *)
+
+let dump t =
+  with_lock t (fun () ->
+      let a = Array.make (Hashtbl.length t.tbl) (Obj.repr 0) in
+      Hashtbl.iter (fun v id -> a.(id) <- v) t.tbl;
+      a)
+
+let restore t dumped =
+  with_lock t (fun () ->
+      let n = Array.length dumped in
+      let rec go i =
+        if i >= n then Ok ()
+        else
+          let v = dumped.(i) in
+          match Hashtbl.find_opt t.tbl v with
+          | Some id when id = i -> go (i + 1)
+          | Some id ->
+              Error
+                (Printf.sprintf
+                   "interner mismatch: dumped id %d is live id %d" i id)
+          | None ->
+              if Hashtbl.length t.tbl = i then (
+                Hashtbl.add t.tbl v i;
+                go (i + 1))
+              else
+                Error
+                  (Printf.sprintf
+                     "interner mismatch: cannot graft dumped id %d into a \
+                      table of %d entries"
+                     i (Hashtbl.length t.tbl))
+      in
+      go 0)
+
 let states = create ~name:"intern.states" ()
 let payloads = create ~name:"intern.payloads" ()

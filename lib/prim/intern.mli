@@ -39,6 +39,23 @@ val id : t -> 'a -> int
 val count : t -> int
 (** Number of distinct values interned so far. *)
 
+val dump : t -> Obj.t array
+(** The current id assignment, as an array whose index [i] holds the
+    value interned under id [i].  Together with {!restore} this makes
+    registries checkpointable: interned ids appear inside engine
+    configurations and dedup keys, so a campaign snapshot must carry
+    the assignment that produced it. *)
+
+val restore : t -> Obj.t array -> (unit, string) result
+(** Re-establish a dumped assignment.  Succeeds when the registry is
+    a prefix-consistent extension point for the dump: each dumped
+    value is either already interned under its dumped id (in-process
+    resume) or absent with exactly that id next to be assigned
+    (fresh-process resume).  Any conflicting assignment yields
+    [Error] — proceeding would let equal ids denote different
+    values.  Values interned after a successful restore extend the
+    dumped id space as usual. *)
+
 val states : t
 (** The shared registry for local {e states} of simulated processes —
     used by {!Ksa_sim.Engine}, {!Ksa_ho.Engine} and anything else

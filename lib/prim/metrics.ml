@@ -76,7 +76,8 @@ let timer name =
     (fun () -> Timer { ns = make_counter (); calls = make_counter () })
     (function Timer t -> Some t | _ -> None)
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+(* monotonic, so phase timings cannot be bent by NTP steps *)
+let now_ns = Clock.now_ns
 
 let time t f =
   let t0 = now_ns () in
@@ -137,11 +138,7 @@ let to_json snap =
   Buffer.add_string b "}\n";
   Buffer.contents b
 
-let write_json ~path snap =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_json snap))
+let write_json ~path snap = Durable.write_atomic ~path (to_json snap)
 
 let reset () =
   with_lock (fun () ->

@@ -9,9 +9,10 @@
       never contend on one cache line; reads sum the shards.
     - {e gauges} — last-written or high-watermark values (frontier
       peak, configs-visited of the last completed exploration, …).
-    - {e timers} — accumulated wall-clock nanoseconds plus a call
-      count, for coarse phase timing (screening portfolio, explorer
-      workers); derive throughput as [counter / (timer_ns / 1e9)].
+    - {e timers} — accumulated monotonic-clock nanoseconds (see
+      {!Clock.now_ns}) plus a call count, for coarse phase timing
+      (screening portfolio, explorer workers); derive throughput as
+      [counter / (timer_ns / 1e9)].
     - {e probes} — lazy gauges: a named closure evaluated only at
       snapshot time, used for occupancy of structures that already
       know their size (the interner tables).
@@ -58,7 +59,7 @@ val gauge_value : gauge -> int
 val timer : string -> timer
 
 val time : timer -> (unit -> 'a) -> 'a
-(** Run the thunk, accumulating its wall-clock duration into the
+(** Run the thunk, accumulating its monotonic duration into the
     timer (exceptions still accumulate the partial duration). *)
 
 val timer_ns : timer -> int
@@ -84,7 +85,9 @@ val delta : before:snapshot -> after:snapshot -> snapshot
 val to_json : snapshot -> string
 (** One flat JSON object, names as keys, values as integers. *)
 
-val write_json : path:string -> snapshot -> unit
+val write_json : path:string -> snapshot -> (unit, string) result
+(** Atomically write the snapshot as JSON via {!Durable.write_atomic};
+    an unwritable path is an [Error] naming it, never an exception. *)
 
 val reset : unit -> unit
 (** Zero every counter, gauge and timer (probes are left alone: they

@@ -73,6 +73,126 @@ let default_domains () =
       | Some _ | None -> 1)
   | None -> Domain.recommended_domain_count ()
 
+(* ---- pause-the-world coordination for the parallel drivers ----
+
+   A checkpoint must capture a consistent cut of every worker's
+   private state.  Workers poll a request flag at their drain-loop
+   safepoints (between node expansions — never mid-node); on request
+   each publishes a deep snapshot into its slot and parks on a
+   condition until released.  The coordinator waits until every live
+   worker is parked (workers that already finished have published a
+   final snapshot on exit), merges the slots, writes, and releases.
+   With no sink and no interrupt poll the request flag stays false
+   and the safepoint is one relaxed atomic read per node. *)
+module Pause = struct
+  type 'a t = {
+    req : bool Atomic.t;
+    m : Mutex.t;
+    parked_cond : Condition.t;
+    resume_cond : Condition.t;
+    mutable parked : int;
+    mutable active : int;
+    slots : 'a option array;
+  }
+
+  let create n =
+    {
+      req = Atomic.make false;
+      m = Mutex.create ();
+      parked_cond = Condition.create ();
+      resume_cond = Condition.create ();
+      parked = 0;
+      active = n;
+      slots = Array.make n None;
+    }
+
+  (* worker safepoint: park (publishing a snapshot) while a pause is
+     requested.  [None] is the supervised re-run path: no pause
+     machinery, the coordinator is gone by then. *)
+  let point p i snap =
+    match p with
+    | None -> ()
+    | Some p ->
+        if Atomic.get p.req then begin
+          Mutex.lock p.m;
+          p.slots.(i) <- Some (snap ());
+          p.parked <- p.parked + 1;
+          Condition.signal p.parked_cond;
+          while Atomic.get p.req do
+            Condition.wait p.resume_cond p.m
+          done;
+          p.parked <- p.parked - 1;
+          Mutex.unlock p.m
+        end
+
+  (* worker exit: leave a final snapshot so later checkpoints still
+     cover this worker's share of the space *)
+  let exit p i snap =
+    match p with
+    | None -> ()
+    | Some p ->
+        Mutex.lock p.m;
+        p.slots.(i) <- Some (snap ());
+        p.active <- p.active - 1;
+        Condition.signal p.parked_cond;
+        Mutex.unlock p.m
+
+  (* coordinator: stop the world, run [f] over the slots, release *)
+  let with_world p f =
+    Mutex.lock p.m;
+    Atomic.set p.req true;
+    while p.parked < p.active do
+      Condition.wait p.parked_cond p.m
+    done;
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set p.req false;
+        Condition.broadcast p.resume_cond;
+        Mutex.unlock p.m)
+      (fun () -> f p.slots)
+end
+
+(* The checkpoint/interrupt coordinator of a parallel driver: a small
+   ticker domain.  When a periodic write is due it stops the world,
+   merges the worker slots into a sequential-format payload and
+   writes it; when the campaign is interrupted it writes a final
+   checkpoint the same way, then raises the driver's stop flag (via
+   [on_interrupt]) and retires. *)
+let spawn_coordinator ~ckpt ~pause ~items ~merge ~on_interrupt =
+  if not (Checkpoint.engaged ckpt) then None
+  else
+    let quit = Atomic.make false in
+    let d =
+      Domain.spawn (fun () ->
+          let rec loop () =
+            if not (Atomic.get quit) then begin
+              Unix.sleepf 0.005;
+              let intr = Checkpoint.interrupted ckpt in
+              if intr || Checkpoint.due ckpt ~items:(items ()) then
+                Pause.with_world pause (fun slots ->
+                    let payload = lazy (merge slots) in
+                    if intr then
+                      Checkpoint.flush ckpt (fun () -> Lazy.force payload)
+                    else
+                      Checkpoint.tick ckpt ~items:(items ()) (fun () ->
+                          Lazy.force payload));
+              if intr then begin
+                on_interrupt ();
+                Atomic.set quit true
+              end;
+              loop ()
+            end
+          in
+          loop ())
+    in
+    Some (quit, d)
+
+let stop_coordinator = function
+  | None -> ()
+  | Some (quit, d) ->
+      Atomic.set quit true;
+      Domain.join d
+
 module Make (A : Algorithm.S) = struct
   module E = Engine.Make (A)
 
@@ -144,53 +264,91 @@ module Make (A : Algorithm.S) = struct
 
   (* ---- sequential exhaustive exploration ---- *)
 
+  (* Checkpoint payload of an [explore] campaign: the dedup table,
+     the counters, and the stack of {e candidate} configurations —
+     popped but not yet admitted, so resume re-applies dedup and the
+     budget exactly as the uninterrupted run would have.  The
+     parallel driver merges its worker states into this same format,
+     and every resume continues on the sequential driver. *)
+  type explore_snap =
+    (E.key, unit) Hashtbl.t * int * int * bool * (E.config * int) list
+
   let explore ?(max_depth = 200) ?(max_configs = 2_000_000)
-      ?(policy = Per_sender) ?(on_terminal = fun _ -> ()) ~n ~inputs ~pattern
-      ~check () =
+      ?(policy = Per_sender) ?(on_terminal = fun _ -> ())
+      ?(ckpt = Checkpoint.ctl ()) ?resume ~n ~inputs ~pattern ~check () =
     require_explorable ~n ~pattern;
     Metrics.gauge_set g_max_configs max_configs;
-    let seen : (E.key, unit) Hashtbl.t = Hashtbl.create 65_536 in
-    let visited = ref 0 in
-    let terminals = ref 0 in
-    let exhausted = ref false in
+    let seen, visited0, terminals0, exhausted0, stack0 =
+      match resume with
+      | Some payload -> (Marshal.from_string payload 0 : explore_snap)
+      | None -> (Hashtbl.create 65_536, 0, 0, false, [])
+    in
+    let visited = ref visited0 in
+    let terminals = ref terminals0 in
+    let exhausted = ref exhausted0 in
+    let interrupted = ref false in
+    let stack =
+      ref (match resume with Some _ -> stack0 | None -> [ (E.init_explore ~n ~inputs, 0) ])
+    in
+    let snap () =
+      Marshal.to_string
+        ((seen, !visited, !terminals, !exhausted, !stack) : explore_snap)
+        []
+    in
     let correct = Failure_pattern.correct pattern in
     (* Admission is clamped at the budget {e before} a configuration
        is counted (matching the dense-id [visit] of the crash
        drivers): [configs_visited] never overshoots [max_configs],
        and [budget_exhausted] is set only when an unseen reachable
-       configuration was actually turned away. *)
-    let rec dfs config depth =
-      let key = E.key config in
-      if Hashtbl.mem seen key then Metrics.incr m_dedup
-      else if !visited >= max_configs then begin
-        exhausted := true;
-        Metrics.incr m_truncations
-      end
-      else begin
-        Hashtbl.add seen key ();
-        incr visited;
-        Metrics.incr m_admitted;
-        Metrics.gauge_max g_depth_peak depth;
-        let decisions = E.decisions config in
-        (match check decisions with
-        | Some reason -> raise (Found (decisions, reason, depth))
-        | None -> ());
-        let done_ =
-          List.for_all (fun p -> E.decision_of config p <> None) correct
-        in
-        if done_ then begin
-          incr terminals;
-          Metrics.incr m_terminals;
-          on_terminal decisions
-        end
-        else if depth >= max_depth then exhausted := true
-        else
-          schedule_successors ~policy ~pattern ~steppers:correct config
-            (fun config' -> dfs config' (depth + 1))
-      end
+       configuration was actually turned away.  The stack pops
+       candidates in exactly the order the recursive formulation
+       visited them (successors are pushed in reverse generation
+       order), so verdicts, depths and stats are unchanged. *)
+    let rec loop () =
+      match !stack with
+      | [] -> ()
+      | _ when Checkpoint.interrupted ckpt ->
+          Checkpoint.flush ckpt snap;
+          interrupted := true
+      | (config, depth) :: rest ->
+          stack := rest;
+          let key = E.key config in
+          if Hashtbl.mem seen key then Metrics.incr m_dedup
+          else if !visited >= max_configs then begin
+            exhausted := true;
+            Metrics.incr m_truncations
+          end
+          else begin
+            Hashtbl.add seen key ();
+            incr visited;
+            Metrics.incr m_admitted;
+            Metrics.gauge_max g_depth_peak depth;
+            let decisions = E.decisions config in
+            (match check decisions with
+            | Some reason -> raise (Found (decisions, reason, depth))
+            | None -> ());
+            let done_ =
+              List.for_all (fun p -> E.decision_of config p <> None) correct
+            in
+            if done_ then begin
+              incr terminals;
+              Metrics.incr m_terminals;
+              on_terminal decisions
+            end
+            else if depth >= max_depth then exhausted := true
+            else begin
+              let succs = ref [] in
+              schedule_successors ~policy ~pattern ~steppers:correct config
+                (fun config' -> succs := (config', depth + 1) :: !succs);
+              stack := List.rev_append !succs !stack
+            end;
+            Checkpoint.tick ckpt ~items:!visited snap
+          end;
+          loop ()
     in
-    match dfs (E.init_explore ~n ~inputs) 0 with
+    match loop () with
     | () ->
+        if !interrupted then exhausted := true;
         let stats =
           {
             configs_visited = !visited;
@@ -213,8 +371,8 @@ module Make (A : Algorithm.S) = struct
      and therefore comparable across domains).  [check] runs
      concurrently and must be thread-safe. *)
   let explore_par ?domains ?(max_depth = 200) ?(max_configs = 2_000_000)
-      ?(policy = Per_sender) ?(on_terminal = fun _ -> ()) ~n ~inputs ~pattern
-      ~check () =
+      ?(policy = Per_sender) ?(on_terminal = fun _ -> ())
+      ?(ckpt = Checkpoint.ctl ()) ~n ~inputs ~pattern ~check () =
     require_explorable ~n ~pattern;
     Metrics.gauge_set g_max_configs max_configs;
     let domains =
@@ -286,7 +444,9 @@ module Make (A : Algorithm.S) = struct
           frontier_items;
         let global_count = Atomic.make visited0 in
         let stop = Atomic.make false in
-        let worker bucket () =
+        let interrupted = ref false in
+        let pause = Pause.create domains in
+        let worker ~pause i bucket () =
           Metrics.incr m_domains;
           let seen : (E.key, unit) Hashtbl.t = Hashtbl.create 65_536 in
           let terminals : (E.key, (Pid.t * Value.t * int) list) Hashtbl.t =
@@ -294,59 +454,143 @@ module Make (A : Algorithm.S) = struct
           in
           let exhausted = ref false in
           let violation = ref None in
-          let rec dfs config depth =
-            if not (Atomic.get stop) then begin
-              let key = E.key config in
-              if Hashtbl.mem seen key || Hashtbl.mem seen0 key then
-                Metrics.incr m_dedup
-              else begin
-                (* a fetch-and-add ticket clamps the global admission
-                   count at the budget even under domain races (losers
-                   hand their ticket back) *)
-                let ticket = Atomic.fetch_and_add global_count 1 in
-                if ticket >= max_configs then begin
-                  Atomic.decr global_count;
-                  exhausted := true;
-                  Metrics.incr m_truncations
-                end
-                else begin
-                  Hashtbl.add seen key ();
-                  Metrics.incr m_admitted;
-                  Metrics.gauge_max g_depth_peak depth;
-                  let decisions = E.decisions config in
-                  (match check decisions with
-                  | Some reason -> raise (Found (decisions, reason, depth))
-                  | None -> ());
-                  let done_ =
-                    List.for_all
-                      (fun p -> E.decision_of config p <> None)
-                      correct
-                  in
-                  if done_ then begin
-                    Hashtbl.replace terminals key decisions;
-                    Metrics.incr m_terminals
-                  end
-                  else if depth >= max_depth then exhausted := true
-                  else
-                    schedule_successors ~policy ~pattern ~steppers config
-                      (fun config' -> dfs config' (depth + 1))
-                end
-              end
-            end
+          let error = ref None in
+          let admitted = ref 0 in
+          let stack = ref bucket in
+          let snap () =
+            (Hashtbl.copy seen, Hashtbl.copy terminals, !stack, !exhausted)
           in
-          (try
-             Metrics.time t_worker (fun () ->
-                 List.iter (fun (config, depth) -> dfs config depth) bucket)
-           with Found (decisions, reason, depth) ->
-             violation := Some (decisions, reason, depth);
-             Atomic.set stop true);
-          (seen, terminals, !exhausted, !violation)
+          let rec drain () =
+            Pause.point pause i snap;
+            if not (Atomic.get stop) then
+              match !stack with
+              | [] -> ()
+              | (config, depth) :: rest ->
+                  stack := rest;
+                  let key = E.key config in
+                  if Hashtbl.mem seen key || Hashtbl.mem seen0 key then
+                    Metrics.incr m_dedup
+                  else begin
+                    (* a fetch-and-add ticket clamps the global
+                       admission count at the budget even under domain
+                       races (losers hand their ticket back) *)
+                    let ticket = Atomic.fetch_and_add global_count 1 in
+                    if ticket >= max_configs then begin
+                      Atomic.decr global_count;
+                      exhausted := true;
+                      Metrics.incr m_truncations
+                    end
+                    else begin
+                      Hashtbl.add seen key ();
+                      incr admitted;
+                      Metrics.incr m_admitted;
+                      Metrics.gauge_max g_depth_peak depth;
+                      let decisions = E.decisions config in
+                      (match check decisions with
+                      | Some reason -> raise (Found (decisions, reason, depth))
+                      | None -> ());
+                      let done_ =
+                        List.for_all
+                          (fun p -> E.decision_of config p <> None)
+                          correct
+                      in
+                      if done_ then begin
+                        Hashtbl.replace terminals key decisions;
+                        Metrics.incr m_terminals
+                      end
+                      else if depth >= max_depth then exhausted := true
+                      else begin
+                        let succs = ref [] in
+                        schedule_successors ~policy ~pattern ~steppers config
+                          (fun config' ->
+                            succs := (config', depth + 1) :: !succs);
+                        stack := List.rev_append !succs !stack
+                      end
+                    end
+                  end;
+                  drain ()
+          in
+          (try Metrics.time t_worker drain with
+          | Found (decisions, reason, depth) ->
+              violation := Some (decisions, reason, depth);
+              Atomic.set stop true
+          | e -> error := Some (Printexc.to_string e));
+          Pause.exit pause i snap;
+          (seen, terminals, !exhausted, !violation, !admitted, !error)
+        in
+        (* merge worker snapshots (plus the shared BFS prefix) into a
+           sequential-format checkpoint payload: resume continues on
+           [explore], whose verdicts and stats are identical by the
+           seq/par parity invariant *)
+        let merge slots =
+          let seen_m = Hashtbl.copy seen0 in
+          let term_m = Hashtbl.copy terminals0 in
+          let stack_m = ref [] in
+          let ex = ref !exhausted0 in
+          Array.iter
+            (function
+              | None -> ()
+              | Some (seen, terms, stack, exh) ->
+                  Hashtbl.iter (fun k () -> Hashtbl.replace seen_m k ()) seen;
+                  Hashtbl.iter (fun k d -> Hashtbl.replace term_m k d) terms;
+                  stack_m := List.rev_append stack !stack_m;
+                  if exh then ex := true)
+            slots;
+          Marshal.to_string
+            (( seen_m,
+               Hashtbl.length seen_m,
+               Hashtbl.length term_m,
+               !ex,
+               !stack_m )
+              : explore_snap)
+            []
+        in
+        let coordinator =
+          spawn_coordinator ~ckpt ~pause
+            ~items:(fun () -> Atomic.get global_count)
+            ~merge
+            ~on_interrupt:(fun () ->
+              interrupted := true;
+              Atomic.set stop true)
         in
         let handles =
           Array.to_list
-            (Array.map (fun bucket -> Domain.spawn (worker bucket)) buckets)
+            (Array.mapi
+               (fun i bucket -> Domain.spawn (worker ~pause:(Some pause) i bucket))
+               buckets)
         in
-        let results = List.map Domain.join handles in
+        let joined = List.map Domain.join handles in
+        stop_coordinator coordinator;
+        (* supervision: a worker that died of a non-verdict exception
+           forfeits its partial tables; its admission tickets are
+           refunded and its whole bucket re-runs in this domain (the
+           campaign degrades to fewer workers rather than aborting) *)
+        let results =
+          List.mapi
+            (fun i result ->
+              match result with
+              | _, _, _, _, admitted, Some err ->
+                  ignore (Atomic.fetch_and_add global_count (-admitted));
+                  Checkpoint.note_failure ckpt ~worker:i ~error:err
+                    ~requeued:(List.length buckets.(i));
+                  let (_, _, _, _, _, rerun_err) as rerun =
+                    worker ~pause:None i buckets.(i) ()
+                  in
+                  (match rerun_err with
+                  | Some err2 ->
+                      (* failed twice on the same work: a systematic
+                         fault, not a transient — surface it *)
+                      failwith
+                        (Printf.sprintf "explorer worker %d failed twice: %s"
+                           i err2)
+                  | None -> ());
+                  rerun
+              | ok -> ok)
+            joined
+        in
+        let results =
+          List.map (fun (s, t, ex, v, _, _) -> (s, t, ex, v)) results
+        in
         let violation =
           List.fold_left
             (fun best (_, _, _, v) ->
@@ -370,7 +614,7 @@ module Make (A : Algorithm.S) = struct
             in
             Hashtbl.iter (fun k ds -> Hashtbl.replace all_terminals k ds)
               terminals0;
-            let exhausted = ref !exhausted0 in
+            let exhausted = ref (!exhausted0 || !interrupted) in
             List.iter
               (fun (seen, terminals, ex, _) ->
                 if ex then exhausted := true;
@@ -529,24 +773,43 @@ module Make (A : Algorithm.S) = struct
           Hashtbl.add patterns mask p;
           p
 
+  (* Checkpoint payload of a crash campaign: the key→id table, the
+     expanded prefix of the node-record graph, the counters, and the
+     worklist of admitted-but-unexpanded nodes.  The parallel driver
+     merges its per-worker graphs into this same format (global dense
+     ids re-assigned at merge time), and resume always continues on
+     the sequential driver. *)
+  type crash_snap =
+    (E.key, int) Hashtbl.t
+    * node_rec array
+    * int
+    * int
+    * bool
+    * (int * E.config * int) list
+
+  let empty_rec = { succs = []; complete = false; mask = 0; undecided = [] }
+
   let explore_with_crashes ?(max_configs = 300_000) ?(policy = Per_sender)
-      ?(drop_on_crash = true) ?(initially_dead = []) ~n ~inputs ~crash_budget
-      ~check () =
+      ?(drop_on_crash = true) ?(initially_dead = [])
+      ?(ckpt = Checkpoint.ctl ()) ?resume ~n ~inputs ~crash_budget ~check () =
     check_crash_explorable ~n ~initially_dead;
     Metrics.gauge_set g_max_configs max_configs;
     let base_mask = base_mask_of initially_dead in
     let pattern_of = make_pattern_of ~n in
-    let ids : (E.key, int) Hashtbl.t = Hashtbl.create 65_536 in
-    let recs =
-      ref
-        (Array.make 1024
-           { succs = []; complete = false; mask = 0; undecided = [] })
+    let ids, recs0, count0, terminals0, exhausted0, worklist0 =
+      match resume with
+      | Some payload -> (Marshal.from_string payload 0 : crash_snap)
+      | None -> (Hashtbl.create 65_536, Array.make 1024 empty_rec, 0, 0, false, [])
     in
-    let count = ref 0 in
-    let terminals = ref 0 in
-    let exhausted = ref false in
-    let worklist = ref [] in
-    let wl_len = ref 0 in
+    let recs =
+      ref (if Array.length recs0 = 0 then Array.make 1024 empty_rec else recs0)
+    in
+    let count = ref count0 in
+    let terminals = ref terminals0 in
+    let exhausted = ref exhausted0 in
+    let interrupted = ref false in
+    let worklist = ref worklist0 in
+    let wl_len = ref (List.length worklist0) in
     (* discovery: assign a dense id the first time a node is seen and
        queue it for expansion; [None] once the budget is exhausted *)
     let visit config mask =
@@ -594,15 +857,30 @@ module Make (A : Algorithm.S) = struct
       in
       !recs.(id) <- { succs; complete = is_complete; mask; undecided }
     in
+    let snap () =
+      Marshal.to_string
+        (( ids,
+           Array.sub !recs 0 !count,
+           !count,
+           !terminals,
+           !exhausted,
+           !worklist )
+          : crash_snap)
+        []
+    in
     let enumerate () =
-      ignore (visit (E.init_explore ~n ~inputs) base_mask);
+      if resume = None then ignore (visit (E.init_explore ~n ~inputs) base_mask);
       let rec drain () =
         match !worklist with
         | [] -> ()
+        | _ when Checkpoint.interrupted ckpt ->
+            Checkpoint.flush ckpt snap;
+            interrupted := true
         | node :: rest ->
             worklist := rest;
             decr wl_len;
             expand node;
+            Checkpoint.tick ckpt ~items:!count snap;
             drain ()
       in
       drain ()
@@ -611,6 +889,7 @@ module Make (A : Algorithm.S) = struct
     | exception Unsafe (decisions, reason) ->
         Safety_violation { decisions; reason }
     | () ->
+        if !interrupted then exhausted := true;
         let stats =
           {
             configs_visited = !count;
@@ -644,7 +923,7 @@ module Make (A : Algorithm.S) = struct
      [explore_with_crashes] whenever the budget does not truncate. *)
   let explore_with_crashes_par ?domains ?(max_configs = 300_000)
       ?(policy = Per_sender) ?(drop_on_crash = true) ?(initially_dead = [])
-      ~n ~inputs ~crash_budget ~check () =
+      ?(ckpt = Checkpoint.ctl ()) ~n ~inputs ~crash_budget ~check () =
     check_crash_explorable ~n ~initially_dead;
     Metrics.gauge_set g_max_configs max_configs;
     let domains =
@@ -667,7 +946,9 @@ module Make (A : Algorithm.S) = struct
         let global_count = Atomic.make 1 in
         Metrics.incr m_admitted (* the root, expanded inline *);
         let stop = Atomic.make false in
-        let worker bucket () =
+        let interrupted = ref false in
+        let pause = Pause.create domains in
+        let worker ~pause i bucket () =
           Metrics.incr m_domains;
           (* per-domain enumeration: local dense ids, merged later *)
           let pattern_of = make_pattern_of ~n in
@@ -722,10 +1003,18 @@ module Make (A : Algorithm.S) = struct
                 end
           in
           let violation = ref None in
+          let error = ref None in
+          let snap () =
+            ( Array.sub !keys 0 !count,
+              Array.sub !recs 0 !count,
+              !worklist,
+              !exhausted )
+          in
           (try
              Metrics.time t_worker (fun () ->
                  List.iter (fun (c, m) -> ignore (visit c m)) bucket;
                  let rec drain () =
+                   Pause.point pause i snap;
                    if not (Atomic.get stop) then
                      match !worklist with
                      | [] -> ()
@@ -746,22 +1035,147 @@ module Make (A : Algorithm.S) = struct
                          drain ()
                  in
                  drain ())
-           with Unsafe (decisions, reason) ->
-             violation := Some (decisions, reason);
-             Atomic.set stop true);
+           with
+          | Unsafe (decisions, reason) ->
+              violation := Some (decisions, reason);
+              Atomic.set stop true
+          | e -> error := Some (Printexc.to_string e));
+          Pause.exit pause i snap;
           ( Array.sub !keys 0 !count,
             Array.sub !recs 0 !count,
             !exhausted,
-            !violation )
+            !violation,
+            !count,
+            !error )
+        in
+        (* merge the published worker snapshots (plus the inline-
+           expanded root) into a sequential-format graph: global
+           dense ids over the union of the per-worker key spaces,
+           expanded records preferred over pending duplicates, and
+           every node expanded nowhere re-queued on the merged
+           worklist.  Resume continues on [explore_with_crashes]. *)
+        let root_key = E.key ~extra:root_mask root in
+        let merge slots =
+          let snaps =
+            Array.to_list slots |> List.filter_map (fun s -> s)
+          in
+          let gids : (E.key, int) Hashtbl.t = Hashtbl.create 65_536 in
+          Hashtbl.add gids root_key 0;
+          let gcount = ref 1 in
+          let ex = ref false in
+          List.iter
+            (fun ((keys : E.key array), _, _, exh) ->
+              if exh then ex := true;
+              Array.iter
+                (fun key ->
+                  if not (Hashtbl.mem gids key) then begin
+                    Hashtbl.add gids key !gcount;
+                    incr gcount
+                  end)
+                keys)
+            snaps;
+          let count = !gcount in
+          let recs_g = Array.make count empty_rec in
+          let filled = Array.make count false in
+          filled.(0) <- true;
+          recs_g.(0) <-
+            {
+              succs =
+                List.filter_map
+                  (fun (c, m) -> Hashtbl.find_opt gids (E.key ~extra:m c))
+                  root_succs;
+              complete = root_complete;
+              mask = root_mask;
+              undecided = root_undecided;
+            };
+          List.iter
+            (fun ((keys : E.key array), (recs_l : node_rec array), wl, _) ->
+              let expanded = Array.make (Array.length keys) true in
+              List.iter (fun (lid, _, _) -> expanded.(lid) <- false) wl;
+              Array.iteri
+                (fun lid key ->
+                  if expanded.(lid) then begin
+                    let gid = Hashtbl.find gids key in
+                    if not filled.(gid) then begin
+                      filled.(gid) <- true;
+                      let r = recs_l.(lid) in
+                      recs_g.(gid) <-
+                        {
+                          r with
+                          succs =
+                            List.map
+                              (fun s -> Hashtbl.find gids keys.(s))
+                              r.succs;
+                        }
+                    end
+                  end)
+                keys)
+            snaps;
+          let queued = Array.make count false in
+          let wl_g = ref [] in
+          List.iter
+            (fun ((keys : E.key array), _, wl, _) ->
+              List.iter
+                (fun (lid, config, mask) ->
+                  let gid = Hashtbl.find gids keys.(lid) in
+                  if (not filled.(gid)) && not queued.(gid) then begin
+                    queued.(gid) <- true;
+                    wl_g := (gid, config, mask) :: !wl_g
+                  end)
+                wl)
+            snaps;
+          let terminals = ref 0 in
+          Array.iteri
+            (fun gid (r : node_rec) ->
+              if filled.(gid) && r.complete then incr terminals)
+            recs_g;
+          Marshal.to_string
+            ((gids, recs_g, count, !terminals, !ex, !wl_g) : crash_snap)
+            []
+        in
+        let coordinator =
+          spawn_coordinator ~ckpt ~pause
+            ~items:(fun () -> Atomic.get global_count)
+            ~merge
+            ~on_interrupt:(fun () ->
+              interrupted := true;
+              Atomic.set stop true)
         in
         let handles =
           Array.to_list
-            (Array.map (fun bucket -> Domain.spawn (worker bucket)) buckets)
+            (Array.mapi
+               (fun i bucket -> Domain.spawn (worker ~pause:(Some pause) i bucket))
+               buckets)
         in
-        let results = List.map Domain.join handles in
-        let violation =
-          List.find_map (fun (_, _, _, v) -> v) results
+        let joined = List.map Domain.join handles in
+        stop_coordinator coordinator;
+        (* supervision: refund the dead worker's tickets, log it in
+           the ledger, re-run its bucket in this domain *)
+        let results =
+          List.mapi
+            (fun i result ->
+              match result with
+              | _, _, _, _, admitted, Some err ->
+                  ignore (Atomic.fetch_and_add global_count (-admitted));
+                  Checkpoint.note_failure ckpt ~worker:i ~error:err
+                    ~requeued:(List.length buckets.(i));
+                  let (_, _, _, _, _, rerun_err) as rerun =
+                    worker ~pause:None i buckets.(i) ()
+                  in
+                  (match rerun_err with
+                  | Some err2 ->
+                      failwith
+                        (Printf.sprintf "explorer worker %d failed twice: %s"
+                           i err2)
+                  | None -> ());
+                  rerun
+              | ok -> ok)
+            joined
         in
+        let results =
+          List.map (fun (k, r, ex, v, _, _) -> (k, r, ex, v)) results
+        in
+        let violation = List.find_map (fun (_, _, _, v) -> v) results in
         (match violation with
         | Some (decisions, reason) -> Safety_violation { decisions; reason }
         | None ->
@@ -770,8 +1184,7 @@ module Make (A : Algorithm.S) = struct
                first copy wins *)
             let gids : (E.key, int) Hashtbl.t = Hashtbl.create 65_536 in
             let gcount = ref 0 in
-            let exhausted = ref false in
-            let root_key = E.key ~extra:root_mask root in
+            let exhausted = ref !interrupted in
             Hashtbl.add gids root_key 0;
             incr gcount;
             List.iter

@@ -106,6 +106,8 @@ module Make (A : Algorithm.S) : sig
     ?max_configs:int ->
     ?policy:delivery_policy ->
     ?on_terminal:((Pid.t * Value.t * int) list -> unit) ->
+    ?ckpt:Checkpoint.ctl ->
+    ?resume:string ->
     n:int ->
     inputs:Value.t array ->
     pattern:Failure_pattern.t ->
@@ -117,7 +119,19 @@ module Make (A : Algorithm.S) : sig
       decision set ((process, value, time) triples).  [on_terminal]
       fires once per deduplicated decision-complete configuration.
       Defaults: [max_depth] 200, [max_configs] 2_000_000, [policy]
-      [Per_sender]. *)
+      [Per_sender].
+
+      [ckpt] attaches a {!Checkpoint} controller: the driver writes
+      periodic snapshots per its sink policy, and polls the
+      controller's interrupt — on interruption it flushes a final
+      checkpoint and returns its [Safe] outcome with
+      [budget_exhausted] set (the explored portion only).  [resume]
+      is the payload of a checkpoint written by this driver (or
+      merged by {!explore_par}); the campaign continues exactly where
+      it stopped and reports verdict and stats bit-identical to an
+      uninterrupted run.  The interner dumps must be restored first
+      ({!Checkpoint.restore_interners}).  [on_terminal] calls already
+      delivered before the checkpoint are not replayed. *)
 
   val explore_par :
     ?domains:int ->
@@ -125,6 +139,7 @@ module Make (A : Algorithm.S) : sig
     ?max_configs:int ->
     ?policy:delivery_policy ->
     ?on_terminal:((Pid.t * Value.t * int) list -> unit) ->
+    ?ckpt:Checkpoint.ctl ->
     n:int ->
     inputs:Value.t array ->
     pattern:Failure_pattern.t ->
@@ -141,13 +156,26 @@ module Make (A : Algorithm.S) : sig
       sequential one.  [check] and [on_terminal] caveats: [check] runs
       concurrently on several domains and must be thread-safe;
       [on_terminal] is invoked from the calling domain after the merge
-      (and not at all when a violation is found). *)
+      (and not at all when a violation is found).
+
+      With [ckpt], a coordinator domain periodically parks every
+      worker at a safepoint, merges their private state (plus the
+      BFS prefix) into a {e sequential-format} snapshot and writes
+      it: resume such a checkpoint with {!explore}, whose verdicts
+      and stats are identical by the parity invariant above.  A
+      worker that dies of a non-verdict exception is supervised: its
+      tickets are refunded, the failure is recorded in the ledger
+      ([campaign.worker.failures] / [campaign.requeues] metrics), and
+      its bucket re-runs in the calling domain, so one poisoned
+      worker degrades the campaign instead of aborting it. *)
 
   val explore_with_crashes :
     ?max_configs:int ->
     ?policy:delivery_policy ->
     ?drop_on_crash:bool ->
     ?initially_dead:Pid.t list ->
+    ?ckpt:Checkpoint.ctl ->
+    ?resume:string ->
     n:int ->
     inputs:Value.t array ->
     crash_budget:int ->
@@ -172,7 +200,14 @@ module Make (A : Algorithm.S) : sig
       search with processes dead from time 0 that do {e not} count
       against [crash_budget] — the restricted-subsystem form used by
       the Theorem-1 condition (C) validation; the [crashed] list of a
-      {!Stuck} verdict includes them. *)
+      {!Stuck} verdict includes them.
+
+      [ckpt]/[resume] behave as in {!explore}: periodic snapshots of
+      the node graph and worklist, a final flush plus an
+      [Indeterminate] verdict on interruption, and bit-identical
+      verdict/stats when resumed (checkpoints written by
+      {!explore_with_crashes_par} resume here too, after
+      {!Checkpoint.restore_interners}). *)
 
   val explore_with_crashes_par :
     ?domains:int ->
@@ -180,6 +215,7 @@ module Make (A : Algorithm.S) : sig
     ?policy:delivery_policy ->
     ?drop_on_crash:bool ->
     ?initially_dead:Pid.t list ->
+    ?ckpt:Checkpoint.ctl ->
     n:int ->
     inputs:Value.t array ->
     crash_budget:int ->
@@ -193,7 +229,12 @@ module Make (A : Algorithm.S) : sig
       onto dense global ids and classified exactly like the
       sequential one.  Outcomes (verdict and stats) are identical to
       {!explore_with_crashes} whenever [max_configs] does not truncate
-      the enumeration.  [check] must be thread-safe. *)
+      the enumeration.  [check] must be thread-safe.
+
+      [ckpt] enables pause-the-world checkpointing and worker
+      supervision exactly as in {!explore_par}; the written
+      snapshots are sequential-format and resume on
+      {!explore_with_crashes}. *)
 
   val reachable_decision_values :
     ?max_configs:int ->

@@ -264,70 +264,144 @@ module Make (A : Algorithm.S) = struct
       shrink_candidates;
     }
 
-  let run ?on_trial (cfg : config) ~seed ~trials =
+  (* Checkpoint payload of a fuzz campaign: the watermark — the
+     lowest trial index such that every trial below it completed
+     clean.  Because trial [i] is a pure function of (config, seed,
+     i), that one integer is the whole resumable state: a resumed
+     campaign re-derives every later trial (and any violation, its
+     shrink included) bit-identically. *)
+  let fuzz_snap i () = Marshal.to_string (i : int) []
+
+  let resume_trial payload = (Marshal.from_string payload 0 : int)
+
+  let run ?on_trial ?(ckpt = Checkpoint.ctl ()) ?(resume_from = 0)
+      (cfg : config) ~seed ~trials =
     let stopped () = match cfg.stop with Some f -> f () | None -> false in
     let rec go i =
       if i >= trials then Clean { trials }
+      else if Checkpoint.interrupted ckpt then begin
+        Checkpoint.flush ckpt (fuzz_snap i);
+        Budget_exhausted { trials = i }
+      end
       else if stopped () then Budget_exhausted { trials = i }
       else
         let pattern, r = trial cfg ~seed i in
         let () = Option.iter (fun f -> f i r) on_trial in
         match check_run cfg r with
-        | None -> go (i + 1)
+        | None ->
+            Checkpoint.tick ckpt ~items:(i + 1) (fuzz_snap (i + 1));
+            go (i + 1)
         | Some (prop, reason) ->
             Violation_found (violation_of cfg i pattern r prop reason)
     in
-    go 0
+    go resume_from
 
-  let run_par ?domains (cfg : config) ~seed ~trials =
+  let run_par ?domains ?(ckpt = Checkpoint.ctl ()) ?(resume_from = 0)
+      (cfg : config) ~seed ~trials =
     let domains =
       match domains with Some d -> max 1 d | None -> Explorer.default_domains ()
     in
-    if domains <= 1 then run cfg ~seed ~trials
+    if domains <= 1 then run ~ckpt ~resume_from cfg ~seed ~trials
     else begin
       check_weights cfg.weights;
       let stop () = match cfg.stop with Some f -> f () | None -> false in
       let stopped_early = Atomic.make false in
-      let next_ticket = Atomic.make 0 in
+      let interrupted = Atomic.make false in
+      let next_ticket = Atomic.make resume_from in
       (* lowest violating trial index found so far: workers stop
          claiming tickets above it, but every ticket below it is still
          executed by someone, so the minimum over all reported
          violations is exactly the sequential first violation *)
       let best = Atomic.make max_int in
-      let worker () =
+      (* the clean-trial watermark feeding periodic checkpoints: a
+         mutex-protected done-set advances it in ticket order, so a
+         written watermark never claims an unfinished trial *)
+      let wm_lock = Mutex.create () in
+      let done_tbl : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+      let watermark = ref resume_from in
+      let note_clean i =
+        let wm =
+          Mutex.lock wm_lock;
+          Hashtbl.replace done_tbl i ();
+          while Hashtbl.mem done_tbl !watermark do
+            Hashtbl.remove done_tbl !watermark;
+            incr watermark
+          done;
+          let wm = !watermark in
+          Mutex.unlock wm_lock;
+          wm
+        in
+        Checkpoint.tick ckpt ~items:wm (fuzz_snap wm)
+      in
+      let worker w () =
         Metrics.incr m_domains;
-        let rec loop acc =
-          if stop () then (
+        let rec loop acc fails =
+          if Checkpoint.interrupted ckpt then begin
+            Atomic.set interrupted true;
+            (acc, fails)
+          end
+          else if stop () then begin
             Atomic.set stopped_early true;
-            acc)
+            (acc, fails)
+          end
           else
             let i = Atomic.fetch_and_add next_ticket 1 in
-            if i >= trials || i > Atomic.get best then acc
+            if i >= trials || i > Atomic.get best then (acc, fails)
             else
-              let pattern, r = trial cfg ~seed i in
-              match check_run cfg r with
-              | None -> loop acc
-              | Some (prop, reason) ->
+              match
+                let pattern, r = trial cfg ~seed i in
+                (pattern, r, check_run cfg r)
+              with
+              | pattern, r, Some (prop, reason) ->
                   let rec lower () =
                     let b = Atomic.get best in
                     if i < b && not (Atomic.compare_and_set best b i) then
                       lower ()
                   in
                   lower ();
-                  loop ((i, pattern, r, prop, reason) :: acc)
+                  loop ((i, pattern, r, prop, reason) :: acc) fails
+              | _, _, None ->
+                  note_clean i;
+                  loop acc fails
+              | exception e ->
+                  (* supervised: the ticket is re-executed after the
+                     join; the campaign itself keeps going *)
+                  loop acc ((w, i, Printexc.to_string e) :: fails)
         in
-        loop []
+        loop [] []
       in
+      let joined =
+        List.init domains (fun w -> Domain.spawn (worker w))
+        |> List.map Domain.join
+      in
+      let found = List.concat_map fst joined in
+      let failures = List.concat_map snd joined in
+      (* re-run every failed ticket in this domain: trials are pure
+         functions of (seed, index), so nothing is lost — a violation
+         on a re-run ticket competes for minimality like any other *)
       let found =
-        List.init domains (fun _ -> Domain.spawn worker)
-        |> List.concat_map Domain.join
+        List.fold_left
+          (fun acc (w, i, err) ->
+            Checkpoint.note_failure ckpt ~worker:w ~error:err ~requeued:1;
+            let pattern, r = trial cfg ~seed i in
+            match check_run cfg r with
+            | None ->
+                note_clean i;
+                acc
+            | Some (prop, reason) -> (i, pattern, r, prop, reason) :: acc)
+          found
+          (List.sort compare failures)
       in
+      if Atomic.get interrupted then
+        Checkpoint.flush ckpt (fuzz_snap !watermark);
       let by_trial (a, _, _, _, _) (b, _, _, _, _) = compare a b in
       match List.sort by_trial found with
       | (i, pattern, r, prop, reason) :: _ ->
           Violation_found (violation_of cfg i pattern r prop reason)
       | [] ->
-          if Atomic.get stopped_early then
+          if Atomic.get interrupted then
+            Budget_exhausted { trials = !watermark }
+          else if Atomic.get stopped_early then
             Budget_exhausted { trials = min trials (Atomic.get next_ticket) }
           else Clean { trials }
     end

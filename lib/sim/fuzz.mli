@@ -136,17 +136,42 @@ module Make (A : Algorithm.S) : sig
       schedule itself does not re-violate under replay (which the
       drivers never produce), it is returned unshrunk. *)
 
+  val resume_trial : string -> int
+  (** Decode the payload of a ["fuzz"]-kind checkpoint into the trial
+      watermark to pass as [resume_from].  Raises on garbage — gate
+      with {!Checkpoint.kind} first. *)
+
   val run :
     ?on_trial:(int -> Run.t -> unit) ->
+    ?ckpt:Checkpoint.ctl ->
+    ?resume_from:int ->
     config ->
     seed:int ->
     trials:int ->
     outcome
   (** Sequential campaign: trials [0 .. trials-1] in order, stopping
       at the first violation (which is then shrunk).  [on_trial] sees
-      every executed run — e.g. to collect the decision corpus. *)
+      every executed run — e.g. to collect the decision corpus.
 
-  val run_par : ?domains:int -> config -> seed:int -> trials:int -> outcome
+      [ckpt] attaches a {!Checkpoint} controller: after each clean
+      trial the driver offers a snapshot whose payload is the trial
+      watermark (every trial below it completed clean), and at each
+      trial boundary it polls the interrupt — on interruption it
+      flushes a final checkpoint and returns [Budget_exhausted].
+      [resume_from] (default [0], from {!resume_trial}) restarts the
+      campaign at that trial; because trial [i] is a pure function of
+      [(config, seed, i)], the resumed campaign's verdict — violation
+      trial, shrunk schedule, everything — is bit-identical to an
+      uninterrupted run's. *)
+
+  val run_par :
+    ?domains:int ->
+    ?ckpt:Checkpoint.ctl ->
+    ?resume_from:int ->
+    config ->
+    seed:int ->
+    trials:int ->
+    outcome
   (** Multicore campaign ([domains] defaults to
       {!Explorer.default_domains}): workers claim trial indices from a
       shared ticket counter (the explorer's clamp idiom) and stop
@@ -156,5 +181,16 @@ module Make (A : Algorithm.S) : sig
       and shrinking (performed once, after join) is deterministic:
       for a fixed seed the outcome is bit-identical to {!run}'s.  With
       [config.stop] set, which trials ran is timing-dependent; only
-      then can the two drivers differ. *)
+      then can the two drivers differ.
+
+      [ckpt]/[resume_from] behave as in {!run}; the checkpointed
+      watermark is maintained in ticket order under a mutex, so a
+      written snapshot never claims an unfinished trial, and the
+      snapshots resume on either driver.  A worker trial that raises a
+      non-verdict exception is supervised: the failure lands in the
+      checkpoint ledger ([campaign.worker.failures] /
+      [campaign.requeues] metrics) and the ticket is re-executed in
+      the calling domain after the join — trials are pure, so the
+      re-run competes for violation minimality exactly like the
+      original would have. *)
 end

@@ -64,10 +64,7 @@ let schedule_of_string s =
   go 1 [] lines
 
 let save_schedule ~path descs =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (schedule_to_string descs))
+  Ksa_prim.Durable.write_atomic ~path (schedule_to_string descs)
 
 (* a Sys_error usually already names the file ("…: No such file or
    directory"); prepend the path only when the system message omits it,

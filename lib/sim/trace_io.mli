@@ -19,7 +19,10 @@ val schedule_to_string : Replay.step_desc list -> string
 val schedule_of_string : string -> (Replay.step_desc list, string) result
 (** Parses the format above; tolerates blank lines and [#] comments. *)
 
-val save_schedule : path:string -> Replay.step_desc list -> unit
+val save_schedule : path:string -> Replay.step_desc list -> (unit, string) result
+(** Atomic write via {!Ksa_prim.Durable.write_atomic}.  Never raises:
+    an unwritable path or full disk is an [Error] naming the path,
+    and the target is never left half-written. *)
 
 val load_schedule : path:string -> (Replay.step_desc list, string) result
 (** Never raises: I/O failures (nonexistent path included) and parse

@@ -108,7 +108,9 @@ let test_shrunk_one_minimal_and_roundtrips () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Sim.Trace_io.save_schedule ~path v.Fuzz.shrunk;
+      (match Sim.Trace_io.save_schedule ~path v.Fuzz.shrunk with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
       let loaded =
         match Sim.Trace_io.load_schedule ~path with
         | Ok s -> s

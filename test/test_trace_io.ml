@@ -73,7 +73,9 @@ let test_file_roundtrip () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Sim.Trace_io.save_schedule ~path sched;
+      (match Sim.Trace_io.save_schedule ~path sched with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
       match Sim.Trace_io.load_schedule ~path with
       | Ok loaded -> Alcotest.(check bool) "file roundtrip" true (loaded = sched)
       | Error e -> Alcotest.fail e)
