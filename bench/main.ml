@@ -212,6 +212,21 @@ let bench_e12_crash_explorer_par () =
        ~check:(fun _ -> None)
        ())
 
+let bench_crash_explorer_scaling domains () =
+  (* scaling family: the e12:crash-explorer-n3 space at fixed worker
+     counts over the shared sharded dedup table.  Every member admits
+     the same 12 832 configurations (dedup is global, tickets are
+     dense), so ns_per_run differences are pure scheduling +
+     synchronisation cost; the JSON writer derives speedup_vs_seq
+     against the sequential e12 subject *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  ignore
+    (Ex.explore_with_crashes_par ~domains ~n:3
+       ~inputs:(Sim.Value.distinct_inputs 3)
+       ~crash_budget:1
+       ~check:(fun _ -> None)
+       ())
+
 let bench_ablation_explorer_n4 () =
   (* n=4 exhaustive under the coarse delivery policy (full space,
      fewer delivery choices — Per_sender at n=4 is ~27 s/run) *)
@@ -339,6 +354,10 @@ let subjects =
     ("e12:crash-explorer-n3", bench_e12_crash_explorer);
     ("explore:crash-n3-checkpointed", bench_e12_crash_explorer_checkpointed);
     ("e12:crash-explorer-par-n3", bench_e12_crash_explorer_par);
+    ("scaling:crash-explorer-n3-d1", bench_crash_explorer_scaling 1);
+    ("scaling:crash-explorer-n3-d2", bench_crash_explorer_scaling 2);
+    ("scaling:crash-explorer-n3-d4", bench_crash_explorer_scaling 4);
+    ("scaling:crash-explorer-n3-d8", bench_crash_explorer_scaling 8);
     ("e13:abd-torture-n4", bench_e13_abd_torture);
     ("theorem2:end-to-end-n6", bench_theorem2_demonstrate);
     ("ablation:explorer-exhaustive-n3", bench_ablation_explorer_n3);
@@ -361,32 +380,49 @@ let tests =
 
 (* One extra run per subject, bracketed by metric snapshots: the
    non-zero deltas are what one invocation of the subject costs in
-   events (configs admitted, memo hits, sim steps, ...).  Gauge
-   entries subtract like everything else; a zero delta (an already
-   saturated high-watermark, an unchanged interner) is dropped. *)
+   events (configs admitted, memo hits, sim steps, ...).  The registry
+   is reset immediately before each subject's bracketed run — gauges
+   like explore.configs_visited are {e set}, not accumulated, so a
+   stale value left by an earlier subject would otherwise leak into
+   [before] and emit a nonsensical negative delta.  After the reset
+   every delta is a cost and must be non-negative; a violation is a
+   harness bug, so it fails the bench run loudly. *)
 let counter_deltas () =
   List.map
     (fun (name, fn) ->
+      Metrics.reset ();
       let before = Metrics.snapshot () in
       fn ();
       let after = Metrics.snapshot () in
       let delta =
         List.filter (fun (_, v) -> v <> 0) (Metrics.delta ~before ~after)
       in
+      List.iter
+        (fun (k, v) ->
+          if v < 0 then (
+            Format.eprintf "bench: negative counter delta %s = %d for %s@." k v
+              name;
+            exit 1))
+        delta;
       ("ksa/" ^ name, delta))
     subjects
 
 (* Machine-readable perf trajectory: benchmark name -> ns/run plus
    the counter deltas of one run, one JSON object, written next to
-   the cwd so successive PRs can diff it. *)
+   the cwd so successive PRs can diff it.  scaling:* rows also carry
+   speedup_vs_seq, the sequential e12 subject's ns/run over theirs. *)
 let write_bench_json ~path rows =
   let oc = open_out path in
   output_string oc "{\n";
   let total = List.length rows in
   List.iteri
-    (fun i (name, ns, counters) ->
+    (fun i (name, ns, counters, speedup) ->
       Printf.fprintf oc "  %S: {\n    \"ns_per_run\": %s" name
         (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns);
+      (match speedup with
+      | Some s when not (Float.is_nan s) ->
+          Printf.fprintf oc ",\n    \"speedup_vs_seq\": %.3f" s
+      | _ -> ());
       (match counters with
       | [] -> ()
       | counters ->
@@ -441,22 +477,29 @@ let run_benchmarks ~json () =
     rows;
   if json then begin
     let deltas = counter_deltas () in
+    let has name sub =
+      let ls = String.length sub and ln = String.length name in
+      let rec at i = i + ls <= ln && (String.sub name i ls = sub || at (i + 1)) in
+      at 0
+    in
+    let seq_ns =
+      Option.value ~default:nan
+        (List.assoc_opt "ksa/e12:crash-explorer-n3" rows)
+    in
     let rows =
       List.map
         (fun (name, ns) ->
           let counters =
             Option.value ~default:[] (List.assoc_opt name deltas)
           in
-          (name, ns, counters))
+          let speedup =
+            if has name "scaling:" then Some (seq_ns /. ns) else None
+          in
+          (name, ns, counters, speedup))
         rows
     in
-    let is_trace_subject (name, _, _) =
-      let has sub =
-        let ls = String.length sub and ln = String.length name in
-        let rec at i = i + ls <= ln && (String.sub name i ls = sub || at (i + 1)) in
-        at 0
-      in
-      has "screen:" || has "indist:"
+    let is_trace_subject (name, _, _, _) =
+      has name "screen:" || has name "indist:"
     in
     let screen_rows, explore_rows = List.partition is_trace_subject rows in
     write_bench_json ~path:"BENCH_explore.json" explore_rows;

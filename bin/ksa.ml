@@ -625,7 +625,10 @@ let domains_arg =
     & info [ "domains" ] ~docv:"D"
         ~doc:
           "Worker domains for the parallel driver (default: KSA_DOMAINS or \
-           the recommended domain count; 1 = sequential).")
+           the recommended domain count; 1 = sequential). Workers share \
+           one dedup table and steal work, so any D admits the same \
+           configurations; use up to the physical core count — beyond \
+           it extra domains only add GC synchronisation.")
 
 let max_configs_arg =
   Arg.(

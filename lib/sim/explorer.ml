@@ -52,6 +52,8 @@ let m_dedup = Metrics.counter "explore.dedup.hits"
 let m_terminals = Metrics.counter "explore.terminals"
 let m_domains = Metrics.counter "explore.domains.spawned"
 let m_truncations = Metrics.counter "explore.budget.truncations"
+let m_steals = Metrics.counter "explore.steals"
+let m_spills = Metrics.counter "explore.spills"
 let g_frontier_peak = Metrics.gauge "explore.frontier.peak"
 let g_depth_peak = Metrics.gauge "explore.depth.peak"
 let g_max_configs = Metrics.gauge "explore.budget.max_configs"
@@ -192,6 +194,275 @@ let stop_coordinator = function
   | Some (quit, d) ->
       Atomic.set quit true;
       Domain.join d
+
+module Shardset = Ksa_prim.Shardset
+
+(* ---- batched work-stealing frontier for the parallel drivers ----
+
+   One pool per worker: a mutex-guarded queue of item {e batches} with
+   an atomic item-count mirror, so dry workers can scan every pool
+   without touching foreign locks.  Each worker keeps a private LIFO
+   stack as its working set (depth-first, cache-hot) and spills the
+   {e oldest} half — the shallow, bushy end of the frontier — into its
+   own pool as one batch when the stack grows and its pool has run
+   dry; thieves take half a victim's batches at a time, amortising
+   cross-domain traffic over whole batches.
+
+   Termination is an idle-count protocol.  A worker that finds its
+   stack, its own pool and every victim empty parks itself in [idle]
+   and waits (with backoff) for one of: work appearing in some pool,
+   the driver's stop flag, or completion.  Completion holds exactly
+   when every live worker is idle and every pool is empty — items
+   live only in non-idle workers' private stacks or in pools, so that
+   state has no producer left.  The completion test reads the idle
+   count {e before} the pool sizes, and a re-activating worker leaves
+   [idle] {e before} it removes anything from a pool, so a racing
+   observer sees either the smaller idle count or the not-yet-empty
+   pool — never a spurious completion. *)
+module Wspool = struct
+  type 'a t = {
+    queues : (int * 'a list) Queue.t array;
+    locks : Mutex.t array;
+    sizes : int Atomic.t array;
+    idle : int Atomic.t;
+    live : int Atomic.t;
+    finished : bool Atomic.t;
+  }
+
+  let create ~workers =
+    {
+      queues = Array.init workers (fun _ -> Queue.create ());
+      locks = Array.init workers (fun _ -> Mutex.create ());
+      sizes = Array.init workers (fun _ -> Atomic.make 0);
+      idle = Atomic.make 0;
+      live = Atomic.make workers;
+      finished = Atomic.make false;
+    }
+
+  let locked t i f =
+    Mutex.lock t.locks.(i);
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.locks.(i)) f
+
+  let push_batch t i ~count items =
+    if count > 0 then
+      locked t i (fun () ->
+          Queue.add (count, items) t.queues.(i);
+          Atomic.set t.sizes.(i) (Atomic.get t.sizes.(i) + count))
+
+  let pop_batch t i =
+    if Atomic.get t.sizes.(i) = 0 then None
+    else
+      locked t i (fun () ->
+          match Queue.take_opt t.queues.(i) with
+          | None -> None
+          | Some (c, items) ->
+              Atomic.set t.sizes.(i) (Atomic.get t.sizes.(i) - c);
+              Some (c, items))
+
+  let own_pending t i = Atomic.get t.sizes.(i)
+  let pending t = Array.fold_left (fun acc s -> acc + Atomic.get s) 0 t.sizes
+
+  (* Take half the victim's batches: the oldest becomes the thief's
+     working set, the rest are re-homed into the thief's own pool
+     (after the victim's lock is released — locks never nest). *)
+  let steal t i =
+    let workers = Array.length t.queues in
+    let rec scan d =
+      if d >= workers then None
+      else
+        let v = (i + d) mod workers in
+        if Atomic.get t.sizes.(v) = 0 then scan (d + 1)
+        else
+          let stolen =
+            locked t v (fun () ->
+                let take = (Queue.length t.queues.(v) + 1) / 2 in
+                let acc = ref [] and n = ref 0 in
+                for _ = 1 to take do
+                  match Queue.take_opt t.queues.(v) with
+                  | Some (c, items) ->
+                      acc := (c, items) :: !acc;
+                      n := !n + c
+                  | None -> ()
+                done;
+                Atomic.set t.sizes.(v) (Atomic.get t.sizes.(v) - !n);
+                List.rev !acc)
+          in
+          match stolen with
+          | [] -> scan (d + 1)
+          | (c, items) :: rest ->
+              List.iter (fun (c', b) -> push_batch t i ~count:c' b) rest;
+              Metrics.incr m_steals;
+              Some (c, items)
+    in
+    scan 1
+
+  (* non-destructive: every queued item, for the checkpoint cut *)
+  let iter_pending t f =
+    Array.iteri
+      (fun i _ ->
+        locked t i (fun () ->
+            Queue.iter (fun (_, items) -> List.iter f items) t.queues.(i)))
+      t.queues
+
+  (* round-robin the initial items into small batches so even the
+     first steals move real work *)
+  let seed t items =
+    let workers = Array.length t.queues in
+    let batch = ref [] and blen = ref 0 and w = ref 0 in
+    let flush () =
+      if !blen > 0 then begin
+        push_batch t !w ~count:!blen !batch;
+        w := (!w + 1) mod workers;
+        batch := [];
+        blen := 0
+      end
+    in
+    List.iter
+      (fun it ->
+        batch := it :: !batch;
+        incr blen;
+        if !blen >= 8 then flush ())
+      items;
+    flush ()
+
+  (* a worker dying of a non-verdict exception leaves the live set *)
+  let retire t = Atomic.decr t.live
+
+  (* the post-join rescue drains leftovers with one fresh worker *)
+  let reset_for_rescue t =
+    Atomic.set t.finished false;
+    Atomic.set t.idle 0;
+    Atomic.set t.live 1
+
+  (* Next batch for worker [i], or [None] when the search is complete
+     or [stopped].  [safepoint] keeps the pause-the-world protocol
+     responsive while idling (an idle worker's stack is empty, so its
+     published snapshot is trivially consistent).  Backoff starts with
+     [cpu_relax] and falls back to short sleeps so idle workers do not
+     starve working domains of cores. *)
+  let acquire t i ~safepoint ~stopped =
+    let try_take () =
+      match pop_batch t i with Some _ as r -> r | None -> steal t i
+    in
+    match try_take () with
+    | Some _ as r -> r
+    | None ->
+        Atomic.incr t.idle;
+        let rec wait spins =
+          safepoint ();
+          if stopped () || Atomic.get t.finished then begin
+            Atomic.decr t.idle;
+            None
+          end
+          else if pending t > 0 then begin
+            Atomic.decr t.idle;
+            match try_take () with
+            | Some _ as r -> r
+            | None ->
+                Atomic.incr t.idle;
+                wait 0
+          end
+          else if Atomic.get t.idle >= Atomic.get t.live && pending t = 0
+          then begin
+            Atomic.set t.finished true;
+            Atomic.decr t.idle;
+            None
+          end
+          else begin
+            if spins < 32 then Domain.cpu_relax ()
+            else Unix.sleepf (Float.min 0.0005 (1e-5 *. float_of_int spins));
+            wait (spins + 1)
+          end
+        in
+        wait 0
+end
+
+(* ---- write-once dense-id record store shared across domains ----
+
+   Records are indexed by the global dense ids the admission tickets
+   hand out.  Storage is chunked: a top-level vector of lazily
+   CAS-installed chunks, widened by publishing a larger vector that
+   aliases the same chunk cells (readers holding the old vector still
+   reach every chunk they can index).  Each slot is written exactly
+   once, by the domain that expands that node; the plain writes are
+   made visible to readers by the synchronisation that precedes every
+   read — a worker join, or a pause-the-world with all workers parked
+   on the pause mutex. *)
+module Nodestore = struct
+  let chunk_bits = 13
+  let chunk_size = 1 lsl chunk_bits
+
+  type 'r t = {
+    top : 'r array option Atomic.t array Atomic.t;
+    grow : Mutex.t;
+    empty : 'r;
+  }
+
+  let create ~empty =
+    {
+      top = Atomic.make (Array.init 16 (fun _ -> Atomic.make None));
+      grow = Mutex.create ();
+      empty;
+    }
+
+  let rec cell t c =
+    let top = Atomic.get t.top in
+    if c < Array.length top then top.(c)
+    else begin
+      Mutex.lock t.grow;
+      let top = Atomic.get t.top in
+      if c >= Array.length top then begin
+        let n = ref (Array.length top) in
+        while c >= !n do
+          n := !n * 2
+        done;
+        let wider =
+          Array.init !n (fun i ->
+              if i < Array.length top then top.(i) else Atomic.make None)
+        in
+        Atomic.set t.top wider
+      end;
+      Mutex.unlock t.grow;
+      cell t c
+    end
+
+  let chunk t c =
+    let cell = cell t c in
+    match Atomic.get cell with
+    | Some a -> a
+    | None ->
+        let a = Array.make chunk_size t.empty in
+        if Atomic.compare_and_set cell None (Some a) then a
+        else (match Atomic.get cell with Some a -> a | None -> assert false)
+
+  let set t i r = (chunk t (i lsr chunk_bits)).(i land (chunk_size - 1)) <- r
+
+  (* unwritten slots read as [empty] — for the explorers that means
+     "admitted but not yet expanded" *)
+  let get t i =
+    let c = i lsr chunk_bits in
+    let top = Atomic.get t.top in
+    if c >= Array.length top then t.empty
+    else
+      match Atomic.get top.(c) with
+      | None -> t.empty
+      | Some a -> a.(i land (chunk_size - 1))
+end
+
+(* spill once the private stack holds this many items (handing off
+   the oldest half) *)
+let spill_at = 64
+
+(* first [k] elements kept, the rest handed off; [k] is at most
+   [spill_at], so non-tail recursion is fine *)
+let rec split_at k l =
+  if k = 0 then ([], l)
+  else
+    match l with
+    | [] -> ([], [])
+    | x :: tl ->
+        let a, b = split_at (k - 1) tl in
+        (x :: a, b)
 
 module Make (A : Algorithm.S) = struct
   module E = Engine.Make (A)
@@ -361,15 +632,17 @@ module Make (A : Algorithm.S) = struct
     | exception Found (decisions, reason, depth) ->
         Violation { decisions; reason; depth }
 
-  (* ---- parallel exhaustive exploration ---- *)
+  (* ---- parallel exhaustive exploration ----
 
-  (* Fans the first levels of the DFS across domains.  The visited set
-     of a complete DFS is exactly the set of reachable configurations,
-     so per-domain searches with private seen-tables merged by key
-     union return the same stats and verdict as [explore] whenever no
-     budget truncates the search (configuration keys are content-based
-     and therefore comparable across domains).  [check] runs
-     concurrently and must be thread-safe. *)
+     Every domain admits configurations against one shared {!Shardset}
+     table with one ticket-clamped admission counter, so each
+     reachable configuration is admitted and expanded exactly once:
+     the visited set — and with it verdict and stats — equals the
+     sequential driver's whenever no budget truncates, and parallelism
+     buys wall-clock instead of duplicated work.  The frontier flows
+     through a {!Wspool}: private LIFO stacks, batched spills, and
+     half-the-batches stealing with idle-count termination.  [check]
+     runs concurrently and must be thread-safe. *)
   let explore_par ?domains ?(max_depth = 200) ?(max_configs = 2_000_000)
       ?(policy = Per_sender) ?(on_terminal = fun _ -> ())
       ?(ckpt = Checkpoint.ctl ()) ~n ~inputs ~pattern ~check () =
@@ -379,260 +652,228 @@ module Make (A : Algorithm.S) = struct
       max 1 (match domains with Some d -> d | None -> default_domains ())
     in
     let correct = Failure_pattern.correct pattern in
-    let steppers = correct in
-    (* breadth-first prefix: expand until the frontier is wide enough
-       to keep every domain busy *)
-    let target_frontier = domains * 8 in
-    let seen0 : (E.key, unit) Hashtbl.t = Hashtbl.create 1024 in
-    let terminals0 : (E.key, (Pid.t * Value.t * int) list) Hashtbl.t =
-      Hashtbl.create 64
+    let seen = Shardset.create ~name:"explore.dedup" () in
+    let global_count = Atomic.make 0 in
+    let terminals_n = Atomic.make 0 in
+    let stop = Atomic.make false in
+    let interrupted = ref false in
+    let pause = Pause.create domains in
+    let pool : (E.config * int) Wspool.t = Wspool.create ~workers:domains in
+    Wspool.seed pool [ (E.init_explore ~n ~inputs, 0) ];
+    (* the ticket clamp, now fused with the dedup check under the
+       shard lock: a ticket is only drawn for a genuinely-new key, so
+       tickets below the budget are dense and issued exactly once
+       (refunds only happen at or above the budget) — [configs_visited]
+       is exact even under domain races *)
+    let ticket () =
+      let tk = Atomic.fetch_and_add global_count 1 in
+      if tk >= max_configs then begin
+        Atomic.decr global_count;
+        None
+      end
+      else Some tk
     in
-    let exhausted0 = ref false in
-    let frontier = Queue.create () in
-    Queue.add (E.init_explore ~n ~inputs, 0) frontier;
-    let prefix_violation = ref None in
-    (* expand BFS nodes until wide enough (or done, or a violation) *)
-    (try
-       while
-         !prefix_violation = None
-         && Queue.length frontier < target_frontier
-         && not (Queue.is_empty frontier)
-       do
-         let config, depth = Queue.pop frontier in
-         let key = E.key config in
-         if Hashtbl.mem seen0 key then Metrics.incr m_dedup
-         else if Hashtbl.length seen0 >= max_configs then begin
-           (* budget spent inside the prefix: drop the remaining
-              frontier — everything from here on is truncated *)
-           exhausted0 := true;
-           Metrics.incr m_truncations;
-           Queue.clear frontier
-         end
-         else begin
-           Hashtbl.add seen0 key ();
-           Metrics.incr m_admitted;
-           Metrics.gauge_max g_depth_peak depth;
-           let decisions = E.decisions config in
-           (match check decisions with
-           | Some reason -> raise (Found (decisions, reason, depth))
-           | None -> ());
-           let done_ =
-             List.for_all (fun p -> E.decision_of config p <> None) correct
-           in
-           if done_ then begin
-             Hashtbl.replace terminals0 key decisions;
-             Metrics.incr m_terminals
-           end
-           else if depth >= max_depth then exhausted0 := true
-           else
-             schedule_successors ~policy ~pattern ~steppers config
-               (fun config' -> Queue.add (config', depth + 1) frontier);
-           Metrics.gauge_max g_frontier_peak (Queue.length frontier)
-         end
-       done
-     with Found (decisions, reason, depth) ->
-       prefix_violation := Some (decisions, reason, depth));
-    match !prefix_violation with
+    let worker ~pause i () =
+      Metrics.incr m_domains;
+      let local = ref [] and local_len = ref 0 in
+      let exhausted = ref false in
+      let terminals_here = ref [] in
+      let violation = ref None in
+      let error = ref None in
+      let spilled = ref 0 in
+      let snap () = (!local, !exhausted) in
+      let safepoint () = Pause.point pause i snap in
+      let stopped () = Atomic.get stop in
+      let maybe_spill () =
+        if !local_len >= spill_at && Wspool.own_pending pool i = 0 then begin
+          let keep = !local_len / 2 in
+          let kept, handed = split_at keep !local in
+          let count = !local_len - keep in
+          local := kept;
+          local_len := keep;
+          Wspool.push_batch pool i ~count handed;
+          Metrics.incr m_spills;
+          Metrics.gauge_max g_frontier_peak (keep + Wspool.pending pool)
+        end
+      in
+      let process (config, depth) =
+        let key = E.key config in
+        match Shardset.admit seen key ~ticket with
+        | Shardset.Found _ -> Metrics.incr m_dedup
+        | Shardset.Rejected ->
+            exhausted := true;
+            Metrics.incr m_truncations
+        | Shardset.Admitted _ ->
+            Metrics.incr m_admitted;
+            Metrics.gauge_max g_depth_peak depth;
+            let decisions = E.decisions config in
+            (match check decisions with
+            | Some reason -> raise (Found (decisions, reason, depth))
+            | None -> ());
+            let done_ =
+              List.for_all (fun p -> E.decision_of config p <> None) correct
+            in
+            if done_ then begin
+              Atomic.incr terminals_n;
+              terminals_here := decisions :: !terminals_here;
+              Metrics.incr m_terminals
+            end
+            else if depth >= max_depth then exhausted := true
+            else begin
+              schedule_successors ~policy ~pattern ~steppers:correct config
+                (fun config' ->
+                  local := (config', depth + 1) :: !local;
+                  incr local_len);
+              maybe_spill ()
+            end
+      in
+      let rec drain () =
+        safepoint ();
+        if not (stopped ()) then
+          match !local with
+          | item :: rest ->
+              local := rest;
+              decr local_len;
+              (try process item
+               with e ->
+                 (match e with
+                 | Found _ -> ()
+                 | _ ->
+                     (* non-verdict failure: keep the in-flight item
+                        so nothing is lost when we hand off below *)
+                     local := item :: !local;
+                     incr local_len);
+                 raise e);
+              drain ()
+          | [] -> (
+              match Wspool.acquire pool i ~safepoint ~stopped with
+              | Some (count, batch) ->
+                  local := batch;
+                  local_len := count;
+                  drain ()
+              | None -> ())
+      in
+      (try Metrics.time t_worker drain with
+      | Found (decisions, reason, depth) ->
+          violation := Some (decisions, reason, depth);
+          Atomic.set stop true
+      | e ->
+          error := Some (Printexc.to_string e);
+          (* die visibly but not wastefully: everything this worker
+             still owns goes back to the shared pool, where survivors
+             (or the post-join rescue) pick it up — nothing already
+             admitted to the shared table needs re-admission *)
+          (try
+             if !local_len > 0 then begin
+               Wspool.push_batch pool i ~count:!local_len !local;
+               spilled := !local_len;
+               local := [];
+               local_len := 0
+             end
+           with _ -> ());
+          Wspool.retire pool);
+      Pause.exit pause i snap;
+      (!terminals_here, !exhausted, !violation, !spilled, !error)
+    in
+    (* merge the pause-the-world cut into a sequential-format
+       checkpoint payload: the shared table is the seen set, and every
+       pending candidate sits either in a parked worker's published
+       stack or in a pool.  Resume continues on [explore]. *)
+    let merge slots =
+      let seen_m : (E.key, unit) Hashtbl.t =
+        Hashtbl.create (2 * Shardset.length seen + 16)
+      in
+      Shardset.iter (fun k _ -> Hashtbl.replace seen_m k ()) seen;
+      let stack = ref [] in
+      let ex = ref false in
+      Array.iter
+        (function
+          | None -> ()
+          | Some (items, exh) ->
+              stack := List.rev_append items !stack;
+              if exh then ex := true)
+        slots;
+      Wspool.iter_pending pool (fun it -> stack := it :: !stack);
+      Marshal.to_string
+        (( seen_m,
+           Atomic.get global_count,
+           Atomic.get terminals_n,
+           !ex,
+           !stack )
+          : explore_snap)
+        []
+    in
+    let coordinator =
+      spawn_coordinator ~ckpt ~pause
+        ~items:(fun () -> Atomic.get global_count)
+        ~merge
+        ~on_interrupt:(fun () ->
+          interrupted := true;
+          Atomic.set stop true)
+    in
+    let handles =
+      List.init domains (fun i -> Domain.spawn (worker ~pause:(Some pause) i))
+    in
+    let joined = List.map Domain.join handles in
+    stop_coordinator coordinator;
+    (* supervision: a dead worker already handed its share back to the
+       pool, so its admissions stand and no ticket is refunded.  Log
+       each failure; if dead workers' items outlived every survivor,
+       drain the leftovers with one rescue worker in this domain.  A
+       rescue that dies too is a systematic fault — surface it. *)
+    List.iteri
+      (fun i (_, _, _, spilled, err) ->
+        match err with
+        | Some error ->
+            Checkpoint.note_failure ckpt ~worker:i ~error ~requeued:spilled
+        | None -> ())
+      joined;
+    let had_errors =
+      List.exists (fun (_, _, _, _, e) -> e <> None) joined
+    in
+    let rescued =
+      if had_errors && (not (Atomic.get stop)) && Wspool.pending pool > 0
+      then begin
+        Wspool.reset_for_rescue pool;
+        let ((_, _, _, _, rerr) as r) = worker ~pause:None 0 () in
+        (match rerr with
+        | Some err2 ->
+            failwith
+              (Printf.sprintf "explorer rescue worker failed twice: %s" err2)
+        | None -> ());
+        [ r ]
+      end
+      else []
+    in
+    let results = joined @ rescued in
+    Shardset.publish_metrics seen;
+    let violation =
+      List.fold_left
+        (fun best (_, _, v, _, _) ->
+          match (best, v) with
+          | None, v -> v
+          | Some _, None -> best
+          | Some (_, _, db), Some (_, _, dv) -> if dv < db then v else best)
+        None results
+    in
+    match violation with
     | Some (decisions, reason, depth) -> Violation { decisions; reason; depth }
     | None ->
-        let frontier_items = List.of_seq (Queue.to_seq frontier) in
-        let visited0 = Hashtbl.length seen0 in
-        let buckets = Array.make domains [] in
-        List.iteri
-          (fun i item ->
-            buckets.(i mod domains) <- item :: buckets.(i mod domains))
-          frontier_items;
-        let global_count = Atomic.make visited0 in
-        let stop = Atomic.make false in
-        let interrupted = ref false in
-        let pause = Pause.create domains in
-        let worker ~pause i bucket () =
-          Metrics.incr m_domains;
-          let seen : (E.key, unit) Hashtbl.t = Hashtbl.create 65_536 in
-          let terminals : (E.key, (Pid.t * Value.t * int) list) Hashtbl.t =
-            Hashtbl.create 1024
-          in
-          let exhausted = ref false in
-          let violation = ref None in
-          let error = ref None in
-          let admitted = ref 0 in
-          let stack = ref bucket in
-          let snap () =
-            (Hashtbl.copy seen, Hashtbl.copy terminals, !stack, !exhausted)
-          in
-          let rec drain () =
-            Pause.point pause i snap;
-            if not (Atomic.get stop) then
-              match !stack with
-              | [] -> ()
-              | (config, depth) :: rest ->
-                  stack := rest;
-                  let key = E.key config in
-                  if Hashtbl.mem seen key || Hashtbl.mem seen0 key then
-                    Metrics.incr m_dedup
-                  else begin
-                    (* a fetch-and-add ticket clamps the global
-                       admission count at the budget even under domain
-                       races (losers hand their ticket back) *)
-                    let ticket = Atomic.fetch_and_add global_count 1 in
-                    if ticket >= max_configs then begin
-                      Atomic.decr global_count;
-                      exhausted := true;
-                      Metrics.incr m_truncations
-                    end
-                    else begin
-                      Hashtbl.add seen key ();
-                      incr admitted;
-                      Metrics.incr m_admitted;
-                      Metrics.gauge_max g_depth_peak depth;
-                      let decisions = E.decisions config in
-                      (match check decisions with
-                      | Some reason -> raise (Found (decisions, reason, depth))
-                      | None -> ());
-                      let done_ =
-                        List.for_all
-                          (fun p -> E.decision_of config p <> None)
-                          correct
-                      in
-                      if done_ then begin
-                        Hashtbl.replace terminals key decisions;
-                        Metrics.incr m_terminals
-                      end
-                      else if depth >= max_depth then exhausted := true
-                      else begin
-                        let succs = ref [] in
-                        schedule_successors ~policy ~pattern ~steppers config
-                          (fun config' ->
-                            succs := (config', depth + 1) :: !succs);
-                        stack := List.rev_append !succs !stack
-                      end
-                    end
-                  end;
-                  drain ()
-          in
-          (try Metrics.time t_worker drain with
-          | Found (decisions, reason, depth) ->
-              violation := Some (decisions, reason, depth);
-              Atomic.set stop true
-          | e -> error := Some (Printexc.to_string e));
-          Pause.exit pause i snap;
-          (seen, terminals, !exhausted, !violation, !admitted, !error)
+        let exhausted = ref !interrupted in
+        List.iter
+          (fun (terms, ex, _, _, _) ->
+            if ex then exhausted := true;
+            List.iter on_terminal terms)
+          results;
+        let stats =
+          {
+            configs_visited = Atomic.get global_count;
+            terminal_runs = Atomic.get terminals_n;
+            budget_exhausted = !exhausted;
+          }
         in
-        (* merge worker snapshots (plus the shared BFS prefix) into a
-           sequential-format checkpoint payload: resume continues on
-           [explore], whose verdicts and stats are identical by the
-           seq/par parity invariant *)
-        let merge slots =
-          let seen_m = Hashtbl.copy seen0 in
-          let term_m = Hashtbl.copy terminals0 in
-          let stack_m = ref [] in
-          let ex = ref !exhausted0 in
-          Array.iter
-            (function
-              | None -> ()
-              | Some (seen, terms, stack, exh) ->
-                  Hashtbl.iter (fun k () -> Hashtbl.replace seen_m k ()) seen;
-                  Hashtbl.iter (fun k d -> Hashtbl.replace term_m k d) terms;
-                  stack_m := List.rev_append stack !stack_m;
-                  if exh then ex := true)
-            slots;
-          Marshal.to_string
-            (( seen_m,
-               Hashtbl.length seen_m,
-               Hashtbl.length term_m,
-               !ex,
-               !stack_m )
-              : explore_snap)
-            []
-        in
-        let coordinator =
-          spawn_coordinator ~ckpt ~pause
-            ~items:(fun () -> Atomic.get global_count)
-            ~merge
-            ~on_interrupt:(fun () ->
-              interrupted := true;
-              Atomic.set stop true)
-        in
-        let handles =
-          Array.to_list
-            (Array.mapi
-               (fun i bucket -> Domain.spawn (worker ~pause:(Some pause) i bucket))
-               buckets)
-        in
-        let joined = List.map Domain.join handles in
-        stop_coordinator coordinator;
-        (* supervision: a worker that died of a non-verdict exception
-           forfeits its partial tables; its admission tickets are
-           refunded and its whole bucket re-runs in this domain (the
-           campaign degrades to fewer workers rather than aborting) *)
-        let results =
-          List.mapi
-            (fun i result ->
-              match result with
-              | _, _, _, _, admitted, Some err ->
-                  ignore (Atomic.fetch_and_add global_count (-admitted));
-                  Checkpoint.note_failure ckpt ~worker:i ~error:err
-                    ~requeued:(List.length buckets.(i));
-                  let (_, _, _, _, _, rerun_err) as rerun =
-                    worker ~pause:None i buckets.(i) ()
-                  in
-                  (match rerun_err with
-                  | Some err2 ->
-                      (* failed twice on the same work: a systematic
-                         fault, not a transient — surface it *)
-                      failwith
-                        (Printf.sprintf "explorer worker %d failed twice: %s"
-                           i err2)
-                  | None -> ());
-                  rerun
-              | ok -> ok)
-            joined
-        in
-        let results =
-          List.map (fun (s, t, ex, v, _, _) -> (s, t, ex, v)) results
-        in
-        let violation =
-          List.fold_left
-            (fun best (_, _, _, v) ->
-              match (best, v) with
-              | None, v -> v
-              | Some _, None -> best
-              | Some (_, _, db), Some (_, _, dv) ->
-                  if dv < db then v else best)
-            None results
-        in
-        (match violation with
-        | Some (decisions, reason, depth) ->
-            Violation { decisions; reason; depth }
-        | None ->
-            let union : (E.key, unit) Hashtbl.t =
-              Hashtbl.create (max 1024 (2 * visited0))
-            in
-            let all_terminals :
-                (E.key, (Pid.t * Value.t * int) list) Hashtbl.t =
-              Hashtbl.create 1024
-            in
-            Hashtbl.iter (fun k ds -> Hashtbl.replace all_terminals k ds)
-              terminals0;
-            let exhausted = ref (!exhausted0 || !interrupted) in
-            List.iter
-              (fun (seen, terminals, ex, _) ->
-                if ex then exhausted := true;
-                Hashtbl.iter (fun k () -> Hashtbl.replace union k ()) seen;
-                Hashtbl.iter
-                  (fun k ds -> Hashtbl.replace all_terminals k ds)
-                  terminals)
-              results;
-            Hashtbl.iter (fun _ ds -> on_terminal ds) all_terminals;
-            let stats =
-              {
-                configs_visited = visited0 + Hashtbl.length union;
-                terminal_runs = Hashtbl.length all_terminals;
-                budget_exhausted = !exhausted;
-              }
-            in
-            record_run_stats stats;
-            Safe stats)
+        record_run_stats stats;
+        Safe stats
 
   (* ---- crash-adversarial exploration ---- *)
 
@@ -915,12 +1156,17 @@ module Make (A : Algorithm.S) = struct
                 }
           | None -> All_paths_decide stats
 
-  (* Parallel crash-adversarial exploration: the root's successors —
-     in particular the distinct crash-pattern subtrees — are fanned
-     across domains, each enumerating with a private table; the merged
-     graph (dense global ids, identical expansion determinism) is then
-     classified exactly like the sequential one.  Outcomes match
-     [explore_with_crashes] whenever the budget does not truncate. *)
+  (* Parallel crash-adversarial exploration over shared state: one
+     {!Shardset} key table, one ticket counter, one write-once
+     {!Nodestore} of node records.  A node's global dense id {e is}
+     its admission ticket (the root, expanded inline, is id 0), so
+     graph edges are globally meaningful the moment they are made and
+     the merge needs no id translation at all — the classified graph
+     is byte-for-byte the sequential one's modulo discovery order,
+     which {!classify_graph}'s minimum-witness rule already
+     normalises.  The frontier flows through a {!Wspool} exactly as in
+     [explore_par].  Outcomes match [explore_with_crashes] whenever
+     the budget does not truncate.  [check] must be thread-safe. *)
   let explore_with_crashes_par ?domains ?(max_configs = 300_000)
       ?(policy = Per_sender) ?(drop_on_crash = true) ?(initially_dead = [])
       ?(ckpt = Checkpoint.ctl ()) ~n ~inputs ~crash_budget ~check () =
@@ -939,198 +1185,183 @@ module Make (A : Algorithm.S) = struct
     | exception Unsafe (decisions, reason) ->
         Safety_violation { decisions; reason }
     | root_complete, root_mask, root_undecided, root_succs ->
-        let buckets = Array.make domains [] in
-        List.iteri
-          (fun i s -> buckets.(i mod domains) <- s :: buckets.(i mod domains))
-          root_succs;
-        let global_count = Atomic.make 1 in
-        Metrics.incr m_admitted (* the root, expanded inline *);
+        let seen = Shardset.create ~name:"explore.dedup" () in
+        let recs : node_rec Nodestore.t = Nodestore.create ~empty:empty_rec in
+        let global_count = Atomic.make 1 (* the root *) in
+        let terminals_n = Atomic.make (if root_complete then 1 else 0) in
+        Metrics.incr m_admitted;
+        if root_complete then Metrics.incr m_terminals;
+        ignore (Shardset.add seen (E.key ~extra:root_mask root) 0);
         let stop = Atomic.make false in
         let interrupted = ref false in
+        let exhausted0 = ref false in
+        let ticket () =
+          let tk = Atomic.fetch_and_add global_count 1 in
+          if tk >= max_configs then begin
+            Atomic.decr global_count;
+            None
+          end
+          else Some tk
+        in
         let pause = Pause.create domains in
-        let worker ~pause i bucket () =
-          Metrics.incr m_domains;
-          (* per-domain enumeration: local dense ids, merged later *)
-          let pattern_of = make_pattern_of ~n in
-          let ids : (E.key, int) Hashtbl.t = Hashtbl.create 65_536 in
-          let keys = ref (Array.make 1024 "") in
-          let recs =
-            ref
-              (Array.make 1024
-                 { succs = []; complete = false; mask = 0; undecided = [] })
-          in
-          let count = ref 0 in
-          let exhausted = ref false in
-          let worklist = ref [] in
-          let wl_len = ref 0 in
-          let visit config mask =
-            let key = E.key ~extra:mask config in
-            match Hashtbl.find_opt ids key with
-            | Some id ->
-                Metrics.incr m_dedup;
-                Some id
-            | None ->
-                (* ticket clamp: the global admission count never
-                   exceeds [max_configs], even under domain races *)
-                let ticket = Atomic.fetch_and_add global_count 1 in
-                if ticket >= max_configs then begin
-                  Atomic.decr global_count;
-                  exhausted := true;
+        let pool : (int * E.config * int) Wspool.t =
+          Wspool.create ~workers:domains
+        in
+        (* admit the root's successors inline and seed the pools *)
+        let seed = ref [] in
+        let root_succ_ids =
+          List.filter_map
+            (fun (c, m) ->
+              let key = E.key ~extra:m c in
+              match Shardset.admit seen key ~ticket with
+              | Shardset.Found id ->
+                  Metrics.incr m_dedup;
+                  Some id
+              | Shardset.Rejected ->
+                  exhausted0 := true;
                   Metrics.incr m_truncations;
                   None
-                end
-                else begin
+              | Shardset.Admitted id ->
                   Metrics.incr m_admitted;
-                  let id = !count in
-                  incr count;
-                  Hashtbl.add ids key id;
-                  if id >= Array.length !recs then begin
-                    let bigger =
-                      Array.make (2 * Array.length !recs)
-                        { succs = []; complete = false; mask = 0; undecided = [] }
-                    in
-                    Array.blit !recs 0 bigger 0 (Array.length !recs);
-                    recs := bigger;
-                    let bigger_k = Array.make (2 * Array.length !keys) "" in
-                    Array.blit !keys 0 bigger_k 0 (Array.length !keys);
-                    keys := bigger_k
-                  end;
-                  !keys.(id) <- key;
-                  worklist := (id, config, mask) :: !worklist;
-                  incr wl_len;
-                  Metrics.gauge_max g_frontier_peak !wl_len;
-                  Some id
-                end
-          in
+                  seed := (id, c, m) :: !seed;
+                  Some id)
+            root_succs
+        in
+        Nodestore.set recs 0
+          {
+            succs = root_succ_ids;
+            complete = root_complete;
+            mask = root_mask;
+            undecided = root_undecided;
+          };
+        Wspool.seed pool (List.rev !seed);
+        let worker ~pause i () =
+          Metrics.incr m_domains;
+          let pattern_of = make_pattern_of ~n in
+          let local = ref [] and local_len = ref 0 in
+          let exhausted = ref false in
           let violation = ref None in
           let error = ref None in
-          let snap () =
-            ( Array.sub !keys 0 !count,
-              Array.sub !recs 0 !count,
-              !worklist,
-              !exhausted )
+          let spilled = ref 0 in
+          let snap () = (!local, !exhausted) in
+          let safepoint () = Pause.point pause i snap in
+          let stopped () = Atomic.get stop in
+          let maybe_spill () =
+            if !local_len >= spill_at && Wspool.own_pending pool i = 0
+            then begin
+              let keep = !local_len / 2 in
+              let kept, handed = split_at keep !local in
+              let count = !local_len - keep in
+              local := kept;
+              local_len := keep;
+              Wspool.push_batch pool i ~count handed;
+              Metrics.incr m_spills;
+              Metrics.gauge_max g_frontier_peak (keep + Wspool.pending pool)
+            end
           in
-          (try
-             Metrics.time t_worker (fun () ->
-                 List.iter (fun (c, m) -> ignore (visit c m)) bucket;
-                 let rec drain () =
-                   Pause.point pause i snap;
-                   if not (Atomic.get stop) then
-                     match !worklist with
-                     | [] -> ()
-                     | (id, config, mask) :: rest ->
-                         worklist := rest;
-                         decr wl_len;
-                         let is_complete, mask, undecided, succ_pairs =
-                           expand_crash_node ~n ~policy ~drop_on_crash
-                             ~base_mask ~crash_budget ~pattern_of ~check config
-                             mask
-                         in
-                         if is_complete then Metrics.incr m_terminals;
-                         let succs =
-                           List.filter_map (fun (c, m) -> visit c m) succ_pairs
-                         in
-                         !recs.(id) <-
-                           { succs; complete = is_complete; mask; undecided };
-                         drain ()
-                 in
-                 drain ())
-           with
+          let visit config mask =
+            let key = E.key ~extra:mask config in
+            match Shardset.admit seen key ~ticket with
+            | Shardset.Found id ->
+                Metrics.incr m_dedup;
+                Some id
+            | Shardset.Rejected ->
+                exhausted := true;
+                Metrics.incr m_truncations;
+                None
+            | Shardset.Admitted id ->
+                Metrics.incr m_admitted;
+                local := (id, config, mask) :: !local;
+                incr local_len;
+                Some id
+          in
+          let process (id, config, mask) =
+            let is_complete, mask, undecided, succ_pairs =
+              expand_crash_node ~n ~policy ~drop_on_crash ~base_mask
+                ~crash_budget ~pattern_of ~check config mask
+            in
+            if is_complete then begin
+              Atomic.incr terminals_n;
+              Metrics.incr m_terminals
+            end;
+            let succs = List.filter_map (fun (c, m) -> visit c m) succ_pairs in
+            Nodestore.set recs id
+              { succs; complete = is_complete; mask; undecided };
+            maybe_spill ()
+          in
+          let rec drain () =
+            safepoint ();
+            if not (stopped ()) then
+              match !local with
+              | item :: rest ->
+                  local := rest;
+                  decr local_len;
+                  (try process item
+                   with e ->
+                     (match e with
+                     | Unsafe _ -> ()
+                     | _ ->
+                         local := item :: !local;
+                         incr local_len);
+                     raise e);
+                  drain ()
+              | [] -> (
+                  match Wspool.acquire pool i ~safepoint ~stopped with
+                  | Some (count, batch) ->
+                      local := batch;
+                      local_len := count;
+                      drain ()
+                  | None -> ())
+          in
+          (try Metrics.time t_worker drain with
           | Unsafe (decisions, reason) ->
               violation := Some (decisions, reason);
               Atomic.set stop true
-          | e -> error := Some (Printexc.to_string e));
+          | e ->
+              error := Some (Printexc.to_string e);
+              (try
+                 if !local_len > 0 then begin
+                   Wspool.push_batch pool i ~count:!local_len !local;
+                   spilled := !local_len;
+                   local := [];
+                   local_len := 0
+                 end
+               with _ -> ());
+              Wspool.retire pool);
           Pause.exit pause i snap;
-          ( Array.sub !keys 0 !count,
-            Array.sub !recs 0 !count,
-            !exhausted,
-            !violation,
-            !count,
-            !error )
+          (!exhausted, !violation, !spilled, !error)
         in
-        (* merge the published worker snapshots (plus the inline-
-           expanded root) into a sequential-format graph: global
-           dense ids over the union of the per-worker key spaces,
-           expanded records preferred over pending duplicates, and
-           every node expanded nowhere re-queued on the merged
-           worklist.  Resume continues on [explore_with_crashes]. *)
-        let root_key = E.key ~extra:root_mask root in
+        (* pause-the-world cut to the sequential checkpoint format:
+           the shared table gives key→id, the store gives the expanded
+           record prefix (unexpanded ids read as [empty_rec], exactly
+           the sequential driver's convention), and the worklist is
+           the union of parked stacks and pools.  Resume continues on
+           [explore_with_crashes]. *)
         let merge slots =
-          let snaps =
-            Array.to_list slots |> List.filter_map (fun s -> s)
+          let gids : (E.key, int) Hashtbl.t =
+            Hashtbl.create (2 * Shardset.length seen + 16)
           in
-          let gids : (E.key, int) Hashtbl.t = Hashtbl.create 65_536 in
-          Hashtbl.add gids root_key 0;
-          let gcount = ref 1 in
-          let ex = ref false in
-          List.iter
-            (fun ((keys : E.key array), _, _, exh) ->
-              if exh then ex := true;
-              Array.iter
-                (fun key ->
-                  if not (Hashtbl.mem gids key) then begin
-                    Hashtbl.add gids key !gcount;
-                    incr gcount
-                  end)
-                keys)
-            snaps;
-          let count = !gcount in
-          let recs_g = Array.make count empty_rec in
-          let filled = Array.make count false in
-          filled.(0) <- true;
-          recs_g.(0) <-
-            {
-              succs =
-                List.filter_map
-                  (fun (c, m) -> Hashtbl.find_opt gids (E.key ~extra:m c))
-                  root_succs;
-              complete = root_complete;
-              mask = root_mask;
-              undecided = root_undecided;
-            };
-          List.iter
-            (fun ((keys : E.key array), (recs_l : node_rec array), wl, _) ->
-              let expanded = Array.make (Array.length keys) true in
-              List.iter (fun (lid, _, _) -> expanded.(lid) <- false) wl;
-              Array.iteri
-                (fun lid key ->
-                  if expanded.(lid) then begin
-                    let gid = Hashtbl.find gids key in
-                    if not filled.(gid) then begin
-                      filled.(gid) <- true;
-                      let r = recs_l.(lid) in
-                      recs_g.(gid) <-
-                        {
-                          r with
-                          succs =
-                            List.map
-                              (fun s -> Hashtbl.find gids keys.(s))
-                              r.succs;
-                        }
-                    end
-                  end)
-                keys)
-            snaps;
-          let queued = Array.make count false in
-          let wl_g = ref [] in
-          List.iter
-            (fun ((keys : E.key array), _, wl, _) ->
-              List.iter
-                (fun (lid, config, mask) ->
-                  let gid = Hashtbl.find gids keys.(lid) in
-                  if (not filled.(gid)) && not queued.(gid) then begin
-                    queued.(gid) <- true;
-                    wl_g := (gid, config, mask) :: !wl_g
-                  end)
-                wl)
-            snaps;
-          let terminals = ref 0 in
-          Array.iteri
-            (fun gid (r : node_rec) ->
-              if filled.(gid) && r.complete then incr terminals)
-            recs_g;
+          Shardset.iter (fun k id -> Hashtbl.replace gids k id) seen;
+          let count = Atomic.get global_count in
+          let recs_a = Array.init count (Nodestore.get recs) in
+          let wl = ref [] in
+          let ex = ref !exhausted0 in
+          Array.iter
+            (function
+              | None -> ()
+              | Some (items, exh) ->
+                  wl := List.rev_append items !wl;
+                  if exh then ex := true)
+            slots;
+          Wspool.iter_pending pool (fun it -> wl := it :: !wl);
           Marshal.to_string
-            ((gids, recs_g, count, !terminals, !ex, !wl_g) : crash_snap)
+            (( gids,
+               recs_a,
+               count,
+               Atomic.get terminals_n,
+               !ex,
+               !wl )
+              : crash_snap)
             []
         in
         let coordinator =
@@ -1142,111 +1373,53 @@ module Make (A : Algorithm.S) = struct
               Atomic.set stop true)
         in
         let handles =
-          Array.to_list
-            (Array.mapi
-               (fun i bucket -> Domain.spawn (worker ~pause:(Some pause) i bucket))
-               buckets)
+          List.init domains (fun i ->
+              Domain.spawn (worker ~pause:(Some pause) i))
         in
         let joined = List.map Domain.join handles in
         stop_coordinator coordinator;
-        (* supervision: refund the dead worker's tickets, log it in
-           the ledger, re-run its bucket in this domain *)
-        let results =
-          List.mapi
-            (fun i result ->
-              match result with
-              | _, _, _, _, admitted, Some err ->
-                  ignore (Atomic.fetch_and_add global_count (-admitted));
-                  Checkpoint.note_failure ckpt ~worker:i ~error:err
-                    ~requeued:(List.length buckets.(i));
-                  let (_, _, _, _, _, rerun_err) as rerun =
-                    worker ~pause:None i buckets.(i) ()
-                  in
-                  (match rerun_err with
-                  | Some err2 ->
-                      failwith
-                        (Printf.sprintf "explorer worker %d failed twice: %s"
-                           i err2)
-                  | None -> ());
-                  rerun
-              | ok -> ok)
-            joined
+        (* supervision: as in [explore_par] — failures are logged, the
+           dead worker's items are already back in the pool, and a
+           single rescue worker drains anything every survivor
+           missed *)
+        List.iteri
+          (fun i (_, _, spilled, err) ->
+            match err with
+            | Some error ->
+                Checkpoint.note_failure ckpt ~worker:i ~error ~requeued:spilled
+            | None -> ())
+          joined;
+        let had_errors = List.exists (fun (_, _, _, e) -> e <> None) joined in
+        let rescued =
+          if had_errors && (not (Atomic.get stop)) && Wspool.pending pool > 0
+          then begin
+            Wspool.reset_for_rescue pool;
+            let ((_, _, _, rerr) as r) = worker ~pause:None 0 () in
+            (match rerr with
+            | Some err2 ->
+                failwith
+                  (Printf.sprintf "explorer rescue worker failed twice: %s"
+                     err2)
+            | None -> ());
+            [ r ]
+          end
+          else []
         in
-        let results =
-          List.map (fun (k, r, ex, v, _, _) -> (k, r, ex, v)) results
-        in
-        let violation = List.find_map (fun (_, _, _, v) -> v) results in
+        let results = joined @ rescued in
+        Shardset.publish_metrics seen;
+        let violation = List.find_map (fun (_, v, _, _) -> v) results in
         (match violation with
         | Some (decisions, reason) -> Safety_violation { decisions; reason }
         | None ->
-            (* merge: global dense ids over the union of per-domain
-               graphs; duplicated nodes expand identically, so the
-               first copy wins *)
-            let gids : (E.key, int) Hashtbl.t = Hashtbl.create 65_536 in
-            let gcount = ref 0 in
-            let exhausted = ref !interrupted in
-            Hashtbl.add gids root_key 0;
-            incr gcount;
+            let exhausted = ref (!exhausted0 || !interrupted) in
             List.iter
-              (fun ((keys : E.key array), _, ex, _) ->
-                if ex then exhausted := true;
-                Array.iter
-                  (fun key ->
-                    if not (Hashtbl.mem gids key) then begin
-                      Hashtbl.add gids key !gcount;
-                      incr gcount
-                    end)
-                  keys)
+              (fun (ex, _, _, _) -> if ex then exhausted := true)
               results;
-            let count = !gcount in
-            let recs =
-              Array.make count
-                { succs = []; complete = false; mask = 0; undecided = [] }
-            in
-            let filled = Array.make count false in
-            let terminals = ref 0 in
-            List.iter
-              (fun ((keys : E.key array), (local : node_rec array), _, _) ->
-                Array.iteri
-                  (fun lid key ->
-                    let gid = Hashtbl.find gids key in
-                    if not filled.(gid) then begin
-                      filled.(gid) <- true;
-                      let r = local.(lid) in
-                      recs.(gid) <-
-                        {
-                          r with
-                          succs =
-                            List.map
-                              (fun s ->
-                                (* succ ids are local to the same domain *)
-                                Hashtbl.find gids keys.(s))
-                              r.succs;
-                        };
-                      if r.complete then incr terminals
-                    end)
-                  keys)
-              results;
-            (* the root, expanded inline above *)
-            let root_succ_ids =
-              List.filter_map
-                (fun (c, m) ->
-                  Hashtbl.find_opt gids (E.key ~extra:m c))
-                root_succs
-            in
-            filled.(0) <- true;
-            recs.(0) <-
-              {
-                succs = root_succ_ids;
-                complete = root_complete;
-                mask = root_mask;
-                undecided = root_undecided;
-              };
-            if root_complete then incr terminals;
+            let count = Atomic.get global_count in
             let stats =
               {
                 configs_visited = count;
-                terminal_runs = !terminals;
+                terminal_runs = Atomic.get terminals_n;
                 budget_exhausted = !exhausted;
               }
             in
@@ -1255,7 +1428,8 @@ module Make (A : Algorithm.S) = struct
                graph admits no all-paths-decide claim *)
             if !exhausted then Indeterminate stats
             else
-              match classify_graph ~count ~recs with
+              let recs_a = Array.init count (Nodestore.get recs) in
+              match classify_graph ~count ~recs:recs_a with
               | Some (mask, undecided_correct) ->
                   Stuck
                     {

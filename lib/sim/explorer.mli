@@ -146,28 +146,34 @@ module Make (A : Algorithm.S) : sig
     check:((Pid.t * Value.t * int) list -> string option) ->
     unit ->
     outcome
-  (** Multicore {!explore}: a breadth-first prefix widens the search
-      frontier, which is then fanned across [domains] OCaml domains
-      (default {!default_domains}), each searching with a private
-      seen-table; results are merged by key union.  Whenever neither
-      [max_depth] nor [max_configs] truncates the search, the visited
-      set equals the reachable set and the outcome — verdict,
-      [configs_visited], [terminal_runs] — is identical to the
-      sequential one.  [check] and [on_terminal] caveats: [check] runs
-      concurrently on several domains and must be thread-safe;
-      [on_terminal] is invoked from the calling domain after the merge
-      (and not at all when a violation is found).
+  (** Multicore {!explore}: [domains] OCaml domains (default
+      {!default_domains}) admit configurations against one shared
+      {!Ksa_prim.Shardset} table whose ticket-clamped admission is
+      atomic per key, so every reachable configuration is admitted and
+      expanded exactly once across all workers.  The frontier moves
+      through work-stealing deques — private LIFO stacks, batched
+      spills to per-worker pools, half-the-batches steals, and an
+      idle-count termination protocol.  Whenever neither [max_depth]
+      nor [max_configs] truncates the search, the visited set equals
+      the reachable set and the outcome — verdict, [configs_visited],
+      [terminal_runs] — is identical to the sequential one.  [check]
+      and [on_terminal] caveats: [check] runs concurrently on several
+      domains and must be thread-safe; [on_terminal] is invoked from
+      the calling domain after the workers join (and not at all when a
+      violation is found).
 
       With [ckpt], a coordinator domain periodically parks every
-      worker at a safepoint, merges their private state (plus the
-      BFS prefix) into a {e sequential-format} snapshot and writes
-      it: resume such a checkpoint with {!explore}, whose verdicts
-      and stats are identical by the parity invariant above.  A
-      worker that dies of a non-verdict exception is supervised: its
-      tickets are refunded, the failure is recorded in the ledger
-      ([campaign.worker.failures] / [campaign.requeues] metrics), and
-      its bucket re-runs in the calling domain, so one poisoned
-      worker degrades the campaign instead of aborting it. *)
+      worker at a safepoint and cuts the shared table, the pools and
+      the parked stacks into a {e sequential-format} snapshot: resume
+      such a checkpoint with {!explore}, whose verdicts and stats are
+      identical by the parity invariant above.  A worker that dies of
+      a non-verdict exception is supervised: its admissions stand (no
+      ticket is refunded), its frontier is spilled back to the shared
+      pool for survivors — or a post-join rescue worker — to drain,
+      and the failure is recorded in the ledger
+      ([campaign.worker.failures] / [campaign.requeues] metrics), so
+      one poisoned worker degrades the campaign instead of aborting
+      it. *)
 
   val explore_with_crashes :
     ?max_configs:int ->
@@ -222,14 +228,16 @@ module Make (A : Algorithm.S) : sig
     check:((Pid.t * Value.t * int) list -> string option) ->
     unit ->
     resilient_outcome
-  (** Multicore {!explore_with_crashes}: the root's successor subtrees
-      — in particular the distinct crash-pattern subtrees — are fanned
-      across [domains] domains, each enumerating its share of the node
-      graph with a private table; the per-domain graphs are merged
-      onto dense global ids and classified exactly like the
-      sequential one.  Outcomes (verdict and stats) are identical to
-      {!explore_with_crashes} whenever [max_configs] does not truncate
-      the enumeration.  [check] must be thread-safe.
+  (** Multicore {!explore_with_crashes}: [domains] domains enumerate
+      the node graph against one shared {!Ksa_prim.Shardset} table and
+      one write-once record store, stealing frontier batches from each
+      other as in {!explore_par}.  A node's global dense id {e is} its
+      admission ticket, so graph edges are globally meaningful the
+      moment they are made and classification runs on the shared graph
+      directly — no merge or id translation.  Outcomes (verdict and
+      stats) are identical to {!explore_with_crashes} whenever
+      [max_configs] does not truncate the enumeration.  [check] must
+      be thread-safe.
 
       [ckpt] enables pause-the-world checkpointing and worker
       supervision exactly as in {!explore_par}; the written

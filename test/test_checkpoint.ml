@@ -274,25 +274,33 @@ let test_explore_crash_par_resume () =
   (* pause-the-world cut of the parallel driver, resumed sequentially
      (par checkpoints are merged into sequential format at write
      time).  The interrupt is always-on: the coordinator's first tick
-     parks the workers wherever they are and flushes that cut. *)
+     parks the workers wherever they are and flushes that cut.  Run
+     the kill/resume leg at every supported domain count — the merge
+     reads the shared table, the node store, parked stacks and pools,
+     none of which may lose items however the workers were racing. *)
   let module Ex = Sim.Explorer.Make (K2) in
   let baseline = crash_baseline () in
-  with_tmp ".ckpt" (fun path ->
-      let ckpt =
-        Checkpoint.ctl ~sink:(sink ~path ~kind:"explore-crash")
-          ~interrupt:(fun () -> true)
-          ()
-      in
-      (match
-         Ex.explore_with_crashes_par ~domains:2 ~ckpt ~n:3
-           ~inputs:(distinct 3) ~crash_budget:1 ~check:no_check ()
-       with
-      | Sim.Explorer.Indeterminate _ -> ()
-      | _ -> Alcotest.fail "interrupted par run should be Indeterminate");
-      let t = load_restored path in
-      check_stuck "crash par resume" baseline
-        (Ex.explore_with_crashes ~resume:(Checkpoint.payload t) ~n:3
-           ~inputs:(distinct 3) ~crash_budget:1 ~check:no_check ()))
+  List.iter
+    (fun domains ->
+      with_tmp ".ckpt" (fun path ->
+          let ckpt =
+            Checkpoint.ctl ~sink:(sink ~path ~kind:"explore-crash")
+              ~interrupt:(fun () -> true)
+              ()
+          in
+          (match
+             Ex.explore_with_crashes_par ~domains ~ckpt ~n:3
+               ~inputs:(distinct 3) ~crash_budget:1 ~check:no_check ()
+           with
+          | Sim.Explorer.Indeterminate _ -> ()
+          | _ -> Alcotest.fail "interrupted par run should be Indeterminate");
+          let t = load_restored path in
+          check_stuck
+            (Printf.sprintf "crash par resume d=%d" domains)
+            baseline
+            (Ex.explore_with_crashes ~resume:(Checkpoint.payload t) ~n:3
+               ~inputs:(distinct 3) ~crash_budget:1 ~check:no_check ())))
+    [ 2; 4; 8 ]
 
 let test_explore_par_resume () =
   let module Ex = Sim.Explorer.Make (K2) in
@@ -304,34 +312,42 @@ let test_explore_par_resume () =
     | Sim.Explorer.Safe s -> s
     | Sim.Explorer.Violation _ -> Alcotest.fail "unexpected violation"
   in
-  with_tmp ".ckpt" (fun path ->
-      let ckpt =
-        Checkpoint.ctl ~sink:(sink ~path ~kind:"explore")
-          ~interrupt:(fun () -> true)
-          ()
-      in
-      (match
-         Ex.explore_par ~domains:2 ~ckpt ~n:3 ~inputs:(distinct 3)
-           ~pattern:(FP.none ~n:3) ~check:no_check ()
-       with
-      | Sim.Explorer.Safe s ->
-          Alcotest.(check bool) "interrupted par run is truncated" true
-            s.Sim.Explorer.budget_exhausted
-      | Sim.Explorer.Violation _ -> Alcotest.fail "unexpected violation");
-      let t = load_restored path in
-      match
-        Ex.explore ~resume:(Checkpoint.payload t) ~n:3 ~inputs:(distinct 3)
-          ~pattern:(FP.none ~n:3) ~check:no_check ()
-      with
-      | Sim.Explorer.Safe s -> check_stats "explore par resume" baseline s
-      | Sim.Explorer.Violation _ -> Alcotest.fail "resume lost the verdict")
+  List.iter
+    (fun domains ->
+      with_tmp ".ckpt" (fun path ->
+          let ckpt =
+            Checkpoint.ctl ~sink:(sink ~path ~kind:"explore")
+              ~interrupt:(fun () -> true)
+              ()
+          in
+          (match
+             Ex.explore_par ~domains ~ckpt ~n:3 ~inputs:(distinct 3)
+               ~pattern:(FP.none ~n:3) ~check:no_check ()
+           with
+          | Sim.Explorer.Safe s ->
+              Alcotest.(check bool) "interrupted par run is truncated" true
+                s.Sim.Explorer.budget_exhausted
+          | Sim.Explorer.Violation _ -> Alcotest.fail "unexpected violation");
+          let t = load_restored path in
+          match
+            Ex.explore ~resume:(Checkpoint.payload t) ~n:3
+              ~inputs:(distinct 3) ~pattern:(FP.none ~n:3) ~check:no_check ()
+          with
+          | Sim.Explorer.Safe s ->
+              check_stats
+                (Printf.sprintf "explore par resume d=%d" domains)
+                baseline s
+          | Sim.Explorer.Violation _ -> Alcotest.fail "resume lost the verdict"))
+    [ 2; 4; 8 ]
 
 (* ---------- worker supervision ---------- *)
 
 let test_explore_par_supervision () =
   (* a check that raises deep inside exactly one worker domain: the
-     campaign must survive it, re-run the poisoned bucket, report the
-     baseline verdict, and record the failure *)
+     dying worker spills its frontier back to the shared pool, the
+     survivors (or the post-join rescue worker) drain it, and the
+     campaign must still report the baseline verdict and record the
+     failure in the ledger *)
   let module Ex = Sim.Explorer.Make (K2) in
   let baseline = crash_baseline () in
   let calls = Atomic.make 0 in

@@ -1,14 +1,15 @@
 (* Parity between the sequential and multicore explorers, and
    soundness of the packed configuration keys.
 
-   The parallel drivers fan subtrees across domains with private
-   seen-tables merged by key union; because exploration folds
-   delivered batches in canonical (sender, payload) order, the
-   reachable key-set is a function of the initial configuration alone
-   and every search order — sequential DFS, BFS-prefix + per-domain
-   DFS with any domain count — must report exactly the same
-   [configs_visited], [terminal_runs], and verdict whenever no budget
-   truncates the search. *)
+   The parallel drivers admit every configuration against one shared
+   sharded key table (Ksa_prim.Shardset) with a ticket-clamped
+   admission counter, and move the frontier through work-stealing
+   deques; because exploration folds delivered batches in canonical
+   (sender, payload) order, the reachable key-set is a function of the
+   initial configuration alone, and every search order — sequential
+   DFS, or stealing workers at any domain count — must report exactly
+   the same [configs_visited], [terminal_runs], and verdict whenever
+   no budget truncates the search. *)
 
 module Sim = Ksa_sim
 module FP = Sim.Failure_pattern
@@ -52,7 +53,7 @@ let test_parity_explore_n3 () =
              ~inputs:(distinct 3) ~pattern:(FP.none ~n:3) ~check:no_check ())
       in
       check_stats_equal (Printf.sprintf "n3 domains=%d" domains) seq par)
-    [ 1; 2; 4 ]
+    [ 1; 2; 4; 8 ]
 
 let test_parity_explore_n4 () =
   (* Per-sender delivery on n=4 is a multi-minute search; the
@@ -156,7 +157,7 @@ let test_parity_crashes_n3 () =
       check_resilient_equal
         (Printf.sprintf "crash n3 domains=%d" domains)
         seq par)
-    [ 2; 4 ]
+    [ 2; 4; 8 ]
 
 let test_parity_crashes_budget0 () =
   let module Ex = Sim.Explorer.Make (K2) in
@@ -204,7 +205,7 @@ let test_parity_reachable_values () =
       Alcotest.(check (list int))
         (Printf.sprintf "reachable values domains=%d" domains)
         seq par)
-    [ 1; 2; 4 ]
+    [ 1; 2; 4; 8 ]
 
 (* ---------- budget truncation ---------- *)
 
@@ -239,9 +240,10 @@ let test_truncated_crashes_indeterminate () =
   | _ -> Alcotest.fail "parallel: expected Indeterminate under truncation"
 
 let test_truncated_explore_parity () =
-  (* with the budget below the parallel driver's BFS-prefix target
-     (domains * 8) both drivers exhaust it during a breadth-first
-     prefix of the same graph, so the clamp must agree exactly *)
+  (* the ticketed admission clamp is fused with the shared dedup
+     check, so tickets below the budget are dense and issued exactly
+     once no matter how workers race: both drivers must visit exactly
+     the budget, never budget + frontier-width *)
   let module Ex = Sim.Explorer.Make (K2) in
   let max_configs = 5 in
   let seq =
@@ -393,7 +395,7 @@ let suites =
   [
     ( "explore.parity",
       [
-        Alcotest.test_case "n3 per-sender, 1/2/4 domains" `Quick
+        Alcotest.test_case "n3 per-sender, 1/2/4/8 domains" `Quick
           test_parity_explore_n3;
         Alcotest.test_case "n4 empty-or-all" `Slow test_parity_explore_n4;
         Alcotest.test_case "terminal decision sets" `Quick
