@@ -43,10 +43,12 @@ end
 (* ---- instrumentation (process-global, shared by all drivers) ----
 
    Live counters tick during the search and feed progress reporting;
-   in the parallel drivers [explore.admitted] includes configurations
-   admitted by two domains before the merge deduplicates them, so the
-   authoritative per-run figures are published as gauges from the
-   final [stats] record at completion. *)
+   in the parallel drivers admission is exactly-once (dedup check and
+   ticket draw are fused under the shard lock of the shared table),
+   so [explore.admitted] counts each configuration once.  Counters
+   are process-global and accumulate across runs; the authoritative
+   per-run figures are published as gauges from the final [stats]
+   record at completion. *)
 let m_admitted = Metrics.counter "explore.admitted"
 let m_dedup = Metrics.counter "explore.dedup.hits"
 let m_terminals = Metrics.counter "explore.terminals"
@@ -653,6 +655,50 @@ module Make (A : Algorithm.S) = struct
     in
     let correct = Failure_pattern.correct pattern in
     let seen = Shardset.create ~name:"explore.dedup" () in
+    (* Keys admitted to the shared table whose expansion a dying
+       worker cut short: the ticket stands and the in-flight item goes
+       back to the pool, but its successors were never generated.
+       Whoever re-processes the item hits [Found] in the table;
+       membership here tells them to expand it anyway instead of
+       dropping it as a duplicate — without this the dead worker's
+       whole subtree would be silently lost while the run still
+       reported [Safe].  Touched only on the failure path, so a
+       mutex-guarded table is plenty. *)
+    let orphans : (E.key, unit) Hashtbl.t = Hashtbl.create 8 in
+    let orphans_lock = Mutex.create () in
+    (* [orphan_take] sits on the dedup-hit hot path, so the common
+       all-workers-healthy case must stay lock-free: [orphans_n] is a
+       conservative size mirror, and a re-processor of an orphaned
+       item always observes its increment (the handoff through the
+       pool mutex orders [orphan_add] before the re-process). *)
+    let orphans_n = Atomic.make 0 in
+    let orphan_add key =
+      Mutex.lock orphans_lock;
+      if not (Hashtbl.mem orphans key) then begin
+        Hashtbl.replace orphans key ();
+        Atomic.incr orphans_n
+      end;
+      Mutex.unlock orphans_lock
+    in
+    let orphan_take key =
+      Atomic.get orphans_n > 0
+      && begin
+           Mutex.lock orphans_lock;
+           let hit = Hashtbl.mem orphans key in
+           if hit then begin
+             Hashtbl.remove orphans key;
+             Atomic.decr orphans_n
+           end;
+           Mutex.unlock orphans_lock;
+           hit
+         end
+    in
+    let orphan_keys () =
+      Mutex.lock orphans_lock;
+      let keys = Hashtbl.fold (fun k () acc -> k :: acc) orphans [] in
+      Mutex.unlock orphans_lock;
+      keys
+    in
     let global_count = Atomic.make 0 in
     let terminals_n = Atomic.make 0 in
     let stop = Atomic.make false in
@@ -698,13 +744,13 @@ module Make (A : Algorithm.S) = struct
       in
       let process (config, depth) =
         let key = E.key config in
-        match Shardset.admit seen key ~ticket with
-        | Shardset.Found _ -> Metrics.incr m_dedup
-        | Shardset.Rejected ->
-            exhausted := true;
-            Metrics.incr m_truncations
-        | Shardset.Admitted _ ->
-            Metrics.incr m_admitted;
+        (* expansion of an already-admitted configuration; a
+           non-verdict exception escaping from here (a user [check]
+           raising, say) leaves the admission behind, so the key is
+           marked orphaned before the handler in [drain] re-pushes the
+           item — the re-processor must expand despite the dedup hit *)
+        let expand () =
+          try
             Metrics.gauge_max g_depth_peak depth;
             let decisions = E.decisions config in
             (match check decisions with
@@ -726,6 +772,21 @@ module Make (A : Algorithm.S) = struct
                   incr local_len);
               maybe_spill ()
             end
+          with
+          | Found _ as e -> raise e
+          | e ->
+              orphan_add key;
+              raise e
+        in
+        match Shardset.admit seen key ~ticket with
+        | Shardset.Found _ ->
+            if orphan_take key then expand () else Metrics.incr m_dedup
+        | Shardset.Rejected ->
+            exhausted := true;
+            Metrics.incr m_truncations
+        | Shardset.Admitted _ ->
+            Metrics.incr m_admitted;
+            expand ()
       in
       let rec drain () =
         safepoint ();
@@ -761,8 +822,9 @@ module Make (A : Algorithm.S) = struct
           error := Some (Printexc.to_string e);
           (* die visibly but not wastefully: everything this worker
              still owns goes back to the shared pool, where survivors
-             (or the post-join rescue) pick it up — nothing already
-             admitted to the shared table needs re-admission *)
+             (or the post-join rescue) pick it up; the in-flight item
+             whose admission already landed is marked in [orphans], so
+             its re-processor expands it instead of deduping it away *)
           (try
              if !local_len > 0 then begin
                Wspool.push_batch pool i ~count:!local_len !local;
@@ -784,6 +846,13 @@ module Make (A : Algorithm.S) = struct
         Hashtbl.create (2 * Shardset.length seen + 16)
       in
       Shardset.iter (fun k _ -> Hashtbl.replace seen_m k ()) seen;
+      (* a pending orphan (admitted, expansion cut short by a worker
+         failure, not yet re-expanded) must read as unvisited in the
+         sequential format: drop its key so resume re-admits and
+         expands it, and return its ticket so [configs_visited] stays
+         exact after the re-admission *)
+      let orphaned = orphan_keys () in
+      List.iter (fun k -> Hashtbl.remove seen_m k) orphaned;
       let stack = ref [] in
       let ex = ref false in
       Array.iter
@@ -796,7 +865,7 @@ module Make (A : Algorithm.S) = struct
       Wspool.iter_pending pool (fun it -> stack := it :: !stack);
       Marshal.to_string
         (( seen_m,
-           Atomic.get global_count,
+           Atomic.get global_count - List.length orphaned,
            Atomic.get terminals_n,
            !ex,
            !stack )
@@ -1172,6 +1241,18 @@ module Make (A : Algorithm.S) = struct
       ?(ckpt = Checkpoint.ctl ()) ~n ~inputs ~crash_budget ~check () =
     check_crash_explorable ~n ~initially_dead;
     Metrics.gauge_set g_max_configs max_configs;
+    if max_configs < 1 then begin
+      (* the sequential driver's clamp admits nothing on a degenerate
+         budget — not even the root is visited or expanded; mirror it
+         exactly instead of expanding the root before accounting *)
+      Metrics.incr m_truncations;
+      let stats =
+        { configs_visited = 0; terminal_runs = 0; budget_exhausted = true }
+      in
+      record_run_stats stats;
+      Indeterminate stats
+    end
+    else
     let domains =
       max 1 (match domains with Some d -> d | None -> default_domains ())
     in
@@ -1280,13 +1361,21 @@ module Make (A : Algorithm.S) = struct
               expand_crash_node ~n ~policy ~drop_on_crash ~base_mask
                 ~crash_budget ~pattern_of ~check config mask
             in
-            if is_complete then begin
+            let succs = List.filter_map (fun (c, m) -> visit c m) succ_pairs in
+            (* supervision can re-expand a node whose first expansion
+               died mid-flight (re-pushed in-flight item): count its
+               terminal only on the store's first write, so
+               [terminal_runs] is idempotent per id.  [empty_rec] is a
+               physical sentinel no expanded record ever aliases, and
+               only one domain can hold id at a time (handoff through
+               the pool orders the re-expansion after the death). *)
+            let first_write = Nodestore.get recs id == empty_rec in
+            Nodestore.set recs id
+              { succs; complete = is_complete; mask; undecided };
+            if is_complete && first_write then begin
               Atomic.incr terminals_n;
               Metrics.incr m_terminals
             end;
-            let succs = List.filter_map (fun (c, m) -> visit c m) succ_pairs in
-            Nodestore.set recs id
-              { succs; complete = is_complete; mask; undecided };
             maybe_spill ()
           in
           let rec drain () =

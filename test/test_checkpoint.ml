@@ -370,6 +370,49 @@ let test_explore_par_supervision () =
     (Metrics.value (Metrics.counter "campaign.worker.failures")
     > failures_before)
 
+let test_explore_par_plain_supervision () =
+  (* fault injection against [explore_par], where admission and
+     expansion are fused: the dying worker's in-flight configuration
+     is already in the shared dedup table when it goes back to the
+     pool, so without the orphan protocol its re-processor drops it
+     as a duplicate and the whole subtree below it is silently lost
+     while the run still reports Safe.  The first bomb fires on the
+     root — the one configuration whose subtree is reachable through
+     nothing else, so a dropped orphan deterministically collapses
+     the run to configs_visited = 1.  The second bomb fires mid-run
+     in the surviving worker, killing it too: the post-join rescue
+     worker must then drain the pool and re-expand that second
+     orphan.  Full stats parity with the sequential baseline is
+     required throughout. *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  let baseline =
+    match
+      Ex.explore ~n:3 ~inputs:(distinct 3) ~pattern:(FP.none ~n:3)
+        ~check:no_check ()
+    with
+    | Sim.Explorer.Safe s -> s
+    | Sim.Explorer.Violation _ -> Alcotest.fail "unexpected violation"
+  in
+  Alcotest.(check bool) "baseline large enough to arm both bombs" true
+    (baseline.Sim.Explorer.configs_visited > 1000);
+  let calls = Atomic.make 0 in
+  let bomb _ =
+    let c = Atomic.fetch_and_add calls 1 in
+    if c = 0 || c = 1000 then failwith "injected fault";
+    None
+  in
+  let ckpt = Checkpoint.ctl () in
+  (match
+     Ex.explore_par ~domains:2 ~ckpt ~n:3 ~inputs:(distinct 3)
+       ~pattern:(FP.none ~n:3) ~check:bomb ()
+   with
+  | Sim.Explorer.Safe s -> check_stats "supervised explore par" baseline s
+  | Sim.Explorer.Violation _ -> Alcotest.fail "unexpected violation");
+  Alcotest.(check bool) "both faults were actually injected" true
+    (Atomic.get calls > 1000);
+  Alcotest.(check bool) "ledger records the failures" true
+    (List.length (Checkpoint.ledger_of ckpt) >= 2)
+
 (* ---------- fuzz campaigns ---------- *)
 
 module FK2 = Sim.Fuzz.Make (K2)
@@ -559,6 +602,8 @@ let suites =
           test_explore_par_resume;
         Alcotest.test_case "explore: worker fault supervised" `Quick
           test_explore_par_supervision;
+        Alcotest.test_case "explore: worker fault supervised (plain par)"
+          `Quick test_explore_par_plain_supervision;
         Alcotest.test_case "fuzz: kill/resume parity (seq)" `Quick
           test_fuzz_seq_resume;
         Alcotest.test_case "fuzz: kill/resume parity (par)" `Quick

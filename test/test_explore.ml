@@ -239,6 +239,35 @@ let test_truncated_crashes_indeterminate () =
         && s.Sim.Explorer.configs_visited <= 10)
   | _ -> Alcotest.fail "parallel: expected Indeterminate under truncation"
 
+let test_degenerate_budget_parity () =
+  (* max_configs = 0 admits nothing, not even the root: both crash
+     drivers must report Indeterminate with zero stats and never call
+     [check] — the parallel driver used to expand the root before any
+     budget accounting *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  let checks = ref 0 in
+  let counting _ =
+    incr checks;
+    None
+  in
+  let expect name = function
+    | Sim.Explorer.Indeterminate s ->
+        Alcotest.(check int)
+          (name ^ ": nothing visited") 0 s.Sim.Explorer.configs_visited;
+        Alcotest.(check int)
+          (name ^ ": no terminals") 0 s.Sim.Explorer.terminal_runs;
+        Alcotest.(check bool)
+          (name ^ ": exhausted") true s.Sim.Explorer.budget_exhausted
+    | _ -> Alcotest.fail (name ^ ": expected Indeterminate on a zero budget")
+  in
+  expect "seq"
+    (Ex.explore_with_crashes ~max_configs:0 ~n:3 ~inputs:(distinct 3)
+       ~crash_budget:1 ~check:counting ());
+  expect "par"
+    (Ex.explore_with_crashes_par ~domains:2 ~max_configs:0 ~n:3
+       ~inputs:(distinct 3) ~crash_budget:1 ~check:counting ());
+  Alcotest.(check int) "check never ran" 0 !checks
+
 let test_truncated_explore_parity () =
   (* the ticketed admission clamp is fused with the shared dedup
      check, so tickets below the budget are dense and issued exactly
@@ -415,6 +444,8 @@ let suites =
       [
         Alcotest.test_case "crash explorer is indeterminate" `Quick
           test_truncated_crashes_indeterminate;
+        Alcotest.test_case "zero budget admits nothing" `Quick
+          test_degenerate_budget_parity;
         Alcotest.test_case "seq/par clamp parity" `Quick
           test_truncated_explore_parity;
         Alcotest.test_case "exact budget completes" `Quick
