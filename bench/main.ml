@@ -227,6 +227,35 @@ let bench_crash_explorer_scaling domains () =
        ~check:(fun _ -> None)
        ())
 
+(* reduction family: the same crash spaces under orbit-key admission.
+   The n=3 pair shares its space with e12:crash-explorer-n3, so the
+   JSON writer can emit reduction_ratio (unreduced admitted over
+   reduced admitted) from the two subjects' counter deltas.  The n=4
+   subject is the scale-up the reduction exists for: under the coarse
+   delivery policy the unreduced space blows past the default
+   300k-config budget (the checkpoint-smoke CI leg pins that), while
+   the orbit-keyed search closes it outright — its ratio is therefore
+   a lower bound computed against the budget. *)
+
+let bench_reduction_crash_n3 reduction () =
+  let module Ex = Sim.Explorer.Make (K2) in
+  ignore
+    (Ex.explore_with_crashes ~reduction ~n:3
+       ~inputs:(Sim.Value.distinct_inputs 3)
+       ~crash_budget:1
+       ~check:(fun _ -> None)
+       ())
+
+let bench_reduction_crash_n4 () =
+  let module Ex = Sim.Explorer.Make (K2) in
+  ignore
+    (Ex.explore_with_crashes ~reduction:Sim.Canon.Symmetry_por
+       ~policy:Sim.Explorer.Empty_or_all ~n:4
+       ~inputs:(Sim.Value.distinct_inputs 4)
+       ~crash_budget:1
+       ~check:(fun _ -> None)
+       ())
+
 let bench_ablation_explorer_n4 () =
   (* n=4 exhaustive under the coarse delivery policy (full space,
      fewer delivery choices — Per_sender at n=4 is ~27 s/run) *)
@@ -358,6 +387,9 @@ let subjects =
     ("scaling:crash-explorer-n3-d2", bench_crash_explorer_scaling 2);
     ("scaling:crash-explorer-n3-d4", bench_crash_explorer_scaling 4);
     ("scaling:crash-explorer-n3-d8", bench_crash_explorer_scaling 8);
+    ("reduction:crash-n3-none", bench_reduction_crash_n3 Sim.Canon.No_reduction);
+    ("reduction:crash-n3-sym", bench_reduction_crash_n3 Sim.Canon.Symmetry);
+    ("reduction:crash-n4-sym+por", bench_reduction_crash_n4);
     ("e13:abd-torture-n4", bench_e13_abd_torture);
     ("theorem2:end-to-end-n6", bench_theorem2_demonstrate);
     ("ablation:explorer-exhaustive-n3", bench_ablation_explorer_n3);
@@ -410,18 +442,24 @@ let counter_deltas () =
 (* Machine-readable perf trajectory: benchmark name -> ns/run plus
    the counter deltas of one run, one JSON object, written next to
    the cwd so successive PRs can diff it.  scaling:* rows also carry
-   speedup_vs_seq, the sequential e12 subject's ns/run over theirs. *)
+   speedup_vs_seq, the sequential e12 subject's ns/run over theirs,
+   and reduction:* rows carry reduction_ratio, unreduced configs
+   admitted over theirs. *)
 let write_bench_json ~path rows =
   let oc = open_out path in
   output_string oc "{\n";
   let total = List.length rows in
   List.iteri
-    (fun i (name, ns, counters, speedup) ->
+    (fun i (name, ns, counters, speedup, ratio) ->
       Printf.fprintf oc "  %S: {\n    \"ns_per_run\": %s" name
         (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns);
       (match speedup with
       | Some s when not (Float.is_nan s) ->
           Printf.fprintf oc ",\n    \"speedup_vs_seq\": %.3f" s
+      | _ -> ());
+      (match ratio with
+      | Some r when not (Float.is_nan r) ->
+          Printf.fprintf oc ",\n    \"reduction_ratio\": %.3f" r
       | _ -> ());
       (match counters with
       | [] -> ()
@@ -486,6 +524,30 @@ let run_benchmarks ~json () =
       Option.value ~default:nan
         (List.assoc_opt "ksa/e12:crash-explorer-n3" rows)
     in
+    let admitted_of name =
+      Option.bind (List.assoc_opt name deltas)
+        (List.assoc_opt "explore.admitted")
+    in
+    (* reduction_ratio = unreduced admitted / reduced admitted on the
+       same space.  The n=3 baseline comes from the family's own
+       unreduced subject; the unreduced n=4 space exceeds the default
+       300k-config budget (it is never run to completion anywhere), so
+       its ratio is the lower bound budget/admitted. *)
+    let reduction_ratio name =
+      if not (has name "reduction:") then None
+      else
+        match admitted_of name with
+        | None | Some 0 -> None
+        | Some own ->
+            let baseline =
+              if has name "crash-n3" then
+                Option.map float_of_int
+                  (admitted_of "ksa/reduction:crash-n3-none")
+              else if has name "crash-n4" then Some 300_000.
+              else None
+            in
+            Option.map (fun b -> b /. float_of_int own) baseline
+    in
     let rows =
       List.map
         (fun (name, ns) ->
@@ -495,10 +557,10 @@ let run_benchmarks ~json () =
           let speedup =
             if has name "scaling:" then Some (seq_ns /. ns) else None
           in
-          (name, ns, counters, speedup))
+          (name, ns, counters, speedup, reduction_ratio name))
         rows
     in
-    let is_trace_subject (name, _, _, _) =
+    let is_trace_subject (name, _, _, _, _) =
       has name "screen:" || has name "indist:"
     in
     let screen_rows, explore_rows = List.partition is_trace_subject rows in

@@ -383,6 +383,8 @@ let with_progress enabled f =
           let terminals = Metrics.counter "explore.terminals" in
           let hits = Metrics.counter "sim.memo.hits" in
           let misses = Metrics.counter "sim.memo.misses" in
+          let orbit = Metrics.counter "explore.orbit_hits" in
+          let sleep = Metrics.counter "explore.sleep_pruned" in
           let rec loop last_n last_t =
             if Atomic.get stop then ()
             else begin
@@ -396,13 +398,24 @@ let with_progress enabled f =
                   if h + m = 0 then 0.
                   else 100. *. float_of_int h /. float_of_int (h + m)
                 in
+                (* running reduction ratio: arrivals collapsed per
+                   admitted configuration; only meaningful (and only
+                   nonzero) under --reduction *)
+                let reduction_note =
+                  let o = Metrics.value orbit and s = Metrics.value sleep in
+                  if o + s = 0 || n = 0 then ""
+                  else
+                    Printf.sprintf ", reduction x%.2f"
+                      (float_of_int (n + o + s) /. float_of_int n)
+                in
                 Printf.eprintf
                   "progress: %d configs (%.0f/s), %d dedup hits, %d \
-                   terminals, memo %.0f%% hit\n\
+                   terminals, memo %.0f%% hit%s\n\
                    %!"
                   n
                   (float_of_int (n - last_n) /. elapsed)
-                  (Metrics.value dedup) (Metrics.value terminals) memo_pct;
+                  (Metrics.value dedup) (Metrics.value terminals) memo_pct
+                  reduction_note;
                 loop n (Clock.now_ns ())
               end
             end
@@ -416,9 +429,9 @@ let with_progress enabled f =
       f
   end
 
-let explore algo_name n k l wait_for dead crash_budget policy domains
-    max_configs drop_on_crash stats_json progress checkpoint checkpoint_every
-    resume =
+let explore algo_name n k l wait_for dead crash_budget policy reduction
+    domains max_configs drop_on_crash stats_json progress checkpoint
+    checkpoint_every resume =
   let l = Option.value l ~default:(max 1 (n - 1)) in
   match algo_conv ~l ~wait_for algo_name with
   | Error e ->
@@ -463,12 +476,13 @@ let explore algo_name n k l wait_for dead crash_budget policy domains
       let fingerprint =
         Printf.sprintf
           "algo=%s n=%d k=%d l=%d wait=%d dead=%s crash-budget=%d policy=%s \
-           max-configs=%s drop=%b"
+           max-configs=%s drop=%b reduction=%s"
           algo_name n k l wait_for
           (String.concat "," (List.map string_of_int dead))
           crash_budget policy_name
           (match max_configs with None -> "-" | Some m -> string_of_int m)
           drop_on_crash
+          (Sim.Canon.reduction_to_string reduction)
       in
       let ck_policy =
         match checkpoint_every with
@@ -533,11 +547,11 @@ let explore algo_name n k l wait_for dead crash_budget policy domains
                 let pattern = Sim.Failure_pattern.initial_dead ~n ~dead in
                 let outcome =
                   if domains > 1 then
-                    Ex.explore_par ~domains ?max_configs ~policy ~ckpt ~n
-                      ~inputs ~pattern ~check ()
+                    Ex.explore_par ~reduction ~domains ?max_configs ~policy
+                      ~ckpt ~n ~inputs ~pattern ~check ()
                   else
-                    Ex.explore ?max_configs ~policy ~ckpt ?resume ~n ~inputs
-                      ~pattern ~check ()
+                    Ex.explore ~reduction ?max_configs ~policy ~ckpt ?resume
+                      ~n ~inputs ~pattern ~check ()
                 in
                 match outcome with
                 | Sim.Explorer.Safe stats
@@ -560,11 +574,11 @@ let explore algo_name n k l wait_for dead crash_budget policy domains
               else begin
                 let outcome =
                   if domains > 1 then
-                    Ex.explore_with_crashes_par ~domains ?max_configs ~policy
-                      ~drop_on_crash ~initially_dead:dead ~ckpt ~n ~inputs
-                      ~crash_budget ~check ()
+                    Ex.explore_with_crashes_par ~reduction ~domains
+                      ?max_configs ~policy ~drop_on_crash ~initially_dead:dead
+                      ~ckpt ~n ~inputs ~crash_budget ~check ()
                   else
-                    Ex.explore_with_crashes ?max_configs ~policy
+                    Ex.explore_with_crashes ~reduction ?max_configs ~policy
                       ~drop_on_crash ~initially_dead:dead ~ckpt ?resume ~n
                       ~inputs ~crash_budget ~check ()
                 in
@@ -617,6 +631,26 @@ let policy_arg =
     & opt string "per-sender"
     & info [ "policy" ] ~docv:"POLICY"
         ~doc:"Delivery policy: per-sender, empty-or-all, or all-subsets.")
+
+let reduction_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("none", Sim.Canon.No_reduction);
+             ("sym", Sim.Canon.Symmetry);
+             ("sym+por", Sim.Canon.Symmetry_por);
+           ])
+        Sim.Canon.No_reduction
+    & info [ "reduction" ] ~docv:"MODE"
+        ~doc:
+          "State-space reduction: $(b,none) (exact interned keys), $(b,sym) \
+           (dedup on canonical orbit keys under permutations of crashed \
+           processes), or $(b,sym+por) (orbit keys plus DPOR sleep sets over \
+           delivery actions; sleep sets apply to the crash-free explorer \
+           only).  Verdicts and reachable decision values are invariant \
+           across modes; visited-configuration counts are not.")
 
 let domains_arg =
   Arg.(
@@ -705,9 +739,9 @@ let explore_cmd =
           nothing is claimed about unexplored configurations).")
     Term.(
       const explore $ algo_arg $ n_arg $ k_arg $ l_arg $ wait_arg $ dead_arg
-      $ crash_budget_arg $ policy_arg $ domains_arg $ max_configs_arg
-      $ drop_on_crash_arg $ stats_json_arg $ progress_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ resume_arg)
+      $ crash_budget_arg $ policy_arg $ reduction_arg $ domains_arg
+      $ max_configs_arg $ drop_on_crash_arg $ stats_json_arg $ progress_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
 
 (* ---------- fuzz ---------- *)
 

@@ -17,6 +17,8 @@ struct
     Inner.init ~n ~me ~input
 
   let step = Inner.step
+  let canon = Inner.canon
+  let canon_message = Inner.canon_message
   let pp_state = Inner.pp_state
   let pp_message = Inner.pp_message
 end

@@ -126,6 +126,53 @@ struct
     | Some v -> ({ st with decided = true }, hello_sends @ report_sends, Some v)
     | None -> (st, hello_sends @ report_sends, None)
 
+  (* [heard] is a deduplicated set kept in arrival order, and every
+     consumer is order-insensitive: membership ([List.mem]), the
+     stage-2 threshold ([List.length]), the [need] closure (set
+     union), and [try_decide]'s predecessor lists (a digraph edge set,
+     and [decision_source] is a function of the graph).  Sorting it —
+     and the heard lists inside received reports — is therefore
+     behaviour-preserving, and collapses the (L-1)! arrival orders
+     that lead to the same stage-2 report.
+
+     Two stronger erasures on top of the sort, both of dead state:
+
+     - once [in_stage2], nothing reads [heard] again — the threshold
+       test is gated on [not in_stage2] and [enter_stage2] snapshotted
+       the list into [reports]/the broadcast — so late Hello arrivals
+       only grow a write-only field.  Freezing it to [] collapses the
+       2^(n-1) subsets of stragglers a stage-2 process may yet hear.
+
+     - once [decided], [try_decide] short-circuits, no send can fire
+       ([started] and [in_stage2] both hold), and the decision value
+       already left through [step]'s result — the whole
+       [heard]/[reports]/[need] ledger is write-only.  Resetting it
+       makes every decided process a single sink state per (me, input),
+       however many stragglers it still absorbs.
+
+     Both satisfy the {!Algorithm.S.canon} contract: [step] emits the
+     same sends and decision from the erased state, and erasure
+     commutes with the writes [step] performs on the erased fields. *)
+  let canon st =
+    if st.decided then
+      {
+        st with
+        heard = [];
+        reports = Pid.Map.empty;
+        need = Pid.Set.singleton st.me;
+      }
+    else
+      {
+        st with
+        heard = (if st.in_stage2 then [] else List.sort compare st.heard);
+        reports =
+          Pid.Map.map (fun (v, h) -> (v, List.sort compare h)) st.reports;
+      }
+
+  let canon_message = function
+    | Hello -> Hello
+    | Report (v, heard) -> Report (v, List.sort compare heard)
+
   let pp_message ppf = function
     | Hello -> Format.pp_print_string ppf "hello"
     | Report (v, heard) ->

@@ -53,6 +53,9 @@ struct
       ({ st with decided = true }, sends, Some min_v)
     else (st, sends, None)
 
+  (* [seen] is a balanced map — already a canonical representation *)
+  let canon st = st
+  let canon_message (msg : message) = msg
   let pp_message ppf (Val v) = Format.fprintf ppf "val(%a)" Value.pp v
 
   let pp_state ppf st =

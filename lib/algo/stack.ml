@@ -96,6 +96,14 @@ module Make (F : FD_IMPL) (A : Ksa_sim.Algorithm.S) = struct
     in
     ({ f; a }, sends, dec)
 
+  (* the FD layer has no canon hook of its own; normalize the
+     application half only *)
+  let canon st = { st with a = A.canon st.a }
+
+  let canon_message = function
+    | Fd m -> Fd m
+    | App m -> App (A.canon_message m)
+
   let pp_state ppf st = A.pp_state ppf st.a
 
   let pp_message ppf = function

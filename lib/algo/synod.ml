@@ -57,6 +57,10 @@ module A = struct
   let others st = List.filter (fun q -> not (Pid.equal q st.me)) (List.init st.n Fun.id)
   let broadcast st msg = List.map (fun q -> (q, msg)) (others st)
 
+  (* promises/accepts are balanced maps/sets — already canonical *)
+  let canon (st : state) = st
+  let canon_message (m : message) = m
+
   let next_own_ballot st =
     let base = max st.ballot (max st.promised st.highest_seen) in
     (((max base 0 / st.n) + 1) * st.n) + st.me

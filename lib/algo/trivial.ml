@@ -15,6 +15,9 @@ module A = struct
     if st.decided then (st, [], None)
     else ({ st with decided = true }, [], Some st.input)
 
+  (* the record has no order-sensitive representation to normalize *)
+  let canon st = st
+  let canon_message (msg : message) = msg
   let pp_message _ppf (msg : message) = match msg with _ -> .
 
   let pp_state ppf st =

@@ -22,6 +22,25 @@ type verdict = {
   steps : int;  (** Steps of the exhibited (or attempted) run. *)
 }
 
+(** {1 Transition-level independence}
+
+    Definition 6 is about sets of {e processes}; the explorer's
+    partial-order reduction needs the finer, standard notion over
+    individual {e transitions}: two delivery actions are independent
+    iff they commute — executing them in either order reaches the same
+    configuration.  In this message-passing model that holds exactly
+    when the stepping processes differ (a step mutates only the
+    stepper's row and appends fresh sends; delivery batches of
+    distinct steppers are disjoint).  The action alphabet lives in
+    {!Ksa_sim.Canon.Action}; it is re-exported here so the DPOR layer
+    has its commutation oracle next to the run-level notion. *)
+
+module Action = Ksa_sim.Canon.Action
+
+val actions_commute : Action.t -> Action.t -> bool
+(** [actions_commute a b] iff the order of executing [a] and [b] is
+    observationally irrelevant ([Action.independent]). *)
+
 val check_set :
   ?fd:Ksa_sim.Fd_view.oracle ->
   ?pattern:Ksa_sim.Failure_pattern.t ->

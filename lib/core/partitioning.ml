@@ -68,6 +68,8 @@ struct
     let st', sends, dec = A.step st ~received ~fd in
     (st', List.filter (fun (dst, _) -> List.mem dst D.members) sends, dec)
 
+  let canon = A.canon
+  let canon_message = A.canon_message
   let pp_state = A.pp_state
   let pp_message = A.pp_message
 end

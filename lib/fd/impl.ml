@@ -21,6 +21,8 @@ module Heartbeat = struct
     in
     (st, sends, None)
 
+  let canon (st : state) = st
+  let canon_message (m : message) = m
   let pp_message ppf (Beat i) = Format.fprintf ppf "beat(%d)" i
   let pp_state ppf st = Format.fprintf ppf "{%a beats=%d}" Pid.pp st.me st.beats
 end

@@ -5,7 +5,13 @@
     copy, so a configuration reached from two sides of the schedule
     space is expanded exactly once.  Keys are the explorer's packed
     configuration keys — non-empty strings compared bytewise — and the
-    payload is the node's dense id.
+    payload is the node's dense id.  Under a symmetry reduction the
+    admitted keys are {e orbit} keys ({!Ksa_sim.Canon}): one key per
+    equivalence class of configurations rather than per configuration,
+    possibly extended with a sleep-set digest.  Nothing here changes —
+    the table is agnostic to what a key denotes, and tickets stay
+    dense either way — but consumers must not assume one key maps to
+    one concrete configuration.
 
     Layout: a power-of-two number of shards selected by the low bits
     of the key hash; each shard is an open-addressed (linear-probe)

@@ -44,6 +44,23 @@ module type S = sig
       treats a second, different decision as an algorithm bug and
       raises. *)
 
+  val canon : state -> state
+  (** Behaviour-preserving normal form of a local state, the
+      algorithm-level lever of the [--reduction sym] orbit keys: two
+      states that [canon] maps to the same representative must be
+      bisimilar — [step] from either (with [canon]-equal received
+      lists) must produce [canon]-equal states, [canon_message]-equal
+      sends in the same order, and equal decisions.  [canon] must be
+      idempotent.  Typical use: sort an order-insensitive list (a
+      deduplicated heard-set kept in arrival order).  Algorithms whose
+      states are already canonical return them unchanged. *)
+
+  val canon_message : message -> message
+  (** Same contract for payloads: a delivered [canon_message m] must
+      drive [step] exactly like [m] would (after [canon] of the
+      results).  The engine interns and stores the canonical payload,
+      so representation-equal messages share one interned id. *)
+
   val pp_state : Format.formatter -> state -> unit
   val pp_message : Format.formatter -> message -> unit
 end

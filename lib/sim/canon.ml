@@ -1,0 +1,266 @@
+(* Reduction layer: symmetry orbit keys and DPOR delivery actions.
+
+   This module is pure integer/array arithmetic — it knows nothing
+   about any particular algorithm.  The engine feeds it the interned
+   per-pid rows of a configuration (state id, decided value, crashed
+   bit) plus the packed pending triples, and gets back the
+   orbit-representative core that the reduced {!Engine.key} serializes,
+   together with the witnessing permutation.  The explorer uses
+   {!Action} to name delivery transitions by content so sleep sets
+   survive message-id renumbering, work-stealing handoff and
+   checkpoint resume. *)
+
+type reduction = No_reduction | Symmetry | Symmetry_por
+
+let reduction_to_string = function
+  | No_reduction -> "none"
+  | Symmetry -> "sym"
+  | Symmetry_por -> "sym+por"
+
+let reduction_of_string = function
+  | "none" -> Ok No_reduction
+  | "sym" -> Ok Symmetry
+  | "sym+por" -> Ok Symmetry_por
+  | s ->
+      Error
+        (Printf.sprintf "unknown reduction %S (expected none, sym, or sym+por)"
+           s)
+
+let all_reductions = [ No_reduction; Symmetry; Symmetry_por ]
+
+(* ---- packed pending triples ----
+
+   A pending message packs into a single int: src in bits 51..61, dst
+   in bits 40..50, payload id in bits 0..39.  The widths are far
+   beyond any explorable system (n < 2048; 2^40 distinct payloads
+   would not fit in memory), and packed triples sort and compare as
+   plain ints.  The packing lives here because both the engine's key
+   builder and the reduction layer take triples apart. *)
+
+let pack_triple src dst pl = (src lsl 51) lor (dst lsl 40) lor pl
+let payload_mask = (1 lsl 40) - 1
+let triple_src t = t lsr 51
+let triple_dst t = (t lsr 40) land 0x7ff
+let triple_payload t = t land payload_mask
+
+(* (src, payload) with the destination dropped: the content signature
+   of one delivered message, used by delivery actions whose receiver
+   is already named by the stepping pid *)
+let triple_content t = ((t lsr 51) lsl 40) lor (t land payload_mask)
+
+(* ---- little-endian int serialization, shared with Engine.key ---- *)
+
+let put b pos i =
+  Bytes.set_int64_le b !pos (Int64.of_int i);
+  pos := !pos + 8
+
+(* ---- delivery actions for the DPOR sleep sets ----
+
+   A transition of the crash-free explorer is "pid steps, delivering
+   this batch".  Two such transitions by {e distinct} pids commute
+   exactly: a step mutates only the stepper's own row and appends to
+   other inboxes, and the two delivery batches are disjoint (each is
+   addressed to its own stepper), so executing them in either order
+   yields configurations equal under {!Engine.key} (message ids
+   differ, but keys never see ids).  Independence is therefore just
+   pid-distinctness — no per-payload analysis needed. *)
+module Action = struct
+  type t = {
+    pid : int;  (** the stepping process *)
+    deliveries : int list;
+        (** sorted [triple_content] signatures of the delivered batch *)
+  }
+
+  let make ~pid ~deliveries = { pid; deliveries = List.sort compare deliveries }
+  let equal a b = a.pid = b.pid && a.deliveries = b.deliveries
+  let compare = Stdlib.compare
+  let independent a b = a.pid <> b.pid
+
+  (* Exact serialization of a sleep set, appended to the dedup key
+     when sleep sets are active ("sleep-in-key").  Sleep sets combined
+     with state caching are only sound if a state re-reached with a
+     sleep set that is not a superset of the stored one is re-explored;
+     folding the (canonically sorted) sleep set into the key is the
+     conservative way to get that, at the price of admitting one
+     configuration once per distinct sleep set. *)
+  let digest actions =
+    let actions = List.sort_uniq Stdlib.compare actions in
+    let size =
+      List.fold_left (fun acc a -> acc + 2 + List.length a.deliveries) 1 actions
+    in
+    let b = Bytes.create (8 * size) in
+    let pos = ref 0 in
+    put b pos (List.length actions);
+    List.iter
+      (fun a ->
+        put b pos a.pid;
+        put b pos (List.length a.deliveries);
+        List.iter (put b pos) a.deliveries)
+      actions;
+    Bytes.unsafe_to_string b
+end
+
+(* ---- process-permutation symmetry ----
+
+   The interned rows of a configuration under a crashed-set mask.
+   [decided] keeps every output ever written, including by crashed
+   processes: the k-agreement oracle counts them. *)
+type rows = {
+  n : int;
+  crashed : int;  (** bitmask of crashed pids *)
+  state_ids : int array;  (** interned local-state id per pid *)
+  decided : int option array;  (** decided value per pid *)
+  triples : int array;  (** packed (src, dst, payload) triples, any order *)
+}
+
+(* Which pids can be relabelled without changing any future behaviour?
+
+   Live pids cannot: local states embed [me], so relabelling a live
+   pid changes the messages it will send and the decisions it will
+   take.  A crashed pid's local state is inert (it never steps again),
+   and a pending message {e to} a crashed pid can never be delivered
+   — but a pending message {e from} a crashed pid to a live one is
+   still observable (it can be delivered, or dropped under last-step
+   omission), so its sender's identity is load-bearing.  The movable
+   set is therefore: crashed pids with no retained (live-destination)
+   pending triple naming them as source.  Only their decided outputs
+   remain observable, and the oracle is pid-invariant over those. *)
+let movable rows =
+  let src_mask = ref 0 in
+  Array.iter
+    (fun t ->
+      if rows.crashed land (1 lsl triple_dst t) = 0 then
+        src_mask := !src_mask lor (1 lsl triple_src t))
+    rows.triples;
+  List.filter
+    (fun p ->
+      rows.crashed land (1 lsl p) <> 0 && !src_mask land (1 lsl p) = 0)
+    (List.init rows.n Fun.id)
+
+type canonical = {
+  retained : int array;
+      (** sorted pending triples with a live destination; triples to
+          crashed processes are inert and elided *)
+  row_ids : int array;
+      (** per-pid state id, with crashed pids' inert states elided to
+          [-1] *)
+  fixed_decided : (int * int) list;
+      (** (pid, value) outputs of non-movable pids, pid-ascending *)
+  movable_decided : int list;
+      (** sorted value multiset of the movable pids' outputs — the
+          orbit representative forgets {e which} movable pid wrote
+          {e which} value *)
+  movable_pids : int list;  (** the movable pids, ascending *)
+  perm : int array;
+      (** witnessing permutation: [perm.(p)] is the pid slot [p]
+          occupies in the orbit representative.  Identity outside the
+          movable set. *)
+}
+
+(* relabel every pid [p] as [perm.(p)] — used to state and test the
+   orbit properties, and to apply the witness *)
+let permute_rows perm rows =
+  let inv = Array.make rows.n 0 in
+  Array.iteri (fun p q -> inv.(q) <- p) perm;
+  {
+    rows with
+    crashed =
+      List.fold_left
+        (fun m p ->
+          if rows.crashed land (1 lsl p) <> 0 then m lor (1 lsl perm.(p))
+          else m)
+        0
+        (List.init rows.n Fun.id);
+    state_ids = Array.init rows.n (fun q -> rows.state_ids.(inv.(q)));
+    decided = Array.init rows.n (fun q -> rows.decided.(inv.(q)));
+    triples =
+      Array.map
+        (fun t ->
+          pack_triple perm.(triple_src t) perm.(triple_dst t)
+            (triple_payload t))
+        rows.triples;
+  }
+
+let canonicalize rows =
+  let retained =
+    Array.of_list
+      (List.filter
+         (fun t -> rows.crashed land (1 lsl triple_dst t) = 0)
+         (Array.to_list rows.triples))
+  in
+  Array.sort (fun (a : int) b -> compare a b) retained;
+  let movable_pids = movable rows in
+  let is_movable =
+    let m = List.fold_left (fun acc p -> acc lor (1 lsl p)) 0 movable_pids in
+    fun p -> m land (1 lsl p) <> 0
+  in
+  let row_ids =
+    Array.init rows.n (fun p ->
+        if rows.crashed land (1 lsl p) <> 0 then -1 else rows.state_ids.(p))
+  in
+  let fixed_decided =
+    List.filter_map
+      (fun p ->
+        match rows.decided.(p) with
+        | Some v when not (is_movable p) -> Some (p, v)
+        | Some _ | None -> None)
+      (List.init rows.n Fun.id)
+  in
+  let movable_decided =
+    List.sort compare
+      (List.filter_map (fun p -> rows.decided.(p)) movable_pids)
+  in
+  (* witness: reorder the movable pids so their contents (decided
+     value first, undecided last) land in sorted order over the
+     movable slots taken in pid order.  [List.sort] is stable, so
+     ties (all-undecided movables) leave the identity. *)
+  let perm = Array.init rows.n Fun.id in
+  let ranked =
+    List.sort compare
+      (List.map
+         (fun p ->
+           (( (match rows.decided.(p) with Some v -> (0, v) | None -> (1, 0)),
+              p ),
+            p))
+         movable_pids)
+  in
+  List.iter2
+    (fun slot (_, p) -> perm.(p) <- slot)
+    movable_pids ranked;
+  { retained; row_ids; fixed_decided; movable_decided; movable_pids; perm }
+
+let canonical_equal a b =
+  a.retained = b.retained && a.row_ids = b.row_ids
+  && a.fixed_decided = b.fixed_decided
+  && a.movable_decided = b.movable_decided
+  && a.movable_pids = b.movable_pids
+
+(* serialize the canonical core (the reduced key body, minus whatever
+   the caller prepends).  Exact little-endian int sequence, same
+   discipline as the unreduced key: equality iff the canonical cores
+   are structurally equal. *)
+let serialize ~crashed c =
+  let n = Array.length c.row_ids in
+  let nf = List.length c.fixed_decided in
+  let nm = List.length c.movable_decided in
+  let nt = Array.length c.retained in
+  (* tag; crashed; row ids; |fixed|; (pid, value) pairs; |movable
+     values|; values; |retained|; retained triples.  The -1 tag keeps
+     reduced keys disjoint from unreduced ones, whose first int is a
+     non-negative crashed mask. *)
+  let b = Bytes.create (8 * (5 + n + (2 * nf) + nm + nt)) in
+  let pos = ref 0 in
+  put b pos (-1);
+  put b pos crashed;
+  Array.iter (put b pos) c.row_ids;
+  put b pos nf;
+  List.iter
+    (fun (p, v) ->
+      put b pos p;
+      put b pos v)
+    c.fixed_decided;
+  put b pos nm;
+  List.iter (put b pos) c.movable_decided;
+  put b pos nt;
+  Array.iter (put b pos) c.retained;
+  Bytes.unsafe_to_string b

@@ -1,0 +1,119 @@
+(** Reduction layer: symmetry orbit keys and DPOR delivery actions.
+
+    Pure integer/array arithmetic over the interned rows of a
+    configuration — no dependency on any algorithm.  {!Engine.key}
+    calls {!canonicalize} + {!serialize} when a symmetry reduction is
+    requested; the explorer's sleep sets are lists of {!Action.t}. *)
+
+(** How aggressively the explorers collapse the state space.
+
+    - [No_reduction]: exact keys — every distinct interned
+      configuration is admitted separately (the pre-reduction
+      behaviour, byte-identical keys included).
+    - [Symmetry]: orbit keys — configurations equal up to relabelling
+      of {e movable} processes (crashed, no observable pending
+      message) share one key, crashed processes' inert local states
+      and undeliverable inbound messages are elided, and the
+      algorithm's [canon]/[canon_message] hooks normalize local state
+      and payload representations as they are produced.
+    - [Symmetry_por]: [Symmetry] plus DPOR sleep sets over delivery
+      actions in the crash-free explorer (sleep sets are inert in the
+      crash drivers, where pruning transitions would break the Stuck
+      classification — see DESIGN.md). *)
+type reduction = No_reduction | Symmetry | Symmetry_por
+
+val reduction_to_string : reduction -> string
+val reduction_of_string : string -> (reduction, string) result
+val all_reductions : reduction list
+
+(** {1 Packed pending triples}
+
+    A pending message packs into one int: src in bits 51..61, dst in
+    bits 40..50, payload id in bits 0..39. *)
+
+val pack_triple : int -> int -> int -> int
+val payload_mask : int
+val triple_src : int -> int
+val triple_dst : int -> int
+val triple_payload : int -> int
+
+val triple_content : int -> int
+(** [(src, payload)] with the destination dropped: the content
+    signature of one delivered message, stable across message-id
+    renumbering. *)
+
+(** Delivery actions, the alphabet of the DPOR sleep sets.  Two
+    actions commute iff their stepping pids differ: a step mutates
+    only the stepper's own row and appends fresh messages, and
+    delivery batches of distinct steppers are disjoint. *)
+module Action : sig
+  type t = {
+    pid : int;  (** the stepping process *)
+    deliveries : int list;
+        (** sorted {!triple_content} signatures of the delivered batch *)
+  }
+
+  val make : pid:int -> deliveries:int list -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+
+  val independent : t -> t -> bool
+  (** [independent a b] iff executing [a] then [b] reaches the same
+      configuration (under {!Engine.key}) as [b] then [a]. *)
+
+  val digest : t list -> string
+  (** Exact (collision-free) serialization of a sleep set, appended to
+      dedup keys so a configuration re-reached under a different sleep
+      set is re-explored ("sleep-in-key"). *)
+end
+
+(** {1 Process-permutation symmetry} *)
+
+(** The interned rows of a configuration under a crashed-set mask. *)
+type rows = {
+  n : int;
+  crashed : int;  (** bitmask of crashed pids *)
+  state_ids : int array;  (** interned local-state id per pid *)
+  decided : int option array;  (** decided value per pid *)
+  triples : int array;  (** packed (src, dst, payload) triples, any order *)
+}
+
+val movable : rows -> int list
+(** Crashed pids with no pending live-destination message naming them
+    as source: nothing about their identity is observable any more
+    except their decided output, so they may be relabelled freely
+    among themselves. *)
+
+(** The orbit-representative core of a configuration. *)
+type canonical = {
+  retained : int array;
+      (** sorted pending triples with a live destination *)
+  row_ids : int array;  (** state id per pid, [-1] for crashed pids *)
+  fixed_decided : (int * int) list;
+      (** (pid, value) outputs of non-movable pids, pid-ascending *)
+  movable_decided : int list;
+      (** sorted value multiset of the movable pids' outputs *)
+  movable_pids : int list;  (** the movable pids, ascending *)
+  perm : int array;
+      (** witnessing permutation: [perm.(p)] is the slot pid [p]
+          occupies in the representative; identity outside the movable
+          set *)
+}
+
+val permute_rows : int array -> rows -> rows
+(** [permute_rows perm rows] relabels every pid [p] as [perm.(p)] in
+    the crashed mask, state rows, decided rows and triples. *)
+
+val canonicalize : rows -> canonical
+(** Orbit representative + witness.  Sound by construction: only
+    movable pids are reordered, and only their (pid ↛ value) binding
+    is forgotten — the k-agreement oracle is invariant under it. *)
+
+val canonical_equal : canonical -> canonical -> bool
+(** Equality of the representative cores (the witness [perm] is not
+    compared — orbit-equal inputs produce different witnesses). *)
+
+val serialize : crashed:int -> canonical -> string
+(** Exact byte serialization of the core; equal iff
+    {!canonical_equal}.  The leading tag keeps reduced keys disjoint
+    from unreduced ones. *)

@@ -37,6 +37,12 @@ module Make (A : Algorithm.S) = struct
            re-interned *)
     explore : bool;
         (* exploration mode: no event log, canonical delivery fold *)
+    reduce : bool;
+        (* reduction mode: [A.canon] is applied to every produced
+           state and [A.canon_message] to every sent payload before
+           interning, so representation-equal states/messages share
+           one id.  Set by [init_explore ~reduction] — never in
+           recorded runs, whose traces must reflect the raw states. *)
     events : Event.t list; (* reversed; empty in exploration mode *)
   }
 
@@ -57,13 +63,11 @@ module Make (A : Algorithm.S) = struct
   let intern_state (s : A.state) = Intern.id Intern.states s
   let intern_payload (m : A.message) = Intern.id Intern.payloads m
 
-  (* A pending message packs into a single int: src in bits 51..61,
-     dst in bits 40..50, payload id in bits 0..39.  The widths are far
-     beyond any explorable system (n < 2048; 2^40 distinct payloads
-     would not fit in memory), and packed triples sort and compare as
-     plain ints. *)
-  let pack_triple src dst pl = (src lsl 51) lor (dst lsl 40) lor pl
-  let payload_mask = (1 lsl 40) - 1
+  (* The packed (src, dst, payload id) triple representation lives in
+     {!Canon}, shared with the reduction layer that takes the triples
+     apart again. *)
+  let pack_triple = Canon.pack_triple
+  let payload_mask = Canon.payload_mask
 
   (* Transition memo.  For a failure-detector-free algorithm a step is
      a pure function of (local state, received sequence) — and both
@@ -80,13 +84,17 @@ module Make (A : Algorithm.S) = struct
     m_dec : Value.t option;
   }
 
-  let memo_dls : (int * (int * int) list, memo_entry) Hashtbl.t Domain.DLS.key
-      =
+  (* The leading bool is the reduction flag: reduced and unreduced
+     explorations intern different (canonicalized vs raw) states under
+     the same ids, so their memo entries must not be conflated. *)
+  let memo_dls
+      : (bool * int * (int * int) list, memo_entry) Hashtbl.t Domain.DLS.key =
     Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
 
-  let make_init ~explore ~n ~inputs =
+  let make_init ~explore ~reduce ~n ~inputs =
     if Array.length inputs <> n then invalid_arg "Engine.init: inputs length";
     let states = Array.init n (fun p -> A.init ~n ~me:p ~input:inputs.(p)) in
+    let states = if reduce then Array.map A.canon states else states in
     let init_ids = Array.map intern_state states in
     {
       n;
@@ -101,12 +109,16 @@ module Make (A : Algorithm.S) = struct
       init_ids;
       state_ids = init_ids;
       explore;
+      reduce;
       events = [];
     }
 
-  let init ~n ~inputs = make_init ~explore:false ~n ~inputs
+  let init ~n ~inputs = make_init ~explore:false ~reduce:false ~n ~inputs
 
-  let init_explore ~n ~inputs = make_init ~explore:true ~n ~inputs
+  let init_explore ?(reduction = Canon.No_reduction) ~n ~inputs () =
+    make_init ~explore:true
+      ~reduce:(reduction <> Canon.No_reduction)
+      ~n ~inputs
   (* Exploration mode: skip the event log — configurations stay small
      and forkable by the million. *)
 
@@ -208,7 +220,8 @@ module Make (A : Algorithm.S) = struct
     let state', sends3, dec, state_id' =
       if not A.uses_fd then (
         let mkey =
-          ( c.state_ids.(pid),
+          ( c.reduce,
+            c.state_ids.(pid),
             List.map
               (fun ((e : A.message Envelope.t), t) ->
                 (e.src, t land payload_mask))
@@ -227,9 +240,19 @@ module Make (A : Algorithm.S) = struct
                 env_pairs
             in
             let state', sends, dec = A.step state ~received ~fd:None in
+            (* Reduction: normalize the produced state and payloads
+               {e before} interning, and keep the canonical payload as
+               the envelope content — the receiver must later step on
+               exactly the message its interned id names, or two
+               configurations with equal keys could diverge. *)
+            let state' = if c.reduce then A.canon state' else state' in
             let sends3 =
               List.map
-                (fun (dst, payload) -> (dst, payload, intern_payload payload))
+                (fun (dst, payload) ->
+                  let payload =
+                    if c.reduce then A.canon_message payload else payload
+                  in
+                  (dst, payload, intern_payload payload))
                 sends
             in
             let sid = intern_state state' in
@@ -244,8 +267,13 @@ module Make (A : Algorithm.S) = struct
             env_pairs
         in
         let state', sends, dec = A.step state ~received ~fd:fd_view in
+        let state' = if c.reduce then A.canon state' else state' in
         ( state',
-          List.map (fun (dst, p) -> (dst, p, -1)) sends,
+          List.map
+            (fun (dst, p) ->
+              ((dst, (if c.reduce then A.canon_message p else p), -1)
+                : Pid.t * A.message * int))
+            sends,
           dec,
           intern_state state' )
     in
@@ -430,12 +458,18 @@ module Make (A : Algorithm.S) = struct
   let run ?max_steps ?fd ~n ~inputs ~pattern adv =
     fst (run_full ?max_steps ?fd ~n ~inputs ~pattern adv)
 
-  (* ---- canonical configuration keys ---- *)
+  (* ---- canonical configuration keys ----
+
+     One reduction-parameterized builder.  [No_reduction] emits the
+     exact byte layout the pre-reduction key produced (with the
+     crashed mask in the old leading [extra] slot), so unreduced
+     campaigns — and their checkpoints — are bit-compatible across the
+     refactor.  The symmetry modes hand the interned rows to
+     {!Canon.canonicalize} and serialize the orbit representative. *)
 
   type key = string
 
-  let key ?(extra = 0) c =
-    let n = c.n in
+  let triples_of c =
     let m = Int_map.cardinal c.pending in
     let triples = Array.make m 0 in
     let i = ref 0 in
@@ -444,38 +478,71 @@ module Make (A : Algorithm.S) = struct
         triples.(!i) <- t;
         incr i)
       c.pending;
-    let sids = c.state_ids in
-    Array.sort (fun (a : int) b -> compare a b) triples;
-    let d = ref 0 in
-    for p = 0 to n - 1 do
-      if c.decided.(p) <> None then incr d
-    done;
-    (* exact little-endian int sequence: extra; per-pid state ids;
-       |decided|; (pid, value) pairs; |pending|; sorted triples —
-       key equality iff semantic cores are structurally equal *)
-    let b = Bytes.create (8 * (3 + n + (2 * !d) + m)) in
-    let pos = ref 0 in
-    let add i =
-      Bytes.set_int64_le b !pos (Int64.of_int i);
-      pos := !pos + 8
-    in
-    add extra;
-    for p = 0 to n - 1 do
-      add sids.(p)
-    done;
-    add !d;
-    for p = 0 to n - 1 do
-      match c.decided.(p) with
-      | Some (v, _) ->
-          add p;
-          add v
-      | None -> ()
-    done;
-    add m;
-    Array.iter add triples;
-    Bytes.unsafe_to_string b
+    triples
+
+  let key ?(crashed = 0) ?(reduction = Canon.No_reduction) c =
+    match reduction with
+    | Canon.Symmetry | Canon.Symmetry_por ->
+        Canon.serialize ~crashed
+          (Canon.canonicalize
+             {
+               Canon.n = c.n;
+               crashed;
+               state_ids = c.state_ids;
+               decided = Array.map (Option.map fst) c.decided;
+               triples = triples_of c;
+             })
+    | Canon.No_reduction ->
+        let n = c.n in
+        let triples = triples_of c in
+        let m = Array.length triples in
+        let sids = c.state_ids in
+        Array.sort (fun (a : int) b -> compare a b) triples;
+        let d = ref 0 in
+        for p = 0 to n - 1 do
+          if c.decided.(p) <> None then incr d
+        done;
+        (* exact little-endian int sequence: crashed mask; per-pid
+           state ids; |decided|; (pid, value) pairs; |pending|; sorted
+           triples — key equality iff semantic cores are structurally
+           equal *)
+        let b = Bytes.create (8 * (3 + n + (2 * !d) + m)) in
+        let pos = ref 0 in
+        let add i =
+          Bytes.set_int64_le b !pos (Int64.of_int i);
+          pos := !pos + 8
+        in
+        add crashed;
+        for p = 0 to n - 1 do
+          add sids.(p)
+        done;
+        add !d;
+        for p = 0 to n - 1 do
+          match c.decided.(p) with
+          | Some (v, _) ->
+              add p;
+              add v
+          | None -> ()
+        done;
+        add m;
+        Array.iter add triples;
+        Bytes.unsafe_to_string b
 
   let key_equal = String.equal
   let key_hash = Hashtbl.hash
-  let fingerprint c = key c
+
+  (* content signature of a delivery batch for the DPOR sleep sets:
+     sorted (src, payload id) pairs, independent of message-id
+     numbering *)
+  let delivery_signature c ids =
+    List.sort compare
+      (List.map
+         (fun id ->
+           match Int_map.find_opt id c.pending with
+           | Some (_, t) -> Canon.triple_content t
+           | None ->
+               raise
+                 (Invalid_action
+                    (Printf.sprintf "message #%d not pending" id)))
+         ids)
 end

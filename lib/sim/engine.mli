@@ -32,7 +32,9 @@ module Make (A : Algorithm.S) : sig
       all buffers empty.  @raise Invalid_argument if the input vector
       length differs from [n]. *)
 
-  val init_explore : n:int -> inputs:Value.t array -> config
+  val init_explore :
+    ?reduction:Canon.reduction -> n:int -> inputs:Value.t array -> unit ->
+    config
   (** Like {!init} but in exploration mode: the configuration does not
       accumulate an event log ({!finish} then produces a run whose
       {!Trace.t} has empty step rows), so forked configurations stay
@@ -49,7 +51,14 @@ module Make (A : Algorithm.S) : sig
       configuration key alone, which is what makes {!Explorer}'s
       deduplication sound and its sequential and parallel drivers
       agree exactly.  This is what the {!Explorer} forks by the
-      million. *)
+      million.
+
+      When [reduction] is a symmetry mode, the configuration
+      additionally applies [A.canon] to every produced local state and
+      [A.canon_message] to every sent payload before interning (and
+      stores the canonical payload), so representation-equal states
+      and messages share one interned id; pass the same [reduction] to
+      {!key}. *)
 
   val time : config -> int
   val n : config -> int
@@ -109,21 +118,34 @@ module Make (A : Algorithm.S) : sig
       structurally equal: no hash collision can conflate two distinct
       configurations, unlike a truncated digest. *)
 
-  val key : ?extra:int -> config -> key
-  (** Canonical key of the semantic core of a configuration: local
-      states, decided outputs and the multiset of undelivered
-      (src, dst, payload) triples — deliberately excluding time and
-      message ids, so that schedule-permuted but behaviourally
-      identical configurations collide.  [extra] is folded into the
-      key (the crash explorer passes its crashed-set bitmask).  Sound
-      for state-space deduplication only when future behaviour is
-      time-independent: no failure detector and no crash times later
-      than 0.  The {!Explorer} checks these conditions. *)
+  val key : ?crashed:int -> ?reduction:Canon.reduction -> config -> key
+  (** The single reduction-parameterized key builder.  Always covers
+      the semantic core of a configuration: local states, decided
+      outputs and the multiset of undelivered (src, dst, payload)
+      triples — deliberately excluding time and message ids, so that
+      schedule-permuted but behaviourally identical configurations
+      collide.  [crashed] is the crash explorer's crashed-set bitmask
+      (default [0]).
+
+      With [~reduction:No_reduction] (the default) the key is exact —
+      byte-identical to the pre-reduction layout.  With a symmetry
+      mode it is the serialized {!Canon.canonical} orbit
+      representative: crashed processes' inert local states and
+      undeliverable inbound messages are elided, and fully-unobservable
+      ("movable") crashed processes are identified up to relabelling.
+      Only meaningful on configurations built with the same
+      [reduction] via {!init_explore}.  Sound for state-space
+      deduplication only when future behaviour is time-independent: no
+      failure detector and no crash times later than 0.  The
+      {!Explorer} checks these conditions. *)
 
   val key_equal : key -> key -> bool
   val key_hash : key -> int
 
-  val fingerprint : config -> string
-  (** [fingerprint c = key c]; kept for callers that want an opaque
-      string digest. *)
+  val delivery_signature : config -> int list -> int list
+  (** Content signature of a delivery batch (message ids addressed to
+      one process): sorted [(src, payload id)] pairs packed as ints,
+      stable across message-id renumbering — the representation of
+      delivery actions in the explorer's DPOR sleep sets.
+      @raise Invalid_action if an id is not pending. *)
 end

@@ -56,6 +56,15 @@ let m_domains = Metrics.counter "explore.domains.spawned"
 let m_truncations = Metrics.counter "explore.budget.truncations"
 let m_steals = Metrics.counter "explore.steals"
 let m_spills = Metrics.counter "explore.spills"
+
+(* reduction instrumentation: [orbit_hits] counts dedup hits taken
+   while a symmetry reduction is active — i.e. encounters collapsed
+   onto an already-admitted representative, whether by genuine orbit
+   identification or by plain revisiting (the two are not separable at
+   the table); [sleep_pruned] counts delivery transitions skipped by a
+   DPOR sleep set before any successor was built. *)
+let m_orbit = Metrics.counter "explore.orbit_hits"
+let m_sleep_pruned = Metrics.counter "explore.sleep_pruned"
 let g_frontier_peak = Metrics.gauge "explore.frontier.peak"
 let g_depth_peak = Metrics.gauge "explore.depth.peak"
 let g_max_configs = Metrics.gauge "explore.budget.max_configs"
@@ -535,37 +544,128 @@ module Make (A : Algorithm.S) = struct
           (choices policy mine))
       steppers
 
+  let action_of config pid deliver =
+    Canon.Action.make ~pid ~deliveries:(E.delivery_signature config deliver)
+
+  (* DPOR expansion (Godefroid-style sleep sets) for the crash-free
+     explorer.  Actions in [sleep] arrive provably covered: they were
+     explored from an earlier sibling of this node, and every action
+     executed on the path in between commutes with them
+     ({!Canon.Action.independent}, i.e. distinct stepping pids), so
+     the interleaving they would start is a permutation of one already
+     scheduled.  We skip them outright.  Each executed successor
+     inherits the sleep set plus its already-executed earlier siblings
+     — filtered down to the actions that commute with the executed one
+     (dependent actions wake up).  Skipped (slept) siblings propagate
+     through the inherited set, not through [executed]: they were
+     never explored {e here}, only at the ancestor that put them to
+     sleep.
+
+     Sleep sets prune {e transitions}, never states: every reachable
+     configuration is still reached (along the representative
+     interleaving), so the decision-value oracle, terminal detection
+     and violation checks are untouched.  The crash drivers do not use
+     this — their Stuck classification is a property of the full
+     transition graph, which edge-pruning would distort. *)
+  let schedule_successors_sleep ~policy ~pattern ~steppers ~sleep config k =
+    let executed = ref [] in
+    List.iter
+      (fun pid ->
+        let mine = E.inbox config pid in
+        List.iter
+          (fun deliver ->
+            let act = action_of config pid deliver in
+            if List.exists (Canon.Action.equal act) sleep then
+              Metrics.incr m_sleep_pruned
+            else begin
+              let child_sleep =
+                List.filter
+                  (fun (b : Canon.Action.t) -> Canon.Action.independent act b)
+                  (List.rev_append !executed sleep)
+              in
+              (match
+                 E.apply ~pattern config (Adversary.Step { pid; deliver })
+               with
+              | Some config' -> k config' child_sleep
+              | None -> assert false);
+              executed := act :: !executed
+            end)
+          (choices policy mine))
+      steppers
+
+  (* the dedup key of an [explore] work item: the (possibly orbit)
+     configuration key, plus — when sleep sets are active — the exact
+     serialized sleep set, so a configuration re-reached under a
+     different sleep set is re-expanded rather than wrongly deduped
+     against a run that pruned differently *)
+  let item_key ~reduction config sleep =
+    let k = E.key ~reduction config in
+    match (reduction : Canon.reduction) with
+    | Symmetry_por -> k ^ Canon.Action.digest sleep
+    | No_reduction | Symmetry -> k
+
   (* ---- sequential exhaustive exploration ---- *)
 
-  (* Checkpoint payload of an [explore] campaign: the dedup table,
-     the counters, and the stack of {e candidate} configurations —
-     popped but not yet admitted, so resume re-applies dedup and the
-     budget exactly as the uninterrupted run would have.  The
-     parallel driver merges its worker states into this same format,
-     and every resume continues on the sequential driver. *)
+  (* Checkpoint payload of an [explore] campaign: the reduction mode,
+     the dedup table, the counters, and the stack of {e candidate}
+     (configuration, depth, sleep set) items — popped but not yet
+     admitted, so resume re-applies dedup and the budget exactly as
+     the uninterrupted run would have.  The parallel driver merges its
+     worker states into this same format, and every resume continues
+     on the sequential driver.  A payload written under a different
+     reduction mode describes a different search — warn and start
+     fresh, like a corrupt checkpoint. *)
   type explore_snap =
-    (E.key, unit) Hashtbl.t * int * int * bool * (E.config * int) list
+    Canon.reduction
+    * (E.key, unit) Hashtbl.t
+    * int
+    * int
+    * bool
+    * (E.config * int * Canon.Action.t list) list
 
-  let explore ?(max_depth = 200) ?(max_configs = 2_000_000)
-      ?(policy = Per_sender) ?(on_terminal = fun _ -> ())
-      ?(ckpt = Checkpoint.ctl ()) ?resume ~n ~inputs ~pattern ~check () =
+  let warn_reduction_mismatch ~want ~got =
+    Printf.eprintf
+      "ksa: checkpoint was written under --reduction %s, not %s — starting a \
+       fresh campaign\n\
+       %!"
+      (Canon.reduction_to_string got)
+      (Canon.reduction_to_string want)
+
+  let explore ?(reduction = Canon.No_reduction) ?(max_depth = 200)
+      ?(max_configs = 2_000_000) ?(policy = Per_sender)
+      ?(on_terminal = fun _ -> ()) ?(ckpt = Checkpoint.ctl ()) ?resume ~n
+      ~inputs ~pattern ~check () =
     require_explorable ~n ~pattern;
     Metrics.gauge_set g_max_configs max_configs;
+    let fresh () =
+      ( Hashtbl.create 65_536,
+        0,
+        0,
+        false,
+        [ (E.init_explore ~reduction ~n ~inputs (), 0, []) ] )
+    in
     let seen, visited0, terminals0, exhausted0, stack0 =
       match resume with
-      | Some payload -> (Marshal.from_string payload 0 : explore_snap)
-      | None -> (Hashtbl.create 65_536, 0, 0, false, [])
+      | Some payload ->
+          let mode, seen, v, t, e, st =
+            (Marshal.from_string payload 0 : explore_snap)
+          in
+          if mode <> reduction then begin
+            warn_reduction_mismatch ~want:reduction ~got:mode;
+            fresh ()
+          end
+          else (seen, v, t, e, st)
+      | None -> fresh ()
     in
     let visited = ref visited0 in
     let terminals = ref terminals0 in
     let exhausted = ref exhausted0 in
     let interrupted = ref false in
-    let stack =
-      ref (match resume with Some _ -> stack0 | None -> [ (E.init_explore ~n ~inputs, 0) ])
-    in
+    let stack = ref stack0 in
     let snap () =
       Marshal.to_string
-        ((seen, !visited, !terminals, !exhausted, !stack) : explore_snap)
+        ((reduction, seen, !visited, !terminals, !exhausted, !stack)
+          : explore_snap)
         []
     in
     let correct = Failure_pattern.correct pattern in
@@ -583,10 +683,13 @@ module Make (A : Algorithm.S) = struct
       | _ when Checkpoint.interrupted ckpt ->
           Checkpoint.flush ckpt snap;
           interrupted := true
-      | (config, depth) :: rest ->
+      | (config, depth, sleep) :: rest ->
           stack := rest;
-          let key = E.key config in
-          if Hashtbl.mem seen key then Metrics.incr m_dedup
+          let key = item_key ~reduction config sleep in
+          if Hashtbl.mem seen key then begin
+            Metrics.incr m_dedup;
+            if reduction <> Canon.No_reduction then Metrics.incr m_orbit
+          end
           else if !visited >= max_configs then begin
             exhausted := true;
             Metrics.incr m_truncations
@@ -611,8 +714,14 @@ module Make (A : Algorithm.S) = struct
             else if depth >= max_depth then exhausted := true
             else begin
               let succs = ref [] in
-              schedule_successors ~policy ~pattern ~steppers:correct config
-                (fun config' -> succs := (config', depth + 1) :: !succs);
+              (match reduction with
+              | Canon.Symmetry_por ->
+                  schedule_successors_sleep ~policy ~pattern ~steppers:correct
+                    ~sleep config (fun config' sleep' ->
+                      succs := (config', depth + 1, sleep') :: !succs)
+              | Canon.No_reduction | Canon.Symmetry ->
+                  schedule_successors ~policy ~pattern ~steppers:correct config
+                    (fun config' -> succs := (config', depth + 1, []) :: !succs));
               stack := List.rev_append !succs !stack
             end;
             Checkpoint.tick ckpt ~items:!visited snap
@@ -645,9 +754,10 @@ module Make (A : Algorithm.S) = struct
      through a {!Wspool}: private LIFO stacks, batched spills, and
      half-the-batches stealing with idle-count termination.  [check]
      runs concurrently and must be thread-safe. *)
-  let explore_par ?domains ?(max_depth = 200) ?(max_configs = 2_000_000)
-      ?(policy = Per_sender) ?(on_terminal = fun _ -> ())
-      ?(ckpt = Checkpoint.ctl ()) ~n ~inputs ~pattern ~check () =
+  let explore_par ?(reduction = Canon.No_reduction) ?domains
+      ?(max_depth = 200) ?(max_configs = 2_000_000) ?(policy = Per_sender)
+      ?(on_terminal = fun _ -> ()) ?(ckpt = Checkpoint.ctl ()) ~n ~inputs
+      ~pattern ~check () =
     require_explorable ~n ~pattern;
     Metrics.gauge_set g_max_configs max_configs;
     let domains =
@@ -704,8 +814,10 @@ module Make (A : Algorithm.S) = struct
     let stop = Atomic.make false in
     let interrupted = ref false in
     let pause = Pause.create domains in
-    let pool : (E.config * int) Wspool.t = Wspool.create ~workers:domains in
-    Wspool.seed pool [ (E.init_explore ~n ~inputs, 0) ];
+    let pool : (E.config * int * Canon.Action.t list) Wspool.t =
+      Wspool.create ~workers:domains
+    in
+    Wspool.seed pool [ (E.init_explore ~reduction ~n ~inputs (), 0, []) ];
     (* the ticket clamp, now fused with the dedup check under the
        shard lock: a ticket is only drawn for a genuinely-new key, so
        tickets below the budget are dense and issued exactly once
@@ -742,8 +854,8 @@ module Make (A : Algorithm.S) = struct
           Metrics.gauge_max g_frontier_peak (keep + Wspool.pending pool)
         end
       in
-      let process (config, depth) =
-        let key = E.key config in
+      let process (config, depth, sleep) =
+        let key = item_key ~reduction config sleep in
         (* expansion of an already-admitted configuration; a
            non-verdict exception escaping from here (a user [check]
            raising, say) leaves the admission behind, so the key is
@@ -766,10 +878,17 @@ module Make (A : Algorithm.S) = struct
             end
             else if depth >= max_depth then exhausted := true
             else begin
-              schedule_successors ~policy ~pattern ~steppers:correct config
-                (fun config' ->
-                  local := (config', depth + 1) :: !local;
-                  incr local_len);
+              (match reduction with
+              | Canon.Symmetry_por ->
+                  schedule_successors_sleep ~policy ~pattern ~steppers:correct
+                    ~sleep config (fun config' sleep' ->
+                      local := (config', depth + 1, sleep') :: !local;
+                      incr local_len)
+              | Canon.No_reduction | Canon.Symmetry ->
+                  schedule_successors ~policy ~pattern ~steppers:correct config
+                    (fun config' ->
+                      local := (config', depth + 1, []) :: !local;
+                      incr local_len));
               maybe_spill ()
             end
           with
@@ -780,7 +899,11 @@ module Make (A : Algorithm.S) = struct
         in
         match Shardset.admit seen key ~ticket with
         | Shardset.Found _ ->
-            if orphan_take key then expand () else Metrics.incr m_dedup
+            if orphan_take key then expand ()
+            else begin
+              Metrics.incr m_dedup;
+              if reduction <> Canon.No_reduction then Metrics.incr m_orbit
+            end
         | Shardset.Rejected ->
             exhausted := true;
             Metrics.incr m_truncations
@@ -864,7 +987,8 @@ module Make (A : Algorithm.S) = struct
         slots;
       Wspool.iter_pending pool (fun it -> stack := it :: !stack);
       Marshal.to_string
-        (( seen_m,
+        (( reduction,
+           seen_m,
            Atomic.get global_count - List.length orphaned,
            Atomic.get terminals_n,
            !ex,
@@ -1083,14 +1207,21 @@ module Make (A : Algorithm.S) = struct
           Hashtbl.add patterns mask p;
           p
 
-  (* Checkpoint payload of a crash campaign: the key→id table, the
-     expanded prefix of the node-record graph, the counters, and the
-     worklist of admitted-but-unexpanded nodes.  The parallel driver
-     merges its per-worker graphs into this same format (global dense
-     ids re-assigned at merge time), and resume always continues on
-     the sequential driver. *)
+  (* Checkpoint payload of a crash campaign: the reduction mode, the
+     key→id table, the expanded prefix of the node-record graph, the
+     counters, and the worklist of admitted-but-unexpanded nodes.  The
+     parallel driver merges its per-worker graphs into this same
+     format (global dense ids re-assigned at merge time), and resume
+     always continues on the sequential driver.  Mode mismatch on
+     resume warns and starts fresh.
+
+     The crash drivers use the orbit keys of the symmetry modes but
+     never sleep sets ([Symmetry_por] behaves like [Symmetry] here):
+     the Stuck classification is backward reachability over the full
+     transition graph, and sleep sets prune edges. *)
   type crash_snap =
-    (E.key, int) Hashtbl.t
+    Canon.reduction
+    * (E.key, int) Hashtbl.t
     * node_rec array
     * int
     * int
@@ -1099,17 +1230,29 @@ module Make (A : Algorithm.S) = struct
 
   let empty_rec = { succs = []; complete = false; mask = 0; undecided = [] }
 
-  let explore_with_crashes ?(max_configs = 300_000) ?(policy = Per_sender)
-      ?(drop_on_crash = true) ?(initially_dead = [])
-      ?(ckpt = Checkpoint.ctl ()) ?resume ~n ~inputs ~crash_budget ~check () =
+  let explore_with_crashes ?(reduction = Canon.No_reduction)
+      ?(max_configs = 300_000) ?(policy = Per_sender) ?(drop_on_crash = true)
+      ?(initially_dead = []) ?(ckpt = Checkpoint.ctl ()) ?resume ~n ~inputs
+      ~crash_budget ~check () =
     check_crash_explorable ~n ~initially_dead;
     Metrics.gauge_set g_max_configs max_configs;
     let base_mask = base_mask_of initially_dead in
     let pattern_of = make_pattern_of ~n in
-    let ids, recs0, count0, terminals0, exhausted0, worklist0 =
+    let fresh_crash () =
+      (Hashtbl.create 65_536, Array.make 1024 empty_rec, 0, 0, false, [])
+    in
+    let resume, (ids, recs0, count0, terminals0, exhausted0, worklist0) =
       match resume with
-      | Some payload -> (Marshal.from_string payload 0 : crash_snap)
-      | None -> (Hashtbl.create 65_536, Array.make 1024 empty_rec, 0, 0, false, [])
+      | Some payload ->
+          let mode, ids, recs0, count0, t0, e0, wl0 =
+            (Marshal.from_string payload 0 : crash_snap)
+          in
+          if mode <> reduction then begin
+            warn_reduction_mismatch ~want:reduction ~got:mode;
+            (None, fresh_crash ())
+          end
+          else (Some payload, (ids, recs0, count0, t0, e0, wl0))
+      | None -> (None, fresh_crash ())
     in
     let recs =
       ref (if Array.length recs0 = 0 then Array.make 1024 empty_rec else recs0)
@@ -1123,10 +1266,11 @@ module Make (A : Algorithm.S) = struct
     (* discovery: assign a dense id the first time a node is seen and
        queue it for expansion; [None] once the budget is exhausted *)
     let visit config mask =
-      let key = E.key ~extra:mask config in
+      let key = E.key ~crashed:mask ~reduction config in
       match Hashtbl.find_opt ids key with
       | Some id ->
           Metrics.incr m_dedup;
+          if reduction <> Canon.No_reduction then Metrics.incr m_orbit;
           Some id
       | None ->
           if !count >= max_configs then begin
@@ -1169,7 +1313,8 @@ module Make (A : Algorithm.S) = struct
     in
     let snap () =
       Marshal.to_string
-        (( ids,
+        (( reduction,
+           ids,
            Array.sub !recs 0 !count,
            !count,
            !terminals,
@@ -1179,7 +1324,8 @@ module Make (A : Algorithm.S) = struct
         []
     in
     let enumerate () =
-      if resume = None then ignore (visit (E.init_explore ~n ~inputs) base_mask);
+      if resume = None then
+        ignore (visit (E.init_explore ~reduction ~n ~inputs ()) base_mask);
       let rec drain () =
         match !worklist with
         | [] -> ()
@@ -1236,9 +1382,10 @@ module Make (A : Algorithm.S) = struct
      normalises.  The frontier flows through a {!Wspool} exactly as in
      [explore_par].  Outcomes match [explore_with_crashes] whenever
      the budget does not truncate.  [check] must be thread-safe. *)
-  let explore_with_crashes_par ?domains ?(max_configs = 300_000)
-      ?(policy = Per_sender) ?(drop_on_crash = true) ?(initially_dead = [])
-      ?(ckpt = Checkpoint.ctl ()) ~n ~inputs ~crash_budget ~check () =
+  let explore_with_crashes_par ?(reduction = Canon.No_reduction) ?domains
+      ?(max_configs = 300_000) ?(policy = Per_sender) ?(drop_on_crash = true)
+      ?(initially_dead = []) ?(ckpt = Checkpoint.ctl ()) ~n ~inputs
+      ~crash_budget ~check () =
     check_crash_explorable ~n ~initially_dead;
     Metrics.gauge_set g_max_configs max_configs;
     if max_configs < 1 then begin
@@ -1257,7 +1404,7 @@ module Make (A : Algorithm.S) = struct
       max 1 (match domains with Some d -> d | None -> default_domains ())
     in
     let base_mask = base_mask_of initially_dead in
-    let root = E.init_explore ~n ~inputs in
+    let root = E.init_explore ~reduction ~n ~inputs () in
     let pattern_of0 = make_pattern_of ~n in
     match
       expand_crash_node ~n ~policy ~drop_on_crash ~base_mask ~crash_budget
@@ -1272,7 +1419,7 @@ module Make (A : Algorithm.S) = struct
         let terminals_n = Atomic.make (if root_complete then 1 else 0) in
         Metrics.incr m_admitted;
         if root_complete then Metrics.incr m_terminals;
-        ignore (Shardset.add seen (E.key ~extra:root_mask root) 0);
+        ignore (Shardset.add seen (E.key ~crashed:root_mask ~reduction root) 0);
         let stop = Atomic.make false in
         let interrupted = ref false in
         let exhausted0 = ref false in
@@ -1293,10 +1440,11 @@ module Make (A : Algorithm.S) = struct
         let root_succ_ids =
           List.filter_map
             (fun (c, m) ->
-              let key = E.key ~extra:m c in
+              let key = E.key ~crashed:m ~reduction c in
               match Shardset.admit seen key ~ticket with
               | Shardset.Found id ->
                   Metrics.incr m_dedup;
+                  if reduction <> Canon.No_reduction then Metrics.incr m_orbit;
                   Some id
               | Shardset.Rejected ->
                   exhausted0 := true;
@@ -1341,10 +1489,11 @@ module Make (A : Algorithm.S) = struct
             end
           in
           let visit config mask =
-            let key = E.key ~extra:mask config in
+            let key = E.key ~crashed:mask ~reduction config in
             match Shardset.admit seen key ~ticket with
             | Shardset.Found id ->
                 Metrics.incr m_dedup;
+                if reduction <> Canon.No_reduction then Metrics.incr m_orbit;
                 Some id
             | Shardset.Rejected ->
                 exhausted := true;
@@ -1444,7 +1593,8 @@ module Make (A : Algorithm.S) = struct
             slots;
           Wspool.iter_pending pool (fun it -> wl := it :: !wl);
           Marshal.to_string
-            (( gids,
+            (( reduction,
+               gids,
                recs_a,
                count,
                Atomic.get terminals_n,
@@ -1528,8 +1678,9 @@ module Make (A : Algorithm.S) = struct
                     }
               | None -> All_paths_decide stats)
 
-  let reachable_decision_values ?(max_configs = 300_000) ?(policy = Per_sender)
-      ~n ~inputs ~crash_budget () =
+  let reachable_decision_values ?(reduction = Canon.No_reduction)
+      ?(max_configs = 300_000) ?(policy = Per_sender) ~n ~inputs ~crash_budget
+      () =
     let seen = ref [] in
     let note decisions =
       List.iter
@@ -1537,7 +1688,8 @@ module Make (A : Algorithm.S) = struct
         decisions
     in
     (match
-       explore_with_crashes ~max_configs ~policy ~n ~inputs ~crash_budget
+       explore_with_crashes ~reduction ~max_configs ~policy ~n ~inputs
+         ~crash_budget
          ~check:(fun decisions ->
            note decisions;
            None)
@@ -1547,8 +1699,9 @@ module Make (A : Algorithm.S) = struct
     | Safety_violation _ -> ());
     List.sort compare !seen
 
-  let reachable_decision_values_par ?domains ?(max_configs = 300_000)
-      ?(policy = Per_sender) ~n ~inputs ~crash_budget () =
+  let reachable_decision_values_par ?(reduction = Canon.No_reduction) ?domains
+      ?(max_configs = 300_000) ?(policy = Per_sender) ~n ~inputs ~crash_budget
+      () =
     (* [check] runs concurrently on several domains: the accumulator
        is mutex-protected.  Parity with the sequential driver follows
        from [explore_with_crashes_par] enumerating the same reachable
@@ -1563,8 +1716,8 @@ module Make (A : Algorithm.S) = struct
       Mutex.unlock lock
     in
     (match
-       explore_with_crashes_par ?domains ~max_configs ~policy ~n ~inputs
-         ~crash_budget
+       explore_with_crashes_par ~reduction ?domains ~max_configs ~policy ~n
+         ~inputs ~crash_budget
          ~check:(fun decisions ->
            note decisions;
            None)

@@ -19,7 +19,17 @@
     makes the set of reachable configuration keys independent of the
     traversal order.  The sequential and parallel drivers therefore
     report identical statistics and verdicts whenever no budget
-    truncates the search. *)
+    truncates the search.
+
+    Every driver takes a {!Canon.reduction}: [Symmetry] switches
+    admission to orbit keys (plus the algorithm's canon hooks, applied
+    by the engine as states and messages are produced), and
+    [Symmetry_por] additionally prunes commuting delivery
+    interleavings with DPOR sleep sets in the crash-free drivers.
+    Both preserve verdicts and the decision-value oracle (soundness
+    argument in DESIGN.md); the configuration counts shrink — that is
+    the point — so cross-{e mode} stats differ while seq/par parity
+    within a mode still holds exactly. *)
 
 type delivery_policy =
   | Empty_or_all
@@ -102,6 +112,7 @@ type resilient_outcome =
 
 module Make (A : Algorithm.S) : sig
   val explore :
+    ?reduction:Canon.reduction ->
     ?max_depth:int ->
     ?max_configs:int ->
     ?policy:delivery_policy ->
@@ -131,9 +142,14 @@ module Make (A : Algorithm.S) : sig
       it stopped and reports verdict and stats bit-identical to an
       uninterrupted run.  The interner dumps must be restored first
       ({!Checkpoint.restore_interners}).  [on_terminal] calls already
-      delivered before the checkpoint are not replayed. *)
+      delivered before the checkpoint are not replayed.  Checkpoint
+      payloads carry the reduction mode (and, under [Symmetry_por],
+      each pending item's sleep set); a payload written under a
+      different [reduction] describes a different search — the driver
+      warns on stderr and starts fresh, like a corrupt checkpoint. *)
 
   val explore_par :
+    ?reduction:Canon.reduction ->
     ?domains:int ->
     ?max_depth:int ->
     ?max_configs:int ->
@@ -176,6 +192,7 @@ module Make (A : Algorithm.S) : sig
       it. *)
 
   val explore_with_crashes :
+    ?reduction:Canon.reduction ->
     ?max_configs:int ->
     ?policy:delivery_policy ->
     ?drop_on_crash:bool ->
@@ -213,9 +230,19 @@ module Make (A : Algorithm.S) : sig
       [Indeterminate] verdict on interruption, and bit-identical
       verdict/stats when resumed (checkpoints written by
       {!explore_with_crashes_par} resume here too, after
-      {!Checkpoint.restore_interners}). *)
+      {!Checkpoint.restore_interners}); a reduction-mode mismatch
+      warns and starts fresh.
+
+      The crash drivers use the orbit keys of the symmetry modes but
+      never DPOR sleep sets — [Symmetry_por] behaves like [Symmetry]
+      here.  The {!Stuck} classification is backward reachability over
+      the {e full} transition graph; sleep sets prune edges, which
+      preserves reachable states (and so every other verdict) but
+      could cut the only path by which a configuration reaches
+      decision-completeness, flipping can-decide nodes to stuck. *)
 
   val explore_with_crashes_par :
+    ?reduction:Canon.reduction ->
     ?domains:int ->
     ?max_configs:int ->
     ?policy:delivery_policy ->
@@ -245,6 +272,7 @@ module Make (A : Algorithm.S) : sig
       {!explore_with_crashes}. *)
 
   val reachable_decision_values :
+    ?reduction:Canon.reduction ->
     ?max_configs:int ->
     ?policy:delivery_policy ->
     n:int ->
@@ -258,6 +286,7 @@ module Make (A : Algorithm.S) : sig
       multivalent in FLP's sense. *)
 
   val reachable_decision_values_par :
+    ?reduction:Canon.reduction ->
     ?domains:int ->
     ?max_configs:int ->
     ?policy:delivery_policy ->

@@ -91,6 +91,10 @@ struct
   let others st = List.filter (fun q -> not (Pid.equal q st.me)) (List.init st.n Fun.id)
   let broadcast st msg = List.map (fun q -> (q, msg)) (others st)
 
+  (* store is a balanced map; the op log is genuinely ordered *)
+  let canon (st : state) = st
+  let canon_message (m : message) = m
+
   let update_store st owner (ts, v) =
     let cur_ts, _ = Pid.Map.find owner st.store in
     if ts > cur_ts then { st with store = Pid.Map.add owner (ts, v) st.store }

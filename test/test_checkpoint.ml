@@ -159,7 +159,7 @@ let test_load_wrong_version () =
 let test_load_garbage_body () =
   with_tmp ".ckpt" (fun path ->
       ok_or_fail
-        (Durable.write_framed ~path ~magic:"KSACKPT1" ~version:1
+        (Durable.write_framed ~path ~magic:"KSACKPT1" ~version:2
            "not a marshalled tuple");
       let e = expect_error "garbage" (Checkpoint.load ~path) in
       check_contains "garbage" ~sub:"undecodable" e)
@@ -339,6 +339,140 @@ let test_explore_par_resume () =
                 baseline s
           | Sim.Explorer.Violation _ -> Alcotest.fail "resume lost the verdict"))
     [ 2; 4; 8 ]
+
+(* ---------- resume under reduction ---------- *)
+
+let test_explore_resume_reduced () =
+  (* kill/resume parity under sym+por: the sleep sets ride inside the
+     checkpointed work items (and survive the parallel merge), so a
+     cut-and-resumed reduced campaign must report stats bit-identical
+     to an uninterrupted reduced run — at every domain count *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  let reduction = Sim.Canon.Symmetry_por in
+  let go ?ckpt ?resume () =
+    Ex.explore ~reduction ?ckpt ?resume ~n:3 ~inputs:(distinct 3)
+      ~pattern:(FP.none ~n:3) ~check:no_check ()
+  in
+  let baseline =
+    match go () with
+    | Sim.Explorer.Safe s -> s
+    | Sim.Explorer.Violation _ -> Alcotest.fail "unexpected violation"
+  in
+  Alcotest.(check bool) "reduced baseline untruncated" false
+    baseline.Sim.Explorer.budget_exhausted;
+  (* sequential cut *)
+  with_tmp ".ckpt" (fun path ->
+      let ckpt =
+        Checkpoint.ctl ~sink:(sink ~path ~kind:"explore")
+          ~interrupt:(poll_interrupt 40) ()
+      in
+      (match go ~ckpt () with
+      | Sim.Explorer.Safe s ->
+          Alcotest.(check bool) "interrupted reduced run is truncated" true
+            s.Sim.Explorer.budget_exhausted
+      | Sim.Explorer.Violation _ -> Alcotest.fail "unexpected violation");
+      let t = load_restored path in
+      match go ~resume:(Checkpoint.payload t) () with
+      | Sim.Explorer.Safe s -> check_stats "reduced seq resume" baseline s
+      | Sim.Explorer.Violation _ -> Alcotest.fail "resume lost the verdict");
+  (* pause-the-world cuts of the parallel driver *)
+  List.iter
+    (fun domains ->
+      with_tmp ".ckpt" (fun path ->
+          let ckpt =
+            Checkpoint.ctl ~sink:(sink ~path ~kind:"explore")
+              ~interrupt:(fun () -> true)
+              ()
+          in
+          (match
+             Ex.explore_par ~reduction ~domains ~ckpt ~n:3
+               ~inputs:(distinct 3) ~pattern:(FP.none ~n:3) ~check:no_check ()
+           with
+          | Sim.Explorer.Safe s ->
+              Alcotest.(check bool) "interrupted par run is truncated" true
+                s.Sim.Explorer.budget_exhausted
+          | Sim.Explorer.Violation _ -> Alcotest.fail "unexpected violation");
+          let t = load_restored path in
+          match go ~resume:(Checkpoint.payload t) () with
+          | Sim.Explorer.Safe s ->
+              check_stats
+                (Printf.sprintf "reduced par resume d=%d" domains)
+                baseline s
+          | Sim.Explorer.Violation _ -> Alcotest.fail "resume lost the verdict"))
+    [ 2; 4; 8 ]
+
+let test_explore_crash_resume_reduced () =
+  (* the crash drivers under reduction: orbit-keyed node graph through
+     a parallel pause-the-world cut, resumed sequentially *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  let reduction = Sim.Canon.Symmetry_por in
+  let baseline =
+    match
+      Ex.explore_with_crashes ~reduction ~n:3 ~inputs:(distinct 3)
+        ~crash_budget:1 ~check:no_check ()
+    with
+    | Sim.Explorer.Stuck { crashed; undecided_correct; stats } ->
+        (crashed, undecided_correct, stats)
+    | _ -> Alcotest.fail "reduced baseline: expected Stuck"
+  in
+  List.iter
+    (fun domains ->
+      with_tmp ".ckpt" (fun path ->
+          let ckpt =
+            Checkpoint.ctl ~sink:(sink ~path ~kind:"explore-crash")
+              ~interrupt:(fun () -> true)
+              ()
+          in
+          (match
+             Ex.explore_with_crashes_par ~reduction ~domains ~ckpt ~n:3
+               ~inputs:(distinct 3) ~crash_budget:1 ~check:no_check ()
+           with
+          | Sim.Explorer.Indeterminate _ -> ()
+          | _ -> Alcotest.fail "interrupted par run should be Indeterminate");
+          let t = load_restored path in
+          check_stuck
+            (Printf.sprintf "reduced crash par resume d=%d" domains)
+            baseline
+            (Ex.explore_with_crashes ~reduction
+               ~resume:(Checkpoint.payload t) ~n:3 ~inputs:(distinct 3)
+               ~crash_budget:1 ~check:no_check ())))
+    [ 2; 4; 8 ]
+
+let test_resume_reduction_mismatch () =
+  (* a checkpoint written under one reduction mode describes a
+     different search: resuming it under another mode must warn and
+     start fresh — landing on the full reduced baseline, not on a
+     hybrid of the two searches *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  let reduced_baseline =
+    match
+      Ex.explore ~reduction:Sim.Canon.Symmetry ~n:3 ~inputs:(distinct 3)
+        ~pattern:(FP.none ~n:3) ~check:no_check ()
+    with
+    | Sim.Explorer.Safe s -> s
+    | Sim.Explorer.Violation _ -> Alcotest.fail "unexpected violation"
+  in
+  with_tmp ".ckpt" (fun path ->
+      let ckpt =
+        Checkpoint.ctl ~sink:(sink ~path ~kind:"explore")
+          ~interrupt:(poll_interrupt 40) ()
+      in
+      (* cut an UNREDUCED campaign... *)
+      (match
+         Ex.explore ~ckpt ~n:3 ~inputs:(distinct 3) ~pattern:(FP.none ~n:3)
+           ~check:no_check ()
+       with
+      | Sim.Explorer.Safe _ -> ()
+      | Sim.Explorer.Violation _ -> Alcotest.fail "unexpected violation");
+      let t = load_restored path in
+      (* ...and resume it under Symmetry *)
+      match
+        Ex.explore ~reduction:Sim.Canon.Symmetry
+          ~resume:(Checkpoint.payload t) ~n:3 ~inputs:(distinct 3)
+          ~pattern:(FP.none ~n:3) ~check:no_check ()
+      with
+      | Sim.Explorer.Safe s -> check_stats "mismatch restarts" reduced_baseline s
+      | Sim.Explorer.Violation _ -> Alcotest.fail "unexpected violation")
 
 (* ---------- worker supervision ---------- *)
 
@@ -600,6 +734,12 @@ let suites =
           test_explore_crash_par_resume;
         Alcotest.test_case "explore: kill/resume parity (par)" `Quick
           test_explore_par_resume;
+        Alcotest.test_case "explore: kill/resume parity under sym+por" `Quick
+          test_explore_resume_reduced;
+        Alcotest.test_case "explore-crash: kill/resume parity under sym+por"
+          `Quick test_explore_crash_resume_reduced;
+        Alcotest.test_case "resume: reduction-mode mismatch starts fresh"
+          `Quick test_resume_reduction_mismatch;
         Alcotest.test_case "explore: worker fault supervised" `Quick
           test_explore_par_supervision;
         Alcotest.test_case "explore: worker fault supervised (plain par)"

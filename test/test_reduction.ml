@@ -1,0 +1,426 @@
+(* Soundness of the reduction layer (Ksa_sim.Canon + the reduced
+   explorers).
+
+   Two independent lines of evidence:
+
+   - unit/qcheck properties of the canonicalization itself: the
+     witness permutation really maps a configuration onto its
+     serialized representative (idempotence), relabelling movable
+     processes never changes the orbit key (invariance), relabelling
+     live processes does (no over-collapse), and delivery actions
+     commute exactly when their steppers differ;
+
+   - differential runs: for every n=3 subject the reduced explorers
+     must report the same verdict, the same stuck witness, the same
+     terminal decision sets and the same reachable decision values as
+     the unreduced ones, sequentially and in parallel.  Only the
+     configuration counts may differ — that is what the reduction is
+     for. *)
+
+module Sim = Ksa_sim
+module Canon = Sim.Canon
+module FP = Sim.Failure_pattern
+
+module K2 = Ksa_algo.Kset_flp.Make (struct
+  let l = 2
+end)
+
+module N2 = Ksa_algo.Naive_min.Make (struct
+  let wait_for = 2
+end)
+
+let distinct = Sim.Value.distinct_inputs
+let no_check _ = None
+let reduced_modes = [ Canon.Symmetry; Canon.Symmetry_por ]
+let mode_name = Canon.reduction_to_string
+
+(* ---------- rows generator ---------- *)
+
+(* Arbitrary well-formed interned rows: a handful of processes, any
+   crashed subset, small fake state/payload ids, and pending triples
+   over valid pids.  The canonicalization is pure integer arithmetic,
+   so nothing here needs a real engine. *)
+let rows_gen =
+  QCheck.Gen.(
+    int_range 2 6 >>= fun n ->
+    int_range 0 ((1 lsl n) - 1) >>= fun crashed ->
+    array_size (return n) (int_range 0 50) >>= fun state_ids ->
+    array_size (return n) (opt (int_range 0 3)) >>= fun decided ->
+    list_size (int_range 0 12)
+      (int_range 0 (n - 1) >>= fun src ->
+       int_range 0 (n - 1) >>= fun dst ->
+       int_range 0 100 >>= fun payload ->
+       return (Canon.pack_triple src dst payload))
+    >>= fun triples ->
+    return { Canon.n; crashed; state_ids; decided; triples = Array.of_list triples })
+
+let pp_rows (r : Canon.rows) =
+  Printf.sprintf "n=%d crashed=%#x states=[%s] decided=[%s] triples=[%s]" r.n
+    r.crashed
+    (String.concat ";" (Array.to_list (Array.map string_of_int r.state_ids)))
+    (String.concat ";"
+       (Array.to_list
+          (Array.map
+             (function None -> "-" | Some v -> string_of_int v)
+             r.decided)))
+    (String.concat ";"
+       (Array.to_list
+          (Array.map
+             (fun t ->
+               Printf.sprintf "%d>%d:%d" (Canon.triple_src t)
+                 (Canon.triple_dst t) (Canon.triple_payload t))
+             r.triples)))
+
+let arb_rows = QCheck.make ~print:pp_rows rows_gen
+
+let orbit_key (rows : Canon.rows) =
+  Canon.serialize ~crashed:rows.crashed (Canon.canonicalize rows)
+
+(* ---------- canonicalization properties ---------- *)
+
+let prop_witness_idempotent =
+  QCheck.Test.make ~name:"canon: witness perm reaches a fixpoint" ~count:500
+    arb_rows (fun rows ->
+      let c = Canon.canonicalize rows in
+      let rows' = Canon.permute_rows c.Canon.perm rows in
+      let c' = Canon.canonicalize rows' in
+      (* the permuted configuration IS the representative: same key,
+         and re-canonicalizing it moves nothing *)
+      orbit_key rows = orbit_key rows'
+      && Canon.canonical_equal c c'
+      && Array.to_list c'.Canon.perm = List.init rows.Canon.n Fun.id)
+
+(* a random permutation of the movable set, identity elsewhere *)
+let movable_shuffle_gen (rows : Canon.rows) =
+  QCheck.Gen.(
+    let movable = Canon.movable rows in
+    shuffle_l movable >>= fun shuffled ->
+    let perm = Array.init rows.Canon.n Fun.id in
+    List.iter2 (fun p q -> perm.(p) <- q) movable shuffled;
+    return perm)
+
+let prop_orbit_invariance =
+  QCheck.Test.make ~name:"canon: movable relabelling preserves the key"
+    ~count:500
+    (QCheck.make
+       ~print:(fun (r, p) ->
+         pp_rows r ^ " perm=["
+         ^ String.concat ";" (Array.to_list (Array.map string_of_int p))
+         ^ "]")
+       QCheck.Gen.(rows_gen >>= fun r -> pair (return r) (movable_shuffle_gen r)))
+    (fun (rows, perm) ->
+      orbit_key rows = orbit_key (Canon.permute_rows perm rows))
+
+let test_live_swap_separates () =
+  (* relabelling LIVE processes must not collapse: the orbit relation
+     is restricted to movable (crashed, unobservable) pids *)
+  let rows =
+    {
+      Canon.n = 3;
+      crashed = 0;
+      state_ids = [| 10; 20; 30 |];
+      decided = [| None; None; None |];
+      triples = [||];
+    }
+  in
+  let swap01 = [| 1; 0; 2 |] in
+  Alcotest.(check bool)
+    "live swap changes the key" false
+    (orbit_key rows = orbit_key (Canon.permute_rows swap01 rows))
+
+let test_crashed_state_elided () =
+  (* two configurations differing only in a movable process's frozen
+     local state (and its undeliverable inbox) share an orbit key *)
+  let base state0 inbound0 =
+    {
+      Canon.n = 3;
+      crashed = 1;
+      (* p0 crashed *)
+      state_ids = [| state0; 20; 30 |];
+      decided = [| None; Some 1; None |];
+      triples =
+        [| Canon.pack_triple 1 2 7; Canon.pack_triple 1 0 inbound0 |];
+    }
+  in
+  Alcotest.(check bool)
+    "frozen state + dead-destination message elided" true
+    (orbit_key (base 10 40) = orbit_key (base 11 41));
+  (* but the live-destination traffic is retained *)
+  let live state0 payload =
+    {
+      (base state0 40) with
+      Canon.triples = [| Canon.pack_triple 1 2 payload |];
+    }
+  in
+  Alcotest.(check bool)
+    "live-destination payload retained" false
+    (orbit_key (live 10 7) = orbit_key (live 10 8))
+
+let test_movable_decided_multiset () =
+  (* crashed-after-deciding processes are interchangeable: only the
+     multiset of their outputs survives *)
+  let rows d0 d1 =
+    {
+      Canon.n = 4;
+      crashed = 0b0011;
+      state_ids = [| 1; 2; 30; 40 |];
+      decided = [| d0; d1; None; None |];
+      triples = [||];
+    }
+  in
+  Alcotest.(check bool)
+    "decided multiset, not assignment" true
+    (orbit_key (rows (Some 5) (Some 7)) = orbit_key (rows (Some 7) (Some 5)));
+  Alcotest.(check bool)
+    "different multisets separate" false
+    (orbit_key (rows (Some 5) (Some 5)) = orbit_key (rows (Some 7) (Some 5)))
+
+(* ---------- delivery actions ---------- *)
+
+let act pid deliveries = Canon.Action.make ~pid ~deliveries
+
+let prop_independent_iff_distinct_pids =
+  QCheck.Test.make ~name:"actions: independent iff steppers differ" ~count:200
+    QCheck.(
+      pair
+        (pair (int_range 0 7) (small_list small_nat))
+        (pair (int_range 0 7) (small_list small_nat)))
+    (fun ((p, ds), (q, es)) ->
+      Canon.Action.independent (act p ds) (act q es) = (p <> q)
+      && Ksa_core.Independence.actions_commute (act p ds) (act q es) = (p <> q))
+
+let prop_digest_order_insensitive =
+  QCheck.Test.make ~name:"actions: digest ignores sleep-set order" ~count:200
+    QCheck.(small_list (pair (int_range 0 7) (small_list small_nat)))
+    (fun specs ->
+      let acts = List.map (fun (p, ds) -> act p ds) specs in
+      Canon.Action.digest acts
+      = Canon.Action.digest (List.rev acts)
+      && Canon.Action.digest acts = Canon.Action.digest (acts @ acts))
+
+let test_digest_separates () =
+  Alcotest.(check bool)
+    "different sets, different digests" false
+    (Canon.Action.digest [ act 0 [ 1 ] ] = Canon.Action.digest [ act 0 [ 2 ] ]);
+  Alcotest.(check bool)
+    "pid matters" false
+    (Canon.Action.digest [ act 0 [ 1 ] ] = Canon.Action.digest [ act 1 [ 1 ] ]);
+  Alcotest.(check bool)
+    "empty vs singleton" false
+    (Canon.Action.digest [] = Canon.Action.digest [ act 0 [] ])
+
+(* ---------- engine-level commutation ---------- *)
+
+module E2 = Sim.Engine.Make (K2)
+
+let estep c pid deliver =
+  match
+    E2.apply ~pattern:(FP.none ~n:3) c (Sim.Adversary.Step { pid; deliver })
+  with
+  | Some c' -> c'
+  | None -> Alcotest.fail "step refused"
+
+let test_independent_steps_commute () =
+  (* the DPOR soundness premise, checked on the real engine: two
+     delivery actions of distinct steppers reach the same
+     configuration key in either order — including when one of them
+     delivers a batch *)
+  let init () = E2.init_explore ~reduction:Canon.Symmetry ~n:3 ~inputs:(distinct 3) () in
+  let c = estep (estep (init ()) 0 []) 1 [] in
+  let inbox2 = List.map fst (E2.inbox c 2) in
+  Alcotest.(check bool) "inbox non-empty" true (inbox2 <> []);
+  List.iter
+    (fun reduction ->
+      let ab = estep (estep c 0 []) 2 inbox2 in
+      let ba = estep (estep c 2 inbox2) 0 [] in
+      Alcotest.(check bool)
+        (mode_name reduction ^ ": step/deliver commute")
+        true
+        (E2.key_equal (E2.key ~reduction ab) (E2.key ~reduction ba)))
+    Canon.all_reductions;
+  (* same stepper, different batches: dependent (keys differ) *)
+  let all = estep c 2 inbox2 in
+  let none = estep c 2 [] in
+  Alcotest.(check bool)
+    "same-pid actions are dependent" false
+    (E2.key_equal (E2.key all) (E2.key none))
+
+(* ---------- differential runs: reduced vs unreduced ---------- *)
+
+let subjects =
+  [
+    ("kset_flp(l=2)", (module K2 : Sim.Algorithm.S));
+    ("trivial", (module Ksa_algo.Trivial.A : Sim.Algorithm.S));
+    ("naive_min(wait=2)", (module N2 : Sim.Algorithm.S));
+  ]
+
+let crash_verdict_token (o : Sim.Explorer.resilient_outcome) =
+  match o with
+  | Sim.Explorer.All_paths_decide _ -> "all-paths-decide"
+  | Sim.Explorer.Safety_violation { reason; _ } -> "violation:" ^ reason
+  | Sim.Explorer.Stuck { crashed; undecided_correct; _ } ->
+      Printf.sprintf "stuck:{%s}/{%s}"
+        (String.concat "," (List.map string_of_int crashed))
+        (String.concat "," (List.map string_of_int undecided_correct))
+  | Sim.Explorer.Indeterminate _ -> "indeterminate"
+
+let test_differential_crash_verdicts () =
+  List.iter
+    (fun (name, (module A : Sim.Algorithm.S)) ->
+      let module Ex = Sim.Explorer.Make (A) in
+      let run ?reduction ?domains () =
+        let o =
+          match domains with
+          | None ->
+              Ex.explore_with_crashes ?reduction ~n:3 ~inputs:(distinct 3)
+                ~crash_budget:1 ~check:no_check ()
+          | Some d ->
+              Ex.explore_with_crashes_par ?reduction ~domains:d ~n:3
+                ~inputs:(distinct 3) ~crash_budget:1 ~check:no_check ()
+        in
+        crash_verdict_token o
+      in
+      let baseline = run () in
+      Alcotest.(check bool)
+        (name ^ ": baseline classified") true
+        (baseline <> "indeterminate");
+      List.iter
+        (fun reduction ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: seq %s" name (mode_name reduction))
+            baseline
+            (run ~reduction ());
+          Alcotest.(check string)
+            (Printf.sprintf "%s: par %s" name (mode_name reduction))
+            baseline
+            (run ~reduction ~domains:2 ()))
+        reduced_modes)
+    subjects
+
+let test_differential_decision_values () =
+  List.iter
+    (fun (name, (module A : Sim.Algorithm.S)) ->
+      let module Ex = Sim.Explorer.Make (A) in
+      let sorted = List.sort Sim.Value.compare in
+      let baseline =
+        sorted
+          (Ex.reachable_decision_values ~n:3 ~inputs:(distinct 3)
+             ~crash_budget:1 ())
+      in
+      Alcotest.(check bool) (name ^ ": some value reachable") true (baseline <> []);
+      List.iter
+        (fun reduction ->
+          let seq =
+            sorted
+              (Ex.reachable_decision_values ~reduction ~n:3
+                 ~inputs:(distinct 3) ~crash_budget:1 ())
+          in
+          let par =
+            sorted
+              (Ex.reachable_decision_values_par ~reduction ~domains:2 ~n:3
+                 ~inputs:(distinct 3) ~crash_budget:1 ())
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: values seq %s" name (mode_name reduction))
+            true (baseline = seq);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: values par %s" name (mode_name reduction))
+            true (baseline = par))
+        reduced_modes)
+    subjects
+
+let test_differential_terminal_sets () =
+  (* crash-free exploration under sym+por must surface exactly the
+     unreduced terminal decision sets: sleep sets prune alternate
+     interleavings, never the states they lead to *)
+  List.iter
+    (fun (name, (module A : Sim.Algorithm.S)) ->
+      let module Ex = Sim.Explorer.Make (A) in
+      let collect ?reduction ?domains () =
+        let acc = ref [] in
+        let on_terminal ds =
+          acc := List.map (fun (p, v, _) -> (p, v)) ds :: !acc
+        in
+        (match
+           match domains with
+           | None ->
+               Ex.explore ?reduction ~on_terminal ~n:3 ~inputs:(distinct 3)
+                 ~pattern:(FP.none ~n:3) ~check:no_check ()
+           | Some d ->
+               Ex.explore_par ?reduction ~domains:d ~on_terminal ~n:3
+                 ~inputs:(distinct 3) ~pattern:(FP.none ~n:3) ~check:no_check
+                 ()
+         with
+        | Sim.Explorer.Safe s ->
+            Alcotest.(check bool)
+              (name ^ ": untruncated") false s.Sim.Explorer.budget_exhausted
+        | Sim.Explorer.Violation _ -> Alcotest.fail (name ^ ": violation"));
+        List.sort_uniq compare !acc
+      in
+      let baseline = collect () in
+      List.iter
+        (fun reduction ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: terminals seq %s" name (mode_name reduction))
+            true
+            (baseline = collect ~reduction ());
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: terminals par %s" name (mode_name reduction))
+            true
+            (baseline = collect ~reduction ~domains:2 ()))
+        reduced_modes)
+    subjects
+
+let test_reduction_reduces () =
+  (* not a soundness property, but the reason the layer exists: on the
+     kset_flp crash space the reduced admission count must be strictly
+     smaller — if this starts failing the canon hooks have quietly
+     stopped firing *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  let visited reduction =
+    match
+      Ex.explore_with_crashes ~reduction ~n:3 ~inputs:(distinct 3)
+        ~crash_budget:1 ~check:no_check ()
+    with
+    | Sim.Explorer.Stuck { stats; _ } -> stats.Sim.Explorer.configs_visited
+    | o -> Alcotest.fail ("expected Stuck, got " ^ crash_verdict_token o)
+  in
+  let full = visited Canon.No_reduction in
+  let reduced = visited Canon.Symmetry in
+  Alcotest.(check bool)
+    (Printf.sprintf "sym admits fewer configs (%d < %d)" reduced full)
+    true (reduced < full)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "reduction.canon",
+      [
+        qcheck prop_witness_idempotent;
+        qcheck prop_orbit_invariance;
+        Alcotest.test_case "live relabelling separates" `Quick
+          test_live_swap_separates;
+        Alcotest.test_case "crashed state + dead traffic elided" `Quick
+          test_crashed_state_elided;
+        Alcotest.test_case "movable decided multiset" `Quick
+          test_movable_decided_multiset;
+        qcheck prop_independent_iff_distinct_pids;
+        qcheck prop_digest_order_insensitive;
+        Alcotest.test_case "digest separates distinct sets" `Quick
+          test_digest_separates;
+        Alcotest.test_case "independent engine steps commute" `Quick
+          test_independent_steps_commute;
+      ] );
+    ( "reduction.differential",
+      [
+        Alcotest.test_case "crash verdicts agree across modes" `Quick
+          test_differential_crash_verdicts;
+        Alcotest.test_case "reachable decision values agree" `Quick
+          test_differential_decision_values;
+        Alcotest.test_case "terminal decision sets agree" `Quick
+          test_differential_terminal_sets;
+        Alcotest.test_case "symmetry actually reduces" `Quick
+          test_reduction_reduces;
+      ] );
+  ]

@@ -112,6 +112,8 @@ let test_write_once_decision () =
     let step st ~received:_ ~fd:_ = (st + 1, [], Some st)
     (* decides 0, then 1, then 2... *)
 
+    let canon (st : state) = st
+    let canon_message (m : message) = m
     let pp_state ppf st = Format.pp_print_int ppf st
     let pp_message _ () = ()
   end in
@@ -139,6 +141,8 @@ let test_fd_required () =
     let uses_fd = true
     let init ~n:_ ~me:_ ~input:_ = ()
     let step () ~received:_ ~fd:_ = ((), [], Some 0)
+    let canon () = ()
+    let canon_message () = ()
     let pp_state _ () = ()
     let pp_message _ () = ()
   end in

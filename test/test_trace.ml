@@ -145,6 +145,8 @@ module Async_flood : Sim.Algorithm.S
     in
     (st', sends, dec)
 
+  let canon (st : state) = st
+  let canon_message (m : message) = m
   let pp_state ppf st = Format.fprintf ppf "est=%d@r%d" st.est st.round
   let pp_message ppf = function
     | Hello -> Format.pp_print_string ppf "hello"

@@ -45,6 +45,9 @@ module Echo = struct
       ({ st with decided = true }, hello @ pings, Some st.input)
     else (st, hello @ pings, None)
 
+  let canon (st : state) = st
+  let canon_message (m : message) = m
+
   let pp_message ppf = function
     | Ping -> Format.pp_print_string ppf "ping"
     | Pong -> Format.pp_print_string ppf "pong"
