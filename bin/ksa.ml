@@ -385,6 +385,7 @@ let with_progress enabled f =
           let misses = Metrics.counter "sim.memo.misses" in
           let orbit = Metrics.counter "explore.orbit_hits" in
           let sleep = Metrics.counter "explore.sleep_pruned" in
+          let readmit = Metrics.counter "explore.sleep_readmitted" in
           let rec loop last_n last_t =
             if Atomic.get stop then ()
             else begin
@@ -399,14 +400,18 @@ let with_progress enabled f =
                   else 100. *. float_of_int h /. float_of_int (h + m)
                 in
                 (* running reduction ratio: arrivals collapsed per
-                   admitted configuration; only meaningful (and only
-                   nonzero) under --reduction *)
+                   distinct admitted configuration — sleep-digest
+                   re-admissions of an already-seen configuration are
+                   not distinct, so they come out of the denominator;
+                   only meaningful (and only nonzero) under
+                   --reduction *)
                 let reduction_note =
                   let o = Metrics.value orbit and s = Metrics.value sleep in
-                  if o + s = 0 || n = 0 then ""
+                  let distinct = n - Metrics.value readmit in
+                  if o + s = 0 || distinct <= 0 then ""
                   else
                     Printf.sprintf ", reduction x%.2f"
-                      (float_of_int (n + o + s) /. float_of_int n)
+                      (float_of_int (n + o + s) /. float_of_int distinct)
                 in
                 Printf.eprintf
                   "progress: %d configs (%.0f/s), %d dedup hits, %d \

@@ -28,10 +28,14 @@ type verdict = {
     partial-order reduction needs the finer, standard notion over
     individual {e transitions}: two delivery actions are independent
     iff they commute — executing them in either order reaches the same
-    configuration.  In this message-passing model that holds exactly
-    when the stepping processes differ (a step mutates only the
-    stepper's row and appends fresh sends; delivery batches of
-    distinct steppers are disjoint).  The action alphabet lives in
+    configuration {e and} both orders exist in the policy-restricted
+    transition system.  In this message-passing model that holds
+    exactly when the stepping processes differ (a step mutates only
+    the stepper's row; delivery batches of distinct steppers are
+    disjoint) and neither action sends a message to the other's
+    stepper (a send to pid [q] replaces the whole-bucket delivery
+    batches the explorer's policies offer [q], so the covering
+    interleaving may be absent).  The action alphabet lives in
     {!Ksa_sim.Canon.Action}; it is re-exported here so the DPOR layer
     has its commutation oracle next to the run-level notion. *)
 

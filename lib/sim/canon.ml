@@ -57,24 +57,51 @@ let put b pos i =
 (* ---- delivery actions for the DPOR sleep sets ----
 
    A transition of the crash-free explorer is "pid steps, delivering
-   this batch".  Two such transitions by {e distinct} pids commute
-   exactly: a step mutates only the stepper's own row and appends to
-   other inboxes, and the two delivery batches are disjoint (each is
-   addressed to its own stepper), so executing them in either order
-   yields configurations equal under {!Engine.key} (message ids
-   differ, but keys never see ids).  Independence is therefore just
-   pid-distinctness — no per-payload analysis needed. *)
+   this batch".  Pid-distinctness alone is NOT an independence
+   relation for the policy-restricted transition system the explorer
+   searches: under [Per_sender] and [Empty_or_all] the choices offered
+   to a process are whole current buckets of its inbox, so when action
+   [a] sends a message to [b.pid], the batch [b] delivered is no
+   longer offered after [a] — only the grown bucket is — and the
+   interleaving a·b that sleep-set coverage relies on does not exist
+   in the restricted tree.  Two transitions therefore commute exactly
+   when (i) their stepping pids differ (a step mutates only the
+   stepper's own row and delivers only from the stepper's own inbox),
+   and (ii) neither sends a message to the other's stepper (so both
+   inboxes — and with them the offered batch sets under every
+   delivery policy — are untouched by the other action).  Condition
+   (ii) is decidable from the [sends] destination mask recorded when
+   the action was executed: a step is a pure function of (local
+   state, delivered contents), both of which are unchanged along any
+   path of independent actions, so the recorded mask stays exact
+   wherever the sleep set travels. *)
 module Action = struct
   type t = {
     pid : int;  (** the stepping process *)
     deliveries : int list;
         (** sorted [triple_content] signatures of the delivered batch *)
+    sends : int;
+        (** bitmask of the destination pids of the messages this
+            action's execution sends — recorded from the produced
+            configuration.  [0] until the action has been executed;
+            identity ({!equal}/{!compare}) never looks at it, because
+            at a fixed configuration (pid, deliveries) determine the
+            sends. *)
   }
 
-  let make ~pid ~deliveries = { pid; deliveries = List.sort compare deliveries }
+  let make ~pid ~deliveries ~sends =
+    { pid; deliveries = List.sort compare deliveries; sends }
+
+  let with_sends a sends = { a with sends }
   let equal a b = a.pid = b.pid && a.deliveries = b.deliveries
-  let compare = Stdlib.compare
-  let independent a b = a.pid <> b.pid
+
+  let compare a b =
+    Stdlib.compare (a.pid, a.deliveries) (b.pid, b.deliveries)
+
+  let independent a b =
+    a.pid <> b.pid
+    && a.sends land (1 lsl b.pid) = 0
+    && b.sends land (1 lsl a.pid) = 0
 
   (* Exact serialization of a sleep set, appended to the dedup key
      when sleep sets are active ("sleep-in-key").  Sleep sets combined
@@ -84,9 +111,9 @@ module Action = struct
      conservative way to get that, at the price of admitting one
      configuration once per distinct sleep set. *)
   let digest actions =
-    let actions = List.sort_uniq Stdlib.compare actions in
+    let actions = List.sort_uniq compare actions in
     let size =
-      List.fold_left (fun acc a -> acc + 2 + List.length a.deliveries) 1 actions
+      List.fold_left (fun acc a -> acc + 3 + List.length a.deliveries) 1 actions
     in
     let b = Bytes.create (8 * size) in
     let pos = ref 0 in
@@ -94,6 +121,7 @@ module Action = struct
     List.iter
       (fun a ->
         put b pos a.pid;
+        put b pos a.sends;
         put b pos (List.length a.deliveries);
         List.iter (put b pos) a.deliveries)
       actions;

@@ -43,23 +43,41 @@ val triple_content : int -> int
     renumbering. *)
 
 (** Delivery actions, the alphabet of the DPOR sleep sets.  Two
-    actions commute iff their stepping pids differ: a step mutates
-    only the stepper's own row and appends fresh messages, and
-    delivery batches of distinct steppers are disjoint. *)
+    actions commute iff their stepping pids differ {e and} neither
+    sends a message to the other's stepper: the explorer's delivery
+    policies offer whole current inbox buckets, so a send to a pid
+    replaces that pid's offered batches — pid-distinctness alone
+    would let the sleep sets prune interleavings whose covering
+    permutation does not exist in the policy-restricted tree. *)
 module Action : sig
   type t = {
     pid : int;  (** the stepping process *)
     deliveries : int list;
         (** sorted {!triple_content} signatures of the delivered batch *)
+    sends : int;
+        (** destination-pid bitmask of the messages the action's
+            execution sends ([0] until executed; not part of the
+            action's identity — at a fixed configuration the sends
+            are a function of (pid, deliveries)) *)
   }
 
-  val make : pid:int -> deliveries:int list -> t
+  val make : pid:int -> deliveries:int list -> sends:int -> t
+
+  val with_sends : t -> int -> t
+  (** The same action with its send mask recorded (used once the
+      successor configuration is known). *)
+
   val equal : t -> t -> bool
+  (** Identity over [(pid, deliveries)]; [sends] is derived. *)
+
   val compare : t -> t -> int
 
   val independent : t -> t -> bool
   (** [independent a b] iff executing [a] then [b] reaches the same
-      configuration (under {!Engine.key}) as [b] then [a]. *)
+      configuration (under {!Engine.key}) as [b] then [a], {e and}
+      both orders exist in the policy-restricted transition system:
+      distinct stepping pids, and neither action's recorded sends
+      target the other's stepper. *)
 
   val digest : t list -> string
   (** Exact (collision-free) serialization of a sleep set, appended to

@@ -26,10 +26,12 @@ module Clock = Ksa_prim.Clock
 let magic = "KSACKPT1"
 
 (* v2: driver payloads carry the reduction mode (and, in [explore]
-   snapshots, per-item DPOR sleep sets).  v1 files unmarshal into the
-   wrong tuple shapes, so they are rejected by the version check and
-   the CLI falls back to a fresh campaign. *)
-let version = 2
+   snapshots, per-item DPOR sleep sets).  v3: [Canon.Action.t] gained
+   the [sends] destination mask and [explore] snapshots gained the
+   terminal/bare dedup tables.  Older files unmarshal into the wrong
+   tuple shapes, so they are rejected by the version check and the
+   CLI falls back to a fresh campaign. *)
+let version = 3
 
 let m_written = Metrics.counter "campaign.checkpoints.written"
 let m_loaded = Metrics.counter "campaign.checkpoints.loaded"

@@ -531,6 +531,19 @@ module Make (A : Algorithm.S) = struct
   let key_equal = String.equal
   let key_hash = Hashtbl.hash
 
+  (* Destination-pid bitmask of the messages sent by the step that
+     produced [c'] from [c].  Message ids are allocated monotonically
+     and a step's sends cannot be delivered within the same step, so
+     they are exactly the pending envelopes with ids at or above [c]'s
+     next free id. *)
+  let sends_between c c' =
+    if c'.next_id = c.next_id then 0
+    else
+      Int_map.fold
+        (fun id ((e : A.message Envelope.t), _) acc ->
+          if id >= c.next_id then acc lor (1 lsl e.dst) else acc)
+        c'.pending 0
+
   (* content signature of a delivery batch for the DPOR sleep sets:
      sorted (src, payload id) pairs, independent of message-id
      numbering *)

@@ -142,6 +142,12 @@ module Make (A : Algorithm.S) : sig
   val key_equal : key -> key -> bool
   val key_hash : key -> int
 
+  val sends_between : config -> config -> int
+  (** Destination-pid bitmask of the messages sent by the step that
+      produced the second configuration from the first (which must be
+      its immediate predecessor) — the [sends] mask of a
+      {!Canon.Action.t}. *)
+
   val delivery_signature : config -> int list -> int list
   (** Content signature of a delivery batch (message ids addressed to
       one process): sorted [(src, payload id)] pairs packed as ints,

@@ -57,14 +57,24 @@ let m_truncations = Metrics.counter "explore.budget.truncations"
 let m_steals = Metrics.counter "explore.steals"
 let m_spills = Metrics.counter "explore.spills"
 
-(* reduction instrumentation: [orbit_hits] counts dedup hits taken
-   while a symmetry reduction is active — i.e. encounters collapsed
-   onto an already-admitted representative, whether by genuine orbit
-   identification or by plain revisiting (the two are not separable at
-   the table); [sleep_pruned] counts delivery transitions skipped by a
-   DPOR sleep set before any successor was built. *)
+(* Reduction instrumentation.  [orbit_hits] counts dedup hits taken
+   while a symmetry reduction is active — an upper bound on orbit
+   identifications: encounters collapsed onto an already-admitted
+   representative, whether by genuine orbit identification or by plain
+   revisiting (the two are not separable at the table; under sym+por
+   the admission key includes the sleep digest, so a hit means the
+   same configuration AND the same sleep set).  [sleep_pruned] counts
+   delivery transitions skipped by a DPOR sleep set before any
+   successor was built.  [sleep_readmit] counts sym+por admissions of
+   a configuration whose bare orbit key was already admitted under a
+   different sleep digest ("sleep-in-key" fragmentation) — subtract it
+   from [admitted] to recover distinct configurations.  [noop_pruned]
+   counts empty-delivery successors skipped because they provably
+   reproduce the parent key (self-loops in the keyed graph). *)
 let m_orbit = Metrics.counter "explore.orbit_hits"
 let m_sleep_pruned = Metrics.counter "explore.sleep_pruned"
+let m_sleep_readmit = Metrics.counter "explore.sleep_readmitted"
+let m_noop_pruned = Metrics.counter "explore.noop_pruned"
 let g_frontier_peak = Metrics.gauge "explore.frontier.peak"
 let g_depth_peak = Metrics.gauge "explore.depth.peak"
 let g_max_configs = Metrics.gauge "explore.budget.max_configs"
@@ -545,21 +555,38 @@ module Make (A : Algorithm.S) = struct
       steppers
 
   let action_of config pid deliver =
-    Canon.Action.make ~pid ~deliveries:(E.delivery_signature config deliver)
+    Canon.Action.make ~pid
+      ~deliveries:(E.delivery_signature config deliver)
+      ~sends:0
 
   (* DPOR expansion (Godefroid-style sleep sets) for the crash-free
      explorer.  Actions in [sleep] arrive provably covered: they were
      explored from an earlier sibling of this node, and every action
      executed on the path in between commutes with them
-     ({!Canon.Action.independent}, i.e. distinct stepping pids), so
-     the interleaving they would start is a permutation of one already
-     scheduled.  We skip them outright.  Each executed successor
-     inherits the sleep set plus its already-executed earlier siblings
-     — filtered down to the actions that commute with the executed one
-     (dependent actions wake up).  Skipped (slept) siblings propagate
-     through the inherited set, not through [executed]: they were
-     never explored {e here}, only at the ancestor that put them to
-     sleep.
+     ({!Canon.Action.independent}: distinct stepping pids, and neither
+     action sends to the other's stepper — so along the path the slept
+     action's pid kept its local state, its inbox, and therefore its
+     offered batches under every delivery policy), so the interleaving
+     they would start is a permutation of one already scheduled.  We
+     skip them outright.  Each executed successor inherits the sleep
+     set plus its already-executed earlier siblings — filtered down to
+     the actions that commute with the executed one, whose send mask
+     is read off the produced configuration (dependent actions wake
+     up; in particular any slept action whose pid just received a
+     send, since its offered batches changed).  Skipped (slept)
+     siblings propagate through the inherited set, not through
+     [executed]: they were never explored {e here}, only at the
+     ancestor that put them to sleep.
+
+     The always-offered empty delivery is special-cased: when it
+     provably reproduces the parent key (the stepper is settled — no
+     state change, no observable send), the successor is a self-loop
+     in the keyed graph and is not scheduled at all.  Without this,
+     every settled stepper re-admits the configuration once per
+     distinct reachable sleep digest ("sleep-in-key" fragmentation).
+     Dropping a self-loop prunes no states: the child {e is} the
+     parent, and this very node explores everything outside its own
+     sleep set while slept actions are covered at ancestors.
 
      Sleep sets prune {e transitions}, never states: every reachable
      configuration is still reached (along the representative
@@ -567,7 +594,8 @@ module Make (A : Algorithm.S) = struct
      and violation checks are untouched.  The crash drivers do not use
      this — their Stuck classification is a property of the full
      transition graph, which edge-pruning would distort. *)
-  let schedule_successors_sleep ~policy ~pattern ~steppers ~sleep config k =
+  let schedule_successors_sleep ~reduction ~policy ~pattern ~steppers ~sleep
+      ~parent_key config k =
     let executed = ref [] in
     List.iter
       (fun pid ->
@@ -577,46 +605,60 @@ module Make (A : Algorithm.S) = struct
             let act = action_of config pid deliver in
             if List.exists (Canon.Action.equal act) sleep then
               Metrics.incr m_sleep_pruned
-            else begin
-              let child_sleep =
-                List.filter
-                  (fun (b : Canon.Action.t) -> Canon.Action.independent act b)
-                  (List.rev_append !executed sleep)
-              in
-              (match
-                 E.apply ~pattern config (Adversary.Step { pid; deliver })
-               with
-              | Some config' -> k config' child_sleep
-              | None -> assert false);
-              executed := act :: !executed
-            end)
+            else
+              match
+                E.apply ~pattern config (Adversary.Step { pid; deliver })
+              with
+              | None -> assert false
+              | Some config' ->
+                  if
+                    deliver = []
+                    && E.key_equal (E.key ~reduction config') parent_key
+                  then Metrics.incr m_noop_pruned
+                  else begin
+                    let act =
+                      Canon.Action.with_sends act
+                        (E.sends_between config config')
+                    in
+                    let child_sleep =
+                      List.filter
+                        (Canon.Action.independent act)
+                        (List.rev_append !executed sleep)
+                    in
+                    k config' child_sleep;
+                    executed := act :: !executed
+                  end)
           (choices policy mine))
       steppers
 
   (* the dedup key of an [explore] work item: the (possibly orbit)
-     configuration key, plus — when sleep sets are active — the exact
-     serialized sleep set, so a configuration re-reached under a
+     configuration key [bare], plus — when sleep sets are active — the
+     exact serialized sleep set, so a configuration re-reached under a
      different sleep set is re-expanded rather than wrongly deduped
      against a run that pruned differently *)
-  let item_key ~reduction config sleep =
-    let k = E.key ~reduction config in
+  let admission_key ~reduction bare sleep =
     match (reduction : Canon.reduction) with
-    | Symmetry_por -> k ^ Canon.Action.digest sleep
-    | No_reduction | Symmetry -> k
+    | Symmetry_por -> bare ^ Canon.Action.digest sleep
+    | No_reduction | Symmetry -> bare
 
   (* ---- sequential exhaustive exploration ---- *)
 
   (* Checkpoint payload of an [explore] campaign: the reduction mode,
-     the dedup table, the counters, and the stack of {e candidate}
-     (configuration, depth, sleep set) items — popped but not yet
-     admitted, so resume re-applies dedup and the budget exactly as
-     the uninterrupted run would have.  The parallel driver merges its
-     worker states into this same format, and every resume continues
-     on the sequential driver.  A payload written under a different
-     reduction mode describes a different search — warn and start
-     fresh, like a corrupt checkpoint. *)
+     the dedup table, the counted-terminal and admitted bare-key
+     tables (so resumed runs keep terminal counting and the
+     fragmentation metric exactly-once per configuration), the
+     counters, and the stack of {e candidate} (configuration, depth,
+     sleep set) items — popped but not yet admitted, so resume
+     re-applies dedup and the budget exactly as the uninterrupted run
+     would have.  The parallel driver merges its worker states into
+     this same format, and every resume continues on the sequential
+     driver.  A payload written under a different reduction mode
+     describes a different search — warn and start fresh, like a
+     corrupt checkpoint. *)
   type explore_snap =
     Canon.reduction
+    * (E.key, unit) Hashtbl.t
+    * (E.key, unit) Hashtbl.t
     * (E.key, unit) Hashtbl.t
     * int
     * int
@@ -639,22 +681,24 @@ module Make (A : Algorithm.S) = struct
     Metrics.gauge_set g_max_configs max_configs;
     let fresh () =
       ( Hashtbl.create 65_536,
+        Hashtbl.create 1_024,
+        Hashtbl.create 4_096,
         0,
         0,
         false,
         [ (E.init_explore ~reduction ~n ~inputs (), 0, []) ] )
     in
-    let seen, visited0, terminals0, exhausted0, stack0 =
+    let seen, term_seen, bare_seen, visited0, terminals0, exhausted0, stack0 =
       match resume with
       | Some payload ->
-          let mode, seen, v, t, e, st =
+          let mode, seen, tm, br, v, t, e, st =
             (Marshal.from_string payload 0 : explore_snap)
           in
           if mode <> reduction then begin
             warn_reduction_mismatch ~want:reduction ~got:mode;
             fresh ()
           end
-          else (seen, v, t, e, st)
+          else (seen, tm, br, v, t, e, st)
       | None -> fresh ()
     in
     let visited = ref visited0 in
@@ -664,7 +708,14 @@ module Make (A : Algorithm.S) = struct
     let stack = ref stack0 in
     let snap () =
       Marshal.to_string
-        ((reduction, seen, !visited, !terminals, !exhausted, !stack)
+        (( reduction,
+           seen,
+           term_seen,
+           bare_seen,
+           !visited,
+           !terminals,
+           !exhausted,
+           !stack )
           : explore_snap)
         []
     in
@@ -685,7 +736,8 @@ module Make (A : Algorithm.S) = struct
           interrupted := true
       | (config, depth, sleep) :: rest ->
           stack := rest;
-          let key = item_key ~reduction config sleep in
+          let bare = E.key ~reduction config in
+          let key = admission_key ~reduction bare sleep in
           if Hashtbl.mem seen key then begin
             Metrics.incr m_dedup;
             if reduction <> Canon.No_reduction then Metrics.incr m_orbit
@@ -696,6 +748,11 @@ module Make (A : Algorithm.S) = struct
           end
           else begin
             Hashtbl.add seen key ();
+            (match reduction with
+            | Canon.Symmetry_por ->
+                if Hashtbl.mem bare_seen bare then Metrics.incr m_sleep_readmit
+                else Hashtbl.add bare_seen bare ()
+            | Canon.No_reduction | Canon.Symmetry -> ());
             incr visited;
             Metrics.incr m_admitted;
             Metrics.gauge_max g_depth_peak depth;
@@ -707,17 +764,25 @@ module Make (A : Algorithm.S) = struct
               List.for_all (fun p -> E.decision_of config p <> None) correct
             in
             if done_ then begin
-              incr terminals;
-              Metrics.incr m_terminals;
-              on_terminal decisions
+              (* terminals are keyed by the bare configuration key:
+                 under sym+por the same terminal configuration can be
+                 admitted once per distinct sleep digest, but it is
+                 one terminal state, counted (and reported) once *)
+              if not (Hashtbl.mem term_seen bare) then begin
+                Hashtbl.add term_seen bare ();
+                incr terminals;
+                Metrics.incr m_terminals;
+                on_terminal decisions
+              end
             end
             else if depth >= max_depth then exhausted := true
             else begin
               let succs = ref [] in
               (match reduction with
               | Canon.Symmetry_por ->
-                  schedule_successors_sleep ~policy ~pattern ~steppers:correct
-                    ~sleep config (fun config' sleep' ->
+                  schedule_successors_sleep ~reduction ~policy ~pattern
+                    ~steppers:correct ~sleep ~parent_key:bare config
+                    (fun config' sleep' ->
                       succs := (config', depth + 1, sleep') :: !succs)
               | Canon.No_reduction | Canon.Symmetry ->
                   schedule_successors ~policy ~pattern ~steppers:correct config
@@ -765,6 +830,15 @@ module Make (A : Algorithm.S) = struct
     in
     let correct = Failure_pattern.correct pattern in
     let seen = Shardset.create ~name:"explore.dedup" () in
+    (* terminal configurations and admitted bare keys, both keyed by
+       the bare (sleep-free) configuration key: under sym+por one
+       configuration can be admitted once per distinct sleep digest,
+       but it is one terminal state / one distinct configuration.
+       [term_set] makes terminal counting and [on_terminal] fire once
+       per configuration (this also absorbs orphan re-expansions);
+       [bare_set] feeds the sleep-readmission counter. *)
+    let term_set = Shardset.create ~name:"explore.terminal" () in
+    let bare_set = Shardset.create ~name:"explore.bare" () in
     (* Keys admitted to the shared table whose expansion a dying
        worker cut short: the ticket stands and the in-flight item goes
        back to the pool, but its successors were never generated.
@@ -855,7 +929,8 @@ module Make (A : Algorithm.S) = struct
         end
       in
       let process (config, depth, sleep) =
-        let key = item_key ~reduction config sleep in
+        let bare = E.key ~reduction config in
+        let key = admission_key ~reduction bare sleep in
         (* expansion of an already-admitted configuration; a
            non-verdict exception escaping from here (a user [check]
            raising, say) leaves the admission behind, so the key is
@@ -872,16 +947,19 @@ module Make (A : Algorithm.S) = struct
               List.for_all (fun p -> E.decision_of config p <> None) correct
             in
             if done_ then begin
-              Atomic.incr terminals_n;
-              terminals_here := decisions :: !terminals_here;
-              Metrics.incr m_terminals
+              if Shardset.add term_set bare 0 then begin
+                Atomic.incr terminals_n;
+                terminals_here := decisions :: !terminals_here;
+                Metrics.incr m_terminals
+              end
             end
             else if depth >= max_depth then exhausted := true
             else begin
               (match reduction with
               | Canon.Symmetry_por ->
-                  schedule_successors_sleep ~policy ~pattern ~steppers:correct
-                    ~sleep config (fun config' sleep' ->
+                  schedule_successors_sleep ~reduction ~policy ~pattern
+                    ~steppers:correct ~sleep ~parent_key:bare config
+                    (fun config' sleep' ->
                       local := (config', depth + 1, sleep') :: !local;
                       incr local_len)
               | Canon.No_reduction | Canon.Symmetry ->
@@ -909,6 +987,11 @@ module Make (A : Algorithm.S) = struct
             Metrics.incr m_truncations
         | Shardset.Admitted _ ->
             Metrics.incr m_admitted;
+            (match reduction with
+            | Canon.Symmetry_por ->
+                if not (Shardset.add bare_set bare 0) then
+                  Metrics.incr m_sleep_readmit
+            | Canon.No_reduction | Canon.Symmetry -> ());
             expand ()
       in
       let rec drain () =
@@ -969,6 +1052,14 @@ module Make (A : Algorithm.S) = struct
         Hashtbl.create (2 * Shardset.length seen + 16)
       in
       Shardset.iter (fun k _ -> Hashtbl.replace seen_m k ()) seen;
+      let term_m : (E.key, unit) Hashtbl.t =
+        Hashtbl.create (2 * Shardset.length term_set + 16)
+      in
+      Shardset.iter (fun k _ -> Hashtbl.replace term_m k ()) term_set;
+      let bare_m : (E.key, unit) Hashtbl.t =
+        Hashtbl.create (2 * Shardset.length bare_set + 16)
+      in
+      Shardset.iter (fun k _ -> Hashtbl.replace bare_m k ()) bare_set;
       (* a pending orphan (admitted, expansion cut short by a worker
          failure, not yet re-expanded) must read as unvisited in the
          sequential format: drop its key so resume re-admits and
@@ -989,6 +1080,8 @@ module Make (A : Algorithm.S) = struct
       Marshal.to_string
         (( reduction,
            seen_m,
+           term_m,
+           bare_m,
            Atomic.get global_count - List.length orphaned,
            Atomic.get terminals_n,
            !ex,

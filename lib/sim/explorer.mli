@@ -44,7 +44,13 @@ type delivery_policy =
 
 type stats = {
   configs_visited : int;
-  terminal_runs : int;  (** Deduplicated configs where every correct process has decided. *)
+  terminal_runs : int;
+      (** Deduplicated configs where every correct process has
+          decided.  Always counted per distinct configuration key:
+          under [Symmetry_por] a terminal configuration re-admitted
+          with a different sleep digest is not counted again, so
+          [terminal_runs] agrees between [Symmetry] and
+          [Symmetry_por]. *)
   budget_exhausted : bool;
       (** True if [max_configs] or [max_depth] pruned the search — the
           verdict then covers only the explored portion.  Admission is
@@ -128,7 +134,10 @@ module Make (A : Algorithm.S) : sig
   (** DFS over all schedules.  [check decisions] returns
       [Some reason] to report a safety violation of the current
       decision set ((process, value, time) triples).  [on_terminal]
-      fires once per deduplicated decision-complete configuration.
+      fires once per decision-complete configuration {e key} — under
+      [Symmetry_por] sleep-digest re-admissions of the same terminal
+      configuration do not re-fire it, so terminal counts and
+      callbacks agree with [Symmetry].
       Defaults: [max_depth] 200, [max_configs] 2_000_000, [policy]
       [Per_sender].
 

@@ -159,7 +159,7 @@ let test_load_wrong_version () =
 let test_load_garbage_body () =
   with_tmp ".ckpt" (fun path ->
       ok_or_fail
-        (Durable.write_framed ~path ~magic:"KSACKPT1" ~version:2
+        (Durable.write_framed ~path ~magic:"KSACKPT1" ~version:3
            "not a marshalled tuple");
       let e = expect_error "garbage" (Checkpoint.load ~path) in
       check_contains "garbage" ~sub:"undecodable" e)

@@ -177,17 +177,42 @@ let test_movable_decided_multiset () =
 
 (* ---------- delivery actions ---------- *)
 
-let act pid deliveries = Canon.Action.make ~pid ~deliveries
+let act ?(sends = 0) pid deliveries = Canon.Action.make ~pid ~deliveries ~sends
 
-let prop_independent_iff_distinct_pids =
-  QCheck.Test.make ~name:"actions: independent iff steppers differ" ~count:200
+let prop_independent_iff_disjoint =
+  QCheck.Test.make
+    ~name:"actions: independent iff distinct steppers and no cross-send"
+    ~count:500
     QCheck.(
       pair
-        (pair (int_range 0 7) (small_list small_nat))
-        (pair (int_range 0 7) (small_list small_nat)))
-    (fun ((p, ds), (q, es)) ->
-      Canon.Action.independent (act p ds) (act q es) = (p <> q)
-      && Ksa_core.Independence.actions_commute (act p ds) (act q es) = (p <> q))
+        (triple (int_range 0 7) (small_list small_nat) (int_range 0 255))
+        (triple (int_range 0 7) (small_list small_nat) (int_range 0 255)))
+    (fun ((p, ds, sp), (q, es, sq)) ->
+      let expected =
+        p <> q && sp land (1 lsl q) = 0 && sq land (1 lsl p) = 0
+      in
+      Canon.Action.independent (act ~sends:sp p ds) (act ~sends:sq q es)
+      = expected
+      && Ksa_core.Independence.actions_commute (act ~sends:sp p ds)
+           (act ~sends:sq q es)
+         = expected)
+
+let test_send_breaks_independence () =
+  (* the reviewer's counterexample shape: distinct steppers are NOT
+     enough once one of them sends to the other — under the bucket
+     policies the send replaces the receiver's offered batches, so
+     the covering interleaving does not exist *)
+  let a = act ~sends:(1 lsl 2) 0 [] in
+  let b = act 2 [ 5 ] in
+  Alcotest.(check bool)
+    "send to the other's stepper is dependent" false
+    (Canon.Action.independent a b);
+  Alcotest.(check bool)
+    "dependence is symmetric in the send direction" false
+    (Canon.Action.independent b a);
+  Alcotest.(check bool)
+    "identity ignores the send mask" true
+    (Canon.Action.equal a (act 0 []))
 
 let prop_digest_order_insensitive =
   QCheck.Test.make ~name:"actions: digest ignores sleep-set order" ~count:200
@@ -244,6 +269,45 @@ let test_independent_steps_commute () =
   Alcotest.(check bool)
     "same-pid actions are dependent" false
     (E2.key_equal (E2.key all) (E2.key none))
+
+let test_sends_recorded_and_dependent () =
+  (* kset_flp(l=2)'s first step broadcasts Hello, and a step that
+     delivers a Hello enters stage 2 and broadcasts a Report: both
+     must surface in the engine's send mask, and a broadcasting
+     action must be dependent on every other pid's actions — this is
+     the exact shape for which pid-distinctness alone was unsound *)
+  let c0 =
+    E2.init_explore ~reduction:Canon.Symmetry_por ~n:3 ~inputs:(distinct 3) ()
+  in
+  let c1 = estep c0 0 [] in
+  let hello = E2.sends_between c0 c1 in
+  Alcotest.(check bool)
+    "first step broadcasts to pid 1" true
+    (hello land (1 lsl 1) <> 0);
+  Alcotest.(check bool)
+    "first step broadcasts to pid 2" true
+    (hello land (1 lsl 2) <> 0);
+  let a = act ~sends:hello 0 [] in
+  Alcotest.(check bool)
+    "broadcasting step depends on a receiver's action" false
+    (Canon.Action.independent a (act 1 []));
+  (* an empty re-step of a started stage-1 process sends nothing and
+     commutes with other steppers *)
+  let c2 = estep c1 0 [] in
+  Alcotest.(check int) "silent step has an empty mask" 0
+    (E2.sends_between c1 c2);
+  Alcotest.(check bool)
+    "silent steps of distinct pids commute" true
+    (Canon.Action.independent (act 0 []) (act 1 []));
+  (* delivering pid 0's Hello tips pid 2 into stage 2: the delivery
+     itself sends (the Report broadcast) *)
+  let inbox2 = List.map fst (E2.inbox c2 2) in
+  Alcotest.(check bool) "pid 2 has pending Hello" true (inbox2 <> []);
+  let c3 = estep c2 2 inbox2 in
+  let report = E2.sends_between c2 c3 in
+  Alcotest.(check bool)
+    "delivery-triggered broadcast names pid 0" true
+    (report land (1 lsl 0) <> 0)
 
 (* ---------- differential runs: reduced vs unreduced ---------- *)
 
@@ -329,47 +393,108 @@ let test_differential_decision_values () =
         reduced_modes)
     subjects
 
+let policies =
+  [
+    ("per-sender", Sim.Explorer.Per_sender);
+    ("empty-or-all", Sim.Explorer.Empty_or_all);
+  ]
+
 let test_differential_terminal_sets () =
   (* crash-free exploration under sym+por must surface exactly the
      unreduced terminal decision sets: sleep sets prune alternate
-     interleavings, never the states they lead to *)
+     interleavings, never the states they lead to.  Run under both
+     bucket-granular delivery policies — kset_flp broadcasts on
+     delivery (stage-2 entry), so with asymmetric inputs this is the
+     shape where a pid-distinctness independence relation pruned
+     interleavings whose covering permutation does not exist. *)
   List.iter
-    (fun (name, (module A : Sim.Algorithm.S)) ->
-      let module Ex = Sim.Explorer.Make (A) in
-      let collect ?reduction ?domains () =
-        let acc = ref [] in
-        let on_terminal ds =
-          acc := List.map (fun (p, v, _) -> (p, v)) ds :: !acc
-        in
-        (match
-           match domains with
-           | None ->
-               Ex.explore ?reduction ~on_terminal ~n:3 ~inputs:(distinct 3)
-                 ~pattern:(FP.none ~n:3) ~check:no_check ()
-           | Some d ->
-               Ex.explore_par ?reduction ~domains:d ~on_terminal ~n:3
-                 ~inputs:(distinct 3) ~pattern:(FP.none ~n:3) ~check:no_check
-                 ()
-         with
-        | Sim.Explorer.Safe s ->
-            Alcotest.(check bool)
-              (name ^ ": untruncated") false s.Sim.Explorer.budget_exhausted
-        | Sim.Explorer.Violation _ -> Alcotest.fail (name ^ ": violation"));
-        List.sort_uniq compare !acc
-      in
-      let baseline = collect () in
+    (fun (pname, policy) ->
       List.iter
-        (fun reduction ->
-          Alcotest.(check bool)
-            (Printf.sprintf "%s: terminals seq %s" name (mode_name reduction))
-            true
-            (baseline = collect ~reduction ());
-          Alcotest.(check bool)
-            (Printf.sprintf "%s: terminals par %s" name (mode_name reduction))
-            true
-            (baseline = collect ~reduction ~domains:2 ()))
-        reduced_modes)
-    subjects
+        (fun (name, (module A : Sim.Algorithm.S)) ->
+          let module Ex = Sim.Explorer.Make (A) in
+          let label = name ^ "/" ^ pname in
+          let collect ?reduction ?domains () =
+            let acc = ref [] in
+            let on_terminal ds =
+              acc := List.map (fun (p, v, _) -> (p, v)) ds :: !acc
+            in
+            (match
+               match domains with
+               | None ->
+                   Ex.explore ?reduction ~policy ~on_terminal ~n:3
+                     ~inputs:(distinct 3) ~pattern:(FP.none ~n:3)
+                     ~check:no_check ()
+               | Some d ->
+                   Ex.explore_par ?reduction ~domains:d ~policy ~on_terminal
+                     ~n:3 ~inputs:(distinct 3) ~pattern:(FP.none ~n:3)
+                     ~check:no_check ()
+             with
+            | Sim.Explorer.Safe s ->
+                Alcotest.(check bool)
+                  (label ^ ": untruncated") false
+                  s.Sim.Explorer.budget_exhausted
+            | Sim.Explorer.Violation _ -> Alcotest.fail (label ^ ": violation"));
+            List.sort_uniq compare !acc
+          in
+          let baseline = collect () in
+          List.iter
+            (fun reduction ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: terminals seq %s" label
+                   (mode_name reduction))
+                true
+                (baseline = collect ~reduction ());
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: terminals par %s" label
+                   (mode_name reduction))
+                true
+                (baseline = collect ~reduction ~domains:2 ()))
+            reduced_modes)
+        subjects)
+    policies
+
+let test_terminal_count_parity () =
+  (* terminal_runs — and the number of on_terminal firings — count
+     distinct terminal configuration keys, so they must agree between
+     sym and sym+por even though sym+por re-admits configurations once
+     per sleep digest *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  List.iter
+    (fun (pname, policy) ->
+      let count ?domains reduction =
+        let fired = ref 0 in
+        let on_terminal _ = incr fired in
+        match
+          match domains with
+          | None ->
+              Ex.explore ~reduction ~policy ~on_terminal ~n:3
+                ~inputs:(distinct 3) ~pattern:(FP.none ~n:3) ~check:no_check ()
+          | Some d ->
+              Ex.explore_par ~reduction ~domains:d ~policy ~on_terminal ~n:3
+                ~inputs:(distinct 3) ~pattern:(FP.none ~n:3) ~check:no_check ()
+        with
+        | Sim.Explorer.Safe s -> (s.Sim.Explorer.terminal_runs, !fired)
+        | Sim.Explorer.Violation _ -> Alcotest.fail (pname ^ ": violation")
+      in
+      let runs_sym, fired_sym = count Canon.Symmetry in
+      Alcotest.(check bool)
+        (pname ^ ": some terminal reached") true (runs_sym > 0);
+      Alcotest.(check int)
+        (pname ^ ": sym fires once per terminal") runs_sym fired_sym;
+      List.iter
+        (fun domains ->
+          let runs_por, fired_por = count ?domains Canon.Symmetry_por in
+          let tag = match domains with None -> "seq" | Some d ->
+            Printf.sprintf "par(%d)" d in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: terminal_runs sym = sym+por (%s)" pname tag)
+            runs_sym runs_por;
+          Alcotest.(check int)
+            (Printf.sprintf "%s: on_terminal firings sym = sym+por (%s)" pname
+               tag)
+            runs_por fired_por)
+        [ None; Some 2 ])
+    policies
 
 let test_reduction_reduces () =
   (* not a soundness property, but the reason the layer exists: on the
@@ -405,12 +530,16 @@ let suites =
           test_crashed_state_elided;
         Alcotest.test_case "movable decided multiset" `Quick
           test_movable_decided_multiset;
-        qcheck prop_independent_iff_distinct_pids;
+        qcheck prop_independent_iff_disjoint;
+        Alcotest.test_case "cross-send breaks independence" `Quick
+          test_send_breaks_independence;
         qcheck prop_digest_order_insensitive;
         Alcotest.test_case "digest separates distinct sets" `Quick
           test_digest_separates;
         Alcotest.test_case "independent engine steps commute" `Quick
           test_independent_steps_commute;
+        Alcotest.test_case "send masks recorded and dependence-inducing" `Quick
+          test_sends_recorded_and_dependent;
       ] );
     ( "reduction.differential",
       [
@@ -420,6 +549,8 @@ let suites =
           test_differential_decision_values;
         Alcotest.test_case "terminal decision sets agree" `Quick
           test_differential_terminal_sets;
+        Alcotest.test_case "terminal counts agree sym vs sym+por" `Quick
+          test_terminal_count_parity;
         Alcotest.test_case "symmetry actually reduces" `Quick
           test_reduction_reduces;
       ] );
