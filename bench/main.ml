@@ -363,6 +363,50 @@ let bench_fuzz_kset_clean () =
   in
   ignore (FuzzK2.run cfg ~seed:7 ~trials:25)
 
+(* greybox-vs-blind family: the same trial budget on the clean
+   kset-flp n=3 subject, once blind and once coverage-guided.  Each
+   thunk records how many distinct interned state ids the campaign
+   visited in a gauge, so the JSON writer can derive
+   distinct_states_per_sec = ids / (ns_per_run / 1e9) for both modes
+   — the figure the greybox mode exists to improve. *)
+let g_fuzz_distinct = Metrics.gauge "fuzz.bench.distinct_ids"
+
+let bench_fuzz_kset_modes coverage () =
+  let cfg =
+    {
+      (Sim.Fuzz.default_config ~k:1 ~n:3 ()) with
+      Sim.Fuzz.max_crashes = 1;
+      coverage;
+    }
+  in
+  let seen = Hashtbl.create 4096 in
+  let note (tr : Sim.Trace.t) =
+    Array.iter (fun id -> Hashtbl.replace seen id ()) tr.Sim.Trace.init_ids;
+    Array.iter
+      (Array.iter (fun (s : Sim.Trace.step) ->
+           Hashtbl.replace seen s.Sim.Trace.state_id ()))
+      tr.Sim.Trace.steps
+  in
+  ignore
+    (FuzzK2.run
+       ~on_trial:(fun _ run -> note run.Sim.Run.trace)
+       cfg ~seed:7 ~trials:400);
+  Metrics.gauge_set g_fuzz_distinct (Hashtbl.length seen)
+
+(* time-to-violation pair: kset-flp at n=4, L=2 breaks 1-agreement
+   only on near-partition schedules, so the subject's ns_per_run IS
+   the wall-clock cost of finding one violation — blind search needs
+   trial 37 950 on this seed where the greybox campaign reaches trial
+   2 742 (the margin CI pins in trial counts; this pair prices it in
+   seconds, shrinking included) *)
+let bench_fuzz_violation coverage () =
+  let cfg =
+    { (Sim.Fuzz.default_config ~k:1 ~n:4 ()) with Sim.Fuzz.coverage = coverage }
+  in
+  match FuzzK2.run cfg ~seed:3 ~trials:50_000 with
+  | Sim.Fuzz.Violation_found _ -> ()
+  | _ -> failwith "bench: kset-flp n=4 violation subject stayed clean"
+
 (* One (name, thunk) pair per subject: bechamel times the thunk, and
    in [--json] mode a single extra invocation between two
    Metrics.snapshot calls yields the per-run counter deltas that go
@@ -400,6 +444,10 @@ let subjects =
     ("ablation:record-replay-n6", bench_ablation_replay);
     ("fuzz:trivial-shrink-n3", bench_fuzz_trivial_shrink);
     ("fuzz:kset-flp-clean-n3", bench_fuzz_kset_clean);
+    ("fuzz:blind-kset-flp-n3", bench_fuzz_kset_modes false);
+    ("fuzz:coverage-kset-flp-n3", bench_fuzz_kset_modes true);
+    ("fuzz:blind-violation-n4", bench_fuzz_violation false);
+    ("fuzz:coverage-violation-n4", bench_fuzz_violation true);
     ("screen:section6-n4", bench_screen_section6_n4);
     ("indist:for-all-n6", bench_indist_for_all_n6);
   ]
@@ -443,14 +491,16 @@ let counter_deltas () =
    the counter deltas of one run, one JSON object, written next to
    the cwd so successive PRs can diff it.  scaling:* rows also carry
    speedup_vs_seq, the sequential e12 subject's ns/run over theirs,
-   and reduction:* rows carry reduction_ratio, unreduced configs
-   admitted over theirs. *)
+   reduction:* rows carry reduction_ratio, unreduced configs admitted
+   over theirs, and the fuzz blind/coverage pair carries
+   distinct_states_per_sec, the campaign's distinct interned state
+   ids over its wall-clock seconds. *)
 let write_bench_json ~path rows =
   let oc = open_out path in
   output_string oc "{\n";
   let total = List.length rows in
   List.iteri
-    (fun i (name, ns, counters, speedup, ratio) ->
+    (fun i (name, ns, counters, speedup, ratio, dsps) ->
       Printf.fprintf oc "  %S: {\n    \"ns_per_run\": %s" name
         (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns);
       (match speedup with
@@ -460,6 +510,10 @@ let write_bench_json ~path rows =
       (match ratio with
       | Some r when not (Float.is_nan r) ->
           Printf.fprintf oc ",\n    \"reduction_ratio\": %.3f" r
+      | _ -> ());
+      (match dsps with
+      | Some d when not (Float.is_nan d) ->
+          Printf.fprintf oc ",\n    \"distinct_states_per_sec\": %.1f" d
       | _ -> ());
       (match counters with
       | [] -> ()
@@ -548,6 +602,18 @@ let run_benchmarks ~json () =
             in
             Option.map (fun b -> b /. float_of_int own) baseline
     in
+    let distinct_per_sec name ns =
+      if not (has name "fuzz:blind-" || has name "fuzz:coverage-") then None
+      else
+        match
+          Option.bind (List.assoc_opt name deltas)
+            (List.assoc_opt "fuzz.bench.distinct_ids")
+        with
+        | None | Some 0 -> None
+        | Some ids ->
+            if Float.is_nan ns then None
+            else Some (float_of_int ids /. (ns /. 1e9))
+    in
     let rows =
       List.map
         (fun (name, ns) ->
@@ -557,10 +623,15 @@ let run_benchmarks ~json () =
           let speedup =
             if has name "scaling:" then Some (seq_ns /. ns) else None
           in
-          (name, ns, counters, speedup, reduction_ratio name))
+          ( name,
+            ns,
+            counters,
+            speedup,
+            reduction_ratio name,
+            distinct_per_sec name ns ))
         rows
     in
-    let is_trace_subject (name, _, _, _, _) =
+    let is_trace_subject (name, _, _, _, _, _) =
       has name "screen:" || has name "indist:"
     in
     let screen_rows, explore_rows = List.partition is_trace_subject rows in

@@ -751,7 +751,7 @@ let explore_cmd =
 (* ---------- fuzz ---------- *)
 
 let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
-    weights_name require_termination domains stats_json save_schedule
+    weights_name require_termination coverage domains stats_json save_schedule
     replay_path max_seconds checkpoint checkpoint_every resume =
   let l = Option.value l ~default:(max 1 (n - 1)) in
   match algo_conv ~l ~wait_for algo_name with
@@ -788,6 +788,7 @@ let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
             ([ Sim.Fuzz.K_agreement k; Sim.Fuzz.Validity ]
             @ if require_termination then [ Sim.Fuzz.Termination ] else []);
           stop;
+          coverage;
         }
       in
       (* returns 1 when the stats file could not be written *)
@@ -831,11 +832,12 @@ let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
             let fingerprint =
               Printf.sprintf
                 "algo=%s n=%d k=%d l=%d wait=%d dead=%s seed=%d trials=%d \
-                 max-steps=%d max-crashes=%d weights=%s termination=%b"
+                 max-steps=%d max-crashes=%d weights=%s termination=%b \
+                 coverage=%b"
                 algo_name n k l wait_for
                 (String.concat "," (List.map string_of_int dead))
                 seed trials max_steps max_crashes weights_name
-                require_termination
+                require_termination coverage
             in
             let ck_policy =
               match checkpoint_every with
@@ -868,20 +870,27 @@ let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
                   | None -> [])
                 ()
             in
-            let resume_from =
-              match resumed with
-              | Some t -> F.resume_trial (Checkpoint.payload t)
-              | None -> 0
-            in
+            (* the full payload, not just the trial index: a coverage
+               campaign's corpus rides in it *)
+            let resume_payload = Option.map Checkpoint.payload resumed in
             let outcome =
               if domains > 1 then
-                F.run_par ~domains ~ckpt ~resume_from cfg ~seed ~trials
-              else F.run ~ckpt ~resume_from cfg ~seed ~trials
+                F.run_par ~domains ~ckpt ?resume_payload cfg ~seed ~trials
+              else F.run ~ckpt ?resume_payload cfg ~seed ~trials
+            in
+            let report_coverage () =
+              if coverage then
+                Format.printf
+                  "coverage: %d state ids, %d transition pairs, corpus %d@."
+                  (Metrics.gauge_value (Metrics.gauge "fuzz.cov.ids"))
+                  (Metrics.gauge_value (Metrics.gauge "fuzz.cov.pairs"))
+                  (Metrics.gauge_value (Metrics.gauge "fuzz.cov.corpus"))
             in
             match outcome with
             | Sim.Fuzz.Violation_found v -> (
                 Format.printf "VIOLATION at trial %d (%s): %s@."
                   v.Sim.Fuzz.trial v.Sim.Fuzz.property v.Sim.Fuzz.reason;
+                report_coverage ();
                 Format.printf
                   "schedule: %d steps, shrunk to %d (1-minimal, %d candidate \
                    replays)@."
@@ -900,12 +909,14 @@ let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
                 | None -> 2)
             | Sim.Fuzz.Clean { trials } ->
                 Format.printf "CLEAN: %d trials, no violation@." trials;
+                report_coverage ();
                 0
             | Sim.Fuzz.Budget_exhausted { trials } ->
                 Format.printf
                   "BUDGET EXHAUSTED: no violation in the %d trials that ran \
                    before the budget@."
                   trials;
+                report_coverage ();
                 4)
       in
       let stats_code = write_stats () in
@@ -951,31 +962,45 @@ let require_termination_arg =
           "Also flag runs that exhaust the step budget with a correct \
            process undecided (use with fair weights).")
 
+let coverage_arg =
+  Arg.(
+    value & flag
+    & info [ "coverage" ]
+        ~doc:
+          "Coverage-guided (greybox) generation: track which interned state \
+           ids and state transitions each trial reaches, keep a corpus of \
+           schedules that lit new coverage, and mutate corpus entries \
+           instead of always sampling fresh schedules.  Deterministic for a \
+           fixed seed, like blind mode; the corpus rides the checkpoint, so \
+           kill/resume campaigns keep their learned coverage.")
+
 let max_seconds_arg =
   Arg.(
     value
     & opt (some float) None
     & info [ "max-seconds" ] ~docv:"SEC"
         ~doc:
-          "Wall-clock budget; ends the campaign early with exit 4 (note: \
-           which trials ran is then timing-dependent).")
+          "Wall-clock budget; ends the campaign early with exit 4 after \
+           flushing a final checkpoint when --checkpoint is set — an expiry \
+           preserves exactly the progress a SIGINT would (note: which \
+           trials ran is then timing-dependent).")
 
 let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Random schedule search with counterexample shrinking: drive the \
-          algorithm through seeded random adversary actions, check \
-          k-agreement/validity (and optionally termination), and on \
-          violation shrink the schedule to a 1-minimal replayable \
-          counterexample.  Exits 2 on a violation, 0 when all trials are \
-          clean, and 4 when --max-seconds cut the campaign short.  With \
-          --replay FILE, re-runs a saved schedule and reports its verdict \
-          instead of fuzzing.")
+          algorithm through seeded random adversary actions (optionally \
+          coverage-guided with --coverage), check k-agreement/validity (and \
+          optionally termination), and on violation shrink the schedule to \
+          a 1-minimal replayable counterexample.  Exits 2 on a violation, 0 \
+          when all trials are clean, and 4 when --max-seconds cut the \
+          campaign short.  With --replay FILE, re-runs a saved schedule and \
+          reports its verdict instead of fuzzing.")
     Term.(
       const fuzz $ algo_arg $ n_arg $ k_arg $ l_arg $ wait_arg $ seed_arg
       $ trials_arg $ max_steps_arg $ max_crashes_arg $ dead_arg $ weights_arg
-      $ require_termination_arg $ domains_arg $ stats_json_arg
+      $ require_termination_arg $ coverage_arg $ domains_arg $ stats_json_arg
       $ save_schedule_arg $ replay_arg $ max_seconds_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg)
 

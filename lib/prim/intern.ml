@@ -1,7 +1,7 @@
-type t = { lock : Mutex.t; tbl : (Obj.t, int) Hashtbl.t }
+type t = { lock : Mutex.t; tbl : (Obj.t, int) Hashtbl.t; mutable hi : int }
 
 let create ?name ?(size = 4096) () =
-  let t = { lock = Mutex.create (); tbl = Hashtbl.create size } in
+  let t = { lock = Mutex.create (); tbl = Hashtbl.create size; hi = 0 } in
   (match name with
   | Some name -> Metrics.probe (name ^ ".size") (fun () -> Hashtbl.length t.tbl)
   | None -> ());
@@ -27,9 +27,17 @@ let id t v =
       | None ->
           let id = Hashtbl.length t.tbl in
           Hashtbl.add t.tbl r id;
+          t.hi <- id + 1;
           id)
 
 let count t = with_lock t (fun () -> Hashtbl.length t.tbl)
+
+(* [hi] is written only under the mutex and only ever grows; a plain
+   read therefore observes some recent value — a monotone lower bound
+   on the id count, which is all capacity hints need.  Immediate ints
+   are read atomically on every OCaml platform, so there is no torn
+   read to worry about. *)
+let watermark t = t.hi
 
 (* Checkpointing support.  Interned ids are embedded in engine
    configurations and dedup keys, so a campaign snapshot is only
@@ -65,6 +73,7 @@ let restore t dumped =
           | None ->
               if Hashtbl.length t.tbl = i then (
                 Hashtbl.add t.tbl v i;
+                t.hi <- i + 1;
                 go (i + 1))
               else
                 Error

@@ -39,6 +39,14 @@ val id : t -> 'a -> int
 val count : t -> int
 (** Number of distinct values interned so far. *)
 
+val watermark : t -> int
+(** A lock-free monotone lower bound on {!count}: the highest id
+    watermark published so far.  Because it is read without taking the
+    registry mutex it may lag concurrent interning, but it never
+    overshoots and never decreases — exactly what callers need for
+    cheap capacity hints (e.g. sizing a coverage bitmap over state
+    ids) without touching the interning hot path. *)
+
 val dump : t -> Obj.t array
 (** The current id assignment, as an array whose index [i] holds the
     value interned under id [i].  Together with {!restore} this makes

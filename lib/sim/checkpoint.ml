@@ -28,10 +28,13 @@ let magic = "KSACKPT1"
 (* v2: driver payloads carry the reduction mode (and, in [explore]
    snapshots, per-item DPOR sleep sets).  v3: [Canon.Action.t] gained
    the [sends] destination mask and [explore] snapshots gained the
-   terminal/bare dedup tables.  Older files unmarshal into the wrong
-   tuple shapes, so they are rejected by the version check and the
-   CLI falls back to a fresh campaign. *)
-let version = 3
+   terminal/bare dedup tables.  v4: [fuzz] payloads changed from a
+   bare watermark integer to a record that also carries the greybox
+   coverage state (bitmap, transition pairs, corpus, unfolded
+   updates).  Older files unmarshal into the wrong shapes, so they
+   are rejected by the version check and the CLI falls back to a
+   fresh campaign. *)
+let version = 4
 
 let m_written = Metrics.counter "campaign.checkpoints.written"
 let m_loaded = Metrics.counter "campaign.checkpoints.loaded"

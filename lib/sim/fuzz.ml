@@ -1,6 +1,7 @@
 module Rng = Ksa_prim.Rng
 module Metrics = Ksa_prim.Metrics
 module Listx = Ksa_prim.Listx
+module Intern = Ksa_prim.Intern
 
 type weights = {
   deliver_all : int;
@@ -44,6 +45,7 @@ type config = {
   max_steps : int;
   properties : property list;
   stop : (unit -> bool) option;
+  coverage : bool;
 }
 
 let default_config ?(k = 1) ~n () =
@@ -56,6 +58,7 @@ let default_config ?(k = 1) ~n () =
     max_steps = 200;
     properties = [ K_agreement k; Validity ];
     stop = None;
+    coverage = false;
   }
 
 type violation = {
@@ -87,10 +90,23 @@ let g_first = Metrics.gauge "fuzz.first_violation.trial"
 let g_schedule_len = Metrics.gauge "fuzz.schedule.len"
 let g_shrunk_len = Metrics.gauge "fuzz.shrunk.len"
 
+(* greybox coverage instruments, refreshed at every corpus fold and
+   finalized at campaign end *)
+let g_cov_ids = Metrics.gauge "fuzz.cov.ids"
+let g_cov_pairs = Metrics.gauge "fuzz.cov.pairs"
+let g_cov_corpus = Metrics.gauge "fuzz.cov.corpus"
+let m_cov_admitted = Metrics.counter "fuzz.cov.admitted"
+let m_cov_mutants = Metrics.counter "fuzz.cov.mutants"
+let m_cov_fresh = Metrics.counter "fuzz.cov.fresh"
+
 let () =
   Metrics.probe "fuzz.schedules_per_sec" (fun () ->
       let ns = Metrics.timer_ns t_trial in
-      if ns <= 0 then 0 else Metrics.value m_trials * 1_000_000_000 / ns)
+      if ns <= 0 then 0 else Metrics.value m_trials * 1_000_000_000 / ns);
+  Metrics.probe "fuzz.cov.ids_per_sec" (fun () ->
+      let ns = Metrics.timer_ns t_trial in
+      if ns <= 0 then 0
+      else Metrics.gauge_value g_cov_ids * 1_000_000_000 / ns)
 
 (* Delta debugging (Zeller & Hildebrandt's ddmin) over a step list:
    returns a subsequence on which [test] still holds and from which no
@@ -123,6 +139,380 @@ let ddmin ~test xs =
           | None -> if size > 1 then go xs (min len (2 * n)) else xs)
   in
   if test [] then [] else go xs 2
+
+(* ---------- coverage-guided (greybox) machinery ----------
+
+   The interner already assigns a dense id to every process state any
+   run reaches, so an AFL-style coverage map comes for free: a bitmap
+   over state ids plus a set of (previous-id, next-id) transition
+   pairs.  A trial whose run lights any new bit donates its executed
+   schedule to a corpus; later trials mutate corpus entries instead
+   of always sampling fresh schedules, with an energy schedule that
+   favors entries holding rarely-hit ids.
+
+   Determinism is the whole design problem.  Trial [i] must stay a
+   pure function of (config, seed, i) — the contract every parity and
+   resume test pins — yet mutation needs the corpus, which is built
+   from other trials' results.  The resolution is epoch-frozen
+   visibility: trials are grouped into fixed-size epochs, and a trial
+   in epoch [e] is generated against the corpus state obtained by
+   folding exactly the clean trials of epochs [0..e-1], in trial
+   order.  Folds happen when the clean-trial watermark (the same
+   contiguous-prefix watermark the checkpoints use) crosses an epoch
+   boundary, so the parallel driver folds the identical updates in
+   the identical order as the sequential one, no matter how its
+   domains interleave.  Violating trials contribute nothing (the
+   sequential driver stops at the first one, so folding them would
+   break parity).
+
+   The per-epoch generation state is published as an immutable [view]
+   (entry array plus cumulative energy weights); workers read only
+   views, and the mutable master state is touched only while holding
+   the caller's lock (the watermark mutex, in the parallel driver).
+
+   All tuning constants below are part of the deterministic contract:
+   changing one changes campaign outcomes, exactly like changing the
+   seed. *)
+
+module Cov = struct
+  let epoch = 16 (* trials per corpus-visibility epoch *)
+  let corpus_cap = 128 (* entries kept; lowest-energy evicted *)
+  let rare_cap = 16 (* new ids remembered per entry for rarity *)
+  let rare_cutoff = 8 (* hit count at or below which an id is rare *)
+  let fresh_odds = 4 (* 1-in-[fresh_odds] trials sample fresh *)
+
+  (* a transition pair packed into one int; state ids are dense from
+     0 so 31 bits each fits comfortably in OCaml's 63-bit ints *)
+  let pack a b = (a lsl 31) lor b
+
+  type entry = {
+    en_pattern : Failure_pattern.t;
+    en_sched : Replay.step_desc list; (* executed schedule as admitted *)
+    en_new : int; (* ids + pairs first seen in that run *)
+    en_rare : int list; (* up to [rare_cap] of the new state ids *)
+  }
+
+  type master = {
+    mutable bits : Bytes.t; (* bit [i] set iff state id [i] seen *)
+    mutable ids : int; (* population count of [bits] *)
+    mutable hits : int array; (* folded-update touch count per id *)
+    pairs : (int, unit) Hashtbl.t; (* packed transition pairs *)
+    mutable corpus : entry list; (* newest first *)
+    mutable size : int;
+  }
+
+  (* the interner watermark is a cheap, lock-free capacity hint: runs
+     before this campaign already interned that many state ids, so
+     start the bitmap there instead of growing through every
+     power of two (content is unaffected — the bits start zero) *)
+  let create_master () =
+    let hint = (Intern.watermark Intern.states / 8) + 1 in
+    {
+      bits = Bytes.make (max 128 hint) '\000';
+      ids = 0;
+      hits = Array.make (max 1024 (8 * hint)) 0;
+      pairs = Hashtbl.create 1024;
+      corpus = [];
+      size = 0;
+    }
+
+  let ensure_bits m id =
+    let need = (id lsr 3) + 1 in
+    if Bytes.length m.bits < need then begin
+      let fresh = Bytes.make (max need (2 * Bytes.length m.bits)) '\000' in
+      Bytes.blit m.bits 0 fresh 0 (Bytes.length m.bits);
+      m.bits <- fresh
+    end
+
+  let test_bit m id =
+    id lsr 3 < Bytes.length m.bits
+    && Char.code (Bytes.get m.bits (id lsr 3)) land (1 lsl (id land 7)) <> 0
+
+  let set_bit m id =
+    ensure_bits m id;
+    Bytes.set m.bits (id lsr 3)
+      (Char.chr
+         (Char.code (Bytes.get m.bits (id lsr 3)) lor (1 lsl (id land 7))))
+
+  let ensure_hits m id =
+    if id >= Array.length m.hits then begin
+      let fresh = Array.make (max (id + 1) (2 * Array.length m.hits)) 0 in
+      Array.blit m.hits 0 fresh 0 (Array.length m.hits);
+      m.hits <- fresh
+    end
+
+  (* what one clean trial contributes, extracted from its recorded
+     trace: the distinct state ids it touched, the distinct transition
+     pairs, and its executed schedule (for corpus admission) *)
+  type update = {
+    up_ids : int array; (* sorted distinct *)
+    up_pairs : int array; (* sorted distinct, packed *)
+    up_pattern : Failure_pattern.t;
+    up_sched : Replay.step_desc list;
+  }
+
+  let sorted_keys h =
+    let a = Array.of_seq (Hashtbl.to_seq_keys h) in
+    Array.sort compare a;
+    a
+
+  let update_of_run ~pattern (run : Run.t) =
+    let tr = run.Run.trace in
+    let idset = Hashtbl.create 64 in
+    let pairset = Hashtbl.create 64 in
+    Array.iteri
+      (fun p init ->
+        Hashtbl.replace idset init ();
+        let prev = ref init in
+        Array.iter
+          (fun (s : Trace.step) ->
+            Hashtbl.replace idset s.Trace.state_id ();
+            Hashtbl.replace pairset (pack !prev s.Trace.state_id) ();
+            prev := s.Trace.state_id)
+          tr.Trace.steps.(p))
+      tr.Trace.init_ids;
+    {
+      up_ids = sorted_keys idset;
+      up_pairs = sorted_keys pairset;
+      up_pattern = pattern;
+      up_sched = Trace_io.schedule_of_run run;
+    }
+
+  let energy m e =
+    let rare =
+      List.fold_left
+        (fun acc id ->
+          if id < Array.length m.hits && m.hits.(id) <= rare_cutoff then
+            acc + 1
+          else acc)
+        0 e.en_rare
+    in
+    1 + min e.en_new 32 + (8 * rare)
+
+  (* deterministic eviction: drop the oldest entry of minimal energy
+     ([<=] while scanning newest-first lands on the last, i.e. oldest,
+     minimum) *)
+  let evict m =
+    let arr = Array.of_list m.corpus in
+    let worst = ref 0 in
+    Array.iteri
+      (fun i e -> if energy m e <= energy m arr.(!worst) then worst := i)
+      arr;
+    let w = !worst in
+    m.corpus <- List.filteri (fun i _ -> i <> w) m.corpus;
+    m.size <- m.size - 1
+
+  let publish_gauges m =
+    Metrics.gauge_set g_cov_ids m.ids;
+    Metrics.gauge_set g_cov_pairs (Hashtbl.length m.pairs);
+    Metrics.gauge_set g_cov_corpus m.size
+
+  let fold_update m (u : update) =
+    let news = ref 0 in
+    let rare = ref [] in
+    let nrare = ref 0 in
+    Array.iter
+      (fun id ->
+        ensure_hits m id;
+        if not (test_bit m id) then begin
+          set_bit m id;
+          m.ids <- m.ids + 1;
+          incr news;
+          if !nrare < rare_cap then begin
+            rare := id :: !rare;
+            incr nrare
+          end
+        end;
+        m.hits.(id) <- m.hits.(id) + 1)
+      u.up_ids;
+    Array.iter
+      (fun pk ->
+        if not (Hashtbl.mem m.pairs pk) then begin
+          Hashtbl.add m.pairs pk ();
+          incr news
+        end)
+      u.up_pairs;
+    if !news > 0 && u.up_sched <> [] then begin
+      Metrics.incr m_cov_admitted;
+      m.corpus <-
+        {
+          en_pattern = u.up_pattern;
+          en_sched = u.up_sched;
+          en_new = !news;
+          en_rare = List.rev !rare;
+        }
+        :: m.corpus;
+      m.size <- m.size + 1;
+      if m.size > corpus_cap then evict m
+    end
+
+  (* an immutable per-epoch generation snapshot: entries in admission
+     order with cumulative energy weights, so weighted parent picks
+     never read the mutable master *)
+  type view = { entries : entry array; cum : int array; total : int }
+
+  let view_of m =
+    let entries = Array.of_list (List.rev m.corpus) in
+    let cum = Array.make (Array.length entries) 0 in
+    let total = ref 0 in
+    Array.iteri
+      (fun i e ->
+        total := !total + energy m e;
+        cum.(i) <- !total)
+      entries;
+    { entries; cum; total = !total }
+
+  let pick_entry v r =
+    (* first index whose cumulative weight exceeds r; linear scan is
+       fine at [corpus_cap] entries *)
+    let n = Array.length v.entries in
+    let rec go i = if i >= n - 1 || v.cum.(i) > r then i else go (i + 1) in
+    v.entries.(go 0)
+
+  (* per-campaign coverage state: [master] folded through every trial
+     below [base] (always an epoch boundary), clean-trial updates at
+     or above [base] buffered in [pending], and the generation view
+     for each folded epoch boundary in [views].  Mutated only under
+     the campaign's watermark discipline: the sequential driver owns
+     it outright, the parallel driver guards every access with the
+     watermark mutex. *)
+  type box = {
+    mutable master : master;
+    mutable base : int;
+    pending : (int, update) Hashtbl.t;
+    views : (int, view) Hashtbl.t;
+  }
+
+  let epoch_floor i = i - (i mod epoch)
+
+  (* fold every complete epoch up to [target] (an epoch boundary; all
+     clean updates below it must be pending), registering the
+     generation view at each boundary crossed *)
+  let fold_to b target =
+    while b.base < target do
+      for i = b.base to b.base + epoch - 1 do
+        match Hashtbl.find_opt b.pending i with
+        | Some u ->
+            fold_update b.master u;
+            Hashtbl.remove b.pending i
+        | None -> ()
+      done;
+      b.base <- b.base + epoch;
+      Hashtbl.replace b.views b.base (view_of b.master);
+      publish_gauges b.master
+    done
+
+  (* fold whatever clean updates remain (the trailing partial epoch),
+     in trial order — campaign-end finalization so the coverage
+     gauges report the whole campaign, never for generation *)
+  let fold_tail b =
+    let idxs =
+      List.sort compare (Hashtbl.fold (fun i _ acc -> i :: acc) b.pending [])
+    in
+    List.iter
+      (fun i ->
+        match Hashtbl.find_opt b.pending i with
+        | Some u ->
+            fold_update b.master u;
+            Hashtbl.remove b.pending i
+        | None -> ())
+      idxs;
+    publish_gauges b.master
+end
+
+(* ---------- checkpoint payload (schema version 4) ---------- *)
+
+(* What a fuzz checkpoint carries.  For a blind campaign the trial
+   watermark alone is the whole resumable state (trial [i] is a pure
+   function of (config, seed, i)).  A coverage campaign additionally
+   carries the corpus machinery in canonical form: the master folded
+   to exactly [epoch_floor watermark] plus the pending updates of the
+   current partial epoch, in trial order — the same state the
+   uninterrupted campaign holds at that watermark, so resume is
+   bit-identical, corpus included. *)
+type cov_state = {
+  cs_base : int;
+  cs_master : Cov.master;
+  cs_pending : (int * Cov.update) list; (* sorted; trials in [base, wm) *)
+}
+
+type payload = { pl_trial : int; pl_cov : cov_state option }
+
+let fuzz_snap i () = Marshal.to_string { pl_trial = i; pl_cov = None } []
+let decode_payload s = (Marshal.from_string s 0 : payload)
+
+(* canonical coverage payload at watermark [wm]; caller holds the
+   box's lock (parallel driver) or owns it (sequential) *)
+let cov_payload wm (b : Cov.box) =
+  Cov.fold_to b (Cov.epoch_floor wm);
+  let pend =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold
+         (fun i u acc -> if i < wm then (i, u) :: acc else acc)
+         b.Cov.pending [])
+  in
+  {
+    pl_trial = wm;
+    pl_cov =
+      Some { cs_base = b.Cov.base; cs_master = b.Cov.master; cs_pending = pend };
+  }
+
+(* rebuild a campaign's coverage box for trials starting at [start] *)
+let box_of_state ~start (cs : cov_state option) =
+  let b =
+    match cs with
+    | None ->
+        {
+          Cov.master = Cov.create_master ();
+          base = Cov.epoch_floor start;
+          pending = Hashtbl.create 64;
+          views = Hashtbl.create 32;
+        }
+    | Some cs ->
+        let b =
+          {
+            Cov.master = cs.cs_master;
+            base = cs.cs_base;
+            pending = Hashtbl.create 64;
+            views = Hashtbl.create 32;
+          }
+        in
+        List.iter (fun (i, u) -> Hashtbl.replace b.Cov.pending i u) cs.cs_pending;
+        b
+  in
+  Hashtbl.replace b.Cov.views b.Cov.base (Cov.view_of b.Cov.master);
+  Cov.publish_gauges b.Cov.master;
+  b
+
+type coverage_summary = {
+  cov_trials : int;
+  cov_ids : int;
+  cov_pairs : int;
+  cov_corpus : (Failure_pattern.t * Replay.step_desc list) list;
+}
+
+let coverage_of_payload s =
+  let p = decode_payload s in
+  match p.pl_cov with
+  | None -> None
+  | Some cs ->
+      (* fold the pending partial epoch into the freshly unmarshaled
+         master (a private copy) so the summary reflects the exact
+         watermark state *)
+      let b = box_of_state ~start:p.pl_trial (Some cs) in
+      Cov.fold_tail b;
+      let m = b.Cov.master in
+      Some
+        {
+          cov_trials = p.pl_trial;
+          cov_ids = m.Cov.ids;
+          cov_pairs = Hashtbl.length m.Cov.pairs;
+          cov_corpus =
+            List.rev_map
+              (fun (e : Cov.entry) -> (e.Cov.en_pattern, e.Cov.en_sched))
+              m.Cov.corpus;
+        }
 
 module Make (A : Algorithm.S) = struct
   module E = Engine.Make (A)
@@ -264,50 +654,344 @@ module Make (A : Algorithm.S) = struct
       shrink_candidates;
     }
 
+  let resume_trial payload = (decode_payload payload).pl_trial
+
+  (* ---------- greybox trial generation ---------- *)
+
+  (* one mutation pass over a schedule; each arm draws from [rng] in a
+     fixed order, so mutants are as deterministic as fresh trials *)
+  let mutate_once (cfg : config) rng (view : Cov.view) sched =
+    let len = List.length sched in
+    let random_delivery () =
+      { Replay.src = Rng.int rng cfg.n; seq = 1 + Rng.int rng 8 }
+    in
+    match Rng.int rng 4 with
+    | 0 ->
+        (* splice: our prefix, another entry's suffix *)
+        let other =
+          view.Cov.entries.(Rng.int rng (Array.length view.Cov.entries))
+        in
+        let olen = List.length other.Cov.en_sched in
+        let cut = Rng.int rng (len + 1) in
+        let ocut = Rng.int rng (olen + 1) in
+        Listx.take cut sched @ Listx.drop ocut other.Cov.en_sched
+    | 1 ->
+        (* insert a synthetic step *)
+        let pos = Rng.int rng (len + 1) in
+        let deliver = List.init (Rng.int rng 3) (fun _ -> random_delivery ()) in
+        let step = { Replay.pid = Rng.int rng cfg.n; deliver } in
+        Listx.take pos sched @ (step :: Listx.drop pos sched)
+    | 2 ->
+        (* drop a chunk of steps *)
+        if len = 0 then sched
+        else
+          let pos = Rng.int rng len in
+          let k = 1 + Rng.int rng 3 in
+          List.filteri (fun i _ -> i < pos || i >= pos + k) sched
+    | _ ->
+        (* flip the delivery subset of one step *)
+        if len = 0 then sched
+        else
+          let pos = Rng.int rng len in
+          List.mapi
+            (fun i (s : Replay.step_desc) ->
+              if i <> pos then s
+              else
+                let kept =
+                  List.filter (fun _ -> Rng.bool rng) s.Replay.deliver
+                in
+                let deliver =
+                  if Rng.int rng 3 = 0 then random_delivery () :: kept
+                  else kept
+                in
+                { s with Replay.deliver })
+            sched
+
+  (* the [i]-th trial of a coverage campaign, a pure function of
+     (config, seed, i, view) — and [view] is itself a pure function
+     of (config, seed, epoch_floor i), so the blind contract holds *)
+  let cov_trial (cfg : config) ~seed (view : Cov.view) i =
+    check_weights cfg.weights;
+    let rng = Rng.split_at (Rng.create ~seed) i in
+    let roll = Rng.int rng Cov.fresh_odds in
+    let pattern, adv =
+      if view.Cov.total = 0 || roll = 0 then begin
+        Metrics.incr m_cov_fresh;
+        let pattern = trial_pattern cfg rng in
+        (pattern, fuzz_adversary cfg.weights rng)
+      end
+      else begin
+        Metrics.incr m_cov_mutants;
+        let parent = Cov.pick_entry view (Rng.int rng view.Cov.total) in
+        let sched = ref parent.Cov.en_sched in
+        let ops = 1 + Rng.int rng 2 in
+        for _ = 1 to ops do
+          sched := mutate_once cfg rng view !sched
+        done;
+        ( parent.Cov.en_pattern,
+          Replay.lenient ~rest:(fuzz_adversary cfg.weights rng) !sched )
+      end
+    in
+    let run =
+      Metrics.time t_trial (fun () ->
+          E.run ~max_steps:cfg.max_steps ~n:cfg.n ~inputs:cfg.inputs ~pattern
+            adv)
+    in
+    Metrics.incr m_trials;
+    (pattern, run)
+
+  (* ---------- sequential driver ---------- *)
+
   (* Checkpoint payload of a fuzz campaign: the watermark — the
      lowest trial index such that every trial below it completed
-     clean.  Because trial [i] is a pure function of (config, seed,
-     i), that one integer is the whole resumable state: a resumed
-     campaign re-derives every later trial (and any violation, its
-     shrink included) bit-identically. *)
-  let fuzz_snap i () = Marshal.to_string (i : int) []
+     clean — plus, in coverage mode, the canonical corpus state at
+     that watermark.  Because trial [i] is a pure function of
+     (config, seed, i) (given, in coverage mode, the corpus state the
+     payload restores), a resumed campaign re-derives every later
+     trial (and any violation, its shrink included) bit-identically. *)
 
-  let resume_trial payload = (Marshal.from_string payload 0 : int)
-
-  let run ?on_trial ?(ckpt = Checkpoint.ctl ()) ?(resume_from = 0)
-      (cfg : config) ~seed ~trials =
+  let run_cov ?on_trial ~ckpt ~start ~cov0 (cfg : config) ~seed ~trials =
     let stopped () = match cfg.stop with Some f -> f () | None -> false in
+    let b = box_of_state ~start cov0 in
+    let wm = ref start in
+    let snap () = Marshal.to_string (cov_payload !wm b) [] in
+    let finish outcome =
+      Cov.fold_tail b;
+      outcome
+    in
     let rec go i =
-      if i >= trials then Clean { trials }
+      if i >= trials then finish (Clean { trials })
       else if Checkpoint.interrupted ckpt then begin
-        Checkpoint.flush ckpt (fuzz_snap i);
-        Budget_exhausted { trials = i }
+        Checkpoint.flush ckpt snap;
+        finish (Budget_exhausted { trials = i })
       end
-      else if stopped () then Budget_exhausted { trials = i }
-      else
-        let pattern, r = trial cfg ~seed i in
+      else if stopped () then begin
+        Checkpoint.flush ckpt snap;
+        finish (Budget_exhausted { trials = i })
+      end
+      else begin
+        Cov.fold_to b (Cov.epoch_floor i);
+        let view = Hashtbl.find b.Cov.views (Cov.epoch_floor i) in
+        let pattern, r = cov_trial cfg ~seed view i in
         let () = Option.iter (fun f -> f i r) on_trial in
         match check_run cfg r with
         | None ->
-            Checkpoint.tick ckpt ~items:(i + 1) (fuzz_snap (i + 1));
+            Hashtbl.replace b.Cov.pending i (Cov.update_of_run ~pattern r);
+            wm := i + 1;
+            Checkpoint.tick ckpt ~items:(i + 1) snap;
             go (i + 1)
         | Some (prop, reason) ->
-            Violation_found (violation_of cfg i pattern r prop reason)
+            finish (Violation_found (violation_of cfg i pattern r prop reason))
+      end
     in
-    go resume_from
+    go start
+
+  let resume_state resume_from resume_payload =
+    match resume_payload with
+    | None -> (resume_from, None)
+    | Some s ->
+        let p = decode_payload s in
+        (p.pl_trial, p.pl_cov)
+
+  let run ?on_trial ?(ckpt = Checkpoint.ctl ()) ?(resume_from = 0)
+      ?resume_payload (cfg : config) ~seed ~trials =
+    let start, cov0 = resume_state resume_from resume_payload in
+    if cfg.coverage then run_cov ?on_trial ~ckpt ~start ~cov0 cfg ~seed ~trials
+    else
+      let stopped () = match cfg.stop with Some f -> f () | None -> false in
+      let rec go i =
+        if i >= trials then Clean { trials }
+        else if Checkpoint.interrupted ckpt then begin
+          Checkpoint.flush ckpt (fuzz_snap i);
+          Budget_exhausted { trials = i }
+        end
+        else if stopped () then begin
+          (* a stop-hook expiry (e.g. --max-seconds) must preserve the
+             watermark exactly like an interrupt: without this flush
+             the campaign's progress since the last periodic tick was
+             silently discarded *)
+          Checkpoint.flush ckpt (fuzz_snap i);
+          Budget_exhausted { trials = i }
+        end
+        else
+          let pattern, r = trial cfg ~seed i in
+          let () = Option.iter (fun f -> f i r) on_trial in
+          match check_run cfg r with
+          | None ->
+              Checkpoint.tick ckpt ~items:(i + 1) (fuzz_snap (i + 1));
+              go (i + 1)
+          | Some (prop, reason) ->
+              Violation_found (violation_of cfg i pattern r prop reason)
+      in
+      go start
+
+  (* ---------- parallel coverage driver ----------
+
+     Same ticket/watermark skeleton as the blind driver below, plus
+     the epoch barrier: a worker holding ticket [i] must not generate
+     until the corpus is folded through [epoch_floor i], which in turn
+     requires the clean watermark to reach that boundary.  The barrier
+     cannot deadlock: a waiting worker's ticket [i] satisfies
+     [epoch_floor i <= i], and every trial below [epoch_floor i] is a
+     claimed ticket that either completes clean (advancing the
+     watermark) or violates — and a violation [v < epoch_floor i <= i]
+     makes the waiter bail via the [best] check.  The blind driver's
+     requeue-after-join supervision would stall the watermark forever
+     here, so a failing coverage ticket is retried once in place
+     (still ledgered); a second failure poisons the campaign and
+     propagates after the join, like the sequential driver's would. *)
+  let run_par_cov ~domains ~ckpt ~start ~cov0 (cfg : config) ~seed ~trials =
+    check_weights cfg.weights;
+    let stop () = match cfg.stop with Some f -> f () | None -> false in
+    let stopped_early = Atomic.make false in
+    let interrupted = Atomic.make false in
+    let poison = Atomic.make None in
+    let next_ticket = Atomic.make start in
+    let best = Atomic.make max_int in
+    let wm_lock = Mutex.create () in
+    let done_tbl : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+    let watermark = ref start in
+    let b = box_of_state ~start cov0 in
+    let locked f =
+      Mutex.lock wm_lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock wm_lock) f
+    in
+    (* lock order is checkpoint-then-watermark everywhere: [tick] and
+       [flush] hold the checkpoint mutex when they invoke [snap], and
+       [note_clean] releases the watermark mutex before ticking *)
+    let snap () = Marshal.to_string (locked (fun () -> cov_payload !watermark b)) [] in
+    let note_clean i u =
+      let wm =
+        locked (fun () ->
+            Hashtbl.replace b.Cov.pending i u;
+            Hashtbl.replace done_tbl i ();
+            while Hashtbl.mem done_tbl !watermark do
+              Hashtbl.remove done_tbl !watermark;
+              incr watermark
+            done;
+            !watermark)
+      in
+      Checkpoint.tick ckpt ~items:wm snap
+    in
+    let await_view ~ticket target =
+      let rec wait () =
+        if Checkpoint.interrupted ckpt then begin
+          Atomic.set interrupted true;
+          None
+        end
+        else if stop () then begin
+          Atomic.set stopped_early true;
+          None
+        end
+        else if Atomic.get poison <> None || ticket > Atomic.get best then
+          None
+        else
+          let v =
+            locked (fun () ->
+                if b.Cov.base < target && !watermark >= target then
+                  Cov.fold_to b target;
+                if b.Cov.base >= target then
+                  Hashtbl.find_opt b.Cov.views target
+                else None)
+          in
+          match v with
+          | Some _ -> v
+          | None ->
+              Domain.cpu_relax ();
+              wait ()
+      in
+      wait ()
+    in
+    let worker w () =
+      Metrics.incr m_domains;
+      let run_ticket view i =
+        let pattern, r = cov_trial cfg ~seed view i in
+        (pattern, r, check_run cfg r)
+      in
+      let rec loop acc =
+        if Checkpoint.interrupted ckpt then begin
+          Atomic.set interrupted true;
+          acc
+        end
+        else if stop () then begin
+          Atomic.set stopped_early true;
+          acc
+        end
+        else if Atomic.get poison <> None then acc
+        else
+          let i = Atomic.fetch_and_add next_ticket 1 in
+          if i >= trials || i > Atomic.get best then acc
+          else
+            match await_view ~ticket:i (Cov.epoch_floor i) with
+            | None -> acc
+            | Some view -> (
+                let res =
+                  match run_ticket view i with
+                  | res -> Ok res
+                  | exception e -> (
+                      Checkpoint.note_failure ckpt ~worker:w
+                        ~error:(Printexc.to_string e) ~requeued:1;
+                      match run_ticket view i with
+                      | res -> Ok res
+                      | exception e2 ->
+                          Error (e2, Printexc.get_raw_backtrace ()))
+                in
+                match res with
+                | Ok (pattern, r, Some (prop, reason)) ->
+                    let rec lower () =
+                      let bst = Atomic.get best in
+                      if i < bst && not (Atomic.compare_and_set best bst i)
+                      then lower ()
+                    in
+                    lower ();
+                    loop ((i, pattern, r, prop, reason) :: acc)
+                | Ok (pattern, r, None) ->
+                    note_clean i (Cov.update_of_run ~pattern r);
+                    loop acc
+                | Error eb ->
+                    Atomic.set poison (Some eb);
+                    acc)
+      in
+      loop []
+    in
+    let found =
+      List.init domains (fun w -> Domain.spawn (worker w))
+      |> List.concat_map Domain.join
+    in
+    (match Atomic.get poison with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    if Atomic.get interrupted || Atomic.get stopped_early then
+      Checkpoint.flush ckpt snap;
+    let finish outcome =
+      locked (fun () -> Cov.fold_tail b);
+      outcome
+    in
+    let by_trial (a, _, _, _, _) (b, _, _, _, _) = compare a b in
+    match List.sort by_trial found with
+    | (i, pattern, r, prop, reason) :: _ ->
+        finish (Violation_found (violation_of cfg i pattern r prop reason))
+    | [] ->
+        if Atomic.get interrupted || Atomic.get stopped_early then
+          finish (Budget_exhausted { trials = !watermark })
+        else finish (Clean { trials })
 
   let run_par ?domains ?(ckpt = Checkpoint.ctl ()) ?(resume_from = 0)
-      (cfg : config) ~seed ~trials =
+      ?resume_payload (cfg : config) ~seed ~trials =
     let domains =
       match domains with Some d -> max 1 d | None -> Explorer.default_domains ()
     in
-    if domains <= 1 then run ~ckpt ~resume_from cfg ~seed ~trials
+    let start, cov0 = resume_state resume_from resume_payload in
+    if domains <= 1 then
+      run ~ckpt ~resume_from:start ?resume_payload cfg ~seed ~trials
+    else if cfg.coverage then
+      run_par_cov ~domains ~ckpt ~start ~cov0 cfg ~seed ~trials
     else begin
       check_weights cfg.weights;
       let stop () = match cfg.stop with Some f -> f () | None -> false in
       let stopped_early = Atomic.make false in
       let interrupted = Atomic.make false in
-      let next_ticket = Atomic.make resume_from in
+      let next_ticket = Atomic.make start in
       (* lowest violating trial index found so far: workers stop
          claiming tickets above it, but every ticket below it is still
          executed by someone, so the minimum over all reported
@@ -318,7 +1002,7 @@ module Make (A : Algorithm.S) = struct
          written watermark never claims an unfinished trial *)
       let wm_lock = Mutex.create () in
       let done_tbl : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
-      let watermark = ref resume_from in
+      let watermark = ref start in
       let note_clean i =
         let wm =
           Mutex.lock wm_lock;
@@ -392,17 +1076,20 @@ module Make (A : Algorithm.S) = struct
           found
           (List.sort compare failures)
       in
-      if Atomic.get interrupted then
+      (* a stop-hook expiry preserves progress exactly like an
+         interrupt: flush the watermark instead of dropping it *)
+      if Atomic.get interrupted || Atomic.get stopped_early then
         Checkpoint.flush ckpt (fuzz_snap !watermark);
       let by_trial (a, _, _, _, _) (b, _, _, _, _) = compare a b in
       match List.sort by_trial found with
       | (i, pattern, r, prop, reason) :: _ ->
           Violation_found (violation_of cfg i pattern r prop reason)
       | [] ->
-          if Atomic.get interrupted then
+          if Atomic.get interrupted || Atomic.get stopped_early then
+            (* the contiguous clean watermark — what the checkpoint
+               recorded — not the racy count of claimed tickets, so
+               sequential and parallel Budget_exhausted counts agree *)
             Budget_exhausted { trials = !watermark }
-          else if Atomic.get stopped_early then
-            Budget_exhausted { trials = min trials (Atomic.get next_ticket) }
           else Clean { trials }
     end
 end

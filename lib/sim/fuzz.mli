@@ -72,16 +72,34 @@ type config = {
   properties : property list;  (** Checked in order after each trial. *)
   stop : (unit -> bool) option;
       (** Polled between trials; when it returns [true] the campaign
-          ends with {!Budget_exhausted}.  Wall-clock budgets live here
-          (the library itself never reads a clock), and only here can
-          determinism be lost: with [stop = None] a campaign is a pure
-          function of its seed. *)
+          ends with {!Budget_exhausted} {e after flushing a final
+          checkpoint}, exactly like an interrupt — a wall-clock expiry
+          never discards watermark progress.  Wall-clock budgets live
+          here (the library itself never reads a clock), and only here
+          can determinism be lost: with [stop = None] a campaign is a
+          pure function of its seed. *)
+  coverage : bool;
+      (** Greybox mode: maintain a coverage map over interned state
+          ids and (state-id, state-id) transition pairs, keep a corpus
+          of schedules whose runs lit new coverage, and generate most
+          trials by mutating corpus entries (splice, insert, drop,
+          delivery-subset flips over {!Replay.step_desc} lists, each
+          replayed leniently with a random tail) under an energy
+          schedule favoring entries with rarely-hit ids.  Corpus
+          evolution is epoch-frozen — a trial sees the corpus folded
+          through the clean trials of earlier epochs only, in trial
+          order — so trial [i] remains a pure function of
+          [(config, seed, i)] and every blind-mode contract
+          (bit-reproducibility, seq/par parity, checkpoint/resume)
+          carries over verbatim; the corpus rides the checkpoint
+          payload. *)
 }
 
 val default_config : ?k:int -> n:int -> unit -> config
 (** Distinct inputs, failure-free base pattern, {!default_weights},
     no extra crashes, 200-step budget, properties
-    [[K_agreement k; Validity]] (default [k = 1]), no stop. *)
+    [[K_agreement k; Validity]] (default [k = 1]), no stop, blind
+    (non-coverage) generation. *)
 
 type violation = {
   trial : int;  (** Trial index of the first violating run. *)
@@ -101,7 +119,27 @@ type outcome =
   | Clean of { trials : int }  (** All trials ran; none violated. *)
   | Budget_exhausted of { trials : int }
       (** [config.stop] ended the campaign after [trials] trials with
-          no violation found. *)
+          no violation found.  Both drivers report the contiguous
+          clean-trial watermark — the figure the final checkpoint
+          flush records — so sequential and parallel counts agree. *)
+
+type coverage_summary = {
+  cov_trials : int;  (** The payload's clean-trial watermark. *)
+  cov_ids : int;  (** Distinct interned state ids covered. *)
+  cov_pairs : int;  (** Distinct (state-id, state-id) transition pairs. *)
+  cov_corpus : (Failure_pattern.t * Replay.step_desc list) list;
+      (** Corpus entries in admission order: each admitted run's
+          failure pattern and executed schedule. *)
+}
+(** Structural digest of a coverage checkpoint payload, for
+    inspection and for pinning that a killed-and-resumed campaign
+    carries the exact corpus an uninterrupted one holds. *)
+
+val coverage_of_payload : string -> coverage_summary option
+(** Decode a ["fuzz"]-kind checkpoint payload's coverage state
+    ([None] for blind campaigns), folding the payload's pending
+    partial epoch so the summary reflects the exact watermark state.
+    Raises on garbage — gate with {!Checkpoint.kind} first. *)
 
 module Make (A : Algorithm.S) : sig
   val trial : config -> seed:int -> int -> Failure_pattern.t * Run.t
@@ -139,12 +177,15 @@ module Make (A : Algorithm.S) : sig
   val resume_trial : string -> int
   (** Decode the payload of a ["fuzz"]-kind checkpoint into the trial
       watermark to pass as [resume_from].  Raises on garbage — gate
-      with {!Checkpoint.kind} first. *)
+      with {!Checkpoint.kind} first.  Coverage campaigns should
+      resume via [resume_payload] instead, which restores the corpus
+      along with the watermark. *)
 
   val run :
     ?on_trial:(int -> Run.t -> unit) ->
     ?ckpt:Checkpoint.ctl ->
     ?resume_from:int ->
+    ?resume_payload:string ->
     config ->
     seed:int ->
     trials:int ->
@@ -155,19 +196,26 @@ module Make (A : Algorithm.S) : sig
 
       [ckpt] attaches a {!Checkpoint} controller: after each clean
       trial the driver offers a snapshot whose payload is the trial
-      watermark (every trial below it completed clean), and at each
-      trial boundary it polls the interrupt — on interruption it
-      flushes a final checkpoint and returns [Budget_exhausted].
-      [resume_from] (default [0], from {!resume_trial}) restarts the
-      campaign at that trial; because trial [i] is a pure function of
-      [(config, seed, i)], the resumed campaign's verdict — violation
-      trial, shrunk schedule, everything — is bit-identical to an
+      watermark (every trial below it completed clean) plus, in
+      coverage mode, the canonical corpus state at that watermark;
+      at each trial boundary it polls the interrupt {e and} the
+      [stop] hook — either way of ending early flushes a final
+      checkpoint before returning [Budget_exhausted], so a
+      [--max-seconds] expiry preserves exactly what a SIGINT would.
+      [resume_payload] (the {!Checkpoint.payload} of a ["fuzz"]
+      checkpoint) restarts the campaign at the recorded watermark
+      with the recorded corpus; [resume_from] (default [0], from
+      {!resume_trial}) restarts blind campaigns by index alone.
+      Because trial [i] is a pure function of [(config, seed, i)],
+      the resumed campaign's verdict — violation trial, shrunk
+      schedule, corpus evolution, everything — is bit-identical to an
       uninterrupted run's. *)
 
   val run_par :
     ?domains:int ->
     ?ckpt:Checkpoint.ctl ->
     ?resume_from:int ->
+    ?resume_payload:string ->
     config ->
     seed:int ->
     trials:int ->
@@ -181,16 +229,22 @@ module Make (A : Algorithm.S) : sig
       and shrinking (performed once, after join) is deterministic:
       for a fixed seed the outcome is bit-identical to {!run}'s.  With
       [config.stop] set, which trials ran is timing-dependent; only
-      then can the two drivers differ.
+      then can the two drivers differ (and even then both report the
+      clean watermark, and both flush it to the checkpoint).
 
-      [ckpt]/[resume_from] behave as in {!run}; the checkpointed
-      watermark is maintained in ticket order under a mutex, so a
-      written snapshot never claims an unfinished trial, and the
-      snapshots resume on either driver.  A worker trial that raises a
-      non-verdict exception is supervised: the failure lands in the
-      checkpoint ledger ([campaign.worker.failures] /
-      [campaign.requeues] metrics) and the ticket is re-executed in
-      the calling domain after the join — trials are pure, so the
-      re-run competes for violation minimality exactly like the
-      original would have. *)
+      [ckpt]/[resume_from]/[resume_payload] behave as in {!run}; the
+      checkpointed watermark is maintained in ticket order under a
+      mutex, so a written snapshot never claims an unfinished trial,
+      and the snapshots resume on either driver.  In coverage mode the
+      corpus is shared across domains under that same mutex: updates
+      are buffered per trial and folded in strict trial order when the
+      watermark crosses an epoch boundary, so every domain generates
+      against the exact corpus state the sequential driver would hold
+      — parity is by construction, not by luck.  A worker trial that
+      raises a non-verdict exception is supervised: the failure lands
+      in the checkpoint ledger ([campaign.worker.failures] /
+      [campaign.requeues] metrics) and the ticket is re-executed —
+      after the join in blind mode, immediately in place in coverage
+      mode (a post-join requeue would stall the epoch barrier); a
+      repeated coverage failure propagates after the join. *)
 end

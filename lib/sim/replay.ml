@@ -93,6 +93,44 @@ let interleave streams =
   in
   make_adversary ~describe:"replay-interleave" pick
 
+(* Best-effort resolution for mutated schedules: each delivery is
+   resolved independently, and the unresolvable ones are simply not
+   delivered.  Stepping a process with a subset of its recorded
+   receives is always engine-valid, so a mutant keeps as much of its
+   parent's structure as the current run admits. *)
+let resolve_subset log (obs : Adversary.obs) desc =
+  let pending_ids =
+    List.map (fun (m : Adversary.pending) -> m.id) obs.pending
+  in
+  List.filter_map
+    (fun { src; seq } ->
+      match Channel_log.nth_id log ~src ~dst:desc.pid ~seq with
+      | Some id when List.mem id pending_ids -> Some id
+      | Some _ | None -> None)
+    desc.deliver
+  |> List.sort_uniq compare
+
+let lenient ?rest descs =
+  let queue = ref descs in
+  let pick log obs =
+    let alive = Adversary.alive obs in
+    let rec advance () =
+      match !queue with
+      | [] -> (
+          match rest with
+          | None -> Adversary.Halt
+          | Some (a : Adversary.t) -> a.next obs)
+      | desc :: tl ->
+          queue := tl;
+          if List.mem desc.pid alive then
+            Adversary.Step
+              { pid = desc.pid; deliver = resolve_subset log obs desc }
+          else advance ()
+    in
+    advance ()
+  in
+  make_adversary ~describe:"replay-lenient" pick
+
 let sequential streams =
   let queues = ref streams in
   let pick log obs =

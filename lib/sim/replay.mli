@@ -35,3 +35,17 @@ val interleave : step_desc list list -> Adversary.t
 val sequential : step_desc list list -> Adversary.t
 (** Replays the streams one after the other (stream 2 starts when
     stream 1 is exhausted): the Lemma 12 pasting order. *)
+
+val lenient : ?rest:Adversary.t -> step_desc list -> Adversary.t
+(** Best-effort replay of a possibly ill-formed descriptor stream —
+    the workhorse of greybox schedule mutation ({!Fuzz}), where
+    spliced or perturbed schedules routinely reference messages the
+    current run never sends.  Unlike {!sequential}, which halts at the
+    first non-executable descriptor, [lenient] degrades per step: a
+    descriptor for a crashed process is skipped, and each delivery is
+    resolved independently with unresolvable ones silently omitted
+    (stepping a process with a subset of its recorded receives is
+    always engine-valid).  When the stream is exhausted, control
+    passes to [rest] (default: halt) — replay-prefix-plus-random-tail
+    is how a mutant both revisits its parent's territory and deepens
+    past it. *)

@@ -159,7 +159,7 @@ let test_load_wrong_version () =
 let test_load_garbage_body () =
   with_tmp ".ckpt" (fun path ->
       ok_or_fail
-        (Durable.write_framed ~path ~magic:"KSACKPT1" ~version:3
+        (Durable.write_framed ~path ~magic:"KSACKPT1" ~version:4
            "not a marshalled tuple");
       let e = expect_error "garbage" (Checkpoint.load ~path) in
       check_contains "garbage" ~sub:"undecodable" e)
@@ -668,6 +668,167 @@ let test_fuzz_par_supervision () =
   Alcotest.(check bool) "ledger records the failure" true
     (List.length (Checkpoint.ledger_of ckpt) >= 1)
 
+(* ---------- stop (wall-clock budget) expiry flushes ----------
+
+   cfg.stop ending a campaign must flush a final checkpoint exactly
+   like an interrupt: previously the drivers returned
+   Budget_exhausted without writing, so a --max-seconds expiry lost
+   the whole campaign's watermark. *)
+
+let test_fuzz_seq_stop_flush () =
+  let trials = 600 in
+  let baseline = FK2.run fuzz_cfg_clean ~seed:7 ~trials in
+  with_tmp ".ckpt" (fun path ->
+      let ckpt = Checkpoint.ctl ~sink:(sink ~path ~kind:"fuzz") () in
+      let cfg =
+        { fuzz_cfg_clean with Sim.Fuzz.stop = Some (poll_interrupt 150) }
+      in
+      (match FK2.run ~ckpt cfg ~seed:7 ~trials with
+      | Sim.Fuzz.Budget_exhausted { trials = t } ->
+          (* one stop poll per trial boundary: the count is exact *)
+          Alcotest.(check int) "stopped at the poll budget" 150 t
+      | _ -> Alcotest.fail "stopped fuzz should be Budget_exhausted");
+      Alcotest.(check bool) "stop expiry flushed a checkpoint" true
+        (Sys.file_exists path);
+      let t = load_restored path in
+      Alcotest.(check int) "flushed watermark = reported trials" 150
+        (FK2.resume_trial (Checkpoint.payload t));
+      check_fuzz_equal "fuzz seq stop resume" baseline
+        (FK2.run
+           ~resume_payload:(Checkpoint.payload t)
+           fuzz_cfg_clean ~seed:7 ~trials))
+
+let test_fuzz_par_stop_flush () =
+  let trials = 600 in
+  let baseline = FK2.run fuzz_cfg_clean ~seed:7 ~trials in
+  with_tmp ".ckpt" (fun path ->
+      let ckpt = Checkpoint.ctl ~sink:(sink ~path ~kind:"fuzz") () in
+      let cfg =
+        { fuzz_cfg_clean with Sim.Fuzz.stop = Some (poll_interrupt 100) }
+      in
+      let reported =
+        match FK2.run_par ~domains:2 ~ckpt cfg ~seed:7 ~trials with
+        | Sim.Fuzz.Budget_exhausted { trials = t } -> t
+        | _ -> Alcotest.fail "stopped par fuzz should be Budget_exhausted"
+      in
+      Alcotest.(check bool) "stop expiry flushed a checkpoint" true
+        (Sys.file_exists path);
+      let t = load_restored path in
+      (* which trials ran is timing-dependent, but the reported count
+         must be exactly the flushed clean-trial watermark — not a
+         racy ticket count that can claim unfinished work *)
+      Alcotest.(check int) "reported trials = flushed watermark" reported
+        (FK2.resume_trial (Checkpoint.payload t));
+      check_fuzz_equal "fuzz par stop resume (seq)" baseline
+        (FK2.run
+           ~resume_payload:(Checkpoint.payload t)
+           fuzz_cfg_clean ~seed:7 ~trials);
+      check_fuzz_equal "fuzz par stop resume (par)" baseline
+        (FK2.run_par ~domains:2
+           ~resume_payload:(Checkpoint.payload t)
+           fuzz_cfg_clean ~seed:7 ~trials))
+
+(* ---------- coverage (greybox) campaigns ---------- *)
+
+let fuzz_cfg_cov = { fuzz_cfg_clean with Sim.Fuzz.coverage = true }
+
+(* kset-flp with L=2 at n=4 violates 1-agreement only on rare
+   near-partition schedules; under coverage guidance seed 3 reaches
+   one within a few thousand trials *)
+let fuzz_cfg_cov_violating =
+  { (Sim.Fuzz.default_config ~k:1 ~n:4 ()) with Sim.Fuzz.coverage = true }
+
+let test_fuzz_cov_resume () =
+  let trials = 5000 in
+  let baseline = FK2.run fuzz_cfg_cov_violating ~seed:3 ~trials in
+  let vtrial =
+    match baseline with
+    | Sim.Fuzz.Violation_found v -> v.Sim.Fuzz.trial
+    | _ -> Alcotest.fail "expected a violating coverage baseline"
+  in
+  Alcotest.(check bool) "violation late enough to cut before it" true
+    (vtrial > 500);
+  with_tmp ".ckpt" (fun path ->
+      let ckpt =
+        Checkpoint.ctl ~sink:(sink ~path ~kind:"fuzz")
+          ~interrupt:(poll_interrupt 500) ()
+      in
+      (match FK2.run ~ckpt fuzz_cfg_cov_violating ~seed:3 ~trials with
+      | Sim.Fuzz.Budget_exhausted { trials = t } ->
+          Alcotest.(check bool) "cut mid-campaign" true (t > 0 && t < vtrial)
+      | _ -> Alcotest.fail "interrupted coverage fuzz should be Budget_exhausted");
+      let t = load_restored path in
+      let payload = Checkpoint.payload t in
+      Alcotest.(check bool) "payload carries a corpus" true
+        (Sim.Fuzz.coverage_of_payload payload <> None);
+      (* the resumed campaign regrows the identical corpus and finds
+         the identical violation, shrink included, on either driver *)
+      check_fuzz_equal "coverage resume (seq)" baseline
+        (FK2.run ~resume_payload:payload fuzz_cfg_cov_violating ~seed:3 ~trials);
+      check_fuzz_equal "coverage resume (par)" baseline
+        (FK2.run_par ~domains:2 ~resume_payload:payload fuzz_cfg_cov_violating
+           ~seed:3 ~trials))
+
+let test_fuzz_cov_corpus_identical () =
+  (* two campaigns flushed at the same watermark — one uninterrupted,
+     one killed at trial 120 and resumed — must hold bit-identical
+     coverage state: same id/pair counts, same corpus entries in the
+     same admission order *)
+  let cfg stop_after =
+    { fuzz_cfg_cov with Sim.Fuzz.stop = Some (poll_interrupt stop_after) }
+  in
+  let summary p =
+    match Sim.Fuzz.coverage_of_payload p with
+    | Some s -> s
+    | None -> Alcotest.fail "expected a coverage payload"
+  in
+  with_tmp ".ckpt" (fun path_a ->
+      with_tmp ".ckpt" (fun path_b ->
+          let ckpt_a =
+            Checkpoint.ctl ~sink:(sink ~path:path_a ~kind:"fuzz") ()
+          in
+          (match FK2.run ~ckpt:ckpt_a (cfg 200) ~seed:7 ~trials:600 with
+          | Sim.Fuzz.Budget_exhausted { trials = t } ->
+              Alcotest.(check int) "A stopped at 200" 200 t
+          | _ -> Alcotest.fail "campaign A should stop");
+          let pa = Checkpoint.payload (load_restored path_a) in
+          let ckpt_b =
+            Checkpoint.ctl ~sink:(sink ~path:path_b ~kind:"fuzz") ()
+          in
+          (match FK2.run ~ckpt:ckpt_b (cfg 120) ~seed:7 ~trials:600 with
+          | Sim.Fuzz.Budget_exhausted { trials = t } ->
+              Alcotest.(check int) "B stopped at 120" 120 t
+          | _ -> Alcotest.fail "campaign B should stop");
+          let pb_cut = Checkpoint.payload (load_restored path_b) in
+          let ckpt_b' =
+            Checkpoint.ctl ~sink:(sink ~path:path_b ~kind:"fuzz") ()
+          in
+          (match
+             FK2.run ~ckpt:ckpt_b' ~resume_payload:pb_cut (cfg 80) ~seed:7
+               ~trials:600
+           with
+          | Sim.Fuzz.Budget_exhausted { trials = t } ->
+              Alcotest.(check int) "B resumed and stopped at 200" 200 t
+          | _ -> Alcotest.fail "campaign B resume should stop");
+          let pb = Checkpoint.payload (load_restored path_b) in
+          let sa = summary pa and sb = summary pb in
+          Alcotest.(check int) "watermark" sa.Sim.Fuzz.cov_trials
+            sb.Sim.Fuzz.cov_trials;
+          Alcotest.(check int) "distinct ids" sa.Sim.Fuzz.cov_ids
+            sb.Sim.Fuzz.cov_ids;
+          Alcotest.(check int) "distinct pairs" sa.Sim.Fuzz.cov_pairs
+            sb.Sim.Fuzz.cov_pairs;
+          Alcotest.(check bool) "corpus nonempty" true
+            (sa.Sim.Fuzz.cov_corpus <> []);
+          Alcotest.(check int) "corpus size"
+            (List.length sa.Sim.Fuzz.cov_corpus)
+            (List.length sb.Sim.Fuzz.cov_corpus);
+          List.iter2
+            (fun (fpa, scha) (fpb, schb) ->
+              Alcotest.(check bool) "corpus pattern" true (FP.equal fpa fpb);
+              Alcotest.(check bool) "corpus schedule" true (scha = schb))
+            sa.Sim.Fuzz.cov_corpus sb.Sim.Fuzz.cov_corpus))
+
 (* ---------- periodic item-based checkpoints ---------- *)
 
 let test_periodic_item_checkpoints () =
@@ -752,6 +913,14 @@ let suites =
           test_fuzz_violation_resume;
         Alcotest.test_case "fuzz: worker fault supervised" `Quick
           test_fuzz_par_supervision;
+        Alcotest.test_case "fuzz: stop expiry flushes (seq)" `Quick
+          test_fuzz_seq_stop_flush;
+        Alcotest.test_case "fuzz: stop expiry flushes (par)" `Quick
+          test_fuzz_par_stop_flush;
+        Alcotest.test_case "fuzz: coverage kill/resume parity" `Quick
+          test_fuzz_cov_resume;
+        Alcotest.test_case "fuzz: coverage corpus survives kill/resume" `Quick
+          test_fuzz_cov_corpus_identical;
         Alcotest.test_case "periodic item checkpoints resume" `Quick
           test_periodic_item_checkpoints;
       ] );

@@ -233,8 +233,120 @@ let test_stop_budget_exhausted () =
       Alcotest.(check int) "no trial ran" 0 trials
   | _ -> Alcotest.fail "expected budget-exhausted (seq)");
   match FT.run_par ~domains:2 cfg ~seed:1 ~trials:100 with
-  | Fuzz.Budget_exhausted _ -> ()
+  | Fuzz.Budget_exhausted { trials } ->
+      Alcotest.(check int) "no trial ran (par)" 0 trials
   | _ -> Alcotest.fail "expected budget-exhausted (par)"
+
+(* a stop hook that grants exactly one poll: whichever driver runs,
+   exactly one trial completes, so the Budget_exhausted counts of the
+   sequential and parallel drivers must agree exactly — the parallel
+   driver reports the contiguous clean watermark, not its racy count
+   of claimed tickets *)
+let one_poll_stop () =
+  let polls = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add polls 1 >= 1
+
+let test_stop_seq_par_count_parity () =
+  let cfg n = { n with Fuzz.stop = Some (one_poll_stop ()) } in
+  let clean = { (Fuzz.default_config ~k:1 ~n:3 ()) with Fuzz.max_crashes = 1 } in
+  let seq =
+    match FK2.run (cfg clean) ~seed:7 ~trials:100 with
+    | Fuzz.Budget_exhausted { trials } -> trials
+    | _ -> Alcotest.fail "expected budget-exhausted (seq)"
+  in
+  Alcotest.(check int) "seq ran exactly one trial" 1 seq;
+  List.iter
+    (fun domains ->
+      match FK2.run_par ~domains (cfg clean) ~seed:7 ~trials:100 with
+      | Fuzz.Budget_exhausted { trials } ->
+          Alcotest.(check int)
+            (Printf.sprintf "par(%d) count = seq count" domains)
+            seq trials
+      | _ -> Alcotest.fail "expected budget-exhausted (par)")
+    [ 2; 4 ]
+
+(* ---------- coverage-guided (greybox) mode ---------- *)
+
+(* kset-flp with L=2 at n=4 violates 1-agreement only on near-partition
+   schedules (two disjoint hello cycles) — rare for blind search, which
+   is exactly what coverage guidance is for.  Seed 3 is pinned: the
+   greybox campaign reaches the violation an order of magnitude sooner
+   than blind search does. *)
+let cov_violating = { (Fuzz.default_config ~k:1 ~n:4 ()) with Fuzz.coverage = true }
+
+let distinct_ids_into acc (run : Sim.Run.t) =
+  let tr = run.Sim.Run.trace in
+  Array.iter (fun id -> Hashtbl.replace acc id ()) tr.Sim.Trace.init_ids;
+  Array.iter
+    (Array.iter (fun (s : Sim.Trace.step) ->
+         Hashtbl.replace acc s.Sim.Trace.state_id ()))
+    tr.Sim.Trace.steps
+
+let test_coverage_beats_blind () =
+  (* identical trial budget on the clean kset-flp n=3 subject; the
+     greybox campaign must reach strictly more distinct interned state
+     ids than the blind one.  Guidance pays off once the shallow state
+     space saturates (under ~1000 trials the two are within noise of
+     each other); at 2000 trials the greybox margin is >100 ids on
+     every seed tried, so the strict inequality is a stable pin, not a
+     coin flip. *)
+  let base = { (Fuzz.default_config ~k:1 ~n:3 ()) with Fuzz.max_crashes = 1 } in
+  let campaign coverage =
+    let seen = Hashtbl.create 4096 in
+    (match
+       FK2.run
+         ~on_trial:(fun _ run -> distinct_ids_into seen run)
+         { base with Fuzz.coverage } ~seed:7 ~trials:2000
+     with
+    | Fuzz.Clean { trials } -> Alcotest.(check int) "all trials ran" 2000 trials
+    | _ -> Alcotest.fail "expected a clean campaign");
+    Hashtbl.length seen
+  in
+  let blind = campaign false in
+  let greybox = campaign true in
+  Alcotest.(check bool)
+    (Printf.sprintf "greybox (%d ids) > blind (%d ids)" greybox blind)
+    true (greybox > blind)
+
+let test_coverage_bit_reproducible () =
+  let a = expect_violation (FK2.run cov_violating ~seed:3 ~trials:5000) in
+  let b = expect_violation (FK2.run cov_violating ~seed:3 ~trials:5000) in
+  check_violation_equal "coverage same seed" a b
+
+let test_coverage_seq_par_violation_parity () =
+  let seq = expect_violation (FK2.run cov_violating ~seed:3 ~trials:5000) in
+  let par =
+    expect_violation (FK2.run_par ~domains:2 cov_violating ~seed:3 ~trials:5000)
+  in
+  check_violation_equal "coverage seq vs par" seq par
+
+let test_coverage_finds_violation_sooner () =
+  (* the pinned time-to-violation claim: same algorithm, same seed,
+     same per-trial budget — greybox needs far fewer trials *)
+  let blind_cfg = { cov_violating with Fuzz.coverage = false } in
+  let blind = expect_violation (FK2.run blind_cfg ~seed:3 ~trials:50000) in
+  let greybox = expect_violation (FK2.run cov_violating ~seed:3 ~trials:50000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "greybox trial %d < blind trial %d" greybox.Fuzz.trial
+       blind.Fuzz.trial)
+    true
+    (greybox.Fuzz.trial < blind.Fuzz.trial)
+
+let test_coverage_clean_seq_par_parity () =
+  let cfg =
+    {
+      (Fuzz.default_config ~k:1 ~n:3 ()) with
+      Fuzz.max_crashes = 1;
+      coverage = true;
+    }
+  in
+  let seq = FK2.run cfg ~seed:7 ~trials:200 in
+  let par = FK2.run_par ~domains:3 cfg ~seed:7 ~trials:200 in
+  match (seq, par) with
+  | Fuzz.Clean { trials = a }, Fuzz.Clean { trials = b } ->
+      Alcotest.(check int) "seq trials" 200 a;
+      Alcotest.(check int) "par trials" 200 b
+  | _ -> Alcotest.fail "expected clean campaigns in both drivers"
 
 let test_weights_validated () =
   let cfg =
@@ -275,6 +387,18 @@ let suites =
         Alcotest.test_case "custom property" `Quick test_validity_custom_property;
         Alcotest.test_case "stop => budget exhausted" `Quick
           test_stop_budget_exhausted;
+        Alcotest.test_case "stop count: seq/par parity" `Quick
+          test_stop_seq_par_count_parity;
         Alcotest.test_case "weights validated" `Quick test_weights_validated;
+        Alcotest.test_case "coverage beats blind on distinct ids" `Quick
+          test_coverage_beats_blind;
+        Alcotest.test_case "coverage bit-reproducible" `Quick
+          test_coverage_bit_reproducible;
+        Alcotest.test_case "coverage seq/par violation parity" `Quick
+          test_coverage_seq_par_violation_parity;
+        Alcotest.test_case "coverage clean seq/par parity" `Quick
+          test_coverage_clean_seq_par_parity;
+        Alcotest.test_case "coverage finds violation sooner" `Slow
+          test_coverage_finds_violation_sooner;
       ] );
   ]
