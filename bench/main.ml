@@ -160,7 +160,7 @@ let bench_e10_ho_uniform_voting () =
       ~until:6 ()
   in
   ignore
-    (EUV.run ~n:8 ~inputs:(Sim.Value.distinct_inputs 8) ~assignment:a ~rounds:12)
+    (EUV.run ~n:8 ~inputs:(Sim.Value.distinct_inputs 8) ~assignment:a ~rounds:12 ())
 
 let bench_e12_crash_explorer () =
   (* E12: exhaustive crash-adversarial classification at n=3 *)
@@ -207,6 +207,30 @@ let bench_e12_crash_explorer_par () =
   let module Ex = Sim.Explorer.Make (K2) in
   ignore
     (Ex.explore_with_crashes_par ~domains:4 ~n:3
+       ~inputs:(Sim.Value.distinct_inputs 3)
+       ~crash_budget:1
+       ~check:(fun _ -> None)
+       ())
+
+let bench_byzantine_explorer () =
+  (* the Byzantine model on the e12 space: same n=3 subject, budget-1
+     corruption instead of budget-1 crashing — measures what the forge
+     successors cost over plain crash exploration (the search runs the
+     full graph: the [check] never trips, matching the crash subject) *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  ignore
+    (Ex.explore_with_crashes ~model:(Sim.Fault_model.Byzantine 1) ~n:3
+       ~inputs:(Sim.Value.distinct_inputs 3)
+       ~crash_budget:1
+       ~check:(fun _ -> None)
+       ())
+
+let bench_mobile_explorer () =
+  (* the mobile model on the same space: per-round transient omission
+     successors instead of crash successors *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  ignore
+    (Ex.explore_with_crashes ~model:(Sim.Fault_model.Mobile 1) ~n:3
        ~inputs:(Sim.Value.distinct_inputs 3)
        ~crash_budget:1
        ~check:(fun _ -> None)
@@ -427,6 +451,8 @@ let subjects =
     ("e12:crash-explorer-n3", bench_e12_crash_explorer);
     ("explore:crash-n3-checkpointed", bench_e12_crash_explorer_checkpointed);
     ("e12:crash-explorer-par-n3", bench_e12_crash_explorer_par);
+    ("model:byzantine-explorer-n3", bench_byzantine_explorer);
+    ("model:mobile-explorer-n3", bench_mobile_explorer);
     ("scaling:crash-explorer-n3-d1", bench_crash_explorer_scaling 1);
     ("scaling:crash-explorer-n3-d2", bench_crash_explorer_scaling 2);
     ("scaling:crash-explorer-n3-d4", bench_crash_explorer_scaling 4);

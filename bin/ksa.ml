@@ -119,6 +119,28 @@ let groups_of_string s =
          |> List.filter (fun x -> String.trim x <> "")
          |> List.map (fun x -> int_of_string (String.trim x)))
 
+let model_conv =
+  let parse s =
+    match Sim.Fault_model.of_string s with
+    | Ok m -> Ok m
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Sim.Fault_model.pp)
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Sim.Fault_model.Crash
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:
+          "Fault model: $(b,crash) (the default; failures come from \
+           --crash-budget / --max-crashes / --dead), $(b,byzantine[:T]) (up \
+           to T corrupted processes whose pending messages may be forged \
+           per-receiver — equivocation allowed; T defaults to 1 and \
+           overrides the crash budget), or $(b,mobile[:T]) (no permanent \
+           faults; each round a fresh set of at most T processes has its \
+           outgoing messages omitted).")
+
 let n_arg =
   Arg.(value & opt int 6 & info [ "n"; "size" ] ~docv:"N" ~doc:"System size.")
 
@@ -189,6 +211,7 @@ let experiments only =
   run1 "E11" (Core.Experiments.e11_fd_implementation ?seeds:None);
   run1 "E12" Core.Experiments.e12_flp_gap;
   run1 "E13" (Core.Experiments.e13_shared_memory ?seeds:None);
+  run1 "E14" (Core.Experiments.e14_fault_models ?max_configs:None);
   0
 
 let only_arg =
@@ -260,7 +283,7 @@ let simulate algo_name n f l wait_for seed adversary dead save_schedule
       let adv =
         match replay with
         | Some path -> (
-            match Sim.Trace_io.load_schedule ~path with
+            match Sim.Trace_io.load_schedule ~path () with
             | Ok descs -> Ok (Sim.Replay.sequential [ descs ])
             | Error e -> Error ("replay: " ^ e))
         | None -> (
@@ -434,7 +457,7 @@ let with_progress enabled f =
       f
   end
 
-let explore algo_name n k l wait_for dead crash_budget policy reduction
+let explore algo_name n k l wait_for dead crash_budget model policy reduction
     domains max_configs drop_on_crash stats_json progress checkpoint
     checkpoint_every resume =
   let l = Option.value l ~default:(max 1 (n - 1)) in
@@ -475,7 +498,8 @@ let explore algo_name n k l wait_for dead crash_budget policy reduction
         | Some d -> d
         | None -> Sim.Explorer.default_domains ()
       in
-      let kind = if crash_budget = 0 then "explore" else "explore-crash" in
+      let crashless = crash_budget = 0 && model = Sim.Fault_model.Crash in
+      let kind = if crashless then "explore" else "explore-crash" in
       (* everything that shapes the search (but not [domains]: the
          drivers are verdict-identical, and resume is sequential) *)
       let fingerprint =
@@ -488,6 +512,11 @@ let explore algo_name n k l wait_for dead crash_budget policy reduction
           (match max_configs with None -> "-" | Some m -> string_of_int m)
           drop_on_crash
           (Sim.Canon.reduction_to_string reduction)
+        ^
+        (* absent for crash, so pre-model checkpoints keep resuming *)
+        match model with
+        | Sim.Fault_model.Crash -> ""
+        | m -> " model=" ^ Sim.Fault_model.to_string m
       in
       let ck_policy =
         match checkpoint_every with
@@ -548,7 +577,7 @@ let explore algo_name n k l wait_for dead crash_budget policy reduction
       let code =
         try
           with_progress progress (fun () ->
-              if crash_budget = 0 then begin
+              if crashless then begin
                 let pattern = Sim.Failure_pattern.initial_dead ~n ~dead in
                 let outcome =
                   if domains > 1 then
@@ -579,13 +608,13 @@ let explore algo_name n k l wait_for dead crash_budget policy reduction
               else begin
                 let outcome =
                   if domains > 1 then
-                    Ex.explore_with_crashes_par ~reduction ~domains
+                    Ex.explore_with_crashes_par ~reduction ~model ~domains
                       ?max_configs ~policy ~drop_on_crash ~initially_dead:dead
                       ~ckpt ~n ~inputs ~crash_budget ~check ()
                   else
-                    Ex.explore_with_crashes ~reduction ?max_configs ~policy
-                      ~drop_on_crash ~initially_dead:dead ~ckpt ?resume ~n
-                      ~inputs ~crash_budget ~check ()
+                    Ex.explore_with_crashes ~reduction ~model ?max_configs
+                      ~policy ~drop_on_crash ~initially_dead:dead ~ckpt
+                      ?resume ~n ~inputs ~crash_budget ~check ()
                 in
                 match outcome with
                 | Sim.Explorer.All_paths_decide stats ->
@@ -744,15 +773,16 @@ let explore_cmd =
           nothing is claimed about unexplored configurations).")
     Term.(
       const explore $ algo_arg $ n_arg $ k_arg $ l_arg $ wait_arg $ dead_arg
-      $ crash_budget_arg $ policy_arg $ reduction_arg $ domains_arg
+      $ crash_budget_arg $ model_arg $ policy_arg $ reduction_arg
+      $ domains_arg
       $ max_configs_arg $ drop_on_crash_arg $ stats_json_arg $ progress_arg
       $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
 
 (* ---------- fuzz ---------- *)
 
 let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
-    weights_name require_termination coverage domains stats_json save_schedule
-    replay_path max_seconds checkpoint checkpoint_every resume =
+    model weights_name require_termination coverage domains stats_json
+    save_schedule replay_path max_seconds checkpoint checkpoint_every resume =
   let l = Option.value l ~default:(max 1 (n - 1)) in
   match algo_conv ~l ~wait_for algo_name with
   | Error e ->
@@ -788,6 +818,7 @@ let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
             ([ Sim.Fuzz.K_agreement k; Sim.Fuzz.Validity ]
             @ if require_termination then [ Sim.Fuzz.Termination ] else []);
           stop;
+          model;
           coverage;
         }
       in
@@ -807,7 +838,9 @@ let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
       let code =
         match replay_path with
         | Some path -> (
-            match Sim.Trace_io.load_schedule ~path with
+            (* a schedule recorded under another model is refused, not
+               silently replayed under this one *)
+            match Sim.Trace_io.load_schedule ~expect:model ~path () with
             | Error e ->
                 prerr_endline e;
                 1
@@ -838,6 +871,11 @@ let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
                 (String.concat "," (List.map string_of_int dead))
                 seed trials max_steps max_crashes weights_name
                 require_termination coverage
+              ^
+              (* absent for crash, so pre-model checkpoints keep resuming *)
+              match model with
+              | Sim.Fault_model.Crash -> ""
+              | m -> " model=" ^ Sim.Fault_model.to_string m
             in
             let ck_policy =
               match checkpoint_every with
@@ -899,7 +937,9 @@ let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
                   v.Sim.Fuzz.shrink_candidates;
                 match save_schedule with
                 | Some path -> (
-                    match Sim.Trace_io.save_schedule ~path v.Sim.Fuzz.shrunk with
+                    match
+                      Sim.Trace_io.save_schedule ~model ~path v.Sim.Fuzz.shrunk
+                    with
                     | Ok () ->
                         Format.printf "shrunk schedule written to %s@." path;
                         2
@@ -999,14 +1039,14 @@ let fuzz_cmd =
           reports its verdict instead of fuzzing.")
     Term.(
       const fuzz $ algo_arg $ n_arg $ k_arg $ l_arg $ wait_arg $ seed_arg
-      $ trials_arg $ max_steps_arg $ max_crashes_arg $ dead_arg $ weights_arg
-      $ require_termination_arg $ coverage_arg $ domains_arg $ stats_json_arg
-      $ save_schedule_arg $ replay_arg $ max_seconds_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ resume_arg)
+      $ trials_arg $ max_steps_arg $ max_crashes_arg $ dead_arg $ model_arg
+      $ weights_arg $ require_termination_arg $ coverage_arg $ domains_arg
+      $ stats_json_arg $ save_schedule_arg $ replay_arg $ max_seconds_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
 
 (* ---------- screen ---------- *)
 
-let screen algo_name n f k l wait_for exhaustive_c =
+let screen algo_name n f k l wait_for model exhaustive_c =
   let l = Option.value l ~default:(max 1 (n - f)) in
   match algo_conv ~l ~wait_for algo_name with
   | Error e ->
@@ -1032,7 +1072,48 @@ let screen algo_name n f k l wait_for exhaustive_c =
           Format.printf "witness (%s): %a@." w.Core.Theorem1.adversary
             Sim.Run.pp_summary w.Core.Theorem1.run
       | None -> ());
-      if report.Core.Theorem1.verdict = `Not_a_kset_algorithm then 2 else 0
+      let theorem1_caught =
+        report.Core.Theorem1.verdict = `Not_a_kset_algorithm
+      in
+      (* model-aware leg: under a non-crash model, also sweep the whole
+         schedule/corruption space within the model's budget — Theorem 1
+         witnesses are crash constructions and cannot see forged or
+         omitted messages *)
+      let model_caught =
+        match model with
+        | Sim.Fault_model.Crash -> false
+        | m -> (
+            let module Ex = Sim.Explorer.Make (A) in
+            let check decisions =
+              let distinct =
+                List.sort_uniq Sim.Value.compare
+                  (List.map (fun (_, v, _) -> v) decisions)
+              in
+              if List.length distinct > k then
+                Some
+                  (Printf.sprintf "%d distinct decisions exceed k=%d"
+                     (List.length distinct) k)
+              else None
+            in
+            match
+              Ex.explore_with_crashes ~model:m ~max_configs:2_000_000 ~n
+                ~inputs:(Sim.Value.distinct_inputs n)
+                ~crash_budget:(Sim.Fault_model.budget m) ~check ()
+            with
+            | Sim.Explorer.Safety_violation { reason; _ } ->
+                Format.printf "%s sweep: VIOLATION %s@."
+                  (Sim.Fault_model.to_string m) reason;
+                true
+            | Sim.Explorer.Indeterminate _ ->
+                Format.printf "%s sweep: indeterminate (budget)@."
+                  (Sim.Fault_model.to_string m);
+                false
+            | Sim.Explorer.All_paths_decide _ | Sim.Explorer.Stuck _ ->
+                Format.printf "%s sweep: no safety violation@."
+                  (Sim.Fault_model.to_string m);
+                false)
+      in
+      if theorem1_caught || model_caught then 2 else 0
 
 let exhaustive_c_arg =
   Arg.(
@@ -1050,7 +1131,7 @@ let screen_cmd =
           the algorithm is caught.")
     Term.(
       const screen $ algo_arg $ n_arg $ f_arg $ k_arg $ l_arg $ wait_arg
-      $ exhaustive_c_arg)
+      $ model_arg $ exhaustive_c_arg)
 
 (* ---------- paste ---------- *)
 
@@ -1174,7 +1255,7 @@ let ho algo_name n rounds assignment_str =
   | Ok (module A), Ok assignment ->
       let module E = Ksa_ho.Engine.Make (A) in
       let o =
-        E.run ~n ~inputs:(Sim.Value.distinct_inputs n) ~assignment ~rounds
+        E.run ~n ~inputs:(Sim.Value.distinct_inputs n) ~assignment ~rounds ()
       in
       Format.printf "%s over %d rounds: decisions={%s} distinct=%d@." A.name
         o.E.rounds_run

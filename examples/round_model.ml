@@ -31,10 +31,10 @@ let () =
 
   Format.printf "--- UniformVoting under different communication predicates ---@.";
   let complete = Ho.Assignment.complete ~n in
-  show "complete (lossless rounds)" (EUV.run ~n ~inputs ~assignment:complete ~rounds:8);
+  show "complete (lossless rounds)" (EUV.run ~n ~inputs ~assignment:complete ~rounds:8 ());
 
   let part = Ho.Assignment.partitioned ~n ~groups () in
-  let o = EUV.run ~n ~inputs ~assignment:part ~rounds:8 in
+  let o = EUV.run ~n ~inputs ~assignment:part ~rounds:8 () in
   show "partitioned into 3 groups" o;
   Format.printf "  no-split globally: %b; confined to groups: %b@."
     (Ho.Assignment.no_split part ~horizon:8)
@@ -47,7 +47,7 @@ let () =
   in
   List.iter
     (fun group ->
-      let solo = EUV.run ~n ~inputs ~assignment:(solo_of group) ~rounds:8 in
+      let solo = EUV.run ~n ~inputs ~assignment:(solo_of group) ~rounds:8 () in
       Format.printf "  group {%s} indistinguishable from its solo run: %b@."
         (String.concat " " (List.map string_of_int group))
         (List.for_all (fun p -> EUV.states_equal_until_decision o solo p) group))
@@ -55,15 +55,15 @@ let () =
 
   (* crash-like HO: a process falls silent mid-execution *)
   let crashy = Ho.Assignment.crash_like ~n ~silent_from:[ (0, 3); (4, 5) ] in
-  show "crash-like (p0, p4 fall silent)" (EUV.run ~n ~inputs ~assignment:crashy ~rounds:10);
+  show "crash-like (p0, p4 fall silent)" (EUV.run ~n ~inputs ~assignment:crashy ~rounds:10 ());
 
   (* noisy majorities: safety holds even though liveness may not *)
   let rng = Ksa_prim.Rng.create ~seed:17 in
   let noisy = Ho.Assignment.random ~rng ~n ~min_size:4 () in
-  show "random majority HO sets" (EUV.run ~n ~inputs ~assignment:noisy ~rounds:12);
+  show "random majority HO sets" (EUV.run ~n ~inputs ~assignment:noisy ~rounds:12 ());
 
   (* ... and releasing the partition later does NOT help: decisions
      are irrevocable, so the three group values stand - the reason the
      reduction to consensus-in-a-subsystem is deadly *)
   let released = Ho.Assignment.partitioned ~n ~groups ~until:4 () in
-  show "partitioned, released at round 4" (EUV.run ~n ~inputs ~assignment:released ~rounds:12)
+  show "partitioned, released at round 4" (EUV.run ~n ~inputs ~assignment:released ~rounds:12 ())

@@ -19,6 +19,7 @@ struct
   let step = Inner.step
   let canon = Inner.canon
   let canon_message = Inner.canon_message
+  let forge_pool = Inner.forge_pool
   let pp_state = Inner.pp_state
   let pp_message = Inner.pp_message
 end

@@ -173,6 +173,14 @@ struct
     | Hello -> Hello
     | Report (v, heard) -> Report (v, List.sort compare heard)
 
+  (* A corrupted sender may replay a Hello or claim any candidate
+     value with an {e empty} heard list — the empty list makes it a
+     predecessor-free source in the receiver's decision graph, the
+     strongest lie this algorithm can be told (any non-empty heard
+     list only weakens the forged report's influence). *)
+  let forge_pool ~n:_ ~values =
+    Hello :: List.map (fun v -> Report (v, [])) values
+
   let pp_message ppf = function
     | Hello -> Format.pp_print_string ppf "hello"
     | Report (v, heard) ->

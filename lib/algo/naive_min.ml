@@ -56,6 +56,10 @@ struct
   (* [seen] is a balanced map — already a canonical representation *)
   let canon st = st
   let canon_message (msg : message) = msg
+
+  (* a corrupted sender may claim any candidate value, including the
+     out-of-domain one *)
+  let forge_pool ~n:_ ~values = List.map (fun v -> Val v) values
   let pp_message ppf (Val v) = Format.fprintf ppf "val(%a)" Value.pp v
 
   let pp_state ppf st =

@@ -104,6 +104,10 @@ module Make (F : FD_IMPL) (A : Ksa_sim.Algorithm.S) = struct
     | Fd m -> Fd m
     | App m -> App (A.canon_message m)
 
+  (* forging FD beats is not modeled; application payloads forge
+     through the inner pool *)
+  let forge_pool ~n ~values = List.map (fun m -> App m) (A.forge_pool ~n ~values)
+
   let pp_state ppf st = A.pp_state ppf st.a
 
   let pp_message ppf = function

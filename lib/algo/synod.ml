@@ -61,6 +61,10 @@ module A = struct
   let canon (st : state) = st
   let canon_message (m : message) = m
 
+  (* ballot-carrying messages are not in scope for the Byzantine
+     experiments: unforgeable *)
+  let forge_pool ~n:_ ~values:_ = []
+
   let next_own_ballot st =
     let base = max st.ballot (max st.promised st.highest_seen) in
     (((max base 0 / st.n) + 1) * st.n) + st.me

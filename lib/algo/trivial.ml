@@ -18,6 +18,9 @@ module A = struct
   (* the record has no order-sensitive representation to normalize *)
   let canon st = st
   let canon_message (msg : message) = msg
+
+  (* no messages, nothing to forge *)
+  let forge_pool ~n:_ ~values:_ = []
   let pp_message _ppf (msg : message) = match msg with _ -> .
 
   let pp_state ppf st =

@@ -515,20 +515,20 @@ let e10_round_models ?(seeds = 30) ppf =
   let groups = [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
   let part = Ksa_ho.Assignment.partitioned ~n ~groups () in
   let complete = Ksa_ho.Assignment.complete ~n in
-  let omf_part = EMF.run ~n ~inputs ~assignment:part ~rounds:4 in
+  let omf_part = EMF.run ~n ~inputs ~assignment:part ~rounds:4 () in
   row "min-flood" "partitioned (3 groups)" (EMF.distinct_decisions omf_part) 3;
-  let omf_c = EMF.run ~n ~inputs ~assignment:complete ~rounds:4 in
+  let omf_c = EMF.run ~n ~inputs ~assignment:complete ~rounds:4 () in
   row "min-flood" "complete" (EMF.distinct_decisions omf_c) 1;
-  let ouv_part = EUV.run ~n ~inputs ~assignment:part ~rounds:10 in
+  let ouv_part = EUV.run ~n ~inputs ~assignment:part ~rounds:10 () in
   row "uniform-voting" "partitioned (3 groups)" (EUV.distinct_decisions ouv_part) 3;
-  let ouv_c = EUV.run ~n ~inputs ~assignment:complete ~rounds:10 in
+  let ouv_c = EUV.run ~n ~inputs ~assignment:complete ~rounds:10 () in
   row "uniform-voting" "complete" (EUV.distinct_decisions ouv_c) 1;
   (* safety of UV over random no-split assignments *)
   let rng = Rng.create ~seed:909 in
   let safe = ref 0 in
   for _ = 1 to seeds do
     let a = Ksa_ho.Assignment.random ~rng ~n ~min_size:((n / 2) + 1) () in
-    let o = EUV.run ~n ~inputs ~assignment:a ~rounds:12 in
+    let o = EUV.run ~n ~inputs ~assignment:a ~rounds:12 () in
     if EUV.distinct_decisions o <= 1 then incr safe
   done;
   Format.fprintf ppf
@@ -543,7 +543,7 @@ let e10_round_models ?(seeds = 30) ppf =
   let indist =
     List.for_all
       (fun group ->
-        let solo = EUV.run ~n ~inputs ~assignment:(solo_of group) ~rounds:10 in
+        let solo = EUV.run ~n ~inputs ~assignment:(solo_of group) ~rounds:10 () in
         List.for_all
           (fun p -> EUV.states_equal_until_decision ouv_part solo p)
           group)
@@ -783,6 +783,93 @@ let e13_shared_memory ?(seeds = 10) ppf =
     detail = Printf.sprintf "%d seeds per (n, crashes, schedule) row" seeds;
   }
 
+(* ------------------------------------------------------------------ *)
+(* E14: the (n, k, t, model) solvability border                        *)
+(* ------------------------------------------------------------------ *)
+
+let e14_fault_models ?(max_configs = 4_000_000) ppf =
+  header ppf "E14"
+    "Fault-model border sweep at n=3: kset_flp(l = n - t) under crash / \
+     byzantine / mobile budgets";
+  let n = 3 in
+  let inputs = Sim.Value.distinct_inputs n in
+  (* safety verdict of one (k, t, model) cell: explore every schedule,
+     crash/corruption/omission placement within budget [t], and ask
+     whether some reachable configuration decides more than [k]
+     distinct values.  [None] = budget blown (counts as a failed
+     experiment, never as evidence either way). *)
+  let safe_cell ~k ~t model =
+    let module K = Ksa_algo.Kset_flp.Make (struct
+      let l = n - t
+    end) in
+    let module Ex = Sim.Explorer.Make (K) in
+    let check decisions =
+      let values =
+        List.sort_uniq compare (List.map (fun (_, v, _) -> v) decisions)
+      in
+      if List.length values > k then
+        Some (Printf.sprintf "%d distinct decisions" (List.length values))
+      else None
+    in
+    match
+      Ex.explore_with_crashes ~model ~max_configs ~n ~inputs ~crash_budget:t
+        ~check ()
+    with
+    | Sim.Explorer.Safety_violation _ -> Some false
+    | Sim.Explorer.Indeterminate _ -> None
+    | Sim.Explorer.All_paths_decide stats | Sim.Explorer.Stuck { stats; _ } ->
+        if stats.Sim.Explorer.budget_exhausted then None else Some true
+  in
+  let complete = ref true in
+  let cell ~k ~t model =
+    match safe_cell ~k ~t model with
+    | Some b -> b
+    | None ->
+        complete := false;
+        false
+  in
+  Format.fprintf ppf "%4s %4s %4s  %8s %10s %8s   %s@." "n" "k" "t" "crash"
+    "byzantine" "mobile" "crash-bound";
+  let crash_matches_bound = ref true in
+  let byz_within_crash = ref true in
+  let strict_separation = ref false in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun t ->
+          let c = cell ~k ~t Sim.Fault_model.Crash in
+          let b = cell ~k ~t (Sim.Fault_model.Byzantine t) in
+          let m = cell ~k ~t (Sim.Fault_model.Mobile t) in
+          (* the crash row must trace the paper's t < kn/(k+1) border *)
+          let bound = Ksa_algo.Kset_flp.solvable ~n ~f:t ~k in
+          if c <> bound then crash_matches_bound := false;
+          (* corruption subsumes crashing: a Byzantine-safe cell must
+             also be crash-safe *)
+          if b && not c then byz_within_crash := false;
+          if c && not b then strict_separation := true;
+          Format.fprintf ppf "%4d %4d %4d  %8s %10s %8s   %s@." n k t
+            (if c then "safe" else "UNSAFE")
+            (if b then "safe" else "UNSAFE")
+            (if m then "safe" else "UNSAFE")
+            (if bound then "solvable" else "unsolvable"))
+        [ 0; 1; 2 ])
+    [ 1; 2; 3 ];
+  {
+    id = "E14";
+    claim =
+      "crash safety traces the k*n > (k+1)*t border; Byzantine corruption \
+       is never more permissive and is strictly less solvable at some \
+       (n, k, t)";
+    holds =
+      !complete && !crash_matches_bound && !byz_within_crash
+      && !strict_separation;
+    detail =
+      Printf.sprintf
+        "exhaustive per cell at n=3, k in {1,2,3}, t in {0,1,2}; separation \
+         %sfound"
+        (if !strict_separation then "" else "NOT ");
+  }
+
 let all ppf =
   let v1 = e1_theorem2 ppf in
   let v2 = e2_theorem8 ppf in
@@ -797,7 +884,8 @@ let all ppf =
   let v11 = e11_fd_implementation ppf in
   let v12 = e12_flp_gap ppf in
   let v13 = e13_shared_memory ppf in
-  let vs = [ v1; v2; v3; v4; v5; v6; v7; v8; v9; v10; v11; v12; v13 ] in
+  let v14 = e14_fault_models ppf in
+  let vs = [ v1; v2; v3; v4; v5; v6; v7; v8; v9; v10; v11; v12; v13; v14 ] in
   hr ppf;
   Format.fprintf ppf "Summary:@.";
   List.iter (fun v -> Format.fprintf ppf "  %a@." pp_verdict v) vs;

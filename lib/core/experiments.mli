@@ -92,5 +92,17 @@ val e13_shared_memory : ?seeds:int -> Format.formatter -> verdict
     crashes; every extracted operation history must pass the
     atomicity checker. *)
 
+val e14_fault_models : ?max_configs:int -> Format.formatter -> verdict
+(** The (n, k, t, model) solvability border at n = 3, swept
+    exhaustively per cell with the crash-adversarial explorer under
+    each {!Ksa_sim.Fault_model}: kset_flp waiting for [n - t] reports,
+    [k] in 1..3, budget [t] in 0..2.  Asserts (1) the crash column
+    traces the paper's [k * n > (k + 1) * t] border exactly,
+    (2) Byzantine corruption is nowhere more permissive than crashing
+    at equal budget (corruption subsumes crashing), and (3) it is
+    strictly {e less} permissive somewhere — the forged
+    predecessor-free report at (n, k, t) = (3, 1, 1) breaks the
+    agreement crash faults can only get stuck on. *)
+
 val all : Format.formatter -> verdict list
 (** Runs every experiment in order, printing all tables. *)

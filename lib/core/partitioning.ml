@@ -70,6 +70,7 @@ struct
 
   let canon = A.canon
   let canon_message = A.canon_message
+  let forge_pool = A.forge_pool
   let pp_state = A.pp_state
   let pp_message = A.pp_message
 end

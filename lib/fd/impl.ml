@@ -23,6 +23,7 @@ module Heartbeat = struct
 
   let canon (st : state) = st
   let canon_message (m : message) = m
+  let forge_pool ~n:_ ~values:_ = []
   let pp_message ppf (Beat i) = Format.fprintf ppf "beat(%d)" i
   let pp_state ppf st = Format.fprintf ppf "{%a beats=%d}" Pid.pp st.me st.beats
 end

@@ -35,6 +35,12 @@ let crash_like ~n ~silent_from =
           | None -> true)
         (Pid.universe n))
 
+let mobile ~n ~t ~seed =
+  if t < 0 || t > n then invalid_arg "Assignment.mobile";
+  make ~n (fun ~round ~me:_ ->
+      let faulty = Ksa_sim.Fault_model.mobile_faulty ~seed ~n ~t ~round in
+      List.filter (fun q -> not (List.mem q faulty)) (Pid.universe n))
+
 let random ~rng ~n ~min_size ?(self_in = true) () =
   if min_size < 1 || min_size > n then invalid_arg "Assignment.random";
   let cache : (int * int, Pid.t list) Hashtbl.t = Hashtbl.create 64 in

@@ -26,6 +26,16 @@ val crash_like : n:int -> silent_from:(Pid.t * int) list -> t
     HO sets from round r on, for each [(p, r)]: the HO rendering of
     crash failures. *)
 
+val mobile : n:int -> t:int -> seed:int -> t
+(** The HO rendering of the mobile-failure model ({!Ksa_sim.Fault_model.Mobile}):
+    each round draws a fresh faulty set of at most [t] processes via
+    {!Ksa_sim.Fault_model.mobile_faulty} — the identical per-round
+    sampler the asynchronous fuzzer uses, so the two substrates agree
+    on which senders round r silences — and HO(p, r) is everyone
+    except that round's faulty set.  Unlike {!crash_like}, a silenced
+    process reappears in later HO sets: transience, not crash.
+    @raise Invalid_argument unless [0 <= t <= n]. *)
+
 val random :
   rng:Ksa_prim.Rng.t -> n:int -> min_size:int -> ?self_in:bool -> unit -> t
 (** Per (round, process) a fresh uniform HO set of at least

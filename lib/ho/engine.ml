@@ -21,7 +21,7 @@ module Make (A : Ho_algorithm.S) = struct
 
   let intern st = Intern.id Intern.states st
 
-  let run ~n ~inputs ~assignment ~rounds =
+  let run ?corrupt ~n ~inputs ~assignment ~rounds () =
     if Array.length inputs <> n then invalid_arg "Ho.Engine.run: inputs length";
     let states =
       Array.init n (fun p -> A.init ~n ~me:p ~input:inputs.(p))
@@ -36,7 +36,15 @@ module Make (A : Ho_algorithm.S) = struct
         Array.init n (fun p ->
             let received =
               List.map
-                (fun q -> (q, messages.(q)))
+                (fun q ->
+                  (* the Byzantine hook rewrites per (round, src, dst):
+                     a corrupted sender may show every receiver a
+                     different message (equivocation), but one receiver
+                     always sees one message per sender per round *)
+                  let m = messages.(q) in
+                  match corrupt with
+                  | None -> (q, m)
+                  | Some f -> (q, f ~round ~src:q ~dst:p m))
                 (assignment.Assignment.ho ~round ~me:p)
             in
             let st', dec = A.transition states.(p) ~round ~received in

@@ -27,11 +27,27 @@ module Make (A : Ho_algorithm.S) : sig
   exception Double_decision of Ksa_sim.Pid.t
 
   val run :
+    ?corrupt:
+      (round:int ->
+      src:Ksa_sim.Pid.t ->
+      dst:Ksa_sim.Pid.t ->
+      A.message ->
+      A.message) ->
     n:int ->
     inputs:Ksa_sim.Value.t array ->
     assignment:Assignment.t ->
     rounds:int ->
+    unit ->
     outcome
+  (** [corrupt] is the HO rendering of {!Ksa_sim.Fault_model.Byzantine}:
+      it rewrites each received message per [(round, src, dst)], so a
+      corrupted sender can equivocate — show different receivers
+      different contents in the same round — while honest senders are
+      passed through (the hook returns the message unchanged).  Budget
+      discipline (at most [t] distinct corrupted [src]s) is the
+      caller's obligation, exactly as for the asynchronous
+      {!Ksa_sim.Adversary.action.Forge}.  Omitting [corrupt] is
+      byte-for-byte the old engine. *)
 
   val decided_values : outcome -> Ksa_sim.Value.t list
   (** Distinct, sorted. *)

@@ -11,7 +11,11 @@ type obs = {
   steps_taken : Pid.t -> int;
 }
 
-type action = Step of { pid : Pid.t; deliver : int list } | Drop of int list | Halt
+type action =
+  | Step of { pid : Pid.t; deliver : int list }
+  | Drop of int list
+  | Forge of { id : int; alt : int }
+  | Halt
 
 type t = { describe : string; next : obs -> action }
 
@@ -48,6 +52,12 @@ let droppable ?(victims = fun _ -> true) obs =
       then Some m.id
       else None)
     obs.pending
+
+(* Under the Byzantine model the corrupted set rides the failure
+   pattern (corruption subsumes crashing), so the forgeable messages
+   are exactly the droppable ones: pending sends of already-corrupted
+   processes. *)
+let forgeable = droppable
 
 (* Prefer scheduling processes that still have work (pending messages
    or no decision yet); halt when every correct process has decided. *)

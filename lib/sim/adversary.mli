@@ -37,6 +37,18 @@ type action =
           the "omit sending to a subset of receivers in the very last
           step" allowance of the model, realized as a retroactive
           drop. *)
+  | Forge of { id : int; alt : int }
+      (** Replace the payload of pending message [id] with entry
+          [alt] of the algorithm's forge pool
+          ({!Algorithm.S.forge_pool}) — the Byzantine adversary's
+          move.  Forging one pending message at a time is exactly
+          per-receiver corruption, so equivocation (different
+          receivers seeing different payloads from the same sender in
+          the same round) needs no extra machinery.  The engine does
+          not gate this on the failure pattern; budget discipline
+          (only corrupted senders, at most [t] of them) is the
+          generating adversary's obligation and is pinned by the
+          qcheck properties in test/test_byzantine.ml. *)
   | Halt  (** End the run (the adversary stops scheduling). *)
 
 type t = { describe : string; next : obs -> action }
@@ -60,6 +72,12 @@ val droppable : ?victims:(Pid.t -> bool) -> obs -> int list
 (** Ids of pending messages the engine would accept in a {!Drop}:
     those whose sender is already crashed at [obs.time], optionally
     restricted to senders satisfying [victims]. *)
+
+val forgeable : ?victims:(Pid.t -> bool) -> obs -> int list
+(** Ids of pending messages a Byzantine adversary may {!Forge}.
+    Corruption rides the failure pattern (a corrupted process subsumes
+    a crashed one), so this is exactly {!droppable}: pending sends of
+    already-corrupted processes. *)
 
 (** {1 Fair strategies (possibility side)} *)
 

@@ -61,6 +61,17 @@ module type S = sig
       results).  The engine interns and stores the canonical payload,
       so representation-equal messages share one interned id. *)
 
+  val forge_pool : n:int -> values:Value.t list -> message list
+  (** The payloads a Byzantine-corrupted sender may inject in place of
+      a pending message, parameterized by the candidate value domain
+      (the proposed inputs plus one out-of-domain value; see
+      {!Fault_model.forge_values}).  The pool must be a finite,
+      deterministic function of its arguments — forge indices are
+      recorded in schedules and replayed — and is consulted only under
+      [Fault_model.Byzantine]; return [[]] to make the algorithm's
+      messages unforgeable (the Byzantine explorer then degenerates to
+      the crash explorer). *)
+
   val pp_state : Format.formatter -> state -> unit
   val pp_message : Format.formatter -> message -> unit
 end

@@ -44,6 +44,10 @@ module Make (A : Algorithm.S) = struct
            one id.  Set by [init_explore ~reduction] — never in
            recorded runs, whose traces must reflect the raw states. *)
     events : Event.t list; (* reversed; empty in exploration mode *)
+    forges : (int * int) list;
+        (* (message id, forge-pool index) of every Forge applied, in
+           reverse order; empty in exploration mode.  Replay projection
+           needs it to re-emit the forgeries a recorded run saw. *)
   }
 
   exception Invalid_action of string
@@ -111,6 +115,7 @@ module Make (A : Algorithm.S) = struct
       explore;
       reduce;
       events = [];
+      forges = [];
     }
 
   let init ~n ~inputs = make_init ~explore:false ~reduce:false ~n ~inputs
@@ -397,10 +402,78 @@ module Make (A : Algorithm.S) = struct
       dropped;
     { c with pending; inbox }
 
+  (* The forge pool is a pure function of (n, inputs): the explorer,
+     the fuzz adversary and replay all recompute it and agree on the
+     indices recorded in schedules. *)
+  let forge_pool ~n ~inputs =
+    A.forge_pool ~n ~values:(Fault_model.forge_values inputs)
+
+  let exec_forge c ~id ~alt =
+    match Int_map.find_opt id c.pending with
+    | None ->
+        raise (Invalid_action (Printf.sprintf "forge: message #%d not pending" id))
+    | Some ((e : A.message Envelope.t), _) ->
+        let pool = forge_pool ~n:c.n ~inputs:c.inputs in
+        let size = List.length pool in
+        if alt < 0 || alt >= size then
+          raise
+            (Invalid_action
+               (Printf.sprintf "forge: index %d outside the pool (size %d)" alt
+                  size));
+        let payload = List.nth pool alt in
+        let payload = if c.reduce then A.canon_message payload else payload in
+        let plid = intern_payload payload in
+        let e' = { e with Envelope.payload } in
+        let triple = pack_triple e.src e.dst plid in
+        let pending = Int_map.add id (e', triple) c.pending in
+        let inbox = Array.copy c.inbox in
+        inbox.(e.dst) <-
+          List.map
+            (fun (m : A.message Envelope.t) -> if m.id = id then e' else m)
+            inbox.(e.dst);
+        let forges = if c.explore then c.forges else (id, alt) :: c.forges in
+        { c with pending; inbox; forges }
+
+  (* Note: [Forge] is deliberately not gated on the failure pattern —
+     fuzz replays run under a different pattern than the generating
+     trial, and budget discipline (forge only messages of corrupted
+     senders, at most [t] of them) is the generating adversary's
+     obligation, pinned by the qcheck properties in
+     test/test_byzantine.ml. *)
   let apply ?fd ~pattern c = function
     | Adversary.Halt -> None
     | Adversary.Step { pid; deliver } -> Some (exec_step ?fd ~pattern c pid deliver)
     | Adversary.Drop ids -> Some (exec_drop ~pattern c ids)
+    | Adversary.Forge { id; alt } -> Some (exec_forge c ~id ~alt)
+
+  (* Ungated removal of pending messages — the mobile model's
+     transient omission, where the sender is healthy (it never
+     crashes) yet this round's messages are lost.  Not reachable
+     through {!apply}: crash-model adversaries must keep going through
+     the gated [Drop], and the explorer alone generates omissions. *)
+  let omit c ids =
+    if ids = [] then raise (Invalid_action "empty omit");
+    let pending, omitted =
+      List.fold_left
+        (fun (acc, omitted) id ->
+          match Int_map.find_opt id acc with
+          | None ->
+              raise
+                (Invalid_action
+                   (Printf.sprintf "omit: message #%d not pending" id))
+          | Some ((e : A.message Envelope.t), _) ->
+              (Int_map.remove id acc, e :: omitted))
+        (c.pending, []) ids
+    in
+    let inbox = Array.copy c.inbox in
+    List.iter
+      (fun (e : A.message Envelope.t) ->
+        inbox.(e.dst) <-
+          List.filter
+            (fun (m : A.message Envelope.t) -> m.id <> e.id)
+            inbox.(e.dst))
+      omitted;
+    { c with pending; inbox }
 
   let trace_of c =
     (* c.events is newest-first: prepending while iterating it yields
@@ -423,6 +496,7 @@ module Make (A : Algorithm.S) = struct
       events = events c;
       trace = trace_of c;
       decisions = decisions c;
+      forges = List.rev c.forges;
     }
 
   let run_full ?(max_steps = 100_000) ?fd ~n ~inputs ~pattern
@@ -448,7 +522,9 @@ module Make (A : Algorithm.S) = struct
             | Some c' ->
                 let consumed =
                   match action with
-                  | Adversary.Step _ -> 1
+                  (* a Forge consumes budget: an adversary re-forging
+                     the same message forever must still terminate *)
+                  | Adversary.Step _ | Adversary.Forge _ -> 1
                   | Adversary.Drop _ | Adversary.Halt -> 0
                 in
                 loop c' (steps_left - consumed))

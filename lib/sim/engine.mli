@@ -81,12 +81,30 @@ module Make (A : Algorithm.S) : sig
 
   val observe : pattern:Failure_pattern.t -> config -> Adversary.obs
 
+  val forge_pool : n:int -> inputs:Value.t array -> A.message list
+  (** The Byzantine forge pool of this system:
+      [A.forge_pool ~n ~values:(Fault_model.forge_values inputs)].  A
+      pure function of its arguments, so the explorer, the fuzz
+      adversary and replay agree on the indices recorded in
+      schedules. *)
+
   val apply :
     ?fd:Fd_view.oracle -> pattern:Failure_pattern.t -> config ->
     Adversary.action -> config option
-  (** Execute one adversary action.  [None] on [Halt].
+  (** Execute one adversary action.  [None] on [Halt].  [Forge] is
+      {e not} gated on the failure pattern (replays run under a
+      different pattern than the generating trial); budget discipline
+      is the generating adversary's obligation.
       @raise Invalid_action if the action violates the model,
       @raise Double_decision on a write-once violation. *)
+
+  val omit : config -> int list -> config
+  (** Remove pending messages without the crashed-sender gate of
+      [Drop]: the mobile model's transient omission, where a healthy
+      sender's messages for one round are lost.  Used by the
+      {!Explorer} under [Fault_model.Mobile]; deliberately not an
+      {!Adversary.action}, so crash-model adversaries cannot reach it.
+      @raise Invalid_action on an empty list or a non-pending id. *)
 
   val run :
     ?max_steps:int -> ?fd:Fd_view.oracle ->

@@ -673,6 +673,16 @@ module Make (A : Algorithm.S) = struct
       (Canon.reduction_to_string got)
       (Canon.reduction_to_string want)
 
+  (* Same policy for the fault model: a payload written under a
+     different --model describes a different search. *)
+  let warn_model_mismatch ~want ~got =
+    Printf.eprintf
+      "ksa: checkpoint was written under --model %s, not %s — starting a \
+       fresh campaign\n\
+       %!"
+      got
+      (Fault_model.to_string want)
+
   let explore ?(reduction = Canon.No_reduction) ?(max_depth = 200)
       ?(max_configs = 2_000_000) ?(policy = Per_sender)
       ?(on_terminal = fun _ -> ()) ?(ckpt = Checkpoint.ctl ()) ?resume ~n
@@ -1181,13 +1191,38 @@ module Make (A : Algorithm.S) = struct
 
   (* Per-node expansion, shared by the sequential and parallel
      drivers: decisions check, completeness, and the successor
-     (config, mask) pairs. *)
+     (config, mask) pairs.
+
+     The fault model dispatches here and only here:
+
+     - [Crash]: the baseline — the mask is the crashed set, growing
+       within the budget, each new crash optionally paired with a
+       drop of the victim's in-flight messages.
+     - [Byzantine t]: the mask is the {e corrupted} set, grown by the
+       same machinery with budget [t] (a corrupted process subsumes a
+       crashed one: it may stop, its messages may be dropped), {e
+       plus} forge successors — every pending message of a corrupted
+       sender may have its payload replaced by any forge-pool entry.
+       Byzantine behaviours are therefore a superset of crash
+       behaviours at equal budget, and at budget 0 (no mask growth,
+       hence no forgeable sender) the graph is bit-identical to the
+       crash graph — both pinned by test/test_byzantine.ml.
+     - [Mobile t]: nobody ever crashes (the mask never grows beyond
+       the initially-dead base), but for [t >= 1] any sender's
+       in-flight messages may be transiently omitted ([E.omit],
+       ungated).  One omission per expansion suffices: the async
+       interleaving composes single-sender omissions across steps
+       into every faulty-set trajectory with at most [t] faulty
+       processes per round, so the successor structure is the same
+       for every [t >= 1].  At [t = 0] the graph coincides with the
+       budget-0 crash graph. *)
   let expand_crash_node ~n ~policy ~drop_on_crash ~base_mask ~crash_budget
-      ~pattern_of ~check config mask =
+      ~model ~forge_alts ~pattern_of ~check config mask =
     let decisions = E.decisions config in
     (match check decisions with
     | Some reason -> raise (Unsafe (decisions, reason))
     | None -> ());
+    let budget = Fault_model.budget_or ~crash_budget model in
     let alive = List.filter (fun p -> not (mask_mem mask p)) (Pid.universe n) in
     let is_complete =
       List.for_all (fun p -> E.decision_of config p <> None) alive
@@ -1210,32 +1245,56 @@ module Make (A : Algorithm.S) = struct
               | None -> assert false)
             (choices policy mine))
         alive;
-      if popcount mask - popcount base_mask < crash_budget then begin
-        (* one pass over the pending multiset buckets messages by
-           sender for the drop-on-crash successors *)
-        let by_src =
-          if drop_on_crash then begin
-            let a = Array.make n [] in
-            List.iter
-              (fun (e : A.message Envelope.t) -> a.(e.src) <- e.id :: a.(e.src))
-              (E.pending config);
-            a
-          end
-          else [||]
-        in
+      (* one pass over the pending multiset buckets messages by sender
+         for the drop-on-crash / omission successors *)
+      let by_src_of () =
+        let a = Array.make n [] in
         List.iter
-          (fun victim ->
-            let mask' = mask_add mask victim in
-            succs := (config, mask') :: !succs;
-            if drop_on_crash && by_src.(victim) <> [] then
-              match
-                E.apply ~pattern:(pattern_of mask') config
-                  (Adversary.Drop by_src.(victim))
-              with
-              | Some config' -> succs := (config', mask') :: !succs
-              | None -> assert false)
-          alive
-      end
+          (fun (e : A.message Envelope.t) -> a.(e.src) <- e.id :: a.(e.src))
+          (E.pending config);
+        a
+      in
+      (match model with
+      | Fault_model.Crash | Fault_model.Byzantine _ ->
+          if popcount mask - popcount base_mask < budget then begin
+            let by_src = if drop_on_crash then by_src_of () else [||] in
+            List.iter
+              (fun victim ->
+                let mask' = mask_add mask victim in
+                succs := (config, mask') :: !succs;
+                if drop_on_crash && by_src.(victim) <> [] then
+                  match
+                    E.apply ~pattern:(pattern_of mask') config
+                      (Adversary.Drop by_src.(victim))
+                  with
+                  | Some config' -> succs := (config', mask') :: !succs
+                  | None -> assert false)
+              alive
+          end
+      | Fault_model.Mobile t ->
+          if t > 0 then begin
+            let by_src = by_src_of () in
+            for s = 0 to n - 1 do
+              if by_src.(s) <> [] then
+                succs := (E.omit config by_src.(s), mask) :: !succs
+            done
+          end);
+      (match model with
+      | Fault_model.Byzantine _ when forge_alts > 0 ->
+          List.iter
+            (fun (e : A.message Envelope.t) ->
+              if mask_mem mask e.src then
+                for alt = 0 to forge_alts - 1 do
+                  match
+                    E.apply ~pattern config
+                      (Adversary.Forge { id = e.id; alt })
+                  with
+                  | Some config' -> succs := (config', mask) :: !succs
+                  | None -> assert false
+                done)
+            (E.pending config)
+      | Fault_model.Byzantine _ | Fault_model.Crash | Fault_model.Mobile _ ->
+          ())
     end;
     (is_complete, mask, undecided, !succs)
 
@@ -1301,12 +1360,13 @@ module Make (A : Algorithm.S) = struct
           p
 
   (* Checkpoint payload of a crash campaign: the reduction mode, the
-     key→id table, the expanded prefix of the node-record graph, the
-     counters, and the worklist of admitted-but-unexpanded nodes.  The
-     parallel driver merges its per-worker graphs into this same
-     format (global dense ids re-assigned at merge time), and resume
-     always continues on the sequential driver.  Mode mismatch on
-     resume warns and starts fresh.
+     fault-model tag, the key→id table, the expanded prefix of the
+     node-record graph, the counters, and the worklist of
+     admitted-but-unexpanded nodes.  The parallel driver merges its
+     per-worker graphs into this same format (global dense ids
+     re-assigned at merge time), and resume always continues on the
+     sequential driver.  Mode or model mismatch on resume warns and
+     starts fresh.
 
      The crash drivers use the orbit keys of the symmetry modes but
      never sleep sets ([Symmetry_por] behaves like [Symmetry] here):
@@ -1314,6 +1374,7 @@ module Make (A : Algorithm.S) = struct
      transition graph, and sleep sets prune edges. *)
   type crash_snap =
     Canon.reduction
+    * string (* Fault_model.to_string of the campaign's model *)
     * (E.key, int) Hashtbl.t
     * node_rec array
     * int
@@ -1324,24 +1385,34 @@ module Make (A : Algorithm.S) = struct
   let empty_rec = { succs = []; complete = false; mask = 0; undecided = [] }
 
   let explore_with_crashes ?(reduction = Canon.No_reduction)
-      ?(max_configs = 300_000) ?(policy = Per_sender) ?(drop_on_crash = true)
-      ?(initially_dead = []) ?(ckpt = Checkpoint.ctl ()) ?resume ~n ~inputs
-      ~crash_budget ~check () =
+      ?(model = Fault_model.Crash) ?(max_configs = 300_000)
+      ?(policy = Per_sender) ?(drop_on_crash = true) ?(initially_dead = [])
+      ?(ckpt = Checkpoint.ctl ()) ?resume ~n ~inputs ~crash_budget ~check () =
     check_crash_explorable ~n ~initially_dead;
     Metrics.gauge_set g_max_configs max_configs;
     let base_mask = base_mask_of initially_dead in
     let pattern_of = make_pattern_of ~n in
+    let model_tag = Fault_model.to_string model in
+    let forge_alts =
+      match model with
+      | Fault_model.Byzantine _ -> List.length (E.forge_pool ~n ~inputs)
+      | Fault_model.Crash | Fault_model.Mobile _ -> 0
+    in
     let fresh_crash () =
       (Hashtbl.create 65_536, Array.make 1024 empty_rec, 0, 0, false, [])
     in
     let resume, (ids, recs0, count0, terminals0, exhausted0, worklist0) =
       match resume with
       | Some payload ->
-          let mode, ids, recs0, count0, t0, e0, wl0 =
+          let mode, mtag, ids, recs0, count0, t0, e0, wl0 =
             (Marshal.from_string payload 0 : crash_snap)
           in
           if mode <> reduction then begin
             warn_reduction_mismatch ~want:reduction ~got:mode;
+            (None, fresh_crash ())
+          end
+          else if mtag <> model_tag then begin
+            warn_model_mismatch ~want:model ~got:mtag;
             (None, fresh_crash ())
           end
           else (Some payload, (ids, recs0, count0, t0, e0, wl0))
@@ -1393,7 +1464,7 @@ module Make (A : Algorithm.S) = struct
     let expand (id, config, mask) =
       let is_complete, mask, undecided, succ_pairs =
         expand_crash_node ~n ~policy ~drop_on_crash ~base_mask ~crash_budget
-          ~pattern_of ~check config mask
+          ~model ~forge_alts ~pattern_of ~check config mask
       in
       if is_complete then begin
         incr terminals;
@@ -1407,6 +1478,7 @@ module Make (A : Algorithm.S) = struct
     let snap () =
       Marshal.to_string
         (( reduction,
+           model_tag,
            ids,
            Array.sub !recs 0 !count,
            !count,
@@ -1475,10 +1547,10 @@ module Make (A : Algorithm.S) = struct
      normalises.  The frontier flows through a {!Wspool} exactly as in
      [explore_par].  Outcomes match [explore_with_crashes] whenever
      the budget does not truncate.  [check] must be thread-safe. *)
-  let explore_with_crashes_par ?(reduction = Canon.No_reduction) ?domains
-      ?(max_configs = 300_000) ?(policy = Per_sender) ?(drop_on_crash = true)
-      ?(initially_dead = []) ?(ckpt = Checkpoint.ctl ()) ~n ~inputs
-      ~crash_budget ~check () =
+  let explore_with_crashes_par ?(reduction = Canon.No_reduction)
+      ?(model = Fault_model.Crash) ?domains ?(max_configs = 300_000)
+      ?(policy = Per_sender) ?(drop_on_crash = true) ?(initially_dead = [])
+      ?(ckpt = Checkpoint.ctl ()) ~n ~inputs ~crash_budget ~check () =
     check_crash_explorable ~n ~initially_dead;
     Metrics.gauge_set g_max_configs max_configs;
     if max_configs < 1 then begin
@@ -1497,11 +1569,17 @@ module Make (A : Algorithm.S) = struct
       max 1 (match domains with Some d -> d | None -> default_domains ())
     in
     let base_mask = base_mask_of initially_dead in
+    let model_tag = Fault_model.to_string model in
+    let forge_alts =
+      match model with
+      | Fault_model.Byzantine _ -> List.length (E.forge_pool ~n ~inputs)
+      | Fault_model.Crash | Fault_model.Mobile _ -> 0
+    in
     let root = E.init_explore ~reduction ~n ~inputs () in
     let pattern_of0 = make_pattern_of ~n in
     match
       expand_crash_node ~n ~policy ~drop_on_crash ~base_mask ~crash_budget
-        ~pattern_of:pattern_of0 ~check root base_mask
+        ~model ~forge_alts ~pattern_of:pattern_of0 ~check root base_mask
     with
     | exception Unsafe (decisions, reason) ->
         Safety_violation { decisions; reason }
@@ -1601,7 +1679,7 @@ module Make (A : Algorithm.S) = struct
           let process (id, config, mask) =
             let is_complete, mask, undecided, succ_pairs =
               expand_crash_node ~n ~policy ~drop_on_crash ~base_mask
-                ~crash_budget ~pattern_of ~check config mask
+                ~crash_budget ~model ~forge_alts ~pattern_of ~check config mask
             in
             let succs = List.filter_map (fun (c, m) -> visit c m) succ_pairs in
             (* supervision can re-expand a node whose first expansion
@@ -1687,6 +1765,7 @@ module Make (A : Algorithm.S) = struct
           Wspool.iter_pending pool (fun it -> wl := it :: !wl);
           Marshal.to_string
             (( reduction,
+               model_tag,
                gids,
                recs_a,
                count,
@@ -1772,8 +1851,8 @@ module Make (A : Algorithm.S) = struct
               | None -> All_paths_decide stats)
 
   let reachable_decision_values ?(reduction = Canon.No_reduction)
-      ?(max_configs = 300_000) ?(policy = Per_sender) ~n ~inputs ~crash_budget
-      () =
+      ?(model = Fault_model.Crash) ?(max_configs = 300_000)
+      ?(policy = Per_sender) ~n ~inputs ~crash_budget () =
     let seen = ref [] in
     let note decisions =
       List.iter
@@ -1781,7 +1860,7 @@ module Make (A : Algorithm.S) = struct
         decisions
     in
     (match
-       explore_with_crashes ~reduction ~max_configs ~policy ~n ~inputs
+       explore_with_crashes ~reduction ~model ~max_configs ~policy ~n ~inputs
          ~crash_budget
          ~check:(fun decisions ->
            note decisions;
@@ -1792,9 +1871,9 @@ module Make (A : Algorithm.S) = struct
     | Safety_violation _ -> ());
     List.sort compare !seen
 
-  let reachable_decision_values_par ?(reduction = Canon.No_reduction) ?domains
-      ?(max_configs = 300_000) ?(policy = Per_sender) ~n ~inputs ~crash_budget
-      () =
+  let reachable_decision_values_par ?(reduction = Canon.No_reduction)
+      ?(model = Fault_model.Crash) ?domains ?(max_configs = 300_000)
+      ?(policy = Per_sender) ~n ~inputs ~crash_budget () =
     (* [check] runs concurrently on several domains: the accumulator
        is mutex-protected.  Parity with the sequential driver follows
        from [explore_with_crashes_par] enumerating the same reachable
@@ -1809,8 +1888,8 @@ module Make (A : Algorithm.S) = struct
       Mutex.unlock lock
     in
     (match
-       explore_with_crashes_par ~reduction ?domains ~max_configs ~policy ~n
-         ~inputs ~crash_budget
+       explore_with_crashes_par ~reduction ~model ?domains ~max_configs
+         ~policy ~n ~inputs ~crash_budget
          ~check:(fun decisions ->
            note decisions;
            None)

@@ -202,6 +202,7 @@ module Make (A : Algorithm.S) : sig
 
   val explore_with_crashes :
     ?reduction:Canon.reduction ->
+    ?model:Fault_model.t ->
     ?max_configs:int ->
     ?policy:delivery_policy ->
     ?drop_on_crash:bool ->
@@ -239,8 +240,26 @@ module Make (A : Algorithm.S) : sig
       [Indeterminate] verdict on interruption, and bit-identical
       verdict/stats when resumed (checkpoints written by
       {!explore_with_crashes_par} resume here too, after
-      {!Checkpoint.restore_interners}); a reduction-mode mismatch
-      warns and starts fresh.
+      {!Checkpoint.restore_interners}); a reduction-mode or
+      fault-model mismatch warns and starts fresh (the payload carries
+      the model tag).
+
+      [model] selects the fault model ({!Fault_model.t}).  Under
+      [Crash] (the default) the budget is [crash_budget].  Under
+      [Byzantine t] the budget is [t] and the masked set is the
+      {e corrupted} set: a corrupted process subsumes a crashed one
+      (it stops, its in-flight messages may be dropped) and in
+      addition each of its pending messages may be forged to any
+      entry of {!Algorithm.S.forge_pool} — per-message, hence
+      per-receiver (equivocation).  Byzantine behaviours are a strict
+      superset of crash behaviours at equal budget, and at budget 0
+      the node graph is bit-identical to the crash graph.  Under
+      [Mobile t] nobody ever crashes; for [t >= 1] any sender's
+      in-flight messages may be transiently omitted (one sender per
+      expansion — async interleaving composes these into every
+      faulty-set trajectory), and at [t = 0] the graph coincides with
+      the budget-0 crash graph.  Parity and separation are pinned by
+      test/test_byzantine.ml.
 
       The crash drivers use the orbit keys of the symmetry modes but
       never DPOR sleep sets — [Symmetry_por] behaves like [Symmetry]
@@ -252,6 +271,7 @@ module Make (A : Algorithm.S) : sig
 
   val explore_with_crashes_par :
     ?reduction:Canon.reduction ->
+    ?model:Fault_model.t ->
     ?domains:int ->
     ?max_configs:int ->
     ?policy:delivery_policy ->
@@ -282,6 +302,7 @@ module Make (A : Algorithm.S) : sig
 
   val reachable_decision_values :
     ?reduction:Canon.reduction ->
+    ?model:Fault_model.t ->
     ?max_configs:int ->
     ?policy:delivery_policy ->
     n:int ->
@@ -296,6 +317,7 @@ module Make (A : Algorithm.S) : sig
 
   val reachable_decision_values_par :
     ?reduction:Canon.reduction ->
+    ?model:Fault_model.t ->
     ?domains:int ->
     ?max_configs:int ->
     ?policy:delivery_policy ->

@@ -1,0 +1,89 @@
+module Rng = Ksa_prim.Rng
+
+type t = Crash | Byzantine of int | Mobile of int
+
+let crash = Crash
+
+let byzantine t =
+  if t < 0 then invalid_arg "Fault_model.byzantine: negative budget";
+  Byzantine t
+
+let mobile t =
+  if t < 0 then invalid_arg "Fault_model.mobile: negative budget";
+  Mobile t
+
+let budget = function Crash -> 0 | Byzantine t | Mobile t -> t
+
+(* The crash budget is a separate knob for the crash model (the
+   explorer's [~crash_budget]); the corruption models carry their own
+   budget.  This helper resolves the effective budget of a campaign. *)
+let budget_or ~crash_budget = function
+  | Crash -> crash_budget
+  | Byzantine t | Mobile t -> t
+
+let tag = function
+  | Crash -> "crash"
+  | Byzantine _ -> "byzantine"
+  | Mobile _ -> "mobile"
+
+let to_string = function
+  | Crash -> "crash"
+  | Byzantine t -> Printf.sprintf "byzantine:%d" t
+  | Mobile t -> Printf.sprintf "mobile:%d" t
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> (
+      match s with
+      | "crash" -> Ok Crash
+      | "byzantine" -> Ok (Byzantine 1)
+      | "mobile" -> Ok (Mobile 1)
+      | _ -> Error (Printf.sprintf "unknown fault model %S" s))
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let arg = String.sub s (i + 1) (String.length s - i - 1) in
+      match (kind, int_of_string_opt arg) with
+      | _, Some t when t < 0 ->
+          Error (Printf.sprintf "fault model %S: negative budget" s)
+      | "byzantine", Some t -> Ok (Byzantine t)
+      | "mobile", Some t -> Ok (Mobile t)
+      | "crash", Some 0 -> Ok Crash
+      | "crash", Some _ ->
+          Error "crash takes its budget from --crash-budget, not the model"
+      | _, _ -> Error (Printf.sprintf "unknown fault model %S" s))
+
+let equal a b =
+  match (a, b) with
+  | Crash, Crash -> true
+  | Byzantine a, Byzantine b | Mobile a, Mobile b -> a = b
+  | (Crash | Byzantine _ | Mobile _), _ -> false
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)
+
+(* ---- mobile faulty-set sampling ----
+
+   The per-round faulty set of a mobile adversary, shared by the fuzz
+   adversary and the Heard-Of assignment so both engines resample the
+   same sets from the same seed: a pure function of (seed, n, t,
+   round), at most [t] processes, constant within a round by
+   construction.  [Rng.split_at] keys the round's generator off the
+   campaign seed, so consecutive rounds draw independent sets and no
+   call-order dependence can leak in. *)
+let mobile_faulty ~seed ~n ~t ~round =
+  if t <= 0 || n <= 0 then []
+  else
+    let rng = Rng.split_at (Rng.create ~seed) round in
+    let k = min t n in
+    let size = Rng.int rng (k + 1) in
+    List.sort compare (Rng.sample rng size (List.init n Fun.id))
+
+(* ---- forged-payload candidate values ----
+
+   The value domain a Byzantine sender may inject: every proposed
+   input plus one value outside the proposal set (so validity-breaking
+   forgeries are expressible).  Deterministic in the inputs — every
+   engine derives the identical candidate list, which keeps forge-pool
+   indices meaningful across sim, explorer and replay. *)
+let forge_values inputs =
+  let vs = List.sort_uniq Value.compare (Array.to_list inputs) in
+  vs @ [ 1 + List.fold_left (fun acc v -> max acc v) 0 vs ]

@@ -45,6 +45,7 @@ type config = {
   max_steps : int;
   properties : property list;
   stop : (unit -> bool) option;
+  model : Fault_model.t;
   coverage : bool;
 }
 
@@ -59,6 +60,7 @@ let default_config ?(k = 1) ~n () =
     properties = [ K_agreement k; Validity ];
     stop = None;
     coverage = false;
+    model = Fault_model.Crash;
   }
 
 type violation = {
@@ -436,14 +438,32 @@ type cov_state = {
   cs_pending : (int * Cov.update) list; (* sorted; trials in [base, wm) *)
 }
 
-type payload = { pl_trial : int; pl_cov : cov_state option }
+type payload = {
+  pl_trial : int;
+  pl_cov : cov_state option;
+  pl_model : string; (* Fault_model.to_string of the campaign's model *)
+}
 
-let fuzz_snap i () = Marshal.to_string { pl_trial = i; pl_cov = None } []
+let fuzz_snap ~model i () =
+  Marshal.to_string { pl_trial = i; pl_cov = None; pl_model = model } []
+
 let decode_payload s = (Marshal.from_string s 0 : payload)
+
+(* the trial stream is a pure function of (config, seed, i), and the
+   model is part of the config: a payload written under a different
+   --model (budget included) describes a different stream — warn and
+   start fresh, exactly the explorer's --reduction policy *)
+let warn_model_mismatch ~want ~got =
+  Printf.eprintf
+    "ksa: checkpoint was written under --model %s, not %s — starting a \
+     fresh campaign\n\
+     %!"
+    got
+    (Fault_model.to_string want)
 
 (* canonical coverage payload at watermark [wm]; caller holds the
    box's lock (parallel driver) or owns it (sequential) *)
-let cov_payload wm (b : Cov.box) =
+let cov_payload ~model wm (b : Cov.box) =
   Cov.fold_to b (Cov.epoch_floor wm);
   let pend =
     List.sort
@@ -456,6 +476,7 @@ let cov_payload wm (b : Cov.box) =
     pl_trial = wm;
     pl_cov =
       Some { cs_base = b.Cov.base; cs_master = b.Cov.master; cs_pending = pend };
+    pl_model = model;
   }
 
 (* rebuild a campaign's coverage box for trials starting at [start] *)
@@ -517,10 +538,27 @@ let coverage_of_payload s =
 module Make (A : Algorithm.S) = struct
   module E = Engine.Make (A)
 
+  (* Crash budget of a trial pattern: under [Byzantine t] the
+     corrupted set rides the failure pattern (corruption subsumes
+     crashing) with budget [t]; under [Mobile] nobody ever crashes. *)
+  let effective_max_crashes (cfg : config) =
+    match cfg.model with
+    | Fault_model.Crash -> cfg.max_crashes
+    | Fault_model.Byzantine t -> t
+    | Fault_model.Mobile _ -> 0
+
+  (* the forge pool is empty unless the model is Byzantine *)
+  let forge_alts_of (cfg : config) =
+    match cfg.model with
+    | Fault_model.Byzantine _ ->
+        List.length (E.forge_pool ~n:cfg.n ~inputs:cfg.inputs)
+    | Fault_model.Crash | Fault_model.Mobile _ -> 0
+
   (* the base pattern plus up to [max_crashes] randomly drawn crash
      times among the processes it leaves correct *)
   let trial_pattern (cfg : config) rng =
-    if cfg.max_crashes <= 0 then cfg.pattern
+    let max_crashes = effective_max_crashes cfg in
+    if max_crashes <= 0 then cfg.pattern
     else
       let base =
         List.filter_map
@@ -529,7 +567,7 @@ module Make (A : Algorithm.S) = struct
           (Pid.universe cfg.n)
       in
       let correct = Failure_pattern.correct cfg.pattern in
-      let c = min (Rng.int rng (cfg.max_crashes + 1)) (List.length correct) in
+      let c = min (Rng.int rng (max_crashes + 1)) (List.length correct) in
       let victims = Rng.sample rng c correct in
       let extra =
         List.map (fun p -> (p, Rng.int rng (cfg.max_steps + 1))) victims
@@ -543,7 +581,42 @@ module Make (A : Algorithm.S) = struct
         | [] -> [ List.nth xs (Rng.int rng (List.length xs)) ]
         | some -> some)
 
-  let fuzz_adversary w rng =
+  (* Model-aware weighted adversary.  Under [Crash] the RNG draw
+     sequence is bit-identical to the pre-model adversary: the forge
+     arm only enters the roll when the model is Byzantine and some
+     message is forgeable, and the mobile seed is only drawn under
+     [Mobile] — crash campaigns reproduce unchanged.
+
+     Byzantine: the forge arm (weighted like the drop arm) picks one
+     pending message of an already-corrupted sender and replaces its
+     payload with a random forge-pool entry; budget discipline is
+     inherited from the trial pattern (at most [t] corrupted
+     processes), pinned by the qcheck properties in
+     test/test_byzantine.ml.
+
+     Mobile: the per-round faulty set is [Fault_model.mobile_faulty]
+     of a per-adversary seed, with rounds as windows of [n] steps.  A
+     message sent while its sender was faulty is {e omitted} — this
+     adversary never delivers it (keyed on [sent_at], so the omission
+     is permanent: mobile faults are not message delays). *)
+  let fuzz_adversary (cfg : config) rng =
+    let w = cfg.weights in
+    let forge_alts = forge_alts_of cfg in
+    let mobile =
+      match cfg.model with
+      | Fault_model.Mobile t when t > 0 ->
+          Some (t, Rng.int rng 0x3FFFFFFF)
+      | Fault_model.Mobile _ | Fault_model.Crash | Fault_model.Byzantine _ ->
+          None
+    in
+    let omitted (m : Adversary.pending) =
+      match mobile with
+      | None -> false
+      | Some (t, seed) ->
+          let round = m.sent_at / max 1 cfg.n in
+          List.mem m.src
+            (Fault_model.mobile_faulty ~seed ~n:cfg.n ~t ~round)
+    in
     let next obs =
       if Adversary.all_correct_decided obs then Adversary.Halt
       else
@@ -551,10 +624,17 @@ module Make (A : Algorithm.S) = struct
         | [] -> Adversary.Halt
         | candidates ->
             let droppable = Adversary.droppable obs in
+            let forgeable =
+              if forge_alts = 0 then [] else Adversary.forgeable obs
+            in
             let w_step = w.deliver_all + w.deliver_some + w.deliver_none in
             let w_drop = if droppable = [] then 0 else w.drop in
-            let roll = Rng.int rng (w_step + w_drop) in
+            let w_forge = if forgeable = [] then 0 else w.drop in
+            let roll = Rng.int rng (w_step + w_drop + w_forge) in
             if roll < w_drop then Adversary.Drop (nonempty_subset rng droppable)
+            else if roll < w_drop + w_forge then
+              let id = List.nth forgeable (Rng.int rng (List.length forgeable)) in
+              Adversary.Forge { id; alt = Rng.int rng forge_alts }
             else
               let pid =
                 match Adversary.undecided_alive obs with
@@ -566,8 +646,16 @@ module Make (A : Algorithm.S) = struct
                     then Rng.pick rng undecided
                     else Rng.pick rng candidates
               in
-              let buffer = Adversary.pending_for obs pid in
-              let roll = roll - w_drop in
+              let buffer =
+                if mobile = None then Adversary.pending_for obs pid
+                else
+                  List.filter_map
+                    (fun (m : Adversary.pending) ->
+                      if m.dst = pid && not (omitted m) then Some m.id
+                      else None)
+                    obs.pending
+              in
+              let roll = roll - w_drop - w_forge in
               let deliver =
                 if roll < w.deliver_all then buffer
                 else if roll < w.deliver_all + w.deliver_some then
@@ -582,7 +670,7 @@ module Make (A : Algorithm.S) = struct
     check_weights cfg.weights;
     let rng = Rng.split_at (Rng.create ~seed) i in
     let pattern = trial_pattern cfg rng in
-    let adv = fuzz_adversary cfg.weights rng in
+    let adv = fuzz_adversary cfg rng in
     let run =
       Metrics.time t_trial (fun () ->
           E.run ~max_steps:cfg.max_steps ~n:cfg.n ~inputs:cfg.inputs ~pattern adv)
@@ -662,8 +750,16 @@ module Make (A : Algorithm.S) = struct
      fixed order, so mutants are as deterministic as fresh trials *)
   let mutate_once (cfg : config) rng (view : Cov.view) sched =
     let len = List.length sched in
+    let forge_alts = forge_alts_of cfg in
     let random_delivery () =
-      { Replay.src = Rng.int rng cfg.n; seq = 1 + Rng.int rng 8 }
+      (* the forged draw comes first and only under Byzantine, so
+         crash-model mutation streams are bit-identical to before *)
+      let forged =
+        if forge_alts > 0 && Rng.int rng 4 = 0 then
+          Some (Rng.int rng forge_alts)
+        else None
+      in
+      { Replay.src = Rng.int rng cfg.n; seq = 1 + Rng.int rng 8; forged }
     in
     match Rng.int rng 4 with
     | 0 ->
@@ -718,7 +814,7 @@ module Make (A : Algorithm.S) = struct
       if view.Cov.total = 0 || roll = 0 then begin
         Metrics.incr m_cov_fresh;
         let pattern = trial_pattern cfg rng in
-        (pattern, fuzz_adversary cfg.weights rng)
+        (pattern, fuzz_adversary cfg rng)
       end
       else begin
         Metrics.incr m_cov_mutants;
@@ -729,7 +825,7 @@ module Make (A : Algorithm.S) = struct
           sched := mutate_once cfg rng view !sched
         done;
         ( parent.Cov.en_pattern,
-          Replay.lenient ~rest:(fuzz_adversary cfg.weights rng) !sched )
+          Replay.lenient ~rest:(fuzz_adversary cfg rng) !sched )
       end
     in
     let run =
@@ -753,8 +849,9 @@ module Make (A : Algorithm.S) = struct
   let run_cov ?on_trial ~ckpt ~start ~cov0 (cfg : config) ~seed ~trials =
     let stopped () = match cfg.stop with Some f -> f () | None -> false in
     let b = box_of_state ~start cov0 in
+    let mtag = Fault_model.to_string cfg.model in
     let wm = ref start in
-    let snap () = Marshal.to_string (cov_payload !wm b) [] in
+    let snap () = Marshal.to_string (cov_payload ~model:mtag !wm b) [] in
     let finish outcome =
       Cov.fold_tail b;
       outcome
@@ -786,23 +883,31 @@ module Make (A : Algorithm.S) = struct
     in
     go start
 
-  let resume_state resume_from resume_payload =
+  (* a payload written under a different --model (budget included)
+     describes a different trial stream: warn and start fresh, exactly
+     the explorer's --reduction policy *)
+  let resume_state (cfg : config) resume_from resume_payload =
     match resume_payload with
     | None -> (resume_from, None)
     | Some s ->
         let p = decode_payload s in
-        (p.pl_trial, p.pl_cov)
+        if p.pl_model <> Fault_model.to_string cfg.model then begin
+          warn_model_mismatch ~want:cfg.model ~got:p.pl_model;
+          (0, None)
+        end
+        else (p.pl_trial, p.pl_cov)
 
   let run ?on_trial ?(ckpt = Checkpoint.ctl ()) ?(resume_from = 0)
       ?resume_payload (cfg : config) ~seed ~trials =
-    let start, cov0 = resume_state resume_from resume_payload in
+    let start, cov0 = resume_state cfg resume_from resume_payload in
+    let mtag = Fault_model.to_string cfg.model in
     if cfg.coverage then run_cov ?on_trial ~ckpt ~start ~cov0 cfg ~seed ~trials
     else
       let stopped () = match cfg.stop with Some f -> f () | None -> false in
       let rec go i =
         if i >= trials then Clean { trials }
         else if Checkpoint.interrupted ckpt then begin
-          Checkpoint.flush ckpt (fuzz_snap i);
+          Checkpoint.flush ckpt (fuzz_snap ~model:mtag i);
           Budget_exhausted { trials = i }
         end
         else if stopped () then begin
@@ -810,7 +915,7 @@ module Make (A : Algorithm.S) = struct
              watermark exactly like an interrupt: without this flush
              the campaign's progress since the last periodic tick was
              silently discarded *)
-          Checkpoint.flush ckpt (fuzz_snap i);
+          Checkpoint.flush ckpt (fuzz_snap ~model:mtag i);
           Budget_exhausted { trials = i }
         end
         else
@@ -818,7 +923,7 @@ module Make (A : Algorithm.S) = struct
           let () = Option.iter (fun f -> f i r) on_trial in
           match check_run cfg r with
           | None ->
-              Checkpoint.tick ckpt ~items:(i + 1) (fuzz_snap (i + 1));
+              Checkpoint.tick ckpt ~items:(i + 1) (fuzz_snap ~model:mtag (i + 1));
               go (i + 1)
           | Some (prop, reason) ->
               Violation_found (violation_of cfg i pattern r prop reason)
@@ -859,7 +964,12 @@ module Make (A : Algorithm.S) = struct
     (* lock order is checkpoint-then-watermark everywhere: [tick] and
        [flush] hold the checkpoint mutex when they invoke [snap], and
        [note_clean] releases the watermark mutex before ticking *)
-    let snap () = Marshal.to_string (locked (fun () -> cov_payload !watermark b)) [] in
+    let mtag = Fault_model.to_string cfg.model in
+    let snap () =
+      Marshal.to_string
+        (locked (fun () -> cov_payload ~model:mtag !watermark b))
+        []
+    in
     let note_clean i u =
       let wm =
         locked (fun () ->
@@ -981,9 +1091,17 @@ module Make (A : Algorithm.S) = struct
     let domains =
       match domains with Some d -> max 1 d | None -> Explorer.default_domains ()
     in
-    let start, cov0 = resume_state resume_from resume_payload in
+    let mtag = Fault_model.to_string cfg.model in
+    let start, cov0 = resume_state cfg resume_from resume_payload in
     if domains <= 1 then
-      run ~ckpt ~resume_from:start ?resume_payload cfg ~seed ~trials
+      (* resume_state already resolved the payload (model check
+         included); hand [run] the resolved start, dropping a payload
+         the model check rejected so the warning does not print twice *)
+      run ~ckpt ~resume_from:start
+        ?resume_payload:
+          (if cov0 = None && resume_payload <> None && start = 0 then None
+           else resume_payload)
+        cfg ~seed ~trials
     else if cfg.coverage then
       run_par_cov ~domains ~ckpt ~start ~cov0 cfg ~seed ~trials
     else begin
@@ -1015,7 +1133,7 @@ module Make (A : Algorithm.S) = struct
           Mutex.unlock wm_lock;
           wm
         in
-        Checkpoint.tick ckpt ~items:wm (fuzz_snap wm)
+        Checkpoint.tick ckpt ~items:wm (fuzz_snap ~model:mtag wm)
       in
       let worker w () =
         Metrics.incr m_domains;
@@ -1079,7 +1197,7 @@ module Make (A : Algorithm.S) = struct
       (* a stop-hook expiry preserves progress exactly like an
          interrupt: flush the watermark instead of dropping it *)
       if Atomic.get interrupted || Atomic.get stopped_early then
-        Checkpoint.flush ckpt (fuzz_snap !watermark);
+        Checkpoint.flush ckpt (fuzz_snap ~model:mtag !watermark);
       let by_trial (a, _, _, _, _) (b, _, _, _, _) = compare a b in
       match List.sort by_trial found with
       | (i, pattern, r, prop, reason) :: _ ->

@@ -78,6 +78,19 @@ type config = {
           here (the library itself never reads a clock), and only here
           can determinism be lost: with [stop = None] a campaign is a
           pure function of its seed. *)
+  model : Fault_model.t;
+      (** Fault model of the campaign.  [Crash] (the default) draws
+          crash times exactly as before — the trial stream is
+          bit-identical to pre-model campaigns.  [Byzantine t] treats
+          the (at most [t]) randomly crashed processes as corrupted:
+          an extra weighted arm forges one of their pending messages
+          into a random {!Engine.Make.forge_pool} entry, and greybox
+          mutation may stamp forged payloads onto spliced deliveries.
+          [Mobile t] crashes nobody; instead a per-trial seed drives
+          {!Fault_model.mobile_faulty} and every message sent while
+          its sender was in the round's faulty set is permanently
+          omitted.  All model-specific randomness is drawn only under
+          its model, keeping the crash stream byte-stable. *)
   coverage : bool;
       (** Greybox mode: maintain a coverage map over interned state
           ids and (state-id, state-id) transition pairs, keep a corpus

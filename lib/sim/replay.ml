@@ -1,4 +1,4 @@
-type delivery = { src : Pid.t; seq : int }
+type delivery = { src : Pid.t; seq : int; forged : int option }
 type step_desc = { pid : Pid.t; deliver : delivery list }
 
 let project ~keep run =
@@ -13,13 +13,18 @@ let project ~keep run =
   List.filter_map
     (fun (ev : Event.t) ->
       let deliveries =
-        List.map (fun (_, src) -> (src, bump src ev.pid)) ev.delivered
+        List.map
+          (fun (id, src) ->
+            (src, bump src ev.pid, List.assoc_opt id run.Run.forges))
+          ev.delivered
       in
       if keep ev.pid then
         Some
           {
             pid = ev.pid;
-            deliver = List.map (fun (src, seq) -> { src; seq }) deliveries;
+            deliver =
+              List.map (fun (src, seq, forged) -> { src; seq; forged })
+                deliveries;
           }
       else None)
     run.Run.events
@@ -57,20 +62,44 @@ let executable log (obs : Adversary.obs) desc =
   let pending_ids =
     List.map (fun (m : Adversary.pending) -> m.id) obs.pending
   in
-  let resolve { src; seq } =
+  let resolve { src; seq; forged } =
     match Channel_log.nth_id log ~src ~dst:desc.pid ~seq with
-    | Some id when List.mem id pending_ids -> Some id
+    | Some id when List.mem id pending_ids -> Some (id, forged)
     | Some _ | None -> None
   in
   let ids = List.map resolve desc.deliver in
   if List.for_all Option.is_some ids then Some (List.map Option.get ids)
   else None
 
+(* A resolved step is one engine [Step] preceded by one [Forge] per
+   delivery that recorded a forged payload: the adversary re-corrupts
+   each message just before it is delivered, exactly reproducing the
+   payloads the recorded run saw.  The queue in [make_adversary] feeds
+   these to the engine one action at a time. *)
+let actions_of_step pid resolved =
+  let forges =
+    List.filter_map
+      (fun (id, forged) ->
+        Option.map (fun alt -> Adversary.Forge { id; alt }) forged)
+      resolved
+  in
+  forges @ [ Adversary.Step { pid; deliver = List.map fst resolved } ]
+
 let make_adversary ~describe pick =
   let log = Channel_log.create () in
+  let queue = ref [] in
   let next obs =
-    Channel_log.note log obs;
-    pick log obs
+    match !queue with
+    | a :: tl ->
+        queue := tl;
+        a
+    | [] -> (
+        Channel_log.note log obs;
+        match pick log obs with
+        | [] -> Adversary.Halt
+        | a :: tl ->
+            queue := tl;
+            a)
   in
   { Adversary.describe; next }
 
@@ -78,15 +107,15 @@ let interleave streams =
   let queues = Array.of_list (List.map ref streams) in
   let pick log obs =
     let rec try_from i =
-      if i >= Array.length queues then Adversary.Halt
+      if i >= Array.length queues then []
       else
         match !(queues.(i)) with
         | [] -> try_from (i + 1)
         | desc :: rest -> (
             match executable log obs desc with
-            | Some ids ->
+            | Some resolved ->
                 queues.(i) := rest;
-                Adversary.Step { pid = desc.pid; deliver = ids }
+                actions_of_step desc.pid resolved
             | None -> try_from (i + 1))
     in
     try_from 0
@@ -103,9 +132,9 @@ let resolve_subset log (obs : Adversary.obs) desc =
     List.map (fun (m : Adversary.pending) -> m.id) obs.pending
   in
   List.filter_map
-    (fun { src; seq } ->
+    (fun { src; seq; forged } ->
       match Channel_log.nth_id log ~src ~dst:desc.pid ~seq with
-      | Some id when List.mem id pending_ids -> Some id
+      | Some id when List.mem id pending_ids -> Some (id, forged)
       | Some _ | None -> None)
     desc.deliver
   |> List.sort_uniq compare
@@ -118,13 +147,12 @@ let lenient ?rest descs =
       match !queue with
       | [] -> (
           match rest with
-          | None -> Adversary.Halt
-          | Some (a : Adversary.t) -> a.next obs)
+          | None -> []
+          | Some (a : Adversary.t) -> [ a.next obs ])
       | desc :: tl ->
           queue := tl;
           if List.mem desc.pid alive then
-            Adversary.Step
-              { pid = desc.pid; deliver = resolve_subset log obs desc }
+            actions_of_step desc.pid (resolve_subset log obs desc)
           else advance ()
     in
     advance ()
@@ -136,16 +164,16 @@ let sequential streams =
   let pick log obs =
     let rec advance () =
       match !queues with
-      | [] -> Adversary.Halt
+      | [] -> []
       | [] :: rest ->
           queues := rest;
           advance ()
       | (desc :: rest_stream) :: rest -> (
           match executable log obs desc with
-          | Some ids ->
+          | Some resolved ->
               queues := rest_stream :: rest;
-              Adversary.Step { pid = desc.pid; deliver = ids }
-          | None -> Adversary.Halt)
+              actions_of_step desc.pid resolved
+          | None -> [])
     in
     advance ()
   in

@@ -15,9 +15,14 @@
     the sender goes through the same states — which is exactly the
     induction the lemmas perform. *)
 
-type delivery = { src : Pid.t; seq : int }
+type delivery = { src : Pid.t; seq : int; forged : int option }
 (** The [seq]-th (1-based, in send order) message from [src] to the
-    stepping process. *)
+    stepping process.  [forged] is [Some alt] when the recorded run
+    delivered the message with its payload replaced by entry [alt] of
+    the algorithm's forge pool (Byzantine model): the replay
+    adversaries then emit an [Adversary.Forge] for the resolved
+    message id immediately before the step, reproducing the corrupted
+    payload.  [None] under the crash model. *)
 
 type step_desc = { pid : Pid.t; deliver : delivery list }
 

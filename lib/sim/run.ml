@@ -12,6 +12,9 @@ type t = {
   events : Event.t list;
   trace : Trace.t;
   decisions : (Pid.t * Value.t * int) list;
+  forges : (int * int) list;
+      (* (message id, forge-pool index) of every Byzantine forge
+         applied during the run, chronological; [] under crash runs *)
 }
 
 let decision_of t p =

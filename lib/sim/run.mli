@@ -31,6 +31,11 @@ type t = {
       (** (process, value, decision time), sorted by pid; includes
           decisions of processes that later crashed — k-agreement is
           uniform. *)
+  forges : (int * int) list;
+      (** (message id, forge-pool index) of every Byzantine forge
+          applied during the run, in chronological order; [[]] for
+          crash-model runs.  {!Replay.project} consults it so a
+          projected schedule re-emits the forgeries the run saw. *)
 }
 
 val decision_of : t -> Pid.t -> Value.t option

@@ -1,29 +1,56 @@
 let header = "# ksa schedule v1"
+let model_prefix = "# model: "
 
-let schedule_to_string descs =
+let schedule_to_string ?(model = Fault_model.Crash) descs =
   let buf = Buffer.create 256 in
   Buffer.add_string buf header;
   Buffer.add_char buf '\n';
+  (* crash schedules keep the pre-model byte layout; only the other
+     models stamp their tag, so old files parse as crash *)
+  (match model with
+  | Fault_model.Crash -> ()
+  | m ->
+      Buffer.add_string buf model_prefix;
+      Buffer.add_string buf (Fault_model.to_string m);
+      Buffer.add_char buf '\n');
   List.iter
     (fun (d : Replay.step_desc) ->
       Buffer.add_string buf (string_of_int d.pid);
       Buffer.add_char buf ':';
       List.iter
         (fun (dl : Replay.delivery) ->
-          Buffer.add_string buf (Printf.sprintf " %d.%d" dl.src dl.seq))
+          match dl.forged with
+          | None -> Buffer.add_string buf (Printf.sprintf " %d.%d" dl.src dl.seq)
+          | Some alt ->
+              Buffer.add_string buf
+                (Printf.sprintf " %d.%d!%d" dl.src dl.seq alt))
         d.deliver;
       Buffer.add_char buf '\n')
     descs;
   Buffer.contents buf
 
 let parse_delivery token =
-  match String.split_on_char '.' token with
-  | [ src; seq ] -> (
-      match (int_of_string_opt src, int_of_string_opt seq) with
-      | Some src, Some seq when src >= 0 && seq >= 1 ->
-          Ok { Replay.src; seq }
-      | _, _ -> Error (Printf.sprintf "bad delivery %S" token))
-  | _ -> Error (Printf.sprintf "bad delivery %S" token)
+  let body, forged =
+    match String.index_opt token '!' with
+    | None -> (token, Ok None)
+    | Some i -> (
+        let alt = String.sub token (i + 1) (String.length token - i - 1) in
+        ( String.sub token 0 i,
+          match int_of_string_opt alt with
+          | Some a when a >= 0 -> Ok (Some a)
+          | Some _ | None ->
+              Error (Printf.sprintf "bad forge index in %S" token) ))
+  in
+  match forged with
+  | Error _ as e -> e
+  | Ok forged -> (
+      match String.split_on_char '.' body with
+      | [ src; seq ] -> (
+          match (int_of_string_opt src, int_of_string_opt seq) with
+          | Some src, Some seq when src >= 0 && seq >= 1 ->
+              Ok { Replay.src; seq; forged }
+          | _, _ -> Error (Printf.sprintf "bad delivery %S" token))
+      | _ -> Error (Printf.sprintf "bad delivery %S" token))
 
 let parse_line lineno line =
   match String.index_opt line ':' with
@@ -48,23 +75,82 @@ let parse_line lineno line =
           in
           parse [] tokens)
 
-let schedule_of_string s =
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let parse_schedule s =
   let lines = String.split_on_char '\n' s in
-  let rec go lineno acc = function
-    | [] -> Ok (List.rev acc)
+  let rec go lineno model acc = function
+    | [] -> Ok (model, List.rev acc)
     | line :: rest ->
         let trimmed = String.trim line in
-        if trimmed = "" || String.length trimmed > 0 && trimmed.[0] = '#' then
-          go (lineno + 1) acc rest
+        if has_prefix ~prefix:model_prefix trimmed then (
+          let tag =
+            String.trim
+              (String.sub trimmed (String.length model_prefix)
+                 (String.length trimmed - String.length model_prefix))
+          in
+          match Fault_model.of_string tag with
+          | Ok m -> go (lineno + 1) m acc rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+        else if
+          trimmed = "" || (String.length trimmed > 0 && trimmed.[0] = '#')
+        then go (lineno + 1) model acc rest
         else (
           match parse_line lineno trimmed with
-          | Ok d -> go (lineno + 1) (d :: acc) rest
+          | Ok d -> go (lineno + 1) model (d :: acc) rest
           | Error _ as e -> e)
   in
-  go 1 [] lines
+  match go 1 Fault_model.Crash [] lines with
+  | Error _ as e -> e
+  | Ok (model, descs) ->
+      (* a crash-tagged (or untagged) schedule must not smuggle forged
+         payloads in: replaying them under crash semantics would
+         silently change what the schedule means *)
+      let forged_count =
+        List.fold_left
+          (fun acc (d : Replay.step_desc) ->
+            List.fold_left
+              (fun acc (dl : Replay.delivery) ->
+                if dl.forged = None then acc else acc + 1)
+              acc d.deliver)
+          0 descs
+      in
+      if forged_count > 0 && Fault_model.tag model = "crash" then
+        Error
+          (Printf.sprintf
+             "schedule carries %d forged payload(s) but declares model \
+              %s; refusing to replay them under crash semantics (the \
+              file is missing its '%s<model>' line)"
+             forged_count (Fault_model.to_string model) model_prefix)
+      else Ok (model, descs)
 
-let save_schedule ~path descs =
-  Ksa_prim.Durable.write_atomic ~path (schedule_to_string descs)
+let check_expected ~expect model =
+  match expect with
+  | None -> Ok ()
+  | Some m when Fault_model.tag m = Fault_model.tag model -> Ok ()
+  | Some m ->
+      Error
+        (Printf.sprintf
+           "schedule was recorded under model %s but replay requested \
+            %s; cross-model replay is unsupported — pass --model %s"
+           (Fault_model.to_string model) (Fault_model.to_string m)
+           (Fault_model.to_string model))
+
+let schedule_of_string ?expect s =
+  match parse_schedule s with
+  | Error _ as e -> e
+  | Ok (model, descs) -> (
+      match check_expected ~expect model with
+      | Ok () -> Ok descs
+      | Error _ as e -> e)
+
+let schedule_model_of_string s =
+  match parse_schedule s with Error _ as e -> e | Ok (model, _) -> Ok model
+
+let save_schedule ?model ~path descs =
+  Ksa_prim.Durable.write_atomic ~path (schedule_to_string ?model descs)
 
 (* a Sys_error usually already names the file ("…: No such file or
    directory"); prepend the path only when the system message omits it,
@@ -82,7 +168,7 @@ let sys_error_with_path path msg =
   in
   Error (if contains_path then msg else Printf.sprintf "%s: %s" path msg)
 
-let load_schedule ~path =
+let load_schedule ?expect ~path () =
   match
     let ic = open_in path in
     Fun.protect
@@ -92,7 +178,7 @@ let load_schedule ~path =
   | exception Sys_error e -> sys_error_with_path path e
   | exception End_of_file -> sys_error_with_path path "truncated read"
   | contents -> (
-      match schedule_of_string contents with
+      match schedule_of_string ?expect contents with
       | Ok _ as ok -> ok
       | Error e -> sys_error_with_path path e)
 

@@ -2,32 +2,59 @@
 
     A schedule (the {!Replay.step_desc} list of a run) is the
     portable, replayable artifact of an execution: together with the
-    algorithm, the inputs and the failure pattern it reproduces the
-    run exactly.  The format is line-oriented and stable:
+    algorithm, the inputs, the fault model and the failure pattern it
+    reproduces the run exactly.  The format is line-oriented and
+    stable:
 
     {v
     # ksa schedule v1
-    2: 0.1 1.1
+    # model: byzantine:1
+    2: 0.1 1.1!2
     0:
     v}
 
     — process p2 steps receiving the 1st message of channel p0→p2 and
-    the 1st of p1→p2, then p0 steps receiving nothing. *)
+    the 1st of p1→p2 with its payload forged to entry 2 of the
+    algorithm's forge pool, then p0 steps receiving nothing.  The
+    [# model:] line is omitted for crash schedules, so pre-model files
+    parse unchanged (as crash); a forged [src.seq!alt] token in a
+    schedule that declares (or defaults to) the crash model is a named
+    parse [Error] — it must never silently replay under crash
+    semantics. *)
 
-val schedule_to_string : Replay.step_desc list -> string
+val schedule_to_string :
+  ?model:Fault_model.t -> Replay.step_desc list -> string
+(** [model] defaults to [Crash] (no [# model:] line, byte-identical to
+    the pre-model format). *)
 
-val schedule_of_string : string -> (Replay.step_desc list, string) result
-(** Parses the format above; tolerates blank lines and [#] comments. *)
+val schedule_of_string :
+  ?expect:Fault_model.t -> string -> (Replay.step_desc list, string) result
+(** Parses the format above; tolerates blank lines and [#] comments.
+    When [expect] is given and its {!Fault_model.tag} differs from the
+    schedule's declared model, returns a named [Error] telling the
+    caller which [--model] to pass — cross-model replay is
+    unsupported. *)
 
-val save_schedule : path:string -> Replay.step_desc list -> (unit, string) result
+val schedule_model_of_string : string -> (Fault_model.t, string) result
+(** The fault model a schedule declares ([Crash] if untagged). *)
+
+val save_schedule :
+  ?model:Fault_model.t ->
+  path:string ->
+  Replay.step_desc list ->
+  (unit, string) result
 (** Atomic write via {!Ksa_prim.Durable.write_atomic}.  Never raises:
     an unwritable path or full disk is an [Error] naming the path,
     and the target is never left half-written. *)
 
-val load_schedule : path:string -> (Replay.step_desc list, string) result
-(** Never raises: I/O failures (nonexistent path included) and parse
-    failures are returned as [Error] with the offending path in the
-    message. *)
+val load_schedule :
+  ?expect:Fault_model.t ->
+  path:string ->
+  unit ->
+  (Replay.step_desc list, string) result
+(** Never raises: I/O failures (nonexistent path included), parse
+    failures and an [expect] model mismatch are returned as [Error]
+    with the offending path in the message. *)
 
 val schedule_of_run : Run.t -> Replay.step_desc list
 (** The full schedule ([project ~keep:(fun _ -> true)]). *)

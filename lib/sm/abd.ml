@@ -94,6 +94,7 @@ struct
   (* store is a balanced map; the op log is genuinely ordered *)
   let canon (st : state) = st
   let canon_message (m : message) = m
+  let forge_pool ~n:_ ~values:_ = []
 
   let update_store st owner (ts, v) =
     let cur_ts, _ = Pid.Map.find owner st.store in

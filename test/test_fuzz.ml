@@ -112,7 +112,7 @@ let test_shrunk_one_minimal_and_roundtrips () =
       | Ok () -> ()
       | Error e -> Alcotest.fail e);
       let loaded =
-        match Sim.Trace_io.load_schedule ~path with
+        match Sim.Trace_io.load_schedule ~path () with
         | Ok s -> s
         | Error e -> Alcotest.fail e
       in

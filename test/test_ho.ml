@@ -62,7 +62,7 @@ let test_random_majority_no_split () =
 let test_min_flood_complete_one_round () =
   let o =
     EMF1.run ~n:5 ~inputs:[| 7; 3; 9; 5; 4 |]
-      ~assignment:(Ho.Assignment.complete ~n:5) ~rounds:1
+      ~assignment:(Ho.Assignment.complete ~n:5) ~rounds:1 ()
   in
   Alcotest.(check bool) "all decided" true (EMF1.all_decided o);
   Alcotest.(check (list int)) "global min" [ 3 ] (EMF1.decided_values o)
@@ -70,14 +70,14 @@ let test_min_flood_complete_one_round () =
 let test_min_flood_crash_like_consensus () =
   (* one disappearance: f+1 = 2 rounds suffice; run 4 for slack *)
   let a = Ho.Assignment.crash_like ~n:5 ~silent_from:[ (0, 2) ] in
-  let o = EMF4.run ~n:5 ~inputs:(distinct 5) ~assignment:a ~rounds:4 in
+  let o = EMF4.run ~n:5 ~inputs:(distinct 5) ~assignment:a ~rounds:4 () in
   Alcotest.(check bool) "all decided" true (EMF4.all_decided o);
   Alcotest.(check int) "consensus" 1 (EMF4.distinct_decisions o)
 
 let test_min_flood_partitioned_k_decisions () =
   let groups = [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
   let a = Ho.Assignment.partitioned ~n:6 ~groups () in
-  let o = EMF4.run ~n:6 ~inputs:(distinct 6) ~assignment:a ~rounds:4 in
+  let o = EMF4.run ~n:6 ~inputs:(distinct 6) ~assignment:a ~rounds:4 () in
   Alcotest.(check (list int)) "group minima" [ 0; 2; 4 ] (EMF4.decided_values o)
 
 let prop_min_flood_validity_and_termination =
@@ -87,7 +87,7 @@ let prop_min_flood_validity_and_termination =
       let rng = Rng.create ~seed in
       let a = Ho.Assignment.random ~rng ~n ~min_size:1 () in
       let inputs = distinct n in
-      let o = EMF4.run ~n ~inputs ~assignment:a ~rounds:4 in
+      let o = EMF4.run ~n ~inputs ~assignment:a ~rounds:4 () in
       EMF4.all_decided o
       && List.for_all
            (fun v -> Array.exists (Int.equal v) inputs)
@@ -99,7 +99,7 @@ let prop_min_flood_estimates_monotone =
     (fun (seed, n) ->
       let rng = Rng.create ~seed in
       let a = Ho.Assignment.random ~rng ~n ~min_size:1 () in
-      let o = EMF4.run ~n ~inputs:(distinct n) ~assignment:a ~rounds:4 in
+      let o = EMF4.run ~n ~inputs:(distinct n) ~assignment:a ~rounds:4 () in
       (* with self in HO, a decision can only be <= the proposer's input *)
       List.for_all (fun (p, v, _) -> v <= p) o.EMF4.decisions)
 
@@ -108,7 +108,7 @@ let prop_min_flood_estimates_monotone =
 let test_uv_complete_consensus () =
   let o =
     EUV.run ~n:5 ~inputs:[| 4; 2; 9; 6; 5 |]
-      ~assignment:(Ho.Assignment.complete ~n:5) ~rounds:6
+      ~assignment:(Ho.Assignment.complete ~n:5) ~rounds:6 ()
   in
   Alcotest.(check bool) "all decided" true (EUV.all_decided o);
   Alcotest.(check (list int)) "global min" [ 2 ] (EUV.decided_values o)
@@ -116,14 +116,14 @@ let test_uv_complete_consensus () =
 let test_uv_partitioned_k_decisions () =
   let groups = [ [ 0; 1 ]; [ 2; 3; 4 ] ] in
   let a = Ho.Assignment.partitioned ~n:5 ~groups () in
-  let o = EUV.run ~n:5 ~inputs:(distinct 5) ~assignment:a ~rounds:8 in
+  let o = EUV.run ~n:5 ~inputs:(distinct 5) ~assignment:a ~rounds:8 () in
   Alcotest.(check (list int)) "one value per group" [ 0; 2 ]
     (EUV.decided_values o);
   Alcotest.(check bool) "all decided" true (EUV.all_decided o)
 
 let test_uv_crash_like () =
   let a = Ho.Assignment.crash_like ~n:4 ~silent_from:[ (1, 2); (3, 5) ] in
-  let o = EUV.run ~n:4 ~inputs:(distinct 4) ~assignment:a ~rounds:10 in
+  let o = EUV.run ~n:4 ~inputs:(distinct 4) ~assignment:a ~rounds:10 () in
   Alcotest.(check bool) "agreement" true (EUV.distinct_decisions o <= 1)
 
 let prop_uv_safe_under_no_split =
@@ -135,7 +135,7 @@ let prop_uv_safe_under_no_split =
       let rng = Rng.create ~seed in
       let maj = (n / 2) + 1 in
       let a = Ho.Assignment.random ~rng ~n ~min_size:maj () in
-      let o = EUV.run ~n ~inputs:(distinct n) ~assignment:a ~rounds:12 in
+      let o = EUV.run ~n ~inputs:(distinct n) ~assignment:a ~rounds:12 () in
       EUV.distinct_decisions o <= 1
       && List.for_all (fun (_, v, _) -> v >= 0 && v < n) o.EUV.decisions)
 
@@ -152,7 +152,7 @@ let prop_uv_live_after_stabilization =
             if round <= 5 then noisy.Ho.Assignment.ho ~round ~me
             else Sim.Pid.universe n)
       in
-      let o = EUV.run ~n ~inputs:(distinct n) ~assignment:a ~rounds:12 in
+      let o = EUV.run ~n ~inputs:(distinct n) ~assignment:a ~rounds:12 () in
       EUV.all_decided o && EUV.distinct_decisions o = 1)
 
 let test_uv_group_indistinguishability () =
@@ -167,8 +167,8 @@ let test_uv_group_indistinguishability () =
         if List.mem me [ 0; 1 ] then part.Ho.Assignment.ho ~round ~me else [])
   in
   let inputs = distinct 5 in
-  let o1 = EUV.run ~n:5 ~inputs ~assignment:part ~rounds:8 in
-  let o2 = EUV.run ~n:5 ~inputs ~assignment:solo ~rounds:8 in
+  let o1 = EUV.run ~n:5 ~inputs ~assignment:part ~rounds:8 () in
+  let o2 = EUV.run ~n:5 ~inputs ~assignment:solo ~rounds:8 () in
   List.iter
     (fun p ->
       Alcotest.(check bool)
@@ -182,7 +182,7 @@ let test_uv_group_indistinguishability () =
 let test_lv_complete_consensus () =
   let o =
     ELV.run ~n:5 ~inputs:[| 6; 3; 8; 1; 9 |]
-      ~assignment:(Ho.Assignment.complete ~n:5) ~rounds:8
+      ~assignment:(Ho.Assignment.complete ~n:5) ~rounds:8 ()
   in
   Alcotest.(check bool) "all decided" true (ELV.all_decided o);
   Alcotest.(check int) "consensus" 1 (ELV.distinct_decisions o)
@@ -192,13 +192,13 @@ let test_lv_partition_blocks_small_groups () =
      into minorities produces NO decisions instead of k decisions *)
   let groups = [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
   let a = Ho.Assignment.partitioned ~n:6 ~groups () in
-  let o = ELV.run ~n:6 ~inputs:(distinct 6) ~assignment:a ~rounds:24 in
+  let o = ELV.run ~n:6 ~inputs:(distinct 6) ~assignment:a ~rounds:24 () in
   Alcotest.(check int) "nobody decides" 0 (List.length o.ELV.decisions)
 
 let test_lv_majority_group_decides_alone () =
   let big = [ 0; 1; 2; 3 ] and small = [ 4; 5 ] in
   let a = Ho.Assignment.partitioned ~n:6 ~groups:[ big; small ] () in
-  let o = ELV.run ~n:6 ~inputs:(distinct 6) ~assignment:a ~rounds:24 in
+  let o = ELV.run ~n:6 ~inputs:(distinct 6) ~assignment:a ~rounds:24 () in
   Alcotest.(check bool) "some decisions" true (o.ELV.decisions <> []);
   Alcotest.(check int) "one value" 1 (ELV.distinct_decisions o);
   List.iter
@@ -208,7 +208,7 @@ let test_lv_majority_group_decides_alone () =
 
 let test_lv_crash_like_consensus () =
   let a = Ho.Assignment.crash_like ~n:5 ~silent_from:[ (0, 4); (3, 9) ] in
-  let o = ELV.run ~n:5 ~inputs:(distinct 5) ~assignment:a ~rounds:30 in
+  let o = ELV.run ~n:5 ~inputs:(distinct 5) ~assignment:a ~rounds:30 () in
   Alcotest.(check bool) "survivors decide" true (List.length o.ELV.decisions >= 3);
   Alcotest.(check int) "consensus" 1 (ELV.distinct_decisions o)
 
@@ -220,7 +220,7 @@ let prop_lv_unconditionally_safe =
       QCheck.assume (min_size <= n);
       let rng = Rng.create ~seed in
       let a = Ho.Assignment.random ~rng ~n ~min_size ~self_in:false () in
-      let o = ELV.run ~n ~inputs:(distinct n) ~assignment:a ~rounds:20 in
+      let o = ELV.run ~n ~inputs:(distinct n) ~assignment:a ~rounds:20 () in
       ELV.distinct_decisions o <= 1
       && List.for_all (fun (_, v, _) -> v >= 0 && v < n) o.ELV.decisions)
 
@@ -237,7 +237,7 @@ let prop_lv_live_after_stabilization =
             else Sim.Pid.universe n)
       in
       (* a full phase of complete rounds fits within rounds 8..19 *)
-      let o = ELV.run ~n ~inputs:(distinct n) ~assignment:a ~rounds:19 in
+      let o = ELV.run ~n ~inputs:(distinct n) ~assignment:a ~rounds:19 () in
       ELV.all_decided o && ELV.distinct_decisions o = 1)
 
 let suites =

@@ -114,6 +114,7 @@ let test_write_once_decision () =
 
     let canon (st : state) = st
     let canon_message (m : message) = m
+    let forge_pool ~n:_ ~values:_ = []
     let pp_state ppf st = Format.pp_print_int ppf st
     let pp_message _ () = ()
   end in
@@ -143,6 +144,7 @@ let test_fd_required () =
     let step () ~received:_ ~fd:_ = ((), [], Some 0)
     let canon () = ()
     let canon_message () = ()
+    let forge_pool ~n:_ ~values:_ = []
     let pp_state _ () = ()
     let pp_message _ () = ()
   end in

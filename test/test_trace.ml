@@ -147,6 +147,7 @@ module Async_flood : Sim.Algorithm.S
 
   let canon (st : state) = st
   let canon_message (m : message) = m
+  let forge_pool ~n:_ ~values:_ = []
   let pp_state ppf st = Format.fprintf ppf "est=%d@r%d" st.est st.round
   let pp_message ppf = function
     | Hello -> Format.pp_print_string ppf "hello"
@@ -185,7 +186,7 @@ let test_cross_substrate_traces () =
   let module AE = Sim.Engine.Make (Async_flood) in
   let ho =
     HE.run ~n ~inputs ~assignment:(Ksa_ho.Assignment.complete ~n)
-      ~rounds:rounds_total
+      ~rounds:rounds_total ()
   in
   let async =
     AE.run ~n ~inputs
@@ -218,13 +219,13 @@ let test_cross_substrate_divergence_detected () =
   let module HE = Ksa_ho.Engine.Make (Ho_flood) in
   let full =
     HE.run ~n ~inputs ~assignment:(Ksa_ho.Assignment.complete ~n)
-      ~rounds:rounds_total
+      ~rounds:rounds_total ()
   in
   let split =
     HE.run ~n ~inputs
       ~assignment:
         (Ksa_ho.Assignment.partitioned ~n ~groups:[ [ 0; 1 ]; [ 2; 3 ] ] ())
-      ~rounds:rounds_total
+      ~rounds:rounds_total ()
   in
   Alcotest.(check bool) "partitioned trace differs" false
     (Trace.equal full.HE.trace split.HE.trace);

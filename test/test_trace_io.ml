@@ -76,13 +76,13 @@ let test_file_roundtrip () =
       (match Sim.Trace_io.save_schedule ~path sched with
       | Ok () -> ()
       | Error e -> Alcotest.fail e);
-      match Sim.Trace_io.load_schedule ~path with
+      match Sim.Trace_io.load_schedule ~path () with
       | Ok loaded -> Alcotest.(check bool) "file roundtrip" true (loaded = sched)
       | Error e -> Alcotest.fail e)
 
 let test_load_schedule_missing_path () =
   let path = Filename.concat (Filename.get_temp_dir_name ()) "ksa_no_such_file.sched" in
-  (match Sim.Trace_io.load_schedule ~path with
+  (match Sim.Trace_io.load_schedule ~path () with
   | Ok _ -> Alcotest.fail "loaded a nonexistent file"
   | Error e ->
       let contains_path =
@@ -102,7 +102,7 @@ let test_load_schedule_missing_path () =
       let oc = open_out bad in
       output_string oc "not a schedule\n";
       close_out oc;
-      match Sim.Trace_io.load_schedule ~path:bad with
+      match Sim.Trace_io.load_schedule ~path:bad () with
       | Ok _ -> Alcotest.fail "parsed garbage"
       | Error e ->
           Alcotest.(check bool) "names the file" true
@@ -138,7 +138,7 @@ let gen_schedule =
           {
             Sim.Replay.pid;
             deliver =
-              List.map (fun (src, seq) -> { Sim.Replay.src; seq }) dels;
+              List.map (fun (src, seq) -> { Sim.Replay.src; seq; forged = None }) dels;
           } ))
 
 let pp_schedule s = Sim.Trace_io.schedule_to_string s

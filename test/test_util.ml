@@ -47,6 +47,7 @@ module Echo = struct
 
   let canon (st : state) = st
   let canon_message (m : message) = m
+  let forge_pool ~n:_ ~values:_ = [ Ping; Pong ]
 
   let pp_message ppf = function
     | Ping -> Format.pp_print_string ppf "ping"
