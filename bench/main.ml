@@ -431,6 +431,59 @@ let bench_fuzz_violation coverage () =
   | Sim.Fuzz.Violation_found _ -> ()
   | _ -> failwith "bench: kset-flp n=4 violation subject stayed clean"
 
+(* campaign-daemon subject: a fresh campaign directory per run holding
+   a small batch of probe jobs, two of which fail once and retry, run
+   to completion by Daemon.serve in exit-when-idle mode.  Every state
+   transition is a Durable atomic rewrite, so ns_per_run prices the
+   whole queue contract — submit, worker spawn, backoff, finalize —
+   fsync'd durability included.  The JSON writer derives jobs_per_sec
+   from the svc.jobs.done delta; svc.jobs.retried rides along in the
+   counters as the retry count. *)
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let bench_serve_throughput () =
+  let dir = Filename.temp_file "ksa_bench_serve" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let store =
+        match Ksa_svc.Jobstore.open_dir ~dir with
+        | Ok t -> t
+        | Error e -> failwith ("bench: " ^ e)
+      in
+      for i = 1 to 8 do
+        let fail = if i mod 4 = 0 then 1 else 0 in
+        match
+          Ksa_svc.Jobstore.submit store
+            (Ksa_svc.Task.Probe { Ksa_svc.Task.p_fail = fail; p_spin = 0. })
+        with
+        | Ok _ -> ()
+        | Error e -> failwith ("bench: " ^ e)
+      done;
+      let cfg =
+        {
+          (Ksa_svc.Daemon.default_cfg ~dir) with
+          Ksa_svc.Daemon.exit_when_idle = true;
+          retry =
+            {
+              Ksa_prim.Backoff.base = 0.0005;
+              cap = 0.001;
+              multiplier = 2.0;
+              jitter = 0.0;
+            };
+        }
+      in
+      if Ksa_svc.Daemon.serve cfg <> 0 then
+        failwith "bench: serve exited non-zero")
+
 (* One (name, thunk) pair per subject: bechamel times the thunk, and
    in [--json] mode a single extra invocation between two
    Metrics.snapshot calls yields the per-run counter deltas that go
@@ -474,6 +527,7 @@ let subjects =
     ("fuzz:coverage-kset-flp-n3", bench_fuzz_kset_modes true);
     ("fuzz:blind-violation-n4", bench_fuzz_violation false);
     ("fuzz:coverage-violation-n4", bench_fuzz_violation true);
+    ("serve:throughput-smoke", bench_serve_throughput);
     ("screen:section6-n4", bench_screen_section6_n4);
     ("indist:for-all-n6", bench_indist_for_all_n6);
   ]
@@ -518,15 +572,17 @@ let counter_deltas () =
    the cwd so successive PRs can diff it.  scaling:* rows also carry
    speedup_vs_seq, the sequential e12 subject's ns/run over theirs,
    reduction:* rows carry reduction_ratio, unreduced configs admitted
-   over theirs, and the fuzz blind/coverage pair carries
+   over theirs, the fuzz blind/coverage pair carries
    distinct_states_per_sec, the campaign's distinct interned state
-   ids over its wall-clock seconds. *)
+   ids over its wall-clock seconds, and serve:* rows carry
+   jobs_per_sec, the daemon batch's completed jobs over its
+   wall-clock seconds. *)
 let write_bench_json ~path rows =
   let oc = open_out path in
   output_string oc "{\n";
   let total = List.length rows in
   List.iteri
-    (fun i (name, ns, counters, speedup, ratio, dsps) ->
+    (fun i (name, ns, counters, speedup, ratio, dsps, jps) ->
       Printf.fprintf oc "  %S: {\n    \"ns_per_run\": %s" name
         (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns);
       (match speedup with
@@ -540,6 +596,10 @@ let write_bench_json ~path rows =
       (match dsps with
       | Some d when not (Float.is_nan d) ->
           Printf.fprintf oc ",\n    \"distinct_states_per_sec\": %.1f" d
+      | _ -> ());
+      (match jps with
+      | Some j when not (Float.is_nan j) ->
+          Printf.fprintf oc ",\n    \"jobs_per_sec\": %.1f" j
       | _ -> ());
       (match counters with
       | [] -> ()
@@ -640,6 +700,18 @@ let run_benchmarks ~json () =
             if Float.is_nan ns then None
             else Some (float_of_int ids /. (ns /. 1e9))
     in
+    let jobs_per_sec name ns =
+      if not (has name "serve:") then None
+      else
+        match
+          Option.bind (List.assoc_opt name deltas)
+            (List.assoc_opt "svc.jobs.done")
+        with
+        | None | Some 0 -> None
+        | Some jobs ->
+            if Float.is_nan ns then None
+            else Some (float_of_int jobs /. (ns /. 1e9))
+    in
     let rows =
       List.map
         (fun (name, ns) ->
@@ -654,10 +726,11 @@ let run_benchmarks ~json () =
             counters,
             speedup,
             reduction_ratio name,
-            distinct_per_sec name ns ))
+            distinct_per_sec name ns,
+            jobs_per_sec name ns ))
         rows
     in
-    let is_trace_subject (name, _, _, _, _, _) =
+    let is_trace_subject (name, _, _, _, _, _, _) =
       has name "screen:" || has name "indist:"
     in
     let screen_rows, explore_rows = List.partition is_trace_subject rows in

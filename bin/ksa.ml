@@ -18,7 +18,9 @@ module Fd = Ksa_fd
 module Rng = Ksa_prim.Rng
 module Metrics = Ksa_prim.Metrics
 module Clock = Ksa_prim.Clock
+module Backoff = Ksa_prim.Backoff
 module Checkpoint = Ksa_sim.Checkpoint
+module Svc = Ksa_svc
 
 (* ---------- graceful shutdown ---------- *)
 
@@ -70,29 +72,26 @@ let parse_every s =
         Ok { Checkpoint.every_items = k; every_seconds = infinity }
     | _ -> Error (Printf.sprintf "bad --checkpoint-every %S" s)
 
-(* Load and validate a checkpoint for --resume.  Any problem — the
-   file is corrupt, belongs to another campaign kind, was written
-   under different parameters, or its interner dump conflicts — is a
-   warning followed by a fresh campaign, never a crash. *)
-let load_resume ~path ~kind ~fingerprint =
-  let fresh fmt =
-    Printf.ksprintf
-      (fun m ->
-        Printf.eprintf "ksa: %s — starting a fresh campaign\n%!" m;
-        None)
-      fmt
-  in
-  match Checkpoint.load ~path with
-  | Error e -> fresh "cannot resume: %s" e
-  | Ok t ->
-      if Checkpoint.kind t <> kind then
-        fresh "%s is a %S checkpoint, not %S" path (Checkpoint.kind t) kind
-      else if Checkpoint.fingerprint t <> fingerprint then
-        fresh "%s was written under different campaign parameters" path
-      else (
-        match Checkpoint.restore_interners t with
-        | Error e -> fresh "cannot resume: %s" e
-        | Ok () -> Some t)
+(* Load and validate a checkpoint for --resume (the validation itself
+   now lives in Ksa_svc.Task, shared with the campaign daemon).  By
+   default any problem — the file is corrupt, belongs to another
+   campaign kind, was written under different parameters, or its
+   interner dump conflicts — is a warning followed by a fresh
+   campaign, never a crash.  With --strict-resume a silent fresh
+   start is exactly what must not happen: the named reason goes to
+   stderr and the process exits 5. *)
+let load_resume ?(strict = false) ~path ~kind ~fingerprint () =
+  match Svc.Task.load_resume ~path ~kind ~fingerprint with
+  | Ok t -> Some t
+  | Error reason ->
+      if strict then begin
+        Printf.eprintf "ksa: cannot resume (strict): %s\n%!" reason;
+        exit 5
+      end
+      else begin
+        Printf.eprintf "ksa: %s — starting a fresh campaign\n%!" reason;
+        None
+      end
 
 (* ---------- shared argument parsing ---------- *)
 
@@ -409,10 +408,13 @@ let with_progress enabled f =
           let orbit = Metrics.counter "explore.orbit_hits" in
           let sleep = Metrics.counter "explore.sleep_pruned" in
           let readmit = Metrics.counter "explore.sleep_readmitted" in
+          (* park at 100ms between stop-flag checks; no cpu_relax phase
+             — this domain is pure bookkeeping *)
+          let sp = Backoff.Spin.make ~relax:0 ~floor:0.1 ~cap:0.1 () in
           let rec loop last_n last_t =
             if Atomic.get stop then ()
             else begin
-              Unix.sleepf 0.1;
+              Backoff.Spin.wait sp;
               let elapsed = Clock.elapsed_s ~since:last_t in
               if elapsed < 1.0 then loop last_n last_t
               else begin
@@ -459,197 +461,145 @@ let with_progress enabled f =
 
 let explore algo_name n k l wait_for dead crash_budget model policy reduction
     domains max_configs drop_on_crash stats_json progress checkpoint
-    checkpoint_every resume =
-  let l = Option.value l ~default:(max 1 (n - 1)) in
-  match algo_conv ~l ~wait_for algo_name with
-  | Error e ->
-      prerr_endline e;
+    checkpoint_every resume strict_resume =
+  (* the campaign itself is a library-level task now (shared with the
+     daemon); the CLI keeps argument parsing, printing and the exit
+     mapping *)
+  let spec =
+    Svc.Task.Explore
+      {
+        Svc.Task.e_algo = algo_name;
+        e_n = n;
+        e_k = k;
+        e_l = l;
+        e_wait = wait_for;
+        e_dead = dead;
+        e_crash_budget = crash_budget;
+        e_model = model;
+        e_policy = policy;
+        e_reduction = reduction;
+        e_max_configs = max_configs;
+        e_drop = drop_on_crash;
+      }
+  in
+  let kind = Svc.Task.kind spec in
+  let fingerprint = Svc.Task.fingerprint spec in
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> Sim.Explorer.default_domains ()
+  in
+  let ck_policy =
+    match checkpoint_every with
+    | None -> Checkpoint.default_policy
+    | Some s -> (
+        match parse_every s with
+        | Ok p -> p
+        | Error e ->
+            prerr_endline e;
+            exit 1)
+  in
+  let sink =
+    Option.map
+      (fun path -> { Checkpoint.path; kind; fingerprint; policy = ck_policy })
+      checkpoint
+  in
+  let resumed =
+    Option.bind resume (fun path ->
+        load_resume ~strict:strict_resume ~path ~kind ~fingerprint ())
+  in
+  install_signal_handlers ();
+  let ckpt =
+    Checkpoint.ctl ?sink
+      ~interrupt:(fun () -> Atomic.get shutdown)
+      ~ledger:(match resumed with Some t -> Checkpoint.ledger t | None -> [])
+      ()
+  in
+  let resume = Option.map Checkpoint.payload resumed in
+  let domains =
+    if resume <> None && domains > 1 then begin
+      Printf.eprintf
+        "ksa: resuming on the sequential driver (checkpoints are \
+         sequential-format; verdicts are driver-independent)\n\
+         %!";
       1
-  | Ok (module A) -> (
-      let module Ex = Sim.Explorer.Make (A) in
-      let policy_name = policy in
-      let policy =
-        match policy with
-        | "per-sender" -> Sim.Explorer.Per_sender
-        | "empty-or-all" -> Sim.Explorer.Empty_or_all
-        | "all-subsets" -> Sim.Explorer.All_subsets
-        | p ->
-            Printf.eprintf
-              "unknown policy %S (expected per-sender, empty-or-all, or \
-               all-subsets)\n"
-              p;
-            exit 1
-      in
-      let inputs = Sim.Value.distinct_inputs n in
-      (* safety predicate: at most k distinct decision values *)
-      let check decisions =
-        let distinct =
-          List.sort_uniq Sim.Value.compare
-            (List.map (fun (_, v, _) -> v) decisions)
-        in
-        if List.length distinct > k then
-          Some
-            (Printf.sprintf "%d distinct decisions exceed k=%d"
-               (List.length distinct) k)
-        else None
-      in
-      let domains =
-        match domains with
-        | Some d -> d
-        | None -> Sim.Explorer.default_domains ()
-      in
-      let crashless = crash_budget = 0 && model = Sim.Fault_model.Crash in
-      let kind = if crashless then "explore" else "explore-crash" in
-      (* everything that shapes the search (but not [domains]: the
-         drivers are verdict-identical, and resume is sequential) *)
-      let fingerprint =
-        Printf.sprintf
-          "algo=%s n=%d k=%d l=%d wait=%d dead=%s crash-budget=%d policy=%s \
-           max-configs=%s drop=%b reduction=%s"
-          algo_name n k l wait_for
-          (String.concat "," (List.map string_of_int dead))
-          crash_budget policy_name
-          (match max_configs with None -> "-" | Some m -> string_of_int m)
-          drop_on_crash
-          (Sim.Canon.reduction_to_string reduction)
-        ^
-        (* absent for crash, so pre-model checkpoints keep resuming *)
-        match model with
-        | Sim.Fault_model.Crash -> ""
-        | m -> " model=" ^ Sim.Fault_model.to_string m
-      in
-      let ck_policy =
-        match checkpoint_every with
-        | None -> Checkpoint.default_policy
-        | Some s -> (
-            match parse_every s with
-            | Ok p -> p
-            | Error e ->
-                prerr_endline e;
-                exit 1)
-      in
-      let sink =
-        Option.map
-          (fun path -> { Checkpoint.path; kind; fingerprint; policy = ck_policy })
-          checkpoint
-      in
-      let resumed =
-        Option.bind resume (fun path -> load_resume ~path ~kind ~fingerprint)
-      in
-      install_signal_handlers ();
-      let ckpt =
-        Checkpoint.ctl ?sink
-          ~interrupt:(fun () -> Atomic.get shutdown)
-          ~ledger:
-            (match resumed with Some t -> Checkpoint.ledger t | None -> [])
-          ()
-      in
-      let resume = Option.map Checkpoint.payload resumed in
-      let domains =
-        if resume <> None && domains > 1 then begin
-          Printf.eprintf
-            "ksa: resuming on the sequential driver (checkpoints are \
-             sequential-format; verdicts are driver-independent)\n\
-             %!";
-          1
-        end
-        else domains
-      in
-      let pp_stats ppf (s : Sim.Explorer.stats) =
-        Format.fprintf ppf "%d configs visited, %d terminal runs%s"
-          s.Sim.Explorer.configs_visited s.Sim.Explorer.terminal_runs
-          (if s.Sim.Explorer.budget_exhausted then " (budget exhausted)"
-           else "")
-      in
-      (* returns 1 when the stats file could not be written *)
-      let write_stats () =
-        match stats_json with
-        | None -> 0
-        | Some path -> (
-            match Metrics.write_json ~path (Metrics.snapshot ()) with
-            | Ok () ->
-                Format.eprintf "stats written to %s@." path;
+    end
+    else domains
+  in
+  let pp_stats ppf (s : Sim.Explorer.stats) =
+    Format.fprintf ppf "%d configs visited, %d terminal runs%s"
+      s.Sim.Explorer.configs_visited s.Sim.Explorer.terminal_runs
+      (if s.Sim.Explorer.budget_exhausted then " (budget exhausted)" else "")
+  in
+  (* returns 1 when the stats file could not be written *)
+  let write_stats () =
+    match stats_json with
+    | None -> 0
+    | Some path -> (
+        match Metrics.write_json ~path (Metrics.snapshot ()) with
+        | Ok () ->
+            Format.eprintf "stats written to %s@." path;
+            0
+        | Error e ->
+            Printf.eprintf "ksa: %s\n%!" e;
+            1)
+  in
+  let code =
+    with_progress progress (fun () ->
+        match Svc.Task.run ~domains ~ckpt ?resume spec with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok (Svc.Task.Explored outcome) -> (
+            match outcome with
+            | Sim.Explorer.Safe stats when stats.Sim.Explorer.budget_exhausted
+              ->
+                (* no violation in the explored prefix, but the prefix
+                   is not the space: refuse the optimistic verdict *)
+                Format.printf
+                  "INDETERMINATE: no violation in the explored prefix, but \
+                   the budget truncated the search — %a@."
+                  pp_stats stats;
+                4
+            | Sim.Explorer.Safe stats ->
+                Format.printf "SAFE: %a@." pp_stats stats;
                 0
-            | Error e ->
-                Printf.eprintf "ksa: %s\n%!" e;
-                1)
-      in
-      let code =
-        try
-          with_progress progress (fun () ->
-              if crashless then begin
-                let pattern = Sim.Failure_pattern.initial_dead ~n ~dead in
-                let outcome =
-                  if domains > 1 then
-                    Ex.explore_par ~reduction ~domains ?max_configs ~policy
-                      ~ckpt ~n ~inputs ~pattern ~check ()
-                  else
-                    Ex.explore ~reduction ?max_configs ~policy ~ckpt ?resume
-                      ~n ~inputs ~pattern ~check ()
-                in
-                match outcome with
-                | Sim.Explorer.Safe stats
-                  when stats.Sim.Explorer.budget_exhausted ->
-                    (* no violation in the explored prefix, but the
-                       prefix is not the space: refuse the optimistic
-                       verdict *)
-                    Format.printf
-                      "INDETERMINATE: no violation in the explored prefix, \
-                       but the budget truncated the search — %a@."
-                      pp_stats stats;
-                    4
-                | Sim.Explorer.Safe stats ->
-                    Format.printf "SAFE: %a@." pp_stats stats;
-                    0
-                | Sim.Explorer.Violation { reason; depth; _ } ->
-                    Format.printf "VIOLATION at depth %d: %s@." depth reason;
-                    2
-              end
-              else begin
-                let outcome =
-                  if domains > 1 then
-                    Ex.explore_with_crashes_par ~reduction ~model ~domains
-                      ?max_configs ~policy ~drop_on_crash ~initially_dead:dead
-                      ~ckpt ~n ~inputs ~crash_budget ~check ()
-                  else
-                    Ex.explore_with_crashes ~reduction ~model ?max_configs
-                      ~policy ~drop_on_crash ~initially_dead:dead ~ckpt
-                      ?resume ~n ~inputs ~crash_budget ~check ()
-                in
-                match outcome with
-                | Sim.Explorer.All_paths_decide stats ->
-                    Format.printf "ALL PATHS DECIDE: %a@." pp_stats stats;
-                    0
-                | Sim.Explorer.Safety_violation { reason; _ } ->
-                    Format.printf "VIOLATION: %s@." reason;
-                    2
-                | Sim.Explorer.Stuck { crashed; undecided_correct; stats } ->
-                    Format.printf
-                      "STUCK: crashes {%s} strand {%s} undecided — %a@."
-                      (String.concat ","
-                         (List.map (Printf.sprintf "p%d") crashed))
-                      (String.concat ","
-                         (List.map (Printf.sprintf "p%d") undecided_correct))
-                      pp_stats stats;
-                    3
-                | Sim.Explorer.Indeterminate stats ->
-                    Format.printf
-                      "INDETERMINATE: the budget truncated the search before \
-                       the reachable graph closed — %a@."
-                      pp_stats stats;
-                    4
-              end)
-        with Invalid_argument msg ->
-          prerr_endline ("not explorable: " ^ msg);
-          1
-      in
-      let stats_code = write_stats () in
-      if Atomic.get shutdown then begin
-        resume_hint ~checkpoint;
-        130
-      end
-      else if stats_code <> 0 then stats_code
-      else code)
+            | Sim.Explorer.Violation { reason; depth; _ } ->
+                Format.printf "VIOLATION at depth %d: %s@." depth reason;
+                2)
+        | Ok (Svc.Task.Crash_explored outcome) -> (
+            match outcome with
+            | Sim.Explorer.All_paths_decide stats ->
+                Format.printf "ALL PATHS DECIDE: %a@." pp_stats stats;
+                0
+            | Sim.Explorer.Safety_violation { reason; _ } ->
+                Format.printf "VIOLATION: %s@." reason;
+                2
+            | Sim.Explorer.Stuck { crashed; undecided_correct; stats } ->
+                Format.printf "STUCK: crashes {%s} strand {%s} undecided — %a@."
+                  (String.concat ","
+                     (List.map (Printf.sprintf "p%d") crashed))
+                  (String.concat ","
+                     (List.map (Printf.sprintf "p%d") undecided_correct))
+                  pp_stats stats;
+                3
+            | Sim.Explorer.Indeterminate stats ->
+                Format.printf
+                  "INDETERMINATE: the budget truncated the search before the \
+                   reachable graph closed — %a@."
+                  pp_stats stats;
+                4)
+        | Ok (Svc.Task.Fuzzed _ | Svc.Task.Probed _) ->
+            (* an Explore spec cannot produce these *)
+            assert false)
+  in
+  let stats_code = write_stats () in
+  if Atomic.get shutdown then begin
+    resume_hint ~checkpoint;
+    130
+  end
+  else if stats_code <> 0 then stats_code
+  else code
 
 let crash_budget_arg =
   Arg.(
@@ -762,6 +712,18 @@ let resume_arg =
            uninterrupted run.  A corrupt or mismatched checkpoint falls \
            back to a fresh campaign with a warning.")
 
+let strict_resume_arg =
+  Arg.(
+    value & flag
+    & info [ "strict-resume" ]
+        ~doc:
+          "Refuse to run when --resume names a checkpoint that cannot be \
+           resumed (missing, corrupt, wrong kind, or written under \
+           different campaign parameters): print the reason and exit 5 \
+           instead of warning and starting a fresh campaign.  Scripted \
+           campaigns should set this — a silent fresh start hides lost \
+           progress.")
+
 let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
@@ -776,68 +738,73 @@ let explore_cmd =
       $ crash_budget_arg $ model_arg $ policy_arg $ reduction_arg
       $ domains_arg
       $ max_configs_arg $ drop_on_crash_arg $ stats_json_arg $ progress_arg
-      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ strict_resume_arg)
 
 (* ---------- fuzz ---------- *)
 
 let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
     model weights_name require_termination coverage domains stats_json
-    save_schedule replay_path max_seconds checkpoint checkpoint_every resume =
-  let l = Option.value l ~default:(max 1 (n - 1)) in
-  match algo_conv ~l ~wait_for algo_name with
-  | Error e ->
-      prerr_endline e;
-      1
-  | Ok (module A) -> (
-      let module F = Sim.Fuzz.Make (A) in
-      let weights =
-        match weights_name with
-        | "fair" -> Sim.Fuzz.fair_weights
-        | "mixed" -> Sim.Fuzz.default_weights
-        | w ->
-            Printf.eprintf "unknown weights %S (expected fair or mixed)\n" w;
-            exit 1
-      in
-      let stop =
-        match max_seconds with
-        | None -> None
-        | Some s ->
-            (* monotonic: a wall-clock step (NTP, DST) must not end or
-               extend the campaign *)
-            let start = Clock.now_ns () in
-            Some (fun () -> Clock.elapsed_s ~since:start > s)
-      in
-      let cfg =
-        {
-          (Sim.Fuzz.default_config ~k ~n ()) with
-          Sim.Fuzz.pattern = Sim.Failure_pattern.initial_dead ~n ~dead;
-          weights;
-          max_crashes;
-          max_steps;
-          properties =
-            ([ Sim.Fuzz.K_agreement k; Sim.Fuzz.Validity ]
-            @ if require_termination then [ Sim.Fuzz.Termination ] else []);
-          stop;
-          model;
-          coverage;
-        }
-      in
-      (* returns 1 when the stats file could not be written *)
-      let write_stats () =
-        match stats_json with
-        | None -> 0
-        | Some path -> (
-            match Metrics.write_json ~path (Metrics.snapshot ()) with
-            | Ok () ->
-                Format.eprintf "stats written to %s@." path;
-                0
-            | Error e ->
-                Printf.eprintf "ksa: %s\n%!" e;
-                1)
-      in
-      let code =
-        match replay_path with
-        | Some path -> (
+    save_schedule replay_path max_seconds checkpoint checkpoint_every resume
+    strict_resume =
+  let stop =
+    match max_seconds with
+    | None -> None
+    | Some s ->
+        (* monotonic: a wall-clock step (NTP, DST) must not end or
+           extend the campaign *)
+        let start = Clock.now_ns () in
+        Some (fun () -> Clock.elapsed_s ~since:start > s)
+  in
+  (* returns 1 when the stats file could not be written *)
+  let write_stats () =
+    match stats_json with
+    | None -> 0
+    | Some path -> (
+        match Metrics.write_json ~path (Metrics.snapshot ()) with
+        | Ok () ->
+            Format.eprintf "stats written to %s@." path;
+            0
+        | Error e ->
+            Printf.eprintf "ksa: %s\n%!" e;
+            1)
+  in
+  let code =
+    match replay_path with
+    | Some path -> (
+        (* replay is a one-shot CLI affair, not a campaign: it keeps
+           the direct driver path *)
+        let l = Option.value l ~default:(max 1 (n - 1)) in
+        match algo_conv ~l ~wait_for algo_name with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok (module A) -> (
+            let module F = Sim.Fuzz.Make (A) in
+            let weights =
+              match weights_name with
+              | "fair" -> Sim.Fuzz.fair_weights
+              | "mixed" -> Sim.Fuzz.default_weights
+              | w ->
+                  Printf.eprintf
+                    "unknown weights %S (expected fair or mixed)\n" w;
+                  exit 1
+            in
+            let cfg =
+              {
+                (Sim.Fuzz.default_config ~k ~n ()) with
+                Sim.Fuzz.pattern = Sim.Failure_pattern.initial_dead ~n ~dead;
+                weights;
+                max_crashes;
+                max_steps;
+                properties =
+                  ([ Sim.Fuzz.K_agreement k; Sim.Fuzz.Validity ]
+                  @ if require_termination then [ Sim.Fuzz.Termination ]
+                    else []);
+                stop;
+                model;
+                coverage;
+              }
+            in
             (* a schedule recorded under another model is refused, not
                silently replayed under this one *)
             match Sim.Trace_io.load_schedule ~expect:model ~path () with
@@ -855,75 +822,78 @@ let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
                 | None ->
                     Format.printf "CLEAN: replaying %d steps violates nothing@."
                       (List.length sched);
-                    0))
-        | None -> (
-            let domains =
-              match domains with
-              | Some d -> d
-              | None -> Sim.Explorer.default_domains ()
-            in
-            let fingerprint =
-              Printf.sprintf
-                "algo=%s n=%d k=%d l=%d wait=%d dead=%s seed=%d trials=%d \
-                 max-steps=%d max-crashes=%d weights=%s termination=%b \
-                 coverage=%b"
-                algo_name n k l wait_for
-                (String.concat "," (List.map string_of_int dead))
-                seed trials max_steps max_crashes weights_name
-                require_termination coverage
-              ^
-              (* absent for crash, so pre-model checkpoints keep resuming *)
-              match model with
-              | Sim.Fault_model.Crash -> ""
-              | m -> " model=" ^ Sim.Fault_model.to_string m
-            in
-            let ck_policy =
-              match checkpoint_every with
-              | None -> Checkpoint.default_policy
-              | Some s -> (
-                  match parse_every s with
-                  | Ok p -> p
-                  | Error e ->
-                      prerr_endline e;
-                      exit 1)
-            in
-            let sink =
-              Option.map
-                (fun path ->
-                  { Checkpoint.path; kind = "fuzz"; fingerprint;
-                    policy = ck_policy })
-                checkpoint
-            in
-            let resumed =
-              Option.bind resume (fun path ->
-                  load_resume ~path ~kind:"fuzz" ~fingerprint)
-            in
-            install_signal_handlers ();
-            let ckpt =
-              Checkpoint.ctl ?sink
-                ~interrupt:(fun () -> Atomic.get shutdown)
-                ~ledger:
-                  (match resumed with
-                  | Some t -> Checkpoint.ledger t
-                  | None -> [])
-                ()
-            in
-            (* the full payload, not just the trial index: a coverage
-               campaign's corpus rides in it *)
-            let resume_payload = Option.map Checkpoint.payload resumed in
-            let outcome =
-              if domains > 1 then
-                F.run_par ~domains ~ckpt ?resume_payload cfg ~seed ~trials
-              else F.run ~ckpt ?resume_payload cfg ~seed ~trials
-            in
-            let report_coverage () =
-              if coverage then
-                Format.printf
-                  "coverage: %d state ids, %d transition pairs, corpus %d@."
-                  (Metrics.gauge_value (Metrics.gauge "fuzz.cov.ids"))
-                  (Metrics.gauge_value (Metrics.gauge "fuzz.cov.pairs"))
-                  (Metrics.gauge_value (Metrics.gauge "fuzz.cov.corpus"))
-            in
+                    0)))
+    | None -> (
+        let spec =
+          Svc.Task.Fuzz
+            {
+              Svc.Task.f_algo = algo_name;
+              f_n = n;
+              f_k = k;
+              f_l = l;
+              f_wait = wait_for;
+              f_dead = dead;
+              f_seed = seed;
+              f_trials = trials;
+              f_max_steps = max_steps;
+              f_max_crashes = max_crashes;
+              f_weights = weights_name;
+              f_termination = require_termination;
+              f_coverage = coverage;
+              f_model = model;
+            }
+        in
+        let kind = Svc.Task.kind spec in
+        let fingerprint = Svc.Task.fingerprint spec in
+        let domains =
+          match domains with
+          | Some d -> d
+          | None -> Sim.Explorer.default_domains ()
+        in
+        let ck_policy =
+          match checkpoint_every with
+          | None -> Checkpoint.default_policy
+          | Some s -> (
+              match parse_every s with
+              | Ok p -> p
+              | Error e ->
+                  prerr_endline e;
+                  exit 1)
+        in
+        let sink =
+          Option.map
+            (fun path ->
+              { Checkpoint.path; kind; fingerprint; policy = ck_policy })
+            checkpoint
+        in
+        let resumed =
+          Option.bind resume (fun path ->
+              load_resume ~strict:strict_resume ~path ~kind ~fingerprint ())
+        in
+        install_signal_handlers ();
+        let ckpt =
+          Checkpoint.ctl ?sink
+            ~interrupt:(fun () -> Atomic.get shutdown)
+            ~ledger:
+              (match resumed with Some t -> Checkpoint.ledger t | None -> [])
+            ()
+        in
+        (* the full payload, not just the trial index: a coverage
+           campaign's corpus rides in it *)
+        let resume_payload = Option.map Checkpoint.payload resumed in
+        let report_coverage () =
+          if coverage then
+            Format.printf
+              "coverage: %d state ids, %d transition pairs, corpus %d@."
+              (Metrics.gauge_value (Metrics.gauge "fuzz.cov.ids"))
+              (Metrics.gauge_value (Metrics.gauge "fuzz.cov.pairs"))
+              (Metrics.gauge_value (Metrics.gauge "fuzz.cov.corpus"))
+        in
+        match Svc.Task.run ~domains ?stop ~ckpt ?resume:resume_payload spec with
+        | Error e ->
+            prerr_endline e;
+            1
+        | Ok (Svc.Task.Fuzzed outcome) -> (
             match outcome with
             | Sim.Fuzz.Violation_found v -> (
                 Format.printf "VIOLATION at trial %d (%s): %s@."
@@ -958,14 +928,18 @@ let fuzz algo_name n k l wait_for seed trials max_steps max_crashes dead
                   trials;
                 report_coverage ();
                 4)
-      in
-      let stats_code = write_stats () in
-      if Atomic.get shutdown then begin
-        resume_hint ~checkpoint;
-        130
-      end
-      else if stats_code <> 0 then stats_code
-      else code)
+        | Ok (Svc.Task.Explored _ | Svc.Task.Crash_explored _ | Svc.Task.Probed _)
+          ->
+            (* a Fuzz spec cannot produce these *)
+            assert false)
+  in
+  let stats_code = write_stats () in
+  if Atomic.get shutdown then begin
+    resume_hint ~checkpoint;
+    130
+  end
+  else if stats_code <> 0 then stats_code
+  else code
 
 let trials_arg =
   Arg.(
@@ -1042,7 +1016,7 @@ let fuzz_cmd =
       $ trials_arg $ max_steps_arg $ max_crashes_arg $ dead_arg $ model_arg
       $ weights_arg $ require_termination_arg $ coverage_arg $ domains_arg
       $ stats_json_arg $ save_schedule_arg $ replay_arg $ max_seconds_arg
-      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ strict_resume_arg)
 
 (* ---------- screen ---------- *)
 
@@ -1288,6 +1262,353 @@ let ho_cmd =
     (Cmd.info "ho" ~doc:"Run a Heard-Of round-model algorithm.")
     Term.(const ho $ ho_algo_arg $ n_arg $ rounds_arg $ assignment_arg)
 
+(* ---------- serve: the campaign daemon ---------- *)
+
+let serve dir listen retry_base retry_cap retries seed deadline domains
+    checkpoint_every exit_when_idle verbose =
+  let ck_policy =
+    match checkpoint_every with
+    | None -> Checkpoint.default_policy
+    | Some s -> (
+        match parse_every s with
+        | Ok p -> p
+        | Error e ->
+            prerr_endline e;
+            exit 1)
+  in
+  let cfg =
+    {
+      (Svc.Daemon.default_cfg ~dir) with
+      Svc.Daemon.addr = listen;
+      retry =
+        { Backoff.default_retry with Backoff.base = retry_base;
+          cap = retry_cap };
+      retry_max = retries;
+      seed;
+      deadline;
+      domains;
+      exit_when_idle;
+      ckpt_policy = ck_policy;
+      verbose;
+    }
+  in
+  Svc.Daemon.serve cfg
+
+let serve_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:
+          "Campaign directory (created if missing).  Holds one durable \
+           record and one checkpoint file per job; a restarted daemon \
+           pointed at the same directory adopts interrupted jobs and \
+           resumes them.")
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Serve the job API on $(b,unix:)PATH or $(b,tcp:)HOST:PORT.  \
+           Without it the daemon just runs the jobs already in the \
+           directory (pair with --exit-when-idle for batch mode).")
+
+let retry_base_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "retry-base" ] ~docv:"SEC"
+        ~doc:"First retry backoff delay, seconds.")
+
+let retry_cap_arg =
+  Arg.(
+    value & opt float 30.0
+    & info [ "retry-cap" ] ~docv:"SEC"
+        ~doc:"Upper bound on the exponential retry backoff, seconds.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Failed attempts allowed per job before it is marked dead \
+           (overridable per job at submission).")
+
+let serve_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Root seed for the deterministic retry jitter: two daemons with \
+           the same seed produce the same backoff schedule.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SEC"
+        ~doc:
+          "Default per-job wall-clock budget.  Expiry checkpoints the job \
+           and requeues it resumable instead of discarding its progress.")
+
+let serve_domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Worker domains per job.  1 (the default) keeps every job on the \
+           resumable sequential drivers; resumed jobs always run \
+           sequentially regardless.")
+
+let exit_when_idle_arg =
+  Arg.(
+    value & flag
+    & info [ "exit-when-idle" ]
+        ~doc:
+          "Exit 0 once no job is queued, retrying, or running — batch mode \
+           for scripts and benchmarks.")
+
+let serve_verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose" ] ~doc:"Log job transitions to stderr.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the crash-tolerant campaign daemon: a durable job queue of \
+          explore/fuzz campaigns with capped-exponential retry, per-job \
+          deadlines that checkpoint-and-requeue, SIGTERM drain, and \
+          kill-safe restart (every job transition is an atomic durable \
+          write; interrupted jobs resume from their checkpoints with \
+          bit-identical verdicts).")
+    Term.(
+      const serve $ serve_dir_arg $ listen_arg $ retry_base_arg
+      $ retry_cap_arg $ retries_arg $ serve_seed_arg $ deadline_arg
+      $ serve_domains_arg $ checkpoint_every_arg $ exit_when_idle_arg
+      $ serve_verbose_arg)
+
+(* ---------- job: the daemon's HTTP client ---------- *)
+
+let job_addr_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "addr" ] ~docv:"ADDR"
+        ~doc:"The daemon's --listen address (unix:PATH or tcp:HOST:PORT).")
+
+let job_id_arg =
+  Arg.(required & pos 0 (some int) None & info [] ~docv:"ID" ~doc:"Job id.")
+
+(* every client verb funnels through here: transport errors exit 1 *)
+let job_call ~addr ~meth ~path ?body () =
+  match Svc.Http.request ~addr ~meth ~path ?body () with
+  | Error e ->
+      Printf.eprintf "ksa: %s\n%!" e;
+      exit 1
+  | Ok (status, body) -> (status, body)
+
+let job_submit addr spec_str deadline retries =
+  match Svc.Json.parse spec_str with
+  | Error e ->
+      Printf.eprintf "ksa: bad spec: %s\n%!" e;
+      1
+  | Ok spec_json -> (
+      (* validate locally first: a bad spec should not need a daemon
+         round-trip to be diagnosed *)
+      match Svc.Task.spec_of_json spec_json with
+      | Error e ->
+          Printf.eprintf "ksa: bad spec: %s\n%!" e;
+          1
+      | Ok _ -> (
+          let body =
+            Svc.Json.to_string
+              (Svc.Json.Obj
+                 ([ ("spec", spec_json) ]
+                 @ (match deadline with
+                   | None -> []
+                   | Some d -> [ ("deadline", Svc.Json.Float d) ])
+                 @
+                 match retries with
+                 | None -> []
+                 | Some r -> [ ("retries", Svc.Json.Int r) ]))
+          in
+          match job_call ~addr ~meth:"POST" ~path:"/jobs" ~body () with
+          | 201, reply -> (
+              match
+                Result.bind (Svc.Json.parse reply) (fun j ->
+                    match Option.bind (Svc.Json.mem "id" j) Svc.Json.get_int
+                    with
+                    | Some id -> Ok id
+                    | None -> Error "no id in reply")
+              with
+              | Ok id ->
+                  (* just the id: scripts capture it for wait/status *)
+                  print_endline (string_of_int id);
+                  0
+              | Error e ->
+                  Printf.eprintf "ksa: bad reply: %s\n%!" e;
+                  1)
+          | status, reply ->
+              Printf.eprintf "ksa: submit failed (%d): %s\n%!" status reply;
+              1))
+
+let job_list addr =
+  match job_call ~addr ~meth:"GET" ~path:"/jobs" () with
+  | 200, body ->
+      print_endline body;
+      0
+  | status, body ->
+      Printf.eprintf "ksa: list failed (%d): %s\n%!" status body;
+      1
+
+let job_status addr id =
+  match job_call ~addr ~meth:"GET" ~path:(Printf.sprintf "/jobs/%d" id) () with
+  | 200, body ->
+      print_endline body;
+      0
+  | 404, _ ->
+      Printf.eprintf "ksa: no such job %d\n%!" id;
+      1
+  | status, body ->
+      Printf.eprintf "ksa: status failed (%d): %s\n%!" status body;
+      1
+
+let job_wait addr id timeout =
+  let start = Clock.now_ns () in
+  let path = Printf.sprintf "/jobs/%d" id in
+  let rec poll () =
+    match job_call ~addr ~meth:"GET" ~path () with
+    | 404, _ ->
+        Printf.eprintf "ksa: no such job %d\n%!" id;
+        1
+    | 200, body -> (
+        let state =
+          Result.bind (Svc.Json.parse body) Svc.Jobstore.job_of_json
+          |> Result.map (fun j -> j.Svc.Jobstore.state)
+        in
+        match state with
+        | Error e ->
+            Printf.eprintf "ksa: bad reply: %s\n%!" e;
+            1
+        | Ok Svc.Jobstore.Done ->
+            print_endline body;
+            0
+        | Ok Svc.Jobstore.Dead ->
+            print_endline body;
+            1
+        | Ok _ ->
+            if Clock.elapsed_s ~since:start > timeout then begin
+              Printf.eprintf "ksa: timed out waiting for job %d\n%!" id;
+              4
+            end
+            else begin
+              Unix.sleepf 0.2;
+              poll ()
+            end)
+    | status, body ->
+        Printf.eprintf "ksa: wait failed (%d): %s\n%!" status body;
+        1
+  in
+  poll ()
+
+let job_cancel addr id =
+  match
+    job_call ~addr ~meth:"DELETE" ~path:(Printf.sprintf "/jobs/%d" id) ()
+  with
+  | (200 | 202), body ->
+      print_endline body;
+      0
+  | 404, _ ->
+      Printf.eprintf "ksa: no such job %d\n%!" id;
+      1
+  | status, body ->
+      Printf.eprintf "ksa: cancel failed (%d): %s\n%!" status body;
+      1
+
+let job_drain addr =
+  match job_call ~addr ~meth:"POST" ~path:"/drain" () with
+  | 202, body ->
+      print_endline body;
+      0
+  | status, body ->
+      Printf.eprintf "ksa: drain failed (%d): %s\n%!" status body;
+      1
+
+let job_cmd =
+  let spec_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC"
+          ~doc:
+            "The job spec as JSON, e.g. \
+             '{\"task\":\"explore\",\"algo\":\"kset-flp\",\"n\":4,\"k\":2}' \
+             or '{\"task\":\"fuzz\",\"n\":5,\"k\":2,\"trials\":500}'.  \
+             Absent fields take the CLI defaults.")
+  in
+  let submit_deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SEC"
+          ~doc:"Per-job wall-clock budget (overrides the daemon default).")
+  in
+  let submit_retries_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retry budget (overrides the daemon default).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "timeout" ] ~docv:"SEC"
+          ~doc:"Give up (exit 4) after SEC seconds.")
+  in
+  Cmd.group
+    (Cmd.info "job"
+       ~doc:
+         "Talk to a running campaign daemon: submit, inspect, await, and \
+          cancel jobs over its HTTP API.")
+    [
+      Cmd.v
+        (Cmd.info "submit"
+           ~doc:
+             "Submit a job; prints the assigned job id to stdout on \
+              acceptance.")
+        Term.(
+          const job_submit $ job_addr_arg $ spec_arg $ submit_deadline_arg
+          $ submit_retries_arg);
+      Cmd.v
+        (Cmd.info "list" ~doc:"Print all job records as JSON.")
+        Term.(const job_list $ job_addr_arg);
+      Cmd.v
+        (Cmd.info "status" ~doc:"Print one job record as JSON.")
+        Term.(const job_status $ job_addr_arg $ job_id_arg);
+      Cmd.v
+        (Cmd.info "wait"
+           ~doc:
+             "Poll until the job is done (exit 0) or dead (exit 1), \
+              printing its final record; exit 4 on timeout.")
+        Term.(const job_wait $ job_addr_arg $ job_id_arg $ timeout_arg);
+      Cmd.v
+        (Cmd.info "cancel"
+           ~doc:
+             "Cancel a job.  A queued or retrying job dies immediately; a \
+              running job is interrupted through its checkpoint controller.")
+        Term.(const job_cancel $ job_addr_arg $ job_id_arg);
+      Cmd.v
+        (Cmd.info "drain"
+           ~doc:
+             "Ask the daemon to drain: finish checkpointing the running \
+              job, requeue it resumable, persist everything, and exit 0.")
+        Term.(const job_drain $ job_addr_arg);
+    ]
+
 let main_cmd =
   Cmd.group
     (Cmd.info "ksa" ~version:"1.0.0"
@@ -1304,6 +1625,8 @@ let main_cmd =
       paste_cmd;
       independence_cmd;
       ho_cmd;
+      serve_cmd;
+      job_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

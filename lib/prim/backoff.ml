@@ -1,0 +1,55 @@
+(* Retry backoff and idle-wait pacing.
+
+   The retry side is arithmetic only — no clock, no sleeping — so the
+   daemon can schedule "not before now + delay" without this module
+   ever observing time, and tests can assert exact schedules.  The
+   jitter draw comes from the caller's Rng: determinism is preserved
+   end to end, which is the repo-wide contract every other source of
+   randomness already honours. *)
+
+type policy = {
+  base : float;
+  cap : float;
+  multiplier : float;
+  jitter : float;
+}
+
+let default_retry = { base = 0.5; cap = 30.0; multiplier = 2.0; jitter = 0.5 }
+
+let delay ?rng policy ~attempt =
+  if attempt < 0 then invalid_arg "Backoff.delay: negative attempt";
+  if policy.base <= 0. then invalid_arg "Backoff.delay: non-positive base";
+  (* iterate rather than [**]: float exponentiation of large attempts
+     overflows to infinity, and the cap makes further growth moot *)
+  let d = ref policy.base in
+  (let i = ref 0 in
+   while !i < attempt && !d < policy.cap do
+     d := !d *. policy.multiplier;
+     incr i
+   done);
+  let d = Float.min policy.cap !d in
+  match rng with
+  | None -> d
+  | Some rng ->
+      let j = Float.max 0. (Float.min 1. policy.jitter) in
+      d *. (1. -. (j *. Rng.float rng))
+
+module Spin = struct
+  type t = {
+    relax : int;
+    floor : float;
+    cap : float;
+    mutable calls : int;
+  }
+
+  let make ?(relax = 32) ?(floor = 1e-5) ?(cap = 5e-4) () =
+    { relax; floor; cap; calls = 0 }
+
+  let wait t =
+    let c = t.calls in
+    t.calls <- c + 1;
+    if c < t.relax then Domain.cpu_relax ()
+    else Unix.sleepf (Float.min t.cap (t.floor *. float_of_int (c + 1)))
+
+  let reset t = t.calls <- 0
+end

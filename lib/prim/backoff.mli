@@ -1,0 +1,66 @@
+(** Retry backoff and idle-wait pacing.
+
+    Two related facilities that were previously re-implemented ad hoc
+    wherever a loop had to wait:
+
+    {ul
+    {- {e Retry backoff} — the delay before re-attempting an operation
+       that just failed (a campaign job, a flaky write).  Delays grow
+       exponentially from [base] by [multiplier] up to [cap], and are
+       jittered {e deterministically}: the jitter factor is drawn from
+       a caller-supplied {!Rng.t}, so a retry schedule is a pure
+       function of (policy, seed, attempt) — reproducible campaigns
+       stay reproducible even through their failure handling.}
+    {- {e Spin waiters} ({!Spin}) — the poll pacing of a loop that is
+       waiting for another domain (work to steal, a checkpoint to come
+       due, a counter to move).  A waiter relaxes the CPU for a few
+       iterations, then sleeps for linearly growing slices capped at
+       [cap], and is [reset] whenever the awaited event arrives so the
+       next wait starts responsive again.}} *)
+
+type policy = {
+  base : float;  (** First retry delay, seconds (> 0). *)
+  cap : float;  (** Upper bound on any delay, seconds. *)
+  multiplier : float;  (** Exponential growth factor (>= 1). *)
+  jitter : float;
+      (** Fraction of the delay randomized away, in [0, 1]: the
+          jittered delay is [d * (1 - jitter * u)] for a uniform
+          [u] in [0, 1) — full delay at [jitter = 0], anywhere down
+          to [(1 - jitter) * d] otherwise.  Jitter decorrelates
+          retry storms without ever {e lengthening} a delay past the
+          deterministic envelope. *)
+}
+
+val default_retry : policy
+(** [{ base = 0.5; cap = 30.0; multiplier = 2.0; jitter = 0.5 }] —
+    the campaign daemon's job-retry policy. *)
+
+val delay : ?rng:Rng.t -> policy -> attempt:int -> float
+(** [delay ?rng policy ~attempt] is the pause before retry number
+    [attempt] (0-based: [attempt = 0] follows the first failure):
+    [min cap (base * multiplier^attempt)], jittered by [rng] when
+    given ([policy.jitter] is ignored otherwise).  Consumes exactly
+    one draw from [rng], so schedules derived from split generators
+    are independent.  @raise Invalid_argument on a negative
+    [attempt] or a non-positive [base]. *)
+
+(** Poll pacing for cross-domain wait loops. *)
+module Spin : sig
+  type t
+
+  val make : ?relax:int -> ?floor:float -> ?cap:float -> unit -> t
+  (** A fresh waiter: the first [relax] calls to {!wait} issue
+      [Domain.cpu_relax] (default 32), subsequent calls sleep
+      [min cap (floor * calls)] seconds (defaults: [floor] 1e-5,
+      [cap] 5e-4) — short enough to stay responsive, long enough
+      that a parked domain stops starving working ones of cores.
+      [relax = 0] makes every wait a sleep, for pure polling loops
+      with no latency-critical wake-up. *)
+
+  val wait : t -> unit
+  (** Relax or sleep once, advancing the waiter. *)
+
+  val reset : t -> unit
+  (** The awaited event happened: start the next wait sequence from
+      the responsive end again. *)
+end

@@ -50,6 +50,16 @@ let write_all fd s =
     off := !off + Unix.write fd b !off (len - !off)
   done
 
+(* the Faultsim-instrumented data write: a [Torn n] plan truncates the
+   write to [n] bytes and then simulates process death — the partial
+   tmp file is left behind exactly as a real crash would leave it *)
+let write_data fd s =
+  match Faultsim.clip "durable.write" ~len:(String.length s) with
+  | None -> write_all fd s
+  | Some n ->
+      write_all fd (String.sub s 0 n);
+      Faultsim.torn_crash "durable.write"
+
 (* fsync on a directory fd is how POSIX makes a rename durable; some
    filesystems refuse it (EINVAL), which at worst re-opens the small
    window the fsync was closing, so the refusal is not an error. *)
@@ -61,17 +71,25 @@ let fsync_dir dir =
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
 
+(* Every failure-prone step is bracketed by a Faultsim point so the
+   crash-point sweep in the test suite can enumerate and fail each one
+   in turn: the old-complete-or-new-complete contract is proven, not
+   assumed.  Disarmed, each hook is one atomic load. *)
 let write_atomic ~path data =
   let tmp = path ^ ".tmp" in
   let res =
     with_errors ~path (fun () ->
+        Faultsim.point "durable.open";
         let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
         Fun.protect
           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
           (fun () ->
-            write_all fd data;
+            write_data fd data;
+            Faultsim.point "durable.fsync";
             Unix.fsync fd);
+        Faultsim.point "durable.rename";
         Unix.rename tmp path;
+        Faultsim.point "durable.after-rename";
         fsync_dir (Filename.dirname path))
   in
   (match res with

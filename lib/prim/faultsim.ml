@@ -1,0 +1,89 @@
+(* Deterministic fault injection for the durability layer.
+
+   All state sits behind one mutex and one atomic [enabled] flag.  The
+   production path pays a single atomic load per hook; everything else
+   only runs while a test has armed a plan or turned recording on. *)
+
+exception Crashed of string
+
+type outcome = Crash | Errno of Unix.error | Torn of int
+
+type plan = {
+  p_point : string option; (* None = any point matches *)
+  p_outcome : outcome;
+  mutable countdown : int; (* fires when it reaches 0 *)
+}
+
+let enabled = Atomic.make false
+let lock = Mutex.create ()
+let armed : plan option ref = ref None
+let recording = ref false
+let tr : string list ref = ref [] (* newest first *)
+let hit_count = ref 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let refresh_enabled () =
+  Atomic.set enabled (!armed <> None || !recording)
+
+let arm ?point ~nth outcome =
+  if nth < 1 then invalid_arg "Faultsim.arm: nth must be >= 1";
+  locked (fun () ->
+      armed := Some { p_point = point; p_outcome = outcome; countdown = nth };
+      hit_count := 0;
+      refresh_enabled ())
+
+let reset () =
+  locked (fun () ->
+      armed := None;
+      recording := false;
+      tr := [];
+      hit_count := 0;
+      refresh_enabled ())
+
+let record () =
+  locked (fun () ->
+      recording := true;
+      tr := [];
+      refresh_enabled ())
+
+let trace () = locked (fun () -> List.rev !tr)
+let hits () = locked (fun () -> !hit_count)
+
+(* Returns the outcome due at this hit, [None] otherwise; counting
+   and recording happen here for both hooks. *)
+let note point =
+  locked (fun () ->
+      incr hit_count;
+      if !recording then tr := point :: !tr;
+      match !armed with
+      | None -> None
+      | Some p ->
+          let matches =
+            match p.p_point with None -> true | Some q -> String.equal q point
+          in
+          if not matches then None
+          else begin
+            p.countdown <- p.countdown - 1;
+            if p.countdown = 0 then Some p.p_outcome else None
+          end)
+
+let fire point = function
+  | Crash | Torn _ -> raise (Crashed point)
+  | Errno e -> raise (Unix.Unix_error (e, point, ""))
+
+let point p =
+  if Atomic.get enabled then
+    match note p with None -> () | Some o -> fire p o
+
+let clip p ~len =
+  if not (Atomic.get enabled) then None
+  else
+    match note p with
+    | None -> None
+    | Some (Torn n) -> Some (min n (max 0 len))
+    | Some o -> fire p o
+
+let torn_crash p = raise (Crashed p)

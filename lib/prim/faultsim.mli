@@ -1,0 +1,74 @@
+(** Deterministic fault injection for the durability layer.
+
+    {!Durable} (and everything built on it — checkpoints, the campaign
+    job store) claims that a crash at {e any} instant leaves readers an
+    old-complete or new-complete file, never a torn one.  A claim over
+    "any instant" needs an enumerator: this module instruments every
+    failure-prone point inside the write path with a named hook, lets a
+    test {e record} the sequence of points one clean write traverses,
+    and then {e arm} each point in turn with a simulated failure:
+
+    {ul
+    {- [Crash] — the process dies here: the hook raises {!Crashed},
+       which nothing in the write path catches, abandoning the write
+       exactly as [kill -9] would (temp files included).}
+    {- [Errno e] — the syscall fails (ENOSPC, EIO, ...): the hook
+       raises [Unix.Unix_error], which {!Durable} converts into its
+       ordinary [Error] result — the recoverable-failure path retries
+       ride on.}
+    {- [Torn n] — the data write stops after [n] bytes and then the
+       process dies: the torn-write case rename-based atomicity exists
+       to mask, and CRC framing must catch when it is not masked.}}
+
+    Injection is process-global and off by default; the disarmed hook
+    is one atomic load.  Tests that arm faults must disarm them
+    ([reset]) before leaving — the harness runs suites in one process.
+    Not meant to be armed from concurrent domains. *)
+
+exception Crashed of string
+(** Simulated process death at the named point.  Never raised unless
+    a [Crash] or [Torn] plan is armed. *)
+
+type outcome =
+  | Crash  (** Die at this point. *)
+  | Errno of Unix.error  (** This syscall fails with the given errno. *)
+  | Torn of int
+      (** Write only the first [n] bytes, then die.  Only meaningful
+          at data-write points; at other points it behaves like
+          [Crash]. *)
+
+val arm : ?point:string -> nth:int -> outcome -> unit
+(** Arm one failure: the [nth] (1-based) subsequent hit of [point] —
+    or of {e any} point when [point] is omitted — suffers [outcome].
+    Replaces any previously armed plan and zeroes the hit counter.
+    @raise Invalid_argument if [nth < 1]. *)
+
+val reset : unit -> unit
+(** Disarm, stop recording, clear the trace and counters. *)
+
+val record : unit -> unit
+(** Start recording hook hits (clearing any previous trace): after a
+    clean write, {!trace} lists every point traversed, in order — the
+    enumeration a crash-point sweep iterates over. *)
+
+val trace : unit -> string list
+(** Points hit since {!record}, oldest first. *)
+
+val hits : unit -> int
+(** Hook hits since the last {!arm}/{!reset}. *)
+
+(**/**)
+
+(* Hooks for the instrumented write path — not for test code. *)
+
+val point : string -> unit
+(** Count (and record) a hit of [point]; raise per the armed plan. *)
+
+val clip : string -> len:int -> int option
+(** The data-write hook: like {!point}, but when the armed plan for
+    this hit is [Torn n], returns [Some (min n len)] instead of
+    raising — the caller writes that many bytes and then calls
+    {!torn_crash}. *)
+
+val torn_crash : string -> 'a
+(** Raise {!Crashed} for the torn write at [point]. *)

@@ -1,4 +1,5 @@
 module Metrics = Ksa_prim.Metrics
+module Backoff = Ksa_prim.Backoff
 
 type delivery_policy = Empty_or_all | Per_sender | All_subsets
 
@@ -187,11 +188,14 @@ let spawn_coordinator ~ckpt ~pause ~items ~merge ~on_interrupt =
     let quit = Atomic.make false in
     let d =
       Domain.spawn (fun () ->
+          (* poll pacing: ramp from 0.5ms to 5ms between checks, reset
+             after every world-stop so the next write lands promptly *)
+          let sp = Backoff.Spin.make ~relax:0 ~floor:5e-4 ~cap:5e-3 () in
           let rec loop () =
             if not (Atomic.get quit) then begin
-              Unix.sleepf 0.005;
+              Backoff.Spin.wait sp;
               let intr = Checkpoint.interrupted ckpt in
-              if intr || Checkpoint.due ckpt ~items:(items ()) then
+              if intr || Checkpoint.due ckpt ~items:(items ()) then begin
                 Pause.with_world pause (fun slots ->
                     let payload = lazy (merge slots) in
                     if intr then
@@ -199,6 +203,8 @@ let spawn_coordinator ~ckpt ~pause ~items ~merge ~on_interrupt =
                     else
                       Checkpoint.tick ckpt ~items:(items ()) (fun () ->
                           Lazy.force payload));
+                Backoff.Spin.reset sp
+              end;
               if intr then begin
                 on_interrupt ();
                 Atomic.set quit true
@@ -369,7 +375,8 @@ module Wspool = struct
     | Some _ as r -> r
     | None ->
         Atomic.incr t.idle;
-        let rec wait spins =
+        let sp = Backoff.Spin.make () in
+        let rec wait () =
           safepoint ();
           if stopped () || Atomic.get t.finished then begin
             Atomic.decr t.idle;
@@ -381,7 +388,8 @@ module Wspool = struct
             | Some _ as r -> r
             | None ->
                 Atomic.incr t.idle;
-                wait 0
+                Backoff.Spin.reset sp;
+                wait ()
           end
           else if Atomic.get t.idle >= Atomic.get t.live && pending t = 0
           then begin
@@ -390,12 +398,11 @@ module Wspool = struct
             None
           end
           else begin
-            if spins < 32 then Domain.cpu_relax ()
-            else Unix.sleepf (Float.min 0.0005 (1e-5 *. float_of_int spins));
-            wait (spins + 1)
+            Backoff.Spin.wait sp;
+            wait ()
           end
         in
-        wait 0
+        wait ()
 end
 
 (* ---- write-once dense-id record store shared across domains ----

@@ -100,6 +100,7 @@ let g_cov_corpus = Metrics.gauge "fuzz.cov.corpus"
 let m_cov_admitted = Metrics.counter "fuzz.cov.admitted"
 let m_cov_mutants = Metrics.counter "fuzz.cov.mutants"
 let m_cov_fresh = Metrics.counter "fuzz.cov.fresh"
+let m_poisoned = Metrics.counter "fuzz.tickets_poisoned"
 
 let () =
   Metrics.probe "fuzz.schedules_per_sec" (fun () ->
@@ -1044,6 +1045,13 @@ module Make (A : Algorithm.S) = struct
                       match run_ticket view i with
                       | res -> Ok res
                       | exception e2 ->
+                          (* second failure on the same ticket: ledger
+                             it as non-requeued before the campaign is
+                             torn down, so a resumed run can see which
+                             ticket poisoned which worker *)
+                          Checkpoint.note_failure ckpt ~worker:w
+                            ~error:(Printexc.to_string e2) ~requeued:0;
+                          Metrics.incr m_poisoned;
                           Error (e2, Printexc.get_raw_backtrace ()))
                 in
                 match res with
@@ -1069,7 +1077,12 @@ module Make (A : Algorithm.S) = struct
       |> List.concat_map Domain.join
     in
     (match Atomic.get poison with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | Some (e, bt) ->
+        (* flush so the poisoned-ticket ledger entry and the clean
+           watermark survive the raise — the campaign dies loudly but
+           resumably *)
+        Checkpoint.flush ckpt snap;
+        Printexc.raise_with_backtrace e bt
     | None -> ());
     if Atomic.get interrupted || Atomic.get stopped_early then
       Checkpoint.flush ckpt snap;

@@ -259,5 +259,10 @@ module Make (A : Algorithm.S) : sig
       [campaign.requeues] metrics) and the ticket is re-executed —
       after the join in blind mode, immediately in place in coverage
       mode (a post-join requeue would stall the epoch barrier); a
-      repeated coverage failure propagates after the join. *)
+      repeated coverage failure propagates after the join — but not
+      silently: the poisoned ticket is ledgered with [requeued = 0],
+      the [fuzz.tickets_poisoned] counter records it, and the
+      checkpoint (ledger and clean watermark included) is flushed
+      before the exception re-raises, so the campaign dies loudly but
+      resumably. *)
 end

@@ -1,0 +1,345 @@
+(* Minimal HTTP/1.1 over local sockets.  See http.mli for scope. *)
+
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = { status : int; body : string }
+
+let max_head = 64 * 1024
+let max_body = 8 * 1024 * 1024
+
+(* ---------- addresses ---------- *)
+
+type addr = AUnix of string | ATcp of Unix.inet_addr * int
+
+let parse_addr s =
+  let prefixed p =
+    let lp = String.length p in
+    if String.length s > lp && String.sub s 0 lp = p then
+      Some (String.sub s lp (String.length s - lp))
+    else None
+  in
+  match prefixed "unix:" with
+  | Some path when path <> "" -> Ok (AUnix path)
+  | Some _ -> Error "empty unix socket path"
+  | None -> (
+      match prefixed "tcp:" with
+      | Some hostport -> (
+          match String.rindex_opt hostport ':' with
+          | None -> Error (Printf.sprintf "bad tcp address %S (need HOST:PORT)" s)
+          | Some i -> (
+              let host = String.sub hostport 0 i in
+              let port = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+              match int_of_string_opt port with
+              | None -> Error (Printf.sprintf "bad port in %S" s)
+              | Some p -> (
+                  match Unix.inet_addr_of_string host with
+                  | ip -> Ok (ATcp (ip, p))
+                  | exception Failure _ -> (
+                      match Unix.gethostbyname host with
+                      | { Unix.h_addr_list = [||]; _ } ->
+                          Error (Printf.sprintf "cannot resolve %S" host)
+                      | h -> Ok (ATcp (h.Unix.h_addr_list.(0), p))
+                      | exception Not_found ->
+                          Error (Printf.sprintf "cannot resolve %S" host)))))
+      | None ->
+          Error
+            (Printf.sprintf
+               "bad address %S (expected unix:/path or tcp:HOST:PORT)" s))
+
+let sockaddr_of = function
+  | AUnix path -> Unix.ADDR_UNIX path
+  | ATcp (ip, port) -> Unix.ADDR_INET (ip, port)
+
+let with_errors f =
+  try Ok (f ()) with
+  | Unix.Unix_error (e, syscall, arg) ->
+      Error
+        (Printf.sprintf "%s%s: %s" syscall
+           (if arg = "" then "" else " " ^ arg)
+           (Unix.error_message e))
+  | Sys_error m -> Error m
+
+let listen ~addr =
+  match parse_addr addr with
+  | Error _ as e -> e
+  | Ok a ->
+      with_errors (fun () ->
+          (match a with
+          | AUnix path when Sys.file_exists path -> (
+              (* stale socket from a killed daemon: safe to unlink iff
+                 nobody accepts on it *)
+              let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+              let live =
+                match Unix.connect probe (Unix.ADDR_UNIX path) with
+                | () -> true
+                | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> false
+                | exception Unix.Unix_error (Unix.ENOENT, _, _) -> false
+              in
+              (try Unix.close probe with Unix.Unix_error _ -> ());
+              if live then
+                raise
+                  (Sys_error
+                     (Printf.sprintf "%s: a daemon is already listening" path))
+              else try Unix.unlink path with Unix.Unix_error _ -> ())
+          | _ -> ());
+          let domain =
+            match a with AUnix _ -> Unix.PF_UNIX | ATcp _ -> Unix.PF_INET
+          in
+          let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+          (match a with
+          | ATcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+          | AUnix _ -> ());
+          (try Unix.bind fd (sockaddr_of a)
+           with e ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             raise e);
+          Unix.listen fd 16;
+          fd)
+
+let addr_cleanup ~addr =
+  match parse_addr addr with
+  | Ok (AUnix path) -> ( try Sys.remove path with Sys_error _ -> ())
+  | _ -> ()
+
+(* ---------- wire reading ---------- *)
+
+let read_until_headers fd =
+  (* accumulate until \r\n\r\n (or bounded failure) *)
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    let s = Buffer.contents buf in
+    match
+      (* find header terminator in what we have so far *)
+      let rec find i =
+        if i + 3 >= String.length s then None
+        else if
+          s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+          && s.[i + 3] = '\n'
+        then Some (i + 4)
+        else find (i + 1)
+      in
+      find 0
+    with
+    | Some stop -> Ok (String.sub s 0 stop, String.sub s stop (String.length s - stop))
+    | None ->
+        if Buffer.length buf > max_head then Error "request head too large"
+        else
+          let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+          if k = 0 then Error "connection closed mid-request"
+          else begin
+            Buffer.add_subbytes buf chunk 0 k;
+            go ()
+          end
+  in
+  go ()
+
+let read_exactly fd ~already ~len =
+  let b = Buffer.create len in
+  Buffer.add_string b already;
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    if Buffer.length b >= len then
+      Ok (String.sub (Buffer.contents b) 0 len)
+    else
+      let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if k = 0 then Error "connection closed mid-body"
+      else begin
+        Buffer.add_subbytes b chunk 0 k;
+        go ()
+      end
+  in
+  go ()
+
+let split_lines head =
+  String.split_on_char '\n' head
+  |> List.map (fun l ->
+         let n = String.length l in
+         if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+  |> List.filter (fun l -> l <> "")
+
+let parse_head head =
+  match split_lines head with
+  | [] -> Error "empty request"
+  | reqline :: header_lines -> (
+      match String.split_on_char ' ' reqline with
+      | meth :: path :: _ ->
+          let headers =
+            List.filter_map
+              (fun l ->
+                match String.index_opt l ':' with
+                | None -> None
+                | Some i ->
+                    let k = String.lowercase_ascii (String.trim (String.sub l 0 i)) in
+                    let v = String.trim (String.sub l (i + 1) (String.length l - i - 1)) in
+                    Some (k, v))
+              header_lines
+          in
+          Ok (String.uppercase_ascii meth, path, headers)
+      | _ -> Error (Printf.sprintf "bad request line %S" reqline))
+
+let read_request fd =
+  match with_errors (fun () -> read_until_headers fd) with
+  | Error _ as e -> e
+  | Ok (Error _ as e) -> e
+  | Ok (Ok (head, rest)) -> (
+      match parse_head head with
+      | Error _ as e -> e
+      | Ok (meth, path, headers) -> (
+          let len =
+            match List.assoc_opt "content-length" headers with
+            | None -> Some 0
+            | Some v -> int_of_string_opt (String.trim v)
+          in
+          match len with
+          | None -> Error "bad Content-Length"
+          | Some len when len < 0 || len > max_body ->
+              Error "unreasonable Content-Length"
+          | Some len -> (
+              match
+                with_errors (fun () -> read_exactly fd ~already:rest ~len)
+              with
+              | Error _ as e -> e
+              | Ok (Error _ as e) -> e
+              | Ok (Ok body) -> Ok { meth; path; headers; body })))
+
+let reason_of = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 202 -> "Accepted"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let write_response fd { status; body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\n\
+       Content-Type: application/json\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n"
+      status (reason_of status) (String.length body)
+  in
+  match with_errors (fun () -> write_all fd (head ^ body)) with
+  | Ok () -> ()
+  | Error _ -> () (* peer went away mid-response: its problem *)
+
+(* ---------- client ---------- *)
+
+let read_response fd =
+  match with_errors (fun () -> read_until_headers fd) with
+  | Error _ as e -> e
+  | Ok (Error _ as e) -> e
+  | Ok (Ok (head, rest)) -> (
+      match split_lines head with
+      | [] -> Error "empty response"
+      | status_line :: header_lines -> (
+          let status =
+            match String.split_on_char ' ' status_line with
+            | _ :: code :: _ -> int_of_string_opt code
+            | _ -> None
+          in
+          match status with
+          | None -> Error (Printf.sprintf "bad status line %S" status_line)
+          | Some status -> (
+              let headers =
+                List.filter_map
+                  (fun l ->
+                    match String.index_opt l ':' with
+                    | None -> None
+                    | Some i ->
+                        Some
+                          ( String.lowercase_ascii
+                              (String.trim (String.sub l 0 i)),
+                            String.trim
+                              (String.sub l (i + 1) (String.length l - i - 1))
+                          ))
+                  header_lines
+              in
+              match List.assoc_opt "content-length" headers with
+              | Some v -> (
+                  match int_of_string_opt (String.trim v) with
+                  | Some len when len >= 0 && len <= max_body -> (
+                      match
+                        with_errors (fun () ->
+                            read_exactly fd ~already:rest ~len)
+                      with
+                      | Error _ as e -> e
+                      | Ok (Error _ as e) -> e
+                      | Ok (Ok body) -> Ok (status, body))
+                  | _ -> Error "bad Content-Length in response")
+              | None -> (
+                  (* Connection: close framing — read to EOF *)
+                  let b = Buffer.create 256 in
+                  Buffer.add_string b rest;
+                  let chunk = Bytes.create 4096 in
+                  match
+                    with_errors (fun () ->
+                        let rec go () =
+                          let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+                          if k = 0 then ()
+                          else begin
+                            Buffer.add_subbytes b chunk 0 k;
+                            if Buffer.length b > max_body then
+                              raise (Sys_error "response too large")
+                            else go ()
+                          end
+                        in
+                        go ())
+                  with
+                  | Error _ as e -> e
+                  | Ok () -> Ok (status, Buffer.contents b)))))
+
+let request ~addr ~meth ~path ?(body = "") () =
+  match parse_addr addr with
+  | Error _ as e -> e
+  | Ok a -> (
+      let connect () =
+        let domain =
+          match a with AUnix _ -> Unix.PF_UNIX | ATcp _ -> Unix.PF_INET
+        in
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        try
+          Unix.connect fd (sockaddr_of a);
+          fd
+        with e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e
+      in
+      match with_errors connect with
+      | Error _ as e -> e
+      | Ok fd ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let head =
+                Printf.sprintf
+                  "%s %s HTTP/1.1\r\n\
+                   Host: ksa\r\n\
+                   Content-Length: %d\r\n\
+                   Connection: close\r\n\
+                   \r\n"
+                  (String.uppercase_ascii meth)
+                  path (String.length body)
+              in
+              match with_errors (fun () -> write_all fd (head ^ body)) with
+              | Error _ as e -> e
+              | Ok () -> read_response fd))

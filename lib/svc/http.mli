@@ -1,0 +1,47 @@
+(** A hand-rolled sliver of HTTP/1.1 — request line, headers,
+    [Content-Length] bodies, [Connection: close] — over Unix-domain
+    or TCP sockets.  Enough for the campaign daemon's loopback API;
+    deliberately nothing more (no keep-alive, no chunked encoding, no
+    TLS), because the transport is a local socket whose peer is [ksa
+    job] or a curl one-liner, and because the container must not grow
+    a dependency for this.
+
+    Addresses are strings:
+    {ul
+    {- ["unix:/path/to.sock"] — a Unix-domain socket (the default
+       recommendation: filesystem permissions are the auth layer).}
+    {- ["tcp:HOST:PORT"] — a TCP socket bound/connected on
+       [HOST:PORT].}}
+
+    Reads are bounded (64 KiB head, 8 MiB body) so a misbehaving
+    peer cannot balloon the daemon. *)
+
+type request = {
+  meth : string;  (** Uppercased: GET, POST, DELETE, ... *)
+  path : string;  (** Path component only, no query parsing. *)
+  headers : (string * string) list;  (** Names lowercased. *)
+  body : string;
+}
+
+type response = { status : int; body : string }
+
+val listen : addr:string -> (Unix.file_descr, string) result
+(** Bind and listen.  A stale Unix-socket path is unlinked first iff
+    nothing is accepting on it; a live one is an [Error] (two daemons
+    must not share a socket). *)
+
+val addr_cleanup : addr:string -> unit
+(** Remove a Unix socket path on shutdown (no-op for TCP). *)
+
+val read_request : Unix.file_descr -> (request, string) result
+val write_response : Unix.file_descr -> response -> unit
+
+val request :
+  addr:string ->
+  meth:string ->
+  path:string ->
+  ?body:string ->
+  unit ->
+  (int * string, string) result
+(** Client side: one request, one response, connection closed.
+    Returns (status, body). *)

@@ -1,0 +1,42 @@
+(** A minimal JSON tree, parser and printer — just enough for the
+    campaign daemon's job records and wire API, with no dependency
+    beyond the stdlib.
+
+    Coverage: objects, arrays, strings (with [\uXXXX] escapes decoded
+    to UTF-8), booleans, null, and numbers split into [Int] (no
+    fraction or exponent, fits in [int]) and [Float].  Parsing is
+    strict — trailing garbage, unterminated literals and bad escapes
+    are [Error]s naming the byte offset — because every job record
+    read back from disk has already passed a CRC check: a parse
+    failure here means a logic bug, and must not be papered over. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Strict parse of exactly one JSON value (surrounding whitespace
+    allowed). *)
+
+val to_string : t -> string
+(** Compact (single-line) serialization.  [Float] uses ["%.17g"] so
+    values round-trip; non-finite floats serialize as [null] (JSON
+    has no spelling for them). *)
+
+(** {1 Accessors} — each returns [None] on a shape mismatch. *)
+
+val mem : string -> t -> t option
+(** Field of an [Obj]. *)
+
+val get_string : t -> string option
+val get_int : t -> int option
+val get_float : t -> float option
+(** Accepts [Int] too (widened). *)
+
+val get_bool : t -> bool option
+val get_list : t -> t list option

@@ -1,0 +1,130 @@
+(** Campaign drivers as resumable library-level tasks.
+
+    The explore and fuzz campaigns used to live as loops entangled
+    with the CLI: argument records, checkpoint fingerprints, resume
+    validation and driver dispatch all inline in [bin/ksa.ml].  This
+    module is that logic lifted to a library: a {e spec} describes a
+    campaign, [kind]/[fingerprint] derive the checkpoint identity the
+    CLI has always written ({e byte-identical} formats — existing
+    checkpoint files keep resuming), [load_resume] validates a
+    checkpoint against a spec with structured failures (so callers
+    choose warn-and-fresh or strict-refusal), and [run] executes the
+    campaign: spec in, checkpoint in/out, outcome out.
+
+    The CLI keeps its argument parsing, printing and exit-code
+    mapping; the campaign daemon gets the same engine without a
+    subprocess.  A [Probe] task rides along — a trivially cheap,
+    deterministic task that fails its first [fail] attempts — so the
+    daemon's retry, backoff and throughput paths can be exercised
+    without spinning up a real search. *)
+
+type explore_spec = {
+  e_algo : string;
+  e_n : int;
+  e_k : int;
+  e_l : int option;  (** [None] = the CLI default, [max 1 (n-1)]. *)
+  e_wait : int;
+  e_dead : int list;
+  e_crash_budget : int;
+  e_model : Ksa_sim.Fault_model.t;
+  e_policy : string;  (** per-sender | empty-or-all | all-subsets *)
+  e_reduction : Ksa_sim.Canon.reduction;
+  e_max_configs : int option;
+  e_drop : bool;
+}
+
+type fuzz_spec = {
+  f_algo : string;
+  f_n : int;
+  f_k : int;
+  f_l : int option;
+  f_wait : int;
+  f_dead : int list;
+  f_seed : int;
+  f_trials : int;
+  f_max_steps : int;
+  f_max_crashes : int;
+  f_weights : string;  (** mixed | fair *)
+  f_termination : bool;
+  f_coverage : bool;
+  f_model : Ksa_sim.Fault_model.t;
+}
+
+type probe_spec = {
+  p_fail : int;  (** Raise on attempts [0 .. p_fail - 1]. *)
+  p_spin : float;  (** Interruptible busy-sleep, seconds. *)
+}
+
+type spec =
+  | Explore of explore_spec
+  | Fuzz of fuzz_spec
+  | Probe of probe_spec
+
+val kind : spec -> string
+(** Checkpoint kind tag: ["explore"], ["explore-crash"] (when the
+    crash budget or a non-crash model makes the resilient driver
+    run), ["fuzz"], or ["probe"]. *)
+
+val fingerprint : spec -> string
+(** The campaign-parameter fingerprint, byte-identical to what the
+    CLI has always written into checkpoints for the same
+    parameters. *)
+
+val spec_to_json : spec -> Json.t
+val spec_of_json : Json.t -> (spec, string) result
+(** Wire/disk codec.  [spec_of_json] applies the CLI's defaults for
+    absent optional fields and validates algorithm, policy, reduction
+    and model names eagerly — a submitted job fails at submission,
+    not at execution. *)
+
+val load_resume :
+  path:string ->
+  kind:string ->
+  fingerprint:string ->
+  (Ksa_sim.Checkpoint.t, string) result
+(** Validate a checkpoint for resumption: load it, check [kind] and
+    [fingerprint], restore the interner dumps.  The [Error] carries
+    the reason exactly as the CLI's lenient path has always worded it
+    (["cannot resume: ..."], ["... is a ... checkpoint, not ..."],
+    ["... was written under different campaign parameters"]); lenient
+    callers print it as a warning and start fresh, strict callers
+    ([--strict-resume], the daemon) refuse the campaign. *)
+
+type outcome =
+  | Explored of Ksa_sim.Explorer.outcome
+  | Crash_explored of Ksa_sim.Explorer.resilient_outcome
+  | Fuzzed of Ksa_sim.Fuzz.outcome
+  | Probed of { attempt : int }
+
+val run :
+  ?attempt:int ->
+  ?domains:int ->
+  ?stop:(unit -> bool) ->
+  ?ckpt:Ksa_sim.Checkpoint.ctl ->
+  ?resume:string ->
+  spec ->
+  (outcome, string) result
+(** Execute the campaign.  [ckpt] is the caller's checkpoint
+    controller (sink, interrupt, seeded ledger); [resume] is the
+    payload of a checkpoint already validated by {!load_resume}.
+    [domains] defaults to 1 — the resumable sequential drivers; the
+    CLI passes its [--domains].  [stop] is a wall-clock (or any
+    other) budget hook, polled by the fuzz driver between trials.
+    [attempt] (default 0) is the retry ordinal, consumed by [Probe].
+    Errors: unknown algorithm names and unexplorable parameter
+    combinations ([Invalid_argument] from the engine, reported as
+    ["not explorable: ..."]).  Other exceptions propagate — the
+    daemon supervises them as job failures. *)
+
+type summary = {
+  verdict : string;
+      (** safe | violation | stuck | indeterminate | all-paths-decide
+          | clean | budget-exhausted | ok *)
+  exit_code : int;  (** The code the CLI maps this outcome to. *)
+  detail : string;  (** One human-readable line. *)
+  items : int;  (** Configurations visited or trials completed. *)
+}
+
+val summarize : outcome -> summary
+val summary_to_json : summary -> Json.t
+val summary_of_json : Json.t -> (summary, string) result

@@ -862,6 +862,162 @@ let test_periodic_item_checkpoints () =
         (Ex.explore_with_crashes ~resume:(Checkpoint.payload t) ~n:3
            ~inputs:(distinct 3) ~crash_budget:1 ~check:no_check ()))
 
+(* ---------- Faultsim: a crash at every write-path instant ---------- *)
+
+module Faultsim = Prim.Faultsim
+
+let outcome_name = function
+  | Faultsim.Crash -> "crash"
+  | Faultsim.Errno e -> "errno:" ^ Unix.error_message e
+  | Faultsim.Torn n -> Printf.sprintf "torn:%d" n
+
+(* positions in a trace, as (point, nth-hit-of-that-point) pairs — the
+   coordinates [Faultsim.arm] addresses *)
+let trace_positions trace =
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun p ->
+      let n = 1 + (Option.value ~default:0 (Hashtbl.find_opt seen p)) in
+      Hashtbl.replace seen p n;
+      (p, n))
+    trace
+
+let test_faultsim_durable_sweep () =
+  (* the atomicity claim is over "a crash at any instant": enumerate
+     every instrumented instant of one framed write and crash (or
+     fail, or tear) at each — the file must always read back as the
+     old payload or the new payload, complete, never torn *)
+  with_tmp ".rec" (fun path ->
+      Fun.protect ~finally:Faultsim.reset (fun () ->
+          let magic = "KSATEST1" in
+          let old_payload = String.make 400 'a' in
+          let new_payload =
+            String.init 700 (fun i -> Char.chr (33 + (i mod 90)))
+          in
+          let write p = Durable.write_framed ~path ~magic ~version:1 p in
+          ok_or_fail (write old_payload);
+          Faultsim.record ();
+          ok_or_fail (write new_payload);
+          let trace = Faultsim.trace () in
+          Faultsim.reset ();
+          List.iter
+            (fun p ->
+              Alcotest.(check bool) (p ^ " traced") true (List.mem p trace))
+            [
+              "durable.open"; "durable.write"; "durable.fsync";
+              "durable.rename"; "durable.after-rename";
+            ];
+          List.iter
+            (fun (point, nth) ->
+              List.iter
+                (fun outcome ->
+                  let name =
+                    Printf.sprintf "%s#%d %s" point nth (outcome_name outcome)
+                  in
+                  ok_or_fail (write old_payload);
+                  Faultsim.arm ~point ~nth outcome;
+                  let fired =
+                    match write new_payload with
+                    | exception Faultsim.Crashed _ -> true
+                    | Error _ -> true (* errno surfaced as Durable's Error *)
+                    | Ok () -> false
+                  in
+                  Faultsim.reset ();
+                  Alcotest.(check bool) (name ^ ": fault fired") true fired;
+                  match Durable.read_framed ~path ~magic with
+                  | Error e ->
+                      Alcotest.fail
+                        (Printf.sprintf "%s: unreadable after fault: %s" name
+                           e)
+                  | Ok (_, back) ->
+                      Alcotest.(check bool)
+                        (name ^ ": old- or new-complete")
+                        true
+                        (back = old_payload || back = new_payload))
+                [ Faultsim.Crash; Faultsim.Errno Unix.ENOSPC; Faultsim.Torn 7 ])
+            (trace_positions trace);
+          (* stale tmp siblings left by the simulated deaths must not
+             stop the next clean write *)
+          ok_or_fail (write new_payload);
+          try Sys.remove (path ^ ".tmp") with Sys_error _ -> ()))
+
+let test_faultsim_checkpoint_sweep () =
+  (* the same sweep one layer up: crash a campaign at every instant of
+     its periodic checkpoint flush.  Whatever survives on disk must
+     load as a valid checkpoint and resume to the bit-identical
+     verdict — and an errno-failed flush must not abort the campaign *)
+  let module Ex = Sim.Explorer.Make (K2) in
+  let go ?ckpt ?resume () =
+    Ex.explore ?ckpt ?resume ~n:3 ~inputs:(distinct 3) ~pattern:(FP.none ~n:3)
+      ~check:no_check ()
+  in
+  let baseline =
+    match go () with
+    | Sim.Explorer.Safe s -> s
+    | Sim.Explorer.Violation _ -> Alcotest.fail "unexpected violation"
+  in
+  let run_campaign ~path () =
+    let ckpt =
+      Checkpoint.ctl
+        ~sink:
+          {
+            Checkpoint.path;
+            kind = "explore";
+            fingerprint = "test";
+            policy = { Checkpoint.every_items = 50; every_seconds = infinity };
+          }
+        ()
+    in
+    go ~ckpt ()
+  in
+  with_tmp ".ckpt" (fun path ->
+      Fun.protect ~finally:Faultsim.reset (fun () ->
+          (* seed the old-complete state and learn the flush trace *)
+          (match run_campaign ~path () with
+          | Sim.Explorer.Safe _ -> ()
+          | _ -> Alcotest.fail "expected Safe");
+          Faultsim.record ();
+          ok_or_fail (Durable.write_atomic ~path:(path ^ ".probe") "x");
+          let write_trace = Faultsim.trace () in
+          Faultsim.reset ();
+          (try Sys.remove (path ^ ".probe") with Sys_error _ -> ());
+          List.iter
+            (fun (point, nth) ->
+              List.iter
+                (fun outcome ->
+                  let name =
+                    Printf.sprintf "flush %s#%d %s" point nth
+                      (outcome_name outcome)
+                  in
+                  Faultsim.arm ~point ~nth outcome;
+                  let crashed =
+                    match run_campaign ~path () with
+                    | Sim.Explorer.Safe _ -> false
+                    | _ -> Alcotest.fail (name ^ ": verdict changed")
+                    | exception Faultsim.Crashed _ -> true
+                  in
+                  Faultsim.reset ();
+                  (* ENOSPC on a flush is survivable by design: the
+                     campaign warns and finishes *)
+                  (match outcome with
+                  | Faultsim.Errno _ ->
+                      Alcotest.(check bool)
+                        (name ^ ": campaign survives errno")
+                        false crashed
+                  | Faultsim.Crash | Faultsim.Torn _ ->
+                      Alcotest.(check bool) (name ^ ": campaign died") true
+                        crashed);
+                  (* whatever the crash left behind resumes to the
+                     same verdict and stats *)
+                  let t = load_restored path in
+                  match go ~resume:(Checkpoint.payload t) () with
+                  | Sim.Explorer.Safe s ->
+                      check_stats (name ^ ": resume parity") baseline s
+                  | Sim.Explorer.Violation _ ->
+                      Alcotest.fail (name ^ ": resume lost the verdict"))
+                [ Faultsim.Crash; Faultsim.Errno Unix.ENOSPC; Faultsim.Torn 3 ])
+            (trace_positions write_trace)))
+
 let suites =
   [
     ( "checkpoint",
@@ -923,5 +1079,9 @@ let suites =
           test_fuzz_cov_corpus_identical;
         Alcotest.test_case "periodic item checkpoints resume" `Quick
           test_periodic_item_checkpoints;
+        Alcotest.test_case "faultsim: durable write crash-point sweep" `Quick
+          test_faultsim_durable_sweep;
+        Alcotest.test_case "faultsim: checkpoint flush crash-point sweep"
+          `Quick test_faultsim_checkpoint_sweep;
       ] );
   ]

@@ -1,0 +1,632 @@
+(* The campaign service: JSON codec, retry backoff, the durable job
+   store (including crash-mid-transition sweeps), task specs with
+   their historical checkpoint fingerprints, and the daemon loop
+   end-to-end — retry-until-done, retry-until-dead, deadline and
+   drain requeues, cancellation, and strict resume rejection. *)
+
+module Prim = Ksa_prim
+module Backoff = Prim.Backoff
+module Faultsim = Prim.Faultsim
+module Rng = Prim.Rng
+module Metrics = Prim.Metrics
+module Sim = Ksa_sim
+module Checkpoint = Sim.Checkpoint
+module Svc = Ksa_svc
+module Json = Svc.Json
+module Task = Svc.Task
+module Jobstore = Svc.Jobstore
+module Daemon = Svc.Daemon
+module Http = Svc.Http
+
+let ok_or_fail = function Ok v -> v | Error e -> Alcotest.fail e
+
+let expect_error name = function
+  | Ok _ -> Alcotest.fail (name ^ ": expected Error, got Ok")
+  | Error e -> e
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let check_contains name ~sub e =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %S mentions %S" name e sub)
+    true (contains ~sub e)
+
+let tmp_dir () =
+  let path = Filename.temp_file "ksa_svc" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rm_rf dir =
+  let rec go p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> go (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists dir then go dir
+
+let with_tmp_dir f =
+  let dir = tmp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ---------- Json ---------- *)
+
+let sample_json =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("flag", Json.Bool true);
+      ("int", Json.Int (-42));
+      ("big", Json.Int max_int);
+      ("float", Json.Float 3.25);
+      ("text", Json.Str "a \"quoted\" line\nwith\ttabs and \\ slashes");
+      ("list", Json.List [ Json.Int 1; Json.Str "two"; Json.Bool false ]);
+      ("nest", Json.Obj [ ("inner", Json.List [ Json.Obj [] ]) ]);
+    ]
+
+let test_json_roundtrip () =
+  let s = Json.to_string sample_json in
+  Alcotest.(check bool) "roundtrip" true (Json.parse s = Ok sample_json);
+  (* and the reprint is a fixpoint *)
+  let again = ok_or_fail (Json.parse s) in
+  Alcotest.(check string) "fixpoint" s (Json.to_string again)
+
+let test_json_int_float_split () =
+  Alcotest.(check bool) "int" true (Json.parse "7" = Ok (Json.Int 7));
+  Alcotest.(check bool) "neg" true (Json.parse "-7" = Ok (Json.Int (-7)));
+  Alcotest.(check bool) "frac" true (Json.parse "7.5" = Ok (Json.Float 7.5));
+  Alcotest.(check bool) "exp" true (Json.parse "1e3" = Ok (Json.Float 1000.));
+  (* get_float widens ints so "deadline": 2 works *)
+  Alcotest.(check bool) "widen" true (Json.get_float (Json.Int 2) = Some 2.)
+
+let test_json_unicode () =
+  Alcotest.(check bool) "bmp escape" true
+    (Json.parse {|"A"|} = Ok (Json.Str "A"));
+  (* a surrogate pair decodes to one 4-byte UTF-8 scalar *)
+  match Json.parse {|"😀"|} with
+  | Ok (Json.Str s) -> Alcotest.(check int) "pair is 4 bytes" 4 (String.length s)
+  | _ -> Alcotest.fail "surrogate pair did not parse"
+
+let test_json_errors () =
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "parsed %S" bad)
+      | Error e -> check_contains "offset named" ~sub:"byte" e)
+    [
+      "{";
+      "[1,]";
+      "\"unterminated";
+      "{\"a\":1,}";
+      "1 2";
+      "nul";
+      "\"bad \\x escape\"";
+      "{\"a\" 1}";
+    ]
+
+(* ---------- Backoff ---------- *)
+
+let test_backoff_growth () =
+  let p = { Backoff.base = 0.5; cap = 30.0; multiplier = 2.0; jitter = 0.0 } in
+  List.iteri
+    (fun attempt expect ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "attempt %d" attempt)
+        expect
+        (Backoff.delay p ~attempt))
+    [ 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 30.0; 30.0; 30.0 ]
+
+let test_backoff_jitter () =
+  let p = Backoff.default_retry in
+  let delays seed =
+    let rng = Rng.create ~seed in
+    List.init 6 (fun attempt -> Backoff.delay ~rng p ~attempt)
+  in
+  Alcotest.(check bool) "deterministic" true (delays 42 = delays 42);
+  List.iteri
+    (fun attempt d ->
+      let full = Backoff.delay { p with jitter = 0.0 } ~attempt in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d in [%.3f, %.3f]" attempt
+           (full *. (1. -. p.Backoff.jitter))
+           full)
+        true
+        (d <= full && d >= full *. (1. -. p.Backoff.jitter)))
+    (delays 42)
+
+let test_backoff_invalid () =
+  let p = Backoff.default_retry in
+  (try
+     ignore (Backoff.delay p ~attempt:(-1));
+     Alcotest.fail "negative attempt accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Backoff.delay { p with Backoff.base = 0.0 } ~attempt:0);
+    Alcotest.fail "zero base accepted"
+  with Invalid_argument _ -> ()
+
+(* ---------- Faultsim mechanics ---------- *)
+
+let test_faultsim_arm_nth () =
+  Fun.protect ~finally:Faultsim.reset (fun () ->
+      Faultsim.arm ~point:"p" ~nth:2 Faultsim.Crash;
+      Faultsim.point "p";
+      Faultsim.point "other";
+      (* only the named point's second hit fires *)
+      (match Faultsim.point "p" with
+      | () -> Alcotest.fail "second hit did not crash"
+      | exception Faultsim.Crashed _ -> ());
+      (* a fired plan is spent *)
+      Faultsim.point "p";
+      Faultsim.arm ~nth:1 (Faultsim.Errno Unix.ENOSPC);
+      match Faultsim.point "any" with
+      | () -> Alcotest.fail "errno did not fire"
+      | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> ())
+
+(* ---------- Task specs ---------- *)
+
+let explore_spec =
+  Task.Explore
+    {
+      Task.e_algo = "kset-flp";
+      e_n = 4;
+      e_k = 2;
+      e_l = None;
+      e_wait = 2;
+      e_dead = [];
+      e_crash_budget = 0;
+      e_model = Sim.Fault_model.Crash;
+      e_policy = "per-sender";
+      e_reduction = Sim.Canon.No_reduction;
+      e_max_configs = None;
+      e_drop = false;
+    }
+
+(* small enough to exhaust in well under a second — the spec the
+   run-the-campaign tests use *)
+let small_explore =
+  match explore_spec with
+  | Task.Explore e -> Task.Explore { e with Task.e_n = 3 }
+  | _ -> assert false
+
+let fuzz_spec =
+  Task.Fuzz
+    {
+      Task.f_algo = "kset-flp";
+      f_n = 5;
+      f_k = 2;
+      f_l = None;
+      f_wait = 2;
+      f_dead = [ 0 ];
+      f_seed = 9;
+      f_trials = 50;
+      f_max_steps = 120;
+      f_max_crashes = 1;
+      f_weights = "mixed";
+      f_termination = false;
+      f_coverage = false;
+      f_model = Sim.Fault_model.Crash;
+    }
+
+let test_task_fingerprints () =
+  (* byte-identical to what bin/ksa.ml has always written: an old
+     checkpoint file must keep resuming under the Task layer *)
+  Alcotest.(check string) "explore kind" "explore" (Task.kind explore_spec);
+  Alcotest.(check string) "explore fingerprint"
+    "algo=kset-flp n=4 k=2 l=3 wait=2 dead= crash-budget=0 policy=per-sender \
+     max-configs=- drop=false reduction=none"
+    (Task.fingerprint explore_spec);
+  Alcotest.(check string) "fuzz kind" "fuzz" (Task.kind fuzz_spec);
+  Alcotest.(check string) "fuzz fingerprint"
+    "algo=kset-flp n=5 k=2 l=4 wait=2 dead=0 seed=9 trials=50 max-steps=120 \
+     max-crashes=1 weights=mixed termination=false coverage=false"
+    (Task.fingerprint fuzz_spec);
+  (* the crash-budget flips the kind, like the CLI *)
+  let crashy =
+    match explore_spec with
+    | Task.Explore e -> Task.Explore { e with Task.e_crash_budget = 1 }
+    | _ -> assert false
+  in
+  Alcotest.(check string) "explore-crash kind" "explore-crash"
+    (Task.kind crashy)
+
+let test_task_spec_json_roundtrip () =
+  List.iter
+    (fun spec ->
+      match Task.spec_of_json (Task.spec_to_json spec) with
+      | Ok back ->
+          Alcotest.(check string) "roundtrip fingerprint"
+            (Task.fingerprint spec) (Task.fingerprint back)
+      | Error e -> Alcotest.fail e)
+    [ explore_spec; fuzz_spec; Task.Probe { Task.p_fail = 2; p_spin = 0.5 } ]
+
+let test_task_spec_validation () =
+  let bad json = expect_error "spec" (Task.spec_of_json json) in
+  check_contains "algo" ~sub:"unknown algorithm"
+    (bad (Json.Obj [ ("task", Json.Str "explore"); ("algo", Json.Str "nope") ]));
+  check_contains "task" ~sub:"unknown task"
+    (bad (Json.Obj [ ("task", Json.Str "bake") ]));
+  check_contains "weights" ~sub:"unknown weights"
+    (bad
+       (Json.Obj [ ("task", Json.Str "fuzz"); ("weights", Json.Str "loaded") ]))
+
+let test_task_probe () =
+  (* fails while attempt < fail, then succeeds: the daemon's retry
+     fixture *)
+  (match Task.run ~attempt:0 (Task.Probe { Task.p_fail = 2; p_spin = 0. }) with
+  | exception Failure m -> check_contains "injected" ~sub:"injected" m
+  | _ -> Alcotest.fail "attempt 0 should raise");
+  match Task.run ~attempt:2 (Task.Probe { Task.p_fail = 2; p_spin = 0. }) with
+  | Ok (Task.Probed { attempt }) -> Alcotest.(check int) "attempt" 2 attempt
+  | _ -> Alcotest.fail "attempt 2 should succeed"
+
+let test_task_load_resume_errors () =
+  check_contains "missing" ~sub:"cannot resume"
+    (expect_error "missing"
+       (Task.load_resume ~path:"/nonexistent-ksa/x.ckpt" ~kind:"explore"
+          ~fingerprint:"f"))
+
+let test_task_explore_runs () =
+  match Task.run small_explore with
+  | Ok (Task.Explored (Sim.Explorer.Safe _) as o) ->
+      let s = Task.summarize o in
+      Alcotest.(check string) "verdict" "safe" s.Task.verdict;
+      Alcotest.(check int) "exit" 0 s.Task.exit_code;
+      let back = ok_or_fail (Task.summary_of_json (Task.summary_to_json s)) in
+      Alcotest.(check bool) "summary roundtrip" true (back = s)
+  | Ok _ -> Alcotest.fail "expected Safe"
+  | Error e -> Alcotest.fail e
+
+(* ---------- Jobstore ---------- *)
+
+let test_jobstore_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let t = ok_or_fail (Jobstore.open_dir ~dir) in
+      let j1 = ok_or_fail (Jobstore.submit t explore_spec) in
+      let j2 =
+        ok_or_fail (Jobstore.submit t ~deadline:1.5 ~retry_max:7 fuzz_spec)
+      in
+      Alcotest.(check (list int)) "ids" [ 1; 2 ]
+        (List.map (fun (j : Jobstore.job) -> j.Jobstore.id) (Jobstore.list t));
+      ok_or_fail
+        (Jobstore.update t
+           { j1 with Jobstore.state = Jobstore.Done; attempts = 1 });
+      (* a fresh open rereads everything from disk *)
+      let t' = ok_or_fail (Jobstore.open_dir ~dir) in
+      (match Jobstore.get t' 1 with
+      | Some j ->
+          Alcotest.(check bool) "done survived" true
+            (j.Jobstore.state = Jobstore.Done && j.Jobstore.attempts = 1)
+      | None -> Alcotest.fail "job 1 lost");
+      (match Jobstore.get t' 2 with
+      | Some j ->
+          Alcotest.(check bool) "deadline survived" true
+            (j.Jobstore.deadline = Some 1.5 && j.Jobstore.retry_max = 7);
+          Alcotest.(check string) "spec survived" (Task.fingerprint fuzz_spec)
+            (Task.fingerprint j.Jobstore.spec)
+      | None -> Alcotest.fail "job 2 lost");
+      ignore j2;
+      (* ids keep ascending across reopens *)
+      let j3 = ok_or_fail (Jobstore.submit t' explore_spec) in
+      Alcotest.(check int) "next id" 3 j3.Jobstore.id)
+
+let test_jobstore_adopts_orphans () =
+  with_tmp_dir (fun dir ->
+      let t = ok_or_fail (Jobstore.open_dir ~dir) in
+      let j = ok_or_fail (Jobstore.submit t explore_spec) in
+      ok_or_fail (Jobstore.update t { j with Jobstore.state = Jobstore.Running });
+      (* a new daemon finds the Running orphan of the dead one *)
+      let t' = ok_or_fail (Jobstore.open_dir ~dir) in
+      (match Jobstore.get t' j.Jobstore.id with
+      | Some j' ->
+          Alcotest.(check bool) "adopted" true
+            (j'.Jobstore.state = Jobstore.Queued && j'.Jobstore.resumable)
+      | None -> Alcotest.fail "orphan lost");
+      (* and the adoption was persisted: a third open sees Queued
+         directly, not another adoption *)
+      let t'' = ok_or_fail (Jobstore.open_dir ~dir) in
+      match Jobstore.get t'' j.Jobstore.id with
+      | Some j'' ->
+          Alcotest.(check bool) "adoption durable" true
+            (j''.Jobstore.state = Jobstore.Queued)
+      | None -> Alcotest.fail "orphan lost after adoption")
+
+let test_jobstore_crash_sweep () =
+  (* crash at every instant of a state-transition write: the reopened
+     store must see the old state or the new state, never lose the
+     job, and never block on the leftover temp file *)
+  with_tmp_dir (fun dir ->
+      Fun.protect ~finally:Faultsim.reset (fun () ->
+          let t = ok_or_fail (Jobstore.open_dir ~dir) in
+          let j = ok_or_fail (Jobstore.submit t explore_spec) in
+          Faultsim.record ();
+          ok_or_fail
+            (Jobstore.update t { j with Jobstore.state = Jobstore.Running });
+          let trace = Faultsim.trace () in
+          Faultsim.reset ();
+          Alcotest.(check bool) "trace nonempty" true (trace <> []);
+          let seen = Hashtbl.create 8 in
+          List.iter
+            (fun point ->
+              let nth =
+                1 + Option.value ~default:0 (Hashtbl.find_opt seen point)
+              in
+              Hashtbl.replace seen point nth;
+              (* reset to the old state, then crash mid-transition *)
+              ok_or_fail
+                (Jobstore.update t
+                   { j with Jobstore.state = Jobstore.Failed 1 });
+              Faultsim.arm ~point ~nth Faultsim.Crash;
+              (match
+                 Jobstore.update t { j with Jobstore.state = Jobstore.Done }
+               with
+              | exception Faultsim.Crashed _ -> ()
+              | Ok () -> ()
+              | Error e -> Alcotest.fail e);
+              Faultsim.reset ();
+              let t' = ok_or_fail (Jobstore.open_dir ~dir) in
+              match Jobstore.get t' j.Jobstore.id with
+              | None ->
+                  Alcotest.fail
+                    (Printf.sprintf "%s#%d: job lost to the crash" point nth)
+              | Some j' ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s#%d: old or new state" point nth)
+                    true
+                    (j'.Jobstore.state = Jobstore.Failed 1
+                    || j'.Jobstore.state = Jobstore.Done))
+            trace))
+
+(* ---------- Daemon ---------- *)
+
+let batch_cfg ~dir =
+  {
+    (Daemon.default_cfg ~dir) with
+    Daemon.exit_when_idle = true;
+    (* fast, deterministic-schedule retries for tests *)
+    retry =
+      { Backoff.base = 0.001; cap = 0.002; multiplier = 2.0; jitter = 0.0 };
+  }
+
+let probe ?(fail = 0) ?(spin = 0.) () =
+  Task.Probe { Task.p_fail = fail; p_spin = spin }
+
+let test_daemon_retry_until_done () =
+  with_tmp_dir (fun dir ->
+      let t = ok_or_fail (Jobstore.open_dir ~dir) in
+      let j = ok_or_fail (Jobstore.submit t ~retry_max:3 (probe ~fail:2 ())) in
+      let retried_before = Metrics.value (Metrics.counter "svc.jobs.retried") in
+      Alcotest.(check int) "daemon exits clean" 0
+        (Daemon.serve (batch_cfg ~dir));
+      let t' = ok_or_fail (Jobstore.open_dir ~dir) in
+      (match Jobstore.get t' j.Jobstore.id with
+      | Some j' ->
+          Alcotest.(check bool) "done" true (j'.Jobstore.state = Jobstore.Done);
+          (* two injected failures, then success *)
+          Alcotest.(check int) "attempts" 3 j'.Jobstore.attempts;
+          (match j'.Jobstore.result with
+          | Some s -> Alcotest.(check string) "verdict" "ok" s.Task.verdict
+          | None -> Alcotest.fail "no result");
+          Alcotest.(check bool) "error cleared" true (j'.Jobstore.error = None)
+      | None -> Alcotest.fail "job lost");
+      Alcotest.(check int) "two retries scheduled" (retried_before + 2)
+        (Metrics.value (Metrics.counter "svc.jobs.retried")))
+
+let test_daemon_retry_until_dead () =
+  with_tmp_dir (fun dir ->
+      let t = ok_or_fail (Jobstore.open_dir ~dir) in
+      let j = ok_or_fail (Jobstore.submit t ~retry_max:1 (probe ~fail:99 ())) in
+      Alcotest.(check int) "daemon exits clean" 0
+        (Daemon.serve (batch_cfg ~dir));
+      let t' = ok_or_fail (Jobstore.open_dir ~dir) in
+      match Jobstore.get t' j.Jobstore.id with
+      | Some j' ->
+          Alcotest.(check bool) "dead" true (j'.Jobstore.state = Jobstore.Dead);
+          (* the original attempt plus one retry *)
+          Alcotest.(check int) "attempts" 2 j'.Jobstore.attempts;
+          (match j'.Jobstore.error with
+          | Some e -> check_contains "error recorded" ~sub:"injected" e
+          | None -> Alcotest.fail "no error recorded")
+      | None -> Alcotest.fail "job lost")
+
+let test_daemon_runs_campaigns () =
+  (* a real explore job through the daemon reports exactly the
+     summary a direct Task.run reports *)
+  with_tmp_dir (fun dir ->
+      let t = ok_or_fail (Jobstore.open_dir ~dir) in
+      let j = ok_or_fail (Jobstore.submit t small_explore) in
+      Alcotest.(check int) "daemon exits clean" 0
+        (Daemon.serve (batch_cfg ~dir));
+      let direct = Task.summarize (ok_or_fail (Task.run small_explore)) in
+      let t' = ok_or_fail (Jobstore.open_dir ~dir) in
+      match Jobstore.get t' j.Jobstore.id with
+      | Some { Jobstore.state = Jobstore.Done; result = Some s; _ } ->
+          Alcotest.(check bool) "summary identical" true (s = direct)
+      | _ -> Alcotest.fail "explore job not done")
+
+let test_daemon_strict_resume_rejection () =
+  (* a resumable job with a mismatched checkpoint: the daemon refuses
+     the checkpoint (counted), then reruns the attempt fresh *)
+  with_tmp_dir (fun dir ->
+      let t = ok_or_fail (Jobstore.open_dir ~dir) in
+      let j = ok_or_fail (Jobstore.submit t small_explore) in
+      ok_or_fail (Jobstore.update t { j with Jobstore.resumable = true });
+      (* a valid frame of the wrong kind/fingerprint would also do;
+         garbage exercises the same strict path *)
+      Out_channel.with_open_bin
+        (Jobstore.ckpt_path ~dir j.Jobstore.id)
+        (fun oc -> Out_channel.output_string oc "not a checkpoint");
+      let rejected_before =
+        Metrics.value (Metrics.counter "svc.resume.rejected")
+      in
+      Alcotest.(check int) "daemon exits clean" 0
+        (Daemon.serve (batch_cfg ~dir));
+      Alcotest.(check int) "rejection counted" (rejected_before + 1)
+        (Metrics.value (Metrics.counter "svc.resume.rejected"));
+      let t' = ok_or_fail (Jobstore.open_dir ~dir) in
+      match Jobstore.get t' j.Jobstore.id with
+      | Some { Jobstore.state = Jobstore.Done; result = Some s; _ } ->
+          Alcotest.(check string) "fresh rerun converges" "safe" s.Task.verdict
+      | _ -> Alcotest.fail "job not done after rejected resume")
+
+(* one HTTP daemon session exercises submit/status/cancel/deadline/
+   drain against a live event loop *)
+let test_daemon_http_session () =
+  with_tmp_dir (fun dir ->
+      let addr = "unix:" ^ Filename.concat dir "sock" in
+      let cfg =
+        { (Daemon.default_cfg ~dir) with Daemon.addr = Some addr }
+      in
+      let daemon = Domain.spawn (fun () -> Daemon.serve cfg) in
+      let req ?body meth path =
+        let rec retry n =
+          match Http.request ~addr ~meth ~path ?body () with
+          | Ok r -> r
+          | Error e ->
+              if n = 0 then Alcotest.fail ("http: " ^ e)
+              else begin
+                (* the listener may not be up yet *)
+                Unix.sleepf 0.05;
+                retry (n - 1)
+              end
+        in
+        retry 40
+      in
+      let get_job body =
+        match Result.bind (Json.parse body) Jobstore.job_of_json with
+        | Ok j -> j
+        | Error e -> Alcotest.fail ("bad job json: " ^ e)
+      in
+      let submit ?deadline spec =
+        let body =
+          Json.to_string
+            (Json.Obj
+               ([ ("spec", Task.spec_to_json spec) ]
+               @
+               match deadline with
+               | None -> []
+               | Some d -> [ ("deadline", Json.Float d) ]))
+        in
+        match req ~body "POST" "/jobs" with
+        | 201, reply -> (get_job reply).Jobstore.id
+        | st, reply ->
+            Alcotest.fail (Printf.sprintf "submit: %d %s" st reply)
+      in
+      let status id =
+        match req "GET" (Printf.sprintf "/jobs/%d" id) with
+        | 200, reply -> get_job reply
+        | st, reply ->
+            Alcotest.fail (Printf.sprintf "status: %d %s" st reply)
+      in
+      let rec await ?(tries = 200) id pred =
+        let j = status id in
+        if pred j then j
+        else if tries = 0 then
+          Alcotest.fail (Printf.sprintf "job %d never reached state" id)
+        else begin
+          Unix.sleepf 0.05;
+          await ~tries:(tries - 1) id pred
+        end
+      in
+      (* health before any job *)
+      (match req "GET" "/health" with
+      | 200, body -> check_contains "health" ~sub:"\"ok\":true" body
+      | st, _ -> Alcotest.fail (Printf.sprintf "health: %d" st));
+      (* deadline: a long probe is cut, requeued with its progress
+         counter bumped, and rescheduled *)
+      let slow = submit ~deadline:0.2 (probe ~spin:30. ()) in
+      let j =
+        await slow (fun j -> j.Jobstore.requeues >= 1)
+      in
+      Alcotest.(check bool) "deadline did not kill it" true
+        (j.Jobstore.state <> Jobstore.Dead);
+      (* cancel it (running or queued, whichever the race gives) *)
+      (match req "DELETE" (Printf.sprintf "/jobs/%d" slow) with
+      | (200 | 202), _ -> ()
+      | st, reply -> Alcotest.fail (Printf.sprintf "cancel: %d %s" st reply));
+      let j = await slow (fun j -> j.Jobstore.state = Jobstore.Dead) in
+      (match j.Jobstore.error with
+      | Some e -> check_contains "cancelled" ~sub:"cancelled" e
+      | None -> Alcotest.fail "no cancellation reason");
+      (* an unknown id is a 404, not a hang *)
+      (match req "GET" "/jobs/999" with
+      | 404, _ -> ()
+      | st, _ -> Alcotest.fail (Printf.sprintf "missing job: %d" st));
+      (* drain with a job mid-run: requeued resumable, daemon exits 0 *)
+      let draining = submit (probe ~spin:30. ()) in
+      ignore (await draining (fun j -> j.Jobstore.state = Jobstore.Running));
+      (match req "POST" "/drain" with
+      | 202, _ -> ()
+      | st, _ -> Alcotest.fail (Printf.sprintf "drain: %d" st));
+      Alcotest.(check int) "drained daemon exits 0" 0 (Domain.join daemon);
+      (* the drained job survived as queued work for the next daemon *)
+      let t = ok_or_fail (Jobstore.open_dir ~dir) in
+      match Jobstore.get t draining with
+      | Some j ->
+          Alcotest.(check bool) "requeued" true
+            (j.Jobstore.state = Jobstore.Queued && j.Jobstore.requeues = 1)
+      | None -> Alcotest.fail "drained job lost")
+
+let suites =
+  [
+    ( "svc json",
+      [
+        Alcotest.test_case "roundtrip and fixpoint" `Quick test_json_roundtrip;
+        Alcotest.test_case "int/float split" `Quick test_json_int_float_split;
+        Alcotest.test_case "unicode escapes" `Quick test_json_unicode;
+        Alcotest.test_case "malformed inputs are located errors" `Quick
+          test_json_errors;
+      ] );
+    ( "svc backoff",
+      [
+        Alcotest.test_case "capped exponential growth" `Quick
+          test_backoff_growth;
+        Alcotest.test_case "jitter is bounded and deterministic" `Quick
+          test_backoff_jitter;
+        Alcotest.test_case "invalid arguments rejected" `Quick
+          test_backoff_invalid;
+        Alcotest.test_case "faultsim: nth-hit arming" `Quick
+          test_faultsim_arm_nth;
+      ] );
+    ( "svc task",
+      [
+        Alcotest.test_case "fingerprints match the historical CLI" `Quick
+          test_task_fingerprints;
+        Alcotest.test_case "spec json roundtrip" `Quick
+          test_task_spec_json_roundtrip;
+        Alcotest.test_case "spec validation is eager" `Quick
+          test_task_spec_validation;
+        Alcotest.test_case "probe fails then succeeds" `Quick test_task_probe;
+        Alcotest.test_case "load_resume names its refusal" `Quick
+          test_task_load_resume_errors;
+        Alcotest.test_case "explore spec runs to a summary" `Quick
+          test_task_explore_runs;
+      ] );
+    ( "svc jobstore",
+      [
+        Alcotest.test_case "submit/update survive reopen" `Quick
+          test_jobstore_roundtrip;
+        Alcotest.test_case "running orphans adopted durably" `Quick
+          test_jobstore_adopts_orphans;
+        Alcotest.test_case "crash at every transition instant" `Quick
+          test_jobstore_crash_sweep;
+      ] );
+    ( "svc daemon",
+      [
+        Alcotest.test_case "retry with backoff until done" `Quick
+          test_daemon_retry_until_done;
+        Alcotest.test_case "retries exhausted leaves a dead job" `Quick
+          test_daemon_retry_until_dead;
+        Alcotest.test_case "campaign summary identical to direct run" `Quick
+          test_daemon_runs_campaigns;
+        Alcotest.test_case "strict resume rejection reruns fresh" `Quick
+          test_daemon_strict_resume_rejection;
+        Alcotest.test_case "http session: deadline, cancel, drain" `Quick
+          test_daemon_http_session;
+      ] );
+  ]
